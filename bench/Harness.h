@@ -1,0 +1,118 @@
+//===- bench/Harness.h - Shared experiment harness --------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/figure reproduction binaries: named solver
+/// configurations (STAGG_TD/BU and all ablations, C2TACO ± heuristics,
+/// Tenspiler, LLM-only), suite selection (67 real-world / 77 full), result
+/// aggregation in the paper's metrics (#solved, average time, attempts,
+/// restricted-subset averages), cactus-plot series, and CSV output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_BENCH_HARNESS_H
+#define STAGG_BENCH_HARNESS_H
+
+#include "benchsuite/Benchmark.h"
+#include "core/Stagg.h"
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace harness {
+
+/// The oracle seed shared by every experiment (one "GPT-4 session").
+constexpr uint64_t OracleSeed = 20250411;
+
+/// Per-query record.
+struct QueryOutcome {
+  std::string Benchmark;
+  bool Solved = false;
+  double Seconds = 0;
+  int Attempts = 0;
+  std::string Detail; ///< Concrete solution or failure reason.
+};
+
+/// One solver's pass over a suite.
+struct SolverRun {
+  std::string Solver;
+  std::vector<QueryOutcome> Outcomes;
+
+  int solvedCount() const;
+  double solvedPercent() const;
+
+  /// Average seconds / attempts over *solved* queries (the paper's "time"
+  /// and "attempts" columns).
+  double avgSecondsSolved() const;
+  double avgAttemptsSolved() const;
+
+  /// Restriction to benchmarks solved in \p Reference (for the "solved by
+  /// C2TACO"/"solved by Tenspiler" columns of Table 1).
+  SolverRun restrictedTo(const SolverRun &Reference) const;
+
+  const QueryOutcome *find(const std::string &Name) const;
+};
+
+/// A solver is any function producing a LiftResult for a benchmark.
+using SolverFn = std::function<core::LiftResult(const bench::Benchmark &)>;
+
+/// Experiment-wide resource budget per query.
+struct HarnessBudget {
+  double TimeoutSeconds = 2.0;
+};
+
+//===----------------------------------------------------------------------===//
+// Solver factories
+//===----------------------------------------------------------------------===//
+
+/// Baseline STAGG configuration used by all experiments.
+core::StaggConfig defaultStaggConfig(const HarnessBudget &Budget);
+
+SolverFn staggTopDown(core::StaggConfig Config);
+SolverFn staggBottomUp(core::StaggConfig Config);
+SolverFn c2taco(bool UseHeuristics, const HarnessBudget &Budget);
+SolverFn tenspiler(const HarnessBudget &Budget);
+SolverFn llmOnly(const HarnessBudget &Budget);
+
+//===----------------------------------------------------------------------===//
+// Suites and execution
+//===----------------------------------------------------------------------===//
+
+/// All 77 queries / the 67 real-world queries.
+std::vector<const bench::Benchmark *> suite77();
+std::vector<const bench::Benchmark *> suite67();
+
+/// Runs \p Fn over \p Suite, printing one progress line per query when
+/// \p Verbose.
+SolverRun runSolver(const std::string &Name,
+                    const std::vector<const bench::Benchmark *> &Suite,
+                    const SolverFn &Fn, bool Verbose = false);
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+/// Prints a success-rate bar chart (Fig. 10 / Fig. 11 style).
+void printSuccessBars(std::ostream &Os, const std::vector<SolverRun> &Runs);
+
+/// Prints cactus-plot series (Fig. 9 / Fig. 12 style): for each solver the
+/// sorted per-query times of solved benchmarks, as "n-th solved, time".
+void printCactus(std::ostream &Os, const std::vector<SolverRun> &Runs);
+
+/// Writes one row per (solver, benchmark) to \p Path.
+void writeCsv(const std::string &Path, const std::vector<SolverRun> &Runs);
+
+/// Formats a paper-vs-measured comparison line.
+std::string paperVsMeasured(const std::string &Label, double Paper,
+                            double Measured, const std::string &Unit);
+
+} // namespace harness
+} // namespace stagg
+
+#endif // STAGG_BENCH_HARNESS_H

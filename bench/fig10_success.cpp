@@ -1,0 +1,41 @@
+//===- bench/fig10_success.cpp - Fig. 10: success rates, 67 real-world ----===//
+//
+// Reproduces Figure 10: success-rate bars for the six approaches on the 67
+// real-world benchmarks (paper: STAGG_TD 99%, STAGG_BU 94%, C2TACO 88%,
+// C2TACO.NoHeuristics 88%, Tenspiler 78%, LLM 36%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace stagg;
+using namespace stagg::harness;
+
+int main() {
+  std::cout << "== Figure 10: success rates on the 67 real-world benchmarks ==\n";
+  HarnessBudget Budget;
+  core::StaggConfig Stagg = defaultStaggConfig(Budget);
+
+  std::vector<SolverRun> Runs;
+  Runs.push_back(runSolver("STAGG_TD", suite67(), staggTopDown(Stagg)));
+  Runs.push_back(runSolver("STAGG_BU", suite67(), staggBottomUp(Stagg)));
+  Runs.push_back(runSolver("C2TACO", suite67(), c2taco(true, Budget)));
+  Runs.push_back(
+      runSolver("C2TACO.NoHeuristics", suite67(), c2taco(false, Budget)));
+  Runs.push_back(runSolver("Tenspiler", suite67(), tenspiler(Budget)));
+  Runs.push_back(runSolver("LLM", suite67(), llmOnly(Budget)));
+
+  printSuccessBars(std::cout, Runs);
+
+  std::cout << "\npaper-vs-measured (success %):\n";
+  const double Paper[] = {99, 94, 88, 88, 78, 36};
+  for (size_t I = 0; I < Runs.size(); ++I)
+    std::cout << paperVsMeasured(Runs[I].Solver, Paper[I],
+                                 Runs[I].solvedPercent(), "%")
+              << "\n";
+
+  writeCsv("fig10_success.csv", Runs);
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench/fig11_grammar_success.cpp - Fig. 11: grammar config bars -----===//
+//
+// Reproduces Figure 11: success-rate bars for the eight grammar
+// configurations on all 77 benchmarks (paper: TD.LLMGrammar 68%,
+// TD.FullGrammar 90%, TD.EqualProbability 95%, TD 99%, BU.LLMGrammar 68%,
+// BU.FullGrammar 88%, BU.EqualProbability 96%, BU 95%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <iostream>
+
+using namespace stagg;
+using namespace stagg::harness;
+
+int main() {
+  std::cout << "== Figure 11: grammar configurations, success on 77 ==\n";
+  HarnessBudget Budget;
+  core::StaggConfig Base = defaultStaggConfig(Budget);
+
+  struct Row {
+    std::string Name;
+    core::SearchKind Kind;
+    bool EqualProbability, FullGrammar;
+    double PaperPct;
+  };
+  std::vector<Row> Rows = {
+      {"STAGG_TD.LLMGrammar", core::SearchKind::TopDown, false, true, 68},
+      {"STAGG_TD.FullGrammar", core::SearchKind::TopDown, true, true, 90},
+      {"STAGG_TD.EqualProbability", core::SearchKind::TopDown, true, false, 95},
+      {"STAGG_TD", core::SearchKind::TopDown, false, false, 99},
+      {"STAGG_BU.LLMGrammar", core::SearchKind::BottomUp, false, true, 68},
+      {"STAGG_BU.FullGrammar", core::SearchKind::BottomUp, true, true, 88},
+      {"STAGG_BU.EqualProbability", core::SearchKind::BottomUp, true, false, 96},
+      {"STAGG_BU", core::SearchKind::BottomUp, false, false, 95},
+  };
+
+  std::vector<SolverRun> Runs;
+  for (const Row &R : Rows) {
+    core::StaggConfig Config = Base;
+    Config.Kind = R.Kind;
+    Config.Grammar.EqualProbability = R.EqualProbability;
+    Config.Grammar.FullGrammar = R.FullGrammar;
+    Runs.push_back(runSolver(R.Name, suite77(),
+                             R.Kind == core::SearchKind::TopDown
+                                 ? staggTopDown(Config)
+                                 : staggBottomUp(Config)));
+  }
+
+  printSuccessBars(std::cout, Runs);
+
+  std::cout << "\npaper-vs-measured (success %):\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    std::cout << paperVsMeasured(Rows[I].Name, Rows[I].PaperPct,
+                                 Runs[I].solvedPercent(), "%")
+              << "\n";
+
+  writeCsv("fig11_grammar_success.csv", Runs);
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===- bench/micro_primitives.cpp - Microbenchmarks of the substrates -----===//
+//
+// google-benchmark microbenchmarks for the performance-critical primitives:
+// TACO parsing, einsum evaluation, the mini-C interpreter, grammar
+// construction, and the A* searches. These are not paper experiments; they
+// back the engineering claims in DESIGN.md and catch regressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelAnalysis.h"
+#include "benchsuite/Benchmark.h"
+#include "cfront/Interp.h"
+#include "cfront/Parser.h"
+#include "grammar/DimensionList.h"
+#include "grammar/Pcfg.h"
+#include "search/TopDown.h"
+#include "taco/Einsum.h"
+#include "taco/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace stagg;
+
+static void BM_TacoParse(benchmark::State &State) {
+  for (auto _ : State) {
+    auto R = taco::parseTacoProgram("C(i,j) = A(i,k) * B(k,j) + D(i,j)");
+    benchmark::DoNotOptimize(R.ok());
+  }
+}
+BENCHMARK(BM_TacoParse);
+
+static void BM_EinsumMatMul(benchmark::State &State) {
+  auto P = taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)");
+  int64_t N = State.range(0);
+  std::map<std::string, taco::Tensor<double>> Ops;
+  taco::Tensor<double> B({N, N}), C({N, N});
+  for (size_t I = 0; I < B.flat().size(); ++I) {
+    B.flat()[I] = static_cast<double>(I % 7);
+    C.flat()[I] = static_cast<double>(I % 5);
+  }
+  Ops.emplace("b", std::move(B));
+  Ops.emplace("c", std::move(C));
+  for (auto _ : State) {
+    auto R = taco::evalEinsum<double>(*P.Prog, Ops, {N, N});
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+BENCHMARK(BM_EinsumMatMul)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_CInterpGemv(benchmark::State &State) {
+  const stagg::bench::Benchmark *B = stagg::bench::findBenchmark("blas_gemv_ptr");
+  auto Fn = cfront::parseCFunction(B->CSource);
+  int64_t N = State.range(0);
+  for (auto _ : State) {
+    cfront::ExecEnv<double> Env;
+    Env.IntScalars["N"] = N;
+    Env.Arrays["Mat1"].assign(static_cast<size_t>(N * N), 2.0);
+    Env.Arrays["Mat2"].assign(static_cast<size_t>(N), 3.0);
+    Env.Arrays["Result"].assign(static_cast<size_t>(N), 0.0);
+    auto S = cfront::runCFunction(*Fn.Function, Env);
+    benchmark::DoNotOptimize(S.Ok);
+  }
+}
+BENCHMARK(BM_CInterpGemv)->Arg(8)->Arg(32);
+
+static void BM_StaticAnalysis(benchmark::State &State) {
+  const stagg::bench::Benchmark *B = stagg::bench::findBenchmark("dsp_matmul_ptr");
+  auto Fn = cfront::parseCFunction(B->CSource);
+  for (auto _ : State) {
+    analysis::KernelSummary S = analysis::analyzeKernel(*Fn.Function);
+    benchmark::DoNotOptimize(S.LhsDim);
+  }
+}
+BENCHMARK(BM_StaticAnalysis);
+
+static void BM_GrammarConstruction(benchmark::State &State) {
+  std::vector<grammar::Templatized> T;
+  for (const char *S : {"r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(j)",
+                        "r(i) = m(i,j) * v(i)", "r(i) = m(i,j) + v(j)"})
+    T.push_back(grammar::templatize(*taco::parseTacoProgram(S).Prog));
+  T = grammar::dedupTemplates(T);
+  for (auto _ : State) {
+    grammar::TemplateGrammar G = grammar::buildTemplateGrammar(
+        T, grammar::predictDimensionList(T, 1), 1, grammar::GrammarOptions());
+    benchmark::DoNotOptimize(G.TensorRules.size());
+  }
+}
+BENCHMARK(BM_GrammarConstruction);
+
+static void BM_TopDownEnumeration(benchmark::State &State) {
+  std::vector<grammar::Templatized> T;
+  for (const char *S : {"r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(j)"})
+    T.push_back(grammar::templatize(*taco::parseTacoProgram(S).Prog));
+  T = grammar::dedupTemplates(T);
+  grammar::TemplateGrammar G = grammar::buildTemplateGrammar(
+      T, grammar::predictDimensionList(T, 1), 1, grammar::GrammarOptions());
+  int64_t Budget = State.range(0);
+  for (auto _ : State) {
+    search::SearchConfig Config;
+    Config.MaxAttempts = static_cast<int>(Budget);
+    search::SearchResult R = search::runTopDown(
+        G, Config, [](const taco::Program &) { return false; });
+    benchmark::DoNotOptimize(R.Attempts);
+  }
+}
+BENCHMARK(BM_TopDownEnumeration)->Arg(10)->Arg(100);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+//===- bench/table1_comparison.cpp - Table 1: solver comparison -----------===//
+//
+// Reproduces Table 1: #solved, average time and attempts on the 67
+// real-world and 77 full-suite queries, plus the columns restricted to the
+// subsets solved by C2TACO and by Tenspiler. Absolute times are simulator
+// milliseconds rather than testbed seconds; the reproduced shape is the
+// coverage ordering and who is fastest on the mutually-solved subsets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace stagg;
+using namespace stagg::harness;
+
+namespace {
+
+void printRow(const SolverRun &On67, const SolverRun &On77,
+              const SolverRun &VsC2, const SolverRun &VsTen) {
+  std::printf("  %-22s | 67: %2d (%7.1f ms) | 77: %2d (%7.1f ms, %6.1f att) | "
+              "c2sub: %2d (%7.1f ms) | tensub: %2d (%7.1f ms)\n",
+              On67.Solver.c_str(), On67.solvedCount(),
+              On67.avgSecondsSolved() * 1e3, On77.solvedCount(),
+              On77.avgSecondsSolved() * 1e3, On77.avgAttemptsSolved(),
+              VsC2.solvedCount(), VsC2.avgSecondsSolved() * 1e3,
+              VsTen.solvedCount(), VsTen.avgSecondsSolved() * 1e3);
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Table 1: benchmark-solving performance ==\n";
+  HarnessBudget Budget;
+  core::StaggConfig Stagg = defaultStaggConfig(Budget);
+
+  struct Entry {
+    std::string Name;
+    SolverFn Fn;
+  };
+  std::vector<Entry> Entries;
+  Entries.push_back({"STAGG_TD", staggTopDown(Stagg)});
+  Entries.push_back({"STAGG_BU", staggBottomUp(Stagg)});
+  Entries.push_back({"LLM", llmOnly(Budget)});
+  Entries.push_back({"C2TACO", c2taco(true, Budget)});
+  Entries.push_back({"C2TACO.NoHeuristics", c2taco(false, Budget)});
+  Entries.push_back({"Tenspiler", tenspiler(Budget)});
+
+  std::vector<SolverRun> On77;
+  for (const Entry &E : Entries)
+    On77.push_back(runSolver(E.Name, suite77(), E.Fn));
+
+  // Derive the 67-run by filtering (identical per-query work).
+  auto Restrict67 = [](const SolverRun &Run) {
+    SolverRun Out;
+    Out.Solver = Run.Solver;
+    for (const QueryOutcome &O : Run.Outcomes)
+      if (bench::findBenchmark(O.Benchmark)->isRealWorld())
+        Out.Outcomes.push_back(O);
+    return Out;
+  };
+
+  const SolverRun &C2Ref = On77[3];
+  const SolverRun &TenRef = On77[5];
+  for (size_t I = 0; I < On77.size(); ++I)
+    printRow(Restrict67(On77[I]), On77[I], On77[I].restrictedTo(C2Ref),
+             On77[I].restrictedTo(TenRef));
+
+  std::cout << "\npaper-vs-measured (# solved of 77):\n";
+  const double Paper77[] = {76, 73, 34, 67, 67, -1};
+  for (size_t I = 0; I < On77.size(); ++I)
+    if (Paper77[I] >= 0)
+      std::cout << paperVsMeasured(On77[I].Solver, Paper77[I],
+                                   On77[I].solvedCount(), "solved")
+                << "\n";
+  std::cout << paperVsMeasured("Tenspiler (67 only)", 52,
+                               Restrict67(On77[5]).solvedCount(), "solved")
+            << "\n";
+
+  writeCsv("table1_comparison.csv", On77);
+  return 0;
+}

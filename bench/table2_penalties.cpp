@@ -1,0 +1,78 @@
+//===- bench/table2_penalties.cpp - Table 2: penalty-rule ablation --------===//
+//
+// Reproduces Table 2: the impact of dropping penalty rules (Drop(A),
+// Drop(a1..a5) for the top-down search; Drop(B), Drop(b1..b2) for the
+// bottom-up search) on the 77-query suite. The paper's shape: the full rule
+// set solves the most benchmarks; dropped rules solve fewer (often faster,
+// because the survivors are the easy queries).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace stagg;
+using namespace stagg::harness;
+
+int main() {
+  std::cout << "== Table 2: impact of penalty rules on 77 benchmarks ==\n";
+  HarnessBudget Budget;
+  core::StaggConfig Base = defaultStaggConfig(Budget);
+
+  struct Row {
+    std::string Name;
+    core::SearchKind Kind;
+    std::function<void(search::SearchConfig &)> Tweak;
+    double PaperSolved;
+  };
+  std::vector<Row> Rows = {
+      {"STAGG_TD", core::SearchKind::TopDown, [](auto &) {}, 76},
+      {"STAGG_TD.Drop(A)", core::SearchKind::TopDown,
+       [](auto &S) { S.dropAllTopDownPenalties(); }, 71},
+      {"STAGG_TD.Drop(a1)", core::SearchKind::TopDown,
+       [](auto &S) { S.PenaltyA1 = false; }, 72},
+      {"STAGG_TD.Drop(a2)", core::SearchKind::TopDown,
+       [](auto &S) { S.PenaltyA2 = false; }, 75},
+      {"STAGG_TD.Drop(a3)", core::SearchKind::TopDown,
+       [](auto &S) { S.PenaltyA3 = false; }, 72},
+      {"STAGG_TD.Drop(a4)", core::SearchKind::TopDown,
+       [](auto &S) { S.PenaltyA4 = false; }, 75},
+      {"STAGG_TD.Drop(a5)", core::SearchKind::TopDown,
+       [](auto &S) { S.PenaltyA5 = false; }, 75},
+      {"STAGG_BU", core::SearchKind::BottomUp, [](auto &) {}, 73},
+      {"STAGG_BU.Drop(B)", core::SearchKind::BottomUp,
+       [](auto &S) { S.dropAllBottomUpPenalties(); }, 70},
+      {"STAGG_BU.Drop(b1)", core::SearchKind::BottomUp,
+       [](auto &S) { S.PenaltyB1 = false; }, 71},
+      {"STAGG_BU.Drop(b2)", core::SearchKind::BottomUp,
+       [](auto &S) { S.PenaltyB2 = false; }, 70},
+  };
+
+  std::vector<SolverRun> Runs;
+  for (const Row &R : Rows) {
+    core::StaggConfig Config = Base;
+    Config.Kind = R.Kind;
+    R.Tweak(Config.Search);
+    Runs.push_back(runSolver(R.Name, suite77(),
+                             R.Kind == core::SearchKind::TopDown
+                                 ? staggTopDown(Config)
+                                 : staggBottomUp(Config)));
+  }
+
+  std::printf("  %-22s %8s %8s %12s\n", "config", "#solved", "%", "avg-ms");
+  for (const SolverRun &Run : Runs)
+    std::printf("  %-22s %8d %7.1f%% %12.2f\n", Run.Solver.c_str(),
+                Run.solvedCount(), Run.solvedPercent(),
+                Run.avgSecondsSolved() * 1e3);
+
+  std::cout << "\npaper-vs-measured (# solved of 77):\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    std::cout << paperVsMeasured(Rows[I].Name, Rows[I].PaperSolved,
+                                 Runs[I].solvedCount(), "solved")
+              << "\n";
+
+  writeCsv("table2_penalties.csv", Runs);
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/table3_grammar.cpp - Table 3: grammar-config ablation --------===//
+//
+// Reproduces Table 3: grammar refinement and probability ablations over the
+// 77-query suite — EqualProbability (refined grammar, uniform rules),
+// LLMGrammar (full grammar, learned probabilities), FullGrammar (full
+// grammar, uniform), plus the LLM and C2TACO reference rows, with the
+// attempts column. The paper's shape: refinement matters most (LLMGrammar
+// loses ~1/3 of the suite), probabilities alone matter less, FullGrammar
+// explodes the attempts count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace stagg;
+using namespace stagg::harness;
+
+int main() {
+  std::cout << "== Table 3: grammar configurations on 77 benchmarks ==\n";
+  HarnessBudget Budget;
+  core::StaggConfig Base = defaultStaggConfig(Budget);
+
+  struct Row {
+    std::string Name;
+    core::SearchKind Kind;
+    bool EqualProbability;
+    bool FullGrammar;
+    double PaperSolved;
+  };
+  std::vector<Row> Rows = {
+      {"STAGG_TD", core::SearchKind::TopDown, false, false, 76},
+      {"STAGG_TD.EqualProbability", core::SearchKind::TopDown, true, false, 73},
+      {"STAGG_TD.LLMGrammar", core::SearchKind::TopDown, false, true, 52},
+      {"STAGG_TD.FullGrammar", core::SearchKind::TopDown, true, true, 69},
+      {"STAGG_BU", core::SearchKind::BottomUp, false, false, 73},
+      {"STAGG_BU.EqualProbability", core::SearchKind::BottomUp, true, false, 74},
+      {"STAGG_BU.LLMGrammar", core::SearchKind::BottomUp, false, true, 52},
+      {"STAGG_BU.FullGrammar", core::SearchKind::BottomUp, true, true, 68},
+  };
+
+  std::vector<SolverRun> Runs;
+  for (const Row &R : Rows) {
+    core::StaggConfig Config = Base;
+    Config.Kind = R.Kind;
+    Config.Grammar.EqualProbability = R.EqualProbability;
+    Config.Grammar.FullGrammar = R.FullGrammar;
+    Runs.push_back(runSolver(R.Name, suite77(),
+                             R.Kind == core::SearchKind::TopDown
+                                 ? staggTopDown(Config)
+                                 : staggBottomUp(Config)));
+  }
+  Runs.push_back(runSolver("LLM", suite77(), llmOnly(Budget)));
+  Runs.push_back(runSolver("C2TACO", suite77(), c2taco(true, Budget)));
+  Runs.push_back(
+      runSolver("C2TACO.NoHeuristics", suite77(), c2taco(false, Budget)));
+
+  std::printf("  %-28s %8s %8s %12s %10s\n", "config", "#solved", "%",
+              "avg-ms", "attempts");
+  for (const SolverRun &Run : Runs)
+    std::printf("  %-28s %8d %7.1f%% %12.2f %10.1f\n", Run.Solver.c_str(),
+                Run.solvedCount(), Run.solvedPercent(),
+                Run.avgSecondsSolved() * 1e3, Run.avgAttemptsSolved());
+
+  std::cout << "\npaper-vs-measured (# solved of 77):\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    std::cout << paperVsMeasured(Rows[I].Name, Rows[I].PaperSolved,
+                                 Runs[I].solvedCount(), "solved")
+              << "\n";
+  std::cout << paperVsMeasured("LLM", 34, Runs[8].solvedCount(), "solved")
+            << "\n";
+  std::cout << paperVsMeasured("C2TACO", 67, Runs[9].solvedCount(), "solved")
+            << "\n";
+  std::cout << paperVsMeasured("C2TACO.NoHeuristics", 67,
+                               Runs[10].solvedCount(), "solved")
+            << "\n";
+
+  writeCsv("table3_grammar.csv", Runs);
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- examples/lift_legacy_library.cpp - Batch-lift a legacy codebase ----===//
+//
+// The motivating workload of the paper's introduction: an organization has a
+// directory of legacy C tensor kernels (here: the BLAS + darknet categories
+// of the suite, 27 kernels in the styles real codebases use — indexed loops,
+// linearized subscripts, pointer walking) and wants them on a tensor DSL.
+// This example batch-lifts the whole set, prints each verified TACO
+// expression, and summarizes coverage — the "modernization report" a
+// downstream user would act on.
+//
+// Build & run:  ./examples/lift_legacy_library
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Stagg.h"
+
+#include "llm/SimulatedLlm.h"
+#include "taco/Printer.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace stagg;
+
+int main() {
+  llm::SimulatedLlm Oracle(/*Seed=*/20250411);
+  core::StaggConfig Config;
+
+  int Total = 0, Lifted = 0;
+  double TotalSeconds = 0;
+  std::vector<std::string> Unsolved;
+
+  std::printf("%-18s %-9s %-45s %s\n", "kernel", "category", "lifted TACO",
+              "time");
+  for (const bench::Benchmark &B : bench::allBenchmarks()) {
+    if (B.Category != "blas" && B.Category != "darknet")
+      continue;
+    ++Total;
+    core::LiftResult R = core::liftBenchmark(B, Oracle, Config);
+    TotalSeconds += R.Seconds;
+    if (R.Solved) {
+      ++Lifted;
+      std::printf("%-18s %-9s %-45s %6.1f ms\n", B.Name.c_str(),
+                  B.Category.c_str(), taco::printProgram(R.Concrete).c_str(),
+                  R.Seconds * 1e3);
+    } else {
+      std::printf("%-18s %-9s %-45s %6.1f ms\n", B.Name.c_str(),
+                  B.Category.c_str(), ("<unlifted: " + R.FailReason + ">").c_str(),
+                  R.Seconds * 1e3);
+      Unsolved.push_back(B.Name);
+    }
+  }
+
+  std::printf("\nlifted %d/%d kernels in %.1f ms total\n", Lifted, Total,
+              TotalSeconds * 1e3);
+  if (!Unsolved.empty()) {
+    std::cout << "needs manual porting:";
+    for (const std::string &Name : Unsolved)
+      std::cout << " " << Name;
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+//===- analysis/Affine.cpp - Polynomial symbolic index expressions --------===//
+
+#include "analysis/Affine.h"
+
+using namespace stagg;
+using namespace stagg::analysis;
+
+std::string Poly::str() const {
+  if (Terms.empty())
+    return "0";
+  std::string Out;
+  bool First = true;
+  for (const auto &[M, C] : Terms) {
+    if (!First)
+      Out += C >= 0 ? " + " : " - ";
+    else if (C < 0)
+      Out += "-";
+    First = false;
+    int64_t Magnitude = C < 0 ? -C : C;
+    bool NeedStar = false;
+    if (Magnitude != 1 || M.empty()) {
+      Out += std::to_string(Magnitude);
+      NeedStar = true;
+    }
+    for (const std::string &S : M) {
+      if (NeedStar)
+        Out += "*";
+      Out += S;
+      NeedStar = true;
+    }
+  }
+  return Out;
+}

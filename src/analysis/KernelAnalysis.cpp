@@ -1,0 +1,752 @@
+//===- analysis/KernelAnalysis.cpp - Static analysis of C kernels ---------===//
+
+#include "analysis/KernelAnalysis.h"
+
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace stagg;
+using namespace stagg::analysis;
+using namespace stagg::cfront;
+
+int AccessRecord::subscriptArity(
+    const std::vector<std::string> &LoopSymbols) const {
+  if (!Offset) {
+    // Array recovery failed; fall back to the loop nesting depth, which is
+    // the best syntactic estimate of the subscript arity.
+    return LoopDepth;
+  }
+  std::set<std::string> Loops(LoopSymbols.begin(), LoopSymbols.end());
+  return static_cast<int>(
+      Offset->symbolsIf([&](const std::string &S) { return Loops.count(S) > 0; })
+          .size());
+}
+
+namespace {
+
+/// A tracked pointer value: base parameter (or marker) plus flat offset.
+struct PtrSym {
+  std::string Base;
+  Poly Off;
+};
+
+/// A symbolic runtime value: a known integer polynomial, a known pointer, or
+/// unknown (both optionals disengaged).
+struct SymVal {
+  std::optional<Poly> IntVal;
+  std::optional<PtrSym> PtrVal;
+
+  static SymVal unknown() { return {}; }
+  static SymVal intPoly(Poly P) {
+    SymVal V;
+    V.IntVal = std::move(P);
+    return V;
+  }
+  static SymVal ptr(PtrSym P) {
+    SymVal V;
+    V.PtrVal = std::move(P);
+    return V;
+  }
+
+  bool isInt() const { return IntVal.has_value(); }
+  bool isPtr() const { return PtrVal.has_value(); }
+  bool isUnknown() const { return !isInt() && !isPtr(); }
+
+  bool operator==(const SymVal &Other) const {
+    if (isInt() != Other.isInt() || isPtr() != Other.isPtr())
+      return false;
+    if (isInt() && !(*IntVal == *Other.IntVal))
+      return false;
+    if (isPtr() &&
+        !(PtrVal->Base == Other.PtrVal->Base && PtrVal->Off == Other.PtrVal->Off))
+      return false;
+    return true;
+  }
+};
+
+using State = std::map<std::string, SymVal>;
+
+/// Collects the names of variables assigned anywhere within a statement or
+/// expression (including nested loops and `++`/`--`).
+class AssignedCollector {
+public:
+  std::set<std::string> Names;
+
+  void visitStmt(const CStmt &S) {
+    switch (S.kind()) {
+    case CStmt::Kind::Decl: {
+      const auto &D = cCast<CDeclStmt>(S);
+      Names.insert(D.name());
+      if (D.init())
+        visitExpr(*D.init());
+      return;
+    }
+    case CStmt::Kind::ExprStmt:
+      visitExpr(cCast<CExprStmt>(S).expr());
+      return;
+    case CStmt::Kind::Block:
+      for (const CStmtPtr &Sub : cCast<CBlock>(S).statements())
+        visitStmt(*Sub);
+      return;
+    case CStmt::Kind::For: {
+      const auto &F = cCast<CFor>(S);
+      if (F.init())
+        visitStmt(*F.init());
+      if (F.cond())
+        visitExpr(*F.cond());
+      if (F.step())
+        visitExpr(*F.step());
+      visitStmt(F.body());
+      return;
+    }
+    case CStmt::Kind::While: {
+      const auto &W = cCast<CWhile>(S);
+      visitExpr(W.cond());
+      visitStmt(W.body());
+      return;
+    }
+    case CStmt::Kind::If: {
+      const auto &I = cCast<CIf>(S);
+      visitExpr(I.cond());
+      visitStmt(I.thenStmt());
+      if (I.elseStmt())
+        visitStmt(*I.elseStmt());
+      return;
+    }
+    case CStmt::Kind::Return: {
+      const auto &R = cCast<CReturn>(S);
+      if (R.expr())
+        visitExpr(*R.expr());
+      return;
+    }
+    case CStmt::Kind::Empty:
+      return;
+    }
+  }
+
+  void visitExpr(const CExpr &E) {
+    switch (E.kind()) {
+    case CExpr::Kind::Assign: {
+      const auto &A = cCast<CAssign>(E);
+      if (const auto *V = cDynCast<VarRef>(&A.lhs()))
+        Names.insert(V->name());
+      else
+        visitExpr(A.lhs());
+      visitExpr(A.rhs());
+      return;
+    }
+    case CExpr::Kind::IncDec: {
+      const auto &I = cCast<CIncDec>(E);
+      if (const auto *V = cDynCast<VarRef>(&I.target()))
+        Names.insert(V->name());
+      else
+        visitExpr(I.target());
+      return;
+    }
+    case CExpr::Kind::Unary:
+      visitExpr(cCast<CUnary>(E).operand());
+      return;
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      visitExpr(B.lhs());
+      visitExpr(B.rhs());
+      return;
+    }
+    case CExpr::Kind::Index: {
+      const auto &Ix = cCast<CIndex>(E);
+      visitExpr(Ix.base());
+      visitExpr(Ix.index());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+};
+
+/// The symbolic executor implementing array recovery and loop
+/// summarization.
+class SymExec {
+public:
+  explicit SymExec(const CFunction &Fn) : Fn(Fn) {
+    for (const CParam &P : Fn.Params) {
+      if (P.Type.isPointer()) {
+        PointerParams.insert(P.Name);
+        Vars[P.Name] = SymVal::ptr({P.Name, Poly::constant(0)});
+      } else {
+        Vars[P.Name] = SymVal::intPoly(Poly::symbol(P.Name));
+      }
+    }
+  }
+
+  KernelSummary run() {
+    execStmt(*Fn.Body, Vars);
+    return std::move(Summary);
+  }
+
+private:
+  static bool isMarker(const std::string &Name) {
+    return startsWith(Name, "@");
+  }
+
+  bool hasMarkerSymbols(const Poly &P) const {
+    return P.mentionsIf([](const std::string &S) { return isMarker(S); });
+  }
+
+  void record(const std::string &Base, std::optional<Poly> Offset,
+              bool IsStore) {
+    if (!Recording)
+      return;
+    if (!PointerParams.count(Base))
+      return; // Marker or non-parameter base: unusable for recovery.
+    if (Offset && hasMarkerSymbols(*Offset))
+      Offset.reset();
+    AccessRecord R;
+    R.Param = Base;
+    R.Offset = std::move(Offset);
+    R.LoopDepth = LoopDepth;
+    R.IsStore = IsStore;
+    Summary.Accesses.push_back(std::move(R));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression evaluation (with side effects and access recording)
+  //===------------------------------------------------------------------===//
+
+  /// Resolves an lvalue to either a variable name or a pointer target.
+  struct SymPlace {
+    bool IsVar = false;
+    std::string Name;           // When IsVar.
+    std::optional<PtrSym> Target; // When a memory place with known pointer.
+  };
+
+  SymPlace evalPlace(const CExpr &E, State &S) {
+    SymPlace P;
+    if (const auto *V = cDynCast<VarRef>(&E)) {
+      P.IsVar = true;
+      P.Name = V->name();
+      return P;
+    }
+    if (const auto *U = cDynCast<CUnary>(&E)) {
+      if (U->op() == CUnOp::Deref) {
+        SymVal Ptr = evalExpr(U->operand(), S);
+        if (Ptr.isPtr())
+          P.Target = *Ptr.PtrVal;
+        return P;
+      }
+      return P;
+    }
+    if (const auto *Ix = cDynCast<CIndex>(&E)) {
+      SymVal Base = evalExpr(Ix->base(), S);
+      SymVal Index = evalExpr(Ix->index(), S);
+      if (Base.isPtr()) {
+        PtrSym T = *Base.PtrVal;
+        if (Index.isInt())
+          T.Off = T.Off + *Index.IntVal;
+        else {
+          // Unknown subscript: keep the base but poison the offset with a
+          // fresh marker so it reads as "unknown".
+          T.Off = Poly::symbol("@?" + std::to_string(FreshCounter++));
+        }
+        P.Target = T;
+      }
+      return P;
+    }
+    return P;
+  }
+
+  SymVal loadPlace(const SymPlace &P, State &S) {
+    if (P.IsVar) {
+      auto It = S.find(P.Name);
+      return It == S.end() ? SymVal::unknown() : It->second;
+    }
+    if (P.Target) {
+      std::optional<Poly> Off = P.Target->Off;
+      record(P.Target->Base, Off, /*IsStore=*/false);
+    }
+    // Data loaded from memory is not tracked symbolically.
+    return SymVal::unknown();
+  }
+
+  void storePlace(const SymPlace &P, const SymVal &Value, State &S) {
+    if (P.IsVar) {
+      S[P.Name] = Value;
+      return;
+    }
+    if (P.Target)
+      record(P.Target->Base, P.Target->Off, /*IsStore=*/true);
+  }
+
+  SymVal applyBinary(CBinOp Op, const SymVal &L, const SymVal &R) {
+    // Pointer arithmetic.
+    if (L.isPtr() && R.isInt()) {
+      if (Op == CBinOp::Add)
+        return SymVal::ptr({L.PtrVal->Base, L.PtrVal->Off + *R.IntVal});
+      if (Op == CBinOp::Sub)
+        return SymVal::ptr({L.PtrVal->Base, L.PtrVal->Off - *R.IntVal});
+      return SymVal::unknown();
+    }
+    if (R.isPtr() && L.isInt() && Op == CBinOp::Add)
+      return SymVal::ptr({R.PtrVal->Base, R.PtrVal->Off + *L.IntVal});
+    if (!L.isInt() || !R.isInt())
+      return SymVal::unknown();
+    switch (Op) {
+    case CBinOp::Add:
+      return SymVal::intPoly(*L.IntVal + *R.IntVal);
+    case CBinOp::Sub:
+      return SymVal::intPoly(*L.IntVal - *R.IntVal);
+    case CBinOp::Mul:
+      return SymVal::intPoly(*L.IntVal * *R.IntVal);
+    default:
+      // Division, modulo, comparisons: not tracked in the affine domain.
+      return SymVal::unknown();
+    }
+  }
+
+  SymVal evalExpr(const CExpr &E, State &S) {
+    switch (E.kind()) {
+    case CExpr::Kind::IntLit:
+      return SymVal::intPoly(Poly::constant(cCast<IntLit>(E).value()));
+    case CExpr::Kind::FloatLit:
+      return SymVal::unknown();
+    case CExpr::Kind::VarRef: {
+      auto It = S.find(cCast<VarRef>(E).name());
+      return It == S.end() ? SymVal::unknown() : It->second;
+    }
+    case CExpr::Kind::Unary: {
+      const auto &U = cCast<CUnary>(E);
+      switch (U.op()) {
+      case CUnOp::Neg: {
+        SymVal V = evalExpr(U.operand(), S);
+        if (V.isInt())
+          return SymVal::intPoly(-*V.IntVal);
+        return SymVal::unknown();
+      }
+      case CUnOp::Deref: {
+        SymPlace P = evalPlace(E, S);
+        return loadPlace(P, S);
+      }
+      case CUnOp::AddrOf: {
+        SymPlace P = evalPlace(U.operand(), S);
+        if (!P.IsVar && P.Target)
+          return SymVal::ptr(*P.Target);
+        return SymVal::unknown();
+      }
+      case CUnOp::Not:
+        evalExpr(U.operand(), S);
+        return SymVal::unknown();
+      }
+      return SymVal::unknown();
+    }
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      SymVal L = evalExpr(B.lhs(), S);
+      SymVal R = evalExpr(B.rhs(), S);
+      return applyBinary(B.op(), L, R);
+    }
+    case CExpr::Kind::Assign: {
+      const auto &A = cCast<CAssign>(E);
+      SymVal Rhs = evalExpr(A.rhs(), S);
+      SymPlace P = evalPlace(A.lhs(), S);
+      SymVal NewValue = Rhs;
+      if (A.op() != CAssignOp::Plain) {
+        SymVal Old = loadPlace(P, S);
+        CBinOp Op = A.op() == CAssignOp::Add   ? CBinOp::Add
+                    : A.op() == CAssignOp::Sub ? CBinOp::Sub
+                    : A.op() == CAssignOp::Mul ? CBinOp::Mul
+                                               : CBinOp::Div;
+        NewValue = applyBinary(Op, Old, Rhs);
+      }
+      storePlace(P, NewValue, S);
+      return NewValue;
+    }
+    case CExpr::Kind::IncDec: {
+      const auto &I = cCast<CIncDec>(E);
+      SymPlace P = evalPlace(I.target(), S);
+      SymVal Old = loadPlace(P, S);
+      SymVal Delta = SymVal::intPoly(Poly::constant(1));
+      SymVal NewValue = applyBinary(
+          I.isIncrement() ? CBinOp::Add : CBinOp::Sub, Old, Delta);
+      storePlace(P, NewValue, S);
+      return I.isPrefix() ? NewValue : Old;
+    }
+    case CExpr::Kind::Index: {
+      SymPlace P = evalPlace(E, S);
+      return loadPlace(P, S);
+    }
+    }
+    return SymVal::unknown();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statement execution
+  //===------------------------------------------------------------------===//
+
+  void mergeStates(State &Into, const State &Other) {
+    for (auto &[Name, Value] : Into) {
+      auto It = Other.find(Name);
+      if (It == Other.end() || !(Value == It->second))
+        Value = SymVal::unknown();
+    }
+    for (const auto &[Name, Value] : Other) {
+      (void)Value;
+      if (!Into.count(Name))
+        Into[Name] = SymVal::unknown();
+    }
+  }
+
+  void execStmt(const CStmt &Stmt, State &S) {
+    switch (Stmt.kind()) {
+    case CStmt::Kind::Empty:
+      return;
+    case CStmt::Kind::Decl: {
+      const auto &D = cCast<CDeclStmt>(Stmt);
+      if (D.init())
+        S[D.name()] = evalExpr(*D.init(), S);
+      else if (D.type().isPointer())
+        S[D.name()] = SymVal::unknown();
+      else
+        S[D.name()] = SymVal::intPoly(Poly::constant(0));
+      return;
+    }
+    case CStmt::Kind::ExprStmt:
+      evalExpr(cCast<CExprStmt>(Stmt).expr(), S);
+      return;
+    case CStmt::Kind::Block:
+      for (const CStmtPtr &Sub : cCast<CBlock>(Stmt).statements())
+        execStmt(*Sub, S);
+      return;
+    case CStmt::Kind::If: {
+      const auto &I = cCast<CIf>(Stmt);
+      evalExpr(I.cond(), S);
+      State ElseState = S;
+      execStmt(I.thenStmt(), S);
+      if (I.elseStmt())
+        execStmt(*I.elseStmt(), ElseState);
+      mergeStates(S, ElseState);
+      return;
+    }
+    case CStmt::Kind::Return:
+      if (const CExpr *E = cCast<CReturn>(Stmt).expr())
+        evalExpr(*E, S);
+      return;
+    case CStmt::Kind::While: {
+      // Conservative: havoc everything the loop assigns, then scan the body
+      // once for accesses at an increased loop depth.
+      const auto &W = cCast<CWhile>(Stmt);
+      AssignedCollector Assigned;
+      Assigned.visitStmt(W.body());
+      for (const std::string &Name : Assigned.Names)
+        S[Name] = SymVal::unknown();
+      ++LoopDepth;
+      execStmt(W.body(), S);
+      --LoopDepth;
+      for (const std::string &Name : Assigned.Names)
+        S[Name] = SymVal::unknown();
+      return;
+    }
+    case CStmt::Kind::For:
+      execFor(cCast<CFor>(Stmt), S);
+      return;
+    }
+  }
+
+  /// Extracts `var < bound` / `var <= bound` and a unit step on `var`,
+  /// returning the symbolic trip count if the pattern matches.
+  std::optional<Poly> tripCount(const CFor &F, State &S,
+                                std::string &LoopVarOut) {
+    const auto *Cond = F.cond() ? cDynCast<CBinary>(F.cond()) : nullptr;
+    if (!Cond || (Cond->op() != CBinOp::Lt && Cond->op() != CBinOp::Le))
+      return std::nullopt;
+    const auto *Var = cDynCast<VarRef>(&Cond->lhs());
+    if (!Var)
+      return std::nullopt;
+
+    // The step must be var++/++var or var += 1.
+    bool UnitStep = false;
+    if (const CExpr *Step = F.step()) {
+      if (const auto *I = cDynCast<CIncDec>(Step)) {
+        const auto *T = cDynCast<VarRef>(&I->target());
+        UnitStep = I->isIncrement() && T && T->name() == Var->name();
+      } else if (const auto *A = cDynCast<CAssign>(Step)) {
+        const auto *T = cDynCast<VarRef>(&A->lhs());
+        const auto *One = cDynCast<IntLit>(&A->rhs());
+        UnitStep = A->op() == CAssignOp::Add && T && T->name() == Var->name() &&
+                   One && One->value() == 1;
+      }
+    }
+    if (!UnitStep)
+      return std::nullopt;
+
+    State Scratch = S;
+    SymVal Bound = evalExpr(Cond->rhs(), Scratch);
+    auto It = S.find(Var->name());
+    if (!Bound.isInt() || It == S.end() || !It->second.isInt())
+      return std::nullopt;
+    LoopVarOut = Var->name();
+    Poly Trip = *Bound.IntVal - *It->second.IntVal;
+    if (Cond->op() == CBinOp::Le)
+      Trip = Trip + Poly::constant(1);
+    return Trip;
+  }
+
+  void execFor(const CFor &F, State &S) {
+    if (F.init())
+      execStmt(*F.init(), S);
+
+    std::string LoopVar;
+    std::optional<Poly> Trip = tripCount(F, S, LoopVar);
+
+    AssignedCollector Assigned;
+    Assigned.visitStmt(F.body());
+    if (F.step())
+      Assigned.visitExpr(*F.step());
+
+    State Entry = S;
+
+    // Pass A (delta detection): run the body once with every assigned
+    // variable replaced by an opaque marker, recording nothing.
+    State Probe = Entry;
+    for (const std::string &Name : Assigned.Names) {
+      auto It = Entry.find(Name);
+      if (It != Entry.end() && It->second.isPtr())
+        Probe[Name] = SymVal::ptr({"@" + Name, Poly::constant(0)});
+      else if (It != Entry.end() && It->second.isInt())
+        Probe[Name] = SymVal::intPoly(Poly::symbol("@" + Name));
+      else
+        Probe[Name] = SymVal::unknown();
+    }
+    bool SavedRecording = Recording;
+    Recording = false;
+    execStmt(F.body(), Probe);
+    if (F.step())
+      evalExpr(*F.step(), Probe);
+    Recording = SavedRecording;
+
+    // Classify each assigned variable.
+    enum class VarClass { Induction, Reset, Opaque };
+    std::map<std::string, VarClass> Classes;
+    std::map<std::string, Poly> Strides;
+    for (const std::string &Name : Assigned.Names) {
+      std::string Marker = "@" + Name;
+      const SymVal &After = Probe[Name];
+      VarClass Class = VarClass::Opaque;
+      Poly Stride;
+      if (After.isInt()) {
+        Poly Delta = *After.IntVal - Poly::symbol(Marker);
+        if (!Delta.mentions(Marker) && !hasMarkerSymbols(Delta)) {
+          Class = VarClass::Induction;
+          Stride = Delta;
+        } else if (!hasMarkerSymbols(*After.IntVal)) {
+          Class = VarClass::Reset;
+        }
+      } else if (After.isPtr()) {
+        if (After.PtrVal->Base == Marker &&
+            !hasMarkerSymbols(After.PtrVal->Off)) {
+          Class = VarClass::Induction;
+          Stride = After.PtrVal->Off;
+        } else if (PointerParams.count(After.PtrVal->Base) &&
+                   !hasMarkerSymbols(After.PtrVal->Off)) {
+          Class = VarClass::Reset;
+        }
+      }
+      Classes[Name] = Class;
+      if (Class == VarClass::Induction)
+        Strides[Name] = Stride;
+    }
+
+    // Pass B (access recording): run the body once with induction variables
+    // in closed form over a fresh loop symbol.
+    std::string LoopSym =
+        "l" + std::to_string(FreshCounter++) +
+        (LoopVar.empty() ? "" : "_" + LoopVar);
+    Summary.LoopSymbols.push_back(LoopSym);
+    Poly SymPoly = Poly::symbol(LoopSym);
+
+    State Body = Entry;
+    for (const std::string &Name : Assigned.Names) {
+      switch (Classes[Name]) {
+      case VarClass::Induction: {
+        auto It = Entry.find(Name);
+        if (It != Entry.end() && It->second.isInt())
+          Body[Name] =
+              SymVal::intPoly(*It->second.IntVal + SymPoly * Strides[Name]);
+        else if (It != Entry.end() && It->second.isPtr())
+          Body[Name] = SymVal::ptr({It->second.PtrVal->Base,
+                                    It->second.PtrVal->Off +
+                                        SymPoly * Strides[Name]});
+        else
+          Body[Name] = SymVal::unknown();
+        break;
+      }
+      case VarClass::Reset:
+      case VarClass::Opaque:
+        Body[Name] = SymVal::unknown();
+        break;
+      }
+    }
+    ++LoopDepth;
+    execStmt(F.body(), Body);
+    if (F.step())
+      evalExpr(*F.step(), Body);
+    --LoopDepth;
+
+    // Exit state.
+    S = Entry;
+    for (const std::string &Name : Assigned.Names) {
+      SymVal Exit = SymVal::unknown();
+      switch (Classes[Name]) {
+      case VarClass::Induction: {
+        auto It = Entry.find(Name);
+        if (Trip && It != Entry.end() && It->second.isInt())
+          Exit = SymVal::intPoly(*It->second.IntVal + *Trip * Strides[Name]);
+        else if (Trip && It != Entry.end() && It->second.isPtr())
+          Exit = SymVal::ptr({It->second.PtrVal->Base,
+                              It->second.PtrVal->Off + *Trip * Strides[Name]});
+        break;
+      }
+      case VarClass::Reset: {
+        // Value after the final iteration: substitute S := trip - 1.
+        if (Trip) {
+          Poly Last = *Trip - Poly::constant(1);
+          const SymVal &AfterBody = Body[Name];
+          if (AfterBody.isInt())
+            Exit = SymVal::intPoly(AfterBody.IntVal->substitute(LoopSym, Last));
+          else if (AfterBody.isPtr())
+            Exit = SymVal::ptr(
+                {AfterBody.PtrVal->Base,
+                 AfterBody.PtrVal->Off.substitute(LoopSym, Last)});
+        }
+        break;
+      }
+      case VarClass::Opaque:
+        break;
+      }
+      S[Name] = Exit;
+    }
+  }
+
+  const CFunction &Fn;
+  KernelSummary Summary;
+  State Vars;
+  std::set<std::string> PointerParams;
+  bool Recording = true;
+  int LoopDepth = 0;
+  int FreshCounter = 0;
+};
+
+/// Collects integer literals outside loop headers.
+class ConstantScanner {
+public:
+  std::vector<int64_t> Constants;
+
+  void visitStmt(const CStmt &S) {
+    switch (S.kind()) {
+    case CStmt::Kind::Decl:
+      if (const CExpr *Init = cCast<CDeclStmt>(S).init())
+        visitExpr(*Init);
+      return;
+    case CStmt::Kind::ExprStmt:
+      visitExpr(cCast<CExprStmt>(S).expr());
+      return;
+    case CStmt::Kind::Block:
+      for (const CStmtPtr &Sub : cCast<CBlock>(S).statements())
+        visitStmt(*Sub);
+      return;
+    case CStmt::Kind::For:
+      // Loop headers hold bounds, not data constants.
+      visitStmt(cCast<CFor>(S).body());
+      return;
+    case CStmt::Kind::While:
+      visitStmt(cCast<CWhile>(S).body());
+      return;
+    case CStmt::Kind::If: {
+      const auto &I = cCast<CIf>(S);
+      visitStmt(I.thenStmt());
+      if (I.elseStmt())
+        visitStmt(*I.elseStmt());
+      return;
+    }
+    case CStmt::Kind::Return:
+      if (const CExpr *E = cCast<CReturn>(S).expr())
+        visitExpr(*E);
+      return;
+    case CStmt::Kind::Empty:
+      return;
+    }
+  }
+
+  void visitExpr(const CExpr &E) {
+    switch (E.kind()) {
+    case CExpr::Kind::IntLit: {
+      int64_t Value = cCast<IntLit>(E).value();
+      if (std::find(Constants.begin(), Constants.end(), Value) ==
+          Constants.end())
+        Constants.push_back(Value);
+      return;
+    }
+    case CExpr::Kind::Unary:
+      visitExpr(cCast<CUnary>(E).operand());
+      return;
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      visitExpr(B.lhs());
+      visitExpr(B.rhs());
+      return;
+    }
+    case CExpr::Kind::Assign: {
+      const auto &A = cCast<CAssign>(E);
+      visitExpr(A.lhs());
+      visitExpr(A.rhs());
+      return;
+    }
+    case CExpr::Kind::IncDec:
+      return; // ++/-- carry an implicit 1, not a source constant.
+    case CExpr::Kind::Index:
+      // Subscript literals (e.g. `&B[0]`) are address anchors, not data.
+      visitExpr(cCast<CIndex>(E).base());
+      return;
+    default:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+KernelSummary analysis::analyzeKernel(const CFunction &Fn) {
+  SymExec Exec(Fn);
+  KernelSummary Summary = Exec.run();
+
+  // Identify the output parameter: the pointer parameter with stores.
+  std::map<std::string, int> StoreCounts;
+  for (const AccessRecord &R : Summary.Accesses)
+    if (R.IsStore)
+      ++StoreCounts[R.Param];
+  for (const auto &[Param, Count] : StoreCounts)
+    if (Summary.OutputParam.empty() ||
+        Count > StoreCounts[Summary.OutputParam])
+      Summary.OutputParam = Param;
+
+  // Delinearized dimensionality per parameter (max over its accesses).
+  for (const AccessRecord &R : Summary.Accesses) {
+    int Arity = R.subscriptArity(Summary.LoopSymbols);
+    auto [It, Inserted] = Summary.ParamDims.emplace(R.Param, Arity);
+    if (!Inserted)
+      It->second = std::max(It->second, Arity);
+  }
+
+  // LHS dimensionality: the delinearized arity of stores to the output
+  // parameter; zero (a scalar) when the kernel writes without indexing.
+  Summary.LhsDim = 0;
+  for (const AccessRecord &R : Summary.Accesses)
+    if (R.IsStore && R.Param == Summary.OutputParam)
+      Summary.LhsDim =
+          std::max(Summary.LhsDim, R.subscriptArity(Summary.LoopSymbols));
+
+  ConstantScanner Scanner;
+  Scanner.visitStmt(*Fn.Body);
+  Summary.Constants = std::move(Scanner.Constants);
+  return Summary;
+}

@@ -1,0 +1,82 @@
+//===- analysis/KernelAnalysis.h - Static analysis of C kernels -*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static analyses of paper §4.2.3:
+///
+///  * **Array recovery** (Franke & O'Boyle): pointer-arithmetic iteration is
+///    rewritten into explicit array accesses by symbolically executing the
+///    kernel, tracking every pointer as (base parameter, polynomial offset).
+///    Pointer increments inside loops are summarized into closed forms
+///    `entry + loopvar * stride` via a delta-detection pass.
+///
+///  * **Delinearization** (O'Boyle & Knijnenburg): a recovered flat offset
+///    such as `f*N + i` is mapped back to a multidimensional access by
+///    counting the distinct loop variables appearing in it.
+///
+///  * **LHS dimension prediction**: the written ("output") parameter is
+///    identified by dataflow, and its dimensionality is the delinearized
+///    subscript arity of its stores; a kernel that writes without memory
+///    indexing is a scalar (dimension 0).
+///
+/// The same machinery predicts the dimensions of every pointer parameter
+/// (used by the C2TACO baseline's hard-wired heuristics) and collects the
+/// integer constants of the source (used by template instantiation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_ANALYSIS_KERNELANALYSIS_H
+#define STAGG_ANALYSIS_KERNELANALYSIS_H
+
+#include "analysis/Affine.h"
+#include "cfront/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace analysis {
+
+/// One recovered memory access.
+struct AccessRecord {
+  std::string Param;          ///< Base pointer parameter.
+  std::optional<Poly> Offset; ///< Recovered flat offset; nullopt if unknown.
+  int LoopDepth = 0;          ///< Number of enclosing loops (fallback).
+  bool IsStore = false;
+
+  /// Delinearized subscript arity: the number of distinct loop variables in
+  /// the offset, or the loop depth when the offset is unknown.
+  int subscriptArity(const std::vector<std::string> &LoopSymbols) const;
+};
+
+/// The complete analysis summary for a kernel.
+struct KernelSummary {
+  std::vector<AccessRecord> Accesses;
+  std::vector<std::string> LoopSymbols; ///< Fresh loop-variable symbols.
+
+  /// The parameter the kernel writes through (empty if none found).
+  std::string OutputParam;
+
+  /// Predicted LHS dimensionality (paper: exact from static analysis).
+  int LhsDim = 0;
+
+  /// Predicted dimensionality per pointer parameter (reads and writes).
+  std::map<std::string, int> ParamDims;
+
+  /// Integer literals appearing in the body outside loop headers.
+  std::vector<int64_t> Constants;
+};
+
+/// Runs array recovery + delinearization + dimension prediction on \p Fn.
+KernelSummary analyzeKernel(const cfront::CFunction &Fn);
+
+} // namespace analysis
+} // namespace stagg
+
+#endif // STAGG_ANALYSIS_KERNELANALYSIS_H

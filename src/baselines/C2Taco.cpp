@@ -1,0 +1,248 @@
+//===- baselines/C2Taco.cpp - C2TACO-style enumerative lifter -------------===//
+
+#include "baselines/C2Taco.h"
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Parser.h"
+#include "support/Timer.h"
+#include "taco/Printer.h"
+#include "validate/Validator.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::baselines;
+using namespace stagg::taco;
+
+namespace {
+
+/// One enumerable leaf: a concrete access or a literal constant.
+struct Leaf {
+  std::string Name; ///< Argument name; empty for constants.
+  std::vector<std::string> Indices;
+  int64_t Constant = 0;
+  bool IsConst = false;
+
+  ExprPtr toExpr() const {
+    if (IsConst)
+      return std::make_unique<ConstantExpr>(Constant);
+    return std::make_unique<AccessExpr>(Name, Indices);
+  }
+};
+
+/// All index tuples of length \p Rank over \p Vars.
+void appendTuples(const std::string &Name, int Rank,
+                  const std::vector<std::string> &Vars, bool AllowRepeats,
+                  std::vector<Leaf> &Out) {
+  if (Rank == 0) {
+    Leaf L;
+    L.Name = Name;
+    Out.push_back(std::move(L));
+    return;
+  }
+  std::vector<int> Tuple(static_cast<size_t>(Rank), 0);
+  const int NumVars = static_cast<int>(Vars.size());
+  if (NumVars == 0)
+    return;
+  for (;;) {
+    bool HasRepeat = false;
+    for (size_t A = 0; A < Tuple.size() && !HasRepeat; ++A)
+      for (size_t C = A + 1; C < Tuple.size() && !HasRepeat; ++C)
+        HasRepeat = Tuple[A] == Tuple[C];
+    if (AllowRepeats || !HasRepeat) {
+      Leaf L;
+      L.Name = Name;
+      for (int V : Tuple)
+        L.Indices.push_back(Vars[static_cast<size_t>(V)]);
+      Out.push_back(std::move(L));
+    }
+    size_t Axis = Tuple.size();
+    for (;;) {
+      if (Axis == 0)
+        return;
+      --Axis;
+      if (++Tuple[Axis] < NumVars)
+        break;
+      Tuple[Axis] = 0;
+      if (Axis == 0)
+        return;
+    }
+  }
+}
+
+} // namespace
+
+core::LiftResult baselines::runC2Taco(const bench::Benchmark &B,
+                                      const C2TacoConfig &Config) {
+  core::LiftResult Result;
+  Timer Clock;
+
+  cfront::CParseResult Parsed = cfront::parseCFunction(B.CSource);
+  if (!Parsed.ok()) {
+    Result.FailReason = "C parse error: " + Parsed.Error;
+    return Result;
+  }
+  const cfront::CFunction &Fn = *Parsed.Function;
+  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+
+  Rng ExampleRng(Config.ExampleSeed);
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(B, Fn, Config.NumIoExamples, ExampleRng);
+  if (Examples.empty()) {
+    Result.FailReason = "failed to execute the legacy kernel";
+    return Result;
+  }
+
+  const bench::ArgSpec *OutArg = B.outputArg();
+  if (!OutArg) {
+    Result.FailReason = "no output argument";
+    return Result;
+  }
+
+  // Index pool and per-argument ranks.
+  static const char *Canonical[] = {"i", "j", "k", "l"};
+  int LhsRank = Config.UseHeuristics ? Summary.LhsDim : OutArg->rank();
+  int MaxRank = LhsRank;
+  for (const bench::ArgSpec &Arg : B.Args)
+    MaxRank = std::max(MaxRank, Arg.rank());
+
+  // Heuristic pool: just enough variables for the highest-rank contraction
+  // (one spare summation variable). Unpruned pool: all four.
+  int PoolSize = Config.UseHeuristics ? std::min(4, MaxRank + 1) : 4;
+  PoolSize = std::max(PoolSize, LhsRank);
+  std::vector<std::string> Vars(Canonical, Canonical + PoolSize);
+
+  // LHS access: the output argument with canonical indices.
+  std::vector<std::string> LhsIndices(Vars.begin(), Vars.begin() + LhsRank);
+  AccessExpr Lhs(OutArg->Name, LhsIndices);
+
+  // Leaves: every non-output argument at its declared rank. The dimension
+  // heuristic restricts index tuples to distinct variables and adds diagonal
+  // accesses (e.g. A(i,i)) only when the analysis sees fewer distinct loop
+  // variables in an argument's subscript than its rank (A[i*N+i]).
+  std::vector<Leaf> Leaves;
+  for (const bench::ArgSpec &Arg : B.Args) {
+    if (Arg.IsOutput)
+      continue;
+    appendTuples(Arg.Name, Arg.rank(), Vars,
+                 /*AllowRepeats=*/!Config.UseHeuristics, Leaves);
+    if (Config.UseHeuristics && Arg.rank() >= 2) {
+      bool Diagonal = false;
+      for (const analysis::AccessRecord &Rec : Summary.Accesses)
+        if (Rec.Param == Arg.Name)
+          Diagonal |= Rec.subscriptArity(Summary.LoopSymbols) < Arg.rank();
+      if (Diagonal)
+        for (const std::string &V : Vars) {
+          Leaf L;
+          L.Name = Arg.Name;
+          L.Indices.assign(static_cast<size_t>(Arg.rank()), V);
+          Leaves.push_back(std::move(L));
+        }
+    }
+  }
+  {
+    std::set<int64_t> Pool(Summary.Constants.begin(), Summary.Constants.end());
+    if (!Config.UseHeuristics) {
+      Pool.insert(0);
+      Pool.insert(1);
+      Pool.insert(2);
+    }
+    for (int64_t C : Pool) {
+      Leaf L;
+      L.IsConst = true;
+      L.Constant = C;
+      Leaves.push_back(std::move(L));
+    }
+  }
+  if (Leaves.empty()) {
+    Result.FailReason = "no enumerable leaves";
+    return Result;
+  }
+
+  // Length heuristic: at most one leaf per referenced data argument or
+  // constant (plus one slack).
+  int MaxLen = Config.MaxLeaves;
+  if (Config.UseHeuristics) {
+    int DataRefs = 0;
+    for (const bench::ArgSpec &Arg : B.Args)
+      if (!Arg.IsOutput && Arg.K != bench::ArgSpec::Kind::SizeScalar)
+        ++DataRefs;
+    DataRefs += static_cast<int>(Summary.Constants.size());
+    MaxLen = std::min(MaxLen, std::max(1, DataRefs + 1));
+  }
+
+  static const BinOpKind AllOps[] = {BinOpKind::Add, BinOpKind::Sub,
+                                     BinOpKind::Mul, BinOpKind::Div};
+
+  // Size-ordered enumeration of left-associated chains.
+  for (int Len = 1; Len <= MaxLen; ++Len) {
+    std::vector<size_t> LeafPick(static_cast<size_t>(Len), 0);
+    std::vector<size_t> OpPick(static_cast<size_t>(Len) - 1, 0);
+    for (;;) {
+      if (Clock.seconds() > Config.TimeoutSeconds) {
+        Result.FailReason = "timeout";
+        Result.Seconds = Clock.seconds();
+        return Result;
+      }
+      if (Result.Attempts >= (Config.UseHeuristics
+                                  ? Config.MaxTested
+                                  : Config.MaxTestedNoHeuristics)) {
+        Result.FailReason = "budget exhausted";
+        Result.Seconds = Clock.seconds();
+        return Result;
+      }
+
+      // Build and test the candidate (a flat expression string folded under
+      // standard precedence, as C2TACO's enumerator emits).
+      std::vector<ExprPtr> ChainLeaves;
+      std::vector<BinOpKind> ChainOps;
+      for (int I = 0; I < Len; ++I) {
+        ChainLeaves.push_back(Leaves[LeafPick[static_cast<size_t>(I)]].toExpr());
+        if (I > 0)
+          ChainOps.push_back(AllOps[OpPick[static_cast<size_t>(I) - 1]]);
+      }
+      Program Candidate(Lhs,
+                        foldPrecedenceChain(std::move(ChainLeaves), ChainOps));
+      ++Result.Attempts;
+      ++Result.Expansions;
+      if (validate::runsConsistently(B, Candidate, Examples)) {
+        verify::VerifyResult VR =
+            verify::verifyEquivalence(B, Fn, Candidate, Config.Verify);
+        if (VR.Equivalent) {
+          Result.Solved = true;
+          Result.Concrete = std::move(Candidate);
+          Result.Seconds = Clock.seconds();
+          return Result;
+        }
+      }
+
+      // Advance the (leaves x ops) odometer.
+      size_t Axis = LeafPick.size() + OpPick.size();
+      bool Wrapped = true;
+      while (Axis > 0) {
+        --Axis;
+        if (Axis < LeafPick.size()) {
+          if (++LeafPick[Axis] < Leaves.size()) {
+            Wrapped = false;
+            break;
+          }
+          LeafPick[Axis] = 0;
+        } else {
+          size_t OpAxis = Axis - LeafPick.size();
+          if (++OpPick[OpAxis] < 4) {
+            Wrapped = false;
+            break;
+          }
+          OpPick[OpAxis] = 0;
+        }
+      }
+      if (Wrapped)
+        break;
+    }
+  }
+
+  Result.FailReason = "search space exhausted";
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

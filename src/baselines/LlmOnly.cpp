@@ -1,0 +1,70 @@
+//===- baselines/LlmOnly.cpp - Direct-LLM baseline ------------------------===//
+
+#include "baselines/LlmOnly.h"
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Parser.h"
+#include "grammar/Template.h"
+#include "llm/Prompt.h"
+#include "llm/ResponseParser.h"
+#include "support/Timer.h"
+#include "taco/Semantics.h"
+#include "validate/Validator.h"
+
+using namespace stagg;
+using namespace stagg::baselines;
+
+core::LiftResult baselines::runLlmOnly(const bench::Benchmark &B,
+                                       llm::CandidateOracle &Oracle,
+                                       const LlmOnlyConfig &Config) {
+  core::LiftResult Result;
+  Timer Clock;
+
+  cfront::CParseResult Parsed = cfront::parseCFunction(B.CSource);
+  if (!Parsed.ok()) {
+    Result.FailReason = "C parse error: " + Parsed.Error;
+    return Result;
+  }
+  const cfront::CFunction &Fn = *Parsed.Function;
+  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+
+  llm::OracleTask Task;
+  Task.Query = &B;
+  Task.Prompt = llm::buildPrompt(B.CSource, Config.NumCandidates);
+  Task.NumCandidates = Config.NumCandidates;
+  llm::ParsedResponses Responses = llm::parseResponses(Oracle.propose(Task));
+  Result.CandidatesParsed = static_cast<int>(Responses.Programs.size());
+  Result.CandidatesDiscarded = Responses.Discarded;
+
+  Rng ExampleRng(Config.ExampleSeed);
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(B, Fn, Config.NumIoExamples, ExampleRng);
+  if (Examples.empty()) {
+    Result.FailReason = "failed to execute the legacy kernel";
+    return Result;
+  }
+  validate::Validator V(B, std::move(Examples), Summary.Constants);
+
+  for (const taco::Program &Guess : Responses.Programs) {
+    if (!taco::checkWellFormed(Guess).empty())
+      continue;
+    grammar::Templatized T = grammar::templatize(Guess);
+    ++Result.Attempts;
+    std::vector<validate::Instantiation> Valid = V.validate(T.Template);
+    for (validate::Instantiation &Inst : Valid) {
+      verify::VerifyResult VR =
+          verify::verifyEquivalence(B, Fn, Inst.Concrete, Config.Verify);
+      if (VR.Equivalent) {
+        Result.Solved = true;
+        Result.Template = std::move(T.Template);
+        Result.Concrete = std::move(Inst.Concrete);
+        Result.Seconds = Clock.seconds();
+        return Result;
+      }
+    }
+  }
+
+  Result.FailReason = "no raw LLM guess is correct";
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- baselines/LlmOnly.h - Direct-LLM baseline ----------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "LLM" baseline of the evaluation: the oracle's candidates are taken
+/// at face value — each parsed guess is normalized (templatized) and checked
+/// for a consistent operand binding directly, with no grammar learning and
+/// no enumerative search. Succeeds only when one of the raw guesses is
+/// structurally correct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_BASELINES_LLMONLY_H
+#define STAGG_BASELINES_LLMONLY_H
+
+#include "benchsuite/Benchmark.h"
+#include "core/Stagg.h"
+#include "llm/Oracle.h"
+
+namespace stagg {
+namespace baselines {
+
+/// Baseline configuration.
+struct LlmOnlyConfig {
+  int NumCandidates = 10;
+  int NumIoExamples = 3;
+  uint64_t ExampleSeed = 0xE9A3;
+  verify::VerifyOptions Verify;
+};
+
+/// Runs the baseline on one benchmark using \p Oracle.
+core::LiftResult runLlmOnly(const bench::Benchmark &B,
+                            llm::CandidateOracle &Oracle,
+                            const LlmOnlyConfig &Config);
+
+} // namespace baselines
+} // namespace stagg
+
+#endif // STAGG_BASELINES_LLMONLY_H

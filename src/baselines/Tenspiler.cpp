@@ -1,0 +1,115 @@
+//===- baselines/Tenspiler.cpp - Tenspiler-style sketch lifter ------------===//
+
+#include "baselines/Tenspiler.h"
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Parser.h"
+#include "support/Timer.h"
+#include "taco/Parser.h"
+#include "validate/Validator.h"
+
+using namespace stagg;
+using namespace stagg::baselines;
+
+const std::vector<std::string> &baselines::tenspilerSketches() {
+  // The library mirrors Tenspiler's published operator set: elementwise
+  // map/zip families over vectors and matrices, scalar broadcasts,
+  // reductions, and the dense matrix primitives its DSL backends expose.
+  static const std::vector<std::string> Sketches = {
+      // Scalar-producing reductions.
+      "a = b(i)",
+      "a = b(i) * c(i)",
+      "a = b(i) / c",
+      "a = b(i,j)",
+      "a = b(i,i)",
+      "a = b(i) * c(i) * d(i)",
+      // Vector elementwise / broadcast.
+      "a(i) = b(i)",
+      "a(i) = b",
+      "a(i) = Const",
+      "a(i) = b * c(i)",
+      "a(i) = b(i) / c",
+      "a(i) = b(i) + c(i)",
+      "a(i) = b(i) - c(i)",
+      "a(i) = b(i) * c(i)",
+      "a(i) = b(i) / c(i)",
+      "a(i) = b(i) + Const",
+      "a(i) = b(i) - Const",
+      "a(i) = b(i) * Const",
+      "a(i) = b(i) / Const",
+      "a(i) = b(i) * Const + Const",
+      "a(i) = (b(i) - c(i)) / d(i)",
+      "a(i) = b * c(i) + d(i)",
+      "a(i) = b(i) * c(i) + d(i)",
+      "a(i) = b(i) + c(i) + d(i)",
+      // Matrix-vector and reductions over rows/columns.
+      "a(i) = b(i,j) * c(j)",
+      "a(i) = b(j) * c(j,i)",
+      "a(i) = b(i,j)",
+      "a(i) = b(j,i)",
+      "a(i) = b(i,j) * c(j) + d(i)",
+      "a(i) = b(i) - c(i,j) * d(j)",
+      // Matrix elementwise / broadcast.
+      "a(i,j) = b(i,j) + c(i,j)",
+      "a(i,j) = b(i,j) - c(i,j)",
+      "a(i,j) = b(i,j) * c(i,j)",
+      "a(i,j) = b(i,j) * c",
+      "a(i,j) = b(i,j) / c",
+      "a(i,j) = b(j,i)",
+      // Dense matrix/tensor primitives.
+      "a(i,j) = b(i) * c(j)",
+      "a(i,j) = b(i,k) * c(k,j)",
+      "a(i,j) = b(i,j,k) * c(k)",
+  };
+  return Sketches;
+}
+
+core::LiftResult baselines::runTenspiler(const bench::Benchmark &B,
+                                         const TenspilerConfig &Config) {
+  core::LiftResult Result;
+  Timer Clock;
+
+  cfront::CParseResult Parsed = cfront::parseCFunction(B.CSource);
+  if (!Parsed.ok()) {
+    Result.FailReason = "C parse error: " + Parsed.Error;
+    return Result;
+  }
+  const cfront::CFunction &Fn = *Parsed.Function;
+  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+
+  Rng ExampleRng(Config.ExampleSeed);
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(B, Fn, Config.NumIoExamples, ExampleRng);
+  if (Examples.empty()) {
+    Result.FailReason = "failed to execute the legacy kernel";
+    return Result;
+  }
+  validate::Validator V(B, std::move(Examples), Summary.Constants);
+
+  for (const std::string &Sketch : tenspilerSketches()) {
+    if (Clock.seconds() > Config.TimeoutSeconds) {
+      Result.FailReason = "timeout";
+      Result.Seconds = Clock.seconds();
+      return Result;
+    }
+    taco::ParseResult Template = taco::parseTacoProgram(Sketch);
+    assert(Template.ok() && "sketch library must parse");
+    ++Result.Attempts;
+    std::vector<validate::Instantiation> Valid = V.validate(*Template.Prog);
+    for (validate::Instantiation &Inst : Valid) {
+      verify::VerifyResult VR =
+          verify::verifyEquivalence(B, Fn, Inst.Concrete, Config.Verify);
+      if (VR.Equivalent) {
+        Result.Solved = true;
+        Result.Template = std::move(*Template.Prog);
+        Result.Concrete = std::move(Inst.Concrete);
+        Result.Seconds = Clock.seconds();
+        return Result;
+      }
+    }
+  }
+
+  Result.FailReason = "no library sketch matches";
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- baselines/Tenspiler.h - Tenspiler-style sketch lifter ----*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of the Tenspiler baseline (Qiu et al., ECOOP 2024):
+/// verified lifting against a *fixed library of user-provided templates*
+/// (sketches). Each sketch is a TACO template with symbolic operands; the
+/// tool tries them in order, searching for a symbol substitution that
+/// matches the I/O behaviour, then verifies. The approach is fast and
+/// precise on kernels its library anticipates and — the paper's point —
+/// cannot solve anything outside it (52 of the 67 real-world queries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_BASELINES_TENSPILER_H
+#define STAGG_BASELINES_TENSPILER_H
+
+#include "benchsuite/Benchmark.h"
+#include "core/Stagg.h"
+
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace baselines {
+
+/// Baseline configuration.
+struct TenspilerConfig {
+  double TimeoutSeconds = 5.0;
+  int NumIoExamples = 3;
+  uint64_t ExampleSeed = 0xE9A3;
+  verify::VerifyOptions Verify;
+};
+
+/// The built-in sketch library (TACO template strings over symbols
+/// a, b, c, ... and Const).
+const std::vector<std::string> &tenspilerSketches();
+
+/// Runs the baseline on one benchmark.
+core::LiftResult runTenspiler(const bench::Benchmark &B,
+                              const TenspilerConfig &Config);
+
+} // namespace baselines
+} // namespace stagg
+
+#endif // STAGG_BASELINES_TENSPILER_H

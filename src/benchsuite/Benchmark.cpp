@@ -1,0 +1,151 @@
+//===- benchsuite/Benchmark.cpp - Lifting benchmark records ---------------===//
+
+#include "benchsuite/Benchmark.h"
+
+#include "benchsuite/SuiteParts.h"
+#include "taco/Parser.h"
+#include "taco/Semantics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace stagg;
+using namespace stagg::bench;
+
+double Benchmark::computedDifficulty() const {
+  if (Difficulty >= 0)
+    return Difficulty;
+
+  taco::ParseResult Parsed = taco::parseTacoProgram(GroundTruth);
+  assert(Parsed.ok() && "benchmark ground truth must parse");
+  const taco::Program &P = *Parsed.Prog;
+
+  // The difficulty score models how hard the kernel is to *translate*, not
+  // how big its tensors are: expression size, index-variable bookkeeping,
+  // reductions (summation indices), groupings a flat expression cannot
+  // carry, division, permuted access orders, and — dominating everything —
+  // how obfuscated the C side is (pointer walking, linearized subscripts).
+  int Leaves = taco::countLeaves(*P.Rhs);
+  std::vector<std::string> Canonical = taco::indexVariables(P);
+  int IndexVars = static_cast<int>(Canonical.size());
+
+  bool HasReduction = false;
+  for (const std::string &Var : taco::exprIndexVariables(*P.Rhs)) {
+    bool OnLhs = std::find(P.Lhs.indices().begin(), P.Lhs.indices().end(),
+                           Var) != P.Lhs.indices().end();
+    HasReduction |= !OnLhs;
+  }
+  // A full reduction to a scalar ("sum everything") is easy to read; the
+  // hard case is a *partial* reduction, where some indices survive.
+  bool PartialReduction = HasReduction && P.Lhs.order() > 0;
+
+  // Structural "parentheses": an additive node nested under a
+  // multiplicative/divisive one (not expressible as a left-to-right chain).
+  bool HasParenShape = false;
+  // Permuted accesses: indices out of canonical first-appearance order.
+  bool HasPermutedAccess = false;
+  std::function<void(const taco::Expr &, bool)> Scan =
+      [&](const taco::Expr &E, bool UnderTight) {
+        if (const auto *B = taco::exprDynCast<taco::BinaryExpr>(&E)) {
+          bool Additive = B->op() == taco::BinOpKind::Add ||
+                          B->op() == taco::BinOpKind::Sub;
+          if (Additive && UnderTight)
+            HasParenShape = true;
+          bool Tight = !Additive;
+          Scan(B->lhs(), Tight);
+          Scan(B->rhs(), Tight);
+        } else if (const auto *N = taco::exprDynCast<taco::NegateExpr>(&E)) {
+          Scan(N->operand(), UnderTight);
+        } else if (const auto *A = taco::exprDynCast<taco::AccessExpr>(&E)) {
+          int LastPosition = -1;
+          for (const std::string &Var : A->indices()) {
+            int Position = static_cast<int>(
+                std::find(Canonical.begin(), Canonical.end(), Var) -
+                Canonical.begin());
+            if (Position < LastPosition)
+              HasPermutedAccess = true;
+            LastPosition = Position;
+          }
+        }
+      };
+  Scan(*P.Rhs, false);
+
+  bool HasDiv = false;
+  for (taco::BinOpKind Op : taco::distinctOps(*P.Rhs))
+    HasDiv |= Op == taco::BinOpKind::Div;
+
+  // C-side obfuscation: pointer-walked iteration beats linearized
+  // subscripts beats plain indexing.
+  double SourceBump = 0;
+  if (CSource.find("*p") != std::string::npos ||
+      CSource.find("*q") != std::string::npos) {
+    SourceBump = 0.22;
+  } else {
+    for (size_t I = CSource.find('['); I != std::string::npos;
+         I = CSource.find('[', I + 1)) {
+      size_t End = CSource.find(']', I);
+      if (End != std::string::npos &&
+          CSource.find('*', I) < End) {
+        SourceBump = 0.12;
+        break;
+      }
+    }
+  }
+
+  double Score = 0.02 + 0.16 * std::max(0, Leaves - 2) +
+                 0.06 * (IndexVars - 1) +
+                 (PartialReduction ? 0.20 : (HasReduction ? 0.08 : 0.0)) +
+                 0.15 * (HasParenShape ? 1 : 0) + 0.08 * (HasDiv ? 1 : 0) +
+                 0.10 * (HasPermutedAccess ? 1 : 0) + SourceBump;
+  return std::clamp(Score, 0.02, 1.0);
+}
+
+const std::vector<Benchmark> &bench::allBenchmarks() {
+  static const std::vector<Benchmark> Suite = [] {
+    std::vector<Benchmark> All;
+    appendArtificial(All);
+    appendBlas(All);
+    appendDarknet(All);
+    appendDsp(All);
+    appendMisc(All);
+    appendLlama(All);
+    return All;
+  }();
+  return Suite;
+}
+
+std::vector<const Benchmark *> bench::realWorldBenchmarks() {
+  std::vector<const Benchmark *> Real;
+  for (const Benchmark &B : allBenchmarks())
+    if (B.isRealWorld())
+      Real.push_back(&B);
+  return Real;
+}
+
+const Benchmark *bench::findBenchmark(const std::string &Name) {
+  for (const Benchmark &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+taco::CodegenSpec bench::codegenSpecFor(const Benchmark &B) {
+  taco::CodegenSpec Spec;
+  Spec.FunctionName = "kernel";
+  for (const ArgSpec &Arg : B.Args) {
+    switch (Arg.K) {
+    case ArgSpec::Kind::SizeScalar:
+      Spec.Params.emplace_back(Arg.Name, taco::CodegenSpec::ParamKind::SizeScalar);
+      break;
+    case ArgSpec::Kind::NumScalar:
+      Spec.Params.emplace_back(Arg.Name, taco::CodegenSpec::ParamKind::NumScalar);
+      break;
+    case ArgSpec::Kind::Array:
+      Spec.Params.emplace_back(Arg.Name, taco::CodegenSpec::ParamKind::Array);
+      Spec.Shapes[Arg.Name] = Arg.Shape;
+      break;
+    }
+  }
+  return Spec;
+}

@@ -1,0 +1,144 @@
+//===- benchsuite/Benchmark.h - Lifting benchmark records -------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite mirrors the paper's 77 queries: 10 artificial
+/// examples plus 67 real-world kernels (61 from the literature-derived
+/// C2TACO suite — BLAS, darknet-style NN ops, UTDSP/DSPstone-style DSP
+/// kernels, miscellaneous loops — and 6 from llama.cpp inference code).
+///
+/// Each benchmark carries the legacy C source, the argument specification
+/// (names, kinds, shapes as functions of the size parameters, which one is
+/// the output), and a ground-truth TACO expression. The ground truth is
+/// consulted *only* by the simulated LLM oracle (standing in for GPT-4) and
+/// by the test suite; the lifting pipeline itself sees just the C code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_BENCHSUITE_BENCHMARK_H
+#define STAGG_BENCHSUITE_BENCHMARK_H
+
+#include "taco/Codegen.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace bench {
+
+/// One kernel argument.
+struct ArgSpec {
+  enum class Kind {
+    SizeScalar, ///< Integer size parameter (e.g. `int N`).
+    NumScalar,  ///< Numeric scalar data (e.g. `float alpha`).
+    Array,      ///< Pointer to a dense buffer.
+  };
+
+  std::string Name;
+  Kind K = Kind::Array;
+
+  /// For arrays: the logical shape as size-parameter names (e.g. {"N","N"}
+  /// for a flat N*N matrix). Empty for scalars.
+  std::vector<std::string> Shape;
+
+  bool IsOutput = false;
+
+  /// Tensor rank this argument can bind: arrays bind their shape rank,
+  /// scalars bind rank 0.
+  int rank() const {
+    return K == Kind::Array ? static_cast<int>(Shape.size()) : 0;
+  }
+
+  static ArgSpec size(std::string Name) {
+    ArgSpec A;
+    A.Name = std::move(Name);
+    A.K = Kind::SizeScalar;
+    return A;
+  }
+  static ArgSpec num(std::string Name) {
+    ArgSpec A;
+    A.Name = std::move(Name);
+    A.K = Kind::NumScalar;
+    return A;
+  }
+  static ArgSpec array(std::string Name, std::vector<std::string> Shape,
+                       bool IsOutput = false) {
+    ArgSpec A;
+    A.Name = std::move(Name);
+    A.K = Kind::Array;
+    A.Shape = std::move(Shape);
+    A.IsOutput = IsOutput;
+    return A;
+  }
+  static ArgSpec output(std::string Name, std::vector<std::string> Shape) {
+    return array(std::move(Name), std::move(Shape), /*IsOutput=*/true);
+  }
+};
+
+/// A complete lifting query.
+struct Benchmark {
+  std::string Name;
+
+  /// "artificial", "blas", "darknet", "dsp", "misc", or "llama".
+  std::string Category;
+
+  std::string CSource;
+
+  /// Ground-truth TACO expression over the argument names, e.g.
+  /// "Result(i) = Mat1(i,j) * Mat2(j)".
+  std::string GroundTruth;
+
+  std::vector<ArgSpec> Args;
+
+  /// Simulated-LLM difficulty in [0,1]; < 0 means "derive from the ground
+  /// truth's structure" (see computedDifficulty()).
+  double Difficulty = -1;
+
+  /// True for real-world entries (the 67-benchmark subset of the paper's
+  /// Fig. 9/10 experiments).
+  bool isRealWorld() const { return Category != "artificial"; }
+
+  const ArgSpec *outputArg() const {
+    for (const ArgSpec &A : Args)
+      if (A.IsOutput)
+        return &A;
+    return nullptr;
+  }
+
+  const ArgSpec *findArg(const std::string &Name) const {
+    for (const ArgSpec &A : Args)
+      if (A.Name == Name)
+        return &A;
+    return nullptr;
+  }
+
+  /// Difficulty actually used: the explicit override, or a structural score
+  /// of the ground truth (more leaves, higher dimensions, parentheses and
+  /// division all make a kernel harder for an LLM to translate exactly).
+  double computedDifficulty() const;
+};
+
+/// The full 77-benchmark registry, in a stable order: 10 artificial first,
+/// then the 67 real-world kernels.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// The 67 real-world benchmarks (pointers into allBenchmarks()).
+std::vector<const Benchmark *> realWorldBenchmarks();
+
+/// Looks a benchmark up by name; nullptr when absent.
+const Benchmark *findBenchmark(const std::string &Name);
+
+/// Builds the code-generation signature for \p B (parameter order, shapes,
+/// element type), so a lifted TACO program can be compiled back to a C
+/// kernel with taco::generateC.
+taco::CodegenSpec codegenSpecFor(const Benchmark &B);
+
+} // namespace bench
+} // namespace stagg
+
+#endif // STAGG_BENCHSUITE_BENCHMARK_H

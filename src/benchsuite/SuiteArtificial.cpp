@@ -1,0 +1,125 @@
+//===- benchsuite/SuiteArtificial.cpp - The 10 artificial queries ---------===//
+//
+// Hand-written warm-up kernels mirroring the paper's 10 artificial examples:
+// small, clean array loops exercising each grammar feature once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/SuiteParts.h"
+
+using namespace stagg::bench;
+
+void stagg::bench::appendArtificial(std::vector<Benchmark> &Out) {
+  Out.push_back(makeBenchmark(
+      "art_copy", "artificial",
+      R"(void kernel(int N, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i];
+      })",
+      "out(i) = x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_scal_const", "artificial",
+      R"(void kernel(int N, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = 2 * x[i];
+      })",
+      "out(i) = 2 * x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_add", "artificial",
+      R"(void kernel(int N, float* a, float* b, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] + b[i];
+      })",
+      "out(i) = a(i) + b(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_transpose", "artificial",
+      R"(void kernel(int N, int M, float* A, float* out) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++)
+            out[i * M + j] = A[j * N + i];
+      })",
+      "out(i,j) = A(j,i)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::array("A", {"M", "N"}),
+       ArgSpec::output("out", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_dot", "artificial",
+      R"(void kernel(int N, float* a, float* b, float* out) {
+        float s = 0;
+        for (int i = 0; i < N; i++)
+          s = s + a[i] * b[i];
+        out[0] = s;
+      })",
+      "out = a(i) * b(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "art_addsub3", "artificial",
+      R"(void kernel(int N, float* a, float* b, float* c, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] + b[i] - c[i];
+      })",
+      "out(i) = a(i) + b(i) - c(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::array("c", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_matmul", "artificial",
+      R"(void kernel(int N, int M, int K, float* A, float* B, float* out) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++) {
+            out[i * M + j] = 0;
+            for (int k = 0; k < K; k++)
+              out[i * M + j] += A[i * K + k] * B[k * M + j];
+          }
+      })",
+      "out(i,j) = A(i,k) * B(k,j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("A", {"N", "K"}), ArgSpec::array("B", {"K", "M"}),
+       ArgSpec::output("out", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_div_const", "artificial",
+      R"(void kernel(int N, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i] / 4;
+      })",
+      "out(i) = x(i) / 4",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_3d_add", "artificial",
+      R"(void kernel(int N, int M, int K, float* A, float* B, float* out) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++)
+            for (int k = 0; k < K; k++)
+              out[(i * M + j) * K + k] = A[(i * M + j) * K + k] + B[(i * M + j) * K + k];
+      })",
+      "out(i,j,k) = A(i,j,k) + B(i,j,k)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("A", {"N", "M", "K"}), ArgSpec::array("B", {"N", "M", "K"}),
+       ArgSpec::output("out", {"N", "M", "K"})}));
+
+  Out.push_back(makeBenchmark(
+      "art_paren", "artificial",
+      R"(void kernel(int N, float* a, float* b, float* c, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = (a[i] + b[i]) * c[i];
+      })",
+      "out(i) = (a(i) + b(i)) * c(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::array("c", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+}

@@ -1,0 +1,172 @@
+//===- benchsuite/SuiteBlas.cpp - BLAS-derived real-world queries ---------===//
+//
+// Level-1/2/3 BLAS kernels in the C styles found in legacy codebases:
+// indexed loops, linearized two-dimensional subscripts, and raw pointer
+// iteration (the style of the paper's Fig. 2 motivating example).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/SuiteParts.h"
+
+using namespace stagg::bench;
+
+void stagg::bench::appendBlas(std::vector<Benchmark> &Out) {
+  Out.push_back(makeBenchmark(
+      "blas_axpy", "blas",
+      R"(void kernel(int N, float alpha, float* x, float* y, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = alpha * x[i] + y[i];
+      })",
+      "out(i) = alpha * x(i) + y(i)",
+      {ArgSpec::size("N"), ArgSpec::num("alpha"), ArgSpec::array("x", {"N"}),
+       ArgSpec::array("y", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_scal", "blas",
+      R"(void kernel(int N, float alpha, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = alpha * x[i];
+      })",
+      "out(i) = alpha * x(i)",
+      {ArgSpec::size("N"), ArgSpec::num("alpha"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  // Pointer-iteration copy, as produced by hand-optimized legacy code.
+  Out.push_back(makeBenchmark(
+      "blas_copy_ptr", "blas",
+      R"(void kernel(int N, float* x, float* out) {
+        float* p = x;
+        float* q = out;
+        for (int i = 0; i < N; i++)
+          *q++ = *p++;
+      })",
+      "out(i) = x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_dot", "blas",
+      R"(void kernel(int N, float* x, float* y, float* out) {
+        float acc = 0;
+        for (int i = 0; i < N; i++)
+          acc += x[i] * y[i];
+        *out = acc;
+      })",
+      "out = x(i) * y(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::array("y", {"N"}), ArgSpec::output("out", {})}));
+
+  // The paper's Fig. 2 kernel: row-by-row dot products via pointer walking.
+  Out.push_back(makeBenchmark(
+      "blas_gemv_ptr", "blas",
+      R"(void kernel(int N, int* Mat1, int* Mat2, int* Result) {
+        int* p_m1;
+        int* p_m2;
+        int* p_t;
+        int i, f;
+        p_m1 = Mat1;
+        p_t = Result;
+        for (f = 0; f < N; f++) {
+          *p_t = 0;
+          p_m2 = &Mat2[0];
+          for (i = 0; i < N; i++)
+            *p_t += *p_m1++ * *p_m2++;
+          p_t++;
+        }
+      })",
+      "Result(i) = Mat1(i,j) * Mat2(j)",
+      {ArgSpec::size("N"), ArgSpec::array("Mat1", {"N", "N"}),
+       ArgSpec::array("Mat2", {"N"}), ArgSpec::output("Result", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_gemv_t", "blas",
+      R"(void kernel(int N, int M, float* A, float* x, float* y) {
+        for (int j = 0; j < M; j++)
+          y[j] = 0;
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++)
+            y[j] += A[i * M + j] * x[i];
+      })",
+      "y(i) = A(j,i) * x(j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::array("A", {"N", "M"}),
+       ArgSpec::array("x", {"N"}), ArgSpec::output("y", {"M"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_ger", "blas",
+      R"(void kernel(int N, int M, float* x, float* y, float* A) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++)
+            A[i * M + j] = x[i] * y[j];
+      })",
+      "A(i,j) = x(i) * y(j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::array("x", {"N"}),
+       ArgSpec::array("y", {"M"}), ArgSpec::output("A", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_gemm", "blas",
+      R"(void kernel(int N, int M, int K, float* A, float* B, float* C) {
+        for (int i = 0; i < N; i++) {
+          for (int j = 0; j < M; j++) {
+            float acc = 0;
+            for (int k = 0; k < K; k++)
+              acc += A[i * K + k] * B[k * M + j];
+            C[i * M + j] = acc;
+          }
+        }
+      })",
+      "C(i,j) = A(i,k) * B(k,j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("A", {"N", "K"}), ArgSpec::array("B", {"K", "M"}),
+       ArgSpec::output("C", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_gemm_tn", "blas",
+      R"(void kernel(int N, int M, int K, float* A, float* B, float* C) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++)
+            C[i * M + j] = 0;
+        for (int k = 0; k < K; k++)
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < M; j++)
+              C[i * M + j] += A[k * N + i] * B[k * M + j];
+      })",
+      "C(i,j) = A(k,i) * B(k,j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("A", {"K", "N"}), ArgSpec::array("B", {"K", "M"}),
+       ArgSpec::output("C", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_sum", "blas",
+      R"(void kernel(int N, float* x, float* out) {
+        float s = 0;
+        for (int i = 0; i < N; i++)
+          s += x[i];
+        out[0] = s;
+      })",
+      "out = x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_axpby", "blas",
+      R"(void kernel(int N, float alpha, float beta, float* x, float* y, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = alpha * x[i] + beta * y[i];
+      })",
+      "out(i) = alpha * x(i) + beta * y(i)",
+      {ArgSpec::size("N"), ArgSpec::num("alpha"), ArgSpec::num("beta"),
+       ArgSpec::array("x", {"N"}), ArgSpec::array("y", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "blas_nrm2sq", "blas",
+      R"(void kernel(int N, float* x, float* out) {
+        float s = 0;
+        for (int i = 0; i < N; i++)
+          s += x[i] * x[i];
+        *out = s;
+      })",
+      "out = x(i) * x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {})}));
+}

@@ -1,0 +1,182 @@
+//===- benchsuite/SuiteDarknet.cpp - darknet-style NN kernels -------------===//
+//
+// Neural-network utility kernels in the style of the darknet framework's
+// blas.c: flat loops over activation buffers, bias/scale application over a
+// channel dimension, reductions, and residual arithmetic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/SuiteParts.h"
+
+using namespace stagg::bench;
+
+void stagg::bench::appendDarknet(std::vector<Benchmark> &Out) {
+  Out.push_back(makeBenchmark(
+      "dk_fill", "darknet",
+      R"(void kernel(int N, float val, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = val;
+      })",
+      "out(i) = val",
+      {ArgSpec::size("N"), ArgSpec::num("val"), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_const_fill", "darknet",
+      R"(void kernel(int N, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = 1;
+      })",
+      "out(i) = 1",
+      {ArgSpec::size("N"), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_add_bias", "darknet",
+      R"(void kernel(int C, int S, float* x, float* bias, float* out) {
+        for (int c = 0; c < C; c++)
+          for (int s = 0; s < S; s++)
+            out[c * S + s] = x[c * S + s] + bias[c];
+      })",
+      "out(i,j) = x(i,j) + bias(i)",
+      {ArgSpec::size("C"), ArgSpec::size("S"), ArgSpec::array("x", {"C", "S"}),
+       ArgSpec::array("bias", {"C"}), ArgSpec::output("out", {"C", "S"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_scale_bias", "darknet",
+      R"(void kernel(int C, int S, float* x, float* scale, float* out) {
+        for (int c = 0; c < C; c++)
+          for (int s = 0; s < S; s++)
+            out[c * S + s] = x[c * S + s] * scale[c];
+      })",
+      "out(i,j) = x(i,j) * scale(i)",
+      {ArgSpec::size("C"), ArgSpec::size("S"), ArgSpec::array("x", {"C", "S"}),
+       ArgSpec::array("scale", {"C"}), ArgSpec::output("out", {"C", "S"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_sum_array", "darknet",
+      R"(void kernel(int N, float* x, float* out) {
+        float s = 0;
+        for (int i = 0; i < N; i++)
+          s += x[i];
+        *out = s;
+      })",
+      "out = x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_mean_array", "darknet",
+      R"(void kernel(int N, float* x, float* out) {
+        float s = 0;
+        for (int i = 0; i < N; i++)
+          s += x[i];
+        *out = s / N;
+      })",
+      "out = x(i) / N",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_mul_array", "darknet",
+      R"(void kernel(int N, float* a, float* b, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] * b[i];
+      })",
+      "out(i) = a(i) * b(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  // darknet's axpy_cpu iterates with explicit pointers and strides of one.
+  Out.push_back(makeBenchmark(
+      "dk_axpy_ptr", "darknet",
+      R"(void kernel(int N, float alpha, float* x, float* y, float* out) {
+        float* px = x;
+        float* py = y;
+        float* po = out;
+        for (int i = 0; i < N; i++) {
+          *po = alpha * *px + *py;
+          px++;
+          py++;
+          po++;
+        }
+      })",
+      "out(i) = alpha * x(i) + y(i)",
+      {ArgSpec::size("N"), ArgSpec::num("alpha"), ArgSpec::array("x", {"N"}),
+       ArgSpec::array("y", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_shortcut", "darknet",
+      R"(void kernel(int N, float* add, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i] + add[i];
+      })",
+      "out(i) = x(i) + add(i)",
+      {ArgSpec::size("N"), ArgSpec::array("add", {"N"}),
+       ArgSpec::array("x", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_weighted_sum", "darknet",
+      R"(void kernel(int N, float sa, float sb, float* a, float* b, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] * sa + b[i] * sb;
+      })",
+      "out(i) = a(i) * sa + b(i) * sb",
+      {ArgSpec::size("N"), ArgSpec::num("sa"), ArgSpec::num("sb"),
+       ArgSpec::array("a", {"N"}), ArgSpec::array("b", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_scale_array", "darknet",
+      R"(void kernel(int N, float s, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i] * s;
+      })",
+      "out(i) = x(i) * s",
+      {ArgSpec::size("N"), ArgSpec::num("s"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_mult_add_into", "darknet",
+      R"(void kernel(int N, float* a, float* b, float* c, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] * b[i] + c[i];
+      })",
+      "out(i) = a(i) * b(i) + c(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::array("c", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  // Squared pointwise distance: needs a parenthesized (balanced) AST, which
+  // only the top-down search can enumerate.
+  Out.push_back(makeBenchmark(
+      "dk_l2_dist", "darknet",
+      R"(void kernel(int N, float* a, float* b, float* out) {
+        for (int i = 0; i < N; i++) {
+          float d = a[i] - b[i];
+          out[i] = d * d;
+        }
+      })",
+      "out(i) = (a(i) - b(i)) * (a(i) - b(i))",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  // Mean of two activations: parenthesized sum over a constant divisor.
+  Out.push_back(makeBenchmark(
+      "dk_avg_pair", "darknet",
+      R"(void kernel(int N, float* a, float* b, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = (a[i] + b[i]) / 2;
+      })",
+      "out(i) = (a(i) + b(i)) / 2",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dk_sub_array", "darknet",
+      R"(void kernel(int N, float* a, float* b, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] - b[i];
+      })",
+      "out(i) = a(i) - b(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::output("out", {"N"})}));
+}

@@ -1,0 +1,172 @@
+//===- benchsuite/SuiteDsp.cpp - UTDSP/DSPstone-style kernels -------------===//
+//
+// Signal-processing kernels in the heavily pointer-optimized style of the
+// UTDSP and DSPstone suites: multiply-accumulate loops, gain/offset stages,
+// and matrix pipelines written with linearized or pointer-walked buffers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/SuiteParts.h"
+
+using namespace stagg::bench;
+
+void stagg::bench::appendDsp(std::vector<Benchmark> &Out) {
+  // Fully pointer-iterated matrix multiply (DSPstone matrix1 style).
+  Out.push_back(makeBenchmark(
+      "dsp_matmul_ptr", "dsp",
+      R"(void kernel(int N, int M, int K, float* A, float* B, float* C) {
+        float* pc = C;
+        for (int i = 0; i < N; i++) {
+          for (int j = 0; j < M; j++) {
+            float* pa = &A[i * K];
+            float* pb = &B[j];
+            float acc = 0;
+            for (int k = 0; k < K; k++) {
+              acc += *pa * *pb;
+              pa++;
+              pb = pb + M;
+            }
+            *pc++ = acc;
+          }
+        }
+      })",
+      "C(i,j) = A(i,k) * B(k,j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("A", {"N", "K"}), ArgSpec::array("B", {"K", "M"}),
+       ArgSpec::output("C", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_matvec", "dsp",
+      R"(void kernel(int N, int M, float* A, float* x, float* y) {
+        for (int i = 0; i < N; i++) {
+          y[i] = 0;
+          for (int j = 0; j < M; j++)
+            y[i] += A[i * M + j] * x[j];
+        }
+      })",
+      "y(i) = A(i,j) * x(j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::array("A", {"N", "M"}),
+       ArgSpec::array("x", {"M"}), ArgSpec::output("y", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_vecsum_ptr", "dsp",
+      R"(void kernel(int N, float* x, float* out) {
+        float* p = x;
+        float acc = 0;
+        for (int i = 0; i < N; i++)
+          acc += *p++;
+        *out = acc;
+      })",
+      "out = x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_energy", "dsp",
+      R"(void kernel(int N, float* x, float* out) {
+        float acc = 0;
+        for (int i = 0; i < N; i++)
+          acc += x[i] * x[i];
+        *out = acc;
+      })",
+      "out = x(i) * x(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_gain_offset", "dsp",
+      R"(void kernel(int N, float g, float off, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i] * g + off;
+      })",
+      "out(i) = x(i) * g + off",
+      {ArgSpec::size("N"), ArgSpec::num("g"), ArgSpec::num("off"),
+       ArgSpec::array("x", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_mac", "dsp",
+      R"(void kernel(int N, float* x, float* y, float* out) {
+        float acc = 0;
+        float* px = x;
+        float* py = y;
+        for (int i = 0; i < N; i++)
+          acc += *px++ * *py++;
+        out[0] = acc;
+      })",
+      "out = x(i) * y(i)",
+      {ArgSpec::size("N"), ArgSpec::array("x", {"N"}),
+       ArgSpec::array("y", {"N"}), ArgSpec::output("out", {})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_vadd3", "dsp",
+      R"(void kernel(int N, float* a, float* b, float* c, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = a[i] + b[i] + c[i];
+      })",
+      "out(i) = a(i) + b(i) + c(i)",
+      {ArgSpec::size("N"), ArgSpec::array("a", {"N"}),
+       ArgSpec::array("b", {"N"}), ArgSpec::array("c", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_wdiff", "dsp",
+      R"(void kernel(int N, float alpha, float* x, float* y, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i] - alpha * y[i];
+      })",
+      "out(i) = x(i) - alpha * y(i)",
+      {ArgSpec::size("N"), ArgSpec::num("alpha"), ArgSpec::array("x", {"N"}),
+       ArgSpec::array("y", {"N"}), ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_norm_div", "dsp",
+      R"(void kernel(int N, float s, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          out[i] = x[i] / s;
+      })",
+      "out(i) = x(i) / s",
+      {ArgSpec::size("N"), ArgSpec::num("s"), ArgSpec::array("x", {"N"}),
+       ArgSpec::output("out", {"N"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_outer", "dsp",
+      R"(void kernel(int N, int M, float* w, float* x, float* out) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++)
+            out[i * M + j] = w[i] * x[j];
+      })",
+      "out(i,j) = w(i) * x(j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::array("w", {"N"}),
+       ArgSpec::array("x", {"M"}), ArgSpec::output("out", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_mm_acc", "dsp",
+      R"(void kernel(int N, int M, int K, float* A, float* B, float* C) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++) {
+            C[i * M + j] = 0;
+            for (int k = 0; k < K; k++)
+              C[i * M + j] = C[i * M + j] + A[i * K + k] * B[k * M + j];
+          }
+      })",
+      "C(i,j) = A(i,k) * B(k,j)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("A", {"N", "K"}), ArgSpec::array("B", {"K", "M"}),
+       ArgSpec::output("C", {"N", "M"})}));
+
+  Out.push_back(makeBenchmark(
+      "dsp_ten3_contract", "dsp",
+      R"(void kernel(int N, int M, int K, float* T, float* v, float* out) {
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < M; j++) {
+            float acc = 0;
+            for (int k = 0; k < K; k++)
+              acc += T[(i * M + j) * K + k] * v[k];
+            out[i * M + j] = acc;
+          }
+      })",
+      "out(i,j) = T(i,j,k) * v(k)",
+      {ArgSpec::size("N"), ArgSpec::size("M"), ArgSpec::size("K"),
+       ArgSpec::array("T", {"N", "M", "K"}), ArgSpec::array("v", {"K"}),
+       ArgSpec::output("out", {"N", "M"})}));
+}

@@ -1,0 +1,90 @@
+//===- benchsuite/SuiteLlama.cpp - llama2.c inference kernels -------------===//
+//
+// The six kernels extracted from C-based llama-family inference code
+// (llama2.cpp forward pass): RMSNorm's sum of squares, the weight matmul,
+// the residual connection, the FFN gate elementwise product, the attention
+// value aggregation, and logit temperature scaling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/SuiteParts.h"
+
+using namespace stagg::bench;
+
+void stagg::bench::appendLlama(std::vector<Benchmark> &Out) {
+  // rmsnorm: ss = sum x[j]^2 (the reduction that feeds the rsqrt).
+  Out.push_back(makeBenchmark(
+      "ll_rmsnorm_ss", "llama",
+      R"(void kernel(int D, float* x, float* ss) {
+        float acc = 0;
+        for (int j = 0; j < D; j++)
+          acc += x[j] * x[j];
+        *ss = acc;
+      })",
+      "ss = x(i) * x(i)",
+      {ArgSpec::size("D"), ArgSpec::array("x", {"D"}),
+       ArgSpec::output("ss", {})}));
+
+  // matmul: xout = W x, the dominant kernel of the forward pass.
+  Out.push_back(makeBenchmark(
+      "ll_matmul", "llama",
+      R"(void kernel(int D, int Nw, float* w, float* x, float* xout) {
+        for (int i = 0; i < D; i++) {
+          float val = 0;
+          for (int j = 0; j < Nw; j++)
+            val += w[i * Nw + j] * x[j];
+          xout[i] = val;
+        }
+      })",
+      "xout(i) = w(i,j) * x(j)",
+      {ArgSpec::size("D"), ArgSpec::size("Nw"), ArgSpec::array("w", {"D", "Nw"}),
+       ArgSpec::array("x", {"Nw"}), ArgSpec::output("xout", {"D"})}));
+
+  // Residual connection after attention / FFN.
+  Out.push_back(makeBenchmark(
+      "ll_residual", "llama",
+      R"(void kernel(int D, float* x, float* xb, float* out) {
+        for (int i = 0; i < D; i++)
+          out[i] = x[i] + xb[i];
+      })",
+      "out(i) = x(i) + xb(i)",
+      {ArgSpec::size("D"), ArgSpec::array("x", {"D"}),
+       ArgSpec::array("xb", {"D"}), ArgSpec::output("out", {"D"})}));
+
+  // FFN gate: elementwise product of the two projections (SwiGLU's linear
+  // part).
+  Out.push_back(makeBenchmark(
+      "ll_ffn_gate", "llama",
+      R"(void kernel(int H, float* hb, float* hb2, float* out) {
+        for (int i = 0; i < H; i++)
+          out[i] = hb[i] * hb2[i];
+      })",
+      "out(i) = hb(i) * hb2(i)",
+      {ArgSpec::size("H"), ArgSpec::array("hb", {"H"}),
+       ArgSpec::array("hb2", {"H"}), ArgSpec::output("out", {"H"})}));
+
+  // Attention: accumulate value rows weighted by attention scores.
+  Out.push_back(makeBenchmark(
+      "ll_att_values", "llama",
+      R"(void kernel(int T, int Hs, float* att, float* v, float* xb) {
+        for (int i = 0; i < Hs; i++)
+          xb[i] = 0;
+        for (int t = 0; t < T; t++)
+          for (int i = 0; i < Hs; i++)
+            xb[i] += att[t] * v[t * Hs + i];
+      })",
+      "xb(i) = att(j) * v(j,i)",
+      {ArgSpec::size("T"), ArgSpec::size("Hs"), ArgSpec::array("att", {"T"}),
+       ArgSpec::array("v", {"T", "Hs"}), ArgSpec::output("xb", {"Hs"})}));
+
+  // Logit temperature scaling before sampling.
+  Out.push_back(makeBenchmark(
+      "ll_temperature", "llama",
+      R"(void kernel(int V, float temp, float* logits, float* out) {
+        for (int i = 0; i < V; i++)
+          out[i] = logits[i] / temp;
+      })",
+      "out(i) = logits(i) / temp",
+      {ArgSpec::size("V"), ArgSpec::num("temp"),
+       ArgSpec::array("logits", {"V"}), ArgSpec::output("out", {"V"})}));
+}

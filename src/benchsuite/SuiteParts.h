@@ -1,0 +1,47 @@
+//===- benchsuite/SuiteParts.h - Internal suite assembly --------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header: per-category builders for the 77-benchmark registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_BENCHSUITE_SUITEPARTS_H
+#define STAGG_BENCHSUITE_SUITEPARTS_H
+
+#include "benchsuite/Benchmark.h"
+
+#include <vector>
+
+namespace stagg {
+namespace bench {
+
+void appendArtificial(std::vector<Benchmark> &Out); ///< 10 queries.
+void appendBlas(std::vector<Benchmark> &Out);       ///< 12 queries.
+void appendDarknet(std::vector<Benchmark> &Out);    ///< 15 queries.
+void appendDsp(std::vector<Benchmark> &Out);        ///< 12 queries.
+void appendMisc(std::vector<Benchmark> &Out);       ///< 22 queries.
+void appendLlama(std::vector<Benchmark> &Out);      ///< 6 queries.
+
+/// Shared terse builder.
+inline Benchmark makeBenchmark(std::string Name, std::string Category,
+                               std::string CSource, std::string GroundTruth,
+                               std::vector<ArgSpec> Args,
+                               double Difficulty = -1) {
+  Benchmark B;
+  B.Name = std::move(Name);
+  B.Category = std::move(Category);
+  B.CSource = std::move(CSource);
+  B.GroundTruth = std::move(GroundTruth);
+  B.Args = std::move(Args);
+  B.Difficulty = Difficulty;
+  return B;
+}
+
+} // namespace bench
+} // namespace stagg
+
+#endif // STAGG_BENCHSUITE_SUITEPARTS_H

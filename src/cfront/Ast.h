@@ -1,0 +1,389 @@
+//===- cfront/Ast.h - Mini-C abstract syntax --------------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the C subset used by the lifting benchmarks: one
+/// function with scalar/pointer parameters, local declarations, `for`/
+/// `while`/`if` statements, assignments (plain and compound), pointer
+/// arithmetic, array subscripts, and pre/post increment/decrement. This
+/// replaces the Clang/MLIR ingestion path of the paper: the same AST feeds
+/// both the concrete interpreter (I/O example generation, verification) and
+/// the static analyses (array recovery, delinearization, dimension
+/// prediction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_CFRONT_AST_H
+#define STAGG_CFRONT_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace cfront {
+
+/// Scalar element types. Float and double are interpreted identically (the
+/// evaluator's numeric type is chosen by the harness).
+enum class BaseType { Int, Float, Double, Void };
+
+/// A declared C type: a base type plus pointer depth (0 or 1 in practice).
+struct CType {
+  BaseType Base = BaseType::Int;
+  int PointerDepth = 0;
+
+  bool isPointer() const { return PointerDepth > 0; }
+  bool isFloating() const {
+    return Base == BaseType::Float || Base == BaseType::Double;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operators (arithmetic, comparison, logical).
+enum class CBinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LAnd,
+  LOr,
+};
+
+/// Unary operators.
+enum class CUnOp { Neg, Deref, AddrOf, Not };
+
+/// Assignment flavors; Plain is `=`, the rest are compound.
+enum class CAssignOp { Plain, Add, Sub, Mul, Div };
+
+/// Base class for expressions with kind-tag dispatch.
+class CExpr {
+public:
+  enum class Kind {
+    IntLit,
+    FloatLit,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    IncDec,
+    Index,
+  };
+
+  virtual ~CExpr() = default;
+  Kind kind() const { return NodeKind; }
+
+protected:
+  explicit CExpr(Kind K) : NodeKind(K) {}
+
+private:
+  Kind NodeKind;
+};
+
+using CExprPtr = std::unique_ptr<CExpr>;
+
+/// Integer literal.
+class IntLit : public CExpr {
+public:
+  explicit IntLit(int64_t Value) : CExpr(Kind::IntLit), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// Floating literal, stored exactly as numerator / 10^scale.
+class FloatLit : public CExpr {
+public:
+  FloatLit(int64_t Mantissa, int Scale)
+      : CExpr(Kind::FloatLit), Mantissa(Mantissa), Scale(Scale) {}
+  int64_t mantissa() const { return Mantissa; }
+  int scale() const { return Scale; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::FloatLit; }
+
+private:
+  int64_t Mantissa;
+  int Scale;
+};
+
+/// Reference to a parameter or local variable.
+class VarRef : public CExpr {
+public:
+  explicit VarRef(std::string Name) : CExpr(Kind::VarRef), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+/// Unary operation.
+class CUnary : public CExpr {
+public:
+  CUnary(CUnOp Op, CExprPtr Sub)
+      : CExpr(Kind::Unary), Op(Op), Sub(std::move(Sub)) {}
+  CUnOp op() const { return Op; }
+  const CExpr &operand() const { return *Sub; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  CUnOp Op;
+  CExprPtr Sub;
+};
+
+/// Binary operation.
+class CBinary : public CExpr {
+public:
+  CBinary(CBinOp Op, CExprPtr Lhs, CExprPtr Rhs)
+      : CExpr(Kind::Binary), Op(Op), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+  CBinOp op() const { return Op; }
+  const CExpr &lhs() const { return *Lhs; }
+  const CExpr &rhs() const { return *Rhs; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  CBinOp Op;
+  CExprPtr Lhs;
+  CExprPtr Rhs;
+};
+
+/// Assignment, plain or compound. The left-hand side must be an lvalue
+/// (VarRef, Deref, or Index).
+class CAssign : public CExpr {
+public:
+  CAssign(CAssignOp Op, CExprPtr Lhs, CExprPtr Rhs)
+      : CExpr(Kind::Assign), Op(Op), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+  CAssignOp op() const { return Op; }
+  const CExpr &lhs() const { return *Lhs; }
+  const CExpr &rhs() const { return *Rhs; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  CAssignOp Op;
+  CExprPtr Lhs;
+  CExprPtr Rhs;
+};
+
+/// `++`/`--`, prefix or postfix, on an lvalue.
+class CIncDec : public CExpr {
+public:
+  CIncDec(bool IsIncrement, bool IsPrefix, CExprPtr Target)
+      : CExpr(Kind::IncDec), Increment(IsIncrement), Prefix(IsPrefix),
+        Target(std::move(Target)) {}
+  bool isIncrement() const { return Increment; }
+  bool isPrefix() const { return Prefix; }
+  const CExpr &target() const { return *Target; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::IncDec; }
+
+private:
+  bool Increment;
+  bool Prefix;
+  CExprPtr Target;
+};
+
+/// Array subscript `base[index]`.
+class CIndex : public CExpr {
+public:
+  CIndex(CExprPtr Base, CExprPtr Index)
+      : CExpr(Kind::Index), Base(std::move(Base)), Index(std::move(Index)) {}
+  const CExpr &base() const { return *Base; }
+  const CExpr &index() const { return *Index; }
+  static bool classof(const CExpr *E) { return E->kind() == Kind::Index; }
+
+private:
+  CExprPtr Base;
+  CExprPtr Index;
+};
+
+/// LLVM-style helpers for the mini hierarchy.
+template <typename T> const T *cDynCast(const CExpr *E) {
+  return (E && T::classof(E)) ? static_cast<const T *>(E) : nullptr;
+}
+template <typename T> const T &cCast(const CExpr &E) {
+  assert(T::classof(&E) && "bad C expression cast");
+  return static_cast<const T &>(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class CStmt {
+public:
+  enum class Kind { Decl, ExprStmt, Block, For, While, If, Return, Empty };
+
+  virtual ~CStmt() = default;
+  Kind kind() const { return NodeKind; }
+
+protected:
+  explicit CStmt(Kind K) : NodeKind(K) {}
+
+private:
+  Kind NodeKind;
+};
+
+using CStmtPtr = std::unique_ptr<CStmt>;
+
+/// Local declaration `type name [= init];` (one declarator per statement; the
+/// parser splits comma-separated declarators).
+class CDeclStmt : public CStmt {
+public:
+  CDeclStmt(CType Type, std::string Name, CExprPtr Init)
+      : CStmt(Kind::Decl), Type(Type), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  const CType &type() const { return Type; }
+  const std::string &name() const { return Name; }
+  const CExpr *init() const { return Init.get(); }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  CType Type;
+  std::string Name;
+  CExprPtr Init;
+};
+
+/// Expression statement.
+class CExprStmt : public CStmt {
+public:
+  explicit CExprStmt(CExprPtr E) : CStmt(Kind::ExprStmt), E(std::move(E)) {}
+  const CExpr &expr() const { return *E; }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::ExprStmt; }
+
+private:
+  CExprPtr E;
+};
+
+/// `{ ... }`.
+class CBlock : public CStmt {
+public:
+  explicit CBlock(std::vector<CStmtPtr> Stmts)
+      : CStmt(Kind::Block), Stmts(std::move(Stmts)) {}
+  const std::vector<CStmtPtr> &statements() const { return Stmts; }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<CStmtPtr> Stmts;
+};
+
+/// `for (init; cond; step) body`. Init may be a declaration or expression
+/// statement; any of the three headers may be absent.
+class CFor : public CStmt {
+public:
+  CFor(CStmtPtr Init, CExprPtr Cond, CExprPtr Step, CStmtPtr Body)
+      : CStmt(Kind::For), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  const CStmt *init() const { return Init.get(); }
+  const CExpr *cond() const { return Cond.get(); }
+  const CExpr *step() const { return Step.get(); }
+  const CStmt &body() const { return *Body; }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::For; }
+
+private:
+  CStmtPtr Init;
+  CExprPtr Cond;
+  CExprPtr Step;
+  CStmtPtr Body;
+};
+
+/// `while (cond) body`.
+class CWhile : public CStmt {
+public:
+  CWhile(CExprPtr Cond, CStmtPtr Body)
+      : CStmt(Kind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  const CExpr &cond() const { return *Cond; }
+  const CStmt &body() const { return *Body; }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::While; }
+
+private:
+  CExprPtr Cond;
+  CStmtPtr Body;
+};
+
+/// `if (cond) then [else els]`.
+class CIf : public CStmt {
+public:
+  CIf(CExprPtr Cond, CStmtPtr Then, CStmtPtr Else)
+      : CStmt(Kind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  const CExpr &cond() const { return *Cond; }
+  const CStmt &thenStmt() const { return *Then; }
+  const CStmt *elseStmt() const { return Else.get(); }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::If; }
+
+private:
+  CExprPtr Cond;
+  CStmtPtr Then;
+  CStmtPtr Else;
+};
+
+/// `return [expr];`.
+class CReturn : public CStmt {
+public:
+  explicit CReturn(CExprPtr E) : CStmt(Kind::Return), E(std::move(E)) {}
+  const CExpr *expr() const { return E.get(); }
+  static bool classof(const CStmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  CExprPtr E;
+};
+
+/// `;`.
+class CEmpty : public CStmt {
+public:
+  CEmpty() : CStmt(Kind::Empty) {}
+  static bool classof(const CStmt *S) { return S->kind() == Kind::Empty; }
+};
+
+template <typename T> const T *cDynCast(const CStmt *S) {
+  return (S && T::classof(S)) ? static_cast<const T *>(S) : nullptr;
+}
+template <typename T> const T &cCast(const CStmt &S) {
+  assert(T::classof(&S) && "bad C statement cast");
+  return static_cast<const T &>(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+/// A function parameter.
+struct CParam {
+  CType Type;
+  std::string Name;
+};
+
+/// A parsed kernel function.
+struct CFunction {
+  CType ReturnType;
+  std::string Name;
+  std::vector<CParam> Params;
+  std::unique_ptr<CBlock> Body;
+
+  /// Finds a parameter by name; returns nullptr if absent.
+  const CParam *findParam(const std::string &ParamName) const {
+    for (const CParam &P : Params)
+      if (P.Name == ParamName)
+        return &P;
+    return nullptr;
+  }
+};
+
+} // namespace cfront
+} // namespace stagg
+
+#endif // STAGG_CFRONT_AST_H

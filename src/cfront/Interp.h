@@ -1,0 +1,617 @@
+//===- cfront/Interp.h - Mini-C interpreter ---------------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete interpreter for the mini-C AST, parameterized over the numeric
+/// data type: the validator executes kernels over `double`, the bounded
+/// verifier over `Rational` (mirroring the paper's rational-datatype CBMC
+/// extension). Integer arithmetic (loop counters, subscripts) is evaluated
+/// exactly over int64 in both instantiations; only *data* values take the
+/// template type.
+///
+/// The interpreter is defensive: out-of-bounds accesses, dereferencing
+/// non-pointers, and step-budget exhaustion all produce an error result
+/// instead of undefined behaviour, so fuzzing and failure-injection tests can
+/// drive it safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_CFRONT_INTERP_H
+#define STAGG_CFRONT_INTERP_H
+
+#include "cfront/Ast.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace cfront {
+
+/// Execution environment: named data arrays (pointer parameters), integer
+/// scalar parameters (sizes), and numeric scalar parameters (e.g. `alpha`).
+template <typename T> struct ExecEnv {
+  std::map<std::string, std::vector<T>> Arrays;
+  std::map<std::string, int64_t> IntScalars;
+  std::map<std::string, T> NumScalars;
+};
+
+/// Outcome of an execution.
+struct ExecStatus {
+  bool Ok = false;
+  std::string Error;
+
+  static ExecStatus success() {
+    ExecStatus S;
+    S.Ok = true;
+    return S;
+  }
+  static ExecStatus failure(std::string Message) {
+    ExecStatus S;
+    S.Error = std::move(Message);
+    return S;
+  }
+};
+
+namespace detail {
+
+/// A dynamically-typed runtime value.
+template <typename T> struct CValue {
+  enum class Kind { Int, Num, Ptr } K = Kind::Int;
+  int64_t I = 0;
+  T N{};
+  int Buf = -1;
+  int64_t Off = 0;
+
+  static CValue fromInt(int64_t V) {
+    CValue R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static CValue fromNum(T V) {
+    CValue R;
+    R.K = Kind::Num;
+    R.N = std::move(V);
+    return R;
+  }
+  static CValue fromPtr(int Buf, int64_t Off) {
+    CValue R;
+    R.K = Kind::Ptr;
+    R.Buf = Buf;
+    R.Off = Off;
+    return R;
+  }
+
+  bool isInt() const { return K == Kind::Int; }
+  bool isNum() const { return K == Kind::Num; }
+  bool isPtr() const { return K == Kind::Ptr; }
+
+  /// Numeric view: ints promote to T.
+  T asNum() const { return isInt() ? T(I) : N; }
+};
+
+/// Interpreter state for one call.
+template <typename T> class Machine {
+public:
+  Machine(const CFunction &Fn, ExecEnv<T> &Env, int64_t StepBudget)
+      : Fn(Fn), Env(Env), StepsLeft(StepBudget) {}
+
+  ExecStatus run() {
+    // Bind parameters.
+    for (const CParam &Param : Fn.Params) {
+      if (Param.Type.isPointer()) {
+        auto It = Env.Arrays.find(Param.Name);
+        if (It == Env.Arrays.end())
+          return ExecStatus::failure("missing array argument '" + Param.Name +
+                                     "'");
+        BufferNames.push_back(Param.Name);
+        Locals[Param.Name] = CValue<T>::fromPtr(
+            static_cast<int>(BufferNames.size() - 1), 0);
+        continue;
+      }
+      if (auto It = Env.IntScalars.find(Param.Name); It != Env.IntScalars.end()) {
+        Locals[Param.Name] = CValue<T>::fromInt(It->second);
+        continue;
+      }
+      if (auto It = Env.NumScalars.find(Param.Name); It != Env.NumScalars.end()) {
+        Locals[Param.Name] = CValue<T>::fromNum(It->second);
+        continue;
+      }
+      return ExecStatus::failure("missing scalar argument '" + Param.Name +
+                                 "'");
+    }
+    execStmt(*Fn.Body);
+    if (!Err.empty())
+      return ExecStatus::failure(Err);
+    return ExecStatus::success();
+  }
+
+private:
+  bool budget() {
+    if (--StepsLeft <= 0) {
+      fail("step budget exhausted (possible non-termination)");
+      return false;
+    }
+    return true;
+  }
+
+  void fail(const std::string &Message) {
+    if (Err.empty())
+      Err = Message;
+  }
+  bool failed() const { return !Err.empty(); }
+
+  std::vector<T> &buffer(int Buf) { return Env.Arrays[BufferNames[Buf]]; }
+
+  //===------------------------------------------------------------------===//
+  // Expression evaluation
+  //===------------------------------------------------------------------===//
+
+  /// The location an lvalue names: a local variable slot or a buffer element.
+  struct Place {
+    bool IsLocal = false;
+    std::string Name;
+    int Buf = -1;
+    int64_t Off = 0;
+  };
+
+  bool validBuffer(int Buf) {
+    if (Buf >= 0 && Buf < static_cast<int>(BufferNames.size()))
+      return true;
+    fail("access through an uninitialized pointer");
+    return false;
+  }
+
+  CValue<T> readPlace(const Place &P) {
+    if (P.IsLocal) {
+      auto It = Locals.find(P.Name);
+      if (It == Locals.end()) {
+        fail("use of undeclared variable '" + P.Name + "'");
+        return {};
+      }
+      return It->second;
+    }
+    if (!validBuffer(P.Buf))
+      return {};
+    std::vector<T> &Data = buffer(P.Buf);
+    if (P.Off < 0 || P.Off >= static_cast<int64_t>(Data.size())) {
+      fail("out-of-bounds read at offset " + std::to_string(P.Off));
+      return {};
+    }
+    return CValue<T>::fromNum(Data[static_cast<size_t>(P.Off)]);
+  }
+
+  void writePlace(const Place &P, const CValue<T> &Value) {
+    if (P.IsLocal) {
+      Locals[P.Name] = Value;
+      return;
+    }
+    if (Value.isPtr()) {
+      fail("storing a pointer into a data array");
+      return;
+    }
+    if (!validBuffer(P.Buf))
+      return;
+    std::vector<T> &Data = buffer(P.Buf);
+    if (P.Off < 0 || P.Off >= static_cast<int64_t>(Data.size())) {
+      fail("out-of-bounds write at offset " + std::to_string(P.Off));
+      return;
+    }
+    Data[static_cast<size_t>(P.Off)] = Value.asNum();
+  }
+
+  Place evalPlace(const CExpr &E) {
+    switch (E.kind()) {
+    case CExpr::Kind::VarRef: {
+      Place P;
+      P.IsLocal = true;
+      P.Name = cCast<VarRef>(E).name();
+      return P;
+    }
+    case CExpr::Kind::Unary: {
+      const auto &U = cCast<CUnary>(E);
+      if (U.op() != CUnOp::Deref) {
+        fail("expression is not an lvalue");
+        return {};
+      }
+      CValue<T> Ptr = evalExpr(U.operand());
+      if (failed())
+        return {};
+      if (!Ptr.isPtr()) {
+        fail("dereferencing a non-pointer");
+        return {};
+      }
+      Place P;
+      P.Buf = Ptr.Buf;
+      P.Off = Ptr.Off;
+      return P;
+    }
+    case CExpr::Kind::Index: {
+      const auto &Ix = cCast<CIndex>(E);
+      CValue<T> Base = evalExpr(Ix.base());
+      CValue<T> Index = evalExpr(Ix.index());
+      if (failed())
+        return {};
+      if (!Base.isPtr() || !Index.isInt()) {
+        fail("invalid array subscript");
+        return {};
+      }
+      Place P;
+      P.Buf = Base.Buf;
+      P.Off = Base.Off + Index.I;
+      return P;
+    }
+    default:
+      fail("expression is not an lvalue");
+      return {};
+    }
+  }
+
+  CValue<T> applyBinary(CBinOp Op, const CValue<T> &L, const CValue<T> &R) {
+    // Pointer arithmetic.
+    if (L.isPtr() || R.isPtr()) {
+      if (Op == CBinOp::Add && L.isPtr() && R.isInt())
+        return CValue<T>::fromPtr(L.Buf, L.Off + R.I);
+      if (Op == CBinOp::Add && R.isPtr() && L.isInt())
+        return CValue<T>::fromPtr(R.Buf, R.Off + L.I);
+      if (Op == CBinOp::Sub && L.isPtr() && R.isInt())
+        return CValue<T>::fromPtr(L.Buf, L.Off - R.I);
+      if (Op == CBinOp::Lt && L.isPtr() && R.isPtr())
+        return CValue<T>::fromInt(L.Off < R.Off);
+      if (Op == CBinOp::Ne && L.isPtr() && R.isPtr())
+        return CValue<T>::fromInt(L.Buf != R.Buf || L.Off != R.Off);
+      fail("unsupported pointer arithmetic");
+      return {};
+    }
+    // Pure integer arithmetic stays exact (subscripts, bounds).
+    if (L.isInt() && R.isInt()) {
+      switch (Op) {
+      case CBinOp::Add:
+        return CValue<T>::fromInt(L.I + R.I);
+      case CBinOp::Sub:
+        return CValue<T>::fromInt(L.I - R.I);
+      case CBinOp::Mul:
+        return CValue<T>::fromInt(L.I * R.I);
+      case CBinOp::Div:
+        if (R.I == 0) {
+          fail("integer division by zero");
+          return {};
+        }
+        return CValue<T>::fromInt(L.I / R.I);
+      case CBinOp::Mod:
+        if (R.I == 0) {
+          fail("integer modulo by zero");
+          return {};
+        }
+        return CValue<T>::fromInt(L.I % R.I);
+      case CBinOp::Lt:
+        return CValue<T>::fromInt(L.I < R.I);
+      case CBinOp::Le:
+        return CValue<T>::fromInt(L.I <= R.I);
+      case CBinOp::Gt:
+        return CValue<T>::fromInt(L.I > R.I);
+      case CBinOp::Ge:
+        return CValue<T>::fromInt(L.I >= R.I);
+      case CBinOp::Eq:
+        return CValue<T>::fromInt(L.I == R.I);
+      case CBinOp::Ne:
+        return CValue<T>::fromInt(L.I != R.I);
+      case CBinOp::LAnd:
+        return CValue<T>::fromInt(L.I != 0 && R.I != 0);
+      case CBinOp::LOr:
+        return CValue<T>::fromInt(L.I != 0 || R.I != 0);
+      }
+    }
+    // Mixed/numeric arithmetic promotes to the data type.
+    T A = L.asNum();
+    T B = R.asNum();
+    switch (Op) {
+    case CBinOp::Add:
+      return CValue<T>::fromNum(A + B);
+    case CBinOp::Sub:
+      return CValue<T>::fromNum(A - B);
+    case CBinOp::Mul:
+      return CValue<T>::fromNum(A * B);
+    case CBinOp::Div:
+      return CValue<T>::fromNum(A / B);
+    case CBinOp::Lt:
+      return CValue<T>::fromInt(A < B);
+    case CBinOp::Gt:
+      return CValue<T>::fromInt(B < A);
+    case CBinOp::Le:
+      return CValue<T>::fromInt(!(B < A));
+    case CBinOp::Ge:
+      return CValue<T>::fromInt(!(A < B));
+    case CBinOp::Eq:
+      return CValue<T>::fromInt(A == B);
+    case CBinOp::Ne:
+      return CValue<T>::fromInt(!(A == B));
+    default:
+      fail("unsupported numeric operator");
+      return {};
+    }
+  }
+
+  CValue<T> evalExpr(const CExpr &E) {
+    if (failed() || !budget())
+      return {};
+    switch (E.kind()) {
+    case CExpr::Kind::IntLit:
+      return CValue<T>::fromInt(cCast<IntLit>(E).value());
+    case CExpr::Kind::FloatLit: {
+      const auto &F = cCast<FloatLit>(E);
+      int64_t Denominator = 1;
+      for (int I = 0; I < F.scale(); ++I)
+        Denominator *= 10;
+      return CValue<T>::fromNum(T(F.mantissa()) / T(Denominator));
+    }
+    case CExpr::Kind::VarRef: {
+      auto It = Locals.find(cCast<VarRef>(E).name());
+      if (It == Locals.end()) {
+        fail("use of undeclared variable '" + cCast<VarRef>(E).name() + "'");
+        return {};
+      }
+      return It->second;
+    }
+    case CExpr::Kind::Unary: {
+      const auto &U = cCast<CUnary>(E);
+      switch (U.op()) {
+      case CUnOp::Neg: {
+        CValue<T> V = evalExpr(U.operand());
+        if (failed())
+          return {};
+        if (V.isInt())
+          return CValue<T>::fromInt(-V.I);
+        if (V.isNum())
+          return CValue<T>::fromNum(-V.N);
+        fail("negating a pointer");
+        return {};
+      }
+      case CUnOp::Not: {
+        CValue<T> V = evalExpr(U.operand());
+        if (failed())
+          return {};
+        if (V.isInt())
+          return CValue<T>::fromInt(V.I == 0);
+        fail("'!' on non-integer");
+        return {};
+      }
+      case CUnOp::Deref: {
+        Place P = evalPlace(E);
+        if (failed())
+          return {};
+        return readPlace(P);
+      }
+      case CUnOp::AddrOf: {
+        // Supported form: &buffer[expr] (including &*p).
+        const CExpr &Target = U.operand();
+        if (Target.kind() == CExpr::Kind::Index ||
+            (Target.kind() == CExpr::Kind::Unary &&
+             cCast<CUnary>(Target).op() == CUnOp::Deref)) {
+          Place P = evalPlace(Target);
+          if (failed())
+            return {};
+          if (P.IsLocal) {
+            fail("address of local variable is unsupported");
+            return {};
+          }
+          return CValue<T>::fromPtr(P.Buf, P.Off);
+        }
+        fail("unsupported address-of expression");
+        return {};
+      }
+      }
+      return {};
+    }
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      // Short-circuit logical operators.
+      if (B.op() == CBinOp::LAnd || B.op() == CBinOp::LOr) {
+        CValue<T> L = evalExpr(B.lhs());
+        if (failed())
+          return {};
+        if (!L.isInt()) {
+          fail("logical operator on non-integer");
+          return {};
+        }
+        bool LTrue = L.I != 0;
+        if (B.op() == CBinOp::LAnd && !LTrue)
+          return CValue<T>::fromInt(0);
+        if (B.op() == CBinOp::LOr && LTrue)
+          return CValue<T>::fromInt(1);
+        CValue<T> R = evalExpr(B.rhs());
+        if (failed())
+          return {};
+        if (!R.isInt()) {
+          fail("logical operator on non-integer");
+          return {};
+        }
+        return CValue<T>::fromInt(R.I != 0);
+      }
+      CValue<T> L = evalExpr(B.lhs());
+      CValue<T> R = evalExpr(B.rhs());
+      if (failed())
+        return {};
+      return applyBinary(B.op(), L, R);
+    }
+    case CExpr::Kind::Assign: {
+      const auto &A = cCast<CAssign>(E);
+      Place P = evalPlace(A.lhs());
+      if (failed())
+        return {};
+      CValue<T> Rhs = evalExpr(A.rhs());
+      if (failed())
+        return {};
+      CValue<T> NewValue = Rhs;
+      if (A.op() != CAssignOp::Plain) {
+        CValue<T> Old = readPlace(P);
+        if (failed())
+          return {};
+        CBinOp Op = A.op() == CAssignOp::Add   ? CBinOp::Add
+                    : A.op() == CAssignOp::Sub ? CBinOp::Sub
+                    : A.op() == CAssignOp::Mul ? CBinOp::Mul
+                                               : CBinOp::Div;
+        NewValue = applyBinary(Op, Old, Rhs);
+        if (failed())
+          return {};
+      }
+      writePlace(P, NewValue);
+      return NewValue;
+    }
+    case CExpr::Kind::IncDec: {
+      const auto &I = cCast<CIncDec>(E);
+      Place P = evalPlace(I.target());
+      if (failed())
+        return {};
+      CValue<T> Old = readPlace(P);
+      if (failed())
+        return {};
+      CValue<T> Delta = CValue<T>::fromInt(1);
+      CValue<T> NewValue =
+          applyBinary(I.isIncrement() ? CBinOp::Add : CBinOp::Sub, Old, Delta);
+      if (failed())
+        return {};
+      writePlace(P, NewValue);
+      return I.isPrefix() ? NewValue : Old;
+    }
+    case CExpr::Kind::Index: {
+      Place P = evalPlace(E);
+      if (failed())
+        return {};
+      return readPlace(P);
+    }
+    }
+    return {};
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statement execution
+  //===------------------------------------------------------------------===//
+
+  bool truthy(const CValue<T> &V) {
+    if (V.isInt())
+      return V.I != 0;
+    if (V.isNum())
+      return !(V.N == T(0));
+    fail("pointer used as condition");
+    return false;
+  }
+
+  void execStmt(const CStmt &S) {
+    if (failed() || Returned || !budget())
+      return;
+    switch (S.kind()) {
+    case CStmt::Kind::Empty:
+      return;
+    case CStmt::Kind::Decl: {
+      const auto &D = cCast<CDeclStmt>(S);
+      if (D.init()) {
+        CValue<T> V = evalExpr(*D.init());
+        if (failed())
+          return;
+        Locals[D.name()] = V;
+      } else {
+        Locals[D.name()] = D.type().isPointer()
+                               ? CValue<T>::fromPtr(-1, 0)
+                               : (D.type().isFloating()
+                                      ? CValue<T>::fromNum(T(0))
+                                      : CValue<T>::fromInt(0));
+      }
+      return;
+    }
+    case CStmt::Kind::ExprStmt:
+      evalExpr(cCast<CExprStmt>(S).expr());
+      return;
+    case CStmt::Kind::Block:
+      for (const CStmtPtr &Sub : cCast<CBlock>(S).statements()) {
+        execStmt(*Sub);
+        if (failed() || Returned)
+          return;
+      }
+      return;
+    case CStmt::Kind::For: {
+      const auto &F = cCast<CFor>(S);
+      if (F.init())
+        execStmt(*F.init());
+      for (;;) {
+        if (failed() || Returned || !budget())
+          return;
+        if (F.cond()) {
+          CValue<T> C = evalExpr(*F.cond());
+          if (failed())
+            return;
+          if (!truthy(C))
+            return;
+        }
+        execStmt(F.body());
+        if (failed() || Returned)
+          return;
+        if (F.step())
+          evalExpr(*F.step());
+      }
+    }
+    case CStmt::Kind::While: {
+      const auto &W = cCast<CWhile>(S);
+      for (;;) {
+        if (failed() || Returned || !budget())
+          return;
+        CValue<T> C = evalExpr(W.cond());
+        if (failed())
+          return;
+        if (!truthy(C))
+          return;
+        execStmt(W.body());
+        if (failed() || Returned)
+          return;
+      }
+    }
+    case CStmt::Kind::If: {
+      const auto &I = cCast<CIf>(S);
+      CValue<T> C = evalExpr(I.cond());
+      if (failed())
+        return;
+      if (truthy(C))
+        execStmt(I.thenStmt());
+      else if (I.elseStmt())
+        execStmt(*I.elseStmt());
+      return;
+    }
+    case CStmt::Kind::Return: {
+      const auto &R = cCast<CReturn>(S);
+      if (R.expr())
+        evalExpr(*R.expr());
+      Returned = true;
+      return;
+    }
+    }
+  }
+
+  const CFunction &Fn;
+  ExecEnv<T> &Env;
+  int64_t StepsLeft;
+  std::map<std::string, CValue<T>> Locals;
+  std::vector<std::string> BufferNames;
+  bool Returned = false;
+  std::string Err;
+};
+
+} // namespace detail
+
+/// Executes \p Fn over \p Env (arrays are mutated in place). \p StepBudget
+/// bounds the number of interpreter steps.
+template <typename T>
+ExecStatus runCFunction(const CFunction &Fn, ExecEnv<T> &Env,
+                        int64_t StepBudget = 10'000'000) {
+  detail::Machine<T> M(Fn, Env, StepBudget);
+  return M.run();
+}
+
+} // namespace cfront
+} // namespace stagg
+
+#endif // STAGG_CFRONT_INTERP_H

@@ -1,0 +1,48 @@
+//===- cfront/Lexer.h - Tokenizer for the mini-C front end ------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the C subset. Comments (`//` and `/* */`) are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_CFRONT_LEXER_H
+#define STAGG_CFRONT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace cfront {
+
+enum class CTokKind {
+  Identifier,
+  Keyword, // int, float, double, void, for, while, if, else, return
+  Integer,
+  Float,
+  Punct, // one of the operator/punctuation spellings below
+  End,
+  Invalid,
+};
+
+/// A token; Punct tokens carry their exact spelling (e.g. "+=", "++", "<=").
+struct CToken {
+  CTokKind Kind = CTokKind::Invalid;
+  std::string Spelling;
+  int64_t IntValue = 0;
+  int64_t FloatMantissa = 0;
+  int FloatScale = 0;
+  int Line = 1;
+};
+
+/// Tokenizes \p Source; the result ends with an End token.
+std::vector<CToken> lexC(const std::string &Source);
+
+} // namespace cfront
+} // namespace stagg
+
+#endif // STAGG_CFRONT_LEXER_H

@@ -1,0 +1,40 @@
+//===- cfront/Parser.h - Parser for the mini-C front end --------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a CFunction from a single-function
+/// translation unit. Failures are reported as diagnostics (no exceptions);
+/// benchmark sources are authored in-repo, so a parse failure is a bug and
+/// tests assert success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_CFRONT_PARSER_H
+#define STAGG_CFRONT_PARSER_H
+
+#include "cfront/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace stagg {
+namespace cfront {
+
+/// Outcome of parsing a function definition.
+struct CParseResult {
+  std::unique_ptr<CFunction> Function;
+  std::string Error;
+
+  bool ok() const { return Function != nullptr; }
+};
+
+/// Parses a translation unit containing exactly one function definition.
+CParseResult parseCFunction(const std::string &Source);
+
+} // namespace cfront
+} // namespace stagg
+
+#endif // STAGG_CFRONT_PARSER_H

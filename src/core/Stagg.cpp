@@ -1,0 +1,127 @@
+//===- core/Stagg.cpp - The STAGG lifting pipeline ------------------------===//
+
+#include "core/Stagg.h"
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Parser.h"
+#include "grammar/DimensionList.h"
+#include "grammar/Template.h"
+#include "llm/Prompt.h"
+#include "llm/ResponseParser.h"
+#include "search/BottomUp.h"
+#include "search/TopDown.h"
+#include "support/Timer.h"
+#include "taco/Printer.h"
+#include "taco/Semantics.h"
+#include "validate/Validator.h"
+
+using namespace stagg;
+using namespace stagg::core;
+
+LiftResult core::liftBenchmark(const bench::Benchmark &B,
+                               llm::CandidateOracle &Oracle,
+                               const StaggConfig &Config) {
+  LiftResult Result;
+  Timer Clock;
+
+  // 1. Ingest the legacy kernel.
+  cfront::CParseResult Parsed = cfront::parseCFunction(B.CSource);
+  if (!Parsed.ok()) {
+    Result.FailReason = "C parse error: " + Parsed.Error;
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+  const cfront::CFunction &Fn = *Parsed.Function;
+
+  // 2. Static analysis: LHS dimensionality and the constant pool.
+  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+
+  // 3. Ask the oracle for candidate translations.
+  llm::OracleTask Task;
+  Task.Query = &B;
+  Task.Prompt = llm::buildPrompt(B.CSource, Config.NumCandidates);
+  Task.NumCandidates = Config.NumCandidates;
+  std::vector<std::string> Lines = Oracle.propose(Task);
+
+  // 4. Parse, templatize, deduplicate.
+  llm::ParsedResponses Responses = llm::parseResponses(Lines);
+  Result.CandidatesParsed = static_cast<int>(Responses.Programs.size());
+  Result.CandidatesDiscarded = Responses.Discarded;
+  // NOTE: templates are *not* deduplicated here — the dimension-list vote
+  // (§4.2.3) and the rule weights (§4.3) both count frequency across all
+  // candidate solutions, so repeated guesses are evidence, not noise.
+  std::vector<grammar::Templatized> Templates;
+  for (const taco::Program &P : Responses.Programs) {
+    if (!taco::checkWellFormed(P).empty())
+      continue;
+    Templates.push_back(grammar::templatize(P));
+  }
+  if (Templates.empty()) {
+    Result.FailReason = "no syntactically valid LLM candidates";
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+
+  // 5. Predict the dimension list (LLM vote for the RHS, static analysis
+  // for the LHS) and build the probabilistic template grammar.
+  std::vector<int> DimList =
+      grammar::predictDimensionList(Templates, Summary.LhsDim);
+  Result.DimList = DimList;
+  grammar::TemplateGrammar Grammar = grammar::buildTemplateGrammar(
+      Templates, DimList, Summary.LhsDim, Config.Grammar);
+
+  // 6. I/O examples and the validator.
+  Rng ExampleRng(Config.ExampleSeed);
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(B, Fn, Config.NumIoExamples, ExampleRng);
+  if (Examples.empty()) {
+    Result.FailReason = "failed to execute the legacy kernel";
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+  validate::Validator V(B, std::move(Examples), Summary.Constants);
+
+  // 7. Search with validate-then-verify as the goal test (Fig. 1's loop:
+  // a verification failure falls back to the next substitution, then to
+  // enumeration).
+  search::TemplateProbe Probe = [&](const taco::Program &Template) {
+    std::vector<validate::Instantiation> Valid = V.validate(Template);
+    for (validate::Instantiation &Inst : Valid) {
+      if (!Config.SkipVerification) {
+        verify::VerifyResult VR =
+            verify::verifyEquivalence(B, Fn, Inst.Concrete, Config.Verify);
+        if (!VR.Equivalent)
+          continue;
+      }
+      Result.Concrete = std::move(Inst.Concrete);
+      return true;
+    }
+    return false;
+  };
+
+  search::SearchResult SR =
+      Config.Kind == SearchKind::TopDown
+          ? search::runTopDown(Grammar, Config.Search, Probe)
+          : search::runBottomUp(Grammar, Config.Search, Probe);
+
+  Result.Solved = SR.Solved;
+  Result.Template = std::move(SR.SolvedTemplate);
+  Result.Attempts = SR.Attempts;
+  Result.Expansions = SR.Expansions;
+  Result.FailReason = SR.Solved ? "" : SR.FailReason;
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+std::string core::describeResult(const bench::Benchmark &B,
+                                 const LiftResult &R) {
+  std::string Line = B.Name + ": ";
+  if (R.Solved) {
+    Line += "OK  " + taco::printProgram(R.Concrete);
+  } else {
+    Line += "FAIL (" + R.FailReason + ")";
+  }
+  Line += "  [" + std::to_string(R.Seconds * 1e3) + " ms, " +
+          std::to_string(R.Attempts) + " attempts]";
+  return Line;
+}

@@ -1,0 +1,96 @@
+//===- core/Stagg.h - The STAGG lifting pipeline ----------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end pipeline of Fig. 1: prompt the oracle for candidate
+/// translations, learn a probabilistic grammar of templates from them,
+/// search the grammar (top-down or bottom-up weighted A\*), validate
+/// complete templates against I/O examples by substitution enumeration, and
+/// verify surviving instantiations with the bounded checker. Verification
+/// failures fall back to the next substitution and then to the search, as in
+/// the paper.
+///
+/// All evaluation ablations (penalty drops, EqualProbability, FullGrammar,
+/// LLMGrammar) are expressed through StaggConfig.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_CORE_STAGG_H
+#define STAGG_CORE_STAGG_H
+
+#include "benchsuite/Benchmark.h"
+#include "grammar/Pcfg.h"
+#include "llm/Oracle.h"
+#include "search/SearchTypes.h"
+#include "taco/Ast.h"
+#include "verify/BoundedVerifier.h"
+
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace core {
+
+/// Which enumeration strategy drives the pipeline.
+enum class SearchKind { TopDown, BottomUp };
+
+/// Pipeline configuration.
+struct StaggConfig {
+  SearchKind Kind = SearchKind::TopDown;
+  grammar::GrammarOptions Grammar;
+  search::SearchConfig Search;
+  verify::VerifyOptions Verify;
+
+  /// Number of candidate translations requested from the oracle.
+  int NumCandidates = 10;
+
+  /// Number of I/O examples used by the validator.
+  int NumIoExamples = 3;
+
+  /// Seed for I/O example generation.
+  uint64_t ExampleSeed = 0xE9A3;
+
+  /// Skip bounded verification (I/O-only acceptance, like C2TACO).
+  bool SkipVerification = false;
+};
+
+/// Everything the experiments need to know about one lifting run.
+struct LiftResult {
+  bool Solved = false;
+
+  /// The successful template (symbolic) and its concrete instantiation.
+  taco::Program Template;
+  taco::Program Concrete;
+
+  /// Complete templates submitted to validation.
+  int Attempts = 0;
+
+  /// Queue pops in the search.
+  int64_t Expansions = 0;
+
+  /// End-to-end wall-clock seconds (oracle + grammar + search + verify).
+  double Seconds = 0;
+
+  std::string FailReason;
+
+  /// Diagnostics.
+  int CandidatesParsed = 0;
+  int CandidatesDiscarded = 0;
+  std::vector<int> DimList;
+};
+
+/// Lifts \p B using \p Oracle under \p Config.
+LiftResult liftBenchmark(const bench::Benchmark &B,
+                         llm::CandidateOracle &Oracle,
+                         const StaggConfig &Config);
+
+/// Renders a result row for logs: "name: OK concrete (1.2ms, 5 attempts)".
+std::string describeResult(const bench::Benchmark &B, const LiftResult &R);
+
+} // namespace core
+} // namespace stagg
+
+#endif // STAGG_CORE_STAGG_H

@@ -1,0 +1,78 @@
+//===- grammar/DimensionList.cpp - Predicting tensor dimensions -----------===//
+
+#include "grammar/DimensionList.h"
+
+#include "taco/Semantics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::grammar;
+
+std::vector<int>
+grammar::predictDimensionList(const std::vector<Templatized> &Templates,
+                              int StaticLhsDim) {
+  if (Templates.empty())
+    return {};
+
+  // RHS dimension list of every candidate. The vote deliberately excludes
+  // the LHS entry: static analysis overrides it anyway, so a guess whose
+  // only mistake is the output rank still contributes its (correct) operand
+  // ranks to the vote.
+  std::vector<std::vector<int>> Lists;
+  for (const Templatized &T : Templates) {
+    std::vector<int> Full = taco::dimensionList(T.Template);
+    Lists.emplace_back(Full.begin() + 1, Full.end());
+  }
+
+  // Length filter. The paper keeps maximal-length lists (LLMs truncate
+  // guesses far more often than they pad them); with occurrence-counted
+  // lists a single padded guess would dominate that filter, so we keep the
+  // most *common* length instead — same intent, robust to both error
+  // directions.
+  std::map<size_t, int> LengthVotes;
+  for (const std::vector<int> &L : Lists)
+    ++LengthVotes[L.size()];
+  size_t KeptLength = 0;
+  int KeptVotes = -1;
+  for (const auto &[Length, N] : LengthVotes)
+    if (N > KeptVotes || (N == KeptVotes && Length > KeptLength)) {
+      KeptVotes = N;
+      KeptLength = Length;
+    }
+
+  // Mode among the kept lists (first-seen wins ties).
+  std::map<std::vector<int>, int> Votes;
+  std::vector<std::vector<int>> Order;
+  for (const std::vector<int> &L : Lists) {
+    if (L.size() != KeptLength)
+      continue;
+    if (++Votes[L] == 1)
+      Order.push_back(L);
+  }
+  std::vector<int> BestRhs;
+  int BestVotes = -1;
+  for (const std::vector<int> &L : Order) {
+    if (Votes[L] > BestVotes) {
+      BestVotes = Votes[L];
+      BestRhs = L;
+    }
+  }
+
+  // Prepend the statically analyzed LHS entry (the paper trusts dataflow
+  // for the written tensor).
+  std::vector<int> Best;
+  Best.push_back(StaticLhsDim);
+  Best.insert(Best.end(), BestRhs.begin(), BestRhs.end());
+  return Best;
+}
+
+int grammar::countUniqueIndexVars(const std::vector<Templatized> &Templates) {
+  std::set<std::string> Vars;
+  for (const Templatized &T : Templates)
+    for (const std::string &V : taco::indexVariables(T.Template))
+      Vars.insert(V);
+  return static_cast<int>(Vars.size());
+}

@@ -1,0 +1,41 @@
+//===- grammar/DimensionList.h - Predicting tensor dimensions ---*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dimension-list prediction (paper §4.2.3, Def. 4.5). The RHS dimensions
+/// come from the LLM: compute each candidate template's dimension list,
+/// filter out lists shorter than the maximum length, and keep the most
+/// frequent survivor. The LHS entry is then overridden by the exact result
+/// of static analysis (analysis::analyzeKernel), which the paper trusts over
+/// the LLM because dataflow on the source is precise for the written tensor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_GRAMMAR_DIMENSIONLIST_H
+#define STAGG_GRAMMAR_DIMENSIONLIST_H
+
+#include "grammar/Template.h"
+
+#include <vector>
+
+namespace stagg {
+namespace grammar {
+
+/// Predicts the dimension list from the candidate templates per §4.2.3:
+/// mode of the maximal-length per-candidate lists, with L[1] replaced by
+/// \p StaticLhsDim. Returns an empty list when \p Templates is empty.
+std::vector<int>
+predictDimensionList(const std::vector<Templatized> &Templates,
+                     int StaticLhsDim);
+
+/// The number of distinct index variables used across all candidate
+/// templates — the i(P) bound of §4.2.4.
+int countUniqueIndexVars(const std::vector<Templatized> &Templates);
+
+} // namespace grammar
+} // namespace stagg
+
+#endif // STAGG_GRAMMAR_DIMENSIONLIST_H

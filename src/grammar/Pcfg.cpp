@@ -1,0 +1,314 @@
+//===- grammar/Pcfg.cpp - Probabilistic template grammars -----------------===//
+
+#include "grammar/Pcfg.h"
+
+#include "grammar/DimensionList.h"
+#include "support/StringUtils.h"
+#include "taco/Printer.h"
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::grammar;
+using namespace stagg::taco;
+
+std::string TensorRule::spelling() const {
+  if (IsConst)
+    return "Const";
+  if (Indices.empty())
+    return Symbol;
+  return Symbol + "(" + joinStrings(Indices, ",") + ")";
+}
+
+std::vector<const TensorRule *>
+TemplateGrammar::rulesForPosition(int Position) const {
+  std::vector<const TensorRule *> Rules;
+  if (Position < 2 || Position > static_cast<int>(DimList.size())) {
+    // Out-of-range slot (FullGrammar mode): every rule is allowed.
+    for (const TensorRule &R : TensorRules)
+      Rules.push_back(&R);
+    return Rules;
+  }
+  int WantedDim = DimList[Position - 1];
+  for (const TensorRule &R : TensorRules)
+    if (R.dim() == WantedDim)
+      Rules.push_back(&R);
+  return Rules;
+}
+
+void TemplateGrammar::normalize(bool Uniform) {
+  // Default weight 1 keeps unseen rules reachable with low priority (§4.3).
+  auto Smooth = [](double W) { return W > 0 ? W : 1.0; };
+
+  // The TENSOR nonterminal covers the non-constant rules; CONSTANT has the
+  // single production `Const` with probability 1.
+  double TensorTotal = 0;
+  for (TensorRule &R : TensorRules)
+    if (!R.IsConst)
+      TensorTotal += Uniform ? 1.0 : Smooth(R.Weight);
+  for (TensorRule &R : TensorRules) {
+    if (R.IsConst) {
+      R.Prob = 1.0;
+      R.Cost = 0.0;
+      continue;
+    }
+    R.Prob = (Uniform ? 1.0 : Smooth(R.Weight)) / TensorTotal;
+    R.Cost = -std::log2(R.Prob);
+  }
+
+  double E1 = Uniform ? 1.0 : Smooth(WExprTensor);
+  double E2 = Uniform ? 1.0 : Smooth(WExprConst);
+  double E3 = Uniform ? 1.0 : Smooth(WExprBin);
+  if (!HasConstRule)
+    E2 = 0;
+  double ETotal = E1 + E2 + E3;
+  PExprTensor = E1 / ETotal;
+  PExprConst = E2 / ETotal;
+  PExprBin = E3 / ETotal;
+
+  // OP rules are *not* smoothed: as in the paper's Fig. 3 (where "-" and
+  // "/" carry probability 0), an operator never seen in a candidate is
+  // absent from the refined grammar. Degenerate case: no candidate has any
+  // operator — fall back to uniform so single-leaf grammars stay usable.
+  double OpTotal = 0;
+  for (double W : WOp)
+    OpTotal += Uniform ? 1.0 : W;
+  for (int I = 0; I < 4; ++I)
+    POp[I] = OpTotal > 0 ? (Uniform ? 1.0 : WOp[I]) / OpTotal : 0.25;
+}
+
+std::string TemplateGrammar::dump() const {
+  std::string Out;
+  Out += "PROGRAM ::= \"" + printAccess(Lhs) + "\" \"=\" EXPR\n";
+  Out += "EXPR ::= TENSOR (" + std::to_string(PExprTensor) + ") | CONSTANT (" +
+         std::to_string(PExprConst) + ") | EXPR OP EXPR (" +
+         std::to_string(PExprBin) + ")\n";
+  Out += "OP ::=";
+  static const BinOpKind Ops[] = {BinOpKind::Add, BinOpKind::Sub,
+                                  BinOpKind::Mul, BinOpKind::Div};
+  for (BinOpKind Op : Ops)
+    Out += std::string(" \"") + binOpSpelling(Op) + "\" (" +
+           std::to_string(POp[static_cast<int>(Op)]) + ")";
+  Out += "\nTENSOR ::=";
+  for (const TensorRule &R : TensorRules)
+    Out += " \"" + R.spelling() + "\" (" + std::to_string(R.Prob) + ")";
+  Out += "\nDimList = [";
+  for (size_t I = 0; I < DimList.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(DimList[I]);
+  Out += "], i(P) = " + std::to_string(NumIndexVars) + "\n";
+  return Out;
+}
+
+namespace {
+
+/// True if any candidate accesses some tensor with a repeated index variable
+/// (e.g. `b(i,i)`); §4.2.4 removes repeated-index productions otherwise.
+bool candidatesUseRepeatedIndices(const std::vector<Templatized> &Templates) {
+  bool Found = false;
+  std::function<void(const Expr &)> Visit = [&](const Expr &E) {
+    if (Found)
+      return;
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      std::set<std::string> Unique(A.indices().begin(), A.indices().end());
+      if (Unique.size() != A.indices().size())
+        Found = true;
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      Visit(B.lhs());
+      Visit(B.rhs());
+      return;
+    }
+    case Expr::Kind::Negate:
+      Visit(exprCast<NegateExpr>(E).operand());
+      return;
+    case Expr::Kind::Constant:
+      return;
+    }
+  };
+  for (const Templatized &T : Templates)
+    if (T.Template.Rhs)
+      Visit(*T.Template.Rhs);
+  return Found;
+}
+
+/// Emits every index tuple of length \p Dim over the first \p NumVars
+/// canonical variables, excluding repeated-variable tuples unless
+/// \p AllowRepeats.
+void appendIndexTuples(const std::string &Symbol, int Dim, int NumVars,
+                       bool AllowRepeats, std::vector<TensorRule> &Rules) {
+  std::vector<int> Tuple(static_cast<size_t>(Dim), 0);
+  for (;;) {
+    bool HasRepeat = false;
+    for (size_t A = 0; A < Tuple.size() && !HasRepeat; ++A)
+      for (size_t B = A + 1; B < Tuple.size() && !HasRepeat; ++B)
+        HasRepeat = Tuple[A] == Tuple[B];
+    if (!HasRepeat || AllowRepeats) {
+      TensorRule R;
+      R.Symbol = Symbol;
+      for (int Var : Tuple)
+        R.Indices.push_back(indexVarForPosition(Var));
+      Rules.push_back(std::move(R));
+    }
+    // Advance odometer.
+    size_t Axis = Tuple.size();
+    for (;;) {
+      if (Axis == 0)
+        return;
+      --Axis;
+      if (++Tuple[Axis] < NumVars)
+        break;
+      Tuple[Axis] = 0;
+      if (Axis == 0)
+        return;
+    }
+  }
+}
+
+/// Finds the rule matching a concrete access, if present.
+TensorRule *findRule(std::vector<TensorRule> &Rules, const std::string &Symbol,
+                     const std::vector<std::string> &Indices) {
+  for (TensorRule &R : Rules)
+    if (!R.IsConst && R.Symbol == Symbol && R.Indices == Indices)
+      return &R;
+  return nullptr;
+}
+
+TensorRule *findConstRule(std::vector<TensorRule> &Rules) {
+  for (TensorRule &R : Rules)
+    if (R.IsConst)
+      return &R;
+  return nullptr;
+}
+
+/// Accumulates leftmost-derivation rule counts for one template RHS.
+void countDerivation(const Expr &E, TemplateGrammar &G) {
+  switch (E.kind()) {
+  case Expr::Kind::Access: {
+    const auto &A = exprCast<AccessExpr>(E);
+    G.WExprTensor += 1;
+    if (TensorRule *R = findRule(G.TensorRules, A.name(), A.indices()))
+      R->Weight += 1;
+    return;
+  }
+  case Expr::Kind::Constant:
+    G.WExprConst += 1;
+    if (TensorRule *R = findConstRule(G.TensorRules))
+      R->Weight += 1;
+    return;
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    G.WExprBin += 1;
+    G.WOp[static_cast<int>(B.op())] += 1;
+    countDerivation(B.lhs(), G);
+    countDerivation(B.rhs(), G);
+    return;
+  }
+  case Expr::Kind::Negate:
+    // Negation is outside the template skeleton; count its operand so the
+    // leaf evidence is not lost.
+    countDerivation(exprCast<NegateExpr>(E).operand(), G);
+    return;
+  }
+}
+
+} // namespace
+
+TemplateGrammar
+grammar::buildTemplateGrammar(const std::vector<Templatized> &Templates,
+                              const std::vector<int> &DimList,
+                              int StaticLhsDim, const GrammarOptions &Options) {
+  TemplateGrammar G;
+  G.DimList = DimList;
+
+  // i(P), floored at what the LHS arity requires and capped at the four
+  // canonical variables of the TACO grammar.
+  int UniqueVars = countUniqueIndexVars(Templates);
+  G.NumIndexVars = std::max(UniqueVars, StaticLhsDim);
+  G.NumIndexVars = std::max(1, std::min(G.NumIndexVars, 4));
+
+  // TENSOR1: the LHS symbol with the statically predicted arity.
+  std::vector<std::string> LhsIndices;
+  for (int I = 0; I < StaticLhsDim; ++I)
+    LhsIndices.push_back(indexVarForPosition(I));
+  G.Lhs = AccessExpr("a", std::move(LhsIndices));
+
+  bool AllowRepeats = candidatesUseRepeatedIndices(Templates);
+
+  G.PositionalSymbols = !Options.FullGrammar;
+  if (Options.FullGrammar) {
+    // Full TACO grammar: every tensor symbol at every dimension.
+    for (int Position = 2; Position < 2 + Options.FullGrammarTensors;
+         ++Position) {
+      std::string Symbol = tensorSymbolForPosition(Position);
+      for (int Dim = 0; Dim <= Options.FullGrammarMaxDim; ++Dim) {
+        if (Dim == 0) {
+          TensorRule Scalar;
+          Scalar.Symbol = Symbol;
+          G.TensorRules.push_back(std::move(Scalar));
+          continue;
+        }
+        appendIndexTuples(Symbol, Dim, /*NumVars=*/4, AllowRepeats,
+                          G.TensorRules);
+      }
+    }
+    G.HasConstRule = true;
+  } else {
+    // Refined grammar (§4.2.4): one symbol per dimension-list position.
+    for (size_t Position = 2; Position <= DimList.size(); ++Position) {
+      std::string Symbol = tensorSymbolForPosition(static_cast<int>(Position));
+      int Dim = DimList[Position - 1];
+      if (Dim == 0) {
+        TensorRule Scalar;
+        Scalar.Symbol = Symbol;
+        G.TensorRules.push_back(std::move(Scalar));
+        G.HasConstRule = true;
+        continue;
+      }
+      appendIndexTuples(Symbol, Dim, G.NumIndexVars, AllowRepeats,
+                        G.TensorRules);
+    }
+    // A constant in any candidate also justifies the constant production.
+    for (const Templatized &T : Templates)
+      if (!T.ReplacedConstants.empty() ||
+          T.Key.find("Const") != std::string::npos)
+        G.HasConstRule = true;
+  }
+
+  if (G.HasConstRule) {
+    TensorRule Const;
+    Const.Symbol = "Const";
+    Const.IsConst = true;
+    G.TensorRules.push_back(std::move(Const));
+  }
+
+  // Weight learning (§4.3): count rule uses over all candidate derivations.
+  for (const Templatized &T : Templates)
+    if (T.Template.Rhs)
+      countDerivation(*T.Template.Rhs, G);
+
+  // "Operations defined in the grammar" (penalties a5/b2): operators with
+  // real evidence. A single occurrence among ten guesses is mistranslation
+  // noise and would otherwise force every solution to use spurious
+  // operators; require at least two uses carrying >= 20% of the operator
+  // evidence, mirroring how near-zero-probability rules are de-facto absent
+  // from the paper's learned pCFG (Fig. 3 prints them as 0).
+  static const BinOpKind AllOps[] = {BinOpKind::Add, BinOpKind::Sub,
+                                     BinOpKind::Mul, BinOpKind::Div};
+  double TotalOpWeight = 0;
+  for (double W : G.WOp)
+    TotalOpWeight += W;
+  for (BinOpKind Op : AllOps) {
+    double W = G.WOp[static_cast<int>(Op)];
+    if (W >= 2 && W >= 0.2 * TotalOpWeight)
+      G.LearnedOps.push_back(Op);
+  }
+
+  G.normalize(Options.EqualProbability);
+  return G;
+}

@@ -1,0 +1,111 @@
+//===- grammar/Template.cpp - Templatizing candidate solutions ------------===//
+
+#include "grammar/Template.h"
+
+#include "taco/Printer.h"
+
+#include <set>
+
+using namespace stagg;
+using namespace stagg::grammar;
+using namespace stagg::taco;
+
+std::string grammar::tensorSymbolForPosition(int Position) {
+  assert(Position >= 1 && Position <= 26 && "tensor position out of range");
+  return std::string(1, static_cast<char>('a' + Position - 1));
+}
+
+std::string grammar::indexVarForPosition(int Position) {
+  static const char *Canonical[] = {"i", "j", "k", "l", "m", "n"};
+  assert(Position >= 0 &&
+         Position < static_cast<int>(std::size(Canonical)) &&
+         "index position out of range");
+  return Canonical[Position];
+}
+
+namespace {
+
+/// Rewrites an expression bottom-up, renaming tensors/indices and replacing
+/// constants.
+class TemplatizeRewriter {
+public:
+  explicit TemplatizeRewriter(Templatized &Out) : Out(Out) {}
+
+  std::string renameTensor(const std::string &Name) {
+    auto It = Out.TensorRenaming.find(Name);
+    if (It != Out.TensorRenaming.end())
+      return It->second;
+    std::string Symbol =
+        tensorSymbolForPosition(static_cast<int>(Out.TensorRenaming.size()) + 1);
+    Out.TensorRenaming.emplace(Name, Symbol);
+    return Symbol;
+  }
+
+  std::string renameIndex(const std::string &Var) {
+    auto It = Out.IndexRenaming.find(Var);
+    if (It != Out.IndexRenaming.end())
+      return It->second;
+    std::string Canonical =
+        indexVarForPosition(static_cast<int>(Out.IndexRenaming.size()));
+    Out.IndexRenaming.emplace(Var, Canonical);
+    return Canonical;
+  }
+
+  AccessExpr rewriteAccess(const AccessExpr &A) {
+    std::vector<std::string> Indices;
+    Indices.reserve(A.order());
+    for (const std::string &Var : A.indices())
+      Indices.push_back(renameIndex(Var));
+    return AccessExpr(renameTensor(A.name()), std::move(Indices));
+  }
+
+  ExprPtr rewrite(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::Access:
+      return std::make_unique<AccessExpr>(
+          rewriteAccess(exprCast<AccessExpr>(E)));
+    case Expr::Kind::Constant: {
+      const auto &C = exprCast<ConstantExpr>(E);
+      if (!C.isSymbolic())
+        Out.ReplacedConstants.push_back(C.value());
+      return ConstantExpr::symbolic();
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      ExprPtr Lhs = rewrite(B.lhs());
+      ExprPtr Rhs = rewrite(B.rhs());
+      return std::make_unique<BinaryExpr>(B.op(), std::move(Lhs),
+                                          std::move(Rhs));
+    }
+    case Expr::Kind::Negate:
+      return std::make_unique<NegateExpr>(
+          rewrite(exprCast<NegateExpr>(E).operand()));
+    }
+    return nullptr;
+  }
+
+private:
+  Templatized &Out;
+};
+
+} // namespace
+
+Templatized grammar::templatize(const Program &P) {
+  Templatized Out;
+  TemplatizeRewriter Rewriter(Out);
+  AccessExpr Lhs = Rewriter.rewriteAccess(P.Lhs);
+  ExprPtr Rhs = P.Rhs ? Rewriter.rewrite(*P.Rhs) : nullptr;
+  Out.Template = Program(std::move(Lhs), std::move(Rhs));
+  Out.Key = printProgram(Out.Template);
+  return Out;
+}
+
+std::vector<Templatized>
+grammar::dedupTemplates(const std::vector<Templatized> &Templates) {
+  std::vector<Templatized> Unique;
+  std::set<std::string> Seen;
+  for (const Templatized &T : Templates)
+    if (Seen.insert(T.Key).second)
+      Unique.push_back(T);
+  return Unique;
+}

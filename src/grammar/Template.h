@@ -1,0 +1,73 @@
+//===- grammar/Template.h - Templatizing candidate solutions ----*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Template extraction (paper §4.2.1). A candidate TACO program is
+/// standardized in three steps:
+///
+///  * **Tensor templatization** — tensor names become symbolic variables
+///    `a, b, c, ...` assigned alphabetically by first appearance (LHS first).
+///  * **Index standardization** — index variables are renamed onto the
+///    canonical set `i, j, k, l` in order of first appearance.
+///  * **Constant templatization** — literal constants become the symbolic
+///    constant `Const`.
+///
+/// Two syntactically different LLM guesses that share structure (e.g.
+/// `t(f) = m1(i,f) * m2(f)` and `Target(i) := Mat1(f,i) * Mat2(i)`) map to
+/// the same template, which is what lets the grammar learner pool their
+/// evidence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_GRAMMAR_TEMPLATE_H
+#define STAGG_GRAMMAR_TEMPLATE_H
+
+#include "taco/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace grammar {
+
+/// A templatized candidate plus the bookkeeping of what was renamed.
+struct Templatized {
+  taco::Program Template;
+
+  /// Original tensor name -> symbolic variable (`a`, `b`, ...).
+  std::map<std::string, std::string> TensorRenaming;
+
+  /// Original index variable -> canonical index (`i`, `j`, ...).
+  std::map<std::string, std::string> IndexRenaming;
+
+  /// Literal constants that were replaced by `Const`, in appearance order.
+  std::vector<int64_t> ReplacedConstants;
+
+  /// Canonical printed form, used as a deduplication key.
+  std::string Key;
+};
+
+/// The canonical symbolic tensor variable for position \p Position
+/// (1-based: 1 -> "a", 2 -> "b", ...).
+std::string tensorSymbolForPosition(int Position);
+
+/// The canonical index variable for position \p Position
+/// (0-based: 0 -> "i", 1 -> "j", 2 -> "k", 3 -> "l").
+std::string indexVarForPosition(int Position);
+
+/// Templatizes \p P per §4.2.1.
+Templatized templatize(const taco::Program &P);
+
+/// Deduplicates templates by canonical key, preserving first-seen order.
+std::vector<Templatized>
+dedupTemplates(const std::vector<Templatized> &Templates);
+
+} // namespace grammar
+} // namespace stagg
+
+#endif // STAGG_GRAMMAR_TEMPLATE_H

@@ -1,0 +1,53 @@
+//===- llm/Oracle.h - Candidate-solution oracle interface -------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle abstraction over "ask a large language model for 10 candidate
+/// TACO translations". The paper queries GPT-4 at temperature 1.0; offline we
+/// substitute a seeded noise model (llm/SimulatedLlm.h) that produces the
+/// same statistical situation — see DESIGN.md for the substitution argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_LLM_ORACLE_H
+#define STAGG_LLM_ORACLE_H
+
+#include "benchsuite/Benchmark.h"
+
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace llm {
+
+/// A lifting task as presented to the oracle.
+struct OracleTask {
+  const bench::Benchmark *Query = nullptr;
+
+  /// The rendered prompt (llm/Prompt.h); real backends would send this.
+  std::string Prompt;
+
+  /// How many candidate expressions to request (the paper asks for 10).
+  int NumCandidates = 10;
+};
+
+/// Produces raw candidate lines for a task. Implementations may return more
+/// or fewer lines than requested, and lines may be syntactically invalid —
+/// the response parser deals with both, exactly as the paper describes.
+class CandidateOracle {
+public:
+  virtual ~CandidateOracle() = default;
+
+  virtual std::vector<std::string> propose(const OracleTask &Task) = 0;
+
+protected:
+  CandidateOracle() = default;
+};
+
+} // namespace llm
+} // namespace stagg
+
+#endif // STAGG_LLM_ORACLE_H

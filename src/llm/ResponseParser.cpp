@@ -1,0 +1,56 @@
+//===- llm/ResponseParser.cpp - Parsing LLM responses ---------------------===//
+
+#include "llm/ResponseParser.h"
+
+#include "support/StringUtils.h"
+#include "taco/Parser.h"
+
+#include <cctype>
+
+using namespace stagg;
+using namespace stagg::llm;
+
+std::string llm::preprocessResponseLine(const std::string &Line) {
+  std::string Text = trim(Line);
+
+  // Strip markdown fences and quotes.
+  while (!Text.empty() && (Text.front() == '`' || Text.front() == '"' ||
+                           Text.front() == '\''))
+    Text.erase(Text.begin());
+  while (!Text.empty() && (Text.back() == '`' || Text.back() == '"' ||
+                           Text.back() == '\'' || Text.back() == ','))
+    Text.pop_back();
+
+  // Strip list numbering: "3. expr", "3) expr", "- expr", "* expr" (only
+  // when the star is followed by a space, to avoid eating multiplication).
+  size_t I = 0;
+  while (I < Text.size() && std::isdigit(static_cast<unsigned char>(Text[I])))
+    ++I;
+  if (I > 0 && I < Text.size() && (Text[I] == '.' || Text[I] == ')'))
+    Text = trim(Text.substr(I + 1));
+  else if (Text.size() > 1 && (Text[0] == '-' || Text[0] == '*') &&
+           Text[1] == ' ')
+    Text = trim(Text.substr(2));
+
+  // Normalize `:=` (and the unicode-ish variants LLMs emit) to `=`.
+  Text = replaceAll(Text, ":=", "=");
+
+  return trim(Text);
+}
+
+ParsedResponses llm::parseResponses(const std::vector<std::string> &Lines) {
+  ParsedResponses Result;
+  for (const std::string &Raw : Lines) {
+    std::string Line = preprocessResponseLine(Raw);
+    if (Line.empty())
+      continue;
+    ++Result.TotalLines;
+    taco::ParseResult Parsed = taco::parseTacoProgram(Line);
+    if (!Parsed.ok()) {
+      ++Result.Discarded;
+      continue;
+    }
+    Result.Programs.push_back(std::move(*Parsed.Prog));
+  }
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- llm/ResponseParser.h - Parsing LLM responses -------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns raw oracle lines into parsed TACO programs. Mirrors the paper's
+/// preprocessing: `:=` is normalized to `=` before parsing (§4.2), list
+/// numbering/bullets are stripped, and any line that still fails to parse is
+/// discarded ("we parse in as many solutions as the LLM gives us ... and
+/// discard any syntactically incorrect solutions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_LLM_RESPONSEPARSER_H
+#define STAGG_LLM_RESPONSEPARSER_H
+
+#include "taco/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace llm {
+
+/// Result of parsing one response batch.
+struct ParsedResponses {
+  std::vector<taco::Program> Programs;
+  int TotalLines = 0;
+  int Discarded = 0;
+};
+
+/// Normalizes one raw line: strips list numbering ("3. "), bullets, backtick
+/// fences, and rewrites `:=` to `=`. Returns the cleaned line.
+std::string preprocessResponseLine(const std::string &Line);
+
+/// Parses all lines, discarding invalid candidates.
+ParsedResponses parseResponses(const std::vector<std::string> &Lines);
+
+} // namespace llm
+} // namespace stagg
+
+#endif // STAGG_LLM_RESPONSEPARSER_H

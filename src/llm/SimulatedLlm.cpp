@@ -1,0 +1,401 @@
+//===- llm/SimulatedLlm.cpp - Deterministic LLM stand-in ------------------===//
+
+#include "llm/SimulatedLlm.h"
+
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+#include "taco/Semantics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+
+using namespace stagg;
+using namespace stagg::llm;
+using namespace stagg::taco;
+
+namespace {
+
+/// FNV-1a over the benchmark name, so each query gets its own stream.
+uint64_t hashName(const std::string &Name) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Name)
+    H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ULL;
+  return H;
+}
+
+/// Collects mutable pointers to all accesses in an expression.
+void collectAccesses(Expr &E, std::vector<AccessExpr *> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+    Out.push_back(static_cast<AccessExpr *>(&E));
+    return;
+  case Expr::Kind::Constant:
+    return;
+  case Expr::Kind::Binary: {
+    auto &B = static_cast<BinaryExpr &>(E);
+    collectAccesses(B.lhs(), Out);
+    collectAccesses(B.rhs(), Out);
+    return;
+  }
+  case Expr::Kind::Negate:
+    collectAccesses(static_cast<NegateExpr &>(E).operand(), Out);
+    return;
+  }
+}
+
+/// Collects mutable pointers to binary nodes.
+void collectBinaries(Expr &E, std::vector<BinaryExpr *> &Out) {
+  if (E.kind() != Expr::Kind::Binary)
+    return;
+  auto &B = static_cast<BinaryExpr &>(E);
+  Out.push_back(&B);
+  collectBinaries(B.lhs(), Out);
+  collectBinaries(B.rhs(), Out);
+}
+
+/// One candidate generator run.
+class CandidateMutator {
+public:
+  CandidateMutator(const Program &Truth, Rng &R, const NoiseModel &Model,
+                   double Difficulty)
+      : Truth(Truth), R(R), Model(Model), Difficulty(Difficulty) {}
+
+  /// Produces one raw response line.
+  std::string generate(int ListIndex) {
+    Program Candidate = Truth;
+    bool Systematic = Difficulty >= Model.SystematicThreshold;
+
+    double PExact = Model.ExactBase * std::exp(-Model.ExactDecay * Difficulty);
+    double Roll = R.uniform();
+    if (Systematic) {
+      // The model has misunderstood the data layout: *every* candidate
+      // carries rank corruption on one or two distinct operands (distinct,
+      // so a second corruption can never undo the first), and often some
+      // structural noise on top. No guess carries the true dimension list,
+      // so the vote of §4.2.3 fails.
+      corruptDistinctRanks(Candidate, R.chance(0.55) ? 2 : 1);
+      if (R.chance(0.4))
+        applyMinor(Candidate);
+    } else if (Roll >= PExact) {
+      // A minor perturbation is guaranteed to change the structure; when no
+      // minor mutation applies (e.g. a bare copy), fall through to a major
+      // one so no "noisy" candidate silently stays exact.
+      bool Changed = false;
+      if (R.chance(Model.MinorShare))
+        Changed = applyMinor(Candidate);
+      if (!Changed) {
+        applyMajor(Candidate);
+        if (R.chance(0.3))
+          applyMinor(Candidate);
+      }
+    }
+
+    return render(Candidate, ListIndex);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Structural perturbations
+  //===------------------------------------------------------------------===//
+
+  std::vector<std::string> programIndexVars(const Program &P) {
+    return indexVariables(P);
+  }
+
+  /// Applies one rank-preserving structural perturbation; returns false when
+  /// nothing applicable changed the program (e.g. a bare copy kernel).
+  bool applyMinor(Program &P) {
+    if (!P.Rhs)
+      return false;
+    std::string Before = printProgram(P);
+    for (int Attempt = 0; Attempt < 6; ++Attempt) {
+      std::vector<BinaryExpr *> Bins;
+      collectBinaries(*P.Rhs, Bins);
+      std::vector<AccessExpr *> Accesses;
+      collectAccesses(*P.Rhs, Accesses);
+      switch (R.below(6)) {
+      case 0: {
+        // Swap one operator (kept rare relative to index noise so that a
+        // run of wrong-operator guesses cannot form a false consensus that
+        // outweighs the true operator in the learned grammar).
+        if (Bins.empty())
+          break;
+        BinaryExpr *B = R.pick(Bins);
+        static const BinOpKind Ops[] = {BinOpKind::Add, BinOpKind::Sub,
+                                        BinOpKind::Mul, BinOpKind::Div};
+        BinOpKind NewOp = Ops[R.below(4)];
+        if (NewOp != B->op())
+          B->setOp(NewOp);
+        break;
+      }
+      case 1:
+      case 2: {
+        // Permute the indices of one multi-index access.
+        std::vector<AccessExpr *> Multi;
+        for (AccessExpr *A : Accesses)
+          if (A->order() >= 2)
+            Multi.push_back(A);
+        if (Multi.empty())
+          break;
+        AccessExpr *A = R.pick(Multi);
+        std::vector<std::string> Indices = A->indices();
+        size_t X = R.below(Indices.size());
+        size_t Y = (X + 1 + R.below(Indices.size() - 1)) % Indices.size();
+        std::swap(Indices[X], Indices[Y]);
+        A->setIndices(std::move(Indices));
+        break;
+      }
+      case 3:
+      case 4:
+        redirectIndex(P, Accesses);
+        break;
+      default: {
+        // Mis-rank the *output* ("out(i) = ..." for a reduction) — the
+        // classic LLM slip; static analysis neutralizes it downstream, so
+        // for the pipeline this is benign noise that preserves operators
+        // and operand ranks.
+        std::vector<std::string> Indices = P.Lhs.indices();
+        if (!Indices.empty() && R.chance(0.6))
+          Indices.pop_back();
+        else
+          Indices.push_back(freshIndexVar(P));
+        P.Lhs.setIndices(std::move(Indices));
+        break;
+      }
+      }
+      if (printProgram(P) != Before)
+        return true;
+    }
+    return false;
+  }
+
+  void redirectIndex(Program &P, std::vector<AccessExpr *> &Accesses) {
+    std::vector<std::string> Vars = programIndexVars(P);
+    if (Vars.size() < 2 || Accesses.empty())
+      return;
+    AccessExpr *A = R.pick(Accesses);
+    if (A->order() == 0)
+      return;
+    std::vector<std::string> Indices = A->indices();
+    size_t Slot = R.below(Indices.size());
+    Indices[Slot] = R.pick(Vars);
+    A->setIndices(std::move(Indices));
+  }
+
+  /// Corrupts the rank of \p Count distinct RHS accesses (or the LHS when
+  /// the RHS runs out), so corruptions can never cancel each other.
+  void corruptDistinctRanks(Program &P, int Count) {
+    if (!P.Rhs)
+      return;
+    std::vector<AccessExpr *> Accesses;
+    collectAccesses(*P.Rhs, Accesses);
+    R.shuffle(Accesses);
+    int Done = 0;
+    for (AccessExpr *A : Accesses) {
+      if (Done >= Count)
+        break;
+      std::vector<std::string> Indices = A->indices();
+      if (!Indices.empty() && R.chance(0.5))
+        Indices.pop_back();
+      else
+        Indices.push_back(freshIndexVar(P));
+      A->setIndices(std::move(Indices));
+      ++Done;
+    }
+    if (Done < Count) {
+      std::vector<std::string> Indices = P.Lhs.indices();
+      if (!Indices.empty() && R.chance(0.5))
+        Indices.pop_back();
+      else
+        Indices.push_back(freshIndexVar(P));
+      P.Lhs.setIndices(std::move(Indices));
+    }
+  }
+
+  void corruptRank(Program &P) {
+    if (!P.Rhs)
+      return;
+    std::vector<AccessExpr *> Accesses;
+    collectAccesses(*P.Rhs, Accesses);
+    // Rank confusion most often shows on the *output* ("out(i) = x(i)" for
+    // a reduction) — which the pipeline neutralizes via static analysis —
+    // and when it hits an operand, dropped indices are far more common than
+    // invented ones.
+    if (Accesses.empty() || R.chance(0.45)) {
+      std::vector<std::string> Indices = P.Lhs.indices();
+      if (!Indices.empty() && R.chance(0.6))
+        Indices.pop_back();
+      else
+        Indices.push_back(freshIndexVar(P));
+      P.Lhs.setIndices(std::move(Indices));
+      return;
+    }
+    AccessExpr *A = R.pick(Accesses);
+    std::vector<std::string> Indices = A->indices();
+    if (!Indices.empty() && R.chance(0.5))
+      Indices.pop_back();
+    else
+      Indices.push_back(freshIndexVar(P));
+    A->setIndices(std::move(Indices));
+  }
+
+  std::string freshIndexVar(const Program &P) {
+    std::vector<std::string> Vars = programIndexVars(P);
+    static const char *Pool[] = {"i", "j", "k", "l"};
+    for (const char *V : Pool)
+      if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+        return V;
+    return "l";
+  }
+
+  void applyMajor(Program &P) {
+    if (!P.Rhs)
+      return;
+    std::string Before = printProgram(P);
+    double DimProb = Model.DimBase + Model.DimSlope * Difficulty;
+    if (R.chance(DimProb))
+      return corruptRank(P);
+
+    for (int Attempt = 0; Attempt < 4; ++Attempt) {
+      double Roll = R.uniform();
+      if (Roll < 0.35) {
+        // Drop one side of the root operator (shortens the dimension list;
+        // the max-length filter of §4.2.3 discards such guesses harmlessly).
+        if (auto *B = exprDynCast<BinaryExpr>(P.Rhs.get()))
+          P.Rhs = R.chance(0.5) ? B->lhs().clone() : B->rhs().clone();
+      } else if (Roll < 0.40) {
+        // Append a spurious (mostly additive) term. Kept rare: a longer
+        // guess *lengthens* its dimension list, and the paper's max-length
+        // filter would then discard every correct-length guess.
+        std::vector<AccessExpr *> Accesses;
+        collectAccesses(*P.Rhs, Accesses);
+        ExprPtr Extra;
+        if (!Accesses.empty() && R.chance(0.7))
+          Extra = Accesses[R.below(Accesses.size())]->clone();
+        else
+          Extra = std::make_unique<AccessExpr>(
+              "tmp" + std::to_string(R.below(3)),
+              std::vector<std::string>{freshIndexVar(P)});
+        BinOpKind Op = R.chance(0.7) ? BinOpKind::Add : BinOpKind::Mul;
+        P.Rhs = std::make_unique<BinaryExpr>(Op, std::move(P.Rhs),
+                                             std::move(Extra));
+      } else {
+        // Replace the RHS by a fresh small guess over the same leaves.
+        std::vector<AccessExpr *> Accesses;
+        collectAccesses(*P.Rhs, Accesses);
+        if (Accesses.size() < 2)
+          return corruptRank(P);
+        ExprPtr A = Accesses[0]->clone();
+        ExprPtr B = Accesses[R.below(Accesses.size())]->clone();
+        BinOpKind Op = R.chance(0.6) ? BinOpKind::Add : BinOpKind::Mul;
+        P.Rhs =
+            std::make_unique<BinaryExpr>(Op, std::move(A), std::move(B));
+      }
+      if (printProgram(P) != Before)
+        return;
+    }
+    corruptRank(P);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Surface rendering
+  //===------------------------------------------------------------------===//
+
+  std::string render(Program &P, int ListIndex) {
+    // Rename tensors to invented identifiers some of the time.
+    if (R.chance(Model.RenameTensorProb)) {
+      static const char *Pool[] = {"t",   "r",    "res", "m1",  "m2",
+                                   "vec", "mat",  "dst", "src", "acc",
+                                   "w1",  "out1", "v1",  "v2"};
+      std::map<std::string, std::string> Renames;
+      std::vector<AccessExpr *> Accesses;
+      if (P.Rhs)
+        collectAccesses(*P.Rhs, Accesses);
+      size_t PoolAt = R.below(8);
+      auto RenameOf = [&](const std::string &Old) {
+        auto [It, Inserted] = Renames.emplace(
+            Old, Pool[PoolAt % std::size(Pool)] +
+                     (PoolAt >= std::size(Pool) ? std::to_string(PoolAt) : ""));
+        if (Inserted)
+          ++PoolAt;
+        return It->second;
+      };
+      P.Lhs.setName(RenameOf(P.Lhs.name()));
+      for (AccessExpr *A : Accesses)
+        A->setName(RenameOf(A->name()));
+    }
+
+    // Rename index variables some of the time.
+    if (R.chance(Model.RenameIndexProb)) {
+      static const char *Pool[] = {"f", "g", "p", "q", "x", "y"};
+      std::map<std::string, std::string> Renames;
+      size_t PoolAt = R.below(3);
+      auto RenameOf = [&](const std::string &Old) {
+        auto [It, Inserted] =
+            Renames.emplace(Old, Pool[PoolAt % std::size(Pool)]);
+        if (Inserted)
+          ++PoolAt;
+        return It->second;
+      };
+      auto RenameAccess = [&](AccessExpr &A) {
+        std::vector<std::string> Indices;
+        for (const std::string &V : A.indices())
+          Indices.push_back(RenameOf(V));
+        A.setIndices(std::move(Indices));
+      };
+      RenameAccess(P.Lhs);
+      std::vector<AccessExpr *> Accesses;
+      if (P.Rhs)
+        collectAccesses(*P.Rhs, Accesses);
+      for (AccessExpr *A : Accesses)
+        RenameAccess(*A);
+    }
+
+    std::string Lhs = printAccess(P.Lhs);
+    std::string Rhs = P.Rhs ? printExpr(*P.Rhs) : "0";
+
+    // Occasional unparsable pseudo-notation, discarded downstream.
+    if (R.chance(Model.SumWrapperProb)) {
+      std::vector<std::string> Vars = indexVariables(P);
+      std::string Var = Vars.empty() ? "i" : Vars.back();
+      Rhs = "sum(" + Var + ", " + Rhs + ")";
+    } else if (R.chance(Model.FloatConstProb)) {
+      Rhs = "0.5 * " + Rhs;
+    }
+
+    std::string Assign = R.chance(Model.AssignColonProb) ? " := " : " = ";
+    std::string Line = Lhs + Assign + Rhs;
+    if (R.chance(Model.ListNumberProb))
+      Line = std::to_string(ListIndex + 1) + ". " + Line;
+    return Line;
+  }
+
+  const Program &Truth;
+  Rng &R;
+  const NoiseModel &Model;
+  double Difficulty;
+};
+
+} // namespace
+
+std::vector<std::string> SimulatedLlm::propose(const OracleTask &Task) {
+  assert(Task.Query && "oracle task needs a benchmark");
+  const bench::Benchmark &B = *Task.Query;
+
+  ParseResult Truth = parseTacoProgram(B.GroundTruth);
+  assert(Truth.ok() && "benchmark ground truth must parse");
+
+  Rng R(Seed ^ hashName(B.Name));
+  double Difficulty = B.computedDifficulty();
+
+  std::vector<std::string> Lines;
+  CandidateMutator Mutator(*Truth.Prog, R, Model, Difficulty);
+  for (int I = 0; I < Task.NumCandidates; ++I)
+    Lines.push_back(Mutator.generate(I));
+  // Like the real model, occasionally volunteer an extra guess.
+  if (R.chance(0.15))
+    Lines.push_back(Mutator.generate(Task.NumCandidates));
+  return Lines;
+}

@@ -1,0 +1,178 @@
+//===- search/BottomUp.cpp - Bottom-up weighted A* enumeration ------------===//
+
+#include "search/BottomUp.h"
+
+#include "search/CostModel.h"
+#include "search/Penalty.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+using namespace stagg;
+using namespace stagg::search;
+using namespace stagg::taco;
+
+namespace {
+
+struct ChainState {
+  double F = 0;
+  double C = 0;
+  uint64_t Seq = 0;
+  std::vector<const grammar::TensorRule *> Leaves;
+  std::vector<BinOpKind> Ops; ///< Ops.size() == Leaves.size() - 1.
+};
+
+struct ChainGreater {
+  bool operator()(const ChainState &A, const ChainState &B) const {
+    if (A.F != B.F)
+      return A.F > B.F;
+    return A.Seq > B.Seq;
+  }
+};
+
+/// Folds the chain into a TACO expression. The tail grammar of §5.2 derives
+/// *flat strings* (`TENSOR2 OP TENSOR3 OP ...`), so the resulting template
+/// is the string's parse under standard precedence: `*`/`/` bind tighter
+/// than `+`/`-`. This is precisely why the bottom-up search cannot reach
+/// parenthesized shapes like `(b + c) * d`.
+ExprPtr chainToExpr(const ChainState &S) {
+  assert(!S.Leaves.empty() && "empty chain has no expression");
+  std::vector<ExprPtr> Leaves;
+  Leaves.reserve(S.Leaves.size());
+  for (const grammar::TensorRule *R : S.Leaves) {
+    if (R->IsConst)
+      Leaves.push_back(ConstantExpr::symbolic());
+    else
+      Leaves.push_back(std::make_unique<AccessExpr>(R->Symbol, R->Indices));
+  }
+  return foldPrecedenceChain(std::move(Leaves), S.Ops);
+}
+
+std::vector<std::string> chainSymbols(const ChainState &S) {
+  std::vector<std::string> Symbols;
+  for (const grammar::TensorRule *R : S.Leaves)
+    if (!R->IsConst)
+      Symbols.push_back(R->Symbol);
+  return Symbols;
+}
+
+std::vector<BinOpKind> chainDistinctOps(const ChainState &S) {
+  std::vector<BinOpKind> Ops;
+  for (BinOpKind Op : S.Ops)
+    if (std::find(Ops.begin(), Ops.end(), Op) == Ops.end())
+      Ops.push_back(Op);
+  return Ops;
+}
+
+} // namespace
+
+SearchResult search::runBottomUp(const grammar::TemplateGrammar &G,
+                                 const SearchConfig &Config,
+                                 const TemplateProbe &Probe) {
+  SearchResult Result;
+  Timer Clock;
+
+  if (G.DimList.empty() || G.TensorRules.empty()) {
+    Result.FailReason = "empty grammar (no usable LLM candidates)";
+    return Result;
+  }
+
+  CostModel Costs(G);
+  const int RhsSlots = static_cast<int>(G.DimList.size()) - 1;
+
+  // Suffix sums of m(L[pos]) for the heuristic g(x) = sum of the cheapest
+  // still-missing tensors.
+  std::vector<double> SuffixCost(static_cast<size_t>(RhsSlots) + 1, 0);
+  for (int Slot = RhsSlots - 1; Slot >= 0; --Slot) {
+    double M = Costs.minTensorCost(G.DimList[static_cast<size_t>(Slot) + 1]);
+    if (std::isinf(M))
+      M = 60; // Unfillable slot: large but finite so the search still runs.
+    SuffixCost[Slot] = SuffixCost[Slot + 1] + M;
+  }
+
+  std::priority_queue<ChainState, std::vector<ChainState>, ChainGreater> Queue;
+  uint64_t NextSeq = 0;
+
+  auto Push = [&](ChainState S) {
+    double Penalty = bottomUpPenalty(chainSymbols(S), chainDistinctOps(S),
+                                     static_cast<int>(S.Leaves.size()), G,
+                                     Config);
+    if (std::isinf(Penalty))
+      return;
+    size_t Filled = S.Leaves.size();
+    double Remaining =
+        Filled <= static_cast<size_t>(RhsSlots) ? SuffixCost[Filled] : 0;
+    S.F = S.C + Remaining + Penalty;
+    S.Seq = NextSeq++;
+    Queue.push(std::move(S));
+  };
+
+  Push(ChainState());
+
+  static const BinOpKind AllOps[] = {BinOpKind::Add, BinOpKind::Sub,
+                                     BinOpKind::Mul, BinOpKind::Div};
+
+  while (!Queue.empty()) {
+    if (Clock.seconds() > Config.TimeoutSeconds) {
+      Result.FailReason = "timeout";
+      break;
+    }
+    if (Result.Expansions >= Config.MaxExpansions ||
+        Result.Attempts >= Config.MaxAttempts) {
+      Result.FailReason = "budget exhausted";
+      break;
+    }
+
+    ChainState Current = Queue.top();
+    Queue.pop();
+    ++Result.Expansions;
+
+    // Algorithm 2, line 5: once the chain holds as many tensors as the
+    // dimension list predicts, strip the tail nonterminal and probe.
+    if (static_cast<int>(Current.Leaves.size()) == RhsSlots) {
+      taco::Program Candidate(G.Lhs, chainToExpr(Current));
+      ++Result.Attempts;
+      if (Probe(Candidate)) {
+        Result.Solved = true;
+        Result.SolvedTemplate = std::move(Candidate);
+        break;
+      }
+    }
+
+    // Re-append the tail and expand: the grammar only allows growth while
+    // fewer tensors than the dimension list predicts are present.
+    if (static_cast<int>(Current.Leaves.size()) >= RhsSlots)
+      continue;
+    int NextPosition = static_cast<int>(Current.Leaves.size()) + 2;
+    std::vector<const grammar::TensorRule *> Rules =
+        G.rulesForPosition(NextPosition);
+    if (Current.Leaves.empty()) {
+      for (const grammar::TensorRule *Rule : Rules) {
+        ChainState Child = Current;
+        Child.Leaves.push_back(Rule);
+        Child.C += Rule->Cost;
+        Push(std::move(Child));
+      }
+      continue;
+    }
+    for (BinOpKind Op : AllOps) {
+      double OpCost = Costs.costOp(Op);
+      if (std::isinf(OpCost))
+        continue;
+      for (const grammar::TensorRule *Rule : Rules) {
+        ChainState Child = Current;
+        Child.Ops.push_back(Op);
+        Child.Leaves.push_back(Rule);
+        Child.C += OpCost + Rule->Cost;
+        Push(std::move(Child));
+      }
+    }
+  }
+
+  if (!Result.Solved && Result.FailReason.empty())
+    Result.FailReason = "search space exhausted";
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- search/CostModel.cpp - A* cost and heuristic functions -------------===//
+
+#include "search/CostModel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace stagg;
+using namespace stagg::search;
+
+static double negLog2(double P) {
+  if (P <= 0)
+    return std::numeric_limits<double>::infinity();
+  return -std::log2(P);
+}
+
+CostModel::CostModel(const grammar::TemplateGrammar &G) : G(G) {
+  CExprTensor = negLog2(G.PExprTensor);
+  CExprConst = negLog2(G.PExprConst);
+  CExprBin = negLog2(G.PExprBin);
+  for (int I = 0; I < 4; ++I)
+    COp[I] = negLog2(G.POp[I]);
+
+  // h(TENSOR): maximal production probability; h(CONSTANT) = 1.
+  double HTensor = 0;
+  for (const grammar::TensorRule &R : G.TensorRules)
+    if (!R.IsConst)
+      HTensor = std::max(HTensor, R.Prob);
+  double HOp = 0;
+  for (double P : G.POp)
+    HOp = std::max(HOp, P);
+
+  // h(EXPR) fixpoint: h = max(Pt*h(TENSOR), Pc*1, Pb*h*h(OP)*h). Iterating
+  // from the leaf-only value converges because the recursive term is
+  // monotone and bounded by 1.
+  double HExpr = std::max(G.PExprTensor * HTensor,
+                          G.HasConstRule ? G.PExprConst : 0.0);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    double Next =
+        std::max(std::max(G.PExprTensor * HTensor,
+                          G.HasConstRule ? G.PExprConst : 0.0),
+                 G.PExprBin * HExpr * HOp * HExpr);
+    if (std::abs(Next - HExpr) < 1e-12)
+      break;
+    HExpr = Next;
+  }
+  HoleCharge = negLog2(HExpr);
+  OpHoleCharge = negLog2(HOp);
+}
+
+double CostModel::minTensorCost(int Dim) const {
+  double Best = std::numeric_limits<double>::infinity();
+  for (const grammar::TensorRule &R : G.TensorRules)
+    if (R.dim() == Dim)
+      Best = std::min(Best, R.Cost);
+  return Best;
+}

@@ -1,0 +1,57 @@
+//===- search/Penalty.h - Domain-specific penalty functions -----*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The penalty terms X(x) of §5.1 (top-down criteria a1..a5) and §5.2
+/// (bottom-up criteria b1..b2). An infinite penalty means the expression is
+/// pruned outright; finite penalties deprioritize it. Template length is
+/// measured as the number of tensor symbols *including* the LHS, matching
+/// the dimension list whose first entry is the LHS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SEARCH_PENALTY_H
+#define STAGG_SEARCH_PENALTY_H
+
+#include "grammar/Pcfg.h"
+#include "search/SearchTypes.h"
+#include "search/TemplateState.h"
+
+namespace stagg {
+namespace search {
+
+/// The "infinite" penalty.
+double infinitePenalty();
+
+/// Top-down penalty X(x) over the metrics of a partial or complete template.
+double topDownPenalty(const StateMetrics &M, const grammar::TemplateGrammar &G,
+                      const SearchConfig &Config);
+
+/// Bottom-up penalty over the flat chain state: \p TensorSymbols is the
+/// in-order list of non-constant tensor symbols chosen so far, \p OpsUsed the
+/// distinct operators, \p RhsLeaves the number of leaves placed.
+double bottomUpPenalty(const std::vector<std::string> &TensorSymbols,
+                       const std::vector<taco::BinOpKind> &OpsUsed,
+                       int RhsLeaves, const grammar::TemplateGrammar &G,
+                       const SearchConfig &Config);
+
+/// Shared helper: true when the distinct symbols of \p TensorOrder appear in
+/// canonical alphabetical order (first new symbol is `b`, second `c`, ...).
+bool tensorsInCanonicalOrder(const std::vector<std::string> &TensorOrder);
+
+/// Class-aware canonical-order check used by penalties a3/b1. With the
+/// refined grammar, symbols are interchangeable only within a dimension
+/// class, so the order requirement applies per class: a template may use
+/// the 1-D symbol `c` without the 0-D symbol `b`, but using `e` before `c`
+/// (both 1-D) duplicates an already-enumerated structure. With the full
+/// grammar every symbol is equivalent and the global rule applies.
+bool tensorsInCanonicalOrder(const std::vector<std::string> &TensorOrder,
+                             const grammar::TemplateGrammar &G);
+
+} // namespace search
+} // namespace stagg
+
+#endif // STAGG_SEARCH_PENALTY_H

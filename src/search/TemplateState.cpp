@@ -1,0 +1,117 @@
+//===- search/TemplateState.cpp - Partial template trees ------------------===//
+
+#include "search/TemplateState.h"
+
+#include <algorithm>
+
+using namespace stagg;
+using namespace stagg::search;
+using namespace stagg::taco;
+
+std::unique_ptr<TNode> TNode::clone() const {
+  auto Copy = std::make_unique<TNode>();
+  Copy->K = K;
+  Copy->Rule = Rule;
+  Copy->Op = Op;
+  Copy->OpKnown = OpKnown;
+  if (Lhs)
+    Copy->Lhs = Lhs->clone();
+  if (Rhs)
+    Copy->Rhs = Rhs->clone();
+  return Copy;
+}
+
+Frontier search::leftmostNonterminal(TNode &Root) {
+  switch (Root.K) {
+  case TNode::Kind::Hole: {
+    Frontier F;
+    F.K = Frontier::Kind::ExprHole;
+    F.Node = &Root;
+    return F;
+  }
+  case TNode::Kind::Leaf:
+    return {};
+  case TNode::Kind::Bin: {
+    Frontier F = leftmostNonterminal(*Root.Lhs);
+    if (F.K != Frontier::Kind::None)
+      return F;
+    if (!Root.OpKnown) {
+      F.K = Frontier::Kind::OpHole;
+      F.Node = &Root;
+      return F;
+    }
+    return leftmostNonterminal(*Root.Rhs);
+  }
+  }
+  return {};
+}
+
+namespace {
+
+void collectMetrics(const TNode &Node, StateMetrics &M, int Depth) {
+  M.Depth = std::max(M.Depth, Depth);
+  switch (Node.K) {
+  case TNode::Kind::Hole:
+    ++M.Holes;
+    return;
+  case TNode::Kind::Leaf: {
+    ++M.Leaves;
+    const grammar::TensorRule *R = Node.Rule;
+    if (R->IsConst) {
+      ++M.ConstLeaves;
+      return;
+    }
+    if (std::find(R->Indices.begin(), R->Indices.end(), "i") !=
+        R->Indices.end())
+      ++M.TensorsWithI;
+    if (std::find(M.TensorOrder.begin(), M.TensorOrder.end(), R->Symbol) ==
+        M.TensorOrder.end())
+      M.TensorOrder.push_back(R->Symbol);
+    return;
+  }
+  case TNode::Kind::Bin: {
+    if (Node.OpKnown) {
+      if (std::find(M.OpsUsed.begin(), M.OpsUsed.end(), Node.Op) ==
+          M.OpsUsed.end())
+        M.OpsUsed.push_back(Node.Op);
+      // Penalty a4: + - / applied to the identical access on both sides.
+      if (Node.Op != BinOpKind::Mul && Node.Lhs->K == TNode::Kind::Leaf &&
+          Node.Rhs->K == TNode::Kind::Leaf && Node.Lhs->Rule == Node.Rhs->Rule &&
+          !Node.Lhs->Rule->IsConst)
+        M.DegenerateOp = true;
+    } else {
+      ++M.OpHoles;
+    }
+    collectMetrics(*Node.Lhs, M, Depth + 1);
+    collectMetrics(*Node.Rhs, M, Depth + 1);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+StateMetrics search::computeMetrics(const TNode &Root) {
+  StateMetrics M;
+  collectMetrics(Root, M, 1);
+  M.Complete = M.Holes == 0 && M.OpHoles == 0;
+  return M;
+}
+
+ExprPtr search::treeToExpr(const TNode &Root) {
+  switch (Root.K) {
+  case TNode::Kind::Hole:
+    assert(false && "treeToExpr on an incomplete tree");
+    return nullptr;
+  case TNode::Kind::Leaf:
+    if (Root.Rule->IsConst)
+      return ConstantExpr::symbolic();
+    return std::make_unique<AccessExpr>(Root.Rule->Symbol, Root.Rule->Indices);
+  case TNode::Kind::Bin: {
+    assert(Root.OpKnown && "treeToExpr on an incomplete tree");
+    return std::make_unique<BinaryExpr>(Root.Op, treeToExpr(*Root.Lhs),
+                                        treeToExpr(*Root.Rhs));
+  }
+  }
+  return nullptr;
+}

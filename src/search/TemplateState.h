@@ -1,0 +1,89 @@
+//===- search/TemplateState.h - Partial template trees ----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-down search state: a partial abstract syntax tree over the
+/// template grammar. Unexpanded EXPR nonterminals appear as holes; a binary
+/// node whose OP nonterminal has not been expanded yet carries an "op hole".
+/// Expansion always rewrites the *leftmost* nonterminal (matching the
+/// leftmost-derivation convention used when learning weights).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SEARCH_TEMPLATESTATE_H
+#define STAGG_SEARCH_TEMPLATESTATE_H
+
+#include "grammar/Pcfg.h"
+#include "taco/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace search {
+
+/// One node of a partial template tree.
+struct TNode {
+  enum class Kind {
+    Hole, ///< Unexpanded EXPR nonterminal.
+    Leaf, ///< TENSOR or CONSTANT production applied (Rule set).
+    Bin,  ///< EXPR OP EXPR; OpKnown says whether OP was expanded.
+  };
+
+  Kind K = Kind::Hole;
+  const grammar::TensorRule *Rule = nullptr;
+  taco::BinOpKind Op = taco::BinOpKind::Add;
+  bool OpKnown = false;
+  std::unique_ptr<TNode> Lhs, Rhs;
+
+  static std::unique_ptr<TNode> hole() { return std::make_unique<TNode>(); }
+
+  std::unique_ptr<TNode> clone() const;
+};
+
+/// Identifies the leftmost nonterminal in a tree.
+struct Frontier {
+  enum class Kind { None, ExprHole, OpHole };
+  Kind K = Kind::None;
+  TNode *Node = nullptr; ///< The hole itself, or the Bin node missing its op.
+};
+
+/// In-order scan for the leftmost nonterminal.
+Frontier leftmostNonterminal(TNode &Root);
+
+/// Structural metrics consumed by the penalty functions.
+struct StateMetrics {
+  int Leaves = 0;        ///< Tensor/constant leaves placed so far.
+  int Holes = 0;         ///< Unexpanded EXPR holes.
+  int OpHoles = 0;       ///< Unexpanded OP slots.
+  int Depth = 1;         ///< Paper depth (accesses depth 1, holes too).
+  int ConstLeaves = 0;   ///< Leaves that are the symbolic constant.
+  int TensorsWithI = 0;  ///< Leaves indexed by the first canonical variable.
+  bool Complete = false; ///< No nonterminals remain.
+
+  /// Distinct non-constant tensor symbols in order of first appearance.
+  std::vector<std::string> TensorOrder;
+
+  /// Distinct operators already fixed.
+  std::vector<taco::BinOpKind> OpsUsed;
+
+  /// True if some binary node with + - or / has structurally identical
+  /// access leaves on both sides (penalty a4).
+  bool DegenerateOp = false;
+};
+
+/// Computes metrics for a partial tree.
+StateMetrics computeMetrics(const TNode &Root);
+
+/// Converts a complete tree into a TACO expression. Must only be called when
+/// the tree has no nonterminals.
+taco::ExprPtr treeToExpr(const TNode &Root);
+
+} // namespace search
+} // namespace stagg
+
+#endif // STAGG_SEARCH_TEMPLATESTATE_H

@@ -1,0 +1,145 @@
+//===- search/TopDown.cpp - Top-down weighted A* enumeration --------------===//
+
+#include "search/TopDown.h"
+
+#include "search/CostModel.h"
+#include "search/Penalty.h"
+#include "search/TemplateState.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace stagg;
+using namespace stagg::search;
+
+namespace {
+
+struct Item {
+  double F = 0;
+  double C = 0;
+  uint64_t Seq = 0;
+  std::unique_ptr<TNode> Root;
+};
+
+/// Min-heap ordering on F with FIFO tie-breaking (std::*_heap builds a
+/// max-heap, so the comparison is inverted).
+struct ItemGreater {
+  bool operator()(const Item &A, const Item &B) const {
+    if (A.F != B.F)
+      return A.F > B.F;
+    return A.Seq > B.Seq;
+  }
+};
+
+} // namespace
+
+SearchResult search::runTopDown(const grammar::TemplateGrammar &G,
+                                const SearchConfig &Config,
+                                const TemplateProbe &Probe) {
+  SearchResult Result;
+  Timer Clock;
+
+  if (G.DimList.empty() || G.TensorRules.empty()) {
+    Result.FailReason = "empty grammar (no usable LLM candidates)";
+    return Result;
+  }
+
+  CostModel Costs(G);
+  std::vector<Item> Heap;
+  ItemGreater Cmp;
+  uint64_t NextSeq = 0;
+
+  auto Push = [&](double C, std::unique_ptr<TNode> Root) {
+    StateMetrics M = computeMetrics(*Root);
+    double Penalty = topDownPenalty(M, G, Config);
+    if (std::isinf(Penalty))
+      return;
+    double G2 = M.Holes * Costs.holeCharge() + M.OpHoles * Costs.opHoleCharge();
+    Item It;
+    It.F = C + G2 + Penalty;
+    It.C = C;
+    It.Seq = NextSeq++;
+    It.Root = std::move(Root);
+    if (std::isinf(It.F))
+      return;
+    Heap.push_back(std::move(It));
+    std::push_heap(Heap.begin(), Heap.end(), Cmp);
+  };
+
+  Push(0, TNode::hole());
+
+  while (!Heap.empty()) {
+    if (Clock.seconds() > Config.TimeoutSeconds) {
+      Result.FailReason = "timeout";
+      break;
+    }
+    if (Result.Expansions >= Config.MaxExpansions ||
+        Result.Attempts >= Config.MaxAttempts) {
+      Result.FailReason = "budget exhausted";
+      break;
+    }
+
+    std::pop_heap(Heap.begin(), Heap.end(), Cmp);
+    Item Current = std::move(Heap.back());
+    Heap.pop_back();
+    ++Result.Expansions;
+
+    StateMetrics M = computeMetrics(*Current.Root);
+    if (M.Depth > Config.MaxDepth)
+      continue; // Algorithm 1, line 5.
+
+    Frontier F = leftmostNonterminal(*Current.Root);
+    if (F.K == Frontier::Kind::None) {
+      // Complete template: submit to validation + verification.
+      taco::Program Candidate(G.Lhs, treeToExpr(*Current.Root));
+      ++Result.Attempts;
+      if (Probe(Candidate)) {
+        Result.Solved = true;
+        Result.SolvedTemplate = std::move(Candidate);
+        break;
+      }
+      continue;
+    }
+
+    if (F.K == Frontier::Kind::OpHole) {
+      static const taco::BinOpKind Ops[] = {
+          taco::BinOpKind::Add, taco::BinOpKind::Sub, taco::BinOpKind::Mul,
+          taco::BinOpKind::Div};
+      for (taco::BinOpKind Op : Ops) {
+        std::unique_ptr<TNode> Child = Current.Root->clone();
+        Frontier CF = leftmostNonterminal(*Child);
+        CF.Node->Op = Op;
+        CF.Node->OpKnown = true;
+        Push(Current.C + Costs.costOp(Op), std::move(Child));
+      }
+      continue;
+    }
+
+    // EXPR hole: TENSOR / CONSTANT / EXPR OP EXPR.
+    for (const grammar::TensorRule &Rule : G.TensorRules) {
+      std::unique_ptr<TNode> Child = Current.Root->clone();
+      Frontier CF = leftmostNonterminal(*Child);
+      CF.Node->K = TNode::Kind::Leaf;
+      CF.Node->Rule = &Rule;
+      double RuleCost = Rule.IsConst ? Costs.costExprConst()
+                                     : Costs.costExprTensor() + Rule.Cost;
+      Push(Current.C + RuleCost, std::move(Child));
+    }
+    {
+      std::unique_ptr<TNode> Child = Current.Root->clone();
+      Frontier CF = leftmostNonterminal(*Child);
+      CF.Node->K = TNode::Kind::Bin;
+      CF.Node->OpKnown = false;
+      CF.Node->Lhs = TNode::hole();
+      CF.Node->Rhs = TNode::hole();
+      Push(Current.C + Costs.costExprBin(), std::move(Child));
+    }
+  }
+
+  if (!Result.Solved && Result.FailReason.empty())
+    Result.FailReason = "search space exhausted";
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

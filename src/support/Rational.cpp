@@ -1,0 +1,88 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+
+#include "support/Rational.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace stagg;
+
+Rational::Rational(int64_t Numerator, int64_t Denominator)
+    : Num(Numerator), Den(Denominator) {
+  normalize();
+}
+
+Rational Rational::undefined() {
+  Rational R;
+  R.Num = 0;
+  R.Den = 0;
+  return R;
+}
+
+void Rational::normalize() {
+  if (Den == 0) {
+    Num = 0;
+    return;
+  }
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+}
+
+Rational Rational::operator+(const Rational &Other) const {
+  if (isUndefined() || Other.isUndefined())
+    return undefined();
+  return Rational(Num * Other.Den + Other.Num * Den, Den * Other.Den);
+}
+
+Rational Rational::operator-(const Rational &Other) const {
+  if (isUndefined() || Other.isUndefined())
+    return undefined();
+  return Rational(Num * Other.Den - Other.Num * Den, Den * Other.Den);
+}
+
+Rational Rational::operator*(const Rational &Other) const {
+  if (isUndefined() || Other.isUndefined())
+    return undefined();
+  return Rational(Num * Other.Num, Den * Other.Den);
+}
+
+Rational Rational::operator/(const Rational &Other) const {
+  if (isUndefined() || Other.isUndefined() || Other.Num == 0)
+    return undefined();
+  return Rational(Num * Other.Den, Den * Other.Num);
+}
+
+Rational Rational::operator-() const {
+  if (isUndefined())
+    return undefined();
+  Rational R(*this);
+  R.Num = -R.Num;
+  return R;
+}
+
+bool Rational::operator<(const Rational &Other) const {
+  assert(!isUndefined() && !Other.isUndefined() &&
+         "ordering undefined rationals");
+  return Num * Other.Den < Other.Num * Den;
+}
+
+double Rational::toDouble() const {
+  if (isUndefined())
+    return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(Num) / static_cast<double>(Den);
+}
+
+std::string Rational::str() const {
+  if (isUndefined())
+    return "undef";
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

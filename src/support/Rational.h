@@ -1,0 +1,79 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over 64-bit components. The paper extends CBMC with
+/// rational datatypes so that equivalence of lifted programs is checked
+/// without floating-point noise; our bounded verifier uses this class for the
+/// same purpose. Overflow is guarded by assertions: the verifier only feeds
+/// small bounded inputs, so intermediate values stay tiny.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SUPPORT_RATIONAL_H
+#define STAGG_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+namespace stagg {
+
+/// An exact rational number, always kept in lowest terms with a positive
+/// denominator. Division by zero yields a dedicated "undefined" state rather
+/// than trapping, because the einsum evaluator may legitimately divide by a
+/// zero tensor entry during candidate validation; undefined values compare
+/// equal only to other undefined values.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  /*implicit*/ Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Numerator, int64_t Denominator);
+
+  /// Builds the canonical undefined value (result of division by zero).
+  static Rational undefined();
+
+  bool isUndefined() const { return Den == 0; }
+  bool isZero() const { return !isUndefined() && Num == 0; }
+
+  int64_t numerator() const { return Num; }
+  int64_t denominator() const { return Den; }
+
+  Rational operator+(const Rational &Other) const;
+  Rational operator-(const Rational &Other) const;
+  Rational operator*(const Rational &Other) const;
+  Rational operator/(const Rational &Other) const;
+  Rational operator-() const;
+
+  Rational &operator+=(const Rational &Other) { return *this = *this + Other; }
+  Rational &operator-=(const Rational &Other) { return *this = *this - Other; }
+  Rational &operator*=(const Rational &Other) { return *this = *this * Other; }
+  Rational &operator/=(const Rational &Other) { return *this = *this / Other; }
+
+  bool operator==(const Rational &Other) const {
+    return Num == Other.Num && Den == Other.Den;
+  }
+  bool operator!=(const Rational &Other) const { return !(*this == Other); }
+  bool operator<(const Rational &Other) const;
+
+  /// Converts to double for diagnostics only; undefined maps to NaN.
+  double toDouble() const;
+
+  /// Renders as "n", "n/d", or "undef".
+  std::string str() const;
+
+private:
+  void normalize();
+
+  int64_t Num;
+  /// Zero denominator encodes the undefined state.
+  int64_t Den;
+};
+
+} // namespace stagg
+
+#endif // STAGG_SUPPORT_RATIONAL_H

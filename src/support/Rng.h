@@ -1,0 +1,70 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64-seeded xoshiro256**).
+/// Every stochastic component of the system (I/O example generation, the
+/// simulated LLM's noise model) draws from an explicitly seeded Rng so that
+/// experiments are reproducible run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SUPPORT_RNG_H
+#define STAGG_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stagg {
+
+/// Deterministic xoshiro256** generator with convenience sampling helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound) for Bound > 0.
+  uint64_t below(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double uniform();
+
+  /// Returns true with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "picking from an empty vector");
+    return Items[below(Items.size())];
+  }
+
+  /// Samples an index according to non-negative \p Weights (at least one must
+  /// be positive).
+  size_t weightedIndex(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[below(I)]);
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace stagg
+
+#endif // STAGG_SUPPORT_RNG_H

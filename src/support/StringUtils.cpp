@@ -1,0 +1,59 @@
+//===- support/StringUtils.cpp - Small string helpers ---------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace stagg;
+
+std::string stagg::trim(const std::string &Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> stagg::splitString(const std::string &Text,
+                                            char Separator) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Separator) {
+      Parts.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::string stagg::replaceAll(std::string Text, const std::string &From,
+                              const std::string &To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}
+
+std::string stagg::joinStrings(const std::vector<std::string> &Parts,
+                               const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool stagg::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}

@@ -1,0 +1,39 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String utilities shared across the front ends and the response parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SUPPORT_STRINGUTILS_H
+#define STAGG_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace stagg {
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// Splits \p Text on \p Separator, keeping empty fields.
+std::vector<std::string> splitString(const std::string &Text, char Separator);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, const std::string &From,
+                       const std::string &To);
+
+/// Joins \p Parts with \p Separator between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Separator);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+} // namespace stagg
+
+#endif // STAGG_SUPPORT_STRINGUTILS_H

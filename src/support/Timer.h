@@ -1,0 +1,61 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple monotonic wall-clock timer and a deadline type used to implement
+/// the per-query synthesis timeout from the paper's evaluation setup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SUPPORT_TIMER_H
+#define STAGG_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace stagg {
+
+/// Measures elapsed wall-clock time from construction (or last restart).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A wall-clock budget. A default-constructed deadline never expires.
+class Deadline {
+public:
+  Deadline() : LimitSeconds(-1) {}
+  explicit Deadline(double Seconds) : LimitSeconds(Seconds) {}
+
+  bool expired() const {
+    return LimitSeconds >= 0 && Elapsed.seconds() > LimitSeconds;
+  }
+
+  double remainingSeconds() const {
+    if (LimitSeconds < 0)
+      return 1e30;
+    return LimitSeconds - Elapsed.seconds();
+  }
+
+private:
+  Timer Elapsed;
+  double LimitSeconds;
+};
+
+} // namespace stagg
+
+#endif // STAGG_SUPPORT_TIMER_H

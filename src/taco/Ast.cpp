@@ -1,0 +1,142 @@
+//===- taco/Ast.cpp - TACO index-notation AST -----------------------------===//
+
+#include "taco/Ast.h"
+
+#include <algorithm>
+
+using namespace stagg;
+using namespace stagg::taco;
+
+const char *taco::binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  }
+  return "?";
+}
+
+ExprPtr taco::foldPrecedenceChain(std::vector<ExprPtr> Leaves,
+                                  const std::vector<BinOpKind> &Ops) {
+  assert(!Leaves.empty() && Ops.size() == Leaves.size() - 1 &&
+         "malformed chain");
+  auto IsTight = [](BinOpKind Op) {
+    return Op == BinOpKind::Mul || Op == BinOpKind::Div;
+  };
+  std::vector<ExprPtr> Terms;
+  std::vector<BinOpKind> TermOps;
+  ExprPtr Current = std::move(Leaves[0]);
+  for (size_t I = 1; I < Leaves.size(); ++I) {
+    BinOpKind Op = Ops[I - 1];
+    if (IsTight(Op)) {
+      Current = std::make_unique<BinaryExpr>(Op, std::move(Current),
+                                             std::move(Leaves[I]));
+      continue;
+    }
+    Terms.push_back(std::move(Current));
+    TermOps.push_back(Op);
+    Current = std::move(Leaves[I]);
+  }
+  Terms.push_back(std::move(Current));
+  ExprPtr E = std::move(Terms[0]);
+  for (size_t I = 1; I < Terms.size(); ++I)
+    E = std::make_unique<BinaryExpr>(TermOps[I - 1], std::move(E),
+                                     std::move(Terms[I]));
+  return E;
+}
+
+bool taco::exprEquals(const Expr &A, const Expr &B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case Expr::Kind::Access: {
+    const auto &AA = exprCast<AccessExpr>(A);
+    const auto &BA = exprCast<AccessExpr>(B);
+    return AA.name() == BA.name() && AA.indices() == BA.indices();
+  }
+  case Expr::Kind::Constant: {
+    const auto &AC = exprCast<ConstantExpr>(A);
+    const auto &BC = exprCast<ConstantExpr>(B);
+    if (AC.isSymbolic() != BC.isSymbolic())
+      return false;
+    return AC.isSymbolic() || AC.value() == BC.value();
+  }
+  case Expr::Kind::Binary: {
+    const auto &AB = exprCast<BinaryExpr>(A);
+    const auto &BB = exprCast<BinaryExpr>(B);
+    return AB.op() == BB.op() && exprEquals(AB.lhs(), BB.lhs()) &&
+           exprEquals(AB.rhs(), BB.rhs());
+  }
+  case Expr::Kind::Negate:
+    return exprEquals(exprCast<NegateExpr>(A).operand(),
+                      exprCast<NegateExpr>(B).operand());
+  }
+  return false;
+}
+
+bool taco::programEquals(const Program &A, const Program &B) {
+  if (!A.Rhs || !B.Rhs)
+    return A.Rhs == B.Rhs;
+  return A.Lhs.name() == B.Lhs.name() && A.Lhs.indices() == B.Lhs.indices() &&
+         exprEquals(*A.Rhs, *B.Rhs);
+}
+
+int taco::exprDepth(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+  case Expr::Kind::Constant:
+    return 1;
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    return 1 + std::max(exprDepth(B.lhs()), exprDepth(B.rhs()));
+  }
+  case Expr::Kind::Negate:
+    return 1 + exprDepth(exprCast<NegateExpr>(E).operand());
+  }
+  return 1;
+}
+
+int taco::countLeaves(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+  case Expr::Kind::Constant:
+    return 1;
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    return countLeaves(B.lhs()) + countLeaves(B.rhs());
+  }
+  case Expr::Kind::Negate:
+    return countLeaves(exprCast<NegateExpr>(E).operand());
+  }
+  return 0;
+}
+
+static void collectOps(const Expr &E, std::vector<BinOpKind> &Ops) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+  case Expr::Kind::Constant:
+    return;
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    if (std::find(Ops.begin(), Ops.end(), B.op()) == Ops.end())
+      Ops.push_back(B.op());
+    collectOps(B.lhs(), Ops);
+    collectOps(B.rhs(), Ops);
+    return;
+  }
+  case Expr::Kind::Negate:
+    collectOps(exprCast<NegateExpr>(E).operand(), Ops);
+    return;
+  }
+}
+
+std::vector<BinOpKind> taco::distinctOps(const Expr &E) {
+  std::vector<BinOpKind> Ops;
+  collectOps(E, Ops);
+  return Ops;
+}

@@ -1,0 +1,237 @@
+//===- taco/Ast.h - TACO index-notation AST ---------------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the TACO expression subset of paper Fig. 5:
+///
+///   PROGRAM ::= TENSOR "=" EXPR
+///   TENSOR  ::= IDENTIFIER | IDENTIFIER "(" INDEX-EXPR ")"
+///   EXPR    ::= TENSOR | CONSTANT | "(" EXPR ")" | "-" EXPR
+///             | EXPR "+" EXPR | EXPR "-" EXPR | EXPR "*" EXPR | EXPR "/" EXPR
+///
+/// Parenthesization is not represented explicitly: the tree shape carries the
+/// grouping, and the printer re-inserts the minimal parentheses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_TACO_AST_H
+#define STAGG_TACO_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace taco {
+
+/// Binary operators supported by the TACO grammar.
+enum class BinOpKind { Add, Sub, Mul, Div };
+
+/// Returns the surface syntax of \p Op ("+", "-", "*", "/").
+const char *binOpSpelling(BinOpKind Op);
+
+/// Base class of all expression nodes, with LLVM-style kind dispatch.
+class Expr {
+public:
+  enum class Kind { Access, Constant, Binary, Negate };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return NodeKind; }
+
+  /// Deep-copies the subtree.
+  virtual std::unique_ptr<Expr> clone() const = 0;
+
+protected:
+  explicit Expr(Kind K) : NodeKind(K) {}
+
+private:
+  Kind NodeKind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A tensor access `name(i,j,...)`; an empty index list denotes a scalar
+/// reference `name`.
+class AccessExpr : public Expr {
+public:
+  AccessExpr(std::string Name, std::vector<std::string> Indices)
+      : Expr(Kind::Access), TensorName(std::move(Name)),
+        IndexVars(std::move(Indices)) {}
+
+  const std::string &name() const { return TensorName; }
+  const std::vector<std::string> &indices() const { return IndexVars; }
+  size_t order() const { return IndexVars.size(); }
+
+  void setName(std::string Name) { TensorName = std::move(Name); }
+  void setIndices(std::vector<std::string> Indices) {
+    IndexVars = std::move(Indices);
+  }
+
+  std::unique_ptr<Expr> clone() const override {
+    return std::make_unique<AccessExpr>(TensorName, IndexVars);
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Access; }
+
+private:
+  std::string TensorName;
+  std::vector<std::string> IndexVars;
+};
+
+/// An integer literal, or the symbolic placeholder `Const` used in templates
+/// (paper §4.2.1, constant templatization).
+class ConstantExpr : public Expr {
+public:
+  explicit ConstantExpr(int64_t Value)
+      : Expr(Kind::Constant), LiteralValue(Value) {}
+
+  /// Builds the symbolic template constant.
+  static std::unique_ptr<ConstantExpr> symbolic() {
+    auto C = std::make_unique<ConstantExpr>(0);
+    C->LiteralValue.reset();
+    return C;
+  }
+
+  bool isSymbolic() const { return !LiteralValue.has_value(); }
+  int64_t value() const {
+    assert(LiteralValue && "symbolic constant has no value");
+    return *LiteralValue;
+  }
+
+  std::unique_ptr<Expr> clone() const override {
+    if (isSymbolic())
+      return symbolic();
+    return std::make_unique<ConstantExpr>(*LiteralValue);
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Constant; }
+
+private:
+  std::optional<int64_t> LiteralValue;
+};
+
+/// A binary arithmetic expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOpKind Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Binary), Operator(Op), LhsExpr(std::move(Lhs)),
+        RhsExpr(std::move(Rhs)) {
+    assert(LhsExpr && RhsExpr && "binary expression needs both operands");
+  }
+
+  BinOpKind op() const { return Operator; }
+  void setOp(BinOpKind Op) { Operator = Op; }
+  const Expr &lhs() const { return *LhsExpr; }
+  const Expr &rhs() const { return *RhsExpr; }
+  Expr &lhs() { return *LhsExpr; }
+  Expr &rhs() { return *RhsExpr; }
+
+  std::unique_ptr<Expr> clone() const override {
+    return std::make_unique<BinaryExpr>(Operator, LhsExpr->clone(),
+                                        RhsExpr->clone());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinOpKind Operator;
+  ExprPtr LhsExpr;
+  ExprPtr RhsExpr;
+};
+
+/// Unary negation `-e`.
+class NegateExpr : public Expr {
+public:
+  explicit NegateExpr(ExprPtr Operand)
+      : Expr(Kind::Negate), Sub(std::move(Operand)) {
+    assert(Sub && "negate needs an operand");
+  }
+
+  const Expr &operand() const { return *Sub; }
+  Expr &operand() { return *Sub; }
+
+  std::unique_ptr<Expr> clone() const override {
+    return std::make_unique<NegateExpr>(Sub->clone());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Negate; }
+
+private:
+  ExprPtr Sub;
+};
+
+/// LLVM-style dyn_cast helpers specialised for the tiny hierarchy.
+template <typename T> const T *exprDynCast(const Expr *E) {
+  return (E && T::classof(E)) ? static_cast<const T *>(E) : nullptr;
+}
+template <typename T> T *exprDynCast(Expr *E) {
+  return (E && T::classof(E)) ? static_cast<T *>(E) : nullptr;
+}
+template <typename T> const T &exprCast(const Expr &E) {
+  assert(T::classof(&E) && "bad expression cast");
+  return static_cast<const T &>(E);
+}
+
+/// A complete TACO statement `lhs(...) = rhs`.
+struct Program {
+  AccessExpr Lhs{"", {}};
+  ExprPtr Rhs;
+
+  Program() = default;
+  Program(AccessExpr Lhs, ExprPtr Rhs)
+      : Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  Program(const Program &Other)
+      : Lhs(Other.Lhs),
+        Rhs(Other.Rhs ? Other.Rhs->clone() : nullptr) {}
+  Program &operator=(const Program &Other) {
+    if (this != &Other) {
+      Lhs = Other.Lhs;
+      Rhs = Other.Rhs ? Other.Rhs->clone() : nullptr;
+    }
+    return *this;
+  }
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+};
+
+/// Folds the flat chain `L0 op0 L1 op1 ...` into an expression tree using
+/// standard precedence (`*`/`/` bind tighter than `+`/`-`, all operators
+/// left-associative) — the parse of the corresponding source string. Used by
+/// the bottom-up tail grammar and the chain-enumerating baselines, whose
+/// search spaces are *strings* and therefore cannot express parenthesized
+/// groupings.
+ExprPtr foldPrecedenceChain(std::vector<ExprPtr> Leaves,
+                            const std::vector<BinOpKind> &Ops);
+
+/// Structural equality of expression trees (names, indices, operators,
+/// constants all compared exactly).
+bool exprEquals(const Expr &A, const Expr &B);
+
+/// Structural equality of whole programs.
+bool programEquals(const Program &A, const Program &B);
+
+/// Expression depth as defined in paper §5.1: a tensor access or constant has
+/// depth 1 and index expressions do not contribute; `b(i) + c(i,j)` has
+/// depth 2.
+int exprDepth(const Expr &E);
+
+/// Counts tensor accesses and symbolic/literal constants (the paper's notion
+/// of "tensors in x" for Alg. 2, which counts occurrences of TENSOR symbols,
+/// including `Const`).
+int countLeaves(const Expr &E);
+
+/// Collects the distinct binary operators used in the expression.
+std::vector<BinOpKind> distinctOps(const Expr &E);
+
+} // namespace taco
+} // namespace stagg
+
+#endif // STAGG_TACO_AST_H

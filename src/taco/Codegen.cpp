@@ -1,0 +1,218 @@
+//===- taco/Codegen.cpp - TACO-to-C kernel generation ---------------------===//
+
+#include "taco/Codegen.h"
+
+#include "taco/Semantics.h"
+
+#include <functional>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::taco;
+
+namespace {
+
+/// Emission state: extent names per index variable, accumulated source, and
+/// a counter for accumulator temporaries.
+class Emitter {
+public:
+  Emitter(const Program &P, const CodegenSpec &Spec)
+      : P(P), Spec(Spec), Placement(analyzeReductions(P)) {}
+
+  CodegenResult run() {
+    CodegenResult Result;
+    if (!P.Rhs) {
+      Result.Error = "program has no RHS";
+      return Result;
+    }
+    if (!bindExtents(Result.Error))
+      return Result;
+
+    emitSignature();
+    Indent = 1;
+
+    // Output loops over the LHS index variables.
+    const bench_vector &OutVars = P.Lhs.indices();
+    for (const std::string &Var : OutVars)
+      openLoop(Var);
+
+    // RHS expression (hoisting accumulator loops as needed), then the
+    // store through the linearized output subscript.
+    std::string Value = emitExpr(*P.Rhs);
+    line(lvalueFor(P.Lhs) + " = " + Value + ";");
+
+    for (size_t I = 0; I < OutVars.size(); ++I)
+      closeBlock();
+    Out += "}\n";
+
+    Result.Ok = true;
+    Result.Source = std::move(Out);
+    return Result;
+  }
+
+private:
+  using bench_vector = std::vector<std::string>;
+
+  //===------------------------------------------------------------------===//
+  // Extents
+  //===------------------------------------------------------------------===//
+
+  /// Binds every index variable to a size-parameter name via the shapes of
+  /// the tensors it subscripts (LHS first).
+  bool bindExtents(std::string &Error) {
+    auto BindAccess = [&](const AccessExpr &A) {
+      auto It = Spec.Shapes.find(A.name());
+      if (It == Spec.Shapes.end())
+        return A.order() == 0; // Scalars need no shape.
+      if (It->second.size() != A.order())
+        return false;
+      for (size_t I = 0; I < A.order(); ++I)
+        Extents.emplace(A.indices()[I], It->second[I]);
+      return true;
+    };
+    if (!BindAccess(P.Lhs)) {
+      Error = "no shape for output '" + P.Lhs.name() + "'";
+      return false;
+    }
+    bool Good = true;
+    std::function<void(const Expr &)> Visit = [&](const Expr &E) {
+      if (!Good)
+        return;
+      if (const auto *A = exprDynCast<AccessExpr>(&E)) {
+        if (!BindAccess(*A)) {
+          Error = "no shape for tensor '" + A->name() + "'";
+          Good = false;
+        }
+      } else if (const auto *B = exprDynCast<BinaryExpr>(&E)) {
+        Visit(B->lhs());
+        Visit(B->rhs());
+      } else if (const auto *N = exprDynCast<NegateExpr>(&E)) {
+        Visit(N->operand());
+      }
+    };
+    Visit(*P.Rhs);
+    if (!Good)
+      return false;
+    for (const std::string &Var : indexVariables(P))
+      if (!Extents.count(Var)) {
+        Error = "no extent derivable for index '" + Var + "'";
+        return false;
+      }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Text helpers
+  //===------------------------------------------------------------------===//
+
+  void line(const std::string &Text) {
+    Out.append(static_cast<size_t>(Indent) * 2, ' ');
+    Out += Text;
+    Out += "\n";
+  }
+
+  void openLoop(const std::string &Var) {
+    line("for (int " + Var + " = 0; " + Var + " < " + Extents.at(Var) + "; " +
+         Var + "++) {");
+    ++Indent;
+  }
+
+  void closeBlock() {
+    --Indent;
+    line("}");
+  }
+
+  void emitSignature() {
+    Out += "void " + Spec.FunctionName + "(";
+    for (size_t I = 0; I < Spec.Params.size(); ++I) {
+      const auto &[Name, Kind] = Spec.Params[I];
+      if (I)
+        Out += ", ";
+      switch (Kind) {
+      case CodegenSpec::ParamKind::SizeScalar:
+        Out += "int " + Name;
+        break;
+      case CodegenSpec::ParamKind::NumScalar:
+        Out += Spec.ElementType + " " + Name;
+        break;
+      case CodegenSpec::ParamKind::Array:
+        Out += Spec.ElementType + "* " + Name;
+        break;
+      }
+    }
+    Out += ") {\n";
+  }
+
+  /// Row-major linearized reference, e.g. `A[(i * M + j)]` or `*out`.
+  std::string lvalueFor(const AccessExpr &A) {
+    if (A.order() == 0) {
+      // Scalar data parameters read directly; scalar *outputs* are
+      // one-element buffers.
+      bool IsArray = Spec.Shapes.count(A.name()) > 0;
+      return IsArray ? ("*" + A.name()) : A.name();
+    }
+    const std::vector<std::string> &Shape = Spec.Shapes.at(A.name());
+    std::string Index = A.indices()[0];
+    for (size_t I = 1; I < A.order(); ++I)
+      Index = "(" + Index + " * " + Shape[I] + " + " + A.indices()[I] + ")";
+    return A.name() + "[" + Index + "]";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression emission
+  //===------------------------------------------------------------------===//
+
+  /// Emits statements computing \p E (hoisting reductions) and returns a C
+  /// expression for its value at the current loop depth.
+  std::string emitExpr(const Expr &E) {
+    auto It = Placement.IntroducedAt.find(&E);
+    if (It != Placement.IntroducedAt.end() && !It->second.empty()) {
+      std::string Acc = "acc" + std::to_string(AccCounter++);
+      line(Spec.ElementType + " " + Acc + " = 0;");
+      for (const std::string &Var : It->second)
+        openLoop(Var);
+      std::string Value = emitInner(E);
+      line(Acc + " += " + Value + ";");
+      for (size_t I = 0; I < It->second.size(); ++I)
+        closeBlock();
+      return Acc;
+    }
+    return emitInner(E);
+  }
+
+  std::string emitInner(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::Access:
+      return lvalueFor(exprCast<AccessExpr>(E));
+    case Expr::Kind::Constant: {
+      const auto &C = exprCast<ConstantExpr>(E);
+      assert(!C.isSymbolic() && "codegen needs concrete constants");
+      return std::to_string(C.value());
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      std::string Lhs = emitExpr(B.lhs());
+      std::string Rhs = emitExpr(B.rhs());
+      return "(" + Lhs + " " + binOpSpelling(B.op()) + " " + Rhs + ")";
+    }
+    case Expr::Kind::Negate:
+      return "(-" + emitExpr(exprCast<NegateExpr>(E).operand()) + ")";
+    }
+    return "0";
+  }
+
+  const Program &P;
+  const CodegenSpec &Spec;
+  ReductionPlacement Placement;
+  std::map<std::string, std::string> Extents;
+  std::string Out;
+  int Indent = 0;
+  int AccCounter = 0;
+};
+
+} // namespace
+
+CodegenResult taco::generateC(const Program &P, const CodegenSpec &Spec) {
+  Emitter E(P, Spec);
+  return E.run();
+}

@@ -1,0 +1,324 @@
+//===- taco/Einsum.h - Reference einsum evaluator ---------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference evaluator for TACO's extended einsum semantics. Indices absent
+/// from the LHS are *reduction* indices; following TACO's semantics, the
+/// reduction over an index is placed at the smallest subexpression that
+/// contains every use of that index. So in
+///
+///   a(i) = B(i,j) * x(j) + d(i)
+///
+/// the sum over `j` wraps only `B(i,j) * x(j)`, and `d(i)` is added once —
+/// not once per value of `j`. TACO's extension of the traditional notation
+/// admits `-` and `/` under the same placement rule.
+///
+/// This evaluator replaces the paper's pipeline of TACO codegen + JAX/MLIR
+/// lowering: it *is* the semantics both toolchains implement for the dense
+/// fragment, so validation and verification are unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_TACO_EINSUM_H
+#define STAGG_TACO_EINSUM_H
+
+#include "taco/Ast.h"
+#include "taco/Semantics.h"
+#include "taco/Tensor.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace stagg {
+namespace taco {
+
+/// Result of an evaluation attempt: either a tensor or a diagnostic.
+template <typename T> struct EinsumResult {
+  bool Ok = false;
+  Tensor<T> Value;
+  std::string Error;
+
+  static EinsumResult success(Tensor<T> V) {
+    EinsumResult R;
+    R.Ok = true;
+    R.Value = std::move(V);
+    return R;
+  }
+  static EinsumResult failure(std::string Message) {
+    EinsumResult R;
+    R.Error = std::move(Message);
+    return R;
+  }
+};
+
+namespace detail {
+
+/// Advances a mixed-radix counter; returns false once all combinations have
+/// been visited (an empty counter wraps immediately).
+inline bool advanceCounter(std::vector<int64_t> &Coord,
+                           const std::vector<int64_t> &Extents) {
+  for (size_t I = Coord.size(); I > 0; --I) {
+    if (++Coord[I - 1] < Extents[I - 1])
+      return true;
+    Coord[I - 1] = 0;
+  }
+  return false;
+}
+
+/// Per-run evaluator: binds extents, computes reduction placement, then
+/// evaluates recursively.
+template <typename T> class EinsumEvaluator {
+public:
+  EinsumEvaluator(const Program &P,
+                  const std::map<std::string, Tensor<T>> &Operands)
+      : P(P), Operands(Operands) {}
+
+  EinsumResult<T> run(const std::vector<int64_t> &OutputShape) {
+    if (!P.Rhs)
+      return EinsumResult<T>::failure("program has no RHS");
+    if (P.Lhs.order() != OutputShape.size())
+      return EinsumResult<T>::failure("output shape rank does not match LHS");
+    for (size_t I = 0; I < OutputShape.size(); ++I)
+      if (!bindExtent(P.Lhs.indices()[I], OutputShape[I]))
+        return EinsumResult<T>::failure(Error);
+    if (!bindOperandExtents(*P.Rhs))
+      return EinsumResult<T>::failure(Error);
+
+    // Reduction indices: on the RHS but not the LHS.
+    std::set<std::string> OutVarSet(P.Lhs.indices().begin(),
+                                    P.Lhs.indices().end());
+    for (const std::string &Var : exprIndexVariables(*P.Rhs))
+      if (!OutVarSet.count(Var))
+        ReductionVars.insert(Var);
+
+    // Reduction placement: total uses per variable, then the LCA rule.
+    TotalUses = countUses(*P.Rhs);
+    placeReductions(*P.Rhs);
+
+    Tensor<T> Output(OutputShape);
+    const std::vector<std::string> &OutVars = P.Lhs.indices();
+    std::vector<int64_t> OutCoord(OutVars.size(), 0);
+    std::map<std::string, int64_t> Coords;
+    do {
+      for (size_t I = 0; I < OutVars.size(); ++I)
+        Coords[OutVars[I]] = OutCoord[I];
+      T Value = eval(*P.Rhs, Coords);
+      if (OutVars.empty())
+        Output.flat()[0] = Value;
+      else
+        Output.at(OutCoord) = Value;
+    } while (advanceCounter(OutCoord, OutputShape));
+    return EinsumResult<T>::success(std::move(Output));
+  }
+
+private:
+  bool bindExtent(const std::string &Var, int64_t Extent) {
+    auto [It, Inserted] = Extents.emplace(Var, Extent);
+    if (!Inserted && It->second != Extent) {
+      Error = "index '" + Var + "' has conflicting extents";
+      return false;
+    }
+    return true;
+  }
+
+  bool bindOperandExtents(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      auto It = Operands.find(A.name());
+      if (It == Operands.end()) {
+        Error = "unbound tensor '" + A.name() + "'";
+        return false;
+      }
+      if (It->second.order() != A.order()) {
+        Error = "tensor '" + A.name() + "' accessed with wrong rank";
+        return false;
+      }
+      for (size_t I = 0; I < A.order(); ++I)
+        if (!bindExtent(A.indices()[I], It->second.shape()[I]))
+          return false;
+      return true;
+    }
+    case Expr::Kind::Constant:
+      return true;
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      return bindOperandExtents(B.lhs()) && bindOperandExtents(B.rhs());
+    }
+    case Expr::Kind::Negate:
+      return bindOperandExtents(exprCast<NegateExpr>(E).operand());
+    }
+    return false;
+  }
+
+  /// Counts, for every reduction variable, how many accesses in the subtree
+  /// use it; memoized per node in UsesAt.
+  const std::map<std::string, int> &countUses(const Expr &E) {
+    std::map<std::string, int> Here;
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      std::set<std::string> Seen;
+      for (const std::string &Var : A.indices())
+        if (ReductionVars.count(Var) && Seen.insert(Var).second)
+          ++Here[Var];
+      break;
+    }
+    case Expr::Kind::Constant:
+      break;
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      for (const auto &[Var, N] : countUses(B.lhs()))
+        Here[Var] += N;
+      for (const auto &[Var, N] : countUses(B.rhs()))
+        Here[Var] += N;
+      break;
+    }
+    case Expr::Kind::Negate:
+      for (const auto &[Var, N] : countUses(exprCast<NegateExpr>(E).operand()))
+        Here[Var] += N;
+      break;
+    }
+    UsesAt[&E] = std::move(Here);
+    return UsesAt[&E];
+  }
+
+  /// A variable is reduced at the *smallest* node containing all its uses:
+  /// the node where its use count reaches the total while no single child
+  /// already contains them all.
+  void placeReductions(const Expr &E) {
+    const std::map<std::string, int> &Here = UsesAt[&E];
+    auto ChildHasAll = [&](const Expr &Child, const std::string &Var,
+                           int Total) {
+      auto It = UsesAt[&Child].find(Var);
+      return It != UsesAt[&Child].end() && It->second == Total;
+    };
+    for (const auto &[Var, Count] : Here) {
+      int Total = TotalUses[Var];
+      if (Count != Total)
+        continue;
+      bool InOneChild = false;
+      switch (E.kind()) {
+      case Expr::Kind::Binary: {
+        const auto &B = exprCast<BinaryExpr>(E);
+        InOneChild = ChildHasAll(B.lhs(), Var, Total) ||
+                     ChildHasAll(B.rhs(), Var, Total);
+        break;
+      }
+      case Expr::Kind::Negate:
+        InOneChild =
+            ChildHasAll(exprCast<NegateExpr>(E).operand(), Var, Total);
+        break;
+      default:
+        break;
+      }
+      if (!InOneChild)
+        IntroducedAt[&E].push_back(Var);
+    }
+    switch (E.kind()) {
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      placeReductions(B.lhs());
+      placeReductions(B.rhs());
+      return;
+    }
+    case Expr::Kind::Negate:
+      placeReductions(exprCast<NegateExpr>(E).operand());
+      return;
+    default:
+      return;
+    }
+  }
+
+  T evalInner(const Expr &E, std::map<std::string, int64_t> &Coords) {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      const Tensor<T> &Operand = Operands.at(A.name());
+      std::vector<int64_t> Point;
+      Point.reserve(A.order());
+      for (const std::string &Var : A.indices())
+        Point.push_back(Coords.at(Var));
+      return Operand.at(Point);
+    }
+    case Expr::Kind::Constant: {
+      const auto &C = exprCast<ConstantExpr>(E);
+      assert(!C.isSymbolic() && "symbolic constants must be instantiated");
+      return T(C.value());
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      T Lhs = eval(B.lhs(), Coords);
+      T Rhs = eval(B.rhs(), Coords);
+      switch (B.op()) {
+      case BinOpKind::Add:
+        return Lhs + Rhs;
+      case BinOpKind::Sub:
+        return Lhs - Rhs;
+      case BinOpKind::Mul:
+        return Lhs * Rhs;
+      case BinOpKind::Div:
+        return Lhs / Rhs;
+      }
+      return T{};
+    }
+    case Expr::Kind::Negate:
+      return -eval(exprCast<NegateExpr>(E).operand(), Coords);
+    }
+    return T{};
+  }
+
+  T eval(const Expr &E, std::map<std::string, int64_t> &Coords) {
+    auto It = IntroducedAt.find(&E);
+    if (It == IntroducedAt.end() || It->second.empty())
+      return evalInner(E, Coords);
+
+    const std::vector<std::string> &Vars = It->second;
+    std::vector<int64_t> VarExtents;
+    VarExtents.reserve(Vars.size());
+    for (const std::string &Var : Vars)
+      VarExtents.push_back(Extents.at(Var));
+
+    T Sum{};
+    std::vector<int64_t> Coord(Vars.size(), 0);
+    do {
+      for (size_t I = 0; I < Vars.size(); ++I)
+        Coords[Vars[I]] = Coord[I];
+      Sum += evalInner(E, Coords);
+    } while (advanceCounter(Coord, VarExtents));
+    return Sum;
+  }
+
+  const Program &P;
+  const std::map<std::string, Tensor<T>> &Operands;
+  std::map<std::string, int64_t> Extents;
+  std::set<std::string> ReductionVars;
+  std::map<std::string, int> TotalUses;
+  std::map<const Expr *, std::map<std::string, int>> UsesAt;
+  std::map<const Expr *, std::vector<std::string>> IntroducedAt;
+  std::string Error;
+};
+
+} // namespace detail
+
+/// Evaluates \p P over the named \p Operands, producing a tensor of shape
+/// \p OutputShape. Every tensor named in the program's RHS must be present
+/// in \p Operands with a matching rank; symbolic constants must have been
+/// instantiated beforehand.
+template <typename T>
+EinsumResult<T> evalEinsum(const Program &P,
+                           const std::map<std::string, Tensor<T>> &Operands,
+                           const std::vector<int64_t> &OutputShape) {
+  detail::EinsumEvaluator<T> Evaluator(P, Operands);
+  return Evaluator.run(OutputShape);
+}
+
+} // namespace taco
+} // namespace stagg
+
+#endif // STAGG_TACO_EINSUM_H

@@ -1,0 +1,57 @@
+//===- taco/Lexer.h - Tokenizer for TACO index notation ---------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the TACO expression grammar of paper Fig. 5. The lexer is
+/// deliberately forgiving about input it cannot tokenize (it produces an
+/// Invalid token) because LLM responses routinely contain junk; the response
+/// parser discards such candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_TACO_LEXER_H
+#define STAGG_TACO_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace taco {
+
+/// Token categories for TACO index notation.
+enum class TokKind {
+  Identifier,
+  Integer,
+  Equals,  // '=' (':=' is normalized to '=' before lexing)
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  LParen,
+  RParen,
+  Comma,
+  End,
+  Invalid,
+};
+
+/// A single token with its source spelling.
+struct Token {
+  TokKind Kind = TokKind::Invalid;
+  std::string Spelling;
+  int64_t IntValue = 0;
+  size_t Offset = 0;
+};
+
+/// Tokenizes \p Source. The result always ends with an End token; any
+/// unrecognized character produces an Invalid token (and tokenization
+/// continues, so the caller can report position).
+std::vector<Token> lexTaco(const std::string &Source);
+
+} // namespace taco
+} // namespace stagg
+
+#endif // STAGG_TACO_LEXER_H

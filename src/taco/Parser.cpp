@@ -1,0 +1,175 @@
+//===- taco/Parser.cpp - Parser for TACO index notation -------------------===//
+
+#include "taco/Parser.h"
+
+#include "taco/Lexer.h"
+
+using namespace stagg;
+using namespace stagg::taco;
+
+namespace {
+
+/// Token-stream cursor with error accumulation.
+class ParserImpl {
+public:
+  explicit ParserImpl(std::vector<Token> Tokens)
+      : Tokens(std::move(Tokens)) {}
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() { return Tokens[Pos++]; }
+
+  bool check(TokKind K) const { return peek().Kind == K; }
+
+  bool match(TokKind K) {
+    if (!check(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  void fail(const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage = Message + " at offset " + std::to_string(peek().Offset);
+  }
+
+  bool hadError() const { return !ErrorMessage.empty(); }
+  const std::string &error() const { return ErrorMessage; }
+
+  /// tensor := IDENTIFIER [ "(" INDEX ("," INDEX)* ")" ]
+  std::optional<AccessExpr> parseAccess() {
+    if (!check(TokKind::Identifier)) {
+      fail("expected identifier");
+      return std::nullopt;
+    }
+    std::string Name = advance().Spelling;
+    std::vector<std::string> Indices;
+    if (match(TokKind::LParen)) {
+      do {
+        if (!check(TokKind::Identifier)) {
+          fail("expected index variable");
+          return std::nullopt;
+        }
+        Indices.push_back(advance().Spelling);
+      } while (match(TokKind::Comma));
+      if (!match(TokKind::RParen)) {
+        fail("expected ')'");
+        return std::nullopt;
+      }
+    }
+    return AccessExpr(std::move(Name), std::move(Indices));
+  }
+
+  /// primary := tensor | INTEGER | "(" expr ")" | "-" primary
+  ExprPtr parsePrimary() {
+    if (check(TokKind::Integer)) {
+      int64_t Value = advance().IntValue;
+      return std::make_unique<ConstantExpr>(Value);
+    }
+    if (match(TokKind::Minus)) {
+      ExprPtr Sub = parsePrimary();
+      if (!Sub)
+        return nullptr;
+      return std::make_unique<NegateExpr>(std::move(Sub));
+    }
+    if (match(TokKind::LParen)) {
+      ExprPtr Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (!match(TokKind::RParen)) {
+        fail("expected ')'");
+        return nullptr;
+      }
+      return Inner;
+    }
+    // The identifier `Const` denotes the symbolic template constant
+    // (§4.2.1); it cannot be indexed.
+    if (check(TokKind::Identifier) && peek().Spelling == "Const") {
+      advance();
+      return ConstantExpr::symbolic();
+    }
+    std::optional<AccessExpr> Access = parseAccess();
+    if (!Access)
+      return nullptr;
+    return std::make_unique<AccessExpr>(std::move(*Access));
+  }
+
+  /// term := primary (("*" | "/") primary)*
+  ExprPtr parseTerm() {
+    ExprPtr Lhs = parsePrimary();
+    if (!Lhs)
+      return nullptr;
+    while (check(TokKind::Star) || check(TokKind::Slash)) {
+      BinOpKind Op =
+          advance().Kind == TokKind::Star ? BinOpKind::Mul : BinOpKind::Div;
+      ExprPtr Rhs = parsePrimary();
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  /// expr := term (("+" | "-") term)*
+  ExprPtr parseExpr() {
+    ExprPtr Lhs = parseTerm();
+    if (!Lhs)
+      return nullptr;
+    while (check(TokKind::Plus) || check(TokKind::Minus)) {
+      BinOpKind Op =
+          advance().Kind == TokKind::Plus ? BinOpKind::Add : BinOpKind::Sub;
+      ExprPtr Rhs = parseTerm();
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+ParseResult taco::parseTacoProgram(const std::string &Source) {
+  ParserImpl P(lexTaco(Source));
+  ParseResult Result;
+  std::optional<AccessExpr> Lhs = P.parseAccess();
+  if (!Lhs) {
+    Result.Error = P.error();
+    return Result;
+  }
+  if (!P.match(TokKind::Equals)) {
+    Result.Error = "expected '='";
+    return Result;
+  }
+  ExprPtr Rhs = P.parseExpr();
+  if (!Rhs) {
+    Result.Error = P.error();
+    return Result;
+  }
+  if (!P.check(TokKind::End)) {
+    Result.Error = "trailing tokens after expression";
+    return Result;
+  }
+  Result.Prog = Program(std::move(*Lhs), std::move(Rhs));
+  return Result;
+}
+
+ParseExprResult taco::parseTacoExpr(const std::string &Source) {
+  ParserImpl P(lexTaco(Source));
+  ParseExprResult Result;
+  ExprPtr E = P.parseExpr();
+  if (!E) {
+    Result.Error = P.error();
+    return Result;
+  }
+  if (!P.check(TokKind::End)) {
+    Result.Error = "trailing tokens after expression";
+    return Result;
+  }
+  Result.E = std::move(E);
+  return Result;
+}

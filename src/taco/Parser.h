@@ -1,0 +1,50 @@
+//===- taco/Parser.h - Parser for TACO index notation -----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the grammar of paper Fig. 5, with the usual
+/// precedence (`*`,`/` bind tighter than `+`,`-`; all left-associative).
+/// Parsing never aborts the process: failures produce an error message so the
+/// LLM response parser can discard syntactically invalid candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_TACO_PARSER_H
+#define STAGG_TACO_PARSER_H
+
+#include "taco/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace stagg {
+namespace taco {
+
+/// Outcome of a parse attempt.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error;
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses a full TACO statement `tensor = expr`. The caller is expected to
+/// have normalized `:=` to `=` already (see llm::preprocessResponseLine).
+ParseResult parseTacoProgram(const std::string &Source);
+
+/// Parses just an expression (used by tests and the template machinery).
+struct ParseExprResult {
+  ExprPtr E;
+  std::string Error;
+
+  bool ok() const { return E != nullptr; }
+};
+ParseExprResult parseTacoExpr(const std::string &Source);
+
+} // namespace taco
+} // namespace stagg
+
+#endif // STAGG_TACO_PARSER_H

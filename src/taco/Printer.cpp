@@ -1,0 +1,96 @@
+//===- taco/Printer.cpp - Pretty-printing for TACO ASTs -------------------===//
+
+#include "taco/Printer.h"
+
+#include "support/StringUtils.h"
+
+using namespace stagg;
+using namespace stagg::taco;
+
+/// Binding strength: additive = 1, multiplicative = 2, atoms = 3.
+static int precedenceOf(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+  case Expr::Kind::Constant:
+    return 3;
+  case Expr::Kind::Negate:
+    return 2;
+  case Expr::Kind::Binary: {
+    BinOpKind Op = exprCast<BinaryExpr>(E).op();
+    return (Op == BinOpKind::Mul || Op == BinOpKind::Div) ? 2 : 1;
+  }
+  }
+  return 3;
+}
+
+static void printInto(const Expr &E, std::string &Out);
+
+/// Prints \p Child, parenthesizing when its precedence is too low for the
+/// context. An equal-precedence *right* operand is always parenthesized:
+/// operators parse left-associatively, so `x + (y - z)` and even
+/// `x + (y + z)` would re-parse into structurally different trees without
+/// the parentheses. Left-leaning chains print clean (`x + y - z`).
+static void printChild(const Expr &Child, const BinaryExpr *Parent,
+                       bool IsRightOperand, std::string &Out) {
+  int ContextPrec = Parent ? precedenceOf(*Parent) : 3;
+  int ChildPrec = precedenceOf(Child);
+  bool NeedParens =
+      ChildPrec < ContextPrec || (ChildPrec == ContextPrec && IsRightOperand &&
+                                  Child.kind() == Expr::Kind::Binary);
+  if (NeedParens)
+    Out += "(";
+  printInto(Child, Out);
+  if (NeedParens)
+    Out += ")";
+}
+
+static void printInto(const Expr &E, std::string &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::Access: {
+    Out += printAccess(exprCast<AccessExpr>(E));
+    return;
+  }
+  case Expr::Kind::Constant: {
+    const auto &C = exprCast<ConstantExpr>(E);
+    Out += C.isSymbolic() ? "Const" : std::to_string(C.value());
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    printChild(B.lhs(), &B, /*IsRightOperand=*/false, Out);
+    Out += " ";
+    Out += binOpSpelling(B.op());
+    Out += " ";
+    printChild(B.rhs(), &B, /*IsRightOperand=*/true, Out);
+    return;
+  }
+  case Expr::Kind::Negate: {
+    const auto &N = exprCast<NegateExpr>(E);
+    Out += "-";
+    printChild(N.operand(), /*Parent=*/nullptr, /*IsRightOperand=*/false, Out);
+    return;
+  }
+  }
+}
+
+std::string taco::printAccess(const AccessExpr &A) {
+  if (A.indices().empty())
+    return A.name();
+  return A.name() + "(" + joinStrings(A.indices(), ",") + ")";
+}
+
+std::string taco::printExpr(const Expr &E) {
+  std::string Out;
+  printInto(E, Out);
+  return Out;
+}
+
+std::string taco::printProgram(const Program &P) {
+  std::string Out = printAccess(P.Lhs);
+  Out += " = ";
+  if (P.Rhs)
+    printInto(*P.Rhs, Out);
+  else
+    Out += "<null>";
+  return Out;
+}

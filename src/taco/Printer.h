@@ -1,0 +1,36 @@
+//===- taco/Printer.h - Pretty-printing for TACO ASTs -----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders TACO expressions back to source form, inserting only the
+/// parentheses required by precedence/associativity. The printed form is also
+/// used as a canonical key for template deduplication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_TACO_PRINTER_H
+#define STAGG_TACO_PRINTER_H
+
+#include "taco/Ast.h"
+
+#include <string>
+
+namespace stagg {
+namespace taco {
+
+/// Prints an expression with minimal parentheses.
+std::string printExpr(const Expr &E);
+
+/// Prints a full statement `lhs = rhs`.
+std::string printProgram(const Program &P);
+
+/// Prints a tensor access (LHS form).
+std::string printAccess(const AccessExpr &A);
+
+} // namespace taco
+} // namespace stagg
+
+#endif // STAGG_TACO_PRINTER_H

@@ -1,0 +1,208 @@
+//===- taco/Semantics.cpp - Semantic analysis of TACO programs ------------===//
+
+#include "taco/Semantics.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::taco;
+
+namespace {
+
+/// Walks leaves (accesses/constants) left to right.
+template <typename Fn> void forEachLeaf(const Expr &E, Fn Callback) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+  case Expr::Kind::Constant:
+    Callback(E);
+    return;
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    forEachLeaf(B.lhs(), Callback);
+    forEachLeaf(B.rhs(), Callback);
+    return;
+  }
+  case Expr::Kind::Negate:
+    forEachLeaf(exprCast<NegateExpr>(E).operand(), Callback);
+    return;
+  }
+}
+
+void addUnique(std::vector<std::string> &Seen, const std::string &Name) {
+  if (std::find(Seen.begin(), Seen.end(), Name) == Seen.end())
+    Seen.push_back(Name);
+}
+
+} // namespace
+
+std::vector<TensorInfo> taco::tensorInventory(const Program &P) {
+  std::vector<TensorInfo> Inventory;
+  std::vector<std::string> SeenNames;
+  auto Note = [&](const std::string &Name, int Order, bool IsConst) {
+    if (std::find(SeenNames.begin(), SeenNames.end(), Name) != SeenNames.end())
+      return;
+    SeenNames.push_back(Name);
+    Inventory.push_back({Name, Order, IsConst});
+  };
+  Note(P.Lhs.name(), static_cast<int>(P.Lhs.order()), false);
+  if (!P.Rhs)
+    return Inventory;
+  int SymbolicConsts = 0;
+  forEachLeaf(*P.Rhs, [&](const Expr &Leaf) {
+    if (const auto *A = exprDynCast<AccessExpr>(&Leaf)) {
+      Note(A->name(), static_cast<int>(A->order()), false);
+      return;
+    }
+    const auto &C = exprCast<ConstantExpr>(Leaf);
+    // Each symbolic constant occurrence is its own dimension-list entry
+    // (they instantiate independently); distinct literals stay distinct via
+    // their spelling, so `2*b + 3` reports two constants while `2*b + 2`
+    // reports one.
+    std::string Name =
+        C.isSymbolic() ? "Const#" + std::to_string(SymbolicConsts++)
+                       : "Const<" + std::to_string(C.value()) + ">";
+    Note(Name, 0, true);
+  });
+  return Inventory;
+}
+
+std::vector<int> taco::dimensionList(const Program &P) {
+  std::vector<int> Dims;
+  Dims.push_back(static_cast<int>(P.Lhs.order()));
+  if (!P.Rhs)
+    return Dims;
+  forEachLeaf(*P.Rhs, [&](const Expr &Leaf) {
+    if (const auto *A = exprDynCast<AccessExpr>(&Leaf))
+      Dims.push_back(static_cast<int>(A->order()));
+    else
+      Dims.push_back(0);
+  });
+  return Dims;
+}
+
+std::vector<std::string> taco::exprIndexVariables(const Expr &E) {
+  std::vector<std::string> Vars;
+  forEachLeaf(E, [&](const Expr &Leaf) {
+    if (const auto *A = exprDynCast<AccessExpr>(&Leaf))
+      for (const std::string &V : A->indices())
+        addUnique(Vars, V);
+  });
+  return Vars;
+}
+
+std::vector<std::string> taco::indexVariables(const Program &P) {
+  std::vector<std::string> Vars;
+  for (const std::string &V : P.Lhs.indices())
+    addUnique(Vars, V);
+  if (P.Rhs)
+    for (const std::string &V : exprIndexVariables(*P.Rhs))
+      addUnique(Vars, V);
+  return Vars;
+}
+
+taco::ReductionPlacement taco::analyzeReductions(const Program &P) {
+  ReductionPlacement Out;
+  if (!P.Rhs)
+    return Out;
+
+  // Reduction variables: on the RHS, absent from the LHS.
+  for (const std::string &Var : exprIndexVariables(*P.Rhs)) {
+    bool OnLhs = std::find(P.Lhs.indices().begin(), P.Lhs.indices().end(),
+                           Var) != P.Lhs.indices().end();
+    if (!OnLhs)
+      Out.ReductionVars.push_back(Var);
+  }
+  std::set<std::string> Reduced(Out.ReductionVars.begin(),
+                                Out.ReductionVars.end());
+
+  // Per-node use counts.
+  std::map<const Expr *, std::map<std::string, int>> UsesAt;
+  std::function<const std::map<std::string, int> &(const Expr &)> Count =
+      [&](const Expr &E) -> const std::map<std::string, int> & {
+    std::map<std::string, int> Here;
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      std::set<std::string> Seen;
+      for (const std::string &Var : A.indices())
+        if (Reduced.count(Var) && Seen.insert(Var).second)
+          ++Here[Var];
+      break;
+    }
+    case Expr::Kind::Constant:
+      break;
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      for (const auto &[Var, N] : Count(B.lhs()))
+        Here[Var] += N;
+      for (const auto &[Var, N] : Count(B.rhs()))
+        Here[Var] += N;
+      break;
+    }
+    case Expr::Kind::Negate:
+      for (const auto &[Var, N] : Count(exprCast<NegateExpr>(E).operand()))
+        Here[Var] += N;
+      break;
+    }
+    UsesAt[&E] = std::move(Here);
+    return UsesAt[&E];
+  };
+  std::map<std::string, int> Totals = Count(*P.Rhs);
+
+  // A variable is introduced at the smallest node containing all its uses.
+  std::function<void(const Expr &)> Place = [&](const Expr &E) {
+    auto ChildHasAll = [&](const Expr &Child, const std::string &Var,
+                           int Total) {
+      auto It = UsesAt[&Child].find(Var);
+      return It != UsesAt[&Child].end() && It->second == Total;
+    };
+    for (const auto &[Var, CountHere] : UsesAt[&E]) {
+      int Total = Totals[Var];
+      if (CountHere != Total)
+        continue;
+      bool InOneChild = false;
+      if (const auto *B = exprDynCast<BinaryExpr>(&E))
+        InOneChild = ChildHasAll(B->lhs(), Var, Total) ||
+                     ChildHasAll(B->rhs(), Var, Total);
+      else if (const auto *N = exprDynCast<NegateExpr>(&E))
+        InOneChild = ChildHasAll(N->operand(), Var, Total);
+      if (!InOneChild)
+        Out.IntroducedAt[&E].push_back(Var);
+    }
+    if (const auto *B = exprDynCast<BinaryExpr>(&E)) {
+      Place(B->lhs());
+      Place(B->rhs());
+    } else if (const auto *N = exprDynCast<NegateExpr>(&E)) {
+      Place(N->operand());
+    }
+  };
+  Place(*P.Rhs);
+  return Out;
+}
+
+std::string taco::checkWellFormed(const Program &P) {
+  std::map<std::string, int> Arity;
+  std::string Problem;
+  auto NoteAccess = [&](const AccessExpr &A) {
+    auto [It, Inserted] =
+        Arity.emplace(A.name(), static_cast<int>(A.order()));
+    if (!Inserted && It->second != static_cast<int>(A.order()) &&
+        Problem.empty())
+      Problem = "tensor '" + A.name() + "' used with inconsistent arity";
+  };
+  NoteAccess(P.Lhs);
+  if (P.Rhs)
+    forEachLeaf(*P.Rhs, [&](const Expr &Leaf) {
+      if (const auto *A = exprDynCast<AccessExpr>(&Leaf))
+        NoteAccess(*A);
+    });
+  if (!Problem.empty())
+    return Problem;
+  for (const std::string &V : indexVariables(P))
+    if (Arity.count(V))
+      return "name '" + V + "' used both as tensor and index variable";
+  return "";
+}

@@ -1,0 +1,73 @@
+//===- taco/Semantics.h - Semantic analysis of TACO programs ----*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic queries over TACO programs: tensor/index inventories in
+/// first-appearance order, dimension lists (paper Def. 4.5), and
+/// well-formedness checks used both by the response parser and the searches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_TACO_SEMANTICS_H
+#define STAGG_TACO_SEMANTICS_H
+
+#include "taco/Ast.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace taco {
+
+/// One tensor occurrence summary: the name and its order (0 for scalars and,
+/// by the paper's convention, for constants).
+struct TensorInfo {
+  std::string Name;
+  int Order = 0;
+  bool IsConstant = false;
+};
+
+/// Tensors of a program in order of first appearance, LHS first. Constants
+/// appear as entries named "Const" with order 0 (paper: "we list the
+/// dimensions of constants and variables as 0").
+std::vector<TensorInfo> tensorInventory(const Program &P);
+
+/// The dimension list L (Def. 4.5): the LHS tensor's order followed by the
+/// order of every RHS *leaf occurrence* left to right (constants are 0).
+/// We deliberately count occurrences rather than unique tensors: the grammar
+/// generator mints a fresh symbol per list element anyway, and the validator
+/// may bind two symbols to the same argument (Fig. 8's S1), so a repeated
+/// tensor like `x(i) * x(i)` is represented as the template
+/// `b(i) * c(i)` over the list [0, 1, 1].
+std::vector<int> dimensionList(const Program &P);
+
+/// Distinct index variables of the whole program, in order of first
+/// appearance (LHS scanned first).
+std::vector<std::string> indexVariables(const Program &P);
+
+/// Distinct index variables of an expression only.
+std::vector<std::string> exprIndexVariables(const Expr &E);
+
+/// Checks structural sanity: every use of a tensor name has a consistent
+/// arity, and no index variable name collides with a tensor name. Returns an
+/// empty string when well-formed, else a diagnostic.
+std::string checkWellFormed(const Program &P);
+
+/// Reduction analysis shared by the evaluator and the code generator:
+/// which index variables are reduced (used on the RHS, absent from the
+/// LHS), and at which node each reduction is introduced — the smallest
+/// subexpression containing all uses of the variable (TACO's placement).
+struct ReductionPlacement {
+  std::vector<std::string> ReductionVars;
+  std::map<const Expr *, std::vector<std::string>> IntroducedAt;
+};
+ReductionPlacement analyzeReductions(const Program &P);
+
+} // namespace taco
+} // namespace stagg
+
+#endif // STAGG_TACO_SEMANTICS_H

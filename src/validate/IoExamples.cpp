@@ -1,0 +1,73 @@
+//===- validate/IoExamples.cpp - Input/output example generation ----------===//
+
+#include "validate/IoExamples.h"
+
+using namespace stagg;
+using namespace stagg::validate;
+using namespace stagg::bench;
+
+std::vector<int64_t>
+validate::resolveShape(const ArgSpec &Arg,
+                       const std::map<std::string, int64_t> &Sizes) {
+  std::vector<int64_t> Shape;
+  for (const std::string &Dim : Arg.Shape) {
+    auto It = Sizes.find(Dim);
+    Shape.push_back(It != Sizes.end() ? It->second : 1);
+  }
+  return Shape;
+}
+
+std::vector<IoExample> validate::generateExamples(const Benchmark &B,
+                                                  const cfront::CFunction &Fn,
+                                                  int Count, Rng &R) {
+  std::vector<IoExample> Examples;
+  for (int N = 0; N < Count; ++N) {
+    IoExample Ex;
+
+    // Small, varied sizes; the first example uses asymmetric sizes so that
+    // rank/transposition bugs cannot hide behind square shapes.
+    for (const ArgSpec &Arg : B.Args)
+      if (Arg.K == ArgSpec::Kind::SizeScalar)
+        Ex.Sizes[Arg.Name] =
+            N == 0 ? 2 + static_cast<int64_t>(Ex.Sizes.size() % 3)
+                   : R.range(2, 4);
+
+    for (const ArgSpec &Arg : B.Args) {
+      switch (Arg.K) {
+      case ArgSpec::Kind::SizeScalar:
+        Ex.Inputs.IntScalars[Arg.Name] = Ex.Sizes[Arg.Name];
+        break;
+      case ArgSpec::Kind::NumScalar:
+        Ex.Inputs.NumScalars[Arg.Name] = static_cast<double>(R.range(1, 5));
+        break;
+      case ArgSpec::Kind::Array: {
+        std::vector<int64_t> Shape = resolveShape(Arg, Ex.Sizes);
+        int64_t Total = 1;
+        for (int64_t D : Shape)
+          Total *= D;
+        std::vector<double> Data(static_cast<size_t>(Total), 0.0);
+        if (!Arg.IsOutput)
+          for (double &V : Data)
+            V = static_cast<double>(R.range(1, 5));
+        Ex.Inputs.Arrays[Arg.Name] = std::move(Data);
+        break;
+      }
+      }
+    }
+
+    // Execute the legacy kernel on a copy of the inputs.
+    cfront::ExecEnv<double> Env = Ex.Inputs;
+    cfront::ExecStatus Status = cfront::runCFunction(Fn, Env);
+    if (!Status.Ok)
+      return {};
+
+    const ArgSpec *OutArg = B.outputArg();
+    if (!OutArg)
+      return {};
+    taco::Tensor<double> Out(resolveShape(*OutArg, Ex.Sizes));
+    Out.flat() = Env.Arrays[OutArg->Name];
+    Ex.Expected = std::move(Out);
+    Examples.push_back(std::move(Ex));
+  }
+  return Examples;
+}

@@ -1,0 +1,59 @@
+//===- validate/IoExamples.h - Input/output example generation --*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the test set <I, O> of paper §6: randomly generated concrete
+/// inputs are bound to the kernel's arguments, the legacy C program is
+/// executed by the interpreter, and the resulting output tensor is recorded
+/// as the expected value. Values are drawn from small nonzero integers so
+/// that division-bearing kernels stay well-defined and double arithmetic is
+/// exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_VALIDATE_IOEXAMPLES_H
+#define STAGG_VALIDATE_IOEXAMPLES_H
+
+#include "benchsuite/Benchmark.h"
+#include "cfront/Ast.h"
+#include "cfront/Interp.h"
+#include "support/Rng.h"
+#include "taco/Tensor.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace validate {
+
+/// One input/output example.
+struct IoExample {
+  /// Concrete values of the size parameters.
+  std::map<std::string, int64_t> Sizes;
+
+  /// Pre-state of every argument (arrays zero-initialized for the output).
+  cfront::ExecEnv<double> Inputs;
+
+  /// Output tensor produced by running the C kernel.
+  taco::Tensor<double> Expected;
+};
+
+/// Resolves an array argument's concrete shape under \p Sizes.
+std::vector<int64_t>
+resolveShape(const bench::ArgSpec &Arg,
+             const std::map<std::string, int64_t> &Sizes);
+
+/// Builds \p Count examples by executing \p Fn. Returns an empty vector if
+/// any execution fails (malformed benchmark).
+std::vector<IoExample> generateExamples(const bench::Benchmark &B,
+                                        const cfront::CFunction &Fn, int Count,
+                                        Rng &R);
+
+} // namespace validate
+} // namespace stagg
+
+#endif // STAGG_VALIDATE_IOEXAMPLES_H

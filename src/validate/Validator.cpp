@@ -1,0 +1,262 @@
+//===- validate/Validator.cpp - Template validation (§6) ------------------===//
+
+#include "validate/Validator.h"
+
+#include "taco/Einsum.h"
+#include "taco/Semantics.h"
+
+#include <cmath>
+#include <functional>
+
+using namespace stagg;
+using namespace stagg::validate;
+using namespace stagg::taco;
+
+taco::Program validate::instantiateTemplate(
+    const Program &Template,
+    const std::map<std::string, std::string> &SymbolBinding,
+    const std::vector<int64_t> &ConstantValues) {
+  size_t ConstAt = 0;
+  std::function<ExprPtr(const Expr &)> Rewrite =
+      [&](const Expr &E) -> ExprPtr {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      auto It = SymbolBinding.find(A.name());
+      std::string Name = It != SymbolBinding.end() ? It->second : A.name();
+      return std::make_unique<AccessExpr>(Name, A.indices());
+    }
+    case Expr::Kind::Constant: {
+      const auto &C = exprCast<ConstantExpr>(E);
+      if (!C.isSymbolic())
+        return C.clone();
+      assert(ConstAt < ConstantValues.size() && "missing constant value");
+      return std::make_unique<ConstantExpr>(ConstantValues[ConstAt++]);
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      ExprPtr Lhs = Rewrite(B.lhs());
+      ExprPtr Rhs = Rewrite(B.rhs());
+      return std::make_unique<BinaryExpr>(B.op(), std::move(Lhs),
+                                          std::move(Rhs));
+    }
+    case Expr::Kind::Negate:
+      return std::make_unique<NegateExpr>(
+          Rewrite(exprCast<NegateExpr>(E).operand()));
+    }
+    return nullptr;
+  };
+
+  auto LhsIt = SymbolBinding.find(Template.Lhs.name());
+  AccessExpr Lhs(LhsIt != SymbolBinding.end() ? LhsIt->second
+                                              : Template.Lhs.name(),
+                 Template.Lhs.indices());
+  return Program(std::move(Lhs),
+                 Template.Rhs ? Rewrite(*Template.Rhs) : nullptr);
+}
+
+Validator::Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
+                     std::vector<int64_t> Constants)
+    : B(B), Examples(std::move(Examples)), Constants(std::move(Constants)) {
+  // An empty pool would make constant templates uninstantiable even though
+  // the grammar can propose them; keep the degenerate default of the source
+  // having no literals.
+  if (this->Constants.empty())
+    this->Constants.push_back(1);
+}
+
+bool Validator::checkInstantiation(const Program &Concrete) const {
+  ++Tried;
+  return runsConsistently(B, Concrete, Examples);
+}
+
+bool validate::runsConsistently(const bench::Benchmark &B,
+                                const Program &Concrete,
+                                const std::vector<IoExample> &Examples) {
+  const bench::ArgSpec *OutArg = B.outputArg();
+
+  // Names of tensors actually read by the RHS. A symbol bound to the output
+  // argument (Fig. 8's S2) reads the *initial* output buffer, so the output
+  // name can legitimately appear here too.
+  std::vector<std::string> RhsNames;
+  std::function<void(const Expr &)> Collect = [&](const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const std::string &Name = exprCast<AccessExpr>(E).name();
+      if (std::find(RhsNames.begin(), RhsNames.end(), Name) == RhsNames.end())
+        RhsNames.push_back(Name);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto &Bin = exprCast<BinaryExpr>(E);
+      Collect(Bin.lhs());
+      Collect(Bin.rhs());
+      return;
+    }
+    case Expr::Kind::Negate:
+      Collect(exprCast<NegateExpr>(E).operand());
+      return;
+    case Expr::Kind::Constant:
+      return;
+    }
+  };
+  Collect(*Concrete.Rhs);
+
+  for (const IoExample &Ex : Examples) {
+    std::map<std::string, Tensor<double>> Operands;
+    for (const std::string &Name : RhsNames) {
+      const bench::ArgSpec *Arg = B.findArg(Name);
+      if (!Arg)
+        return false;
+      if (Arg->K == bench::ArgSpec::Kind::Array) {
+        Tensor<double> T(resolveShape(*Arg, Ex.Sizes));
+        T.flat() = Ex.Inputs.Arrays.at(Arg->Name);
+        Operands.emplace(Arg->Name, std::move(T));
+      } else if (Arg->K == bench::ArgSpec::Kind::SizeScalar) {
+        Operands.emplace(Arg->Name, Tensor<double>::scalar(static_cast<double>(
+                                        Ex.Sizes.at(Arg->Name))));
+      } else {
+        Operands.emplace(Arg->Name, Tensor<double>::scalar(
+                                        Ex.Inputs.NumScalars.at(Arg->Name)));
+      }
+    }
+
+    std::vector<int64_t> OutShape = resolveShape(*OutArg, Ex.Sizes);
+    EinsumResult<double> R = evalEinsum<double>(Concrete, Operands, OutShape);
+    if (!R.Ok)
+      return false;
+    // Exact-ish comparison: inputs are small integers, so everything except
+    // division is exact; division gets a relative tolerance.
+    const std::vector<double> &Got = R.Value.flat();
+    const std::vector<double> &Want = Ex.Expected.flat();
+    if (Got.size() != Want.size())
+      return false;
+    for (size_t I = 0; I < Got.size(); ++I) {
+      double A = Got[I];
+      double E = Want[I];
+      if (!std::isfinite(A) || !std::isfinite(E))
+        return false;
+      double Tolerance = 1e-9 * std::max({1.0, std::fabs(A), std::fabs(E)});
+      if (std::fabs(A - E) > Tolerance)
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Instantiation>
+Validator::validate(const Program &Template, size_t MaxResults) const {
+  std::vector<Instantiation> Valid;
+  if (!Template.Rhs || Examples.empty())
+    return Valid;
+
+  const bench::ArgSpec *OutArg = B.outputArg();
+  if (!OutArg)
+    return Valid;
+
+  // The LHS symbol is pinned to the output argument; ranks must agree.
+  if (static_cast<int>(Template.Lhs.order()) != OutArg->rank())
+    return Valid;
+
+  // Distinct RHS tensor symbols with their ranks, and the constant count.
+  std::vector<TensorInfo> Inventory = tensorInventory(Template);
+  std::vector<TensorInfo> Symbols;
+  int ConstLeaves = 0;
+  {
+    // Count constant *leaves* (each is substituted independently).
+    std::function<void(const Expr &)> Count = [&](const Expr &E) {
+      switch (E.kind()) {
+      case Expr::Kind::Constant:
+        if (exprCast<ConstantExpr>(E).isSymbolic())
+          ++ConstLeaves;
+        return;
+      case Expr::Kind::Binary: {
+        const auto &Bin = exprCast<BinaryExpr>(E);
+        Count(Bin.lhs());
+        Count(Bin.rhs());
+        return;
+      }
+      case Expr::Kind::Negate:
+        Count(exprCast<NegateExpr>(E).operand());
+        return;
+      case Expr::Kind::Access:
+        return;
+      }
+    };
+    Count(*Template.Rhs);
+  }
+  for (const TensorInfo &Info : Inventory) {
+    if (Info.IsConstant || Info.Name == Template.Lhs.name())
+      continue;
+    Symbols.push_back(Info);
+  }
+
+  // Candidate arguments per symbol, filtered by rank (Fig. 8's "discard
+  // substitutions that bind tensors to scalars and vice versa").
+  std::vector<std::vector<const bench::ArgSpec *>> Choices;
+  for (const TensorInfo &Symbol : Symbols) {
+    std::vector<const bench::ArgSpec *> Options;
+    for (const bench::ArgSpec &Arg : B.Args)
+      if (Arg.rank() == Symbol.Order)
+        Options.push_back(&Arg);
+    if (Options.empty())
+      return Valid;
+    Choices.push_back(std::move(Options));
+  }
+
+  // Odometer over symbol bindings x constant assignments.
+  std::vector<size_t> Pick(Symbols.size(), 0);
+  std::vector<size_t> ConstPick(static_cast<size_t>(ConstLeaves), 0);
+  for (;;) {
+    std::map<std::string, std::string> Binding;
+    Binding[Template.Lhs.name()] = OutArg->Name;
+    for (size_t I = 0; I < Symbols.size(); ++I)
+      Binding[Symbols[I].Name] = Choices[I][Pick[I]]->Name;
+
+    for (;;) {
+      std::vector<int64_t> ConstValues;
+      for (size_t I = 0; I < ConstPick.size(); ++I)
+        ConstValues.push_back(Constants[ConstPick[I]]);
+
+      Program Concrete = instantiateTemplate(Template, Binding, ConstValues);
+      if (checkInstantiation(Concrete)) {
+        Instantiation Inst;
+        Inst.Concrete = std::move(Concrete);
+        Inst.SymbolBinding = Binding;
+        Inst.ConstantValues = std::move(ConstValues);
+        Valid.push_back(std::move(Inst));
+        if (Valid.size() >= MaxResults)
+          return Valid;
+      }
+
+      // Advance the constant odometer.
+      size_t Axis = ConstPick.size();
+      bool Wrapped = true;
+      while (Axis > 0) {
+        --Axis;
+        if (++ConstPick[Axis] < Constants.size()) {
+          Wrapped = false;
+          break;
+        }
+        ConstPick[Axis] = 0;
+      }
+      if (ConstPick.empty() || Wrapped)
+        break;
+    }
+
+    // Advance the symbol odometer.
+    size_t Axis = Pick.size();
+    bool Wrapped = true;
+    while (Axis > 0) {
+      --Axis;
+      if (++Pick[Axis] < Choices[Axis].size()) {
+        Wrapped = false;
+        break;
+      }
+      Pick[Axis] = 0;
+    }
+    if (Pick.empty() || Wrapped)
+      break;
+  }
+  return Valid;
+}

@@ -1,0 +1,92 @@
+//===- validate/Validator.h - Template validation (§6) ----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Template validation per paper §6. A complete template contains symbolic
+/// tensors (`b`, `c`, ...) and symbolic constants; the validator enumerates
+/// substitutions binding the LHS symbol to the kernel's output argument, the
+/// RHS symbols to *any* argument of compatible rank (including the output
+/// and repeated bindings, exactly as in Fig. 8), and constant symbols to the
+/// integer literals collected from the source. Each instantiation is
+/// evaluated by the einsum reference evaluator against the I/O examples; all
+/// consistent instantiations are returned in enumeration order, so the
+/// verifier can reject one and fall back to the next.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_VALIDATE_VALIDATOR_H
+#define STAGG_VALIDATE_VALIDATOR_H
+
+#include "benchsuite/Benchmark.h"
+#include "taco/Ast.h"
+#include "validate/IoExamples.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace validate {
+
+/// One I/O-consistent instantiation of a template.
+struct Instantiation {
+  /// The concrete program: tensor names are argument names, constants are
+  /// literal values.
+  taco::Program Concrete;
+
+  /// Template tensor symbol -> argument name.
+  std::map<std::string, std::string> SymbolBinding;
+
+  /// Values substituted for the symbolic constants, in leaf order.
+  std::vector<int64_t> ConstantValues;
+};
+
+/// Validator state shared across all templates of one query.
+class Validator {
+public:
+  /// \p Constants is the literal pool harvested from the source by the
+  /// static analysis.
+  Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
+            std::vector<int64_t> Constants);
+
+  /// Enumerates substitutions for \p Template and returns every
+  /// instantiation that satisfies all I/O examples, up to \p MaxResults.
+  std::vector<Instantiation> validate(const taco::Program &Template,
+                                      size_t MaxResults = 8) const;
+
+  /// Total instantiations evaluated so far (across calls); a cost metric.
+  int64_t instantiationsTried() const { return Tried; }
+
+  const std::vector<IoExample> &examples() const { return Examples; }
+
+private:
+  bool checkInstantiation(const taco::Program &Concrete) const;
+
+  const bench::Benchmark &B;
+  std::vector<IoExample> Examples;
+  std::vector<int64_t> Constants;
+  mutable int64_t Tried = 0;
+};
+
+/// Rewrites \p Template by applying \p SymbolBinding to tensor names and
+/// substituting \p ConstantValues into the symbolic constants (in leaf
+/// order). Exposed for tests and the baselines.
+taco::Program instantiateTemplate(
+    const taco::Program &Template,
+    const std::map<std::string, std::string> &SymbolBinding,
+    const std::vector<int64_t> &ConstantValues);
+
+/// Evaluates a fully concrete program (tensor names are argument names,
+/// constants are literals) on every example and compares against the
+/// expected outputs. Shared by the validator and the enumerative baselines.
+bool runsConsistently(const bench::Benchmark &B, const taco::Program &Concrete,
+                      const std::vector<IoExample> &Examples);
+
+} // namespace validate
+} // namespace stagg
+
+#endif // STAGG_VALIDATE_VALIDATOR_H

@@ -1,0 +1,253 @@
+//===- verify/BoundedVerifier.cpp - Bounded equivalence checking ----------===//
+
+#include "verify/BoundedVerifier.h"
+
+#include "cfront/Interp.h"
+#include "support/Rational.h"
+#include "support/Rng.h"
+#include "taco/Einsum.h"
+#include "taco/Printer.h"
+#include "taco/Semantics.h"
+#include "validate/IoExamples.h"
+
+#include <functional>
+
+using namespace stagg;
+using namespace stagg::verify;
+using namespace stagg::taco;
+
+namespace {
+
+/// Distinct tensor names read by the candidate's RHS.
+std::vector<std::string> rhsTensorNames(const Program &P) {
+  std::vector<std::string> Names;
+  std::function<void(const Expr &)> Visit = [&](const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const std::string &Name = exprCast<AccessExpr>(E).name();
+      if (std::find(Names.begin(), Names.end(), Name) == Names.end())
+        Names.push_back(Name);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      Visit(B.lhs());
+      Visit(B.rhs());
+      return;
+    }
+    case Expr::Kind::Negate:
+      Visit(exprCast<NegateExpr>(E).operand());
+      return;
+    case Expr::Kind::Constant:
+      return;
+    }
+  };
+  if (P.Rhs)
+    Visit(*P.Rhs);
+  return Names;
+}
+
+/// One bounded test harness for a fixed shape assignment.
+class ShapeChecker {
+public:
+  ShapeChecker(const bench::Benchmark &B, const cfront::CFunction &Fn,
+               const Program &Candidate,
+               const std::map<std::string, int64_t> &Sizes)
+      : B(B), Fn(Fn), Candidate(Candidate), Sizes(Sizes) {}
+
+  /// Runs both programs on the numeric inputs currently in \p Env; returns
+  /// true on agreement, otherwise fills \p Witness.
+  bool runOnce(cfront::ExecEnv<Rational> Env, std::string &Witness,
+               int &TestsRun) {
+    ++TestsRun;
+    const bench::ArgSpec *OutArg = B.outputArg();
+
+    // TACO side first (it reads the pre-state).
+    std::map<std::string, Tensor<Rational>> Operands;
+    for (const std::string &Name : rhsTensorNames(Candidate)) {
+      const bench::ArgSpec *Arg = B.findArg(Name);
+      if (!Arg) {
+        Witness = "candidate reads unknown tensor '" + Name + "'";
+        return false;
+      }
+      if (Arg->K == bench::ArgSpec::Kind::Array) {
+        Tensor<Rational> T(validate::resolveShape(*Arg, Sizes));
+        T.flat() = Env.Arrays.at(Arg->Name);
+        Operands.emplace(Arg->Name, std::move(T));
+      } else if (Arg->K == bench::ArgSpec::Kind::SizeScalar) {
+        Operands.emplace(Arg->Name,
+                         Tensor<Rational>::scalar(Rational(Sizes.at(Name))));
+      } else {
+        Operands.emplace(Arg->Name,
+                         Tensor<Rational>::scalar(Env.NumScalars.at(Name)));
+      }
+    }
+    std::vector<int64_t> OutShape = validate::resolveShape(*OutArg, Sizes);
+    EinsumResult<Rational> TacoOut =
+        evalEinsum<Rational>(Candidate, Operands, OutShape);
+
+    // C side on a private copy.
+    cfront::ExecStatus Status = cfront::runCFunction(Fn, Env);
+    if (!Status.Ok) {
+      Witness = "legacy kernel failed: " + Status.Error;
+      return false;
+    }
+    if (!TacoOut.Ok) {
+      Witness = "candidate failed to evaluate: " + TacoOut.Error;
+      return false;
+    }
+
+    const std::vector<Rational> &CSide = Env.Arrays.at(OutArg->Name);
+    const std::vector<Rational> &TacoSide = TacoOut.Value.flat();
+    if (CSide.size() != TacoSide.size()) {
+      Witness = "output size mismatch";
+      return false;
+    }
+    for (size_t I = 0; I < CSide.size(); ++I) {
+      if (CSide[I] == TacoSide[I])
+        continue;
+      Witness = "output[" + std::to_string(I) + "]: C=" + CSide[I].str() +
+                " vs TACO=" + TacoSide[I].str() + " for candidate " +
+                printProgram(Candidate);
+      return false;
+    }
+    return true;
+  }
+
+  /// Builds the base environment with all data zeroed.
+  cfront::ExecEnv<Rational> baseEnv() const {
+    cfront::ExecEnv<Rational> Env;
+    for (const bench::ArgSpec &Arg : B.Args) {
+      switch (Arg.K) {
+      case bench::ArgSpec::Kind::SizeScalar:
+        Env.IntScalars[Arg.Name] = Sizes.at(Arg.Name);
+        break;
+      case bench::ArgSpec::Kind::NumScalar:
+        Env.NumScalars[Arg.Name] = Rational(1);
+        break;
+      case bench::ArgSpec::Kind::Array: {
+        std::vector<int64_t> Shape = validate::resolveShape(Arg, Sizes);
+        int64_t Total = 1;
+        for (int64_t D : Shape)
+          Total *= D;
+        Env.Arrays[Arg.Name].assign(static_cast<size_t>(Total), Rational(0));
+        break;
+      }
+      }
+    }
+    return Env;
+  }
+
+private:
+  const bench::Benchmark &B;
+  const cfront::CFunction &Fn;
+  const Program &Candidate;
+  const std::map<std::string, int64_t> &Sizes;
+};
+
+} // namespace
+
+VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
+                                       const cfront::CFunction &Fn,
+                                       const Program &Candidate,
+                                       const VerifyOptions &Options) {
+  VerifyResult Result;
+  Rng R(Options.Seed);
+
+  // Collect size parameters and the input arrays.
+  std::vector<std::string> SizeParams;
+  std::vector<const bench::ArgSpec *> InputArrays;
+  for (const bench::ArgSpec &Arg : B.Args) {
+    if (Arg.K == bench::ArgSpec::Kind::SizeScalar)
+      SizeParams.push_back(Arg.Name);
+    else if (Arg.K == bench::ArgSpec::Kind::Array && !Arg.IsOutput)
+      InputArrays.push_back(&Arg);
+  }
+
+  // Enumerate all shape assignments up to the bound.
+  std::vector<int64_t> SizePick(SizeParams.size(), 1);
+  for (;;) {
+    std::map<std::string, int64_t> Sizes;
+    for (size_t I = 0; I < SizeParams.size(); ++I)
+      Sizes[SizeParams[I]] = SizePick[I];
+
+    ShapeChecker Checker(B, Fn, Candidate, Sizes);
+
+    auto FillRandom = [&](cfront::ExecEnv<Rational> &Env) {
+      for (const bench::ArgSpec *Arg : InputArrays)
+        for (Rational &V : Env.Arrays[Arg->Name])
+          V = Rational(R.range(-3, 4), R.range(1, 2));
+      for (const bench::ArgSpec &Arg : B.Args)
+        if (Arg.K == bench::ArgSpec::Kind::NumScalar)
+          Env.NumScalars[Arg.Name] = Rational(R.range(-2, 3), R.range(1, 2));
+    };
+
+    // (1) All-ones.
+    {
+      cfront::ExecEnv<Rational> Env = Checker.baseEnv();
+      for (const bench::ArgSpec *Arg : InputArrays)
+        for (Rational &V : Env.Arrays[Arg->Name])
+          V = Rational(1);
+      if (!Checker.runOnce(std::move(Env), Result.Counterexample,
+                           Result.TestsRun))
+        return Result;
+    }
+
+    // (2) Joint one-hot sweep over pairs of input arrays (all other inputs
+    // held at one). This exposes every bilinear coefficient.
+    for (size_t A = 0; A < InputArrays.size(); ++A) {
+      for (size_t C = A; C < InputArrays.size(); ++C) {
+        cfront::ExecEnv<Rational> Base = Checker.baseEnv();
+        for (const bench::ArgSpec *Arg : InputArrays)
+          for (Rational &V : Base.Arrays[Arg->Name])
+            V = Rational(1);
+        size_t LenA = Base.Arrays[InputArrays[A]->Name].size();
+        size_t LenC = Base.Arrays[InputArrays[C]->Name].size();
+        int Budget = Options.MaxOneHot;
+        for (size_t PA = 0; PA < LenA && Budget > 0; ++PA) {
+          for (size_t PC = 0; PC < LenC && Budget > 0; ++PC, --Budget) {
+            cfront::ExecEnv<Rational> Env = Base;
+            for (Rational &V : Env.Arrays[InputArrays[A]->Name])
+              V = Rational(0);
+            for (Rational &V : Env.Arrays[InputArrays[C]->Name])
+              V = Rational(0);
+            Env.Arrays[InputArrays[A]->Name][PA] = Rational(2);
+            Env.Arrays[InputArrays[C]->Name][PC] =
+                A == C && PA == PC ? Rational(2) : Rational(3);
+            if (!Checker.runOnce(std::move(Env), Result.Counterexample,
+                                 Result.TestsRun))
+              return Result;
+          }
+        }
+      }
+    }
+
+    // (3) Pseudo-random rationals (negatives, halves).
+    for (int T = 0; T < Options.RandomTrials; ++T) {
+      cfront::ExecEnv<Rational> Env = Checker.baseEnv();
+      FillRandom(Env);
+      // Division-bearing kernels may hit a zero denominator; both sides
+      // propagate the undefined value, which compares equal.
+      if (!Checker.runOnce(std::move(Env), Result.Counterexample,
+                           Result.TestsRun))
+        return Result;
+    }
+
+    // Advance the shape odometer.
+    size_t Axis = SizePick.size();
+    bool Wrapped = true;
+    while (Axis > 0) {
+      --Axis;
+      if (++SizePick[Axis] <= Options.MaxSize) {
+        Wrapped = false;
+        break;
+      }
+      SizePick[Axis] = 1;
+    }
+    if (SizePick.empty() || Wrapped)
+      break;
+  }
+
+  Result.Equivalent = true;
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- verify/BoundedVerifier.h - Bounded equivalence checking --*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded equivalence checking between the legacy C kernel and a candidate
+/// TACO program, standing in for the paper's CBMC pipeline (§7). Like the
+/// paper we work over exact *rational* datatypes rather than floats. The
+/// bound is over shapes and a structured input family:
+///
+///  * every size-parameter assignment up to a per-dimension bound,
+///  * the all-ones input,
+///  * one-hot bases swept jointly through pairs of operand tensors (which
+///    pins down multilinear behaviour the way symbolic case analysis would),
+///  * deterministic pseudo-random rational inputs (including negatives and
+///    non-integers).
+///
+/// On disagreement a readable counterexample is produced and the pipeline
+/// returns to the validator for the next substitution, exactly as in Fig. 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_VERIFY_BOUNDEDVERIFIER_H
+#define STAGG_VERIFY_BOUNDEDVERIFIER_H
+
+#include "benchsuite/Benchmark.h"
+#include "cfront/Ast.h"
+#include "taco/Ast.h"
+
+#include <string>
+
+namespace stagg {
+namespace verify {
+
+/// Verifier configuration.
+struct VerifyOptions {
+  /// Inclusive upper bound for each size parameter (lower bound is 1).
+  /// Two suffices to expose rank and transposition errors because mixed
+  /// shapes like (1,2)/(2,1) are included; tests also exercise 3.
+  int64_t MaxSize = 2;
+
+  /// Random rational trials per shape.
+  int RandomTrials = 8;
+
+  /// Cap on one-hot combinations per shape.
+  int MaxOneHot = 512;
+
+  uint64_t Seed = 0x57466; // "STAGG"-ish; any fixed value keeps runs stable.
+};
+
+/// Outcome of a verification run.
+struct VerifyResult {
+  bool Equivalent = false;
+  int TestsRun = 0;
+  std::string Counterexample; ///< Human-readable witness when inequivalent.
+};
+
+/// Checks `forall inputs up to the bound: C(x) == TACO(x)` for the concrete
+/// \p Candidate program (argument names, literal constants).
+VerifyResult verifyEquivalence(const bench::Benchmark &B,
+                               const cfront::CFunction &Fn,
+                               const taco::Program &Candidate,
+                               const VerifyOptions &Options = VerifyOptions());
+
+} // namespace verify
+} // namespace stagg
+
+#endif // STAGG_VERIFY_BOUNDEDVERIFIER_H

@@ -1,0 +1,163 @@
+//===- tests/AnalysisTest.cpp - Static kernel analysis --------------------===//
+
+#include "analysis/KernelAnalysis.h"
+
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::analysis;
+
+namespace {
+
+KernelSummary analyze(const std::string &Source) {
+  cfront::CParseResult R = cfront::parseCFunction(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return analyzeKernel(*R.Function);
+}
+
+} // namespace
+
+TEST(Analysis, PolyBasics) {
+  Poly P = Poly::symbol("i") * Poly::constant(2) + Poly::symbol("j");
+  EXPECT_EQ(P.str(), "2*i + j");
+  EXPECT_TRUE(P.mentions("i"));
+  EXPECT_FALSE(P.mentions("k"));
+  Poly Q = P.substitute("i", Poly::constant(3));
+  int64_t C;
+  EXPECT_FALSE(Q.asConstant(C));
+  Poly R = Q.substitute("j", Poly::constant(1));
+  ASSERT_TRUE(R.asConstant(C));
+  EXPECT_EQ(C, 7);
+}
+
+TEST(Analysis, PolyProductsAndCancellation) {
+  Poly P = (Poly::symbol("i") + Poly::constant(1)) *
+           (Poly::symbol("i") - Poly::constant(1));
+  Poly Expected =
+      Poly::symbol("i") * Poly::symbol("i") - Poly::constant(1);
+  EXPECT_EQ(P, Expected);
+  EXPECT_TRUE((P - P).isZero());
+}
+
+TEST(Analysis, DirectIndexedOutputIs1D) {
+  KernelSummary S = analyze(
+      "void f(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) out[i] = x[i]; }");
+  EXPECT_EQ(S.OutputParam, "out");
+  EXPECT_EQ(S.LhsDim, 1);
+  EXPECT_EQ(S.ParamDims["x"], 1);
+}
+
+TEST(Analysis, LinearizedStoreDelinearizesTo2D) {
+  KernelSummary S = analyze(
+      "void f(int N, int M, float* A, float* out) {"
+      "  for (int i = 0; i < N; i++)"
+      "    for (int j = 0; j < M; j++)"
+      "      out[i * M + j] = A[j * N + i]; }");
+  EXPECT_EQ(S.LhsDim, 2);
+  EXPECT_EQ(S.ParamDims["A"], 2);
+}
+
+TEST(Analysis, ScalarOutputIsDimZero) {
+  KernelSummary S = analyze(
+      "void f(int N, float* x, float* out) {"
+      "  float s = 0;"
+      "  for (int i = 0; i < N; i++) s += x[i];"
+      "  *out = s; }");
+  EXPECT_EQ(S.OutputParam, "out");
+  EXPECT_EQ(S.LhsDim, 0);
+}
+
+TEST(Analysis, Fig2PointerRecovery) {
+  // The motivating example: Result is 1-D, Mat1 recovered as 2-D, Mat2 1-D.
+  KernelSummary S = analyze(R"(void f(int N, int* Mat1, int* Mat2, int* Result) {
+    int* p_m1; int* p_m2; int* p_t; int i, f;
+    p_m1 = Mat1; p_t = Result;
+    for (f = 0; f < N; f++) {
+      *p_t = 0;
+      p_m2 = &Mat2[0];
+      for (i = 0; i < N; i++)
+        *p_t += *p_m1++ * *p_m2++;
+      p_t++;
+    }
+  })");
+  EXPECT_EQ(S.OutputParam, "Result");
+  EXPECT_EQ(S.LhsDim, 1);
+  EXPECT_EQ(S.ParamDims["Mat1"], 2);
+  EXPECT_EQ(S.ParamDims["Mat2"], 1);
+}
+
+TEST(Analysis, StridedPointerInInnerLoop) {
+  // pb walks down a column: offset j + k*M -> 2-D.
+  KernelSummary S = analyze(
+      "void f(int N, int M, int K, float* A, float* B, float* C) {"
+      "  float* pc = C;"
+      "  for (int i = 0; i < N; i++)"
+      "    for (int j = 0; j < M; j++) {"
+      "      float* pa = &A[i * K];"
+      "      float* pb = &B[j];"
+      "      float acc = 0;"
+      "      for (int k = 0; k < K; k++) {"
+      "        acc += *pa * *pb; pa++; pb = pb + M; }"
+      "      *pc++ = acc; } }");
+  EXPECT_EQ(S.OutputParam, "C");
+  EXPECT_EQ(S.LhsDim, 2);
+  EXPECT_EQ(S.ParamDims["A"], 2);
+  EXPECT_EQ(S.ParamDims["B"], 2);
+}
+
+TEST(Analysis, DiagonalAccessCountsOneVariable) {
+  KernelSummary S = analyze(
+      "void f(int N, float* A, float* out) {"
+      "  float s = 0;"
+      "  for (int i = 0; i < N; i++) s += A[i * N + i];"
+      "  *out = s; }");
+  EXPECT_EQ(S.LhsDim, 0);
+  EXPECT_EQ(S.ParamDims["A"], 1); // One loop variable in the offset.
+}
+
+TEST(Analysis, ConstantCollectionSkipsLoopHeaders) {
+  // The loop's 0 bound is a header constant and must not be collected.
+  KernelSummary S = analyze(
+      "void f(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) out[i] = x[i] * 2 + 1; }");
+  EXPECT_EQ(S.Constants, (std::vector<int64_t>{2, 1}));
+}
+
+TEST(Analysis, ZeroInitializerIsACollectedConstant) {
+  KernelSummary S = analyze(
+      "void f(int N, float* x, float* out) {"
+      "  float s = 0;"
+      "  for (int i = 0; i < N; i++) s += x[i];"
+      "  *out = s; }");
+  EXPECT_EQ(S.Constants, (std::vector<int64_t>{0}));
+}
+
+TEST(Analysis, ThreeDeepLinearization) {
+  KernelSummary S = analyze(
+      "void f(int N, int M, int K, float* T, float* out) {"
+      "  for (int i = 0; i < N; i++)"
+      "    for (int j = 0; j < M; j++)"
+      "      for (int k = 0; k < K; k++)"
+      "        out[(i * M + j) * K + k] = T[(i * M + j) * K + k]; }");
+  EXPECT_EQ(S.LhsDim, 3);
+  EXPECT_EQ(S.ParamDims["T"], 3);
+}
+
+TEST(Analysis, OutputUntouchedByReads) {
+  KernelSummary S = analyze(
+      "void f(int N, float* a, float* b, float* out) {"
+      "  for (int i = 0; i < N; i++) out[i] = a[i] + b[i]; }");
+  EXPECT_EQ(S.OutputParam, "out");
+  EXPECT_EQ(S.ParamDims["a"], 1);
+  EXPECT_EQ(S.ParamDims["b"], 1);
+}
+
+TEST(Analysis, AccessRecordFallbackUsesLoopDepth) {
+  AccessRecord R;
+  R.Param = "x";
+  R.LoopDepth = 2;
+  EXPECT_EQ(R.subscriptArity({"l0", "l1"}), 2);
+}

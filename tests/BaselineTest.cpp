@@ -1,0 +1,100 @@
+//===- tests/BaselineTest.cpp - C2TACO / Tenspiler / LLM baselines --------===//
+
+#include "baselines/C2Taco.h"
+#include "baselines/LlmOnly.h"
+#include "baselines/Tenspiler.h"
+
+#include "llm/SimulatedLlm.h"
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::baselines;
+
+namespace {
+
+const bench::Benchmark &get(const std::string &Name) {
+  const bench::Benchmark *B = bench::findBenchmark(Name);
+  EXPECT_NE(B, nullptr) << Name;
+  return *B;
+}
+
+} // namespace
+
+TEST(C2Taco, SolvesDirectKernels) {
+  for (const char *Name :
+       {"art_copy", "art_add", "blas_gemv_ptr", "art_matmul", "dk_mean_array"}) {
+    core::LiftResult R = runC2Taco(get(Name), C2TacoConfig());
+    EXPECT_TRUE(R.Solved) << Name << ": " << R.FailReason;
+  }
+}
+
+TEST(C2Taco, FindsTheExpectedGemv) {
+  core::LiftResult R = runC2Taco(get("blas_gemv_ptr"), C2TacoConfig());
+  ASSERT_TRUE(R.Solved);
+  EXPECT_EQ(taco::printProgram(R.Concrete), "Result(i) = Mat1(i,j) * Mat2(j)");
+}
+
+TEST(C2Taco, CannotSolveParenthesizedKernels) {
+  C2TacoConfig Config;
+  Config.TimeoutSeconds = 2;
+  core::LiftResult R = runC2Taco(get("dk_l2_dist"), Config);
+  EXPECT_FALSE(R.Solved);
+}
+
+TEST(C2Taco, NoHeuristicsKeepsCoverageButCostsMore) {
+  C2TacoConfig With;
+  C2TacoConfig Without;
+  Without.UseHeuristics = false;
+  core::LiftResult A = runC2Taco(get("blas_gemv_ptr"), With);
+  core::LiftResult B = runC2Taco(get("blas_gemv_ptr"), Without);
+  ASSERT_TRUE(A.Solved);
+  ASSERT_TRUE(B.Solved);
+  EXPECT_LE(A.Attempts, B.Attempts);
+}
+
+TEST(C2Taco, DiagonalHeuristicRecoversTrace) {
+  core::LiftResult R = runC2Taco(get("misc_trace"), C2TacoConfig());
+  EXPECT_TRUE(R.Solved) << R.FailReason;
+}
+
+TEST(Tenspiler, LibraryParses) {
+  for (const std::string &Sketch : tenspilerSketches())
+    EXPECT_TRUE(taco::parseTacoProgram(Sketch).ok()) << Sketch;
+}
+
+TEST(Tenspiler, SolvesLibraryKernels) {
+  for (const char *Name :
+       {"blas_axpy", "blas_gemm", "dk_fill", "misc_rowsum", "ll_matmul"}) {
+    core::LiftResult R = runTenspiler(get(Name), TenspilerConfig());
+    EXPECT_TRUE(R.Solved) << Name << ": " << R.FailReason;
+  }
+}
+
+TEST(Tenspiler, FailsOutsideItsLibrary) {
+  for (const char *Name : {"blas_gemm_tn", "dk_add_bias", "misc_mm3_chain"}) {
+    core::LiftResult R = runTenspiler(get(Name), TenspilerConfig());
+    EXPECT_FALSE(R.Solved) << Name;
+  }
+}
+
+TEST(LlmOnly, SolvesEasyKernels) {
+  llm::SimulatedLlm Oracle(2024);
+  core::LiftResult R = runLlmOnly(get("art_copy"), Oracle, LlmOnlyConfig());
+  EXPECT_TRUE(R.Solved) << R.FailReason;
+}
+
+TEST(LlmOnly, FailsOnHardKernels) {
+  llm::SimulatedLlm Oracle(2024);
+  core::LiftResult R =
+      runLlmOnly(get("misc_mm3_chain"), Oracle, LlmOnlyConfig());
+  EXPECT_FALSE(R.Solved);
+}
+
+TEST(LlmOnly, AttemptsAreBoundedByCandidates) {
+  llm::SimulatedLlm Oracle(5);
+  core::LiftResult R = runLlmOnly(get("blas_dot"), Oracle, LlmOnlyConfig());
+  EXPECT_LE(R.Attempts, 11);
+}

@@ -1,0 +1,197 @@
+//===- tests/CfrontInterpTest.cpp - Mini-C interpreter --------------------===//
+
+#include "cfront/Interp.h"
+
+#include "cfront/Parser.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::cfront;
+
+namespace {
+
+std::unique_ptr<CFunction> parse(const std::string &Source) {
+  CParseResult R = parseCFunction(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.Function);
+}
+
+} // namespace
+
+TEST(CfrontInterp, CopyLoop) {
+  auto Fn = parse("void f(int N, float* x, float* out) {"
+                  "  for (int i = 0; i < N; i++) out[i] = x[i]; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 3;
+  Env.Arrays["x"] = {1, 2, 3};
+  Env.Arrays["out"] = {0, 0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"], (std::vector<double>{1, 2, 3}));
+}
+
+TEST(CfrontInterp, PointerWalkMatchesIndexing) {
+  auto Fn = parse("void f(int N, float* x, float* out) {"
+                  "  float* p = x; float* q = out;"
+                  "  for (int i = 0; i < N; i++) *q++ = *p++ * 2; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 4;
+  Env.Arrays["x"] = {1, 2, 3, 4};
+  Env.Arrays["out"] = {0, 0, 0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"], (std::vector<double>{2, 4, 6, 8}));
+}
+
+TEST(CfrontInterp, Fig2GemvKernel) {
+  auto Fn = parse(R"(void f(int N, int* Mat1, int* Mat2, int* Result) {
+    int* p_m1; int* p_m2; int* p_t; int i, f;
+    p_m1 = Mat1; p_t = Result;
+    for (f = 0; f < N; f++) {
+      *p_t = 0;
+      p_m2 = &Mat2[0];
+      for (i = 0; i < N; i++)
+        *p_t += *p_m1++ * *p_m2++;
+      p_t++;
+    }
+  })");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 2;
+  Env.Arrays["Mat1"] = {1, 2, 3, 4};
+  Env.Arrays["Mat2"] = {5, 6};
+  Env.Arrays["Result"] = {0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["Result"], (std::vector<double>{17, 39}));
+}
+
+TEST(CfrontInterp, CompoundAssignment) {
+  auto Fn = parse("void f(int N, float* x, float* out) {"
+                  "  out[0] = 10;"
+                  "  for (int i = 0; i < N; i++) { out[0] += x[i]; }"
+                  "  out[0] -= 1; out[0] *= 2; out[0] /= 4; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 2;
+  Env.Arrays["x"] = {3, 4};
+  Env.Arrays["out"] = {0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"][0], 8);
+}
+
+TEST(CfrontInterp, PrefixVersusPostfix) {
+  auto Fn = parse("void f(int N, float* out) {"
+                  "  int i = 0;"
+                  "  out[i++] = 1;"
+                  "  out[++i] = 2; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 3;
+  Env.Arrays["out"] = {0, 0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"], (std::vector<double>{1, 0, 2}));
+}
+
+TEST(CfrontInterp, IfElseAndComparisons) {
+  auto Fn = parse("void f(int N, float* out) {"
+                  "  for (int i = 0; i < N; i++) {"
+                  "    if (i <= 1 && i != 1) out[i] = 1;"
+                  "    else if (i >= 3 || i == 2) out[i] = 2; } }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 4;
+  Env.Arrays["out"] = {0, 0, 0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"], (std::vector<double>{1, 0, 2, 2}));
+}
+
+TEST(CfrontInterp, WhileLoop) {
+  auto Fn = parse("void f(int N, float* out) {"
+                  "  int i = 0; while (i < N) { out[i] = i; i++; } }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 3;
+  Env.Arrays["out"] = {9, 9, 9};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"], (std::vector<double>{0, 1, 2}));
+}
+
+TEST(CfrontInterp, IntegerDivisionTruncates) {
+  auto Fn = parse("void f(int N, float* out) { out[0] = N / 2; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 5;
+  Env.Arrays["out"] = {0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"][0], 2);
+}
+
+TEST(CfrontInterp, DataDivisionIsExactOverRationals) {
+  auto Fn = parse("void f(int N, float* x, float* out) {"
+                  "  for (int i = 0; i < N; i++) out[i] = x[i] / 4; }");
+  ExecEnv<Rational> Env;
+  Env.IntScalars["N"] = 2;
+  Env.Arrays["x"] = {Rational(1), Rational(3)};
+  Env.Arrays["out"] = {Rational(0), Rational(0)};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"][0], Rational(1, 4));
+  EXPECT_EQ(Env.Arrays["out"][1], Rational(3, 4));
+}
+
+TEST(CfrontInterp, OutOfBoundsReadFails) {
+  auto Fn = parse("void f(int N, float* x, float* out) { out[0] = x[N]; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 2;
+  Env.Arrays["x"] = {1, 2};
+  Env.Arrays["out"] = {0};
+  ExecStatus S = runCFunction(*Fn, Env);
+  EXPECT_FALSE(S.Ok);
+  EXPECT_NE(S.Error.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(CfrontInterp, OutOfBoundsWriteFails) {
+  auto Fn = parse("void f(int N, float* out) { out[N + 5] = 1; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 1;
+  Env.Arrays["out"] = {0};
+  EXPECT_FALSE(runCFunction(*Fn, Env).Ok);
+}
+
+TEST(CfrontInterp, UninitializedPointerFails) {
+  auto Fn = parse("void f(int N, float* out) { float* p; *p = 1; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 1;
+  Env.Arrays["out"] = {0};
+  EXPECT_FALSE(runCFunction(*Fn, Env).Ok);
+}
+
+TEST(CfrontInterp, StepBudgetStopsInfiniteLoops) {
+  auto Fn = parse("void f(int N, float* out) { while (1) { out[0] = 1; } }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 1;
+  Env.Arrays["out"] = {0};
+  ExecStatus S = runCFunction(*Fn, Env, /*StepBudget=*/10'000);
+  EXPECT_FALSE(S.Ok);
+  EXPECT_NE(S.Error.find("budget"), std::string::npos);
+}
+
+TEST(CfrontInterp, MissingArgumentFails) {
+  auto Fn = parse("void f(int N, float* x) { x[0] = N; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 1;
+  EXPECT_FALSE(runCFunction(*Fn, Env).Ok);
+}
+
+TEST(CfrontInterp, ModuloOperator) {
+  auto Fn = parse("void f(int N, float* out) {"
+                  "  for (int i = 0; i < N; i++) out[i] = i % 3; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 5;
+  Env.Arrays["out"] = {0, 0, 0, 0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"], (std::vector<double>{0, 1, 2, 0, 1}));
+}
+
+TEST(CfrontInterp, FloatLiteralsAreExactDecimals) {
+  auto Fn = parse("void f(int N, float* out) { out[0] = 0.5; out[1] = 2.25; }");
+  ExecEnv<double> Env;
+  Env.IntScalars["N"] = 2;
+  Env.Arrays["out"] = {0, 0};
+  ASSERT_TRUE(runCFunction(*Fn, Env).Ok);
+  EXPECT_EQ(Env.Arrays["out"][0], 0.5);
+  EXPECT_EQ(Env.Arrays["out"][1], 2.25);
+}

@@ -1,0 +1,76 @@
+//===- tests/DimensionListTest.cpp - Dimension prediction (§4.2.3) --------===//
+
+#include "grammar/DimensionList.h"
+
+#include "taco/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::grammar;
+
+namespace {
+
+std::vector<Templatized> templates(std::initializer_list<const char *> Sources) {
+  std::vector<Templatized> Out;
+  for (const char *S : Sources) {
+    taco::ParseResult R = taco::parseTacoProgram(S);
+    EXPECT_TRUE(R.ok()) << S;
+    Out.push_back(templatize(*R.Prog));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(DimensionList, ModeOfMaximalLengthLists) {
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",   // [1,2,1]
+      "r(i) = m(i,j) * v(i)",   // [1,2,1]
+      "r(i) = m(i,j)",          // [1,2] - filtered (shorter)
+      "r(i) = m(j,i) * v(j)",   // [1,2,1]
+  });
+  EXPECT_EQ(predictDimensionList(T, 1), (std::vector<int>{1, 2, 1}));
+}
+
+TEST(DimensionList, StaticAnalysisOverridesLhs) {
+  std::vector<Templatized> T = templates({"r(i,j) = m(i,j) * v(j)"});
+  // The LLM guessed a 2-D LHS; static analysis says scalar.
+  EXPECT_EQ(predictDimensionList(T, 0), (std::vector<int>{0, 2, 1}));
+}
+
+TEST(DimensionList, TieBreaksByFirstSeen) {
+  std::vector<Templatized> T = templates({
+      "r(i) = a1(i) + a2(i)", // [1,1,1]
+      "r(i) = a1(i,j) * a2(j)", // [1,2,1]
+  });
+  EXPECT_EQ(predictDimensionList(T, 1), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(DimensionList, EmptyInputGivesEmptyList) {
+  std::vector<Templatized> None;
+  EXPECT_TRUE(predictDimensionList(None, 1).empty());
+}
+
+TEST(DimensionList, ConstantsContributeZeroEntries) {
+  std::vector<Templatized> T = templates({"r(i) = x(i) * 2 + 1"});
+  EXPECT_EQ(predictDimensionList(T, 1), (std::vector<int>{1, 1, 0, 0}));
+}
+
+TEST(DimensionList, CountUniqueIndexVars) {
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",
+      "r(i) = m(i,j) * v(k)",
+  });
+  EXPECT_EQ(countUniqueIndexVars(T), 3);
+}
+
+TEST(DimensionList, MajorityRanksBeatOutliers) {
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",
+      "r(i) = m(i) * v(j)",     // Rank-corrupted guess: [1,1,1].
+      "r(i) = m(i,j) * v(i)",
+      "r(i) = m(j,i) * v(j)",
+  });
+  EXPECT_EQ(predictDimensionList(T, 1), (std::vector<int>{1, 2, 1}));
+}

@@ -1,0 +1,205 @@
+//===- tests/EinsumTest.cpp - Reference einsum evaluator ------------------===//
+
+#include "taco/Einsum.h"
+
+#include "support/Rational.h"
+#include "taco/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::taco;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  ParseResult R = parseTacoProgram(Source);
+  EXPECT_TRUE(R.ok()) << Source << ": " << R.Error;
+  return std::move(*R.Prog);
+}
+
+Tensor<double> vec(std::vector<double> Values) {
+  Tensor<double> T({static_cast<int64_t>(Values.size())});
+  T.flat() = std::move(Values);
+  return T;
+}
+
+Tensor<double> mat(int64_t Rows, int64_t Cols, std::vector<double> Values) {
+  Tensor<double> T({Rows, Cols});
+  T.flat() = std::move(Values);
+  return T;
+}
+
+} // namespace
+
+TEST(Einsum, ElementwiseAdd) {
+  Program P = parse("a(i) = b(i) + c(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", vec({1, 2, 3}));
+  Ops.emplace("c", vec({10, 20, 30}));
+  auto R = evalEinsum<double>(P, Ops, {3});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{11, 22, 33}));
+}
+
+TEST(Einsum, DotProductReducesFreeIndex) {
+  Program P = parse("a = b(i) * c(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", vec({1, 2, 3}));
+  Ops.emplace("c", vec({4, 5, 6}));
+  auto R = evalEinsum<double>(P, Ops, {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat()[0], 32);
+}
+
+TEST(Einsum, MatVec) {
+  Program P = parse("a(i) = b(i,j) * c(j)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", mat(2, 3, {1, 2, 3, 4, 5, 6}));
+  Ops.emplace("c", vec({1, 1, 1}));
+  auto R = evalEinsum<double>(P, Ops, {2});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{6, 15}));
+}
+
+TEST(Einsum, MatMul) {
+  Program P = parse("a(i,j) = b(i,k) * c(k,j)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", mat(2, 2, {1, 2, 3, 4}));
+  Ops.emplace("c", mat(2, 2, {5, 6, 7, 8}));
+  auto R = evalEinsum<double>(P, Ops, {2, 2});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{19, 22, 43, 50}));
+}
+
+TEST(Einsum, Transpose) {
+  Program P = parse("a(i,j) = b(j,i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", mat(2, 3, {1, 2, 3, 4, 5, 6}));
+  auto R = evalEinsum<double>(P, Ops, {3, 2});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Einsum, SumReduction) {
+  Program P = parse("a = b(i,j)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", mat(2, 2, {1, 2, 3, 4}));
+  auto R = evalEinsum<double>(P, Ops, {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat()[0], 10);
+}
+
+TEST(Einsum, DiagonalAccess) {
+  Program P = parse("a = b(i,i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", mat(2, 2, {1, 2, 3, 4}));
+  auto R = evalEinsum<double>(P, Ops, {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat()[0], 5);
+}
+
+TEST(Einsum, ConstantBroadcast) {
+  Program P = parse("a(i) = 7");
+  std::map<std::string, Tensor<double>> Ops;
+  auto R = evalEinsum<double>(P, Ops, {4});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{7, 7, 7, 7}));
+}
+
+TEST(Einsum, ScalarOperandBroadcast) {
+  Program P = parse("a(i) = s * b(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("s", Tensor<double>::scalar(3));
+  Ops.emplace("b", vec({1, 2}));
+  auto R = evalEinsum<double>(P, Ops, {2});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{3, 6}));
+}
+
+TEST(Einsum, SubtractionInsideReduction) {
+  // Extended einsum: sum_i (b(i) - c(i)).
+  Program P = parse("a = b(i) - c(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", vec({5, 7}));
+  Ops.emplace("c", vec({1, 2}));
+  auto R = evalEinsum<double>(P, Ops, {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat()[0], 9);
+}
+
+TEST(Einsum, ParenthesizedGrouping) {
+  Program P = parse("a(i) = (b(i) + c(i)) * d(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", vec({1, 2}));
+  Ops.emplace("c", vec({3, 4}));
+  Ops.emplace("d", vec({5, 6}));
+  auto R = evalEinsum<double>(P, Ops, {2});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{20, 36}));
+}
+
+TEST(Einsum, UnboundTensorFails) {
+  Program P = parse("a(i) = b(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  auto R = evalEinsum<double>(P, Ops, {2});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Einsum, RankMismatchFails) {
+  Program P = parse("a(i) = b(i,j)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", vec({1, 2}));
+  auto R = evalEinsum<double>(P, Ops, {2});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Einsum, ConflictingExtentsFail) {
+  Program P = parse("a(i) = b(i) + c(i)");
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("b", vec({1, 2}));
+  Ops.emplace("c", vec({1, 2, 3}));
+  auto R = evalEinsum<double>(P, Ops, {2});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Einsum, RationalExactDivision) {
+  Program P = parse("a(i) = b(i) / 4");
+  std::map<std::string, Tensor<Rational>> Ops;
+  Tensor<Rational> B({2});
+  B.flat() = {Rational(1), Rational(3)};
+  Ops.emplace("b", std::move(B));
+  auto R = evalEinsum<Rational>(P, Ops, {2});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value.flat()[0], Rational(1, 4));
+  EXPECT_EQ(R.Value.flat()[1], Rational(3, 4));
+}
+
+TEST(Einsum, RationalDivisionByZeroIsUndefined) {
+  Program P = parse("a(i) = b(i) / c(i)");
+  std::map<std::string, Tensor<Rational>> Ops;
+  Tensor<Rational> B({1}), C({1});
+  B.flat() = {Rational(1)};
+  C.flat() = {Rational(0)};
+  Ops.emplace("b", std::move(B));
+  Ops.emplace("c", std::move(C));
+  auto R = evalEinsum<Rational>(P, Ops, {1});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Value.flat()[0].isUndefined());
+}
+
+TEST(Einsum, Order4Contraction) {
+  Program P = parse("a(i,j,k) = b(i,j,k,l) * c(l)");
+  std::map<std::string, Tensor<double>> Ops;
+  Tensor<double> B({2, 2, 2, 2});
+  for (size_t I = 0; I < B.flat().size(); ++I)
+    B.flat()[I] = static_cast<double>(I);
+  Ops.emplace("b", std::move(B));
+  Ops.emplace("c", vec({1, 2}));
+  auto R = evalEinsum<double>(P, Ops, {2, 2, 2});
+  ASSERT_TRUE(R.Ok);
+  // Entry (0,0,0) = 0*1 + 1*2 = 2.
+  EXPECT_EQ(R.Value.at({0, 0, 0}), 2);
+  // Entry (1,1,1) = 14*1 + 15*2 = 44.
+  EXPECT_EQ(R.Value.at({1, 1, 1}), 44);
+}

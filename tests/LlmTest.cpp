@@ -1,0 +1,138 @@
+//===- tests/LlmTest.cpp - Oracle simulation and response parsing ---------===//
+
+#include "llm/SimulatedLlm.h"
+
+#include "grammar/Template.h"
+#include "llm/Prompt.h"
+#include "llm/ResponseParser.h"
+#include "taco/Parser.h"
+#include "taco/Semantics.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace stagg;
+using namespace stagg::llm;
+
+TEST(Prompt, ContainsPaperText) {
+  std::string P = buildPrompt("void f() {}");
+  EXPECT_NE(P.find("scientific assistant"), std::string::npos);
+  EXPECT_NE(P.find("TACO tensor index notation"), std::string::npos);
+  EXPECT_NE(P.find("10 possible expressions"), std::string::npos);
+  EXPECT_NE(P.find("void f() {}"), std::string::npos);
+}
+
+TEST(ResponseParser, StripsListNumbering) {
+  EXPECT_EQ(preprocessResponseLine("3. a(i) = b(i)"), "a(i) = b(i)");
+  EXPECT_EQ(preprocessResponseLine("12) a(i) = b(i)"), "a(i) = b(i)");
+  EXPECT_EQ(preprocessResponseLine("- a(i) = b(i)"), "a(i) = b(i)");
+}
+
+TEST(ResponseParser, NormalizesColonAssign) {
+  EXPECT_EQ(preprocessResponseLine("a(i) := b(i)"), "a(i) = b(i)");
+}
+
+TEST(ResponseParser, StripsFencesAndQuotes) {
+  EXPECT_EQ(preprocessResponseLine("`a(i) = b(i)`"), "a(i) = b(i)");
+  EXPECT_EQ(preprocessResponseLine("\"a(i) = b(i)\","), "a(i) = b(i)");
+}
+
+TEST(ResponseParser, DiscardsInvalidLines) {
+  ParsedResponses R = parseResponses({
+      "1. r(f) = m1(i,f) * m2(f)",
+      "2. Result(i) := Mat1(f,i) * Mat2(i)",
+      "3. Result(f) = sum(f, mat1(f,i) * mat2(i))", // pseudo-syntax
+      "4. totally not taco",
+      "",
+  });
+  EXPECT_EQ(R.Programs.size(), 2u);
+  EXPECT_EQ(R.Discarded, 2);
+  EXPECT_EQ(R.TotalLines, 4);
+}
+
+TEST(SimulatedLlm, DeterministicPerSeed) {
+  const bench::Benchmark *B = bench::findBenchmark("blas_gemv_ptr");
+  ASSERT_NE(B, nullptr);
+  OracleTask Task;
+  Task.Query = B;
+  SimulatedLlm A(123), C(123), D(124);
+  EXPECT_EQ(A.propose(Task), C.propose(Task));
+  EXPECT_NE(A.propose(Task), D.propose(Task));
+}
+
+TEST(SimulatedLlm, ProducesRequestedCount) {
+  const bench::Benchmark *B = bench::findBenchmark("art_copy");
+  OracleTask Task;
+  Task.Query = B;
+  Task.NumCandidates = 10;
+  SimulatedLlm Oracle(7);
+  std::vector<std::string> Lines = Oracle.propose(Task);
+  EXPECT_GE(Lines.size(), 10u);
+  EXPECT_LE(Lines.size(), 11u);
+}
+
+TEST(SimulatedLlm, EasyKernelsKeepTheTruthInTheNeighborhood) {
+  // For an easy kernel, at least one of the ten guesses templatizes to the
+  // ground-truth template.
+  const bench::Benchmark *B = bench::findBenchmark("art_add");
+  taco::ParseResult Truth = taco::parseTacoProgram(B->GroundTruth);
+  std::string TruthKey = grammar::templatize(*Truth.Prog).Key;
+
+  OracleTask Task;
+  Task.Query = B;
+  SimulatedLlm Oracle(99);
+  ParsedResponses R = parseResponses(Oracle.propose(Task));
+  bool Found = false;
+  for (const taco::Program &P : R.Programs)
+    Found |= grammar::templatize(P).Key == TruthKey;
+  EXPECT_TRUE(Found);
+}
+
+TEST(SimulatedLlm, SystematicConfusionBreaksTheDimensionVote) {
+  // The hardest benchmark gets rank-corrupted candidates: the majority of
+  // guesses must NOT carry the true dimension list.
+  const bench::Benchmark *B = bench::findBenchmark("misc_mm3_chain");
+  ASSERT_GE(B->computedDifficulty(), 0.95);
+  taco::ParseResult Truth = taco::parseTacoProgram(B->GroundTruth);
+  std::vector<int> TrueDims = taco::dimensionList(*Truth.Prog);
+
+  OracleTask Task;
+  Task.Query = B;
+  SimulatedLlm Oracle(99);
+  ParsedResponses R = parseResponses(Oracle.propose(Task));
+  int Matching = 0;
+  for (const taco::Program &P : R.Programs)
+    Matching += taco::dimensionList(P) == TrueDims;
+  EXPECT_LT(Matching * 2, static_cast<int>(R.Programs.size()) + 1);
+}
+
+TEST(SimulatedLlm, EmitsSurfaceNoiseSomewhere) {
+  // Across the whole suite the oracle must exercise `:=`, list numbering,
+  // and unparsable pseudo-syntax.
+  SimulatedLlm Oracle(5);
+  bool SawColon = false, SawNumbering = false, SawDiscardable = false;
+  for (const bench::Benchmark &B : bench::allBenchmarks()) {
+    OracleTask Task;
+    Task.Query = &B;
+    std::vector<std::string> Lines = Oracle.propose(Task);
+    for (const std::string &L : Lines) {
+      SawColon |= L.find(":=") != std::string::npos;
+      SawNumbering |= !L.empty() && L.find(". ") != std::string::npos &&
+                      std::isdigit(static_cast<unsigned char>(L[0]));
+      SawDiscardable |= L.find("sum(") != std::string::npos ||
+                        L.find("0.5") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(SawColon);
+  EXPECT_TRUE(SawNumbering);
+  EXPECT_TRUE(SawDiscardable);
+}
+
+TEST(SimulatedLlm, DifficultyScoresAreOrdered) {
+  const bench::Benchmark *Easy = bench::findBenchmark("art_copy");
+  const bench::Benchmark *Mid = bench::findBenchmark("blas_gemv_ptr");
+  const bench::Benchmark *Hard = bench::findBenchmark("misc_mm3_chain");
+  EXPECT_LT(Easy->computedDifficulty(), Mid->computedDifficulty());
+  EXPECT_LT(Mid->computedDifficulty(), Hard->computedDifficulty());
+}

@@ -1,0 +1,202 @@
+//===- tests/PcfgTest.cpp - Template grammar construction (§4.2.4, §4.3) --===//
+
+#include "grammar/Pcfg.h"
+
+#include "grammar/DimensionList.h"
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace stagg;
+using namespace stagg::grammar;
+
+namespace {
+
+std::vector<Templatized> templates(std::initializer_list<const char *> Sources) {
+  std::vector<Templatized> Out;
+  for (const char *S : Sources) {
+    taco::ParseResult R = taco::parseTacoProgram(S);
+    EXPECT_TRUE(R.ok()) << S;
+    Out.push_back(templatize(*R.Prog));
+  }
+  return dedupTemplates(Out);
+}
+
+bool hasRule(const TemplateGrammar &G, const std::string &Spelling) {
+  for (const TensorRule &R : G.TensorRules)
+    if (R.spelling() == Spelling)
+      return true;
+  return false;
+}
+
+const TensorRule *findRule(const TemplateGrammar &G,
+                           const std::string &Spelling) {
+  for (const TensorRule &R : G.TensorRules)
+    if (R.spelling() == Spelling)
+      return &R;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Pcfg, RefinedGrammarEnumeratesIndexCombinations) {
+  std::vector<Templatized> T = templates({"r(i) = m(i,j) * v(j)"});
+  std::vector<int> Dims = predictDimensionList(T, 1);
+  TemplateGrammar G = buildTemplateGrammar(T, Dims, 1, GrammarOptions());
+
+  // Position 2 is the 2-D tensor `b`: both orderings of (i,j) must appear.
+  EXPECT_TRUE(hasRule(G, "b(i,j)"));
+  EXPECT_TRUE(hasRule(G, "b(j,i)"));
+  // Position 3 is the 1-D tensor `c` with either variable.
+  EXPECT_TRUE(hasRule(G, "c(i)"));
+  EXPECT_TRUE(hasRule(G, "c(j)"));
+  // No repeated-index rules: the candidates never use them.
+  EXPECT_FALSE(hasRule(G, "b(i,i)"));
+}
+
+TEST(Pcfg, LhsPinnedToStaticPrediction) {
+  std::vector<Templatized> T = templates({"r(i,j) = m(i,j)"});
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 0), 0, GrammarOptions());
+  EXPECT_EQ(taco::printAccess(G.Lhs), "a");
+}
+
+TEST(Pcfg, RepeatedIndexRulesWhenCandidatesUseThem) {
+  std::vector<Templatized> T = templates({"s = m(i,i)"});
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 0), 0, GrammarOptions());
+  EXPECT_TRUE(hasRule(G, "b(i,i)"));
+}
+
+TEST(Pcfg, WeightsCountDerivationOccurrences) {
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",
+      "r(i) = m(i,j) * v(i)",
+      "r(i) = m(i,j) + v(j)",
+  });
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 1), 1, GrammarOptions());
+  const TensorRule *Bij = findRule(G, "b(i,j)");
+  ASSERT_NE(Bij, nullptr);
+  EXPECT_EQ(Bij->Weight, 3);
+  const TensorRule *Cj = findRule(G, "c(j)");
+  ASSERT_NE(Cj, nullptr);
+  EXPECT_EQ(Cj->Weight, 2);
+  // Operator weights: * twice, + once. Only * carries enough evidence to
+  // count as "defined in the grammar" for the a5/b2 penalties.
+  EXPECT_EQ(G.WOp[static_cast<int>(taco::BinOpKind::Mul)], 2);
+  EXPECT_EQ(G.WOp[static_cast<int>(taco::BinOpKind::Add)], 1);
+  ASSERT_EQ(G.LearnedOps.size(), 1u);
+  EXPECT_EQ(G.LearnedOps[0], taco::BinOpKind::Mul);
+}
+
+TEST(Pcfg, ProbabilitiesSumToOnePerNonterminal) {
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",
+      "r(i) = m(j,i) * v(j) + v(i)",
+  });
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 1), 1, GrammarOptions());
+  double TensorSum = 0;
+  for (const TensorRule &R : G.TensorRules)
+    if (!R.IsConst)
+      TensorSum += R.Prob;
+  EXPECT_NEAR(TensorSum, 1.0, 1e-9);
+  EXPECT_NEAR(G.PExprTensor + G.PExprConst + G.PExprBin, 1.0, 1e-9);
+  double OpSum = 0;
+  for (double P : G.POp)
+    OpSum += P;
+  EXPECT_NEAR(OpSum, 1.0, 1e-9);
+}
+
+TEST(Pcfg, UnseenRulesGetDefaultWeight) {
+  // c(j) is used twice; c(i) never. The unseen rule keeps the default
+  // weight of 1 — reachable, but strictly lower priority.
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",
+      "r(i) = m(i,j) + v(j)",
+  });
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 1), 1, GrammarOptions());
+  const TensorRule *Ci = findRule(G, "c(i)");
+  ASSERT_NE(Ci, nullptr);
+  EXPECT_EQ(Ci->Weight, 0);
+  EXPECT_GT(Ci->Prob, 0) << "smoothing must keep unseen rules reachable";
+  const TensorRule *Seen = findRule(G, "c(j)");
+  ASSERT_NE(Seen, nullptr);
+  EXPECT_EQ(Seen->Weight, 2);
+  EXPECT_GT(Seen->Prob, Ci->Prob);
+}
+
+TEST(Pcfg, EqualProbabilityAblation) {
+  std::vector<Templatized> T = templates({
+      "r(i) = m(i,j) * v(j)",
+      "r(i) = m(i,j) * v(j) + v(i)",
+  });
+  GrammarOptions Options;
+  Options.EqualProbability = true;
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 1), 1, Options);
+  const TensorRule *A = findRule(G, "b(i,j)");
+  const TensorRule *B = findRule(G, "b(j,i)");
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_DOUBLE_EQ(A->Prob, B->Prob);
+  EXPECT_DOUBLE_EQ(G.POp[0], G.POp[1]);
+}
+
+TEST(Pcfg, FullGrammarIsMuchLarger) {
+  std::vector<Templatized> T = templates({"r(i) = m(i,j) * v(j)"});
+  std::vector<int> Dims = predictDimensionList(T, 1);
+  TemplateGrammar Refined =
+      buildTemplateGrammar(T, Dims, 1, GrammarOptions());
+  GrammarOptions Full;
+  Full.FullGrammar = true;
+  TemplateGrammar Unrefined = buildTemplateGrammar(T, Dims, 1, Full);
+  EXPECT_GT(Unrefined.TensorRules.size(), 4 * Refined.TensorRules.size());
+}
+
+TEST(Pcfg, ConstRuleOnlyWithDimZeroEvidence) {
+  std::vector<Templatized> NoConst = templates({"r(i) = m(i,j) * v(j)"});
+  TemplateGrammar G1 = buildTemplateGrammar(
+      NoConst, predictDimensionList(NoConst, 1), 1, GrammarOptions());
+  EXPECT_FALSE(G1.HasConstRule);
+  EXPECT_EQ(G1.PExprConst, 0);
+
+  std::vector<Templatized> WithConst = templates({"r(i) = m(i) * 3"});
+  TemplateGrammar G2 = buildTemplateGrammar(
+      WithConst, predictDimensionList(WithConst, 1), 1, GrammarOptions());
+  EXPECT_TRUE(G2.HasConstRule);
+  EXPECT_GT(G2.PExprConst, 0);
+}
+
+TEST(Pcfg, RulesForPositionGroupByDimension) {
+  std::vector<Templatized> T = templates({"r = m(i) + v(i) * w(i,j)"});
+  std::vector<int> Dims = predictDimensionList(T, 0); // [0,1,1,2]
+  ASSERT_EQ(Dims, (std::vector<int>{0, 1, 1, 2}));
+  TemplateGrammar G = buildTemplateGrammar(T, Dims, 0, GrammarOptions());
+  // Slot 2 wants dimension 1: both 1-D symbols are offered (Fig. 7 style).
+  std::vector<const TensorRule *> Slot2 = G.rulesForPosition(2);
+  bool SawB = false, SawC = false, SawD = false;
+  for (const TensorRule *R : Slot2) {
+    SawB |= R->Symbol == "b";
+    SawC |= R->Symbol == "c";
+    SawD |= R->Symbol == "d";
+  }
+  EXPECT_TRUE(SawB);
+  EXPECT_TRUE(SawC);
+  EXPECT_FALSE(SawD); // d is 2-D.
+}
+
+TEST(Pcfg, DumpMentionsEveryPiece) {
+  std::vector<Templatized> T = templates({"r(i) = m(i) * 2"});
+  TemplateGrammar G =
+      buildTemplateGrammar(T, predictDimensionList(T, 1), 1, GrammarOptions());
+  std::string Dump = G.dump();
+  EXPECT_NE(Dump.find("PROGRAM"), std::string::npos);
+  EXPECT_NE(Dump.find("Const"), std::string::npos);
+  EXPECT_NE(Dump.find("DimList"), std::string::npos);
+}

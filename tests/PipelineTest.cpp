@@ -1,0 +1,125 @@
+//===- tests/PipelineTest.cpp - End-to-end STAGG pipeline -----------------===//
+
+#include "core/Stagg.h"
+
+#include "llm/SimulatedLlm.h"
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+#include "verify/BoundedVerifier.h"
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::core;
+
+namespace {
+
+LiftResult lift(const std::string &Name, StaggConfig Config = StaggConfig(),
+                uint64_t Seed = 2024) {
+  const bench::Benchmark *B = bench::findBenchmark(Name);
+  EXPECT_NE(B, nullptr) << Name;
+  llm::SimulatedLlm Oracle(Seed);
+  return liftBenchmark(*B, Oracle, Config);
+}
+
+/// A solved result must actually be equivalent — re-verify independently.
+void expectSound(const std::string &Name, const LiftResult &R) {
+  ASSERT_TRUE(R.Solved) << Name << ": " << R.FailReason;
+  const bench::Benchmark *B = bench::findBenchmark(Name);
+  cfront::CParseResult Fn = cfront::parseCFunction(B->CSource);
+  ASSERT_TRUE(Fn.ok());
+  verify::VerifyOptions Strict;
+  Strict.MaxSize = 3;
+  verify::VerifyResult VR =
+      verify::verifyEquivalence(*B, *Fn.Function, R.Concrete, Strict);
+  EXPECT_TRUE(VR.Equivalent) << taco::printProgram(R.Concrete) << "  --  "
+                             << VR.Counterexample;
+}
+
+} // namespace
+
+TEST(Pipeline, LiftsTheMotivatingExample) {
+  LiftResult R = lift("blas_gemv_ptr");
+  expectSound("blas_gemv_ptr", R);
+  EXPECT_EQ(taco::printProgram(R.Concrete), "Result(i) = Mat1(i,j) * Mat2(j)");
+  EXPECT_EQ(R.DimList, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(Pipeline, TopDownLiftsRepresentativeKernels) {
+  for (const char *Name :
+       {"art_copy", "art_dot", "art_matmul", "blas_axpy", "dk_mean_array",
+        "dsp_outer", "misc_trace", "ll_att_values"}) {
+    LiftResult R = lift(Name);
+    expectSound(Name, R);
+  }
+}
+
+TEST(Pipeline, TopDownHandlesParenthesizedKernels) {
+  LiftResult R = lift("art_paren");
+  expectSound("art_paren", R);
+}
+
+TEST(Pipeline, BottomUpLiftsChainKernels) {
+  StaggConfig Config;
+  Config.Kind = SearchKind::BottomUp;
+  for (const char *Name : {"art_copy", "blas_gemv_ptr", "dk_mul_array"}) {
+    LiftResult R = lift(Name, Config);
+    expectSound(Name, R);
+  }
+}
+
+TEST(Pipeline, BottomUpFailsOnParenthesizedKernels) {
+  StaggConfig Config;
+  Config.Kind = SearchKind::BottomUp;
+  Config.Search.TimeoutSeconds = 2;
+  LiftResult R = lift("dk_l2_dist", Config);
+  EXPECT_FALSE(R.Solved);
+}
+
+TEST(Pipeline, HardestQueryFailsBySystematicConfusion) {
+  StaggConfig Config;
+  Config.Search.TimeoutSeconds = 2;
+  LiftResult R = lift("misc_mm3_chain", Config);
+  EXPECT_FALSE(R.Solved);
+}
+
+TEST(Pipeline, ReportsAttemptsAndTiming) {
+  LiftResult R = lift("blas_gemv_ptr");
+  EXPECT_GT(R.Attempts, 0);
+  EXPECT_GT(R.Expansions, 0);
+  EXPECT_GT(R.Seconds, 0);
+  EXPECT_GT(R.CandidatesParsed, 0);
+}
+
+TEST(Pipeline, EqualProbabilityStillLifts) {
+  StaggConfig Config;
+  Config.Grammar.EqualProbability = true;
+  LiftResult R = lift("blas_gemv_ptr", Config);
+  expectSound("blas_gemv_ptr", R);
+}
+
+TEST(Pipeline, FullGrammarStillLiftsSimpleKernels) {
+  StaggConfig Config;
+  Config.Grammar.FullGrammar = true;
+  Config.Grammar.EqualProbability = true;
+  Config.Search.TimeoutSeconds = 10;
+  LiftResult R = lift("art_copy", Config);
+  expectSound("art_copy", R);
+}
+
+TEST(Pipeline, DescribeResultMentionsOutcome) {
+  const bench::Benchmark *B = bench::findBenchmark("art_copy");
+  llm::SimulatedLlm Oracle(1);
+  LiftResult R = liftBenchmark(*B, Oracle, StaggConfig());
+  std::string Line = describeResult(*B, R);
+  EXPECT_NE(Line.find("art_copy"), std::string::npos);
+  EXPECT_NE(Line.find(R.Solved ? "OK" : "FAIL"), std::string::npos);
+}
+
+TEST(Pipeline, SolutionsAreStableAcrossOracleSeeds) {
+  for (uint64_t Seed : {1ull, 7ull, 1234ull}) {
+    LiftResult R = lift("blas_dot", StaggConfig(), Seed);
+    expectSound("blas_dot", R);
+  }
+}

@@ -1,0 +1,76 @@
+//===- tests/RationalTest.cpp - Exact rational arithmetic -----------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using stagg::Rational;
+
+TEST(Rational, NormalizesToLowestTerms) {
+  Rational R(6, 8);
+  EXPECT_EQ(R.numerator(), 3);
+  EXPECT_EQ(R.denominator(), 4);
+}
+
+TEST(Rational, NegativeDenominatorMovesSign) {
+  Rational R(3, -6);
+  EXPECT_EQ(R.numerator(), -1);
+  EXPECT_EQ(R.denominator(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational A(1, 2), B(1, 3);
+  EXPECT_EQ((A + B), Rational(5, 6));
+  EXPECT_EQ((A - B), Rational(1, 6));
+  EXPECT_EQ((A * B), Rational(1, 6));
+  EXPECT_EQ((A / B), Rational(3, 2));
+  EXPECT_EQ(-A, Rational(-1, 2));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational A(1, 4);
+  A += Rational(1, 4);
+  EXPECT_EQ(A, Rational(1, 2));
+  A *= Rational(4);
+  EXPECT_EQ(A, Rational(2));
+  A -= Rational(1);
+  EXPECT_EQ(A, Rational(1));
+  A /= Rational(3);
+  EXPECT_EQ(A, Rational(1, 3));
+}
+
+TEST(Rational, DivisionByZeroIsUndefined) {
+  Rational R = Rational(1) / Rational(0);
+  EXPECT_TRUE(R.isUndefined());
+  // Undefined propagates through all operators.
+  EXPECT_TRUE((R + Rational(1)).isUndefined());
+  EXPECT_TRUE((Rational(1) - R).isUndefined());
+  EXPECT_TRUE((R * R).isUndefined());
+  EXPECT_TRUE((-R).isUndefined());
+}
+
+TEST(Rational, UndefinedComparesEqualOnlyToUndefined) {
+  Rational U = Rational::undefined();
+  EXPECT_EQ(U, Rational::undefined());
+  EXPECT_NE(U, Rational(0));
+  EXPECT_NE(Rational(0), U);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_FALSE(Rational(2, 4) < Rational(1, 2));
+}
+
+TEST(Rational, IntConversionAndStr) {
+  EXPECT_EQ(Rational(7).str(), "7");
+  EXPECT_EQ(Rational(-3, 9).str(), "-1/3");
+  EXPECT_EQ(Rational::undefined().str(), "undef");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).toDouble(), 0.25);
+}
+
+TEST(Rational, ZeroHandling) {
+  EXPECT_TRUE(Rational(0, 5).isZero());
+  EXPECT_FALSE(Rational::undefined().isZero());
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}

@@ -1,0 +1,84 @@
+//===- tests/RngTest.cpp - Deterministic PRNG -----------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using stagg::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng R(13);
+  std::vector<double> W = {0.0, 1.0, 0.0};
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.weightedIndex(W), 1u);
+}
+
+TEST(Rng, WeightedIndexApproximatesWeights) {
+  Rng R(17);
+  std::vector<double> W = {1.0, 3.0};
+  int CountHigh = 0;
+  const int Trials = 4000;
+  for (int I = 0; I < Trials; ++I)
+    CountHigh += R.weightedIndex(W) == 1;
+  EXPECT_NEAR(static_cast<double>(CountHigh) / Trials, 0.75, 0.05);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng R(19);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(23);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}

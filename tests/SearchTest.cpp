@@ -1,0 +1,226 @@
+//===- tests/SearchTest.cpp - Weighted A* searches (Alg. 1 & 2) -----------===//
+
+#include "search/BottomUp.h"
+#include "search/TopDown.h"
+
+#include "grammar/DimensionList.h"
+#include "search/CostModel.h"
+#include "search/TemplateState.h"
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace stagg;
+using namespace stagg::search;
+using namespace stagg::grammar;
+
+namespace {
+
+TemplateGrammar makeGrammar(std::initializer_list<const char *> Sources,
+                            int LhsDim,
+                            GrammarOptions Options = GrammarOptions()) {
+  std::vector<Templatized> T;
+  for (const char *S : Sources) {
+    taco::ParseResult R = taco::parseTacoProgram(S);
+    EXPECT_TRUE(R.ok()) << S;
+    T.push_back(templatize(*R.Prog));
+  }
+  T = dedupTemplates(T);
+  return buildTemplateGrammar(T, predictDimensionList(T, LhsDim), LhsDim,
+                              Options);
+}
+
+/// Probe accepting exactly one printed template.
+TemplateProbe accepting(const std::string &Wanted) {
+  return [Wanted](const taco::Program &P) {
+    return taco::printProgram(P) == Wanted;
+  };
+}
+
+} // namespace
+
+TEST(CostModelTest, HeuristicChargesAreFinite) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i,j) * v(j)"}, 1);
+  CostModel Costs(G);
+  EXPECT_GT(Costs.holeCharge(), 0);
+  EXPECT_TRUE(std::isfinite(Costs.holeCharge()));
+  EXPECT_TRUE(std::isfinite(Costs.opHoleCharge()));
+  EXPECT_TRUE(std::isfinite(Costs.minTensorCost(1)));
+  EXPECT_TRUE(std::isinf(Costs.minTensorCost(3))); // No 3-D rules.
+}
+
+TEST(CostModelTest, ConstCostInfiniteWithoutConstRule) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i,j) * v(j)"}, 1);
+  CostModel Costs(G);
+  EXPECT_TRUE(std::isinf(Costs.costExprConst()));
+}
+
+TEST(TemplateState, LeftmostExpansionOrder) {
+  auto Root = TNode::hole();
+  Root->K = TNode::Kind::Bin;
+  Root->Lhs = TNode::hole();
+  Root->Rhs = TNode::hole();
+  Frontier F = leftmostNonterminal(*Root);
+  ASSERT_EQ(F.K, Frontier::Kind::ExprHole);
+  EXPECT_EQ(F.Node, Root->Lhs.get());
+
+  // Fill the left child: now the op slot is leftmost.
+  grammar::TensorRule Rule;
+  Rule.Symbol = "b";
+  Root->Lhs->K = TNode::Kind::Leaf;
+  Root->Lhs->Rule = &Rule;
+  F = leftmostNonterminal(*Root);
+  EXPECT_EQ(F.K, Frontier::Kind::OpHole);
+
+  Root->OpKnown = true;
+  F = leftmostNonterminal(*Root);
+  ASSERT_EQ(F.K, Frontier::Kind::ExprHole);
+  EXPECT_EQ(F.Node, Root->Rhs.get());
+}
+
+TEST(TopDown, FindsMatVecTemplate) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i,j) * v(j)",
+                                   "r(i) = m(j,i) * v(j)"},
+                                  1);
+  SearchConfig Config;
+  SearchResult R = runTopDown(G, Config, accepting("a(i) = b(i,j) * c(j)"));
+  ASSERT_TRUE(R.Solved) << R.FailReason;
+  EXPECT_EQ(taco::printProgram(R.SolvedTemplate), "a(i) = b(i,j) * c(j)");
+  EXPECT_GT(R.Attempts, 0);
+}
+
+TEST(TopDown, FindsParenthesizedTemplate) {
+  TemplateGrammar G = makeGrammar({"r(i) = (m(i) + v(i)) * w(i)",
+                                   "r(i) = m(i) + v(i) * w(i)"},
+                                  1);
+  SearchConfig Config;
+  SearchResult R =
+      runTopDown(G, Config, accepting("a(i) = (b(i) + c(i)) * d(i)"));
+  EXPECT_TRUE(R.Solved) << R.FailReason;
+}
+
+TEST(TopDown, HigherProbabilityTemplatesComeFirst) {
+  // Mostly-mul candidates: the * completion must be attempted before /.
+  TemplateGrammar G = makeGrammar({"r(i) = m(i) * v(i)",
+                                   "r(i) = m(i) * v(j)",
+                                   "r(i) = m(j) * v(i)",
+                                   "r(i) = m(i) / v(i)"},
+                                  1);
+  SearchConfig Config;
+  std::vector<std::string> Seen;
+  TemplateProbe Recorder = [&](const taco::Program &P) {
+    Seen.push_back(taco::printProgram(P));
+    return false;
+  };
+  Config.MaxAttempts = 30;
+  runTopDown(G, Config, Recorder);
+  auto IndexOf = [&](const std::string &S) {
+    for (size_t I = 0; I < Seen.size(); ++I)
+      if (Seen[I] == S)
+        return static_cast<int>(I);
+    return 1000;
+  };
+  EXPECT_LT(IndexOf("a(i) = b(i) * c(i)"), IndexOf("a(i) = b(i) / c(i)"));
+}
+
+TEST(TopDown, RespectsDepthLimit) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i) + v(i)"}, 1);
+  SearchConfig Config;
+  Config.MaxDepth = 1; // Only single leaves are reachable.
+  Config.MaxAttempts = 50;
+  std::vector<std::string> Seen;
+  runTopDown(G, Config, [&](const taco::Program &P) {
+    Seen.push_back(taco::printProgram(P));
+    return false;
+  });
+  for (const std::string &S : Seen)
+    EXPECT_EQ(S.find('+'), std::string::npos) << S;
+}
+
+TEST(TopDown, EmptyGrammarFailsGracefully) {
+  TemplateGrammar Empty;
+  SearchConfig Config;
+  SearchResult R = runTopDown(Empty, Config, accepting("x"));
+  EXPECT_FALSE(R.Solved);
+  EXPECT_FALSE(R.FailReason.empty());
+}
+
+TEST(TopDown, AttemptBudgetStopsSearch) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i) + v(i)"}, 1);
+  SearchConfig Config;
+  Config.MaxAttempts = 3;
+  SearchResult R = runTopDown(G, Config, [](const taco::Program &) {
+    return false;
+  });
+  EXPECT_FALSE(R.Solved);
+  EXPECT_LE(R.Attempts, 3);
+}
+
+TEST(BottomUp, FindsChainTemplate) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i,j) * v(j)",
+                                   "r(i) = m(j,i) * v(j)"},
+                                  1);
+  SearchConfig Config;
+  SearchResult R = runBottomUp(G, Config, accepting("a(i) = b(i,j) * c(j)"));
+  ASSERT_TRUE(R.Solved) << R.FailReason;
+}
+
+TEST(BottomUp, CannotProduceParenthesizedShapes) {
+  TemplateGrammar G = makeGrammar({"r(i) = (m(i) + v(i)) * w(i)"}, 1);
+  SearchConfig Config;
+  Config.TimeoutSeconds = 0.5;
+  SearchResult R =
+      runBottomUp(G, Config, accepting("a(i) = (b(i) + c(i)) * d(i)"));
+  EXPECT_FALSE(R.Solved);
+}
+
+TEST(BottomUp, ChainLengthBoundedByDimensionList) {
+  TemplateGrammar G = makeGrammar({"r(i) = m(i) + v(i)"}, 1); // |L| = 3.
+  SearchConfig Config;
+  Config.MaxAttempts = 500;
+  int MaxLeaves = 0;
+  runBottomUp(G, Config, [&](const taco::Program &P) {
+    MaxLeaves = std::max(MaxLeaves, taco::countLeaves(*P.Rhs));
+    return false;
+  });
+  EXPECT_LE(MaxLeaves, 2);
+}
+
+TEST(BottomUp, ProbesOnlyFullLengthChains) {
+  // Algorithm 2 validates once the chain holds |L|-1 RHS tensors.
+  TemplateGrammar G = makeGrammar({"r(i) = m(i) + v(i)"}, 1); // |L| = 3.
+  SearchConfig Config;
+  Config.MaxAttempts = 100;
+  std::vector<int> LeafCounts;
+  runBottomUp(G, Config, [&](const taco::Program &P) {
+    LeafCounts.push_back(taco::countLeaves(*P.Rhs));
+    return false;
+  });
+  ASSERT_FALSE(LeafCounts.empty());
+  for (int Count : LeafCounts)
+    EXPECT_EQ(Count, 2);
+}
+
+TEST(BottomUp, SolvesWithEqualProbabilities) {
+  GrammarOptions Options;
+  Options.EqualProbability = true;
+  TemplateGrammar G = makeGrammar({"r(i) = m(i,j) * v(j)"}, 1, Options);
+  SearchConfig Config;
+  SearchResult R = runBottomUp(G, Config, accepting("a(i) = b(i,j) * c(j)"));
+  EXPECT_TRUE(R.Solved) << R.FailReason;
+}
+
+TEST(TopDown, SolvesWithFullGrammar) {
+  GrammarOptions Options;
+  Options.FullGrammar = true;
+  Options.EqualProbability = true;
+  TemplateGrammar G = makeGrammar({"r(i) = m(i,j) * v(j)"}, 1, Options);
+  SearchConfig Config;
+  Config.TimeoutSeconds = 10;
+  SearchResult R = runTopDown(G, Config, accepting("a(i) = b(i,j) * c(j)"));
+  EXPECT_TRUE(R.Solved) << R.FailReason;
+  EXPECT_GT(R.Attempts, 0);
+}

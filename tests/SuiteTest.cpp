@@ -1,0 +1,130 @@
+//===- tests/SuiteTest.cpp - Benchmark suite integrity --------------------===//
+//
+// Every benchmark must parse (C and TACO sides), execute, analyze to the
+// arity its ground truth declares, and have a ground truth that actually
+// verifies against its own C source — the suite-wide soundness property
+// everything else depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Benchmark.h"
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Parser.h"
+#include "taco/Parser.h"
+#include "taco/Semantics.h"
+#include "validate/IoExamples.h"
+#include "verify/BoundedVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::bench;
+
+TEST(Suite, HasPaperCounts) {
+  const std::vector<Benchmark> &All = allBenchmarks();
+  EXPECT_EQ(All.size(), 77u);
+  EXPECT_EQ(realWorldBenchmarks().size(), 67u);
+  std::map<std::string, int> PerCategory;
+  for (const Benchmark &B : All)
+    ++PerCategory[B.Category];
+  EXPECT_EQ(PerCategory["artificial"], 10);
+  EXPECT_EQ(PerCategory["llama"], 6);
+  EXPECT_EQ(PerCategory["blas"] + PerCategory["darknet"] + PerCategory["dsp"] +
+                PerCategory["misc"],
+            61);
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> Names;
+  for (const Benchmark &B : allBenchmarks())
+    EXPECT_TRUE(Names.insert(B.Name).second) << "duplicate " << B.Name;
+}
+
+TEST(Suite, FindBenchmark) {
+  EXPECT_NE(findBenchmark("blas_gemv_ptr"), nullptr);
+  EXPECT_EQ(findBenchmark("no_such_benchmark"), nullptr);
+}
+
+/// Parameterized over the full registry.
+class SuitePerBenchmark : public ::testing::TestWithParam<const Benchmark *> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuitePerBenchmark,
+    ::testing::ValuesIn([] {
+      std::vector<const Benchmark *> Ptrs;
+      for (const Benchmark &B : allBenchmarks())
+        Ptrs.push_back(&B);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const Benchmark *> &Info) {
+      return Info.param->Name;
+    });
+
+TEST_P(SuitePerBenchmark, CSourceParses) {
+  cfront::CParseResult R = cfront::parseCFunction(GetParam()->CSource);
+  EXPECT_TRUE(R.ok()) << R.Error;
+}
+
+TEST_P(SuitePerBenchmark, GroundTruthParsesAndIsWellFormed) {
+  taco::ParseResult R = taco::parseTacoProgram(GetParam()->GroundTruth);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(taco::checkWellFormed(*R.Prog), "");
+}
+
+TEST_P(SuitePerBenchmark, HasExactlyOneOutput) {
+  const Benchmark &B = *GetParam();
+  int Outputs = 0;
+  for (const ArgSpec &A : B.Args)
+    Outputs += A.IsOutput;
+  EXPECT_EQ(Outputs, 1);
+}
+
+TEST_P(SuitePerBenchmark, ExamplesGenerate) {
+  const Benchmark &B = *GetParam();
+  cfront::CParseResult R = cfront::parseCFunction(B.CSource);
+  ASSERT_TRUE(R.ok());
+  Rng Rand(3);
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(B, *R.Function, 3, Rand);
+  EXPECT_EQ(Examples.size(), 3u) << "kernel failed to execute";
+}
+
+TEST_P(SuitePerBenchmark, StaticAnalysisMatchesGroundTruthArity) {
+  const Benchmark &B = *GetParam();
+  cfront::CParseResult R = cfront::parseCFunction(B.CSource);
+  ASSERT_TRUE(R.ok());
+  analysis::KernelSummary S = analysis::analyzeKernel(*R.Function);
+  EXPECT_EQ(S.OutputParam, B.outputArg()->Name);
+  taco::ParseResult Truth = taco::parseTacoProgram(B.GroundTruth);
+  ASSERT_TRUE(Truth.ok());
+  EXPECT_EQ(S.LhsDim, static_cast<int>(Truth.Prog->Lhs.order()))
+      << "LHS dimension prediction disagrees with the ground truth";
+}
+
+TEST_P(SuitePerBenchmark, GroundTruthVerifies) {
+  const Benchmark &B = *GetParam();
+  cfront::CParseResult R = cfront::parseCFunction(B.CSource);
+  ASSERT_TRUE(R.ok());
+  taco::ParseResult Truth = taco::parseTacoProgram(B.GroundTruth);
+  ASSERT_TRUE(Truth.ok());
+  verify::VerifyResult VR =
+      verify::verifyEquivalence(B, *R.Function, *Truth.Prog);
+  EXPECT_TRUE(VR.Equivalent) << VR.Counterexample;
+}
+
+TEST_P(SuitePerBenchmark, GroundTruthArgumentsExist) {
+  const Benchmark &B = *GetParam();
+  taco::ParseResult Truth = taco::parseTacoProgram(B.GroundTruth);
+  ASSERT_TRUE(Truth.ok());
+  for (const taco::TensorInfo &Info : taco::tensorInventory(*Truth.Prog)) {
+    if (Info.IsConstant)
+      continue;
+    const ArgSpec *Arg = B.findArg(Info.Name);
+    ASSERT_NE(Arg, nullptr) << Info.Name;
+    EXPECT_EQ(Arg->rank(), Info.Order) << Info.Name;
+  }
+}

@@ -1,0 +1,72 @@
+//===- tests/TacoPrinterTest.cpp - Printer round-trips ---------------------===//
+
+#include "taco/Printer.h"
+
+#include "taco/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg::taco;
+
+namespace {
+
+/// Round-trips source -> AST -> string -> AST and checks structural
+/// equality plus textual stability.
+void roundTrip(const std::string &Source) {
+  ParseResult First = parseTacoProgram(Source);
+  ASSERT_TRUE(First.ok()) << Source << ": " << First.Error;
+  std::string Printed = printProgram(*First.Prog);
+  ParseResult Second = parseTacoProgram(Printed);
+  ASSERT_TRUE(Second.ok()) << Printed << ": " << Second.Error;
+  EXPECT_TRUE(programEquals(*First.Prog, *Second.Prog)) << Printed;
+  EXPECT_EQ(Printed, printProgram(*Second.Prog));
+}
+
+} // namespace
+
+TEST(TacoPrinter, RoundTripsCommonForms) {
+  roundTrip("a(i) = b(i)");
+  roundTrip("a = b(i) * c(i)");
+  roundTrip("a(i,j) = b(i,k) * c(k,j)");
+  roundTrip("a(i) = b(i) + c(i) - d(i)");
+  roundTrip("a(i) = (b(i) + c(i)) * d(i)");
+  roundTrip("a(i) = b(i) / 4");
+  roundTrip("a(i) = -b(i)");
+  roundTrip("a(i) = b(i) - (c(i) - d(i))");
+  roundTrip("a(i) = b(i) / (c(i) / d(i))");
+  roundTrip("a(i,j,k) = b(i,j,k,l) * c(l) + d(i,j,k)");
+}
+
+TEST(TacoPrinter, MinimalParensForPrecedence) {
+  ParseResult R = parseTacoProgram("a(i) = (b(i) * c(i)) + d(i)");
+  ASSERT_TRUE(R.ok());
+  // Multiplication binds tighter, so no parentheses are needed.
+  EXPECT_EQ(printProgram(*R.Prog), "a(i) = b(i) * c(i) + d(i)");
+}
+
+TEST(TacoPrinter, KeepsNeededParens) {
+  ParseResult R = parseTacoProgram("a(i) = (b(i) + c(i)) / d(i)");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(printProgram(*R.Prog), "a(i) = (b(i) + c(i)) / d(i)");
+}
+
+TEST(TacoPrinter, RightOperandOfNonAssociativeOp) {
+  ParseResult R = parseTacoProgram("a(i) = b(i) - (c(i) + d(i))");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(printProgram(*R.Prog), "a(i) = b(i) - (c(i) + d(i))");
+}
+
+TEST(TacoPrinter, SymbolicConstant) {
+  Program P(AccessExpr("a", {"i"}),
+            std::make_unique<BinaryExpr>(BinOpKind::Mul,
+                                         ConstantExpr::symbolic(),
+                                         std::make_unique<AccessExpr>(
+                                             "b", std::vector<std::string>{"i"})));
+  EXPECT_EQ(printProgram(P), "a(i) = Const * b(i)");
+}
+
+TEST(TacoPrinter, ScalarAccess) {
+  ParseResult R = parseTacoProgram("a = b * c(i)");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(printProgram(*R.Prog), "a = b * c(i)");
+}

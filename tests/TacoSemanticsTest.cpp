@@ -1,0 +1,98 @@
+//===- tests/TacoSemanticsTest.cpp - Semantic queries ---------------------===//
+
+#include "taco/Semantics.h"
+
+#include "taco/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg::taco;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  ParseResult R = parseTacoProgram(Source);
+  EXPECT_TRUE(R.ok()) << Source << ": " << R.Error;
+  return std::move(*R.Prog);
+}
+
+} // namespace
+
+TEST(TacoSemantics, DimensionListOrdersByFirstAppearance) {
+  Program P = parse("a(i) = b(i,j) * c(j)");
+  EXPECT_EQ(dimensionList(P), (std::vector<int>{1, 2, 1}));
+}
+
+TEST(TacoSemantics, RepeatedTensorCountsPerOccurrence) {
+  // Occurrence counting: the grammar mints one symbol per entry and the
+  // validator may bind both to the same argument.
+  Program P = parse("a = b(i) * b(i)");
+  EXPECT_EQ(dimensionList(P), (std::vector<int>{0, 1, 1}));
+}
+
+TEST(TacoSemantics, ConstantsAreDimensionZero) {
+  Program P = parse("a(i) = b(i) * 2 + 1");
+  EXPECT_EQ(dimensionList(P), (std::vector<int>{1, 1, 0, 0}));
+}
+
+TEST(TacoSemantics, RepeatedLiteralCountsPerOccurrence) {
+  Program P = parse("a(i) = b(i) * 2 + 2");
+  EXPECT_EQ(dimensionList(P), (std::vector<int>{1, 1, 0, 0}));
+}
+
+TEST(TacoSemantics, InventoryKeepsUniqueTensorsOnly) {
+  // tensorInventory (unlike dimensionList) deduplicates by name.
+  Program P = parse("a = b(i) * b(i)");
+  EXPECT_EQ(tensorInventory(P).size(), 2u);
+}
+
+TEST(TacoSemantics, IndexVariablesInOrder) {
+  Program P = parse("a(i) = b(i,j) * c(j,k)");
+  EXPECT_EQ(indexVariables(P),
+            (std::vector<std::string>{"i", "j", "k"}));
+}
+
+TEST(TacoSemantics, LhsScannedFirst) {
+  Program P = parse("a(k) = b(i,k)");
+  EXPECT_EQ(indexVariables(P), (std::vector<std::string>{"k", "i"}));
+}
+
+TEST(TacoSemantics, TensorInventoryRecordsOrders) {
+  Program P = parse("out = x(i) * A(i,j) * y(j)");
+  std::vector<TensorInfo> Inv = tensorInventory(P);
+  ASSERT_EQ(Inv.size(), 4u);
+  EXPECT_EQ(Inv[0].Name, "out");
+  EXPECT_EQ(Inv[0].Order, 0);
+  EXPECT_EQ(Inv[1].Name, "x");
+  EXPECT_EQ(Inv[2].Name, "A");
+  EXPECT_EQ(Inv[2].Order, 2);
+  EXPECT_EQ(Inv[3].Name, "y");
+}
+
+TEST(TacoSemantics, WellFormedAcceptsConsistentArity) {
+  EXPECT_EQ(checkWellFormed(parse("a(i) = b(i,j) * b(j,i)")), "");
+}
+
+TEST(TacoSemantics, WellFormedRejectsInconsistentArity) {
+  EXPECT_NE(checkWellFormed(parse("a(i) = b(i,j) + b(i)")), "");
+}
+
+TEST(TacoSemantics, WellFormedRejectsTensorUsedAsIndex) {
+  EXPECT_NE(checkWellFormed(parse("a(b) = b(i)")), "");
+}
+
+TEST(TacoSemantics, DepthMatchesPaperDefinition) {
+  EXPECT_EQ(exprDepth(*parse("a(i) = b(i)").Rhs), 1);
+  EXPECT_EQ(exprDepth(*parse("a(i) = b(i) + c(i,j)").Rhs), 2);
+  EXPECT_EQ(exprDepth(*parse("a(i) = (b(i) + c(i)) * d(i)").Rhs), 3);
+}
+
+TEST(TacoSemantics, CountLeaves) {
+  EXPECT_EQ(countLeaves(*parse("a = b(i)").Rhs), 1);
+  EXPECT_EQ(countLeaves(*parse("a(i) = b(i) * 2 + c(i)").Rhs), 3);
+}
+
+TEST(TacoSemantics, DistinctOps) {
+  std::vector<BinOpKind> Ops = distinctOps(*parse("a(i) = b(i)*c(i) + d(i)*e(i)").Rhs);
+  EXPECT_EQ(Ops.size(), 2u);
+}

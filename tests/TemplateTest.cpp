@@ -1,0 +1,89 @@
+//===- tests/TemplateTest.cpp - Templatization (§4.2.1) -------------------===//
+
+#include "grammar/Template.h"
+
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace stagg;
+using namespace stagg::grammar;
+
+namespace {
+
+Templatized templatizeSource(const std::string &Source) {
+  taco::ParseResult R = taco::parseTacoProgram(Source);
+  EXPECT_TRUE(R.ok()) << Source << ": " << R.Error;
+  return templatize(*R.Prog);
+}
+
+} // namespace
+
+TEST(Template, PaperExampleStandardizes) {
+  // t(f) = m1(i, f) * m2(f)  ->  a(i) = b(j,i) * c(i)   (paper Fig. 4).
+  Templatized T = templatizeSource("t(f) = m1(i, f) * m2(f)");
+  EXPECT_EQ(T.Key, "a(i) = b(j,i) * c(i)");
+}
+
+TEST(Template, EquivalentCandidatesShareAKey) {
+  Templatized A = templatizeSource("t(f) = m1(i, f) * m2(f)");
+  Templatized B = templatizeSource("Target(i) = Mat1(f,i) * Mat2(i)");
+  EXPECT_EQ(A.Key, B.Key);
+}
+
+TEST(Template, TensorsAssignedByFirstAppearance) {
+  Templatized T = templatizeSource("res(x) = beta(x) + alpha(x)");
+  EXPECT_EQ(T.Key, "a(i) = b(i) + c(i)");
+  EXPECT_EQ(T.TensorRenaming.at("res"), "a");
+  EXPECT_EQ(T.TensorRenaming.at("beta"), "b");
+  EXPECT_EQ(T.TensorRenaming.at("alpha"), "c");
+}
+
+TEST(Template, RepeatedTensorKeepsOneSymbol) {
+  Templatized T = templatizeSource("s = x(i) * x(i)");
+  EXPECT_EQ(T.Key, "a = b(i) * b(i)");
+}
+
+TEST(Template, ConstantsBecomeSymbolic) {
+  Templatized T = templatizeSource("out(i) = 2 * x(i) + 7");
+  EXPECT_EQ(T.Key, "a(i) = Const * b(i) + Const");
+  EXPECT_EQ(T.ReplacedConstants, (std::vector<int64_t>{2, 7}));
+}
+
+TEST(Template, IndexRenamingIsConsistent) {
+  Templatized T = templatizeSource("C(p,q) = A(p,r) * B(r,q)");
+  EXPECT_EQ(T.Key, "a(i,j) = b(i,k) * c(k,j)");
+  EXPECT_EQ(T.IndexRenaming.at("p"), "i");
+  EXPECT_EQ(T.IndexRenaming.at("q"), "j");
+  EXPECT_EQ(T.IndexRenaming.at("r"), "k");
+}
+
+TEST(Template, ScalarLhsHasNoIndices) {
+  Templatized T = templatizeSource("acc = v(i) * w(i)");
+  EXPECT_EQ(T.Key, "a = b(i) * c(i)");
+}
+
+TEST(Template, DedupPreservesFirstSeenOrder) {
+  std::vector<Templatized> Templates = {
+      templatizeSource("r(f) = m1(f) + m2(f)"),
+      templatizeSource("out(i) = a1(i) + a2(i)"), // Same template.
+      templatizeSource("r(f) = m1(f) * m2(f)"),
+  };
+  std::vector<Templatized> Unique = dedupTemplates(Templates);
+  ASSERT_EQ(Unique.size(), 2u);
+  EXPECT_EQ(Unique[0].Key, "a(i) = b(i) + c(i)");
+  EXPECT_EQ(Unique[1].Key, "a(i) = b(i) * c(i)");
+}
+
+TEST(Template, SymbolHelpers) {
+  EXPECT_EQ(tensorSymbolForPosition(1), "a");
+  EXPECT_EQ(tensorSymbolForPosition(4), "d");
+  EXPECT_EQ(indexVarForPosition(0), "i");
+  EXPECT_EQ(indexVarForPosition(3), "l");
+}
+
+TEST(Template, ParenthesizedStructureSurvives) {
+  Templatized T = templatizeSource("o(x) = (u(x) - v(x)) / w(x)");
+  EXPECT_EQ(T.Key, "a(i) = (b(i) - c(i)) / d(i)");
+}
