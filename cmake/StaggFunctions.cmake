@@ -1,0 +1,66 @@
+#===-- cmake/StaggFunctions.cmake - Target helpers -----------------------===#
+#
+# stagg_add_library(<name> SOURCES ... [DEPS ...])
+#   Defines the static library stagg_<name> with alias stagg::<name>. DEPS
+#   name sibling subsystems (support, taco, ...) and are linked PUBLIC so
+#   include paths and transitive libraries propagate.
+#
+# stagg_add_executable(<name> SOURCES ... [DEPS ...] [OUTPUT_NAME <n>])
+#   Defines an executable wired the same way.
+#
+# stagg_add_gtest(<suite> [TIMEOUT <seconds>] [DEPS ...])
+#   Defines the test executable for tests/<suite>.cpp, links gtest_main, and
+#   registers it with ctest under an explicit TIMEOUT so one hanging suite
+#   can never wedge the tier-1 run (default 120 s).
+#
+#===----------------------------------------------------------------------===#
+
+function(stagg_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "stagg_add_library(${name}) needs SOURCES")
+  endif()
+
+  add_library(stagg_${name} STATIC ${ARG_SOURCES})
+  add_library(stagg::${name} ALIAS stagg_${name})
+
+  target_include_directories(stagg_${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(stagg_${name} PRIVATE stagg_warnings)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(stagg_${name} PUBLIC stagg::${dep})
+  endforeach()
+endfunction()
+
+function(stagg_add_executable name)
+  cmake_parse_arguments(ARG "" "OUTPUT_NAME" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "stagg_add_executable(${name}) needs SOURCES")
+  endif()
+
+  add_executable(${name} ${ARG_SOURCES})
+  target_include_directories(${name} PRIVATE "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(${name} PRIVATE stagg_warnings)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${name} PRIVATE stagg::${dep})
+  endforeach()
+  if(ARG_OUTPUT_NAME)
+    set_target_properties(${name} PROPERTIES OUTPUT_NAME "${ARG_OUTPUT_NAME}")
+  endif()
+endfunction()
+
+function(stagg_add_gtest suite)
+  cmake_parse_arguments(ARG "" "TIMEOUT" "DEPS" ${ARGN})
+  if(NOT ARG_TIMEOUT)
+    set(ARG_TIMEOUT 120)
+  endif()
+
+  add_executable(${suite} "${suite}.cpp")
+  target_include_directories(${suite} PRIVATE "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(${suite} PRIVATE stagg_warnings GTest::gtest_main)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${suite} PRIVATE stagg::${dep})
+  endforeach()
+
+  add_test(NAME ${suite} COMMAND ${suite})
+  set_tests_properties(${suite} PROPERTIES TIMEOUT ${ARG_TIMEOUT})
+endfunction()

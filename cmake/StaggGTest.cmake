@@ -1,0 +1,27 @@
+#===-- cmake/StaggGTest.cmake - GoogleTest resolution --------------------===#
+#
+# Prefer the system GoogleTest (the CI image bakes it in); fall back to
+# FetchContent for developer machines without it. Either path yields the
+# imported targets GTest::gtest and GTest::gtest_main used by
+# stagg_add_gtest.
+#
+#===----------------------------------------------------------------------===#
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  message(STATUS "System GoogleTest not found; fetching release-1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  # Keep gtest out of the warning-as-error net and off shared CRT surprises.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

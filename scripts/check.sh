@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+#===-- scripts/check.sh - tier-1 verify with warnings-as-errors ----------===//
+#
+# Runs the tier-1 verify command in a dedicated build tree with
+# -DSTAGG_WERROR=ON, so the repo's zero-warning state is enforced: any new
+# -Wall -Wextra diagnostic fails the build.
+#
+# Usage: scripts/check.sh            (build dir: build-check)
+#        BUILD_DIR=foo scripts/check.sh
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . -DSTAGG_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
+
+echo "check.sh: build and all tests green with -Wall -Wextra -Werror"

@@ -1,0 +1,311 @@
+//===- driver/Cli.cpp - stagg CLI flag parsing ----------------------------===//
+
+#include "driver/Cli.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+using namespace stagg;
+using namespace stagg::driver;
+
+namespace {
+
+/// One consumed flag: name plus optional inline `=value` part.
+struct Flag {
+  std::string Name;
+  std::string Inline;
+  bool HasInline = false;
+};
+
+Flag splitFlag(const std::string &Arg) {
+  Flag F;
+  std::string::size_type Eq = Arg.find('=');
+  if (Eq == std::string::npos) {
+    F.Name = Arg;
+  } else {
+    F.Name = Arg.substr(0, Eq);
+    F.Inline = Arg.substr(Eq + 1);
+    F.HasInline = true;
+  }
+  return F;
+}
+
+bool parseInt(const std::string &Text, long long &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoll(Text.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0';
+}
+
+bool parseDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtod(Text.c_str(), &End);
+  return errno == 0 && End && *End == '\0';
+}
+
+/// Applies one `--drop-penalty` selector; returns false for unknown names.
+bool dropPenalty(search::SearchConfig &Search, const std::string &Which) {
+  if (Which == "all") {
+    Search.dropAllTopDownPenalties();
+    Search.dropAllBottomUpPenalties();
+    return true;
+  }
+  if (Which == "a") {
+    Search.dropAllTopDownPenalties();
+    return true;
+  }
+  if (Which == "b") {
+    Search.dropAllBottomUpPenalties();
+    return true;
+  }
+  if (Which == "a1")
+    return Search.PenaltyA1 = false, true;
+  if (Which == "a2")
+    return Search.PenaltyA2 = false, true;
+  if (Which == "a3")
+    return Search.PenaltyA3 = false, true;
+  if (Which == "a4")
+    return Search.PenaltyA4 = false, true;
+  if (Which == "a5")
+    return Search.PenaltyA5 = false, true;
+  if (Which == "b1")
+    return Search.PenaltyB1 = false, true;
+  if (Which == "b2")
+    return Search.PenaltyB2 = false, true;
+  return false;
+}
+
+} // namespace
+
+const std::vector<std::string> &driver::knownSuites() {
+  static const std::vector<std::string> Suites = {
+      "all", "real", "artificial", "blas", "darknet", "dsp", "misc", "llama"};
+  return Suites;
+}
+
+std::vector<const bench::Benchmark *>
+driver::selectSuite(const std::string &Suite, int Limit, std::string &Error) {
+  std::vector<const bench::Benchmark *> Selected;
+  const std::vector<std::string> &Known = knownSuites();
+  if (std::find(Known.begin(), Known.end(), Suite) == Known.end()) {
+    Error = "unknown suite '" + Suite + "'";
+    return Selected;
+  }
+
+  for (const bench::Benchmark &B : bench::allBenchmarks()) {
+    bool Take = Suite == "all" || (Suite == "real" && B.isRealWorld()) ||
+                B.Category == Suite;
+    if (Take)
+      Selected.push_back(&B);
+  }
+  if (Limit >= 0 && static_cast<int>(Selected.size()) > Limit)
+    Selected.resize(static_cast<size_t>(Limit));
+  return Selected;
+}
+
+CliParse driver::parseArgs(const std::vector<std::string> &Args) {
+  CliParse Parse;
+  CliOptions &O = Parse.Options;
+
+  size_t I = 0;
+  // Fetches the flag's value from `=value` or the next argument; returns
+  // false (and sets the error) when it is missing.
+  auto takeValue = [&](const Flag &F, std::string &Out) {
+    if (F.HasInline) {
+      Out = F.Inline;
+      return true;
+    }
+    if (I + 1 < Args.size()) {
+      Out = Args[++I];
+      return true;
+    }
+    Parse.Error = F.Name + " expects a value";
+    return false;
+  };
+
+  for (; I < Args.size(); ++I) {
+    Flag F = splitFlag(Args[I]);
+    std::string Value;
+
+    bool IsBoolean = F.Name == "--help" || F.Name == "-h" ||
+                     F.Name == "--list" || F.Name == "--verbose" ||
+                     F.Name == "-v" || F.Name == "--no-verify" ||
+                     F.Name == "--full-grammar" ||
+                     F.Name == "--equal-probability";
+    if (IsBoolean && F.HasInline) {
+      Parse.Error = F.Name + " does not take a value";
+      break;
+    }
+
+    if (F.Name == "--help" || F.Name == "-h") {
+      O.ShowHelp = true;
+    } else if (F.Name == "--list") {
+      O.ListOnly = true;
+    } else if (F.Name == "--verbose" || F.Name == "-v") {
+      O.Verbose = true;
+    } else if (F.Name == "--no-verify") {
+      O.Config.SkipVerification = true;
+    } else if (F.Name == "--full-grammar") {
+      O.Config.Grammar.FullGrammar = true;
+    } else if (F.Name == "--equal-probability") {
+      O.Config.Grammar.EqualProbability = true;
+    } else if (F.Name == "--suite") {
+      if (!takeValue(F, O.Suite))
+        break;
+      const std::vector<std::string> &Known = knownSuites();
+      if (std::find(Known.begin(), Known.end(), O.Suite) == Known.end()) {
+        std::string Choices;
+        for (const std::string &S : Known)
+          Choices += (Choices.empty() ? "" : ", ") + S;
+        Parse.Error =
+            "unknown suite '" + O.Suite + "' (choices: " + Choices + ")";
+        break;
+      }
+    } else if (F.Name == "--search") {
+      if (!takeValue(F, Value))
+        break;
+      if (Value == "td" || Value == "top-down") {
+        O.Config.Kind = core::SearchKind::TopDown;
+      } else if (Value == "bu" || Value == "bottom-up") {
+        O.Config.Kind = core::SearchKind::BottomUp;
+      } else {
+        Parse.Error = "--search expects td|bu, got '" + Value + "'";
+        break;
+      }
+    } else if (F.Name == "--drop-penalty") {
+      if (!takeValue(F, Value))
+        break;
+      if (!dropPenalty(O.Config.Search, Value)) {
+        Parse.Error =
+            "--drop-penalty expects a1..a5, b1, b2, a, b or all, got '" +
+            Value + "'";
+        break;
+      }
+    } else if (F.Name == "--format") {
+      if (!takeValue(F, Value))
+        break;
+      if (Value == "table") {
+        O.Format = OutputFormat::Table;
+      } else if (Value == "csv") {
+        O.Format = OutputFormat::Csv;
+      } else if (Value == "tsv") {
+        O.Format = OutputFormat::Tsv;
+      } else {
+        Parse.Error = "--format expects table|csv|tsv, got '" + Value + "'";
+        break;
+      }
+    } else if (F.Name == "--csv") {
+      if (!takeValue(F, O.CsvPath))
+        break;
+    } else if (F.Name == "--limit" || F.Name == "--threads" ||
+               F.Name == "--candidates" || F.Name == "--io-examples" ||
+               F.Name == "--max-depth" || F.Name == "--max-size" ||
+               F.Name == "--seed" || F.Name == "--example-seed") {
+      if (!takeValue(F, Value))
+        break;
+      long long N = 0;
+      if (!parseInt(Value, N)) {
+        Parse.Error = F.Name + " expects an integer, got '" + Value + "'";
+        break;
+      }
+      bool Seed = F.Name == "--seed" || F.Name == "--example-seed";
+      if (N < 0 || (!Seed && F.Name != "--limit" && N == 0) ||
+          (!Seed && F.Name != "--max-size" &&
+           N > std::numeric_limits<int>::max())) {
+        Parse.Error = F.Name + " expects a positive value, got '" + Value +
+                      "'";
+        break;
+      }
+      if (F.Name == "--limit")
+        O.Limit = static_cast<int>(N);
+      else if (F.Name == "--threads")
+        O.Threads = static_cast<int>(N);
+      else if (F.Name == "--candidates")
+        O.Config.NumCandidates = static_cast<int>(N);
+      else if (F.Name == "--io-examples")
+        O.Config.NumIoExamples = static_cast<int>(N);
+      else if (F.Name == "--max-depth")
+        O.Config.Search.MaxDepth = static_cast<int>(N);
+      else if (F.Name == "--max-size")
+        O.Config.Verify.MaxSize = N;
+      else if (F.Name == "--seed")
+        O.OracleSeed = static_cast<uint64_t>(N);
+      else // --example-seed
+        O.Config.ExampleSeed = static_cast<uint64_t>(N);
+    } else if (F.Name == "--timeout") {
+      if (!takeValue(F, Value))
+        break;
+      double Seconds = 0;
+      if (!parseDouble(Value, Seconds) || !std::isfinite(Seconds) ||
+          Seconds <= 0) {
+        Parse.Error = "--timeout expects seconds > 0, got '" + Value + "'";
+        break;
+      }
+      O.Config.Search.TimeoutSeconds = Seconds;
+    } else {
+      Parse.Error = "unknown flag '" + Args[I] + "' (see --help)";
+      break;
+    }
+  }
+
+  return Parse;
+}
+
+std::string driver::usage() {
+  std::ostringstream Os;
+  Os << "stagg — guided tensor lifting pipeline driver\n"
+     << "\n"
+     << "Runs the full lift pipeline (C parse -> kernel analysis -> "
+        "LLM-seeded\n"
+     << "PCFG -> weighted A* search -> TACO codegen -> I/O validation -> "
+        "bounded\n"
+     << "verification) over a benchmark suite on a worker pool.\n"
+     << "\n"
+     << "Usage: stagg [options]\n"
+     << "\n"
+     << "Suite selection:\n"
+     << "  --suite NAME        all | real | artificial | blas | darknet | "
+        "dsp |\n"
+     << "                      misc | llama (default: real)\n"
+     << "  --limit N           run only the first N selected benchmarks\n"
+     << "  --list              print the selection and exit\n"
+     << "\n"
+     << "Pipeline configuration:\n"
+     << "  --search td|bu      top-down (default) or bottom-up search\n"
+     << "  --timeout SECONDS   per-benchmark search budget (default 5)\n"
+     << "  --candidates N      oracle candidates per query (default 10)\n"
+     << "  --io-examples N     I/O examples for validation (default 3)\n"
+     << "  --max-depth N       top-down expression depth cap (default 6)\n"
+     << "  --max-size N        bounded-verifier size bound (default 2)\n"
+     << "  --seed N            simulated-LLM oracle seed\n"
+     << "  --example-seed N    I/O example generator seed\n"
+     << "\n"
+     << "Ablations (paper Tables 2/3):\n"
+     << "  --no-verify         accept on I/O validation only (C2TACO-style)\n"
+     << "  --full-grammar      FullGrammar: skip dimension refinement\n"
+     << "  --equal-probability EqualProbability: uniform rule weights\n"
+     << "  --drop-penalty P    disable penalty a1..a5|b1|b2, or a|b|all;\n"
+     << "                      repeatable\n"
+     << "\n"
+     << "Execution and output:\n"
+     << "  --threads N         worker pool width (default: hardware)\n"
+     << "  --format F          table (default) | csv | tsv on stdout\n"
+     << "  --csv PATH          also write per-benchmark rows to PATH\n"
+     << "  --verbose, -v       one progress line per finished benchmark\n"
+     << "  --help, -h          this text\n"
+     << "\n"
+     << "Examples:\n"
+     << "  stagg --suite blas --limit 3\n"
+     << "  stagg --suite real --search bu --threads 8 --csv results.csv\n"
+     << "  stagg --suite all --drop-penalty a --equal-probability\n";
+  return Os.str();
+}

@@ -1,0 +1,93 @@
+//===- driver/Cli.h - stagg CLI flag parsing --------------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flag parsing for the `stagg` pipeline driver. Every evaluation knob of
+/// core::StaggConfig (search kind, grammar and penalty ablations,
+/// verification bounds, per-query budget) is reachable from the command
+/// line, plus execution controls that belong to the driver itself: which
+/// suite to run, how many benchmarks, how many worker threads, and the
+/// output format. Parsing is pure (no I/O, no exit) so the mapping is unit
+/// testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_DRIVER_CLI_H
+#define STAGG_DRIVER_CLI_H
+
+#include "benchsuite/Benchmark.h"
+#include "core/Stagg.h"
+
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace driver {
+
+/// Output renderings of the results table.
+enum class OutputFormat { Table, Csv, Tsv };
+
+/// Everything the driver needs for one invocation.
+struct CliOptions {
+  /// The pipeline configuration assembled from the ablation flags.
+  core::StaggConfig Config;
+
+  /// Suite selector: "all" (77), "real" (67), or one category
+  /// ("artificial", "blas", "darknet", "dsp", "misc", "llama").
+  std::string Suite = "real";
+
+  /// Run only the first N benchmarks of the selection; < 0 means all.
+  int Limit = -1;
+
+  /// Worker-pool width; 0 means hardware concurrency.
+  int Threads = 0;
+
+  /// Seed of the simulated LLM oracle (one "GPT-4 session").
+  uint64_t OracleSeed = 20250411;
+
+  OutputFormat Format = OutputFormat::Table;
+
+  /// Also write the per-benchmark rows to this CSV path when non-empty.
+  std::string CsvPath;
+
+  /// Print the selected benchmark names and exit.
+  bool ListOnly = false;
+
+  /// Print one line per finished benchmark while running.
+  bool Verbose = false;
+
+  bool ShowHelp = false;
+};
+
+/// Outcome of parsing an argument vector.
+struct CliParse {
+  CliOptions Options;
+
+  /// Empty on success; a one-line diagnostic otherwise.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses \p Args (argv[1..argc-1]). Accepts both `--flag value` and
+/// `--flag=value` spellings.
+CliParse parseArgs(const std::vector<std::string> &Args);
+
+/// The --help text.
+std::string usage();
+
+/// Resolves a --suite selector against the benchmark registry, applying
+/// \p Limit. Returns an empty vector and sets \p Error for unknown names.
+std::vector<const bench::Benchmark *>
+selectSuite(const std::string &Suite, int Limit, std::string &Error);
+
+/// Valid --suite values, for diagnostics and --help.
+const std::vector<std::string> &knownSuites();
+
+} // namespace driver
+} // namespace stagg
+
+#endif // STAGG_DRIVER_CLI_H

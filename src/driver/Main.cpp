@@ -1,0 +1,68 @@
+//===- driver/Main.cpp - stagg CLI entry point ----------------------------===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+// Exit codes: 0 the run completed (individual benchmarks may still FAIL —
+// that is a result, not an error), 1 an output file could not be written,
+// 2 bad command line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Cli.h"
+#include "driver/SuiteRunner.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace stagg;
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  driver::CliParse Parse = driver::parseArgs(Args);
+  if (!Parse.ok()) {
+    std::cerr << "stagg: " << Parse.Error << "\n\n" << driver::usage();
+    return 2;
+  }
+  const driver::CliOptions &Options = Parse.Options;
+  if (Options.ShowHelp) {
+    std::cout << driver::usage();
+    return 0;
+  }
+
+  std::string SuiteError;
+  std::vector<const bench::Benchmark *> Suite =
+      driver::selectSuite(Options.Suite, Options.Limit, SuiteError);
+  if (!SuiteError.empty()) {
+    std::cerr << "stagg: " << SuiteError << "\n";
+    return 2;
+  }
+
+  if (Options.ListOnly) {
+    for (const bench::Benchmark *B : Suite)
+      std::cout << B->Name << "  (" << B->Category << ")\n";
+    std::cout << Suite.size() << " benchmarks\n";
+    return 0;
+  }
+
+  driver::SuiteReport Report =
+      driver::runSuite(Suite, Options, &std::cerr);
+
+  switch (Options.Format) {
+  case driver::OutputFormat::Table:
+    driver::printTable(std::cout, Report);
+    break;
+  case driver::OutputFormat::Csv:
+    driver::printDelimited(std::cout, Report, ',');
+    break;
+  case driver::OutputFormat::Tsv:
+    driver::printDelimited(std::cout, Report, '\t');
+    break;
+  }
+
+  if (!Options.CsvPath.empty() &&
+      !driver::writeCsv(Options.CsvPath, Report)) {
+    std::cerr << "stagg: cannot write '" << Options.CsvPath << "'\n";
+    return 1;
+  }
+  return 0;
+}
