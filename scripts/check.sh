@@ -3,21 +3,59 @@
 #
 # Runs the tier-1 verify command in a dedicated build tree with
 # -DSTAGG_WERROR=ON, so the repo's zero-warning state is enforced: any new
-# -Wall -Wextra diagnostic fails the build.
+# -Wall -Wextra diagnostic fails the build. This is the single entry point
+# shared by local runs and every CI job (.github/workflows/ci.yml).
 #
-# Usage: scripts/check.sh            (build dir: build-check)
-#        BUILD_DIR=foo scripts/check.sh
+# Usage: scripts/check.sh [--sanitize]
+#
+#   --sanitize       instrument with ASan + UBSan (-DSTAGG_SANITIZE=ON) and
+#                    run the tests under the sanitizers
+#
+# Environment overrides:
+#   BUILD_DIR=dir    build tree (default: build-check; build-sanitize when
+#                    --sanitize is given)
+#   CMAKE_ARGS=...   extra configure arguments, e.g. a compiler selection:
+#                    CMAKE_ARGS="-DCMAKE_CXX_COMPILER=clang++"
+#   CTEST_ARGS=...   extra ctest arguments
 #
 #===----------------------------------------------------------------------===//
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-check}"
+SANITIZE=OFF
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=ON ;;
+    *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$SANITIZE" = ON ]; then
+  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+else
+  BUILD_DIR="${BUILD_DIR:-build-check}"
+fi
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S . -DSTAGG_WERROR=ON
+# CMAKE_ARGS is intentionally word-split: it carries whole -D... arguments.
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . \
+  -DSTAGG_WERROR=ON \
+  -DSTAGG_SANITIZE="$SANITIZE" \
+  ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$JOBS"
-(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
 
-echo "check.sh: build and all tests green with -Wall -Wextra -Werror"
+# halt_on_error keeps a sanitizer finding from hiding behind a pass; the
+# suppressions hooks are no-ops until a finding ever needs one.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+# shellcheck disable=SC2086
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS" ${CTEST_ARGS:-})
+
+if [ "$SANITIZE" = ON ]; then
+  echo "check.sh: build and all tests green under ASan/UBSan"
+else
+  echo "check.sh: build and all tests green with -Wall -Wextra -Werror"
+fi

@@ -37,6 +37,29 @@ namespace core {
 /// Which enumeration strategy drives the pipeline.
 enum class SearchKind { TopDown, BottomUp };
 
+/// Knobs of the serving layer (src/serve). They live next to the pipeline
+/// configuration so one StaggConfig describes a whole deployment — batch
+/// drivers and the persistent `stagg serve` process read the same struct.
+struct ServeOptions {
+  /// Bound of the request queue; submissions block once this many requests
+  /// are in flight (backpressure toward the client).
+  int QueueDepth = 64;
+
+  /// Oracle batching: up to this many concurrent oracle queries are
+  /// coalesced into one propose round. 1 disables batching.
+  int BatchSize = 1;
+
+  /// How long a propose round waits for the batch to fill before flushing
+  /// a partial one.
+  int BatchWaitMicros = 200;
+
+  /// Result-cache entries across all shards; 0 disables caching.
+  size_t CacheCapacity = 1024;
+
+  /// Number of independently locked cache shards (rounded up to one).
+  int CacheShards = 8;
+};
+
 /// Pipeline configuration.
 struct StaggConfig {
   SearchKind Kind = SearchKind::TopDown;
@@ -55,6 +78,9 @@ struct StaggConfig {
 
   /// Skip bounded verification (I/O-only acceptance, like C2TACO).
   bool SkipVerification = false;
+
+  /// Serving-layer knobs (queue depth, batching, result cache).
+  ServeOptions Serve;
 };
 
 /// Everything the experiments need to know about one lifting run.

@@ -2,6 +2,8 @@
 
 #include "driver/Cli.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
@@ -50,6 +52,47 @@ bool parseDouble(const std::string &Text, double &Out) {
   errno = 0;
   Out = std::strtod(Text.c_str(), &End);
   return errno == 0 && End && *End == '\0';
+}
+
+/// Every flag the parser understands, for the did-you-mean hint.
+const std::vector<std::string> &knownFlags() {
+  static const std::vector<std::string> Flags = {
+      "--help",          "-h",
+      "--list",          "--verbose",
+      "-v",              "--no-verify",
+      "--full-grammar",  "--equal-probability",
+      "--cache-stats",   "--suite",
+      "--search",        "--drop-penalty",
+      "--format",        "--csv",
+      "--input",         "--limit",
+      "--threads",       "--candidates",
+      "--io-examples",   "--max-depth",
+      "--max-size",      "--seed",
+      "--example-seed",  "--queue-depth",
+      "--batch",         "--batch-wait-us",
+      "--cache-capacity", "--cache-shards",
+      "--timeout"};
+  return Flags;
+}
+
+/// The closest known spelling of \p Unknown, or "" when nothing is near
+/// enough to be a plausible typo.
+std::string suggestFor(const std::string &Unknown,
+                       const std::vector<std::string> &Candidates) {
+  std::string Best;
+  size_t BestDistance = std::string::npos;
+  for (const std::string &Candidate : Candidates) {
+    size_t Distance = editDistance(Unknown, Candidate);
+    if (Distance < BestDistance) {
+      BestDistance = Distance;
+      Best = Candidate;
+    }
+  }
+  // A typo shares most of its letters with the intended flag; anything
+  // further away than a third of the name is noise, not a suggestion.
+  if (BestDistance <= std::max<size_t>(2, Unknown.size() / 3))
+    return Best;
+  return std::string();
 }
 
 /// Applies one `--drop-penalty` selector; returns false for unknown names.
@@ -132,7 +175,25 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
     return false;
   };
 
+  bool SawCommand = false;
+  // First batch-only flag seen, for the mode cross-check after the loop.
+  std::string BatchOnly;
   for (; I < Args.size(); ++I) {
+    // Positional arguments are subcommands; `serve` is the only one.
+    if (!Args[I].empty() && Args[I][0] != '-') {
+      if (!SawCommand && Args[I] == "serve") {
+        O.Mode = DriverMode::Serve;
+        SawCommand = true;
+        continue;
+      }
+      Parse.Error = "unknown command '" + Args[I] + "'";
+      std::string Hint = suggestFor(Args[I], {"serve"});
+      if (!Hint.empty())
+        Parse.Error += " — did you mean '" + Hint + "'?";
+      Parse.Error += " (see --help)";
+      break;
+    }
+
     Flag F = splitFlag(Args[I]);
     std::string Value;
 
@@ -140,7 +201,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
                      F.Name == "--list" || F.Name == "--verbose" ||
                      F.Name == "-v" || F.Name == "--no-verify" ||
                      F.Name == "--full-grammar" ||
-                     F.Name == "--equal-probability";
+                     F.Name == "--equal-probability" ||
+                     F.Name == "--cache-stats";
     if (IsBoolean && F.HasInline) {
       Parse.Error = F.Name + " does not take a value";
       break;
@@ -150,6 +212,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       O.ShowHelp = true;
     } else if (F.Name == "--list") {
       O.ListOnly = true;
+      BatchOnly = F.Name;
     } else if (F.Name == "--verbose" || F.Name == "-v") {
       O.Verbose = true;
     } else if (F.Name == "--no-verify") {
@@ -158,7 +221,13 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       O.Config.Grammar.FullGrammar = true;
     } else if (F.Name == "--equal-probability") {
       O.Config.Grammar.EqualProbability = true;
+    } else if (F.Name == "--cache-stats") {
+      O.ShowCacheStats = true;
+    } else if (F.Name == "--input") {
+      if (!takeValue(F, O.InputPath))
+        break;
     } else if (F.Name == "--suite") {
+      BatchOnly = F.Name;
       if (!takeValue(F, O.Suite))
         break;
       const std::vector<std::string> &Known = knownSuites();
@@ -191,6 +260,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
     } else if (F.Name == "--format") {
+      BatchOnly = F.Name;
       if (!takeValue(F, Value))
         break;
       if (Value == "table") {
@@ -204,6 +274,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
     } else if (F.Name == "--csv") {
+      BatchOnly = F.Name;
       if (!takeValue(F, O.CsvPath))
         break;
     } else if (F.Name == "--limit" || F.Name == "--threads" ||
@@ -225,8 +296,10 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
                       "'";
         break;
       }
-      if (F.Name == "--limit")
+      if (F.Name == "--limit") {
         O.Limit = static_cast<int>(N);
+        BatchOnly = F.Name;
+      }
       else if (F.Name == "--threads")
         O.Threads = static_cast<int>(N);
       else if (F.Name == "--candidates")
@@ -241,6 +314,37 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         O.OracleSeed = static_cast<uint64_t>(N);
       else // --example-seed
         O.Config.ExampleSeed = static_cast<uint64_t>(N);
+    } else if (F.Name == "--queue-depth" || F.Name == "--batch" ||
+               F.Name == "--batch-wait-us" || F.Name == "--cache-capacity" ||
+               F.Name == "--cache-shards") {
+      if (!takeValue(F, Value))
+        break;
+      long long N = 0;
+      if (!parseInt(Value, N)) {
+        Parse.Error = F.Name + " expects an integer, got '" + Value + "'";
+        break;
+      }
+      // Zero means "off" for the wait and the cache; the structural knobs
+      // (queue depth, batch width, shard count) need at least one.
+      bool ZeroOk =
+          F.Name == "--batch-wait-us" || F.Name == "--cache-capacity";
+      if (N < 0 || (!ZeroOk && N == 0) ||
+          (F.Name != "--cache-capacity" &&
+           N > std::numeric_limits<int>::max())) {
+        Parse.Error =
+            F.Name + " expects a positive value, got '" + Value + "'";
+        break;
+      }
+      if (F.Name == "--queue-depth")
+        O.Config.Serve.QueueDepth = static_cast<int>(N);
+      else if (F.Name == "--batch")
+        O.Config.Serve.BatchSize = static_cast<int>(N);
+      else if (F.Name == "--batch-wait-us")
+        O.Config.Serve.BatchWaitMicros = static_cast<int>(N);
+      else if (F.Name == "--cache-capacity")
+        O.Config.Serve.CacheCapacity = static_cast<size_t>(N);
+      else // --cache-shards
+        O.Config.Serve.CacheShards = static_cast<int>(N);
     } else if (F.Name == "--timeout") {
       if (!takeValue(F, Value))
         break;
@@ -252,9 +356,25 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       }
       O.Config.Search.TimeoutSeconds = Seconds;
     } else {
-      Parse.Error = "unknown flag '" + Args[I] + "' (see --help)";
+      Parse.Error = "unknown flag '" + Args[I] + "'";
+      std::string Hint = suggestFor(F.Name, knownFlags());
+      if (!Hint.empty())
+        Parse.Error += " — did you mean '" + Hint + "'?";
+      Parse.Error += " (see --help)";
       break;
     }
+  }
+
+  // Silently ignoring a mode-mismatched flag would do the wrong large
+  // thing: --input without `serve` runs the whole default suite; --csv
+  // with `serve` writes nothing the user asked for.
+  if (Parse.ok() && !O.ShowHelp) {
+    if (O.Mode == DriverMode::Run && !O.InputPath.empty())
+      Parse.Error = "--input only applies to `stagg serve`";
+    else if (O.Mode == DriverMode::Serve && !BatchOnly.empty())
+      Parse.Error = BatchOnly + " only applies to batch mode, not `stagg "
+                                "serve` (requests come from the input "
+                                "stream)";
   }
 
   return Parse;
@@ -270,7 +390,11 @@ std::string driver::usage() {
         "bounded\n"
      << "verification) over a benchmark suite on a worker pool.\n"
      << "\n"
-     << "Usage: stagg [options]\n"
+     << "Usage: stagg [options]         batch suite run\n"
+     << "       stagg serve [options]   persistent serving loop: reads\n"
+     << "                               newline-delimited benchmark names\n"
+     << "                               from stdin (or --input FILE) and\n"
+     << "                               streams one result line each\n"
      << "\n"
      << "Suite selection:\n"
      << "  --suite NAME        all | real | artificial | blas | darknet | "
@@ -296,6 +420,21 @@ std::string driver::usage() {
      << "  --drop-penalty P    disable penalty a1..a5|b1|b2, or a|b|all;\n"
      << "                      repeatable\n"
      << "\n"
+     << "Serving layer (both modes run on it):\n"
+     << "  --queue-depth N     request-queue bound; full = backpressure\n"
+     << "                      (default 64)\n"
+     << "  --batch N           coalesce up to N oracle calls per propose\n"
+     << "                      round (default 1 = off)\n"
+     << "  --batch-wait-us N   how long a round waits to fill (default "
+        "200)\n"
+     << "  --cache-capacity N  kernel-text result-cache entries; 0 "
+        "disables\n"
+     << "                      (default 1024)\n"
+     << "  --cache-shards N    independently locked cache shards (default "
+        "8)\n"
+     << "  --cache-stats       print cache/batching counters to stderr\n"
+     << "  --input PATH        serve: read requests from PATH, not stdin\n"
+     << "\n"
      << "Execution and output:\n"
      << "  --threads N         worker pool width (default: hardware)\n"
      << "  --format F          table (default) | csv | tsv on stdout\n"
@@ -306,6 +445,7 @@ std::string driver::usage() {
      << "Examples:\n"
      << "  stagg --suite blas --limit 3\n"
      << "  stagg --suite real --search bu --threads 8 --csv results.csv\n"
-     << "  stagg --suite all --drop-penalty a --equal-probability\n";
+     << "  stagg --suite all --drop-penalty a --equal-probability\n"
+     << "  stagg serve --threads 4 --batch 4 --cache-stats < requests.txt\n";
   return Os.str();
 }

@@ -30,10 +30,25 @@ namespace driver {
 /// Output renderings of the results table.
 enum class OutputFormat { Table, Csv, Tsv };
 
+/// What this invocation does: a batch suite run (default) or the
+/// persistent request-serving loop (`stagg serve`).
+enum class DriverMode { Run, Serve };
+
 /// Everything the driver needs for one invocation.
 struct CliOptions {
-  /// The pipeline configuration assembled from the ablation flags.
+  /// The pipeline configuration assembled from the ablation flags,
+  /// including the serving-layer knobs in Config.Serve (--queue-depth,
+  /// --batch, --batch-wait-us, --cache-capacity, --cache-shards).
   core::StaggConfig Config;
+
+  DriverMode Mode = DriverMode::Run;
+
+  /// `stagg serve`: read newline-delimited requests from this file instead
+  /// of stdin when non-empty.
+  std::string InputPath;
+
+  /// Print cache and batching counters to stderr after the run.
+  bool ShowCacheStats = false;
 
   /// Suite selector: "all" (77), "real" (67), or one category
   /// ("artificial", "blas", "darknet", "dsp", "misc", "llama").

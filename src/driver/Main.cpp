@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Cli.h"
+#include "driver/ServeCommand.h"
 #include "driver/SuiteRunner.h"
 
 #include <iostream>
@@ -28,6 +29,9 @@ int main(int argc, char **argv) {
     std::cout << driver::usage();
     return 0;
   }
+
+  if (Options.Mode == driver::DriverMode::Serve)
+    return driver::runServeCommand(Options);
 
   std::string SuiteError;
   std::vector<const bench::Benchmark *> Suite =
@@ -58,6 +62,10 @@ int main(int argc, char **argv) {
     driver::printDelimited(std::cout, Report, '\t');
     break;
   }
+
+  if (Options.ShowCacheStats)
+    driver::printServeStats(std::cerr, Report.Cache, Report.Batching,
+                            Options.Config.Serve.BatchSize);
 
   if (!Options.CsvPath.empty() &&
       !driver::writeCsv(Options.CsvPath, Report)) {

@@ -1,0 +1,126 @@
+//===- driver/ServeCommand.cpp - stagg serve loop -------------------------===//
+
+#include "driver/ServeCommand.h"
+
+#include "serve/LiftService.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <iostream>
+
+using namespace stagg;
+using namespace stagg::driver;
+
+namespace {
+
+/// A request admitted to the service, remembered until its reply is
+/// printed. Replies are printed in admission order.
+struct InFlight {
+  const bench::Benchmark *Query = nullptr;
+  std::future<serve::LiftResponse> Reply;
+};
+
+void printResponse(std::ostream &Out, const bench::Benchmark &B,
+                   const serve::LiftResponse &Response) {
+  Out << core::describeResult(B, Response.Result)
+      << (Response.CacheHit ? " [cached]" : "") << "\n"
+      << std::flush;
+}
+
+/// Prints every leading in-flight entry whose reply is already available.
+void flushReady(std::deque<InFlight> &Window, std::ostream &Out) {
+  while (!Window.empty() &&
+         Window.front().Reply.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready) {
+    printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+    Window.pop_front();
+  }
+}
+
+} // namespace
+
+void driver::printServeStats(std::ostream &Err,
+                             const serve::CacheStats &Cache,
+                             const serve::BatchingStats &Batching,
+                             int BatchSize) {
+  Err << serve::formatCacheStats(Cache) << "\n";
+  if (BatchSize > 1)
+    Err << "batching: " << Batching.ProposeCalls << " oracle calls in "
+        << Batching.Rounds << " rounds (max batch " << Batching.MaxBatch
+        << ")\n";
+}
+
+int driver::runServeLoop(const CliOptions &Options, std::istream &In,
+                         std::ostream &Out, std::ostream &Err) {
+  serve::ServiceConfig Service;
+  Service.Config = Options.Config;
+  Service.Threads = Options.Threads;
+  Service.OracleSeed = Options.OracleSeed;
+  serve::LiftService Lifter(Service);
+
+  if (Options.Verbose)
+    Err << "stagg serve: " << Lifter.threads() << " workers, queue depth "
+        << Lifter.queueDepth() << ", batch "
+        << Options.Config.Serve.BatchSize << ", cache "
+        << Options.Config.Serve.CacheCapacity << " entries\n";
+
+  std::deque<InFlight> Window;
+  // In-order printing means a slow request at the front can pile finished
+  // replies up behind it; cap the pile so memory stays bounded by the
+  // configured in-flight work, not by the input length.
+  const size_t WindowCap =
+      static_cast<size_t>(Lifter.queueDepth() + Lifter.threads()) + 1;
+  bool SawUnknown = false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string Name = trim(Line);
+    if (Name.empty() || Name[0] == '#')
+      continue;
+    const bench::Benchmark *B = bench::findBenchmark(Name);
+    if (!B) {
+      // Keep serving; the bad request gets an error line in stream order.
+      flushReady(Window, Out);
+      while (!Window.empty()) {
+        printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+        Window.pop_front();
+      }
+      Out << Name << ": ERROR unknown benchmark (try `stagg --list`)\n"
+          << std::flush;
+      SawUnknown = true;
+      continue;
+    }
+    InFlight Entry;
+    Entry.Query = B;
+    Entry.Reply = Lifter.submit(*B); // blocks on queue backpressure
+    Window.push_back(std::move(Entry));
+    flushReady(Window, Out);
+    while (Window.size() >= WindowCap) {
+      printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+      Window.pop_front();
+    }
+  }
+
+  while (!Window.empty()) {
+    printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+    Window.pop_front();
+  }
+
+  if (Options.ShowCacheStats)
+    printServeStats(Err, Lifter.cacheStats(), Lifter.batchingStats(),
+                    Options.Config.Serve.BatchSize);
+  return SawUnknown ? 2 : 0;
+}
+
+int driver::runServeCommand(const CliOptions &Options) {
+  if (!Options.InputPath.empty()) {
+    std::ifstream File(Options.InputPath);
+    if (!File) {
+      std::cerr << "stagg: cannot read '" << Options.InputPath << "'\n";
+      return 2;
+    }
+    return runServeLoop(Options, File, std::cout, std::cerr);
+  }
+  return runServeLoop(Options, std::cin, std::cout, std::cerr);
+}

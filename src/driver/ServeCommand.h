@@ -1,0 +1,51 @@
+//===- driver/ServeCommand.h - stagg serve loop -----------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `stagg serve` session: one persistent serve::LiftService answering a
+/// stream of newline-delimited lift requests (benchmark names; blank lines
+/// and `#` comments are skipped). Results stream back one line per request
+/// in request order, with `[cached]` marking cache hits; repeated identical
+/// kernels never re-run the pipeline. Requests keep being read while
+/// earlier lifts are still in flight, so the worker pool stays busy up to
+/// the queue bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_DRIVER_SERVECOMMAND_H
+#define STAGG_DRIVER_SERVECOMMAND_H
+
+#include "driver/Cli.h"
+#include "serve/BatchingOracle.h"
+#include "serve/ResultCache.h"
+
+#include <iosfwd>
+
+namespace stagg {
+namespace driver {
+
+/// Renders the --cache-stats report: the cache counter line, plus the
+/// batching counter line when batching is enabled. Shared by batch mode
+/// (Main) and the serve loop so the two reports can never drift apart.
+void printServeStats(std::ostream &Err, const serve::CacheStats &Cache,
+                     const serve::BatchingStats &Batching, int BatchSize);
+
+/// Runs the serving loop over \p In, streaming result lines to \p Out and
+/// diagnostics (and --cache-stats counters) to \p Err. Returns the process
+/// exit code: 0 even when individual lifts FAIL (a failed lift is a result,
+/// not an error); 2 when any request named an unknown benchmark — the loop
+/// still serves every other request before exiting.
+int runServeLoop(const CliOptions &Options, std::istream &In,
+                 std::ostream &Out, std::ostream &Err);
+
+/// Entry point used by Main: opens Options.InputPath (or stdin) and calls
+/// runServeLoop on the standard streams.
+int runServeCommand(const CliOptions &Options);
+
+} // namespace driver
+} // namespace stagg
+
+#endif // STAGG_DRIVER_SERVECOMMAND_H

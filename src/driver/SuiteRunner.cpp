@@ -2,15 +2,13 @@
 
 #include "driver/SuiteRunner.h"
 
-#include "llm/SimulatedLlm.h"
 #include "support/Timer.h"
 #include "taco/Printer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <fstream>
+#include <future>
 #include <iomanip>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -67,41 +65,37 @@ SuiteReport driver::runSuite(const std::vector<const bench::Benchmark *> &Suite,
   Threads = std::min<int>(Threads, std::max<size_t>(Suite.size(), 1));
   Report.Threads = Threads;
 
+  serve::ServiceConfig Service;
+  Service.Config = Options.Config;
+  Service.Threads = Threads;
+  Service.OracleSeed = Options.OracleSeed;
+
   Timer Wall;
-  std::atomic<size_t> Next{0};
-  std::mutex ProgressMutex;
+  serve::LiftService Lifter(Service);
 
-  auto Worker = [&]() {
-    // A private oracle per worker: SimulatedLlm derives every candidate
-    // stream from (seed, benchmark name), so identical seeds make the
-    // parallel schedule invisible in the results.
-    llm::SimulatedLlm Oracle(Options.OracleSeed);
-    for (size_t Index = Next.fetch_add(1); Index < Suite.size();
-         Index = Next.fetch_add(1)) {
-      const bench::Benchmark &B = *Suite[Index];
-      RunRow &Row = Report.Rows[Index];
-      Row.Benchmark = B.Name;
-      Row.Category = B.Category;
-      Row.Result = core::liftBenchmark(B, Oracle, Options.Config);
-      if (Progress && Options.Verbose) {
-        std::lock_guard<std::mutex> Lock(ProgressMutex);
-        *Progress << core::describeResult(B, Row.Result) << "\n";
-      }
-    }
-  };
+  // Submission applies backpressure: once the bounded queue fills, push
+  // blocks until a worker drains a slot. Collection happens in suite order,
+  // which is also where verbose progress is emitted — response order is a
+  // scheduling artifact, row order never is.
+  std::vector<std::future<serve::LiftResponse>> Replies;
+  Replies.reserve(Suite.size());
+  for (const bench::Benchmark *B : Suite)
+    Replies.push_back(Lifter.submit(*B));
 
-  if (Threads == 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(static_cast<size_t>(Threads));
-    for (int T = 0; T < Threads; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
+  for (size_t Index = 0; Index < Replies.size(); ++Index) {
+    serve::LiftResponse Response = Replies[Index].get();
+    RunRow &Row = Report.Rows[Index];
+    Row.Benchmark = Response.Benchmark;
+    Row.Category = Response.Category;
+    Row.Result = std::move(Response.Result);
+    Row.CacheHit = Response.CacheHit;
+    if (Progress && Options.Verbose)
+      *Progress << core::describeResult(*Suite[Index], Row.Result) << "\n";
   }
 
   Report.WallSeconds = Wall.seconds();
+  Report.Cache = Lifter.cacheStats();
+  Report.Batching = Lifter.batchingStats();
   return Report;
 }
 

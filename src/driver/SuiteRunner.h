@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs the lifting pipeline over a benchmark selection on an std::thread
-/// worker pool and renders the outcome as a results table (human table, CSV
-/// or TSV). Each worker owns a private simulated-LLM oracle seeded
-/// identically, so a parallel run produces bit-identical per-benchmark
-/// results to a sequential one — only the wall clock changes.
+/// Batch-mode client of the serving layer: submits a benchmark selection to
+/// a serve::LiftService and renders the responses as a results table (human
+/// table, CSV or TSV). Batch runs and `stagg serve` sessions execute the
+/// identical service path — every worker's oracle is seeded identically, so
+/// worker count, batching, and caching never change the per-benchmark
+/// results, only the wall clock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +18,7 @@
 #define STAGG_DRIVER_SUITERUNNER_H
 
 #include "driver/Cli.h"
+#include "serve/LiftService.h"
 
 #include <iosfwd>
 #include <string>
@@ -30,6 +32,9 @@ struct RunRow {
   std::string Benchmark;
   std::string Category;
   core::LiftResult Result;
+
+  /// Served from the kernel-text cache (duplicate kernel in the suite).
+  bool CacheHit = false;
 };
 
 /// A whole suite pass.
@@ -42,6 +47,10 @@ struct SuiteReport {
 
   /// Worker-pool width actually used.
   int Threads = 1;
+
+  /// Serving-layer counters for --cache-stats.
+  serve::CacheStats Cache;
+  serve::BatchingStats Batching;
 
   int solvedCount() const;
   double solvedPercent() const;

@@ -1,0 +1,108 @@
+//===- serve/BatchingOracle.cpp - Oracle call coalescing ------------------===//
+
+#include "serve/BatchingOracle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+
+using namespace stagg;
+using namespace stagg::serve;
+
+BatchingOracle::BatchingOracle(llm::CandidateOracle &Inner, int BatchSize,
+                               int BatchWaitMicros)
+    : Inner(Inner), BatchSize(BatchSize), BatchWaitMicros(BatchWaitMicros) {}
+
+std::vector<std::string> BatchingOracle::propose(const llm::OracleTask &Task) {
+  ProposeCalls.fetch_add(1, std::memory_order_relaxed);
+  if (BatchSize <= 1) {
+    Rounds.fetch_add(1, std::memory_order_relaxed);
+    uint64_t Seen = MaxBatch.load(std::memory_order_relaxed);
+    while (Seen < 1 && !MaxBatch.compare_exchange_weak(Seen, 1))
+      ;
+    return Inner.propose(Task);
+  }
+
+  std::future<std::vector<std::string>> Reply;
+  bool Lead = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pending.push_back(Slot{});
+    Pending.back().Task = &Task;
+    Reply = Pending.back().Out.get_future();
+    if (!LeaderActive) {
+      LeaderActive = true;
+      Lead = true;
+    }
+  }
+  // Wake a leader that is waiting for its batch to fill.
+  Arrived.notify_all();
+
+  if (Lead) {
+    bool FirstRound = true;
+    bool Done = false;
+    while (!Done) {
+      std::vector<Slot> Batch;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        if (FirstRound) {
+          Arrived.wait_for(Lock, std::chrono::microseconds(BatchWaitMicros),
+                           [&] {
+                             return static_cast<int>(Pending.size()) >=
+                                    BatchSize;
+                           });
+          FirstRound = false;
+        }
+        // A round never exceeds BatchSize (backends may enforce a hard
+        // per-request limit); the overflow is served by this same leader
+        // in immediately following rounds — those callers already waited,
+        // so no second fill timer.
+        size_t Take =
+            std::min(Pending.size(), static_cast<size_t>(BatchSize));
+        Batch.assign(std::make_move_iterator(Pending.begin()),
+                     std::make_move_iterator(Pending.begin() +
+                                             static_cast<long>(Take)));
+        Pending.erase(Pending.begin(),
+                      Pending.begin() + static_cast<long>(Take));
+        if (Pending.empty()) {
+          // Handing off leadership inside the same critical section as the
+          // final drain guarantees no slot is ever orphaned: a caller that
+          // enqueues after this point sees LeaderActive == false and leads
+          // the next round itself.
+          LeaderActive = false;
+          Done = true;
+        }
+      }
+      flush(std::move(Batch));
+    }
+  }
+  return Reply.get();
+}
+
+void BatchingOracle::flush(std::vector<Slot> Batch) {
+  Rounds.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Size = Batch.size();
+  uint64_t Seen = MaxBatch.load(std::memory_order_relaxed);
+  while (Seen < Size && !MaxBatch.compare_exchange_weak(Seen, Size))
+    ;
+  // One propose round: every task of the batch hits the backend together,
+  // serialized in admission order for reproducibility. A backend failure
+  // is delivered to its own caller through the future — flush() itself
+  // never throws, so the leader loop always finishes its rounds and
+  // releases leadership (a throw here would deadlock every later caller).
+  for (Slot &S : Batch) {
+    try {
+      S.Out.set_value(Inner.propose(*S.Task));
+    } catch (...) {
+      S.Out.set_exception(std::current_exception());
+    }
+  }
+}
+
+BatchingStats BatchingOracle::stats() const {
+  BatchingStats Stats;
+  Stats.ProposeCalls = ProposeCalls.load(std::memory_order_relaxed);
+  Stats.Rounds = Rounds.load(std::memory_order_relaxed);
+  Stats.MaxBatch = MaxBatch.load(std::memory_order_relaxed);
+  return Stats;
+}

@@ -1,0 +1,87 @@
+//===- serve/BatchingOracle.h - Oracle call coalescing ----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CandidateOracle decorator that coalesces concurrent propose() calls
+/// into shared rounds. Real LLM backends amortize per-request overhead
+/// (connection, prompt prefix, rate-limit slots) across a batch; the
+/// simulated backend gains nothing but proves the plumbing. The first
+/// caller of an idle oracle becomes the round leader: it waits up to
+/// BatchWaitMicros for up to BatchSize-1 more tasks to arrive, then
+/// executes the whole batch against the inner oracle and fans the
+/// responses back out to the blocked callers.
+///
+/// Determinism: the inner oracle is queried once per task, in admission
+/// order, with exactly the task the caller passed — so for any *stateless*
+/// inner oracle (SimulatedLlm derives candidates purely from seed and
+/// benchmark name) a batched run returns bit-identical candidate streams
+/// to an unbatched one. Stateful inner oracles would observe a different
+/// call interleaving; they must serialize internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SERVE_BATCHINGORACLE_H
+#define STAGG_SERVE_BATCHINGORACLE_H
+
+#include "llm/Oracle.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace stagg {
+namespace serve {
+
+/// Counters describing how well batching amortized oracle traffic.
+struct BatchingStats {
+  uint64_t ProposeCalls = 0; ///< External propose() invocations.
+  uint64_t Rounds = 0;       ///< Inner flushes (1 round serves >= 1 calls).
+  uint64_t MaxBatch = 0;     ///< Largest round observed.
+};
+
+/// The coalescing decorator. Thread-safe; does not own the inner oracle.
+class BatchingOracle : public llm::CandidateOracle {
+public:
+  /// \p BatchSize <= 1 makes this a counting pass-through.
+  BatchingOracle(llm::CandidateOracle &Inner, int BatchSize,
+                 int BatchWaitMicros);
+
+  std::vector<std::string> propose(const llm::OracleTask &Task) override;
+
+  BatchingStats stats() const;
+  int batchSize() const { return BatchSize; }
+
+private:
+  /// One caller parked in the current round.
+  struct Slot {
+    const llm::OracleTask *Task = nullptr;
+    std::promise<std::vector<std::string>> Out;
+  };
+
+  /// Runs \p Batch against the inner oracle and fulfills every slot.
+  void flush(std::vector<Slot> Batch);
+
+  llm::CandidateOracle &Inner;
+  const int BatchSize;
+  const int BatchWaitMicros;
+
+  std::mutex Mutex;
+  std::condition_variable Arrived;
+  std::vector<Slot> Pending;
+  bool LeaderActive = false;
+
+  std::atomic<uint64_t> ProposeCalls{0};
+  std::atomic<uint64_t> Rounds{0};
+  std::atomic<uint64_t> MaxBatch{0};
+};
+
+} // namespace serve
+} // namespace stagg
+
+#endif // STAGG_SERVE_BATCHINGORACLE_H

@@ -1,0 +1,141 @@
+//===- serve/LiftService.cpp - Persistent lifting service -----------------===//
+
+#include "serve/LiftService.h"
+
+#include "llm/SimulatedLlm.h"
+
+#include <algorithm>
+
+using namespace stagg;
+using namespace stagg::serve;
+
+namespace {
+
+int resolveThreads(int Requested) {
+  if (Requested > 0)
+    return Requested;
+  int Hardware = static_cast<int>(std::thread::hardware_concurrency());
+  return Hardware > 0 ? Hardware : 1;
+}
+
+OracleFactory defaultFactory() {
+  return [](uint64_t Seed) -> std::unique_ptr<llm::CandidateOracle> {
+    return std::make_unique<llm::SimulatedLlm>(Seed);
+  };
+}
+
+} // namespace
+
+LiftService::LiftService(ServiceConfig Config, OracleFactory Factory)
+    : Config(std::move(Config)),
+      Factory(Factory ? std::move(Factory) : defaultFactory()),
+      Queue(this->Config.Config.Serve.QueueDepth),
+      Cache(this->Config.Config.Serve.CacheCapacity,
+            this->Config.Config.Serve.CacheShards) {
+  const core::ServeOptions &Serve = this->Config.Config.Serve;
+  if (Serve.BatchSize > 1) {
+    SharedInner = this->Factory(this->Config.OracleSeed);
+    Batcher = std::make_unique<BatchingOracle>(*SharedInner, Serve.BatchSize,
+                                               Serve.BatchWaitMicros);
+  }
+  int Threads = resolveThreads(this->Config.Threads);
+  Pool.reserve(static_cast<size_t>(Threads));
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+LiftService::~LiftService() { shutdown(); }
+
+void LiftService::shutdown() {
+  if (Stopped.exchange(true))
+    return;
+  Queue.close();
+  for (std::thread &T : Pool)
+    if (T.joinable())
+      T.join();
+}
+
+std::future<LiftResponse> LiftService::submit(const bench::Benchmark &B) {
+  LiftRequest Request;
+  Request.Query = &B;
+  Request.Ticket = NextTicket.fetch_add(1);
+  std::future<LiftResponse> Reply = Request.Reply.get_future();
+  if (!Queue.push(std::move(Request))) {
+    // Closed: the request was not moved from, so answer its own promise
+    // immediately rather than leaving a dangling future.
+    LiftResponse Response;
+    Response.Benchmark = B.Name;
+    Response.Category = B.Category;
+    Response.Ticket = Request.Ticket;
+    Response.Result.FailReason = "service is shut down";
+    Request.Reply.set_value(std::move(Response));
+  }
+  return Reply;
+}
+
+bool LiftService::trySubmit(const bench::Benchmark &B,
+                            std::future<LiftResponse> &Out) {
+  LiftRequest Request;
+  Request.Query = &B;
+  Request.Ticket = NextTicket.fetch_add(1);
+  std::future<LiftResponse> Reply = Request.Reply.get_future();
+  if (!Queue.tryPush(std::move(Request)))
+    return false;
+  Out = std::move(Reply);
+  return true;
+}
+
+LiftResponse LiftService::lift(const bench::Benchmark &B) {
+  return submit(B).get();
+}
+
+void LiftService::workerLoop() {
+  // The worker's oracle persists across every request it serves; only the
+  // non-batching path needs one (batched workers share the decorator).
+  std::unique_ptr<llm::CandidateOracle> Private;
+  if (!Batcher)
+    Private = Factory(Config.OracleSeed);
+  llm::CandidateOracle &Oracle = Batcher
+                                     ? static_cast<llm::CandidateOracle &>(
+                                           *Batcher)
+                                     : *Private;
+
+  LiftRequest Request;
+  while (Queue.pop(Request))
+    execute(Request, Oracle);
+}
+
+void LiftService::execute(LiftRequest &Request, llm::CandidateOracle &Oracle) {
+  const bench::Benchmark &B = *Request.Query;
+  LiftResponse Response;
+  Response.Benchmark = B.Name;
+  Response.Category = B.Category;
+  Response.Ticket = Request.Ticket;
+
+  // The key is the normalized kernel text, salted with the benchmark name:
+  // the pipeline's result also depends on registry metadata outside the
+  // source text (ArgSpec shapes drive example generation, and the simulated
+  // oracle seeds its candidate stream per name), so two same-text entries
+  // must not share results. A backend conditioned on the prompt alone could
+  // drop the salt.
+  std::string Key = B.Name + '\x1f' + ResultCache::keyFor(B.CSource);
+  if (Cache.lookup(Key, Response.Result)) {
+    Response.CacheHit = true;
+    Request.Reply.set_value(std::move(Response));
+    return;
+  }
+
+  Response.Result = core::liftBenchmark(B, Oracle, Config.Config);
+  // Deterministic failures (parse errors, exhausted search spaces, spent
+  // expansion budgets) are cached too — re-lifting identical text can only
+  // reproduce them. Wall-clock timeouts are NOT: they depend on machine
+  // load, and caching one would pin a transient failure for the whole
+  // session.
+  if (Response.Result.Solved || Response.Result.FailReason != "timeout")
+    Cache.insert(Key, Response.Result);
+  Request.Reply.set_value(std::move(Response));
+}
+
+BatchingStats LiftService::batchingStats() const {
+  return Batcher ? Batcher->stats() : BatchingStats();
+}

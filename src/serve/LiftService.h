@@ -1,0 +1,116 @@
+//===- serve/LiftService.h - Persistent lifting service ---------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer: a long-lived pool of lifting workers behind a bounded
+/// request queue, with oracle batching and a kernel-text result cache in
+/// front of the pipeline. One LiftService instance outlives any number of
+/// requests — `stagg serve` keeps one for a whole session, and the batch
+/// driver (driver/SuiteRunner) is a thin client that submits a suite and
+/// collects the futures. Both paths execute the same code.
+///
+/// Determinism: every worker's oracle is constructed from the same factory
+/// and seed, and the pipeline derives everything else from the request, so
+/// results are independent of worker count, queue order, batching, and
+/// cache state. ServeTest pins this down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SERVE_LIFTSERVICE_H
+#define STAGG_SERVE_LIFTSERVICE_H
+
+#include "serve/BatchingOracle.h"
+#include "serve/RequestQueue.h"
+#include "serve/ResultCache.h"
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+namespace stagg {
+namespace serve {
+
+/// Everything a service instance needs at construction.
+struct ServiceConfig {
+  /// Pipeline configuration, including Config.Serve (queue depth, batch
+  /// size, cache capacity/shards).
+  core::StaggConfig Config;
+
+  /// Worker-pool width; <= 0 means hardware concurrency.
+  int Threads = 0;
+
+  /// Seed handed to the oracle factory for every worker.
+  uint64_t OracleSeed = 20250411;
+};
+
+/// Builds one oracle instance from a seed. The default factory produces
+/// llm::SimulatedLlm; tests substitute counting or failing oracles, and a
+/// real deployment would produce an HTTP-backed LLM client here.
+using OracleFactory =
+    std::function<std::unique_ptr<llm::CandidateOracle>(uint64_t Seed)>;
+
+/// The persistent lifting service.
+class LiftService {
+public:
+  explicit LiftService(ServiceConfig Config, OracleFactory Factory = {});
+
+  /// Drains the queue and joins the workers.
+  ~LiftService();
+
+  LiftService(const LiftService &) = delete;
+  LiftService &operator=(const LiftService &) = delete;
+
+  /// Enqueues \p B, blocking while the queue is full (backpressure). The
+  /// future resolves when a worker finishes the lift or serves it from the
+  /// cache. After shutdown the future resolves immediately with a failure.
+  std::future<LiftResponse> submit(const bench::Benchmark &B);
+
+  /// Non-blocking variant: false (and no future) when the queue is full.
+  bool trySubmit(const bench::Benchmark &B, std::future<LiftResponse> &Out);
+
+  /// Blocking convenience: submit and wait.
+  LiftResponse lift(const bench::Benchmark &B);
+
+  /// Stops admission, drains in-flight requests, joins the pool.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  CacheStats cacheStats() const { return Cache.stats(); }
+
+  /// Zeroed when batching is disabled (BatchSize <= 1).
+  BatchingStats batchingStats() const;
+
+  int threads() const { return static_cast<int>(Pool.size()); }
+  int queueDepth() const { return Queue.depth(); }
+
+private:
+  void workerLoop();
+
+  /// Runs one request to completion (cache probe, lift, cache fill) using
+  /// \p Oracle, and fulfills the reply promise.
+  void execute(LiftRequest &Request, llm::CandidateOracle &Oracle);
+
+  ServiceConfig Config;
+  OracleFactory Factory;
+
+  RequestQueue Queue;
+  ResultCache Cache;
+
+  /// Batching path: one shared inner oracle behind the coalescing
+  /// decorator. Null when BatchSize <= 1 (workers then own private
+  /// oracles, created once and reused across requests).
+  std::unique_ptr<llm::CandidateOracle> SharedInner;
+  std::unique_ptr<BatchingOracle> Batcher;
+
+  std::vector<std::thread> Pool;
+  std::atomic<uint64_t> NextTicket{0};
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace serve
+} // namespace stagg
+
+#endif // STAGG_SERVE_LIFTSERVICE_H

@@ -1,0 +1,97 @@
+//===- serve/RequestQueue.h - Bounded MPMC request queue --------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission queue of the serving layer: a bounded multi-producer
+/// multi-consumer queue of lift requests. Producers block when the queue is
+/// full (backpressure toward clients), consumers block when it is empty, and
+/// close() wakes everyone so the worker pool can drain and exit. The bound
+/// is what keeps a flood of requests from ballooning memory: at most
+/// QueueDepth requests wait beyond the ones workers already hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SERVE_REQUESTQUEUE_H
+#define STAGG_SERVE_REQUESTQUEUE_H
+
+#include "core/Stagg.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+namespace stagg {
+namespace serve {
+
+/// What the service hands back per request.
+struct LiftResponse {
+  std::string Benchmark;
+  std::string Category;
+  core::LiftResult Result;
+
+  /// True when the result came out of the kernel-text cache and no pipeline
+  /// work ran for this request.
+  bool CacheHit = false;
+
+  /// Admission ticket of the originating request.
+  uint64_t Ticket = 0;
+};
+
+/// One lift request as it travels through the service.
+struct LiftRequest {
+  /// The kernel to lift. Points into the benchmark registry (or any storage
+  /// outliving the service).
+  const bench::Benchmark *Query = nullptr;
+
+  /// Monotone admission ticket, assigned by LiftService::submit.
+  uint64_t Ticket = 0;
+
+  /// Fulfilled by the worker that executes (or cache-serves) the request.
+  std::promise<LiftResponse> Reply;
+};
+
+/// Bounded blocking MPMC queue. All methods are thread-safe.
+class RequestQueue {
+public:
+  /// \p Depth < 1 is clamped to 1.
+  explicit RequestQueue(int Depth);
+
+  /// Blocks until there is room, then enqueues. Returns false when the
+  /// queue was closed before room appeared; \p Request is only moved from
+  /// on success, so the caller keeps its promise on failure.
+  bool push(LiftRequest &&Request);
+
+  /// Non-blocking enqueue; false (without moving) when full or closed.
+  bool tryPush(LiftRequest &&Request);
+
+  /// Blocks until a request arrives, then dequeues into \p Out. Returns
+  /// false when the queue is closed *and* drained — the consumer's signal
+  /// to exit.
+  bool pop(LiftRequest &Out);
+
+  /// Closes admission. Pending requests remain poppable; blocked producers
+  /// fail, blocked consumers drain then exit.
+  void close();
+
+  bool closed() const;
+  size_t size() const;
+  int depth() const { return Depth; }
+
+private:
+  const int Depth;
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<LiftRequest> Items;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace stagg
+
+#endif // STAGG_SERVE_REQUESTQUEUE_H

@@ -1,0 +1,102 @@
+//===- serve/ResultCache.cpp - Sharded kernel-text result cache -----------===//
+
+#include "serve/ResultCache.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+
+using namespace stagg;
+using namespace stagg::serve;
+
+ResultCache::ResultCache(size_t Capacity, int Shards)
+    : TotalCapacity(Capacity) {
+  int Count = std::max(Shards, 1);
+  // More shards than entries would leave zero-capacity shards.
+  if (Capacity > 0)
+    Count = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(Count), Capacity));
+  ShardStore.reserve(static_cast<size_t>(Count));
+  for (int I = 0; I < Count; ++I) {
+    auto S = std::make_unique<Shard>();
+    // Distribute capacity as evenly as possible; earlier shards take the
+    // remainder so the total always matches.
+    S->Capacity = Capacity / static_cast<size_t>(Count) +
+                  (static_cast<size_t>(I) < Capacity % static_cast<size_t>(Count)
+                       ? 1
+                       : 0);
+    ShardStore.push_back(std::move(S));
+  }
+}
+
+std::string ResultCache::keyFor(const std::string &KernelSource) {
+  return normalizeKernelText(KernelSource);
+}
+
+ResultCache::Shard &ResultCache::shardFor(const std::string &Key) {
+  size_t Hash = std::hash<std::string>{}(Key);
+  return *ShardStore[Hash % ShardStore.size()];
+}
+
+bool ResultCache::lookup(const std::string &Key, core::LiftResult &Out) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end()) {
+    ++S.Misses;
+    return false;
+  }
+  ++S.Hits;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  Out = It->second->Result;
+  return true;
+}
+
+void ResultCache::insert(const std::string &Key,
+                         const core::LiftResult &Result) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Capacity == 0)
+    return;
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
+    It->second->Result = Result;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  if (S.Lru.size() >= S.Capacity) {
+    S.Index.erase(S.Lru.back().Key);
+    S.Lru.pop_back();
+    ++S.Evictions;
+  }
+  S.Lru.push_front(Entry{Key, Result});
+  S.Index[Key] = S.Lru.begin();
+  ++S.Insertions;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats Stats;
+  Stats.Capacity = TotalCapacity;
+  Stats.Shards = static_cast<int>(ShardStore.size());
+  for (const std::unique_ptr<Shard> &S : ShardStore) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Stats.Hits += S->Hits;
+    Stats.Misses += S->Misses;
+    Stats.Evictions += S->Evictions;
+    Stats.Insertions += S->Insertions;
+    Stats.Entries += S->Lru.size();
+  }
+  return Stats;
+}
+
+std::string serve::formatCacheStats(const CacheStats &Stats) {
+  std::ostringstream Os;
+  Os << "cache: hits " << Stats.Hits << "  misses " << Stats.Misses
+     << "  evictions " << Stats.Evictions << "  entries " << Stats.Entries
+     << "/" << Stats.Capacity << "  shards " << Stats.Shards << "  hit-rate "
+     << std::fixed << std::setprecision(1) << 100.0 * Stats.hitRate() << "%";
+  return Os.str();
+}

@@ -1,0 +1,103 @@
+//===- serve/ResultCache.h - Sharded kernel-text result cache ---*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Candidate generation dominates the lifting cost, and identical kernel
+/// text always lifts to the identical result (the whole pipeline is
+/// deterministic in the oracle seed). So the serving layer memoizes: results
+/// are cached under the *normalized* kernel text (comments and whitespace
+/// stripped — see support normalizeKernelText), LRU-evicted per shard, with
+/// the shard picked by key hash so concurrent workers rarely contend on one
+/// mutex. Hit/miss/eviction counters feed `stagg --cache-stats`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SERVE_RESULTCACHE_H
+#define STAGG_SERVE_RESULTCACHE_H
+
+#include "core/Stagg.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stagg {
+namespace serve {
+
+/// Aggregated counters across all shards.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Insertions = 0;
+  size_t Entries = 0;
+  size_t Capacity = 0;
+  int Shards = 0;
+
+  double hitRate() const {
+    uint64_t Lookups = Hits + Misses;
+    return Lookups ? static_cast<double>(Hits) / Lookups : 0;
+  }
+};
+
+/// Sharded LRU map from normalized kernel text to lift results.
+class ResultCache {
+public:
+  /// \p Capacity total entries split across \p Shards locks. Capacity 0
+  /// disables the cache (lookups miss, inserts drop).
+  ResultCache(size_t Capacity, int Shards);
+
+  /// Canonical key of a kernel source (normalizeKernelText).
+  static std::string keyFor(const std::string &KernelSource);
+
+  /// Looks \p Key up; on a hit copies the cached result into \p Out,
+  /// refreshes recency, and returns true.
+  bool lookup(const std::string &Key, core::LiftResult &Out);
+
+  /// Inserts (or refreshes) \p Key. Evicts the least-recently-used entry of
+  /// the shard when it is full.
+  void insert(const std::string &Key, const core::LiftResult &Result);
+
+  CacheStats stats() const;
+
+  size_t capacity() const { return TotalCapacity; }
+  int shardCount() const { return static_cast<int>(ShardStore.size()); }
+
+private:
+  struct Entry {
+    std::string Key;
+    core::LiftResult Result;
+  };
+
+  /// One independently locked LRU segment: list front = most recent.
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::list<Entry> Lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> Index;
+    size_t Capacity = 0;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Insertions = 0;
+  };
+
+  Shard &shardFor(const std::string &Key);
+
+  size_t TotalCapacity;
+  std::vector<std::unique_ptr<Shard>> ShardStore;
+};
+
+/// Renders "hits H misses M ... (rate R%)" for --cache-stats output.
+std::string formatCacheStats(const CacheStats &Stats);
+
+} // namespace serve
+} // namespace stagg
+
+#endif // STAGG_SERVE_RESULTCACHE_H

@@ -2,6 +2,7 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cctype>
 
 using namespace stagg;
@@ -56,4 +57,79 @@ std::string stagg::joinStrings(const std::vector<std::string> &Parts,
 bool stagg::startsWith(const std::string &Text, const std::string &Prefix) {
   return Text.size() >= Prefix.size() &&
          Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string stagg::normalizeKernelText(const std::string &Source) {
+  std::string Out;
+  Out.reserve(Source.size());
+  bool PendingSpace = false;
+  for (size_t I = 0; I < Source.size();) {
+    char C = Source[I];
+    // String and character literals are copied verbatim — a `//` or
+    // whitespace inside one is content, not a comment or separator.
+    if (C == '"' || C == '\'') {
+      if (PendingSpace && !Out.empty())
+        Out += ' ';
+      PendingSpace = false;
+      char Quote = C;
+      Out += Source[I++];
+      while (I < Source.size()) {
+        Out += Source[I];
+        if (Source[I] == '\\' && I + 1 < Source.size()) {
+          Out += Source[I + 1];
+          I += 2;
+          continue;
+        }
+        if (Source[I] == Quote) {
+          ++I;
+          break;
+        }
+        ++I;
+      }
+      continue;
+    }
+    if (C == '/' && I + 1 < Source.size() && Source[I + 1] == '/') {
+      while (I < Source.size() && Source[I] != '\n')
+        ++I;
+      PendingSpace = true;
+      continue;
+    }
+    if (C == '/' && I + 1 < Source.size() && Source[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < Source.size() &&
+             !(Source[I] == '*' && Source[I + 1] == '/'))
+        ++I;
+      I = I + 1 < Source.size() ? I + 2 : Source.size();
+      PendingSpace = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      PendingSpace = true;
+      ++I;
+      continue;
+    }
+    if (PendingSpace && !Out.empty())
+      Out += ' ';
+    PendingSpace = false;
+    Out += C;
+    ++I;
+  }
+  return Out;
+}
+
+size_t stagg::editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diagonal = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Above = Row[J];
+      size_t Substitute = Diagonal + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Row[J] = std::min({Above + 1, Row[J - 1] + 1, Substitute});
+      Diagonal = Above;
+    }
+  }
+  return Row[B.size()];
 }

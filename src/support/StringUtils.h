@@ -34,6 +34,19 @@ std::string joinStrings(const std::vector<std::string> &Parts,
 /// Returns true if \p Text begins with \p Prefix.
 bool startsWith(const std::string &Text, const std::string &Prefix);
 
+/// Canonicalizes C kernel text for use as a cache key: strips `//` and
+/// `/* */` comments (string/char literals are preserved verbatim),
+/// collapses every whitespace *run* to a single space, and trims the ends.
+/// Formattings that differ only in comments, indentation, or the width of
+/// existing separators normalize identically; inserting or removing a
+/// separator between tokens (`y[i]=x` vs `y[i] = x`), like any token
+/// change, produces a different key — a conservative miss, never a wrong
+/// hit.
+std::string normalizeKernelText(const std::string &Source);
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t editDistance(const std::string &A, const std::string &B);
+
 } // namespace stagg
 
 #endif // STAGG_SUPPORT_STRINGUTILS_H

@@ -121,6 +121,84 @@ TEST(DriverCli, ExecutionAndOutputFlags) {
   EXPECT_TRUE(P.Options.Verbose);
 }
 
+TEST(DriverCli, ServeModeAndServingKnobs) {
+  CliParse P = parse({"serve", "--queue-depth", "16", "--batch=4",
+                      "--batch-wait-us", "500", "--cache-capacity", "32",
+                      "--cache-shards=2", "--cache-stats", "--input",
+                      "/tmp/requests.txt"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Mode, DriverMode::Serve);
+  EXPECT_EQ(P.Options.Config.Serve.QueueDepth, 16);
+  EXPECT_EQ(P.Options.Config.Serve.BatchSize, 4);
+  EXPECT_EQ(P.Options.Config.Serve.BatchWaitMicros, 500);
+  EXPECT_EQ(P.Options.Config.Serve.CacheCapacity, 32u);
+  EXPECT_EQ(P.Options.Config.Serve.CacheShards, 2);
+  EXPECT_TRUE(P.Options.ShowCacheStats);
+  EXPECT_EQ(P.Options.InputPath, "/tmp/requests.txt");
+
+  // Defaults leave batch-mode execution untouched.
+  P = parse({});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Mode, DriverMode::Run);
+  core::ServeOptions Reference;
+  EXPECT_EQ(P.Options.Config.Serve.QueueDepth, Reference.QueueDepth);
+  EXPECT_EQ(P.Options.Config.Serve.BatchSize, Reference.BatchSize);
+  EXPECT_EQ(P.Options.Config.Serve.CacheCapacity, Reference.CacheCapacity);
+
+  // Zero means "off" for the cache and the wait, but the structural knobs
+  // reject it.
+  EXPECT_TRUE(parse({"--cache-capacity", "0"}).ok());
+  EXPECT_TRUE(parse({"--batch-wait-us", "0"}).ok());
+  EXPECT_FALSE(parse({"--queue-depth", "0"}).ok());
+  EXPECT_FALSE(parse({"--batch", "0"}).ok());
+  EXPECT_FALSE(parse({"--cache-shards", "0"}).ok());
+  EXPECT_FALSE(parse({"--queue-depth", "-1"}).ok());
+
+  // --input without the serve subcommand would silently run the default
+  // suite; reject it instead.
+  P = parse({"--input", "/tmp/requests.txt"});
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.Error.find("serve"), std::string::npos) << P.Error;
+
+  // And the mirror image: batch-only flags are meaningless under `serve`
+  // (requests come from the input stream), so ignoring them would lie.
+  EXPECT_FALSE(parse({"serve", "--suite", "blas"}).ok());
+  EXPECT_FALSE(parse({"serve", "--limit", "3"}).ok());
+  EXPECT_FALSE(parse({"serve", "--csv", "/tmp/out.csv"}).ok());
+  EXPECT_FALSE(parse({"serve", "--format", "csv"}).ok());
+  EXPECT_FALSE(parse({"serve", "--list"}).ok());
+  P = parse({"serve", "--csv", "/tmp/out.csv"});
+  EXPECT_NE(P.Error.find("--csv"), std::string::npos) << P.Error;
+  // Shared flags stay valid in both modes.
+  EXPECT_TRUE(parse({"serve", "--threads", "2", "--seed", "3"}).ok());
+  EXPECT_TRUE(parse({"serve", "--help"}).ok());
+}
+
+TEST(DriverCli, UnknownFlagSuggestsNearestSpelling) {
+  // A typo close to a real flag gets a "did you mean" hint...
+  CliParse P = parse({"--thread", "2"});
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.Error.find("did you mean '--threads'"), std::string::npos)
+      << P.Error;
+
+  P = parse({"--cach-stats"});
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.Error.find("did you mean '--cache-stats'"), std::string::npos)
+      << P.Error;
+
+  // ...gibberish does not.
+  P = parse({"--zzzzqqqq"});
+  ASSERT_FALSE(P.ok());
+  EXPECT_EQ(P.Error.find("did you mean"), std::string::npos) << P.Error;
+
+  // Unknown subcommands are errors too, with the same courtesy.
+  P = parse({"srve"});
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.Error.find("did you mean 'serve'"), std::string::npos)
+      << P.Error;
+  EXPECT_FALSE(parse({"frobnicate"}).ok());
+}
+
 TEST(DriverCli, Diagnostics) {
   EXPECT_FALSE(parse({"--no-such-flag"}).ok());
   EXPECT_FALSE(parse({"--suite"}).ok());          // missing value

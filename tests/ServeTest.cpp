@@ -1,0 +1,442 @@
+//===- tests/ServeTest.cpp - Serving-layer behavior -----------------------===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+// Pins down the serving layer's contracts: the bounded queue's blocking and
+// backpressure semantics, LRU eviction and counters in the sharded result
+// cache, round coalescing in the batching oracle, cache-hit determinism
+// (a second lift of identical kernel text never reaches the oracle),
+// batched-vs-unbatched bit-identity, and schedule independence under
+// concurrent clients.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/LiftService.h"
+
+#include "llm/SimulatedLlm.h"
+#include "support/StringUtils.h"
+#include "taco/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace stagg;
+using namespace stagg::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// RequestQueue
+//===----------------------------------------------------------------------===//
+
+LiftRequest requestFor(const bench::Benchmark *B) {
+  LiftRequest R;
+  R.Query = B;
+  return R;
+}
+
+TEST(RequestQueue, FifoAndSize) {
+  const std::vector<bench::Benchmark> &All = bench::allBenchmarks();
+  RequestQueue Q(4);
+  EXPECT_EQ(Q.depth(), 4);
+  EXPECT_EQ(Q.size(), 0u);
+
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(Q.push(requestFor(&All[static_cast<size_t>(I)])));
+  EXPECT_EQ(Q.size(), 3u);
+
+  LiftRequest Out;
+  for (int I = 0; I < 3; ++I) {
+    ASSERT_TRUE(Q.pop(Out));
+    EXPECT_EQ(Out.Query, &All[static_cast<size_t>(I)]);
+  }
+  EXPECT_EQ(Q.size(), 0u);
+}
+
+TEST(RequestQueue, BackpressureTryPushFailsWhenFull) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  RequestQueue Q(2);
+  LiftRequest A = requestFor(&B);
+  LiftRequest C = requestFor(&B);
+  LiftRequest D = requestFor(&B);
+  EXPECT_TRUE(Q.tryPush(std::move(A)));
+  EXPECT_TRUE(Q.tryPush(std::move(C)));
+  // Full: the client feels backpressure, and D is not moved from.
+  EXPECT_FALSE(Q.tryPush(std::move(D)));
+  EXPECT_EQ(Q.size(), 2u);
+
+  LiftRequest Out;
+  ASSERT_TRUE(Q.pop(Out));
+  EXPECT_TRUE(Q.tryPush(std::move(D))); // one slot drained, admission resumes
+}
+
+TEST(RequestQueue, PushBlocksUntilDrained) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  RequestQueue Q(1);
+  LiftRequest First = requestFor(&B);
+  ASSERT_TRUE(Q.push(std::move(First)));
+
+  std::atomic<bool> Admitted{false};
+  std::thread Producer([&] {
+    Q.push(requestFor(&B)); // must block: depth 1, queue full
+    Admitted = true;
+  });
+
+  // The producer cannot finish before a consumer makes room.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(Admitted.load());
+
+  LiftRequest Out;
+  ASSERT_TRUE(Q.pop(Out));
+  Producer.join();
+  EXPECT_TRUE(Admitted.load());
+  EXPECT_EQ(Q.size(), 1u);
+}
+
+TEST(RequestQueue, CloseDrainsThenStops) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  RequestQueue Q(4);
+  ASSERT_TRUE(Q.push(requestFor(&B)));
+  Q.close();
+  EXPECT_TRUE(Q.closed());
+
+  LiftRequest Rejected = requestFor(&B);
+  EXPECT_FALSE(Q.push(std::move(Rejected)));
+
+  LiftRequest Out;
+  EXPECT_TRUE(Q.pop(Out)); // pending work survives close
+  EXPECT_FALSE(Q.pop(Out)); // drained: consumers exit
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache
+//===----------------------------------------------------------------------===//
+
+core::LiftResult resultTagged(int Attempts) {
+  core::LiftResult R;
+  R.Solved = true;
+  R.Attempts = Attempts;
+  return R;
+}
+
+TEST(ResultCache, KeyNormalizesWhitespaceAndComments) {
+  std::string A = "void f(int n) { /* copy */\n  y[i] = x[i]; // elementwise\n}";
+  std::string B = "void f(int n)   {\n\n y[i]\t= x[i];\n }";
+  EXPECT_EQ(ResultCache::keyFor(A), ResultCache::keyFor(B));
+  EXPECT_NE(ResultCache::keyFor(A),
+            ResultCache::keyFor("void f(int n) { y[i] = z[i]; }"));
+  // Normalization must not glue tokens together.
+  EXPECT_EQ(normalizeKernelText("int a; /*x*/ int b;"), "int a; int b;");
+  // Comment-like sequences and whitespace inside string/char literals are
+  // content, not comments: stripping them would alias distinct kernels.
+  EXPECT_EQ(normalizeKernelText("f(\"a//b  c\");"), "f(\"a//b  c\");");
+  EXPECT_EQ(normalizeKernelText("g(\"/*\", '\\'');"), "g(\"/*\", '\\'');");
+  EXPECT_NE(normalizeKernelText("f(\"a//b\"); x = 1;"),
+            normalizeKernelText("f(\"a//c\"); x = 1;"));
+}
+
+TEST(ResultCache, HitMissAndCounters) {
+  ResultCache Cache(8, 2);
+  core::LiftResult Out;
+  EXPECT_FALSE(Cache.lookup("k1", Out));
+  Cache.insert("k1", resultTagged(7));
+  ASSERT_TRUE(Cache.lookup("k1", Out));
+  EXPECT_EQ(Out.Attempts, 7);
+
+  CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Insertions, 1u);
+  EXPECT_EQ(Stats.Entries, 1u);
+  EXPECT_DOUBLE_EQ(Stats.hitRate(), 0.5);
+
+  std::string Line = formatCacheStats(Stats);
+  EXPECT_NE(Line.find("hits 1"), std::string::npos);
+  EXPECT_NE(Line.find("misses 1"), std::string::npos);
+}
+
+TEST(ResultCache, LruEvictionPerShard) {
+  // One shard makes the LRU order fully observable.
+  ResultCache Cache(2, 1);
+  Cache.insert("a", resultTagged(1));
+  Cache.insert("b", resultTagged(2));
+
+  core::LiftResult Out;
+  ASSERT_TRUE(Cache.lookup("a", Out)); // refreshes "a"; "b" is now LRU
+  Cache.insert("c", resultTagged(3));  // evicts "b"
+
+  EXPECT_TRUE(Cache.lookup("a", Out));
+  EXPECT_FALSE(Cache.lookup("b", Out));
+  EXPECT_TRUE(Cache.lookup("c", Out));
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache Cache(0, 4);
+  Cache.insert("k", resultTagged(1));
+  core::LiftResult Out;
+  EXPECT_FALSE(Cache.lookup("k", Out));
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+TEST(ResultCache, ShardsNeverExceedCapacity) {
+  // 5 entries over 4 shards: capacity splits 2/1/1/1.
+  ResultCache Cache(5, 4);
+  EXPECT_EQ(Cache.shardCount(), 4);
+  for (int I = 0; I < 64; ++I)
+    Cache.insert("key" + std::to_string(I), resultTagged(I));
+  EXPECT_LE(Cache.stats().Entries, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// BatchingOracle
+//===----------------------------------------------------------------------===//
+
+/// Counts propose() calls through to a SimulatedLlm.
+class CountingOracle : public llm::CandidateOracle {
+public:
+  CountingOracle(uint64_t Seed, std::shared_ptr<std::atomic<uint64_t>> Calls)
+      : Inner(Seed), Calls(std::move(Calls)) {}
+
+  std::vector<std::string> propose(const llm::OracleTask &Task) override {
+    Calls->fetch_add(1);
+    return Inner.propose(Task);
+  }
+
+private:
+  llm::SimulatedLlm Inner;
+  std::shared_ptr<std::atomic<uint64_t>> Calls;
+};
+
+llm::OracleTask taskFor(const bench::Benchmark &B) {
+  llm::OracleTask Task;
+  Task.Query = &B;
+  Task.NumCandidates = 10;
+  return Task;
+}
+
+TEST(BatchingOracle, MatchesInnerBitForBit) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  llm::SimulatedLlm Reference(99);
+  llm::SimulatedLlm Inner(99);
+  BatchingOracle Batched(Inner, 4, /*BatchWaitMicros=*/1000);
+
+  llm::OracleTask Task = taskFor(B);
+  EXPECT_EQ(Batched.propose(Task), Reference.propose(Task));
+  EXPECT_EQ(Batched.stats().ProposeCalls, 1u);
+  EXPECT_EQ(Batched.stats().Rounds, 1u);
+}
+
+TEST(BatchingOracle, CoalescesConcurrentCallsIntoRounds) {
+  const std::vector<bench::Benchmark> &All = bench::allBenchmarks();
+  // More clients than the batch bound: coalescing must happen, but no
+  // round may ever exceed BatchSize (backends can have hard limits).
+  const int Clients = 6;
+  const int BatchBound = 3;
+  llm::SimulatedLlm Inner(7);
+  // A generous wait so concurrent clients land in shared rounds even
+  // under load.
+  BatchingOracle Batched(Inner, BatchBound, /*BatchWaitMicros=*/200000);
+
+  std::vector<std::vector<std::string>> Got(Clients);
+  std::vector<std::thread> Pool;
+  for (int C = 0; C < Clients; ++C)
+    Pool.emplace_back([&, C] {
+      llm::OracleTask Task = taskFor(All[static_cast<size_t>(C)]);
+      Got[static_cast<size_t>(C)] = Batched.propose(Task);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  BatchingStats Stats = Batched.stats();
+  EXPECT_EQ(Stats.ProposeCalls, 6u);
+  EXPECT_LT(Stats.Rounds, 6u); // at least some coalescing happened
+  EXPECT_GE(Stats.MaxBatch, 2u);
+  EXPECT_LE(Stats.MaxBatch, static_cast<uint64_t>(BatchBound));
+
+  // Fan-out gave every client exactly its own task's candidates.
+  llm::SimulatedLlm Reference(7);
+  for (int C = 0; C < Clients; ++C) {
+    llm::OracleTask Task = taskFor(All[static_cast<size_t>(C)]);
+    EXPECT_EQ(Got[static_cast<size_t>(C)], Reference.propose(Task)) << C;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LiftService
+//===----------------------------------------------------------------------===//
+
+ServiceConfig miniService(int Threads) {
+  ServiceConfig Config;
+  Config.Threads = Threads;
+  Config.OracleSeed = 20250411;
+  // Artificial kernels lift in milliseconds; the budget is generous so no
+  // lift ever times out even on a loaded or sanitized CI machine — timeout
+  // results are deliberately uncacheable, which would break the cache-hit
+  // assertions below.
+  Config.Config.Search.TimeoutSeconds = 30;
+  return Config;
+}
+
+/// A factory whose oracles share one propose() counter.
+OracleFactory countingFactory(std::shared_ptr<std::atomic<uint64_t>> Calls) {
+  return [Calls](uint64_t Seed) -> std::unique_ptr<llm::CandidateOracle> {
+    return std::make_unique<CountingOracle>(Seed, Calls);
+  };
+}
+
+TEST(LiftService, CacheHitSkipsTheOracle) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  auto Calls = std::make_shared<std::atomic<uint64_t>>(0);
+  LiftService Service(miniService(2), countingFactory(Calls));
+
+  LiftResponse First = Service.lift(B);
+  EXPECT_FALSE(First.CacheHit);
+  // Precondition for everything below: a timed-out result would not have
+  // been cached.
+  ASSERT_NE(First.Result.FailReason, "timeout");
+  uint64_t AfterFirst = Calls->load();
+  EXPECT_GE(AfterFirst, 1u);
+
+  // Identical kernel text: answered from the cache, no oracle traffic.
+  LiftResponse Second = Service.lift(B);
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(Calls->load(), AfterFirst);
+
+  EXPECT_EQ(First.Result.Solved, Second.Result.Solved);
+  EXPECT_EQ(First.Result.Attempts, Second.Result.Attempts);
+  EXPECT_EQ(taco::printProgram(First.Result.Concrete),
+            taco::printProgram(Second.Result.Concrete));
+
+  CacheStats Stats = Service.cacheStats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+}
+
+TEST(LiftService, DisabledCacheAlwaysRunsThePipeline) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  auto Calls = std::make_shared<std::atomic<uint64_t>>(0);
+  ServiceConfig Config = miniService(1);
+  Config.Config.Serve.CacheCapacity = 0;
+  LiftService Service(Config, countingFactory(Calls));
+
+  Service.lift(B);
+  uint64_t AfterFirst = Calls->load();
+  LiftResponse Second = Service.lift(B);
+  EXPECT_FALSE(Second.CacheHit);
+  EXPECT_GT(Calls->load(), AfterFirst);
+}
+
+TEST(LiftService, BatchedMatchesUnbatchedBitForBit) {
+  // The whole artificial suite through a batch-4 service and a batch-less
+  // one: per-benchmark results must be identical, program text included.
+  std::vector<const bench::Benchmark *> Suite;
+  for (const bench::Benchmark &B : bench::allBenchmarks())
+    if (B.Category == "artificial")
+      Suite.push_back(&B);
+  ASSERT_EQ(Suite.size(), 10u);
+
+  ServiceConfig Plain = miniService(4);
+  ServiceConfig Batched = miniService(4);
+  Batched.Config.Serve.BatchSize = 4;
+  Batched.Config.Serve.BatchWaitMicros = 2000;
+
+  auto runAll = [&Suite](ServiceConfig Config) {
+    LiftService Service(std::move(Config));
+    std::vector<std::future<LiftResponse>> Replies;
+    for (const bench::Benchmark *B : Suite)
+      Replies.push_back(Service.submit(*B));
+    std::vector<LiftResponse> Out;
+    for (std::future<LiftResponse> &F : Replies)
+      Out.push_back(F.get());
+    return Out;
+  };
+
+  std::vector<LiftResponse> A = runAll(Plain);
+  std::vector<LiftResponse> C = runAll(Batched);
+  ASSERT_EQ(A.size(), C.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Result.Solved, C[I].Result.Solved) << A[I].Benchmark;
+    EXPECT_EQ(A[I].Result.Attempts, C[I].Result.Attempts) << A[I].Benchmark;
+    EXPECT_EQ(taco::printProgram(A[I].Result.Concrete),
+              taco::printProgram(C[I].Result.Concrete))
+        << A[I].Benchmark;
+  }
+}
+
+TEST(LiftService, ConcurrentClientsScheduleIndependence) {
+  // Three client threads hammer one service with interleaved, repeating
+  // requests over a deliberately tiny queue; every response must equal the
+  // sequential reference regardless of worker/queue scheduling.
+  std::vector<const bench::Benchmark *> Suite;
+  for (const bench::Benchmark &B : bench::allBenchmarks())
+    if (B.Category == "artificial")
+      Suite.push_back(&B);
+  size_t Take = 4;
+  ASSERT_GE(Suite.size(), Take);
+  Suite.resize(Take);
+
+  std::vector<LiftResponse> Reference;
+  {
+    LiftService Sequential(miniService(1));
+    for (const bench::Benchmark *B : Suite)
+      Reference.push_back(Sequential.lift(*B));
+  }
+
+  ServiceConfig Config = miniService(3);
+  Config.Config.Serve.QueueDepth = 2; // force backpressure on the clients
+  LiftService Service(Config);
+
+  const int Clients = 3;
+  const int Rounds = 3;
+  std::vector<std::vector<LiftResponse>> PerClient(Clients);
+  std::vector<std::thread> Pool;
+  for (int C = 0; C < Clients; ++C)
+    Pool.emplace_back([&, C] {
+      for (int R = 0; R < Rounds; ++R)
+        for (size_t I = 0; I < Suite.size(); ++I) {
+          // Stagger the order per client so schedules genuinely differ.
+          size_t Pick = (I + static_cast<size_t>(C + R)) % Suite.size();
+          PerClient[static_cast<size_t>(C)].push_back(
+              Service.lift(*Suite[Pick]));
+        }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (int C = 0; C < Clients; ++C)
+    for (const LiftResponse &Got : PerClient[static_cast<size_t>(C)]) {
+      size_t Index = 0;
+      while (Index < Suite.size() && Suite[Index]->Name != Got.Benchmark)
+        ++Index;
+      ASSERT_LT(Index, Suite.size()) << Got.Benchmark;
+      const LiftResponse &Want = Reference[Index];
+      EXPECT_EQ(Got.Result.Solved, Want.Result.Solved) << Got.Benchmark;
+      EXPECT_EQ(Got.Result.Attempts, Want.Result.Attempts) << Got.Benchmark;
+      EXPECT_EQ(taco::printProgram(Got.Result.Concrete),
+                taco::printProgram(Want.Result.Concrete))
+          << Got.Benchmark;
+    }
+
+  // 3 clients x 3 rounds x 4 kernels = 36 requests over 4 distinct kernels.
+  CacheStats Stats = Service.cacheStats();
+  EXPECT_EQ(Stats.Hits + Stats.Misses, 36u);
+  // Worst case every kernel misses once per in-flight worker (3), so at
+  // least 36 - 4*3 hits; typically it is 32 of 36.
+  EXPECT_GE(Stats.Hits, 24u);
+}
+
+TEST(LiftService, SubmitAfterShutdownFailsFast) {
+  const bench::Benchmark &B = bench::allBenchmarks().front();
+  LiftService Service(miniService(1));
+  Service.shutdown();
+  LiftResponse Response = Service.lift(B);
+  EXPECT_FALSE(Response.Result.Solved);
+  EXPECT_NE(Response.Result.FailReason.find("shut down"), std::string::npos);
+}
+
+} // namespace
