@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_success.dir/fig10_success.cpp.o"
+  "CMakeFiles/fig10_success.dir/fig10_success.cpp.o.d"
+  "fig10_success"
+  "fig10_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_grammar_success.cpp" "bench/CMakeFiles/fig11_grammar_success.dir/fig11_grammar_success.cpp.o" "gcc" "bench/CMakeFiles/fig11_grammar_success.dir/fig11_grammar_success.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/stagg_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/stagg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/stagg_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/stagg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/search/CMakeFiles/stagg_search.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/grammar/CMakeFiles/stagg_grammar.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/verify/CMakeFiles/stagg_verify.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/validate/CMakeFiles/stagg_validate.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cfront/CMakeFiles/stagg_cfront.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/llm/CMakeFiles/stagg_llm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/benchsuite/CMakeFiles/stagg_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taco/CMakeFiles/stagg_taco.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/stagg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_grammar_success.dir/fig11_grammar_success.cpp.o"
+  "CMakeFiles/fig11_grammar_success.dir/fig11_grammar_success.cpp.o.d"
+  "fig11_grammar_success"
+  "fig11_grammar_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_grammar_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

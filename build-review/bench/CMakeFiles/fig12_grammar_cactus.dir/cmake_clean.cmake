@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_grammar_cactus.dir/fig12_grammar_cactus.cpp.o"
+  "CMakeFiles/fig12_grammar_cactus.dir/fig12_grammar_cactus.cpp.o.d"
+  "fig12_grammar_cactus"
+  "fig12_grammar_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_grammar_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

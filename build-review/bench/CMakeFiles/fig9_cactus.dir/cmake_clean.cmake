@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cactus.dir/fig9_cactus.cpp.o"
+  "CMakeFiles/fig9_cactus.dir/fig9_cactus.cpp.o.d"
+  "fig9_cactus"
+  "fig9_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

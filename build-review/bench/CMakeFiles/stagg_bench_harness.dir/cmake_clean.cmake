@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/stagg_bench_harness.dir/Harness.cpp.o.d"
+  "libstagg_bench_harness.a"
+  "libstagg_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

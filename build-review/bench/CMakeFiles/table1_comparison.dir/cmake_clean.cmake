@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_comparison.dir/table1_comparison.cpp.o"
+  "CMakeFiles/table1_comparison.dir/table1_comparison.cpp.o.d"
+  "table1_comparison"
+  "table1_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

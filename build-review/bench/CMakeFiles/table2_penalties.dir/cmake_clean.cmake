@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_penalties.dir/table2_penalties.cpp.o"
+  "CMakeFiles/table2_penalties.dir/table2_penalties.cpp.o.d"
+  "table2_penalties"
+  "table2_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

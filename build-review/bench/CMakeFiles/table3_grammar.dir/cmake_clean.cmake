@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_grammar.dir/table3_grammar.cpp.o"
+  "CMakeFiles/table3_grammar.dir/table3_grammar.cpp.o.d"
+  "table3_grammar"
+  "table3_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

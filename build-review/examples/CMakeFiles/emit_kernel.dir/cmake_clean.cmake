@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_kernel.dir/emit_kernel.cpp.o"
+  "CMakeFiles/emit_kernel.dir/emit_kernel.cpp.o.d"
+  "emit_kernel"
+  "emit_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

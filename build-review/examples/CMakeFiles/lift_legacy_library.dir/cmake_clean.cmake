@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_legacy_library.dir/lift_legacy_library.cpp.o"
+  "CMakeFiles/lift_legacy_library.dir/lift_legacy_library.cpp.o.d"
+  "lift_legacy_library"
+  "lift_legacy_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_legacy_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lift_legacy_library.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llama_port.dir/llama_port.cpp.o"
+  "CMakeFiles/llama_port.dir/llama_port.cpp.o.d"
+  "llama_port"
+  "llama_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llama_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for llama_port.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_anatomy.dir/solver_anatomy.cpp.o"
+  "CMakeFiles/solver_anatomy.dir/solver_anatomy.cpp.o.d"
+  "solver_anatomy"
+  "solver_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

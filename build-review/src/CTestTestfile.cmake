@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("cfront")
+subdirs("taco")
+subdirs("analysis")
+subdirs("benchsuite")
+subdirs("grammar")
+subdirs("llm")
+subdirs("search")
+subdirs("validate")
+subdirs("verify")
+subdirs("core")
+subdirs("baselines")
+subdirs("serve")
+subdirs("driver")

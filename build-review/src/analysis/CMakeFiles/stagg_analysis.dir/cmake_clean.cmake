@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_analysis.dir/Affine.cpp.o"
+  "CMakeFiles/stagg_analysis.dir/Affine.cpp.o.d"
+  "CMakeFiles/stagg_analysis.dir/KernelAnalysis.cpp.o"
+  "CMakeFiles/stagg_analysis.dir/KernelAnalysis.cpp.o.d"
+  "libstagg_analysis.a"
+  "libstagg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

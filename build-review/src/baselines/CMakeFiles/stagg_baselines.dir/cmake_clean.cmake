@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_baselines.dir/C2Taco.cpp.o"
+  "CMakeFiles/stagg_baselines.dir/C2Taco.cpp.o.d"
+  "CMakeFiles/stagg_baselines.dir/LlmOnly.cpp.o"
+  "CMakeFiles/stagg_baselines.dir/LlmOnly.cpp.o.d"
+  "CMakeFiles/stagg_baselines.dir/Tenspiler.cpp.o"
+  "CMakeFiles/stagg_baselines.dir/Tenspiler.cpp.o.d"
+  "libstagg_baselines.a"
+  "libstagg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsuite/Benchmark.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/Benchmark.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/Benchmark.cpp.o.d"
+  "/root/repo/src/benchsuite/SuiteArtificial.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteArtificial.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteArtificial.cpp.o.d"
+  "/root/repo/src/benchsuite/SuiteBlas.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteBlas.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteBlas.cpp.o.d"
+  "/root/repo/src/benchsuite/SuiteDarknet.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteDarknet.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteDarknet.cpp.o.d"
+  "/root/repo/src/benchsuite/SuiteDsp.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteDsp.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteDsp.cpp.o.d"
+  "/root/repo/src/benchsuite/SuiteLlama.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteLlama.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteLlama.cpp.o.d"
+  "/root/repo/src/benchsuite/SuiteMisc.cpp" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteMisc.cpp.o" "gcc" "src/benchsuite/CMakeFiles/stagg_benchsuite.dir/SuiteMisc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/taco/CMakeFiles/stagg_taco.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/stagg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

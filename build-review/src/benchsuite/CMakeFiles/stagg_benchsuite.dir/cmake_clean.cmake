@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_benchsuite.dir/Benchmark.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/Benchmark.cpp.o.d"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteArtificial.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteArtificial.cpp.o.d"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteBlas.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteBlas.cpp.o.d"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteDarknet.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteDarknet.cpp.o.d"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteDsp.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteDsp.cpp.o.d"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteLlama.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteLlama.cpp.o.d"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteMisc.cpp.o"
+  "CMakeFiles/stagg_benchsuite.dir/SuiteMisc.cpp.o.d"
+  "libstagg_benchsuite.a"
+  "libstagg_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

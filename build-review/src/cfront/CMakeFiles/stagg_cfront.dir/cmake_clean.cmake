@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_cfront.dir/Lexer.cpp.o"
+  "CMakeFiles/stagg_cfront.dir/Lexer.cpp.o.d"
+  "CMakeFiles/stagg_cfront.dir/Parser.cpp.o"
+  "CMakeFiles/stagg_cfront.dir/Parser.cpp.o.d"
+  "libstagg_cfront.a"
+  "libstagg_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_core.dir/Stagg.cpp.o"
+  "CMakeFiles/stagg_core.dir/Stagg.cpp.o.d"
+  "libstagg_core.a"
+  "libstagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

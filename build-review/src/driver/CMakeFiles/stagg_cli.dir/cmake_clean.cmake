@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../stagg"
+  "../../stagg.pdb"
+  "CMakeFiles/stagg_cli.dir/Main.cpp.o"
+  "CMakeFiles/stagg_cli.dir/Main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

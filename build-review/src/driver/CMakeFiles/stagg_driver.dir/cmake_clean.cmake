@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_driver.dir/Cli.cpp.o"
+  "CMakeFiles/stagg_driver.dir/Cli.cpp.o.d"
+  "CMakeFiles/stagg_driver.dir/ServeCommand.cpp.o"
+  "CMakeFiles/stagg_driver.dir/ServeCommand.cpp.o.d"
+  "CMakeFiles/stagg_driver.dir/SuiteRunner.cpp.o"
+  "CMakeFiles/stagg_driver.dir/SuiteRunner.cpp.o.d"
+  "libstagg_driver.a"
+  "libstagg_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_grammar.dir/DimensionList.cpp.o"
+  "CMakeFiles/stagg_grammar.dir/DimensionList.cpp.o.d"
+  "CMakeFiles/stagg_grammar.dir/Pcfg.cpp.o"
+  "CMakeFiles/stagg_grammar.dir/Pcfg.cpp.o.d"
+  "CMakeFiles/stagg_grammar.dir/Template.cpp.o"
+  "CMakeFiles/stagg_grammar.dir/Template.cpp.o.d"
+  "libstagg_grammar.a"
+  "libstagg_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

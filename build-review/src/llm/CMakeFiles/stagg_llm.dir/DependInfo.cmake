@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/Prompt.cpp" "src/llm/CMakeFiles/stagg_llm.dir/Prompt.cpp.o" "gcc" "src/llm/CMakeFiles/stagg_llm.dir/Prompt.cpp.o.d"
+  "/root/repo/src/llm/ResponseParser.cpp" "src/llm/CMakeFiles/stagg_llm.dir/ResponseParser.cpp.o" "gcc" "src/llm/CMakeFiles/stagg_llm.dir/ResponseParser.cpp.o.d"
+  "/root/repo/src/llm/SimulatedLlm.cpp" "src/llm/CMakeFiles/stagg_llm.dir/SimulatedLlm.cpp.o" "gcc" "src/llm/CMakeFiles/stagg_llm.dir/SimulatedLlm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/benchsuite/CMakeFiles/stagg_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/stagg_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/taco/CMakeFiles/stagg_taco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

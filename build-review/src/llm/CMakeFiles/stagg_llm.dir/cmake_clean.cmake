@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_llm.dir/Prompt.cpp.o"
+  "CMakeFiles/stagg_llm.dir/Prompt.cpp.o.d"
+  "CMakeFiles/stagg_llm.dir/ResponseParser.cpp.o"
+  "CMakeFiles/stagg_llm.dir/ResponseParser.cpp.o.d"
+  "CMakeFiles/stagg_llm.dir/SimulatedLlm.cpp.o"
+  "CMakeFiles/stagg_llm.dir/SimulatedLlm.cpp.o.d"
+  "libstagg_llm.a"
+  "libstagg_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

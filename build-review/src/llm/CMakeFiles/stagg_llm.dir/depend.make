@@ -1,0 +1,2 @@
+# Empty dependencies file for stagg_llm.
+# This may be replaced when dependencies are built.

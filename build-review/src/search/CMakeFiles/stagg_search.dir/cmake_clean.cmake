@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_search.dir/BottomUp.cpp.o"
+  "CMakeFiles/stagg_search.dir/BottomUp.cpp.o.d"
+  "CMakeFiles/stagg_search.dir/CostModel.cpp.o"
+  "CMakeFiles/stagg_search.dir/CostModel.cpp.o.d"
+  "CMakeFiles/stagg_search.dir/Penalty.cpp.o"
+  "CMakeFiles/stagg_search.dir/Penalty.cpp.o.d"
+  "CMakeFiles/stagg_search.dir/TemplateState.cpp.o"
+  "CMakeFiles/stagg_search.dir/TemplateState.cpp.o.d"
+  "CMakeFiles/stagg_search.dir/TopDown.cpp.o"
+  "CMakeFiles/stagg_search.dir/TopDown.cpp.o.d"
+  "libstagg_search.a"
+  "libstagg_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

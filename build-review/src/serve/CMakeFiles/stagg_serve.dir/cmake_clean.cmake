@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_serve.dir/BatchingOracle.cpp.o"
+  "CMakeFiles/stagg_serve.dir/BatchingOracle.cpp.o.d"
+  "CMakeFiles/stagg_serve.dir/LiftService.cpp.o"
+  "CMakeFiles/stagg_serve.dir/LiftService.cpp.o.d"
+  "CMakeFiles/stagg_serve.dir/RequestQueue.cpp.o"
+  "CMakeFiles/stagg_serve.dir/RequestQueue.cpp.o.d"
+  "CMakeFiles/stagg_serve.dir/ResultCache.cpp.o"
+  "CMakeFiles/stagg_serve.dir/ResultCache.cpp.o.d"
+  "libstagg_serve.a"
+  "libstagg_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Rational.cpp" "src/support/CMakeFiles/stagg_support.dir/Rational.cpp.o" "gcc" "src/support/CMakeFiles/stagg_support.dir/Rational.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/support/CMakeFiles/stagg_support.dir/Rng.cpp.o" "gcc" "src/support/CMakeFiles/stagg_support.dir/Rng.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/stagg_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/stagg_support.dir/StringUtils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

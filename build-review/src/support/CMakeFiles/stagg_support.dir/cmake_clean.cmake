@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_support.dir/Rational.cpp.o"
+  "CMakeFiles/stagg_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/stagg_support.dir/Rng.cpp.o"
+  "CMakeFiles/stagg_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/stagg_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/stagg_support.dir/StringUtils.cpp.o.d"
+  "libstagg_support.a"
+  "libstagg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taco/Ast.cpp" "src/taco/CMakeFiles/stagg_taco.dir/Ast.cpp.o" "gcc" "src/taco/CMakeFiles/stagg_taco.dir/Ast.cpp.o.d"
+  "/root/repo/src/taco/Codegen.cpp" "src/taco/CMakeFiles/stagg_taco.dir/Codegen.cpp.o" "gcc" "src/taco/CMakeFiles/stagg_taco.dir/Codegen.cpp.o.d"
+  "/root/repo/src/taco/Lexer.cpp" "src/taco/CMakeFiles/stagg_taco.dir/Lexer.cpp.o" "gcc" "src/taco/CMakeFiles/stagg_taco.dir/Lexer.cpp.o.d"
+  "/root/repo/src/taco/Parser.cpp" "src/taco/CMakeFiles/stagg_taco.dir/Parser.cpp.o" "gcc" "src/taco/CMakeFiles/stagg_taco.dir/Parser.cpp.o.d"
+  "/root/repo/src/taco/Printer.cpp" "src/taco/CMakeFiles/stagg_taco.dir/Printer.cpp.o" "gcc" "src/taco/CMakeFiles/stagg_taco.dir/Printer.cpp.o.d"
+  "/root/repo/src/taco/Semantics.cpp" "src/taco/CMakeFiles/stagg_taco.dir/Semantics.cpp.o" "gcc" "src/taco/CMakeFiles/stagg_taco.dir/Semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/stagg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_taco.dir/Ast.cpp.o"
+  "CMakeFiles/stagg_taco.dir/Ast.cpp.o.d"
+  "CMakeFiles/stagg_taco.dir/Codegen.cpp.o"
+  "CMakeFiles/stagg_taco.dir/Codegen.cpp.o.d"
+  "CMakeFiles/stagg_taco.dir/Lexer.cpp.o"
+  "CMakeFiles/stagg_taco.dir/Lexer.cpp.o.d"
+  "CMakeFiles/stagg_taco.dir/Parser.cpp.o"
+  "CMakeFiles/stagg_taco.dir/Parser.cpp.o.d"
+  "CMakeFiles/stagg_taco.dir/Printer.cpp.o"
+  "CMakeFiles/stagg_taco.dir/Printer.cpp.o.d"
+  "CMakeFiles/stagg_taco.dir/Semantics.cpp.o"
+  "CMakeFiles/stagg_taco.dir/Semantics.cpp.o.d"
+  "libstagg_taco.a"
+  "libstagg_taco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_taco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_validate.dir/IoExamples.cpp.o"
+  "CMakeFiles/stagg_validate.dir/IoExamples.cpp.o.d"
+  "CMakeFiles/stagg_validate.dir/Validator.cpp.o"
+  "CMakeFiles/stagg_validate.dir/Validator.cpp.o.d"
+  "libstagg_validate.a"
+  "libstagg_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagg_verify.dir/BoundedVerifier.cpp.o"
+  "CMakeFiles/stagg_verify.dir/BoundedVerifier.cpp.o.d"
+  "libstagg_verify.a"
+  "libstagg_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagg_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

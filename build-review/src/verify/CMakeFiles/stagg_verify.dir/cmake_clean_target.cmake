@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstagg_verify.a"
+)

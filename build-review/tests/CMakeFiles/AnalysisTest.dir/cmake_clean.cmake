@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AnalysisTest"
+  "AnalysisTest.pdb"
+  "CMakeFiles/AnalysisTest.dir/AnalysisTest.cpp.o"
+  "CMakeFiles/AnalysisTest.dir/AnalysisTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AnalysisTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

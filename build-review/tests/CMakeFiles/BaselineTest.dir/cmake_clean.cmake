@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BaselineTest"
+  "BaselineTest.pdb"
+  "CMakeFiles/BaselineTest.dir/BaselineTest.cpp.o"
+  "CMakeFiles/BaselineTest.dir/BaselineTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BaselineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

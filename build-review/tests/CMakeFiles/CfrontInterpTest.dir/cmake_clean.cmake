@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CfrontInterpTest.dir/CfrontInterpTest.cpp.o"
+  "CMakeFiles/CfrontInterpTest.dir/CfrontInterpTest.cpp.o.d"
+  "CfrontInterpTest"
+  "CfrontInterpTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CfrontInterpTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CfrontParserTest.dir/CfrontParserTest.cpp.o"
+  "CMakeFiles/CfrontParserTest.dir/CfrontParserTest.cpp.o.d"
+  "CfrontParserTest"
+  "CfrontParserTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CfrontParserTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

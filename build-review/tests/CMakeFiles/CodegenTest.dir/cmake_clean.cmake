@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CodegenTest.dir/CodegenTest.cpp.o"
+  "CMakeFiles/CodegenTest.dir/CodegenTest.cpp.o.d"
+  "CodegenTest"
+  "CodegenTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CodegenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

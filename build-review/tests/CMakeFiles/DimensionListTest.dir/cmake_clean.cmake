@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DimensionListTest.dir/DimensionListTest.cpp.o"
+  "CMakeFiles/DimensionListTest.dir/DimensionListTest.cpp.o.d"
+  "DimensionListTest"
+  "DimensionListTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DimensionListTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DriverTest.dir/DriverTest.cpp.o"
+  "CMakeFiles/DriverTest.dir/DriverTest.cpp.o.d"
+  "DriverTest"
+  "DriverTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DriverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

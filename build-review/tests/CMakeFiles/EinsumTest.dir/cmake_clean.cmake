@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EinsumTest.dir/EinsumTest.cpp.o"
+  "CMakeFiles/EinsumTest.dir/EinsumTest.cpp.o.d"
+  "EinsumTest"
+  "EinsumTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EinsumTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for EinsumTest.
+# This may be replaced when dependencies are built.

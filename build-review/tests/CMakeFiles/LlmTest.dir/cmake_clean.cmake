@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LlmTest.dir/LlmTest.cpp.o"
+  "CMakeFiles/LlmTest.dir/LlmTest.cpp.o.d"
+  "LlmTest"
+  "LlmTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LlmTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

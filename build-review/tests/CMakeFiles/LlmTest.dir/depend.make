@@ -1,0 +1,2 @@
+# Empty dependencies file for LlmTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PcfgTest.dir/PcfgTest.cpp.o"
+  "CMakeFiles/PcfgTest.dir/PcfgTest.cpp.o.d"
+  "PcfgTest"
+  "PcfgTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PcfgTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PenaltyTest.dir/PenaltyTest.cpp.o"
+  "CMakeFiles/PenaltyTest.dir/PenaltyTest.cpp.o.d"
+  "PenaltyTest"
+  "PenaltyTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PenaltyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

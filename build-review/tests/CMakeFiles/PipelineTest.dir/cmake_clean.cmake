@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PipelineTest.dir/PipelineTest.cpp.o"
+  "CMakeFiles/PipelineTest.dir/PipelineTest.cpp.o.d"
+  "PipelineTest"
+  "PipelineTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PipelineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

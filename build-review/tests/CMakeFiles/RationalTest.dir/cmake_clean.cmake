@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RationalTest.dir/RationalTest.cpp.o"
+  "CMakeFiles/RationalTest.dir/RationalTest.cpp.o.d"
+  "RationalTest"
+  "RationalTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RationalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

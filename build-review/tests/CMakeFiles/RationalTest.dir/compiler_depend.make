@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for RationalTest.
+# This may be replaced when dependencies are built.

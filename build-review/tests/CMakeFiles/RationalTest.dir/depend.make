@@ -1,0 +1,2 @@
+# Empty dependencies file for RationalTest.
+# This may be replaced when dependencies are built.

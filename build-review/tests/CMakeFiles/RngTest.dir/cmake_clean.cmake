@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RngTest.dir/RngTest.cpp.o"
+  "CMakeFiles/RngTest.dir/RngTest.cpp.o.d"
+  "RngTest"
+  "RngTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RngTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SearchTest.dir/SearchTest.cpp.o"
+  "CMakeFiles/SearchTest.dir/SearchTest.cpp.o.d"
+  "SearchTest"
+  "SearchTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SearchTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

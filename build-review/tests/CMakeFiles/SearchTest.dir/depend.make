@@ -1,0 +1,2 @@
+# Empty dependencies file for SearchTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ServeTest.dir/ServeTest.cpp.o"
+  "CMakeFiles/ServeTest.dir/ServeTest.cpp.o.d"
+  "ServeTest"
+  "ServeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ServeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

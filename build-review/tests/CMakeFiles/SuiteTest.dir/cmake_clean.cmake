@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SuiteTest.dir/SuiteTest.cpp.o"
+  "CMakeFiles/SuiteTest.dir/SuiteTest.cpp.o.d"
+  "SuiteTest"
+  "SuiteTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SuiteTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

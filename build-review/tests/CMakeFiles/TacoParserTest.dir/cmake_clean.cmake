@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TacoParserTest.dir/TacoParserTest.cpp.o"
+  "CMakeFiles/TacoParserTest.dir/TacoParserTest.cpp.o.d"
+  "TacoParserTest"
+  "TacoParserTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TacoParserTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TacoPrinterTest.dir/TacoPrinterTest.cpp.o"
+  "CMakeFiles/TacoPrinterTest.dir/TacoPrinterTest.cpp.o.d"
+  "TacoPrinterTest"
+  "TacoPrinterTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TacoPrinterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TacoSemanticsTest.dir/TacoSemanticsTest.cpp.o"
+  "CMakeFiles/TacoSemanticsTest.dir/TacoSemanticsTest.cpp.o.d"
+  "TacoSemanticsTest"
+  "TacoSemanticsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TacoSemanticsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TemplateTest.dir/TemplateTest.cpp.o"
+  "CMakeFiles/TemplateTest.dir/TemplateTest.cpp.o.d"
+  "TemplateTest"
+  "TemplateTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TemplateTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for TemplateTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ValidatorTest.dir/ValidatorTest.cpp.o"
+  "CMakeFiles/ValidatorTest.dir/ValidatorTest.cpp.o.d"
+  "ValidatorTest"
+  "ValidatorTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ValidatorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

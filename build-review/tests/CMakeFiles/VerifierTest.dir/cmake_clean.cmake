@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VerifierTest.dir/VerifierTest.cpp.o"
+  "CMakeFiles/VerifierTest.dir/VerifierTest.cpp.o.d"
+  "VerifierTest"
+  "VerifierTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VerifierTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for VerifierTest.
+# This may be replaced when dependencies are built.
