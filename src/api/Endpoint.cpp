@@ -1,0 +1,140 @@
+//===- api/Endpoint.cpp - The one entry point into the service ------------===//
+
+#include "api/Endpoint.h"
+
+#include "api/KernelIngest.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+
+using namespace stagg;
+using namespace stagg::api;
+
+bool PendingLift::ready() {
+  if (Immediate || !Raw.valid())
+    return true; // get() on an empty pending lift fails fast, not blocks
+  return Raw.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+LiftResponse PendingLift::get() {
+  if (Immediate)
+    return std::move(Resolved);
+  if (!Raw.valid()) {
+    // Default-constructed or already-consumed: answer deterministically
+    // instead of hitting std::future's undefined behavior.
+    LiftResponse Response;
+    Response.St = Status::BadRequest;
+    Response.Error = "empty pending lift (nothing was submitted, or the "
+                     "response was already taken)";
+    return Response;
+  }
+  serve::LiftResponse Raw = this->Raw.get();
+  LiftResponse Response;
+  Response.St = Status::Ok;
+  Response.Name = std::move(Raw.Benchmark);
+  Response.Category = std::move(Raw.Category);
+  Response.Result = std::move(Raw.Result);
+  Response.CacheHit = Raw.CacheHit;
+  Response.Applied = std::move(Resolved.Applied);
+  return Response;
+}
+
+Endpoint::Endpoint(serve::ServiceConfig Config, serve::OracleFactory Factory)
+    : Base(Config.Config), Service(std::move(Config), std::move(Factory)) {}
+
+namespace {
+
+/// "did you mean" over the registry, for mistyped names.
+std::string nearestBenchmark(const std::string &Name) {
+  std::vector<std::string> Names;
+  for (const bench::Benchmark &B : bench::allBenchmarks())
+    Names.push_back(B.Name);
+  return closestMatch(Name, Names);
+}
+
+} // namespace
+
+PendingLift Endpoint::immediateError(Status St, std::string Name,
+                                     std::string Error,
+                                     const ConfigPatch &Applied) {
+  PendingLift Pending;
+  Pending.Immediate = true;
+  Pending.Resolved.St = St;
+  Pending.Resolved.Name = std::move(Name);
+  Pending.Resolved.Error = std::move(Error);
+  Pending.Resolved.Applied = Applied;
+  return Pending;
+}
+
+PendingLift Endpoint::submit(const LiftRequest &Request) {
+  if (!Request.RegistryName.empty() && Request.isInline())
+    return immediateError(Status::BadRequest, Request.Name,
+                          "a request carries either a registry name or an "
+                          "inline kernel, not both",
+                          Request.Patch);
+  if (Request.RegistryName.empty() && !Request.isInline())
+    return immediateError(Status::BadRequest, Request.Name,
+                          "a request needs a registry \"name\" or an inline "
+                          "\"kernel\"",
+                          Request.Patch);
+  if (!Request.isInline() && !Request.OracleHint.empty())
+    return immediateError(Status::BadRequest, Request.RegistryName,
+                          "an oracle hint only applies to an inline kernel "
+                          "(registry benchmarks carry their own reference)",
+                          Request.Patch);
+
+  core::StaggConfig Effective = Request.Patch.apply(Base);
+
+  bench::Benchmark Query;
+  if (Request.isInline()) {
+    IngestResult Ingested = ingestCached(Request);
+    if (!Ingested.ok())
+      return immediateError(Ingested.Status == IngestStatus::ParseError
+                                ? Status::KernelParseError
+                                : Status::IngestError,
+                            Request.Name.empty() ? "inline" : Request.Name,
+                            Ingested.Error, Request.Patch);
+    Query = std::move(Ingested.Kernel);
+  } else {
+    const bench::Benchmark *Found = bench::findBenchmark(Request.RegistryName);
+    if (!Found) {
+      std::string Error =
+          "unknown benchmark '" + Request.RegistryName + "'";
+      std::string Hint = nearestBenchmark(Request.RegistryName);
+      if (!Hint.empty())
+        Error += " — did you mean '" + Hint + "'?";
+      return immediateError(Status::UnknownBenchmark, Request.RegistryName,
+                            Error, Request.Patch);
+    }
+    Query = *Found;
+  }
+
+  PendingLift Pending;
+  Pending.Resolved.Applied = Request.Patch;
+  Pending.Raw = Service.submit(std::move(Query), Effective);
+  return Pending;
+}
+
+IngestResult Endpoint::ingestCached(const LiftRequest &Request) {
+  std::string Key = normalizeKernelText(Request.KernelSource) + '\x1f' +
+                    Request.Name + '\x1f' + Request.OracleHint;
+  {
+    std::lock_guard<std::mutex> Lock(IngestMutex);
+    auto It = IngestMemo.find(Key);
+    if (It != IngestMemo.end())
+      return It->second;
+  }
+  IngestResult Ingested =
+      ingestKernel(Request.KernelSource, Request.Name, Request.OracleHint);
+  {
+    std::lock_guard<std::mutex> Lock(IngestMutex);
+    if (IngestMemo.size() >= 256)
+      IngestMemo.clear();
+    IngestMemo.emplace(Key, Ingested);
+  }
+  return Ingested;
+}
+
+LiftResponse Endpoint::lift(const LiftRequest &Request) {
+  return submit(Request).get();
+}

@@ -1,0 +1,99 @@
+//===- api/Endpoint.h - The one entry point into the service ----*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// api::Endpoint is the single programmatic entry point of the system: it
+/// resolves api::LiftRequests (registry lookup or inline-kernel ingestion),
+/// applies per-request configuration patches, and drives the persistent
+/// serving layer (serve::LiftService) underneath. Both `stagg serve` and
+/// the batch driver (driver::SuiteRunner) are thin clients of this class —
+/// there is exactly one code path from a request to a result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_API_ENDPOINT_H
+#define STAGG_API_ENDPOINT_H
+
+#include "api/Api.h"
+#include "api/KernelIngest.h"
+#include "serve/LiftService.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace stagg {
+namespace api {
+
+/// A submitted request whose response may still be in flight. Requests that
+/// fail on admission (bad request, unknown name, ingestion failure) resolve
+/// immediately; everything else resolves when a service worker finishes.
+class PendingLift {
+public:
+  PendingLift() = default;
+
+  /// True when get() will not block.
+  bool ready();
+
+  /// Waits for and returns the response (call once).
+  LiftResponse get();
+
+private:
+  friend class Endpoint;
+
+  std::future<serve::LiftResponse> Raw;
+  LiftResponse Resolved; ///< Immediate responses; carries Applied for both.
+  bool Immediate = false;
+};
+
+/// The public face of a running lift service.
+class Endpoint {
+public:
+  explicit Endpoint(serve::ServiceConfig Config,
+                    serve::OracleFactory Factory = {});
+
+  /// Admits \p Request (blocking on queue backpressure for well-formed
+  /// requests; admission errors resolve immediately).
+  PendingLift submit(const LiftRequest &Request);
+
+  /// Blocking convenience: submit and wait.
+  LiftResponse lift(const LiftRequest &Request);
+
+  serve::CacheStats cacheStats() const { return Service.cacheStats(); }
+  serve::BatchingStats batchingStats() const {
+    return Service.batchingStats();
+  }
+  int threads() const { return Service.threads(); }
+  int queueDepth() const { return Service.queueDepth(); }
+
+  /// The service-wide configuration patches apply on top of.
+  const core::StaggConfig &baseConfig() const { return Base; }
+
+private:
+  /// Builds an admission-failure response that resolves immediately.
+  static PendingLift immediateError(Status St, std::string Name,
+                                    std::string Error,
+                                    const ConfigPatch &Applied);
+
+  /// ingestKernel with memoization: ingestion (parse, analysis, smoke
+  /// execution) runs synchronously on the admission thread, so a client
+  /// resubmitting the same inline kernel must not re-pay it just to reach
+  /// the result cache. Keyed on normalized source + label + hint; capped,
+  /// cleared wholesale on overflow (resubmission patterns are bursty, not
+  /// long-tailed).
+  IngestResult ingestCached(const LiftRequest &Request);
+
+  core::StaggConfig Base;
+  serve::LiftService Service;
+
+  std::mutex IngestMutex;
+  std::unordered_map<std::string, IngestResult> IngestMemo;
+};
+
+} // namespace api
+} // namespace stagg
+
+#endif // STAGG_API_ENDPOINT_H

@@ -1,0 +1,1017 @@
+//===- api/KernelIngest.cpp - Arbitrary C kernels to benchmarks -----------===//
+//
+// The ingestion walker reads the kernel's loop nest *syntactically* (the
+// symbolic executor in analysis/ recovers ranks for pointer-walking code,
+// but deliberately forgets expression structure; this pass keeps it):
+// subscripts are evaluated into affine polynomials over loop variables and
+// size parameters, delinearized by stride ordering, and the store statements
+// are transliterated into TACO index notation. Both products — inferred
+// array shapes and the reference translation — fall out of one walk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/KernelIngest.h"
+
+#include "cfront/Parser.h"
+#include "support/Rng.h"
+#include "taco/Parser.h"
+#include "taco/Printer.h"
+#include "taco/Semantics.h"
+#include "validate/IoExamples.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace stagg;
+using namespace stagg::api;
+using namespace stagg::cfront;
+using analysis::Poly;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Polynomial helpers
+//===----------------------------------------------------------------------===//
+
+/// Builds Coeff * product(Symbols).
+Poly monomialPoly(const analysis::Monomial &Symbols, int64_t Coeff) {
+  Poly P = Poly::constant(Coeff);
+  for (const std::string &S : Symbols)
+    P = P * Poly::symbol(S);
+  return P;
+}
+
+/// Exact division \p A / \p B when \p B is a single term dividing every
+/// term of \p A; nullopt otherwise.
+std::optional<Poly> dividePoly(const Poly &A, const Poly &B) {
+  if (B.terms().size() != 1)
+    return std::nullopt;
+  const auto &[DivMono, DivCoeff] = *B.terms().begin();
+  if (DivCoeff == 0)
+    return std::nullopt;
+  Poly Quotient;
+  for (const auto &[Mono, Coeff] : A.terms()) {
+    if (Coeff % DivCoeff != 0)
+      return std::nullopt;
+    // DivMono must be a sub-multiset of Mono.
+    analysis::Monomial Rest = Mono;
+    for (const std::string &S : DivMono) {
+      auto It = std::find(Rest.begin(), Rest.end(), S);
+      if (It == Rest.end())
+        return std::nullopt;
+      Rest.erase(It);
+    }
+    Quotient = Quotient + monomialPoly(Rest, Coeff / DivCoeff);
+  }
+  return Quotient;
+}
+
+/// The coefficient polynomial of \p Var in \p P (nullopt when \p Var occurs
+/// nonlinearly).
+std::optional<Poly> strideOf(const Poly &P, const std::string &Var) {
+  Poly Stride;
+  for (const auto &[Mono, Coeff] : P.terms()) {
+    size_t Count = static_cast<size_t>(
+        std::count(Mono.begin(), Mono.end(), Var));
+    if (Count == 0)
+      continue;
+    if (Count > 1)
+      return std::nullopt;
+    analysis::Monomial Rest = Mono;
+    Rest.erase(std::find(Rest.begin(), Rest.end(), Var));
+    Stride = Stride + monomialPoly(Rest, Coeff);
+  }
+  return Stride;
+}
+
+/// Orders strides: +1 when A spans more elements than B, -1 for the
+/// converse, 0 when the order cannot be established.
+int compareStrides(const Poly &A, const Poly &B) {
+  int64_t CA = 0, CB = 0;
+  if (A.asConstant(CA) && B.asConstant(CB))
+    return CA > CB ? 1 : (CA < CB ? -1 : 0);
+  if (std::optional<Poly> Q = dividePoly(A, B)) {
+    int64_t C = 0;
+    if (!Q->asConstant(C))
+      return 1; // symbolic multiple, e.g. (M*K)/K = M
+    return C > 1 ? 1 : 0;
+  }
+  if (std::optional<Poly> Q = dividePoly(B, A)) {
+    int64_t C = 0;
+    if (!Q->asConstant(C))
+      return -1;
+    return C > 1 ? -1 : 0;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// The loop-nest walker
+//===----------------------------------------------------------------------===//
+
+/// One delinearized array dimension: the loop variable indexing it and its
+/// symbolic extent.
+struct DimInfo {
+  std::string LoopVar;
+  Poly Extent;
+  bool ExtentKnown = false;
+};
+
+/// One recovered access in delinearized form.
+struct AccessInfo {
+  std::string Param;
+  std::vector<DimInfo> Dims; ///< Outer to inner.
+  bool Ok = false;           ///< Delinearization succeeded.
+};
+
+/// One store through a pointer parameter, with its right-hand side already
+/// transliterated (null when untranslatable) — translation must happen at
+/// store time because local temporaries are tracked flow-sensitively.
+struct StoreInfo {
+  AccessInfo Access;
+  CAssignOp Op = CAssignOp::Plain;
+  taco::ExprPtr Rhs;
+  bool RhsIsZeroLiteral = false;
+};
+
+class NestWalker {
+public:
+  explicit NestWalker(const CFunction &Fn) : Fn(Fn) {
+    for (const CParam &P : Fn.Params) {
+      if (P.Type.isPointer())
+        PointerParams.insert(P.Name);
+      else if (P.Type.isFloating())
+        FloatParams.insert(P.Name);
+      else
+        SizeParams.insert(P.Name);
+    }
+  }
+
+  void run() { walkStmt(*Fn.Body); }
+
+  /// Per-parameter representative access: highest Ok rank seen.
+  const std::map<std::string, AccessInfo> &bestAccesses() const {
+    return Best;
+  }
+  const std::vector<StoreInfo> &stores() const { return Stores; }
+
+  /// Non-empty when part of the kernel was beyond the walker (while loops,
+  /// conditionals, untracked pointers) — shapes may be partial and the
+  /// transliteration unavailable.
+  const std::string &limitation() const { return Limitation; }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Integer / pointer symbolic evaluation
+  //===------------------------------------------------------------------===//
+
+  void limit(const std::string &Why) {
+    if (Limitation.empty())
+      Limitation = Why;
+  }
+
+  std::optional<Poly> evalInt(const CExpr &E) {
+    switch (E.kind()) {
+    case CExpr::Kind::IntLit:
+      return Poly::constant(cCast<IntLit>(E).value());
+    case CExpr::Kind::VarRef: {
+      const std::string &Name = cCast<VarRef>(E).name();
+      if (SizeParams.count(Name))
+        return Poly::symbol(Name);
+      auto It = IntVals.find(Name);
+      if (It != IntVals.end())
+        return It->second;
+      return std::nullopt;
+    }
+    case CExpr::Kind::Unary: {
+      const auto &U = cCast<CUnary>(E);
+      if (U.op() != CUnOp::Neg)
+        return std::nullopt;
+      std::optional<Poly> Sub = evalInt(U.operand());
+      if (!Sub)
+        return std::nullopt;
+      return -*Sub;
+    }
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      std::optional<Poly> L = evalInt(B.lhs());
+      std::optional<Poly> R = evalInt(B.rhs());
+      if (!L || !R)
+        return std::nullopt;
+      switch (B.op()) {
+      case CBinOp::Add:
+        return *L + *R;
+      case CBinOp::Sub:
+        return *L - *R;
+      case CBinOp::Mul:
+        return *L * *R;
+      default:
+        return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+
+  /// A pointer-typed expression resolved to (parameter, flat offset).
+  std::optional<std::pair<std::string, Poly>> evalPtr(const CExpr &E) {
+    if (const auto *V = cDynCast<VarRef>(&E)) {
+      if (PointerParams.count(V->name()))
+        return std::make_pair(V->name(), Poly::constant(0));
+      return std::nullopt; // local pointer: untracked
+    }
+    if (const auto *B = cDynCast<CBinary>(&E)) {
+      if (B->op() == CBinOp::Add || B->op() == CBinOp::Sub) {
+        if (auto Ptr = evalPtr(B->lhs())) {
+          std::optional<Poly> Off = evalInt(B->rhs());
+          if (!Off)
+            return std::nullopt;
+          return std::make_pair(Ptr->first, B->op() == CBinOp::Add
+                                                ? Ptr->second + *Off
+                                                : Ptr->second - *Off);
+        }
+        if (B->op() == CBinOp::Add) {
+          if (auto Ptr = evalPtr(B->rhs())) {
+            std::optional<Poly> Off = evalInt(B->lhs());
+            if (!Off)
+              return std::nullopt;
+            return std::make_pair(Ptr->first, Ptr->second + *Off);
+          }
+        }
+      }
+      return std::nullopt;
+    }
+    if (const auto *U = cDynCast<CUnary>(&E)) {
+      if (U->op() == CUnOp::AddrOf) {
+        if (const auto *Ix = cDynCast<CIndex>(&U->operand())) {
+          auto Ptr = evalPtr(Ix->base());
+          std::optional<Poly> Off = evalInt(Ix->index());
+          if (Ptr && Off)
+            return std::make_pair(Ptr->first, Ptr->second + *Off);
+        }
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// A memory place (`p[e]` or `*p`) resolved to (parameter, offset).
+  std::optional<std::pair<std::string, Poly>> evalPlace(const CExpr &E) {
+    if (const auto *Ix = cDynCast<CIndex>(&E)) {
+      auto Ptr = evalPtr(Ix->base());
+      std::optional<Poly> Off = evalInt(Ix->index());
+      if (Ptr && Off)
+        return std::make_pair(Ptr->first, Ptr->second + *Off);
+      return std::nullopt;
+    }
+    if (const auto *U = cDynCast<CUnary>(&E)) {
+      if (U->op() == CUnOp::Deref)
+        return evalPtr(U->operand());
+    }
+    return std::nullopt;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Delinearization
+  //===------------------------------------------------------------------===//
+
+  AccessInfo delinearize(const std::string &Param, const Poly &Offset) {
+    AccessInfo Info;
+    Info.Param = Param;
+
+    // The loop variables of the enclosing nest that the offset mentions,
+    // outermost first.
+    std::vector<size_t> VarFrames;
+    for (size_t I = 0; I < LoopStack.size(); ++I)
+      if (Offset.mentions(LoopStack[I].Var))
+        VarFrames.push_back(I);
+
+    // Scalar access: a constant offset of zero is dimension-less (`out[0]`,
+    // `*out`); anything else is out of scope.
+    if (VarFrames.empty()) {
+      int64_t C = 0;
+      Info.Ok = Offset.asConstant(C) && C == 0;
+      return Info;
+    }
+
+    // Strides must be linear, must tile exactly (no residual terms), and
+    // must order totally.
+    Poly Residual = Offset;
+    std::vector<std::pair<size_t, Poly>> Strides;
+    for (size_t Frame : VarFrames) {
+      std::optional<Poly> S = strideOf(Offset, LoopStack[Frame].Var);
+      if (!S || S->isZero())
+        return Info;
+      Residual = Residual - *S * Poly::symbol(LoopStack[Frame].Var);
+      Strides.emplace_back(Frame, *S);
+    }
+    if (!Residual.isZero())
+      return Info;
+
+    // Order by stride, outermost dimension first. compareStrides is only a
+    // partial order (symbolically incomparable strides return 0), so
+    // std::sort would be undefined behavior on wire-supplied kernels;
+    // instead select the strict maximum of the remainder each round and
+    // fail on any incomparable pair (ambiguous layout, e.g. the stencil
+    // i + j). Ranks are bounded by the loop depth, so O(n^2) is free.
+    for (size_t I = 0; I < Strides.size(); ++I) {
+      size_t Max = I;
+      for (size_t J = I + 1; J < Strides.size(); ++J) {
+        int Order = compareStrides(Strides[Max].second, Strides[J].second);
+        if (Order == 0)
+          return Info;
+        if (Order < 0)
+          Max = J;
+      }
+      std::swap(Strides[I], Strides[Max]);
+    }
+    int64_t Inner = 0;
+    if (!Strides.back().second.asConstant(Inner) || Inner != 1)
+      return Info; // non-unit innermost stride
+
+    // Extents: the leading dimension spans its loop's index space; every
+    // inner dimension is the ratio of adjacent strides.
+    for (size_t I = 0; I < Strides.size(); ++I) {
+      DimInfo Dim;
+      Dim.LoopVar = LoopStack[Strides[I].first].Var;
+      if (I == 0) {
+        const LoopFrame &Frame = LoopStack[Strides[0].first];
+        Dim.Extent = Frame.Extent;
+        Dim.ExtentKnown = Frame.ExtentKnown;
+      } else {
+        std::optional<Poly> Ratio =
+            dividePoly(Strides[I - 1].second, Strides[I].second);
+        if (!Ratio)
+          return Info;
+        Dim.Extent = *Ratio;
+        Dim.ExtentKnown = true;
+      }
+      Info.Dims.push_back(std::move(Dim));
+    }
+    Info.Ok = true;
+    return Info;
+  }
+
+  void recordAccess(const std::string &Param, const Poly &Offset,
+                    bool IsStore, CAssignOp Op, const CExpr *RhsExpr) {
+    AccessInfo Info = delinearize(Param, Offset);
+    auto [It, Inserted] = Best.emplace(Param, Info);
+    if (!Inserted && Info.Ok &&
+        (!It->second.Ok || Info.Dims.size() > It->second.Dims.size()))
+      It->second = Info;
+
+    if (!IsStore)
+      return;
+    StoreInfo Store;
+    Store.Access = std::move(Info);
+    Store.Op = Op;
+    if (RhsExpr) {
+      Store.Rhs = translateExpr(*RhsExpr);
+      const auto *Lit = cDynCast<IntLit>(RhsExpr);
+      Store.RhsIsZeroLiteral = Lit && Lit->value() == 0;
+    }
+    Stores.push_back(std::move(Store));
+  }
+
+  /// Records every load from a pointer parameter inside \p E.
+  void collectLoads(const CExpr &E) {
+    switch (E.kind()) {
+    case CExpr::Kind::Index: {
+      const auto &Ix = cCast<CIndex>(E);
+      if (auto Place = evalPlace(E))
+        recordAccess(Place->first, Place->second, /*IsStore=*/false,
+                     CAssignOp::Plain, nullptr);
+      collectLoads(Ix.index());
+      return;
+    }
+    case CExpr::Kind::Unary: {
+      const auto &U = cCast<CUnary>(E);
+      if (U.op() == CUnOp::Deref) {
+        if (auto Place = evalPlace(E))
+          recordAccess(Place->first, Place->second, /*IsStore=*/false,
+                       CAssignOp::Plain, nullptr);
+        return;
+      }
+      collectLoads(U.operand());
+      return;
+    }
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      collectLoads(B.lhs());
+      collectLoads(B.rhs());
+      return;
+    }
+    case CExpr::Kind::Assign: {
+      const auto &A = cCast<CAssign>(E);
+      collectLoads(A.lhs());
+      collectLoads(A.rhs());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Transliteration into TACO index notation
+  //===------------------------------------------------------------------===//
+
+  bool isActiveLoopVar(const std::string &Name) const {
+    for (const LoopFrame &Frame : LoopStack)
+      if (Frame.Var == Name)
+        return true;
+    return false;
+  }
+
+  /// Renders a delinearized access as `param(i,j,...)`.
+  taco::ExprPtr accessExpr(const AccessInfo &Info) {
+    if (!Info.Ok)
+      return nullptr;
+    std::vector<std::string> Indices;
+    for (const DimInfo &Dim : Info.Dims)
+      Indices.push_back(Dim.LoopVar);
+    return std::make_unique<taco::AccessExpr>(Info.Param, std::move(Indices));
+  }
+
+  taco::ExprPtr translateExpr(const CExpr &E) {
+    switch (E.kind()) {
+    case CExpr::Kind::IntLit:
+      return std::make_unique<taco::ConstantExpr>(cCast<IntLit>(E).value());
+    case CExpr::Kind::FloatLit:
+      return nullptr; // the TACO subset has integer constants only
+    case CExpr::Kind::VarRef: {
+      const std::string &Name = cCast<VarRef>(E).name();
+      if (isActiveLoopVar(Name))
+        return nullptr; // index used as data
+      auto It = LocalExprs.find(Name);
+      if (It != LocalExprs.end())
+        return It->second ? It->second->clone() : nullptr;
+      if (FloatParams.count(Name) || SizeParams.count(Name))
+        return std::make_unique<taco::AccessExpr>(
+            Name, std::vector<std::string>());
+      return nullptr;
+    }
+    case CExpr::Kind::Unary: {
+      const auto &U = cCast<CUnary>(E);
+      if (U.op() == CUnOp::Neg) {
+        taco::ExprPtr Sub = translateExpr(U.operand());
+        return Sub ? std::make_unique<taco::NegateExpr>(std::move(Sub))
+                   : nullptr;
+      }
+      if (U.op() == CUnOp::Deref) {
+        auto Place = evalPlace(E);
+        return Place ? accessExpr(delinearize(Place->first, Place->second))
+                     : nullptr;
+      }
+      return nullptr;
+    }
+    case CExpr::Kind::Binary: {
+      const auto &B = cCast<CBinary>(E);
+      taco::BinOpKind Op;
+      switch (B.op()) {
+      case CBinOp::Add:
+        Op = taco::BinOpKind::Add;
+        break;
+      case CBinOp::Sub:
+        Op = taco::BinOpKind::Sub;
+        break;
+      case CBinOp::Mul:
+        Op = taco::BinOpKind::Mul;
+        break;
+      case CBinOp::Div:
+        Op = taco::BinOpKind::Div;
+        break;
+      default:
+        return nullptr;
+      }
+      taco::ExprPtr L = translateExpr(B.lhs());
+      taco::ExprPtr R = translateExpr(B.rhs());
+      if (!L || !R)
+        return nullptr;
+      return std::make_unique<taco::BinaryExpr>(Op, std::move(L),
+                                                std::move(R));
+    }
+    case CExpr::Kind::Index: {
+      auto Place = evalPlace(E);
+      return Place ? accessExpr(delinearize(Place->first, Place->second))
+                   : nullptr;
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statement walk
+  //===------------------------------------------------------------------===//
+
+  void handleAssign(const CAssign &A) {
+    collectLoads(A.rhs());
+
+    // Store through memory.
+    if (!cDynCast<VarRef>(&A.lhs())) {
+      if (auto Place = evalPlace(A.lhs())) {
+        recordAccess(Place->first, Place->second, /*IsStore=*/true, A.op(),
+                     &A.rhs());
+      } else {
+        limit("a store through an untracked pointer");
+      }
+      return;
+    }
+
+    // Assignment to a local scalar: keep both the affine (index) and the
+    // transliterated (data) views current.
+    const std::string &Name = cCast<VarRef>(A.lhs()).name();
+    std::optional<Poly> RhsPoly = evalInt(A.rhs());
+    if (A.op() == CAssignOp::Plain) {
+      IntVals[Name] = RhsPoly;
+    } else if (IntVals.count(Name) && IntVals[Name] && RhsPoly) {
+      Poly Old = *IntVals[Name];
+      switch (A.op()) {
+      case CAssignOp::Add:
+        IntVals[Name] = Old + *RhsPoly;
+        break;
+      case CAssignOp::Sub:
+        IntVals[Name] = Old - *RhsPoly;
+        break;
+      case CAssignOp::Mul:
+        IntVals[Name] = Old * *RhsPoly;
+        break;
+      default:
+        IntVals[Name] = std::nullopt;
+      }
+    } else {
+      IntVals[Name] = std::nullopt;
+    }
+
+    // Data view: recognize accumulation (`s += e`, `s = s + e`,
+    // `s = e + s`) into a local whose current value is the literal zero.
+    auto accumulate = [&](const CExpr &Term) {
+      auto It = LocalExprs.find(Name);
+      bool ZeroInit = false;
+      if (It != LocalExprs.end() && It->second)
+        if (const auto *C =
+                taco::exprDynCast<taco::ConstantExpr>(It->second.get()))
+          ZeroInit = !C->isSymbolic() && C->value() == 0;
+      if (ZeroInit && !Accumulated.count(Name)) {
+        LocalExprs[Name] = translateExpr(Term);
+        Accumulated.insert(Name);
+      } else {
+        LocalExprs[Name] = nullptr; // re-accumulation: out of scope
+      }
+    };
+
+    if (A.op() == CAssignOp::Add) {
+      accumulate(A.rhs());
+      return;
+    }
+    if (A.op() != CAssignOp::Plain) {
+      LocalExprs[Name] = nullptr;
+      return;
+    }
+    if (const auto *B = cDynCast<CBinary>(&A.rhs());
+        B && B->op() == CBinOp::Add) {
+      const auto *L = cDynCast<VarRef>(&B->lhs());
+      const auto *R = cDynCast<VarRef>(&B->rhs());
+      if (L && L->name() == Name) {
+        accumulate(B->rhs());
+        return;
+      }
+      if (R && R->name() == Name) {
+        accumulate(B->lhs());
+        return;
+      }
+    }
+    LocalExprs[Name] = translateExpr(A.rhs());
+    Accumulated.erase(Name);
+  }
+
+  void walkExpr(const CExpr &E) {
+    if (const auto *A = cDynCast<CAssign>(&E)) {
+      handleAssign(*A);
+      return;
+    }
+    if (const auto *I = cDynCast<CIncDec>(&E)) {
+      if (const auto *V = cDynCast<VarRef>(&I->target())) {
+        auto It = IntVals.find(V->name());
+        if (It != IntVals.end() && It->second)
+          It->second = *It->second + Poly::constant(I->isIncrement() ? 1 : -1);
+        else if (It != IntVals.end())
+          It->second = std::nullopt;
+        else
+          limit("an increment of an untracked variable");
+        return;
+      }
+      limit("an increment through memory");
+      return;
+    }
+    collectLoads(E);
+  }
+
+  /// Extracts `(var = start; var < bound; var++)`; Extent is the index-space
+  /// size `bound` (or bound+1 for <=).
+  struct LoopFrame {
+    std::string Var;
+    Poly Extent;
+    bool ExtentKnown = false;
+  };
+
+  bool parseHeader(const CFor &F, LoopFrame &Frame,
+                   std::optional<Poly> &Start) {
+    // Init: `int v = e` or `v = e` (or absent, with v named by the
+    // condition and its current value as start).
+    std::string InitVar;
+    if (const CStmt *Init = F.init()) {
+      if (const auto *D = cDynCast<CDeclStmt>(Init)) {
+        InitVar = D->name();
+        Start = D->init() ? evalInt(*D->init()) : std::nullopt;
+      } else if (const auto *E = cDynCast<CExprStmt>(Init)) {
+        if (const auto *A = cDynCast<CAssign>(&E->expr());
+            A && A->op() == CAssignOp::Plain) {
+          if (const auto *V = cDynCast<VarRef>(&A->lhs())) {
+            InitVar = V->name();
+            Start = evalInt(A->rhs());
+          }
+        }
+      }
+    }
+
+    const auto *Cond = F.cond() ? cDynCast<CBinary>(F.cond()) : nullptr;
+    if (!Cond || (Cond->op() != CBinOp::Lt && Cond->op() != CBinOp::Le))
+      return false;
+    const auto *CondVar = cDynCast<VarRef>(&Cond->lhs());
+    if (!CondVar)
+      return false;
+    if (!InitVar.empty() && CondVar->name() != InitVar)
+      return false;
+    Frame.Var = CondVar->name();
+    if (InitVar.empty()) {
+      auto It = IntVals.find(Frame.Var);
+      Start = It != IntVals.end() ? It->second : std::nullopt;
+    }
+
+    // Step: v++ / ++v / v += 1.
+    bool UnitStep = false;
+    if (const CExpr *Step = F.step()) {
+      if (const auto *I = cDynCast<CIncDec>(Step)) {
+        const auto *T = cDynCast<VarRef>(&I->target());
+        UnitStep = I->isIncrement() && T && T->name() == Frame.Var;
+      } else if (const auto *A = cDynCast<CAssign>(Step)) {
+        const auto *T = cDynCast<VarRef>(&A->lhs());
+        const auto *One = cDynCast<IntLit>(&A->rhs());
+        UnitStep = A->op() == CAssignOp::Add && T &&
+                   T->name() == Frame.Var && One && One->value() == 1;
+      }
+    }
+    if (!UnitStep)
+      return false;
+
+    std::optional<Poly> Bound = evalInt(Cond->rhs());
+    if (Bound) {
+      Frame.Extent = Cond->op() == CBinOp::Le ? *Bound + Poly::constant(1)
+                                              : *Bound;
+      Frame.ExtentKnown = true;
+    }
+    return true;
+  }
+
+  void walkFor(const CFor &F) {
+    LoopFrame Frame;
+    std::optional<Poly> Start;
+    if (!parseHeader(F, Frame, Start)) {
+      limit("a loop without a recognizable `(v = s; v < bound; v++)` header");
+      return;
+    }
+    // A non-zero (or unknown) start is fine for shape inference — the
+    // extent is the bound either way — but poisons the transliteration:
+    // `for (i = 1; ...)` never touches index 0, which index notation
+    // cannot express.
+    if (!Start || !Start->isZero())
+      limit("a loop starting at a non-zero index");
+
+    IntVals[Frame.Var] = Poly::symbol(Frame.Var);
+    LoopStack.push_back(Frame);
+    walkStmt(F.body());
+    LoopStack.pop_back();
+    // After the loop the variable's closed form is gone; treat as unknown.
+    IntVals[Frame.Var] = std::nullopt;
+  }
+
+  void walkStmt(const CStmt &S) {
+    switch (S.kind()) {
+    case CStmt::Kind::Decl: {
+      const auto &D = cCast<CDeclStmt>(S);
+      if (D.type().isPointer()) {
+        // Local pointers stay untracked; kernels iterating through them
+        // keep their analysis-derived ranks but lose shape names and the
+        // transliteration.
+        limit("a local pointer variable");
+        IntVals[D.name()] = std::nullopt;
+        LocalExprs[D.name()] = nullptr;
+        return;
+      }
+      if (D.init()) {
+        collectLoads(*D.init());
+        IntVals[D.name()] = evalInt(*D.init());
+        LocalExprs[D.name()] = translateExpr(*D.init());
+      } else {
+        IntVals[D.name()] = std::nullopt;
+        LocalExprs[D.name()] = nullptr;
+      }
+      Accumulated.erase(D.name());
+      return;
+    }
+    case CStmt::Kind::ExprStmt:
+      walkExpr(cCast<CExprStmt>(S).expr());
+      return;
+    case CStmt::Kind::Block:
+      for (const CStmtPtr &Sub : cCast<CBlock>(S).statements())
+        walkStmt(*Sub);
+      return;
+    case CStmt::Kind::For:
+      walkFor(cCast<CFor>(S));
+      return;
+    case CStmt::Kind::While:
+      limit("a while loop");
+      return;
+    case CStmt::Kind::If:
+      limit("a conditional");
+      return;
+    case CStmt::Kind::Return:
+    case CStmt::Kind::Empty:
+      return;
+    }
+  }
+
+  const CFunction &Fn;
+  std::set<std::string> PointerParams;
+  std::set<std::string> SizeParams;
+  std::set<std::string> FloatParams;
+
+  /// Affine values of locals and active loop variables; disengaged = not
+  /// representable.
+  std::map<std::string, std::optional<Poly>> IntVals;
+
+  /// Transliterated data values of locals; null = not representable.
+  std::map<std::string, taco::ExprPtr> LocalExprs;
+  std::set<std::string> Accumulated;
+
+  std::vector<LoopFrame> LoopStack;
+
+  std::map<std::string, AccessInfo> Best;
+  std::vector<StoreInfo> Stores;
+  std::string Limitation;
+};
+
+//===----------------------------------------------------------------------===//
+// Reference translation
+//===----------------------------------------------------------------------===//
+
+TranslationResult translateFromWalk(const NestWalker &Walker,
+                                    const analysis::KernelSummary &Summary) {
+  TranslationResult Result;
+
+  // Any statement the walker could not model may change the kernel's
+  // semantics (a conditional store, a while loop, pointer aliasing) — a
+  // transliteration of just the statements it *did* model would be a
+  // confidently wrong oracle reference. Refuse instead; the caller's
+  // oracle_hint covers these kernels honestly.
+  if (!Walker.limitation().empty()) {
+    Result.Error = "kernel contains " + Walker.limitation();
+    return Result;
+  }
+
+  // Every store must be modeled before any is trusted: a `-=`/`*=` store,
+  // an untranslatable right-hand side, a non-affine subscript, or a write
+  // to a second array all carry semantics the transliteration would
+  // silently drop, turning "refuse and ask for a hint" into a confidently
+  // wrong reference.
+  for (const StoreInfo &Store : Walker.stores()) {
+    if (Store.Access.Param != Summary.OutputParam) {
+      Result.Error = "a store to '" + Store.Access.Param +
+                     "' besides the output parameter";
+      return Result;
+    }
+    if (!Store.Access.Ok) {
+      Result.Error = "a store with a non-affine or ambiguous subscript";
+      return Result;
+    }
+    if (Store.Op != CAssignOp::Plain && Store.Op != CAssignOp::Add) {
+      Result.Error = "a compound store other than +=";
+      return Result;
+    }
+    if (!Store.Rhs) {
+      Result.Error =
+          "a store whose right-hand side has no index-notation form";
+      return Result;
+    }
+  }
+
+  // The main store: the last reduction (compound +=) into the output wins
+  // over plain stores — zero-initializations (`out[i] = 0`) are setup, not
+  // semantics. Otherwise the last plain store is the kernel.
+  const StoreInfo *Main = nullptr;
+  for (const StoreInfo &Store : Walker.stores()) {
+    if (Store.Op == CAssignOp::Add) {
+      Main = &Store;
+    } else if ((!Main || Main->Op != CAssignOp::Add) &&
+               !(Store.RhsIsZeroLiteral && Main))
+      Main = &Store;
+  }
+  if (!Main) {
+    Result.Error = "no transliterable store to the output parameter";
+    return Result;
+  }
+
+  std::vector<std::string> LhsIndices;
+  for (const DimInfo &Dim : Main->Access.Dims)
+    LhsIndices.push_back(Dim.LoopVar);
+  taco::Program Program(
+      taco::AccessExpr(Summary.OutputParam, std::move(LhsIndices)),
+      Main->Rhs->clone());
+
+  std::string Malformed = taco::checkWellFormed(Program);
+  if (!Malformed.empty()) {
+    Result.Error = "transliteration is not a well-formed TACO program: " +
+                   Malformed;
+    return Result;
+  }
+  Result.Program = std::move(Program);
+  return Result;
+}
+
+/// Renders a symbolic extent as an ArgSpec shape entry: a size-parameter
+/// name, or a decimal literal for constant-shaped dimensions.
+bool extentName(const DimInfo &Dim, std::string &Out) {
+  if (!Dim.ExtentKnown)
+    return false;
+  int64_t C = 0;
+  if (Dim.Extent.asConstant(C)) {
+    if (C < 1)
+      return false;
+    Out = std::to_string(C);
+    return true;
+  }
+  const auto &Terms = Dim.Extent.terms();
+  if (Terms.size() == 1 && Terms.begin()->first.size() == 1 &&
+      Terms.begin()->second == 1) {
+    Out = Terms.begin()->first.front();
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+TranslationResult
+api::referenceTranslation(const CFunction &Fn,
+                          const analysis::KernelSummary &Summary) {
+  NestWalker Walker(Fn);
+  Walker.run();
+  return translateFromWalk(Walker, Summary);
+}
+
+IngestResult api::ingestKernel(const std::string &CSource,
+                               const std::string &Name,
+                               const std::string &OracleHint) {
+  IngestResult Result;
+  auto fail = [&Result](IngestStatus Status, std::string Error) {
+    Result.Status = Status;
+    Result.Error = std::move(Error);
+    return Result;
+  };
+
+  CParseResult Parsed = cfront::parseCFunction(CSource);
+  if (!Parsed.ok())
+    return fail(IngestStatus::ParseError, "C parse error: " + Parsed.Error);
+  const CFunction &Fn = *Parsed.Function;
+
+  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+  if (Summary.OutputParam.empty())
+    return fail(IngestStatus::AnalysisError,
+                "kernel never stores through a pointer parameter, so no "
+                "output tensor can be identified");
+
+  NestWalker Walker(Fn);
+  Walker.run();
+
+  // Synthesize the argument specification in declaration order.
+  bench::Benchmark B;
+  B.Name = Name.empty() ? Fn.Name : Name;
+  B.Category = "inline";
+  B.CSource = CSource;
+
+  std::vector<std::string> SizeParamNames;
+  for (const CParam &P : Fn.Params)
+    if (!P.Type.isPointer() && !P.Type.isFloating())
+      SizeParamNames.push_back(P.Name);
+
+  for (const CParam &P : Fn.Params) {
+    if (!P.Type.isPointer()) {
+      B.Args.push_back(P.Type.isFloating() ? bench::ArgSpec::num(P.Name)
+                                           : bench::ArgSpec::size(P.Name));
+      continue;
+    }
+
+    std::vector<std::string> Shape;
+    bool ShapeOk = false;
+    auto It = Walker.bestAccesses().find(P.Name);
+    if (It != Walker.bestAccesses().end() && It->second.Ok) {
+      ShapeOk = true;
+      for (const DimInfo &Dim : It->second.Dims) {
+        std::string DimName;
+        if (!extentName(Dim, DimName)) {
+          ShapeOk = false;
+          break;
+        }
+        Shape.push_back(DimName);
+      }
+    }
+    if (!ShapeOk) {
+      // The syntactic walk could not name the dimensions (pointer walking,
+      // conditionals); fall back to the symbolic executor's rank and — when
+      // the kernel has exactly one size parameter — size every dimension by
+      // it, the convention of every such kernel in the wild.
+      auto RankIt = Summary.ParamDims.find(P.Name);
+      if (RankIt == Summary.ParamDims.end())
+        return fail(IngestStatus::AnalysisError,
+                    "parameter '" + P.Name +
+                        "' is never accessed; cannot infer its shape");
+      if (RankIt->second > 0 && SizeParamNames.size() != 1)
+        return fail(IngestStatus::AnalysisError,
+                    "cannot infer the shape of '" + P.Name +
+                        "' from the loop nest (" +
+                        (Walker.limitation().empty()
+                             ? std::string("irregular subscripts")
+                             : Walker.limitation()) +
+                        "), and the kernel does not have exactly one size "
+                        "parameter to fall back on");
+      Shape.assign(static_cast<size_t>(RankIt->second),
+                   SizeParamNames.empty() ? "" : SizeParamNames.front());
+    }
+    B.Args.push_back(bench::ArgSpec::array(P.Name, std::move(Shape),
+                                           P.Name == Summary.OutputParam));
+  }
+
+  // The reference translation for the candidate oracle: an explicit hint
+  // wins (the caller knows their kernel), transliteration covers the
+  // indexed-form majority, and anything else must say why it failed.
+  if (!OracleHint.empty()) {
+    taco::ParseResult Hint = taco::parseTacoProgram(OracleHint);
+    if (!Hint.ok())
+      return fail(IngestStatus::AnalysisError,
+                  "oracle_hint is not a TACO program: " + Hint.Error);
+    std::string Malformed = taco::checkWellFormed(*Hint.Prog);
+    if (!Malformed.empty())
+      return fail(IngestStatus::AnalysisError,
+                  "oracle_hint is not well-formed: " + Malformed);
+    B.GroundTruth = taco::printProgram(*Hint.Prog);
+  } else {
+    TranslationResult Translation = translateFromWalk(Walker, Summary);
+    if (!Translation.ok())
+      return fail(IngestStatus::AnalysisError,
+                  "cannot derive a reference translation for the candidate "
+                  "oracle (" +
+                      Translation.Error +
+                      "); supply \"oracle_hint\" with a TACO sketch of the "
+                      "kernel");
+    B.GroundTruth = taco::printProgram(*Translation.Program);
+  }
+
+  // Bound what a wire-supplied kernel can make this process allocate:
+  // constant extents are attacker-chosen literals, and example generation
+  // materializes every tensor. Size parameters stay small (the harness
+  // picks 2..4), so only numeric dimensions can explode; budget them in
+  // floating point (no overflow) before anything allocates.
+  constexpr double MaxElementsPerTensor = 1 << 16;
+  for (const bench::ArgSpec &Arg : B.Args) {
+    double Elements = 1;
+    for (const std::string &Dim : Arg.Shape)
+      Elements *= (!Dim.empty() &&
+                   Dim.find_first_not_of("0123456789") == std::string::npos)
+                      ? std::stod(Dim)
+                      : 4 /* max harness size-parameter value */;
+    if (Elements > MaxElementsPerTensor)
+      return fail(IngestStatus::AnalysisError,
+                  "the inferred shape of '" + Arg.Name +
+                      "' exceeds the inline-kernel size budget (" +
+                      std::to_string(static_cast<int64_t>(
+                          MaxElementsPerTensor)) +
+                      " elements per tensor)");
+  }
+
+  // Smoke-execute the kernel once under the inferred shapes: a wrong shape
+  // or an interpreter-hostile construct should fail ingestion with a clear
+  // message, not surface later as a bogus pipeline result.
+  Rng Probe(0xA11CE);
+  if (validate::generateExamples(B, Fn, 1, Probe).empty())
+    return fail(IngestStatus::AnalysisError,
+                "the kernel does not execute under the inferred argument "
+                "shapes (inferred " +
+                    B.GroundTruth + ")");
+
+  Result.Kernel = std::move(B);
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- api/KernelIngest.h - Arbitrary C kernels to benchmarks ---*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns arbitrary C kernel text into a self-contained, owned
+/// bench::Benchmark that the pipeline can lift exactly like a registry
+/// entry:
+///
+///  * the source is parsed with cfront and analyzed with
+///    analysis::analyzeKernel (output parameter, per-parameter ranks,
+///    constant pool);
+///
+///  * argument specifications are synthesized — int scalars become size
+///    parameters, floating scalars numeric data, pointers arrays — with
+///    array shapes inferred from the loop nest: subscript polynomials are
+///    delinearized by stride, inner extents fall out of stride ratios, the
+///    leading extent out of the governing loop bound;
+///
+///  * a *reference translation* (direct syntactic transliteration of the
+///    loop nest into TACO index notation) is derived when the kernel is in
+///    indexed form. It seeds the simulated candidate oracle, which models
+///    an LLM's error distribution *around* a reference — the role GPT-4's
+///    reading of the prompt plays in the paper. Pointer-walking or
+///    control-flow-heavy kernels have no syntactic transliteration; callers
+///    can supply an oracle hint instead (real LLM backends need neither).
+///
+/// The resulting benchmark is a value: it shares no storage with the input
+/// text, so requests built from it survive any caller buffer lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_API_KERNELINGEST_H
+#define STAGG_API_KERNELINGEST_H
+
+#include "analysis/KernelAnalysis.h"
+#include "benchsuite/Benchmark.h"
+#include "cfront/Ast.h"
+#include "taco/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace stagg {
+namespace api {
+
+/// Why ingestion failed.
+enum class IngestStatus {
+  Ok,
+  ParseError,    ///< The text is not a parseable C kernel.
+  AnalysisError, ///< Parsed, but no usable benchmark could be derived.
+};
+
+/// Outcome of ingestKernel.
+struct IngestResult {
+  IngestStatus Status = IngestStatus::Ok;
+  std::string Error;
+
+  /// The synthesized benchmark (valid when ok()). Category is "inline".
+  bench::Benchmark Kernel;
+
+  bool ok() const { return Status == IngestStatus::Ok; }
+};
+
+/// Ingests \p CSource. \p Name labels the benchmark (defaults to the C
+/// function's name); \p OracleHint optionally supplies the reference
+/// translation when transliteration is impossible (and overrides it when
+/// both exist — the caller knows their kernel best).
+IngestResult ingestKernel(const std::string &CSource,
+                          const std::string &Name = "",
+                          const std::string &OracleHint = "");
+
+/// Outcome of a transliteration attempt.
+struct TranslationResult {
+  std::optional<taco::Program> Program;
+  std::string Error;
+
+  bool ok() const { return Program.has_value(); }
+};
+
+/// Best-effort direct transliteration of \p Fn's loop nest into TACO index
+/// notation, using \p Summary for the output parameter. Exposed for tests
+/// and as a (deliberately naive) "direct translation" baseline.
+TranslationResult referenceTranslation(const cfront::CFunction &Fn,
+                                       const analysis::KernelSummary &Summary);
+
+} // namespace api
+} // namespace stagg
+
+#endif // STAGG_API_KERNELINGEST_H

@@ -1,0 +1,137 @@
+//===- api/Protocol.cpp - Versioned JSON wire protocol --------------------===//
+
+#include "api/Protocol.h"
+
+#include "support/StringUtils.h"
+#include "taco/Printer.h"
+
+using namespace stagg;
+using namespace stagg::api;
+using support::Json;
+
+ParsedRequest api::parseRequestLine(const std::string &Line) {
+  ParsedRequest Parsed;
+  std::string Trimmed = trim(Line);
+
+  if (Trimmed.empty() || Trimmed[0] != '{') {
+    Parsed.Format = RequestFormat::LegacyName;
+    Parsed.Request.RegistryName = Trimmed;
+    return Parsed;
+  }
+
+  Parsed.Format = RequestFormat::JsonV1;
+  support::JsonParseResult Json = support::parseJson(Trimmed);
+  if (!Json.ok()) {
+    Parsed.Error = Json.Error.describe();
+    return Parsed;
+  }
+  const support::Json &Root = Json.Value;
+  if (!Root.isObject()) {
+    Parsed.Error = "a request must be a JSON object";
+    return Parsed;
+  }
+
+  const support::Json *Version = Root.find("v");
+  if (!Version) {
+    Parsed.Error = "missing protocol version \"v\" (this build speaks v1)";
+    return Parsed;
+  }
+  if (!Version->isInteger() || Version->asInteger() != ProtocolVersion) {
+    Parsed.Error = "unsupported protocol version (this build speaks v1)";
+    return Parsed;
+  }
+
+  for (const auto &[Key, Value] : Root.members()) {
+    std::string Error;
+    if (Key == "v") {
+      // Handled above.
+    } else if (Key == "name") {
+      if (!Value.isString())
+        Error = "\"name\" must be a string";
+      else
+        Parsed.Request.Name = Value.asString();
+    } else if (Key == "kernel") {
+      if (!Value.isString())
+        Error = "\"kernel\" must be a string of C source";
+      else
+        Parsed.Request.KernelSource = Value.asString();
+    } else if (Key == "oracle_hint") {
+      if (!Value.isString())
+        Error = "\"oracle_hint\" must be a TACO expression string";
+      else
+        Parsed.Request.OracleHint = Value.asString();
+    } else if (Key == "config") {
+      Error = ConfigPatch::fromJson(Value, Parsed.Request.Patch);
+    } else {
+      Error = "unknown field \"" + Key + "\"";
+    }
+    if (!Error.empty()) {
+      Parsed.Error = Error;
+      return Parsed;
+    }
+  }
+
+  if (Parsed.Request.KernelSource.empty()) {
+    if (Parsed.Request.Name.empty()) {
+      Parsed.Error = "a request needs a registry \"name\" or an inline "
+                     "\"kernel\"";
+      return Parsed;
+    }
+    if (!Parsed.Request.OracleHint.empty()) {
+      // Registry kernels carry their own reference; accepting-and-ignoring
+      // the hint would silently run something other than what the client
+      // asked for.
+      Parsed.Error = "\"oracle_hint\" only applies to an inline \"kernel\"";
+      return Parsed;
+    }
+    Parsed.Request.RegistryName = Parsed.Request.Name;
+    Parsed.Request.Name.clear();
+  }
+  return Parsed;
+}
+
+std::string api::renderResponse(const LiftResponse &Response) {
+  Json Out = Json::object();
+  Out.set("v", Json::integer(ProtocolVersion));
+  Out.set("status", Json::str(statusName(Response.St)));
+  Out.set("name", Json::str(Response.Name));
+
+  if (!Response.ok()) {
+    Out.set("error", Json::str(Response.Error));
+    return Out.dump();
+  }
+
+  const core::LiftResult &R = Response.Result;
+  Out.set("category", Json::str(Response.Category));
+  Out.set("solved", Json::boolean(R.Solved));
+  Out.set("verified", Json::boolean(R.Verified));
+  Out.set("cached", Json::boolean(Response.CacheHit));
+  if (R.Solved) {
+    Out.set("expr", Json::str(taco::printProgram(R.Concrete)));
+    Out.set("template", Json::str(taco::printProgram(R.Template)));
+  } else {
+    Out.set("fail_reason", Json::str(R.FailReason));
+  }
+  Out.set("attempts", Json::integer(R.Attempts));
+  Out.set("expansions", Json::integer(R.Expansions));
+
+  Json Timings = Json::object();
+  Timings.set("total_s", Json::number(R.Seconds));
+  Timings.set("parse_s", Json::number(R.ParseSeconds));
+  Timings.set("oracle_s", Json::number(R.OracleSeconds));
+  Timings.set("grammar_s", Json::number(R.GrammarSeconds));
+  Timings.set("search_s", Json::number(R.SearchSeconds));
+  Out.set("timings", std::move(Timings));
+
+  if (!Response.Applied.empty())
+    Out.set("config", Response.Applied.toJson());
+  return Out.dump();
+}
+
+std::string api::renderProtocolError(const std::string &Message) {
+  Json Out = Json::object();
+  Out.set("v", Json::integer(ProtocolVersion));
+  Out.set("status", Json::str(statusName(Status::BadRequest)));
+  Out.set("error", Json::str(Message));
+  return Out.dump();
+}

@@ -1,0 +1,81 @@
+//===- api/Protocol.h - Versioned JSON wire protocol ------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wire protocol v1 of `stagg serve`: newline-delimited JSON, one request
+/// object in, one response object out, in admission order.
+///
+/// Request (all fields except "v" optional, but "name" or "kernel" must be
+/// present):
+///
+///   {"v":1, "name":"blas_axpy"}
+///   {"v":1, "kernel":"void kernel(int N, float* x, float* out) {...}",
+///    "name":"my_kernel", "oracle_hint":"out(i) = 2 * x(i)",
+///    "config":{"search":"bu","skip_verify":true,"timeout_s":2.5}}
+///
+/// Response:
+///
+///   {"v":1,"status":"ok","name":"my_kernel","category":"inline",
+///    "solved":true,"verified":true,"cached":false,
+///    "expr":"out(i) = 2 * x(i)","template":"b(i) = Const * c(i)",
+///    "attempts":1,"expansions":4,
+///    "timings":{"total_s":0.003,"parse_s":...,"oracle_s":...,
+///               "grammar_s":...,"search_s":...},
+///    "config":{"search":"bu","skip_verify":true,"timeout_s":2.5}}
+///   {"v":1,"status":"unknown_benchmark","name":"blas_axpi",
+///    "error":"unknown benchmark 'blas_axpi' — did you mean 'blas_axpy'?"}
+///
+/// Auto-detection: an input line whose first non-blank byte is '{' is a v1
+/// request; anything else is the legacy bare-registry-name protocol, whose
+/// one-line text responses are unchanged for existing clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_API_PROTOCOL_H
+#define STAGG_API_PROTOCOL_H
+
+#include "api/Api.h"
+
+#include <string>
+
+namespace stagg {
+namespace api {
+
+/// The protocol version this build speaks.
+constexpr int ProtocolVersion = 1;
+
+/// Which encoding a request line used (responses mirror it).
+enum class RequestFormat {
+  LegacyName, ///< Bare benchmark name, text response.
+  JsonV1,     ///< Protocol v1 object, JSON response.
+};
+
+/// One parsed request line.
+struct ParsedRequest {
+  RequestFormat Format = RequestFormat::LegacyName;
+  LiftRequest Request;
+
+  /// Non-empty when the line violates the protocol (malformed JSON, wrong
+  /// version, unknown/mistyped fields). The request is unusable.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Detects the format of \p Line and parses it. Blank lines and `#`
+/// comments must be filtered by the caller.
+ParsedRequest parseRequestLine(const std::string &Line);
+
+/// Renders \p Response as one line of protocol v1 JSON (no newline).
+std::string renderResponse(const LiftResponse &Response);
+
+/// Renders a protocol-level failure (a line that never became a request).
+std::string renderProtocolError(const std::string &Message);
+
+} // namespace api
+} // namespace stagg
+
+#endif // STAGG_API_PROTOCOL_H

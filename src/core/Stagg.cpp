@@ -28,13 +28,14 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   cfront::CParseResult Parsed = cfront::parseCFunction(B.CSource);
   if (!Parsed.ok()) {
     Result.FailReason = "C parse error: " + Parsed.Error;
-    Result.Seconds = Clock.seconds();
+    Result.Seconds = Result.ParseSeconds = Clock.seconds();
     return Result;
   }
   const cfront::CFunction &Fn = *Parsed.Function;
 
   // 2. Static analysis: LHS dimensionality and the constant pool.
   analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+  Result.ParseSeconds = Clock.seconds();
 
   // 3. Ask the oracle for candidate translations.
   llm::OracleTask Task;
@@ -42,6 +43,7 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   Task.Prompt = llm::buildPrompt(B.CSource, Config.NumCandidates);
   Task.NumCandidates = Config.NumCandidates;
   std::vector<std::string> Lines = Oracle.propose(Task);
+  Result.OracleSeconds = Clock.seconds() - Result.ParseSeconds;
 
   // 4. Parse, templatize, deduplicate.
   llm::ParsedResponses Responses = llm::parseResponses(Lines);
@@ -59,6 +61,8 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   if (Templates.empty()) {
     Result.FailReason = "no syntactically valid LLM candidates";
     Result.Seconds = Clock.seconds();
+    Result.GrammarSeconds =
+        Result.Seconds - Result.ParseSeconds - Result.OracleSeconds;
     return Result;
   }
 
@@ -77,9 +81,13 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   if (Examples.empty()) {
     Result.FailReason = "failed to execute the legacy kernel";
     Result.Seconds = Clock.seconds();
+    Result.GrammarSeconds =
+        Result.Seconds - Result.ParseSeconds - Result.OracleSeconds;
     return Result;
   }
   validate::Validator V(B, std::move(Examples), Summary.Constants);
+  Result.GrammarSeconds =
+      Clock.seconds() - Result.ParseSeconds - Result.OracleSeconds;
 
   // 7. Search with validate-then-verify as the goal test (Fig. 1's loop:
   // a verification failure falls back to the next substitution, then to
@@ -105,17 +113,25 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
           : search::runBottomUp(Grammar, Config.Search, Probe);
 
   Result.Solved = SR.Solved;
+  Result.Verified = SR.Solved && !Config.SkipVerification;
   Result.Template = std::move(SR.SolvedTemplate);
   Result.Attempts = SR.Attempts;
   Result.Expansions = SR.Expansions;
   Result.FailReason = SR.Solved ? "" : SR.FailReason;
   Result.Seconds = Clock.seconds();
+  Result.SearchSeconds = Result.Seconds - Result.ParseSeconds -
+                         Result.OracleSeconds - Result.GrammarSeconds;
   return Result;
 }
 
 std::string core::describeResult(const bench::Benchmark &B,
                                  const LiftResult &R) {
-  std::string Line = B.Name + ": ";
+  return describeResult(B.Name, R);
+}
+
+std::string core::describeResult(const std::string &Name,
+                                 const LiftResult &R) {
+  std::string Line = Name + ": ";
   if (R.Solved) {
     Line += "OK  " + taco::printProgram(R.Concrete);
   } else {
@@ -124,4 +140,44 @@ std::string core::describeResult(const bench::Benchmark &B,
   Line += "  [" + std::to_string(R.Seconds * 1e3) + " ms, " +
           std::to_string(R.Attempts) + " attempts]";
   return Line;
+}
+
+std::string core::configFingerprint(const StaggConfig &Config) {
+  // Every field read anywhere in liftBenchmark (or below it) appears here;
+  // the serving knobs in Config.Serve deliberately do not — queue depth,
+  // batching, and cache shape never change a result. Adding a pipeline knob
+  // without extending this list is a cache-correctness bug, which
+  // ApiTest.FingerprintCoversResultAffectingKnobs guards against for the
+  // knobs reachable from the wire protocol.
+  std::string F = "v1";
+  auto Add = [&F](const std::string &Token) {
+    F += '|';
+    F += Token;
+  };
+  Add(Config.Kind == SearchKind::TopDown ? "td" : "bu");
+  Add(std::to_string(Config.NumCandidates));
+  Add(std::to_string(Config.NumIoExamples));
+  Add(std::to_string(Config.ExampleSeed));
+  Add(Config.SkipVerification ? "noverify" : "verify");
+  const grammar::GrammarOptions &G = Config.Grammar;
+  Add(std::string(G.FullGrammar ? "fg" : "-") +
+      (G.EqualProbability ? "ep" : "-"));
+  Add(std::to_string(G.FullGrammarTensors));
+  Add(std::to_string(G.FullGrammarMaxDim));
+  const search::SearchConfig &S = Config.Search;
+  std::string Penalties;
+  for (bool P : {S.PenaltyA1, S.PenaltyA2, S.PenaltyA3, S.PenaltyA4,
+                 S.PenaltyA5, S.PenaltyB1, S.PenaltyB2})
+    Penalties += P ? '1' : '0';
+  Add(Penalties);
+  Add(std::to_string(S.MaxDepth));
+  Add(std::to_string(S.TimeoutSeconds));
+  Add(std::to_string(S.MaxExpansions));
+  Add(std::to_string(S.MaxAttempts));
+  const verify::VerifyOptions &V = Config.Verify;
+  Add(std::to_string(V.MaxSize));
+  Add(std::to_string(V.RandomTrials));
+  Add(std::to_string(V.MaxOneHot));
+  Add(std::to_string(V.Seed));
+  return F;
 }

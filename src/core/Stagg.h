@@ -87,6 +87,10 @@ struct StaggConfig {
 struct LiftResult {
   bool Solved = false;
 
+  /// True when the solution also passed bounded verification (false for
+  /// SkipVerification runs, which accept on I/O validation alone).
+  bool Verified = false;
+
   /// The successful template (symbolic) and its concrete instantiation.
   taco::Program Template;
   taco::Program Concrete;
@@ -99,6 +103,15 @@ struct LiftResult {
 
   /// End-to-end wall-clock seconds (oracle + grammar + search + verify).
   double Seconds = 0;
+
+  /// Per-phase wall-clock breakdown of Seconds: C parse + static analysis,
+  /// candidate generation, grammar learning (incl. response parsing and the
+  /// dimension vote), and search (incl. validation and verification, which
+  /// run inside the search's goal test).
+  double ParseSeconds = 0;
+  double OracleSeconds = 0;
+  double GrammarSeconds = 0;
+  double SearchSeconds = 0;
 
   std::string FailReason;
 
@@ -115,6 +128,17 @@ LiftResult liftBenchmark(const bench::Benchmark &B,
 
 /// Renders a result row for logs: "name: OK concrete (1.2ms, 5 attempts)".
 std::string describeResult(const bench::Benchmark &B, const LiftResult &R);
+
+/// Same rendering from a bare name (serve clients hold responses, not
+/// registry records).
+std::string describeResult(const std::string &Name, const LiftResult &R);
+
+/// Serializes every result-affecting field of \p Config into a compact,
+/// stable token. Two configurations with equal fingerprints produce
+/// bit-identical lift results for the same query, so the serving layer keys
+/// its result cache on (kernel, fingerprint) — per-request config overrides
+/// must never be answered from a run under different settings.
+std::string configFingerprint(const StaggConfig &Config);
 
 } // namespace core
 } // namespace stagg

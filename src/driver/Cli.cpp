@@ -79,20 +79,7 @@ const std::vector<std::string> &knownFlags() {
 /// enough to be a plausible typo.
 std::string suggestFor(const std::string &Unknown,
                        const std::vector<std::string> &Candidates) {
-  std::string Best;
-  size_t BestDistance = std::string::npos;
-  for (const std::string &Candidate : Candidates) {
-    size_t Distance = editDistance(Unknown, Candidate);
-    if (Distance < BestDistance) {
-      BestDistance = Distance;
-      Best = Candidate;
-    }
-  }
-  // A typo shares most of its letters with the intended flag; anything
-  // further away than a third of the name is noise, not a suggestion.
-  if (BestDistance <= std::max<size_t>(2, Unknown.size() / 3))
-    return Best;
-  return std::string();
+  return closestMatch(Unknown, Candidates);
 }
 
 /// Applies one `--drop-penalty` selector; returns false for unknown names.
@@ -392,9 +379,21 @@ std::string driver::usage() {
      << "\n"
      << "Usage: stagg [options]         batch suite run\n"
      << "       stagg serve [options]   persistent serving loop: reads\n"
-     << "                               newline-delimited benchmark names\n"
-     << "                               from stdin (or --input FILE) and\n"
-     << "                               streams one result line each\n"
+     << "                               newline-delimited requests from\n"
+     << "                               stdin (or --input FILE) and streams\n"
+     << "                               one result line each. A request is\n"
+     << "                               a protocol-v1 JSON object — e.g.\n"
+     << "                               {\"v\":1,\"kernel\":\"void kernel("
+        "...){...}\",\n"
+     << "                               \"config\":{\"skip_verify\":true}} "
+        "— carrying\n"
+     << "                               a registry name or an inline C\n"
+     << "                               kernel plus per-request config\n"
+     << "                               overrides (see README, \"Wire\n"
+     << "                               protocol v1\"), or a legacy bare\n"
+     << "                               benchmark name. Exit codes: 0 ok,\n"
+     << "                               2 unknown name, 3 bad JSON,\n"
+     << "                               4 kernel ingestion failure\n"
      << "\n"
      << "Suite selection:\n"
      << "  --suite NAME        all | real | artificial | blas | darknet | "

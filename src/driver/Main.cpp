@@ -4,7 +4,9 @@
 //
 // Exit codes: 0 the run completed (individual benchmarks may still FAIL —
 // that is a result, not an error), 1 an output file could not be written,
-// 2 bad command line.
+// 2 bad command line. `stagg serve` additionally distinguishes its request
+// failures: 2 unknown registry name, 3 malformed JSON / protocol violation,
+// 4 inline-kernel parse or ingestion failure (driver/ServeCommand.h).
 //
 //===----------------------------------------------------------------------===//
 

@@ -2,10 +2,10 @@
 
 #include "driver/ServeCommand.h"
 
-#include "serve/LiftService.h"
+#include "api/Endpoint.h"
+#include "api/Protocol.h"
 #include "support/StringUtils.h"
 
-#include <chrono>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -15,26 +15,85 @@ using namespace stagg::driver;
 
 namespace {
 
-/// A request admitted to the service, remembered until its reply is
-/// printed. Replies are printed in admission order.
+/// A request admitted to the endpoint — or a protocol error standing in
+/// for one — remembered until its reply is printed. Replies are printed in
+/// admission order, each in the format its request used.
 struct InFlight {
-  const bench::Benchmark *Query = nullptr;
-  std::future<serve::LiftResponse> Reply;
+  api::PendingLift Pending;
+  api::RequestFormat Format = api::RequestFormat::LegacyName;
+
+  /// Non-empty for lines that never became requests: the pre-rendered
+  /// protocol-error response, printed in stream order like any reply.
+  std::string ProtocolError;
 };
 
-void printResponse(std::ostream &Out, const bench::Benchmark &B,
-                   const serve::LiftResponse &Response) {
-  Out << core::describeResult(B, Response.Result)
+/// Tracks the worst protocol condition seen, for the exit code, and emits
+/// one stderr diagnostic per failed request.
+class ExitTracker {
+public:
+  explicit ExitTracker(std::ostream &Err) : Err(Err) {}
+
+  void note(const api::LiftResponse &Response) {
+    switch (Response.St) {
+    case api::Status::Ok:
+      return;
+    case api::Status::UnknownBenchmark:
+      raise(ServeExitUnknownName);
+      break;
+    case api::Status::BadRequest:
+      raise(ServeExitBadRequest);
+      break;
+    case api::Status::KernelParseError:
+    case api::Status::IngestError:
+      raise(ServeExitIngestFailure);
+      break;
+    }
+    Err << "stagg serve: " << api::statusName(Response.St) << ": "
+        << Response.Error << "\n";
+  }
+
+  void noteProtocolError(const std::string &Message) {
+    raise(ServeExitBadRequest);
+    Err << "stagg serve: bad_request: " << Message << "\n";
+  }
+
+  int exitCode() const { return Code; }
+
+private:
+  void raise(int Candidate) { Code = std::max(Code, Candidate); }
+
+  std::ostream &Err;
+  int Code = ServeExitOk;
+};
+
+void printEntry(std::ostream &Out, InFlight &Entry, ExitTracker &Tracker) {
+  if (!Entry.ProtocolError.empty()) {
+    Out << Entry.ProtocolError << "\n" << std::flush;
+    return;
+  }
+  api::LiftResponse Response = Entry.Pending.get();
+  Tracker.note(Response);
+  if (Entry.Format == api::RequestFormat::JsonV1) {
+    Out << api::renderResponse(Response) << "\n" << std::flush;
+    return;
+  }
+  // Legacy text rendering, byte-compatible with pre-protocol sessions.
+  if (!Response.ok()) {
+    Out << Response.Name << ": ERROR unknown benchmark (try `stagg --list`)\n"
+        << std::flush;
+    return;
+  }
+  Out << core::describeResult(Response.Name, Response.Result)
       << (Response.CacheHit ? " [cached]" : "") << "\n"
       << std::flush;
 }
 
 /// Prints every leading in-flight entry whose reply is already available.
-void flushReady(std::deque<InFlight> &Window, std::ostream &Out) {
-  while (!Window.empty() &&
-         Window.front().Reply.wait_for(std::chrono::seconds(0)) ==
-             std::future_status::ready) {
-    printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+void flushReady(std::deque<InFlight> &Window, std::ostream &Out,
+                ExitTracker &Tracker) {
+  while (!Window.empty() && (!Window.front().ProtocolError.empty() ||
+                             Window.front().Pending.ready())) {
+    printEntry(Out, Window.front(), Tracker);
     Window.pop_front();
   }
 }
@@ -58,59 +117,57 @@ int driver::runServeLoop(const CliOptions &Options, std::istream &In,
   Service.Config = Options.Config;
   Service.Threads = Options.Threads;
   Service.OracleSeed = Options.OracleSeed;
-  serve::LiftService Lifter(Service);
+  api::Endpoint Lifter(Service);
 
   if (Options.Verbose)
     Err << "stagg serve: " << Lifter.threads() << " workers, queue depth "
         << Lifter.queueDepth() << ", batch "
         << Options.Config.Serve.BatchSize << ", cache "
-        << Options.Config.Serve.CacheCapacity << " entries\n";
+        << Options.Config.Serve.CacheCapacity
+        << " entries, protocol v1 + legacy names\n";
 
+  ExitTracker Tracker(Err);
   std::deque<InFlight> Window;
   // In-order printing means a slow request at the front can pile finished
   // replies up behind it; cap the pile so memory stays bounded by the
   // configured in-flight work, not by the input length.
   const size_t WindowCap =
       static_cast<size_t>(Lifter.queueDepth() + Lifter.threads()) + 1;
-  bool SawUnknown = false;
   std::string Line;
   while (std::getline(In, Line)) {
-    std::string Name = trim(Line);
-    if (Name.empty() || Name[0] == '#')
+    std::string Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed[0] == '#')
       continue;
-    const bench::Benchmark *B = bench::findBenchmark(Name);
-    if (!B) {
-      // Keep serving; the bad request gets an error line in stream order.
-      flushReady(Window, Out);
-      while (!Window.empty()) {
-        printResponse(Out, *Window.front().Query, Window.front().Reply.get());
-        Window.pop_front();
-      }
-      Out << Name << ": ERROR unknown benchmark (try `stagg --list`)\n"
-          << std::flush;
-      SawUnknown = true;
-      continue;
-    }
+
     InFlight Entry;
-    Entry.Query = B;
-    Entry.Reply = Lifter.submit(*B); // blocks on queue backpressure
+    api::ParsedRequest Parsed = api::parseRequestLine(Trimmed);
+    if (!Parsed.ok()) {
+      // The line never became a request; it joins the window as an already-
+      // rendered error so it prints in stream order without blocking the
+      // admission of later requests behind in-flight lifts.
+      Tracker.noteProtocolError(Parsed.Error);
+      Entry.ProtocolError = api::renderProtocolError(Parsed.Error);
+    } else {
+      Entry.Format = Parsed.Format;
+      Entry.Pending = Lifter.submit(Parsed.Request); // blocks on backpressure
+    }
     Window.push_back(std::move(Entry));
-    flushReady(Window, Out);
+    flushReady(Window, Out, Tracker);
     while (Window.size() >= WindowCap) {
-      printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+      printEntry(Out, Window.front(), Tracker);
       Window.pop_front();
     }
   }
 
   while (!Window.empty()) {
-    printResponse(Out, *Window.front().Query, Window.front().Reply.get());
+    printEntry(Out, Window.front(), Tracker);
     Window.pop_front();
   }
 
   if (Options.ShowCacheStats)
     printServeStats(Err, Lifter.cacheStats(), Lifter.batchingStats(),
                     Options.Config.Serve.BatchSize);
-  return SawUnknown ? 2 : 0;
+  return Tracker.exitCode();
 }
 
 int driver::runServeCommand(const CliOptions &Options) {

@@ -5,13 +5,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `stagg serve` session: one persistent serve::LiftService answering a
-/// stream of newline-delimited lift requests (benchmark names; blank lines
-/// and `#` comments are skipped). Results stream back one line per request
-/// in request order, with `[cached]` marking cache hits; repeated identical
-/// kernels never re-run the pipeline. Requests keep being read while
-/// earlier lifts are still in flight, so the worker pool stays busy up to
+/// The `stagg serve` session: one persistent api::Endpoint answering a
+/// stream of newline-delimited lift requests (blank lines and `#` comments
+/// are skipped). Two request formats coexist per line, auto-detected:
+///
+///  * protocol v1 JSON objects (api/Protocol.h) — registry names *or*
+///    inline C kernels, with per-request config overrides; answered with
+///    one-line JSON responses;
+///
+///  * legacy bare benchmark names — answered with the original text lines
+///    (`name: OK expr ... [cached]`), unchanged for existing clients.
+///
+/// Results stream back one line per request in request order; repeated
+/// identical kernels never re-run the pipeline. Requests keep being read
+/// while earlier lifts are in flight, so the worker pool stays busy up to
 /// the queue bound.
+///
+/// Exit codes (documented in --help and README): 0 all requests served (a
+/// FAILed lift is a result, not an error); 2 some request named an unknown
+/// benchmark; 3 some line was malformed JSON or violated the protocol;
+/// 4 some inline kernel failed C parsing or ingestion. Higher-numbered
+/// conditions win when several occur; each also gets a stderr diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +41,14 @@
 namespace stagg {
 namespace driver {
 
+/// Exit codes of `stagg serve`, from the contract above.
+enum ServeExitCode {
+  ServeExitOk = 0,
+  ServeExitUnknownName = 2,
+  ServeExitBadRequest = 3,
+  ServeExitIngestFailure = 4,
+};
+
 /// Renders the --cache-stats report: the cache counter line, plus the
 /// batching counter line when batching is enabled. Shared by batch mode
 /// (Main) and the serve loop so the two reports can never drift apart.
@@ -34,10 +56,9 @@ void printServeStats(std::ostream &Err, const serve::CacheStats &Cache,
                      const serve::BatchingStats &Batching, int BatchSize);
 
 /// Runs the serving loop over \p In, streaming result lines to \p Out and
-/// diagnostics (and --cache-stats counters) to \p Err. Returns the process
-/// exit code: 0 even when individual lifts FAIL (a failed lift is a result,
-/// not an error); 2 when any request named an unknown benchmark — the loop
-/// still serves every other request before exiting.
+/// diagnostics (and --cache-stats counters) to \p Err. Returns the exit
+/// code per the contract above; the loop serves every remaining request
+/// even after a failed one.
 int runServeLoop(const CliOptions &Options, std::istream &In,
                  std::ostream &Out, std::ostream &Err);
 

@@ -71,21 +71,24 @@ SuiteReport driver::runSuite(const std::vector<const bench::Benchmark *> &Suite,
   Service.OracleSeed = Options.OracleSeed;
 
   Timer Wall;
-  serve::LiftService Lifter(Service);
+  api::Endpoint Lifter(Service);
 
   // Submission applies backpressure: once the bounded queue fills, push
   // blocks until a worker drains a slot. Collection happens in suite order,
   // which is also where verbose progress is emitted — response order is a
   // scheduling artifact, row order never is.
-  std::vector<std::future<serve::LiftResponse>> Replies;
+  std::vector<api::PendingLift> Replies;
   Replies.reserve(Suite.size());
-  for (const bench::Benchmark *B : Suite)
-    Replies.push_back(Lifter.submit(*B));
+  for (const bench::Benchmark *B : Suite) {
+    api::LiftRequest Request;
+    Request.RegistryName = B->Name;
+    Replies.push_back(Lifter.submit(Request));
+  }
 
   for (size_t Index = 0; Index < Replies.size(); ++Index) {
-    serve::LiftResponse Response = Replies[Index].get();
+    api::LiftResponse Response = Replies[Index].get();
     RunRow &Row = Report.Rows[Index];
-    Row.Benchmark = Response.Benchmark;
+    Row.Benchmark = Response.Name;
     Row.Category = Response.Category;
     Row.Result = std::move(Response.Result);
     Row.CacheHit = Response.CacheHit;

@@ -5,20 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Batch-mode client of the serving layer: submits a benchmark selection to
-/// a serve::LiftService and renders the responses as a results table (human
-/// table, CSV or TSV). Batch runs and `stagg serve` sessions execute the
-/// identical service path — every worker's oracle is seeded identically, so
-/// worker count, batching, and caching never change the per-benchmark
-/// results, only the wall clock.
+/// Batch-mode client of the lift API: submits a benchmark selection through
+/// api::Endpoint and renders the responses as a results table (human table,
+/// CSV or TSV). Batch runs and `stagg serve` sessions execute the identical
+/// api path — every worker's oracle is seeded identically, so worker count,
+/// batching, and caching never change the per-benchmark results, only the
+/// wall clock.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef STAGG_DRIVER_SUITERUNNER_H
 #define STAGG_DRIVER_SUITERUNNER_H
 
+#include "api/Endpoint.h"
 #include "driver/Cli.h"
-#include "serve/LiftService.h"
 
 #include <iosfwd>
 #include <string>

@@ -56,16 +56,22 @@ void LiftService::shutdown() {
 }
 
 std::future<LiftResponse> LiftService::submit(const bench::Benchmark &B) {
+  return submit(B, Config.Config);
+}
+
+std::future<LiftResponse> LiftService::submit(
+    bench::Benchmark B, const core::StaggConfig &Override) {
   LiftRequest Request;
-  Request.Query = &B;
+  Request.Query = std::move(B);
+  Request.Config = Override;
   Request.Ticket = NextTicket.fetch_add(1);
   std::future<LiftResponse> Reply = Request.Reply.get_future();
   if (!Queue.push(std::move(Request))) {
     // Closed: the request was not moved from, so answer its own promise
     // immediately rather than leaving a dangling future.
     LiftResponse Response;
-    Response.Benchmark = B.Name;
-    Response.Category = B.Category;
+    Response.Benchmark = Request.Query.Name;
+    Response.Category = Request.Query.Category;
     Response.Ticket = Request.Ticket;
     Response.Result.FailReason = "service is shut down";
     Request.Reply.set_value(std::move(Response));
@@ -76,7 +82,8 @@ std::future<LiftResponse> LiftService::submit(const bench::Benchmark &B) {
 bool LiftService::trySubmit(const bench::Benchmark &B,
                             std::future<LiftResponse> &Out) {
   LiftRequest Request;
-  Request.Query = &B;
+  Request.Query = B;
+  Request.Config = Config.Config;
   Request.Ticket = NextTicket.fetch_add(1);
   std::future<LiftResponse> Reply = Request.Reply.get_future();
   if (!Queue.tryPush(std::move(Request)))
@@ -106,26 +113,29 @@ void LiftService::workerLoop() {
 }
 
 void LiftService::execute(LiftRequest &Request, llm::CandidateOracle &Oracle) {
-  const bench::Benchmark &B = *Request.Query;
+  const bench::Benchmark &B = Request.Query;
   LiftResponse Response;
   Response.Benchmark = B.Name;
   Response.Category = B.Category;
   Response.Ticket = Request.Ticket;
 
-  // The key is the normalized kernel text, salted with the benchmark name:
-  // the pipeline's result also depends on registry metadata outside the
-  // source text (ArgSpec shapes drive example generation, and the simulated
-  // oracle seeds its candidate stream per name), so two same-text entries
-  // must not share results. A backend conditioned on the prompt alone could
-  // drop the salt.
-  std::string Key = B.Name + '\x1f' + ResultCache::keyFor(B.CSource);
+  // The key is the normalized kernel text, salted with everything else the
+  // result depends on beyond the source text: the benchmark name (the
+  // simulated oracle seeds its candidate stream per name), the ground truth
+  // (an ingested kernel resubmitted with a different oracle hint must not
+  // alias), and the fingerprint of the request's effective configuration
+  // (per-request overrides change results). A backend conditioned on the
+  // prompt alone could drop the name/truth salts, never the fingerprint.
+  std::string Key = B.Name + '\x1f' + ResultCache::keyFor(B.CSource) +
+                    '\x1f' + B.GroundTruth + '\x1f' +
+                    core::configFingerprint(Request.Config);
   if (Cache.lookup(Key, Response.Result)) {
     Response.CacheHit = true;
     Request.Reply.set_value(std::move(Response));
     return;
   }
 
-  Response.Result = core::liftBenchmark(B, Oracle, Config.Config);
+  Response.Result = core::liftBenchmark(B, Oracle, Request.Config);
   // Deterministic failures (parse errors, exhausted search spaces, spent
   // expansion budgets) are cached too — re-lifting identical text can only
   // reproduce them. Wall-clock timeouts are NOT: they depend on machine

@@ -63,10 +63,20 @@ public:
   LiftService(const LiftService &) = delete;
   LiftService &operator=(const LiftService &) = delete;
 
-  /// Enqueues \p B, blocking while the queue is full (backpressure). The
-  /// future resolves when a worker finishes the lift or serves it from the
-  /// cache. After shutdown the future resolves immediately with a failure.
+  /// Enqueues a copy of \p B under the service-wide configuration, blocking
+  /// while the queue is full (backpressure). The future resolves when a
+  /// worker finishes the lift or serves it from the cache. After shutdown
+  /// the future resolves immediately with a failure.
   std::future<LiftResponse> submit(const bench::Benchmark &B);
+
+  /// Enqueues \p B (ownership transfers to the request) under \p Override
+  /// instead of the service-wide configuration. The serving knobs inside
+  /// \p Override (queue depth, batching, cache shape) are fixed at service
+  /// construction and ignored here; everything else — search kind,
+  /// candidate counts, verification, timeouts — takes effect for this
+  /// request alone, and the result cache keys on it.
+  std::future<LiftResponse> submit(bench::Benchmark B,
+                                   const core::StaggConfig &Override);
 
   /// Non-blocking variant: false (and no future) when the queue is full.
   bool trySubmit(const bench::Benchmark &B, std::future<LiftResponse> &Out);

@@ -43,10 +43,19 @@ struct LiftResponse {
 };
 
 /// One lift request as it travels through the service.
+///
+/// The request *owns* its benchmark: callers may submit kernels ingested
+/// from the wire (api::ingestKernel) and drop their buffers immediately —
+/// nothing in the service ever points into caller storage. (The original
+/// design held `const bench::Benchmark *` into the registry, which made any
+/// non-registry submission a lifetime hazard.)
 struct LiftRequest {
-  /// The kernel to lift. Points into the benchmark registry (or any storage
-  /// outliving the service).
-  const bench::Benchmark *Query = nullptr;
+  /// The kernel to lift.
+  bench::Benchmark Query;
+
+  /// The configuration this request runs under: the service-wide config
+  /// with any per-request overrides (api::ConfigPatch) already applied.
+  core::StaggConfig Config;
 
   /// Monotone admission ticket, assigned by LiftService::submit.
   uint64_t Ticket = 0;

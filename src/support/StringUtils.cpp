@@ -133,3 +133,19 @@ size_t stagg::editDistance(const std::string &A, const std::string &B) {
   }
   return Row[B.size()];
 }
+
+std::string stagg::closestMatch(const std::string &Unknown,
+                                const std::vector<std::string> &Candidates) {
+  std::string Best;
+  size_t BestDistance = std::string::npos;
+  for (const std::string &Candidate : Candidates) {
+    size_t Distance = editDistance(Unknown, Candidate);
+    if (Distance < BestDistance) {
+      BestDistance = Distance;
+      Best = Candidate;
+    }
+  }
+  if (BestDistance <= std::max<size_t>(2, Unknown.size() / 3))
+    return Best;
+  return std::string();
+}

@@ -47,6 +47,13 @@ std::string normalizeKernelText(const std::string &Source);
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
 size_t editDistance(const std::string &A, const std::string &B);
 
+/// The closest candidate to \p Unknown by edit distance, for "did you
+/// mean" hints, or "" when nothing is near enough to be a plausible typo
+/// (a typo shares most of its letters with the intended spelling; anything
+/// further than max(2, |Unknown|/3) away is noise, not a suggestion).
+std::string closestMatch(const std::string &Unknown,
+                         const std::vector<std::string> &Candidates);
+
 } // namespace stagg
 
 #endif // STAGG_SUPPORT_STRINGUTILS_H

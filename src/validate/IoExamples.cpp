@@ -12,7 +12,18 @@ validate::resolveShape(const ArgSpec &Arg,
   std::vector<int64_t> Shape;
   for (const std::string &Dim : Arg.Shape) {
     auto It = Sizes.find(Dim);
-    Shape.push_back(It != Sizes.end() ? It->second : 1);
+    if (It != Sizes.end()) {
+      Shape.push_back(It->second);
+      continue;
+    }
+    // Ingested kernels (api::ingestKernel) can have constant-extent
+    // dimensions spelled as decimal literals, e.g. a fixed 4-tap filter.
+    if (!Dim.empty() && Dim.find_first_not_of("0123456789") ==
+                            std::string::npos) {
+      Shape.push_back(std::stoll(Dim));
+      continue;
+    }
+    Shape.push_back(1);
   }
   return Shape;
 }

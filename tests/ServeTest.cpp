@@ -34,7 +34,7 @@ namespace {
 
 LiftRequest requestFor(const bench::Benchmark *B) {
   LiftRequest R;
-  R.Query = B;
+  R.Query = *B; // requests own their benchmark (value semantics)
   return R;
 }
 
@@ -51,7 +51,7 @@ TEST(RequestQueue, FifoAndSize) {
   LiftRequest Out;
   for (int I = 0; I < 3; ++I) {
     ASSERT_TRUE(Q.pop(Out));
-    EXPECT_EQ(Out.Query, &All[static_cast<size_t>(I)]);
+    EXPECT_EQ(Out.Query.Name, All[static_cast<size_t>(I)].Name);
   }
   EXPECT_EQ(Q.size(), 0u);
 }
