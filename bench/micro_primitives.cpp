@@ -13,9 +13,12 @@
 #include "cfront/Parser.h"
 #include "grammar/DimensionList.h"
 #include "grammar/Pcfg.h"
+#include "grammar/Template.h"
 #include "search/TopDown.h"
 #include "taco/Einsum.h"
 #include "taco/Parser.h"
+#include "validate/Validator.h"
+#include "verify/BoundedVerifier.h"
 
 #include <benchmark/benchmark.h>
 
@@ -104,5 +107,59 @@ static void BM_TopDownEnumeration(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TopDownEnumeration)->Arg(10)->Arg(100);
+
+/// Validator substitution enumeration (§6) over a ground-truth template —
+/// the pipeline's per-probe hot path. `stagg bench` measures the same
+/// workloads as micro/validator_axpy and micro/validator_gemv.
+static void BM_ValidatorEnumeration(benchmark::State &State,
+                                    const char *Name) {
+  const bench::Benchmark *B = bench::findBenchmark(Name);
+  auto Fn = cfront::parseCFunction(B->CSource);
+  Rng R(42);
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(*B, *Fn.Function, 3, R);
+  taco::Program Template =
+      grammar::templatize(*taco::parseTacoProgram(B->GroundTruth).Prog)
+          .Template;
+  validate::Validator V(*B, std::move(Examples), {1, 2});
+  for (auto _ : State) {
+    auto Valid = V.validate(Template);
+    benchmark::DoNotOptimize(Valid.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_ValidatorEnumeration, axpy, "blas_axpy");
+BENCHMARK_CAPTURE(BM_ValidatorEnumeration, gemv, "blas_gemv_ptr");
+
+/// Bounded verification (§7) of one candidate, cold (no reference cache) —
+/// micro/verifier_gemv in `stagg bench`.
+static void BM_VerifierSweep(benchmark::State &State) {
+  const bench::Benchmark *B = bench::findBenchmark("blas_gemv_ptr");
+  auto Fn = cfront::parseCFunction(B->CSource);
+  auto P = taco::parseTacoProgram(B->GroundTruth);
+  for (auto _ : State) {
+    verify::VerifyResult R =
+        verify::verifyEquivalence(*B, *Fn.Function, *P.Prog);
+    benchmark::DoNotOptimize(R.Equivalent);
+  }
+}
+BENCHMARK(BM_VerifierSweep);
+
+/// The Fig. 1 validator-fallback loop: eight candidates verified against
+/// one kernel with a shared reference cache, so only the first pays for
+/// the C interpretation — micro/verifier_fallback8 in `stagg bench`.
+static void BM_VerifierFallbackCached(benchmark::State &State) {
+  const bench::Benchmark *B = bench::findBenchmark("blas_gemv_ptr");
+  auto Fn = cfront::parseCFunction(B->CSource);
+  auto P = taco::parseTacoProgram(B->GroundTruth);
+  for (auto _ : State) {
+    verify::ReferenceCache Cache;
+    for (int I = 0; I < 8; ++I) {
+      verify::VerifyResult R = verify::verifyEquivalence(
+          *B, *Fn.Function, *P.Prog, verify::VerifyOptions(), &Cache);
+      benchmark::DoNotOptimize(R.Equivalent);
+    }
+  }
+}
+BENCHMARK(BM_VerifierFallbackCached);
 
 BENCHMARK_MAIN();

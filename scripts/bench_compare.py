@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two `stagg bench --json` reports and fail on perf regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [--max-ratio 2.0]
+        [--abs-max-ratio 4.0] [--prefix micro/]
+
+The gate compares *normalized* per-iteration times: every entry is divided
+by the run's own `micro/taco_parse` time, which cancels out raw machine
+speed (the committed baseline and the CI runner are different hardware). A
+normalized ratio above --max-ratio fails the gate: that benchmark got
+slower relative to everything else, i.e. a real hot-path regression. As a
+backstop against global regressions that scale all entries together (a
+build-type misconfiguration, say), the *absolute* per-iteration ratio is
+also checked against the looser --abs-max-ratio.
+
+Only entries whose name starts with --prefix (default `micro/`) are gated:
+the end-to-end lift timings are reported for information but are too noisy
+for a CI threshold. Entries present on one side only are reported, never
+fatal (new benchmarks must not break the gate retroactively).
+
+Exit codes: 0 ok, 1 regression found, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "micro/taco_parse"
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if doc.get("schema") != "stagg-bench" or doc.get("version") != 1:
+        sys.exit(f"bench_compare: {path} is not a stagg-bench v1 report")
+    entries = {}
+    for entry in doc.get("benchmarks", []):
+        per_iter = entry.get("per_iter_seconds", 0)
+        if per_iter > 0:
+            entries[entry["name"]] = per_iter
+    if CALIBRATION not in entries:
+        sys.exit(f"bench_compare: {path} lacks the {CALIBRATION} "
+                 "calibration benchmark")
+    return entries, doc.get("config_fingerprint", "")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when normalized current/baseline exceeds "
+                             "this (default 2.0)")
+    parser.add_argument("--abs-max-ratio", type=float, default=4.0,
+                        help="fail when the raw ratio exceeds this "
+                             "(default 4.0)")
+    parser.add_argument("--prefix", default="micro/",
+                        help="gate only benchmarks with this name prefix "
+                             "(default micro/)")
+    args = parser.parse_args()
+
+    base, base_fp = load(args.baseline)
+    cur, cur_fp = load(args.current)
+    if base_fp != cur_fp:
+        # Different pipeline configs make the verifier/validator baselines
+        # incomparable — loud warning rather than failure so one-off local
+        # comparisons stay possible, but CI baselines must be regenerated
+        # with the default config.
+        print("bench_compare: WARNING — config fingerprints differ; "
+              "the reports measured different pipeline configurations:\n"
+              f"  baseline: {base_fp}\n  current:  {cur_fp}")
+    base_cal = base[CALIBRATION]
+    cur_cal = cur[CALIBRATION]
+
+    shared = sorted(set(base) & set(cur))
+    gated = [n for n in shared if n.startswith(args.prefix)]
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    print(f"bench_compare: {len(shared)} shared entries, "
+          f"{len(gated)} gated ({args.prefix}*), calibration = {CALIBRATION}")
+    print(f"  calibration baseline {base_cal * 1e6:9.2f} us  "
+          f"current {cur_cal * 1e6:9.2f} us  "
+          f"(machine-speed ratio {cur_cal / base_cal:.2f}x)")
+
+    failures = []
+    for name in shared:
+        raw = cur[name] / base[name]
+        norm = (cur[name] / cur_cal) / (base[name] / base_cal)
+        # The calibration benchmark's normalized ratio is 1.0 by
+        # construction, so it is held to the absolute backstop only — a
+        # taco_parse regression must not pass by normalizing itself away.
+        is_cal = name == CALIBRATION
+        gate = name in gated or is_cal
+        verdict = "ok"
+        if gate and not is_cal and norm > args.max_ratio:
+            verdict = f"REGRESSION (normalized {norm:.2f}x > "\
+                      f"{args.max_ratio:.2f}x)"
+            failures.append(name)
+        elif gate and raw > args.abs_max_ratio:
+            verdict = f"REGRESSION (absolute {raw:.2f}x > "\
+                      f"{args.abs_max_ratio:.2f}x)"
+            failures.append(name)
+        flag = "*" if gate else " "
+        print(f" {flag}{name:40s} base {base[name] * 1e6:10.2f} us  "
+              f"cur {cur[name] * 1e6:10.2f} us  raw {raw:5.2f}x  "
+              f"norm {norm:5.2f}x  {verdict}")
+
+    # A gated benchmark vanishing from the current report must fail loudly:
+    # otherwise a renamed/dropped micro silently leaves the gate. New
+    # current-side entries stay non-fatal so adding benchmarks never breaks
+    # the gate retroactively.
+    for name in only_base:
+        if name.startswith(args.prefix):
+            print(f"  {name}: MISSING from current report — gated benchmark "
+                  "dropped or renamed")
+            failures.append(name)
+        else:
+            print(f"  {name}: only in baseline (removed?)")
+    for name in only_cur:
+        print(f"  {name}: only in current (new benchmark)")
+
+    if failures:
+        print(f"bench_compare: FAILED — {len(failures)} regression(s): "
+              + ", ".join(failures))
+        return 1
+    print("bench_compare: OK — no gated benchmark regressed past "
+          f"{args.max_ratio:.2f}x (normalized)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,17 +6,25 @@
 # -Wall -Wextra diagnostic fails the build. This is the single entry point
 # shared by local runs and every CI job (.github/workflows/ci.yml).
 #
-# Usage: scripts/check.sh [--sanitize]
+# Usage: scripts/check.sh [--sanitize | --bench]
 #
 #   --sanitize       instrument with ASan + UBSan (-DSTAGG_SANITIZE=ON) and
 #                    run the tests under the sanitizers
+#   --bench          performance mode: locate google-benchmark (the
+#                    bench/micro_primitives target builds only when found),
+#                    build Release, run the micro_primitives binary when
+#                    present, and run `stagg bench --json` into
+#                    $BUILD_DIR/bench.json — the entry point both the CI
+#                    perf job and local perf runs share
 #
 # Environment overrides:
 #   BUILD_DIR=dir    build tree (default: build-check; build-sanitize when
-#                    --sanitize is given)
+#                    --sanitize is given; build-bench when --bench is given)
 #   CMAKE_ARGS=...   extra configure arguments, e.g. a compiler selection:
 #                    CMAKE_ARGS="-DCMAKE_CXX_COMPILER=clang++"
 #   CTEST_ARGS=...   extra ctest arguments
+#   BENCH_ARGS=...   extra `stagg bench` arguments (default suite/threads
+#                    are "--suite real --threads 1")
 #
 #===----------------------------------------------------------------------===//
 
@@ -24,27 +32,62 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=OFF
+BENCH=OFF
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=ON ;;
+    --bench) BENCH=ON ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
+if [ "$SANITIZE" = ON ] && [ "$BENCH" = ON ]; then
+  echo "check.sh: --sanitize and --bench are mutually exclusive" >&2
+  exit 2
+fi
 
 if [ "$SANITIZE" = ON ]; then
   BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+elif [ "$BENCH" = ON ]; then
+  BUILD_DIR="${BUILD_DIR:-build-bench}"
 else
   BUILD_DIR="${BUILD_DIR:-build-check}"
 fi
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+EXTRA_ARGS=()
+if [ "$BENCH" = ON ]; then
+  # Benchmarks are only meaningful with optimizations on.
+  EXTRA_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
+  # No `grep -q`: under pipefail its early exit can SIGPIPE ldconfig and
+  # turn a found library into a spurious not-found note.
+  if ! ldconfig -p 2>/dev/null | grep libbenchmark >/dev/null; then
+    echo "check.sh: note: google-benchmark not found" \
+         "(apt: libbenchmark-dev); bench/micro_primitives will be skipped," \
+         "\`stagg bench\` runs regardless"
+  fi
+fi
 
 # CMAKE_ARGS is intentionally word-split: it carries whole -D... arguments.
 # shellcheck disable=SC2086
 cmake -B "$BUILD_DIR" -S . \
   -DSTAGG_WERROR=ON \
   -DSTAGG_SANITIZE="$SANITIZE" \
+  "${EXTRA_ARGS[@]}" \
   ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$JOBS"
+
+if [ "$BENCH" = ON ]; then
+  if [ -x "$BUILD_DIR/bench/micro_primitives" ]; then
+    # Default min-time; the flag's spelling changed across google-benchmark
+    # versions, so we do not pass it.
+    "$BUILD_DIR/bench/micro_primitives"
+  fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/stagg" bench ${BENCH_ARGS:---suite real --threads 1} \
+    --json "$BUILD_DIR/bench.json"
+  echo "check.sh: bench report written to $BUILD_DIR/bench.json"
+  exit 0
+fi
 
 # halt_on_error keeps a sanitizer finding from hiding behind a pass; the
 # suppressions hooks are no-ops until a finding ever needs one.

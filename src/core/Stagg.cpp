@@ -91,13 +91,16 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
 
   // 7. Search with validate-then-verify as the goal test (Fig. 1's loop:
   // a verification failure falls back to the next substitution, then to
-  // enumeration).
+  // enumeration). The reference cache memoizes the C kernel's outputs per
+  // (shape, input) across that loop — they are candidate-independent, so
+  // re-verifying fallback candidates only re-evaluates the TACO side.
+  verify::ReferenceCache VerifyCache;
   search::TemplateProbe Probe = [&](const taco::Program &Template) {
     std::vector<validate::Instantiation> Valid = V.validate(Template);
     for (validate::Instantiation &Inst : Valid) {
       if (!Config.SkipVerification) {
-        verify::VerifyResult VR =
-            verify::verifyEquivalence(B, Fn, Inst.Concrete, Config.Verify);
+        verify::VerifyResult VR = verify::verifyEquivalence(
+            B, Fn, Inst.Concrete, Config.Verify, &VerifyCache);
         if (!VR.Equivalent)
           continue;
       }
@@ -178,6 +181,7 @@ std::string core::configFingerprint(const StaggConfig &Config) {
   Add(std::to_string(V.MaxSize));
   Add(std::to_string(V.RandomTrials));
   Add(std::to_string(V.MaxOneHot));
+  Add(V.OneHotOnlyMultiplied ? "ohm" : "ohx");
   Add(std::to_string(V.Seed));
   return F;
 }

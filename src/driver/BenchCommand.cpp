@@ -1,0 +1,341 @@
+//===- driver/BenchCommand.cpp - stagg bench subcommand -------------------===//
+
+#include "driver/BenchCommand.h"
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Interp.h"
+#include "cfront/Parser.h"
+#include "driver/SuiteRunner.h"
+#include "grammar/DimensionList.h"
+#include "grammar/Pcfg.h"
+#include "grammar/Template.h"
+#include "search/TopDown.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+#include "taco/Einsum.h"
+#include "taco/Parser.h"
+#include "validate/Validator.h"
+#include "verify/BoundedVerifier.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+using namespace stagg;
+using namespace stagg::driver;
+
+namespace {
+
+/// One registered micro benchmark: a name and a single-iteration body.
+struct Micro {
+  std::string Name;
+  std::function<void()> Body;
+};
+
+/// Runs \p M adaptively: one warm-up iteration, then batches until the
+/// measured wall time reaches \p MinSeconds.
+BenchEntry runMicro(const Micro &M, double MinSeconds) {
+  M.Body();
+  BenchEntry Entry;
+  Entry.Name = M.Name;
+  Timer Clock;
+  int64_t Batch = 1;
+  for (;;) {
+    for (int64_t I = 0; I < Batch; ++I)
+      M.Body();
+    Entry.Iterations += Batch;
+    Entry.WallSeconds = Clock.seconds();
+    if (Entry.WallSeconds >= MinSeconds)
+      return Entry;
+    // Grow the batch toward the remaining budget to keep clock reads rare.
+    Batch = std::min<int64_t>(Entry.Iterations * 4, int64_t(1) << 24);
+  }
+}
+
+/// Shared fixture state for the pipeline micros, built once.
+struct MicroFixtures {
+  // blas_axpy: enumeration-heavy validation (2 scalar-rank options x two
+  // rank-1 symbols over three rank-1 arguments).
+  const bench::Benchmark *Axpy = bench::findBenchmark("blas_axpy");
+  std::unique_ptr<cfront::CFunction> AxpyFn;
+  std::vector<validate::IoExample> AxpyExamples;
+  taco::Program AxpyTemplate;
+
+  // blas_gemv_ptr: the paper's Fig. 2 kernel; validator + verifier target.
+  const bench::Benchmark *Gemv = bench::findBenchmark("blas_gemv_ptr");
+  std::unique_ptr<cfront::CFunction> GemvFn;
+  std::vector<validate::IoExample> GemvExamples;
+  taco::Program GemvTemplate;
+  taco::Program GemvTruth;
+
+  MicroFixtures() {
+    {
+      cfront::CParseResult R = cfront::parseCFunction(Axpy->CSource);
+      AxpyFn = std::move(R.Function);
+      Rng Rand(42);
+      AxpyExamples = validate::generateExamples(*Axpy, *AxpyFn, 3, Rand);
+      AxpyTemplate = grammar::templatize(
+                         *taco::parseTacoProgram(Axpy->GroundTruth).Prog)
+                         .Template;
+    }
+    {
+      cfront::CParseResult R = cfront::parseCFunction(Gemv->CSource);
+      GemvFn = std::move(R.Function);
+      Rng Rand(42);
+      GemvExamples = validate::generateExamples(*Gemv, *GemvFn, 3, Rand);
+      GemvTemplate = grammar::templatize(
+                         *taco::parseTacoProgram(Gemv->GroundTruth).Prog)
+                         .Template;
+      GemvTruth = *taco::parseTacoProgram(Gemv->GroundTruth).Prog;
+    }
+  }
+};
+
+/// The micro suite. Mirrors bench/micro_primitives.cpp (the google-benchmark
+/// build of the same measurements) and adds the validator/verifier hot
+/// paths this repo's perf work targets.
+std::vector<Micro> buildMicros(const MicroFixtures &F) {
+  std::vector<Micro> Micros;
+
+  Micros.push_back({"micro/taco_parse", [] {
+                      auto R = taco::parseTacoProgram(
+                          "C(i,j) = A(i,k) * B(k,j) + D(i,j)");
+                      if (!R.ok())
+                        std::abort();
+                    }});
+
+  {
+    auto P = std::make_shared<taco::Program>(
+        *taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)").Prog);
+    auto Ops =
+        std::make_shared<std::map<std::string, taco::Tensor<double>>>();
+    taco::Tensor<double> Bm({16, 16}), Cm({16, 16});
+    for (size_t I = 0; I < Bm.flat().size(); ++I) {
+      Bm.flat()[I] = static_cast<double>(I % 7);
+      Cm.flat()[I] = static_cast<double>(I % 5);
+    }
+    Ops->emplace("b", std::move(Bm));
+    Ops->emplace("c", std::move(Cm));
+    Micros.push_back({"micro/einsum_matmul16", [P, Ops] {
+                        auto R = taco::evalEinsum<double>(*P, *Ops, {16, 16});
+                        if (!R.Ok)
+                          std::abort();
+                      }});
+  }
+
+  {
+    auto Fn = std::make_shared<cfront::CParseResult>(
+        cfront::parseCFunction(F.Gemv->CSource));
+    Micros.push_back({"micro/cinterp_gemv32", [Fn] {
+                        cfront::ExecEnv<double> Env;
+                        Env.IntScalars["N"] = 32;
+                        Env.Arrays["Mat1"].assign(32 * 32, 2.0);
+                        Env.Arrays["Mat2"].assign(32, 3.0);
+                        Env.Arrays["Result"].assign(32, 0.0);
+                        auto S = cfront::runCFunction(*Fn->Function, Env);
+                        if (!S.Ok)
+                          std::abort();
+                      }});
+  }
+
+  {
+    const bench::Benchmark *B = bench::findBenchmark("dsp_matmul_ptr");
+    auto Fn = std::make_shared<cfront::CParseResult>(
+        cfront::parseCFunction(B->CSource));
+    Micros.push_back({"micro/static_analysis", [Fn] {
+                        analysis::KernelSummary S =
+                            analysis::analyzeKernel(*Fn->Function);
+                        if (S.LhsDim < 0)
+                          std::abort();
+                      }});
+  }
+
+  {
+    auto T = std::make_shared<std::vector<grammar::Templatized>>();
+    for (const char *S : {"r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(j)",
+                          "r(i) = m(i,j) * v(i)", "r(i) = m(i,j) + v(j)"})
+      T->push_back(grammar::templatize(*taco::parseTacoProgram(S).Prog));
+    *T = grammar::dedupTemplates(*T);
+    Micros.push_back(
+        {"micro/grammar_construction", [T] {
+           grammar::TemplateGrammar G = grammar::buildTemplateGrammar(
+               *T, grammar::predictDimensionList(*T, 1), 1,
+               grammar::GrammarOptions());
+           if (G.TensorRules.empty())
+             std::abort();
+         }});
+  }
+
+  {
+    auto T = std::make_shared<std::vector<grammar::Templatized>>();
+    for (const char *S : {"r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(j)"})
+      T->push_back(grammar::templatize(*taco::parseTacoProgram(S).Prog));
+    *T = grammar::dedupTemplates(*T);
+    auto G = std::make_shared<grammar::TemplateGrammar>(
+        grammar::buildTemplateGrammar(*T, grammar::predictDimensionList(*T, 1),
+                                      1, grammar::GrammarOptions()));
+    Micros.push_back({"micro/topdown_enumeration100", [G] {
+                        search::SearchConfig Config;
+                        Config.MaxAttempts = 100;
+                        search::SearchResult R = search::runTopDown(
+                            *G, Config,
+                            [](const taco::Program &) { return false; });
+                        if (R.Attempts <= 0)
+                          std::abort();
+                      }});
+  }
+
+  // Validator substitution enumeration (the §6 hot path).
+  {
+    auto V = std::make_shared<validate::Validator>(
+        *F.Axpy, F.AxpyExamples, std::vector<int64_t>{1, 2});
+    auto T = std::make_shared<taco::Program>(F.AxpyTemplate);
+    Micros.push_back({"micro/validator_axpy", [V, T] {
+                        if (V->validate(*T).empty())
+                          std::abort();
+                      }});
+  }
+  {
+    auto V = std::make_shared<validate::Validator>(
+        *F.Gemv, F.GemvExamples, std::vector<int64_t>{1, 2});
+    auto T = std::make_shared<taco::Program>(F.GemvTemplate);
+    Micros.push_back({"micro/validator_gemv", [V, T] {
+                        if (V->validate(*T).empty())
+                          std::abort();
+                      }});
+  }
+
+  // Bounded verifier (§7): one cold candidate, and the Fig. 1 fallback loop
+  // of eight candidates sharing one reference cache.
+  {
+    auto Fn = std::make_shared<cfront::CParseResult>(
+        cfront::parseCFunction(F.Gemv->CSource));
+    auto P = std::make_shared<taco::Program>(F.GemvTruth);
+    const bench::Benchmark *B = F.Gemv;
+    Micros.push_back({"micro/verifier_gemv", [Fn, P, B] {
+                        verify::VerifyResult VR = verify::verifyEquivalence(
+                            *B, *Fn->Function, *P);
+                        if (!VR.Equivalent)
+                          std::abort();
+                      }});
+    Micros.push_back({"micro/verifier_fallback8", [Fn, P, B] {
+                        verify::ReferenceCache Cache;
+                        for (int I = 0; I < 8; ++I) {
+                          verify::VerifyResult VR = verify::verifyEquivalence(
+                              *B, *Fn->Function, *P, verify::VerifyOptions(),
+                              &Cache);
+                          if (!VR.Equivalent)
+                            std::abort();
+                        }
+                      }});
+  }
+
+  return Micros;
+}
+
+} // namespace
+
+BenchReport driver::runBench(const CliOptions &Options,
+                             std::ostream *Progress) {
+  BenchReport Report;
+  Report.ConfigFingerprint = core::configFingerprint(Options.Config);
+  Report.Suite = Options.Suite;
+
+  MicroFixtures Fixtures;
+  std::vector<Micro> Micros = buildMicros(Fixtures);
+  for (const Micro &M : Micros) {
+    if (Progress)
+      *Progress << "bench: " << M.Name << "\n";
+    Report.Entries.push_back(runMicro(M, Options.BenchMinTime));
+  }
+
+  // End-to-end lift latency over the selected suite.
+  std::string SuiteError;
+  std::vector<const bench::Benchmark *> Suite =
+      selectSuite(Options.Suite, Options.Limit, SuiteError);
+  if (Progress)
+    *Progress << "bench: lift sweep over " << Suite.size() << " benchmarks ("
+              << Options.Suite << ")\n";
+  SuiteReport Sweep = runSuite(Suite, Options, nullptr);
+  Report.Threads = Sweep.Threads;
+  for (const RunRow &Row : Sweep.Rows) {
+    BenchEntry Entry;
+    Entry.Name = "lift/" + Row.Benchmark;
+    Entry.WallSeconds = Row.Result.Seconds;
+    Entry.Iterations = 1;
+    Entry.Solved = Row.Result.Solved ? 1 : 0;
+    Report.Entries.push_back(std::move(Entry));
+  }
+  BenchEntry Total;
+  Total.Name = "lift/_total";
+  Total.WallSeconds = Sweep.WallSeconds;
+  Total.Iterations = 1;
+  Total.Solved = Sweep.solvedCount() == static_cast<int>(Sweep.Rows.size());
+  Report.Entries.push_back(std::move(Total));
+  return Report;
+}
+
+void driver::printBenchTable(std::ostream &Os, const BenchReport &Report) {
+  size_t NameWidth = 4;
+  for (const BenchEntry &E : Report.Entries)
+    NameWidth = std::max(NameWidth, E.Name.size());
+
+  Os << std::left << std::setw(static_cast<int>(NameWidth)) << "name"
+     << std::right << std::setw(14) << "per-iter" << std::setw(12) << "iters"
+     << std::setw(12) << "wall" << "\n";
+  for (const BenchEntry &E : Report.Entries) {
+    std::ostringstream PerIter;
+    PerIter << std::fixed << std::setprecision(1)
+            << E.perIterSeconds() * 1e6 << " us";
+    std::ostringstream Wall;
+    Wall << std::fixed << std::setprecision(3) << E.WallSeconds << " s";
+    Os << std::left << std::setw(static_cast<int>(NameWidth)) << E.Name
+       << std::right << std::setw(14) << PerIter.str() << std::setw(12)
+       << E.Iterations << std::setw(12) << Wall.str();
+    if (E.Solved == 0)
+      Os << "  UNSOLVED";
+    Os << "\n";
+  }
+}
+
+std::string driver::benchReportJson(const BenchReport &Report) {
+  support::Json Root = support::Json::object();
+  Root.set("schema", support::Json::str("stagg-bench"));
+  Root.set("version", support::Json::integer(1));
+  Root.set("config_fingerprint",
+           support::Json::str(Report.ConfigFingerprint));
+  Root.set("suite", support::Json::str(Report.Suite));
+  Root.set("threads", support::Json::integer(Report.Threads));
+  support::Json Benchmarks = support::Json::array();
+  for (const BenchEntry &E : Report.Entries) {
+    support::Json Entry = support::Json::object();
+    Entry.set("name", support::Json::str(E.Name));
+    Entry.set("wall_seconds", support::Json::number(E.WallSeconds));
+    Entry.set("iterations", support::Json::integer(E.Iterations));
+    Entry.set("per_iter_seconds", support::Json::number(E.perIterSeconds()));
+    if (E.Solved >= 0)
+      Entry.set("solved", support::Json::boolean(E.Solved == 1));
+    Benchmarks.push(std::move(Entry));
+  }
+  Root.set("benchmarks", std::move(Benchmarks));
+  return Root.dump();
+}
+
+int driver::runBenchCommand(const CliOptions &Options) {
+  BenchReport Report =
+      runBench(Options, Options.Verbose ? &std::cerr : nullptr);
+  printBenchTable(std::cout, Report);
+  if (!Options.JsonPath.empty()) {
+    std::ofstream Out(Options.JsonPath);
+    if (!Out) {
+      std::cerr << "stagg: cannot write '" << Options.JsonPath << "'\n";
+      return 1;
+    }
+    Out << benchReportJson(Report) << "\n";
+  }
+  return 0;
+}

@@ -71,7 +71,8 @@ const std::vector<std::string> &knownFlags() {
       "--example-seed",  "--queue-depth",
       "--batch",         "--batch-wait-us",
       "--cache-capacity", "--cache-shards",
-      "--timeout"};
+      "--timeout",        "--json",
+      "--min-time"};
   return Flags;
 }
 
@@ -163,18 +164,28 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
   };
 
   bool SawCommand = false;
-  // First batch-only flag seen, for the mode cross-check after the loop.
-  std::string BatchOnly;
+  // First flag of each applicability class seen, for the mode cross-checks
+  // after the loop: RunOnly flags belong to the batch table run, SuiteFlags
+  // to any suite-selecting mode (batch or bench), BenchOnly to `stagg
+  // bench`.
+  std::string RunOnly;
+  std::string SuiteFlag;
+  std::string BenchOnly;
   for (; I < Args.size(); ++I) {
-    // Positional arguments are subcommands; `serve` is the only one.
+    // Positional arguments are subcommands: `serve` or `bench`.
     if (!Args[I].empty() && Args[I][0] != '-') {
       if (!SawCommand && Args[I] == "serve") {
         O.Mode = DriverMode::Serve;
         SawCommand = true;
         continue;
       }
+      if (!SawCommand && Args[I] == "bench") {
+        O.Mode = DriverMode::Bench;
+        SawCommand = true;
+        continue;
+      }
       Parse.Error = "unknown command '" + Args[I] + "'";
-      std::string Hint = suggestFor(Args[I], {"serve"});
+      std::string Hint = suggestFor(Args[I], {"serve", "bench"});
       if (!Hint.empty())
         Parse.Error += " — did you mean '" + Hint + "'?";
       Parse.Error += " (see --help)";
@@ -199,7 +210,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       O.ShowHelp = true;
     } else if (F.Name == "--list") {
       O.ListOnly = true;
-      BatchOnly = F.Name;
+      RunOnly = F.Name;
     } else if (F.Name == "--verbose" || F.Name == "-v") {
       O.Verbose = true;
     } else if (F.Name == "--no-verify") {
@@ -214,7 +225,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       if (!takeValue(F, O.InputPath))
         break;
     } else if (F.Name == "--suite") {
-      BatchOnly = F.Name;
+      SuiteFlag = F.Name;
       if (!takeValue(F, O.Suite))
         break;
       const std::vector<std::string> &Known = knownSuites();
@@ -247,7 +258,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
     } else if (F.Name == "--format") {
-      BatchOnly = F.Name;
+      RunOnly = F.Name;
       if (!takeValue(F, Value))
         break;
       if (Value == "table") {
@@ -261,7 +272,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
     } else if (F.Name == "--csv") {
-      BatchOnly = F.Name;
+      RunOnly = F.Name;
       if (!takeValue(F, O.CsvPath))
         break;
     } else if (F.Name == "--limit" || F.Name == "--threads" ||
@@ -285,7 +296,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       }
       if (F.Name == "--limit") {
         O.Limit = static_cast<int>(N);
-        BatchOnly = F.Name;
+        SuiteFlag = F.Name;
       }
       else if (F.Name == "--threads")
         O.Threads = static_cast<int>(N);
@@ -342,6 +353,21 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
       O.Config.Search.TimeoutSeconds = Seconds;
+    } else if (F.Name == "--json") {
+      BenchOnly = F.Name;
+      if (!takeValue(F, O.JsonPath))
+        break;
+    } else if (F.Name == "--min-time") {
+      BenchOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      double Seconds = 0;
+      if (!parseDouble(Value, Seconds) || !std::isfinite(Seconds) ||
+          Seconds <= 0) {
+        Parse.Error = "--min-time expects seconds > 0, got '" + Value + "'";
+        break;
+      }
+      O.BenchMinTime = Seconds;
     } else {
       Parse.Error = "unknown flag '" + Args[I] + "'";
       std::string Hint = suggestFor(F.Name, knownFlags());
@@ -356,12 +382,21 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
   // thing: --input without `serve` runs the whole default suite; --csv
   // with `serve` writes nothing the user asked for.
   if (Parse.ok() && !O.ShowHelp) {
-    if (O.Mode == DriverMode::Run && !O.InputPath.empty())
+    if (O.Mode != DriverMode::Serve && !O.InputPath.empty())
       Parse.Error = "--input only applies to `stagg serve`";
-    else if (O.Mode == DriverMode::Serve && !BatchOnly.empty())
-      Parse.Error = BatchOnly + " only applies to batch mode, not `stagg "
+    else if (O.Mode == DriverMode::Serve && !RunOnly.empty())
+      Parse.Error = RunOnly + " only applies to batch mode, not `stagg "
+                              "serve` (requests come from the input "
+                              "stream)";
+    else if (O.Mode == DriverMode::Serve && !SuiteFlag.empty())
+      Parse.Error = SuiteFlag + " only applies to batch mode, not `stagg "
                                 "serve` (requests come from the input "
                                 "stream)";
+    else if (O.Mode != DriverMode::Bench && !BenchOnly.empty())
+      Parse.Error = BenchOnly + " only applies to `stagg bench`";
+    else if (O.Mode == DriverMode::Bench && !RunOnly.empty())
+      Parse.Error =
+          RunOnly + " does not apply to `stagg bench` (see --help)";
   }
 
   return Parse;
@@ -378,6 +413,16 @@ std::string driver::usage() {
      << "verification) over a benchmark suite on a worker pool.\n"
      << "\n"
      << "Usage: stagg [options]         batch suite run\n"
+     << "       stagg bench [options]   performance report: runs the micro\n"
+     << "                               benchmarks (TACO parse, einsum,\n"
+     << "                               C interpreter, grammar, search,\n"
+     << "                               validator, verifier) plus an\n"
+     << "                               end-to-end lift-latency sweep over\n"
+     << "                               the selected suite; prints a table\n"
+     << "                               and, with --json PATH, writes the\n"
+     << "                               versioned JSON report consumed by\n"
+     << "                               scripts/bench_compare.py and the CI\n"
+     << "                               perf job\n"
      << "       stagg serve [options]   persistent serving loop: reads\n"
      << "                               newline-delimited requests from\n"
      << "                               stdin (or --input FILE) and streams\n"
@@ -434,6 +479,11 @@ std::string driver::usage() {
      << "  --cache-stats       print cache/batching counters to stderr\n"
      << "  --input PATH        serve: read requests from PATH, not stdin\n"
      << "\n"
+     << "Benchmarking (stagg bench):\n"
+     << "  --json PATH         write the versioned JSON report to PATH\n"
+     << "  --min-time SECONDS  minimum measured time per micro benchmark\n"
+     << "                      (default 0.1)\n"
+     << "\n"
      << "Execution and output:\n"
      << "  --threads N         worker pool width (default: hardware)\n"
      << "  --format F          table (default) | csv | tsv on stdout\n"
@@ -445,6 +495,7 @@ std::string driver::usage() {
      << "  stagg --suite blas --limit 3\n"
      << "  stagg --suite real --search bu --threads 8 --csv results.csv\n"
      << "  stagg --suite all --drop-penalty a --equal-probability\n"
-     << "  stagg serve --threads 4 --batch 4 --cache-stats < requests.txt\n";
+     << "  stagg serve --threads 4 --batch 4 --cache-stats < requests.txt\n"
+     << "  stagg bench --suite real --threads 1 --json bench.json\n";
   return Os.str();
 }

@@ -30,9 +30,10 @@ namespace driver {
 /// Output renderings of the results table.
 enum class OutputFormat { Table, Csv, Tsv };
 
-/// What this invocation does: a batch suite run (default) or the
-/// persistent request-serving loop (`stagg serve`).
-enum class DriverMode { Run, Serve };
+/// What this invocation does: a batch suite run (default), the persistent
+/// request-serving loop (`stagg serve`), or the performance-report run
+/// (`stagg bench`).
+enum class DriverMode { Run, Serve, Bench };
 
 /// Everything the driver needs for one invocation.
 struct CliOptions {
@@ -46,6 +47,13 @@ struct CliOptions {
   /// `stagg serve`: read newline-delimited requests from this file instead
   /// of stdin when non-empty.
   std::string InputPath;
+
+  /// `stagg bench`: also write the versioned JSON report here when
+  /// non-empty.
+  std::string JsonPath;
+
+  /// `stagg bench`: minimum measured wall time per micro benchmark.
+  double BenchMinTime = 0.1;
 
   /// Print cache and batching counters to stderr after the run.
   bool ShowCacheStats = false;

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/BenchCommand.h"
 #include "driver/Cli.h"
 #include "driver/ServeCommand.h"
 #include "driver/SuiteRunner.h"
@@ -34,6 +35,9 @@ int main(int argc, char **argv) {
 
   if (Options.Mode == driver::DriverMode::Serve)
     return driver::runServeCommand(Options);
+
+  if (Options.Mode == driver::DriverMode::Bench)
+    return driver::runBenchCommand(Options);
 
   std::string SuiteError;
   std::vector<const bench::Benchmark *> Suite =

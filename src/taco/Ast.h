@@ -105,6 +105,12 @@ public:
     return *LiteralValue;
   }
 
+  /// Turns the node into the literal \p Value (in particular, a symbolic
+  /// constant into a concrete one). The validator's enumeration loop uses
+  /// this to sweep constant assignments in place instead of re-cloning the
+  /// template per assignment.
+  void setValue(int64_t Value) { LiteralValue = Value; }
+
   std::unique_ptr<Expr> clone() const override {
     if (isSymbolic())
       return symbolic();

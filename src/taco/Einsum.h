@@ -20,6 +20,24 @@
 /// lowering: it *is* the semantics both toolchains implement for the dense
 /// fragment, so validation and verification are unchanged.
 ///
+/// Evaluation is split into two phases so the validator can amortize the
+/// expensive one:
+///
+///  * EinsumProgram — *structure compilation*, once per program: index
+///    variables become integer slots into a flat coordinate array, the
+///    expression becomes a vector of nodes with child indices, and
+///    reduction placement is computed. None of this depends on the operand
+///    tensors, so one compiled program serves every operand binding.
+///  * EinsumEvaluator — *operand binding*, once per operand set: extents
+///    are checked and bound per slot, and every access is lowered to the
+///    operand's flat storage plus pre-resolved per-position strides. The
+///    per-cell loop then runs without any map lookups, and rebinding the
+///    same evaluator reuses all of its buffers.
+///
+/// Loop nesting and iteration order are exactly those of the direct
+/// recursive evaluator this replaced, so floating-point summation order
+/// (and therefore every validator verdict) is bit-identical.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STAGG_TACO_EINSUM_H
@@ -56,6 +74,11 @@ template <typename T> struct EinsumResult {
   }
 };
 
+/// Outcome of einsumCompare: the evaluation matched the expected output
+/// cell-for-cell, some cell failed the predicate, or the program could not
+/// be evaluated at all (binding/rank/extent error).
+enum class EinsumCompare { Match, Mismatch, Error };
+
 namespace detail {
 
 /// Advances a mixed-radix counter; returns false once all combinations have
@@ -70,24 +93,27 @@ inline bool advanceCounter(std::vector<int64_t> &Coord,
   return false;
 }
 
-/// Per-run evaluator: binds extents, computes reduction placement, then
-/// evaluates recursively.
-template <typename T> class EinsumEvaluator {
-public:
-  EinsumEvaluator(const Program &P,
-                  const std::map<std::string, Tensor<T>> &Operands)
-      : P(P), Operands(Operands) {}
+} // namespace detail
 
-  EinsumResult<T> run(const std::vector<int64_t> &OutputShape) {
-    if (!P.Rhs)
-      return EinsumResult<T>::failure("program has no RHS");
-    if (P.Lhs.order() != OutputShape.size())
-      return EinsumResult<T>::failure("output shape rank does not match LHS");
-    for (size_t I = 0; I < OutputShape.size(); ++I)
-      if (!bindExtent(P.Lhs.indices()[I], OutputShape[I]))
-        return EinsumResult<T>::failure(Error);
-    if (!bindOperandExtents(*P.Rhs))
-      return EinsumResult<T>::failure(Error);
+/// The operand-independent compilation of a program: slots, node tree, and
+/// reduction placement. Immutable after construction; any number of
+/// evaluators can share one instance.
+class EinsumProgram {
+public:
+  explicit EinsumProgram(const Program &P) : P(P) {
+    if (!P.Rhs) {
+      StructureError = "program has no RHS";
+      return;
+    }
+
+    // Slot assignment: LHS variables first, then RHS variables in order of
+    // first appearance.
+    for (const std::string &Var : P.Lhs.indices())
+      slotOf(Var);
+    collectVars(*P.Rhs);
+
+    for (const std::string &Var : P.Lhs.indices())
+      OutSlots.push_back(Slots.at(Var));
 
     // Reduction indices: on the RHS but not the LHS.
     std::set<std::string> OutVarSet(P.Lhs.indices().begin(),
@@ -100,60 +126,72 @@ public:
     TotalUses = countUses(*P.Rhs);
     placeReductions(*P.Rhs);
 
-    Tensor<T> Output(OutputShape);
-    const std::vector<std::string> &OutVars = P.Lhs.indices();
-    std::vector<int64_t> OutCoord(OutVars.size(), 0);
-    std::map<std::string, int64_t> Coords;
-    do {
-      for (size_t I = 0; I < OutVars.size(); ++I)
-        Coords[OutVars[I]] = OutCoord[I];
-      T Value = eval(*P.Rhs, Coords);
-      if (OutVars.empty())
-        Output.flat()[0] = Value;
-      else
-        Output.at(OutCoord) = Value;
-    } while (advanceCounter(OutCoord, OutputShape));
-    return EinsumResult<T>::success(std::move(Output));
+    Root = compile(*P.Rhs);
+
+    // The placement maps are only needed during compilation.
+    UsesAt.clear();
+    IntroducedAt.clear();
+    TotalUses.clear();
+    ReductionVars.clear();
   }
+
+  bool ok() const { return StructureError.empty(); }
+  const std::string &error() const { return StructureError; }
+  const Program &program() const { return P; }
+  size_t numSlots() const { return Slots.size(); }
+
+  /// One compiled expression node. Children are indices into Nodes, so the
+  /// hot evaluation loop touches only flat vectors.
+  struct Node {
+    Expr::Kind Kind;
+    BinOpKind Op = BinOpKind::Add;
+    int ChildA = -1;
+    int ChildB = -1;
+    /// Access: the source node, its index slots, and its ordinal into the
+    /// evaluator's per-access binding table.
+    const AccessExpr *Access = nullptr;
+    std::vector<int> Slots;
+    int AccessOrdinal = -1;
+    /// Constant: the source node and its ordinal into the evaluator's
+    /// value table.
+    const ConstantExpr *Constant = nullptr;
+    int ConstOrdinal = -1;
+    /// Slots of the reduction variables introduced at this node, in the
+    /// same order the direct evaluator used (sorted by variable name).
+    std::vector<int> ReduceSlots;
+  };
+
+  const std::vector<Node> &nodes() const { return Nodes; }
+  const std::vector<int> &accessNodes() const { return AccessNodes; }
+  const std::vector<int> &constNodes() const { return ConstNodes; }
+  const std::vector<int> &outSlots() const { return OutSlots; }
+  int root() const { return Root; }
 
 private:
-  bool bindExtent(const std::string &Var, int64_t Extent) {
-    auto [It, Inserted] = Extents.emplace(Var, Extent);
-    if (!Inserted && It->second != Extent) {
-      Error = "index '" + Var + "' has conflicting extents";
-      return false;
-    }
-    return true;
+  int slotOf(const std::string &Var) {
+    auto [It, Inserted] = Slots.emplace(Var, static_cast<int>(Slots.size()));
+    (void)Inserted;
+    return It->second;
   }
 
-  bool bindOperandExtents(const Expr &E) {
+  void collectVars(const Expr &E) {
     switch (E.kind()) {
-    case Expr::Kind::Access: {
-      const auto &A = exprCast<AccessExpr>(E);
-      auto It = Operands.find(A.name());
-      if (It == Operands.end()) {
-        Error = "unbound tensor '" + A.name() + "'";
-        return false;
-      }
-      if (It->second.order() != A.order()) {
-        Error = "tensor '" + A.name() + "' accessed with wrong rank";
-        return false;
-      }
-      for (size_t I = 0; I < A.order(); ++I)
-        if (!bindExtent(A.indices()[I], It->second.shape()[I]))
-          return false;
-      return true;
-    }
+    case Expr::Kind::Access:
+      for (const std::string &Var : exprCast<AccessExpr>(E).indices())
+        slotOf(Var);
+      return;
     case Expr::Kind::Constant:
-      return true;
+      return;
     case Expr::Kind::Binary: {
       const auto &B = exprCast<BinaryExpr>(E);
-      return bindOperandExtents(B.lhs()) && bindOperandExtents(B.rhs());
+      collectVars(B.lhs());
+      collectVars(B.rhs());
+      return;
     }
     case Expr::Kind::Negate:
-      return bindOperandExtents(exprCast<NegateExpr>(E).operand());
+      collectVars(exprCast<NegateExpr>(E).operand());
+      return;
     }
-    return false;
   }
 
   /// Counts, for every reduction variable, how many accesses in the subtree
@@ -235,27 +273,241 @@ private:
     }
   }
 
-  T evalInner(const Expr &E, std::map<std::string, int64_t> &Coords) {
+  /// Lowers \p E (and its reduction annotation) to a compiled node; returns
+  /// its index in Nodes.
+  int compile(const Expr &E) {
+    Node N;
+    N.Kind = E.kind();
     switch (E.kind()) {
     case Expr::Kind::Access: {
       const auto &A = exprCast<AccessExpr>(E);
-      const Tensor<T> &Operand = Operands.at(A.name());
-      std::vector<int64_t> Point;
-      Point.reserve(A.order());
+      N.Access = &A;
       for (const std::string &Var : A.indices())
-        Point.push_back(Coords.at(Var));
-      return Operand.at(Point);
+        N.Slots.push_back(Slots.at(Var));
+      break;
     }
-    case Expr::Kind::Constant: {
-      const auto &C = exprCast<ConstantExpr>(E);
-      assert(!C.isSymbolic() && "symbolic constants must be instantiated");
-      return T(C.value());
-    }
+    case Expr::Kind::Constant:
+      N.Constant = &exprCast<ConstantExpr>(E);
+      break;
     case Expr::Kind::Binary: {
       const auto &B = exprCast<BinaryExpr>(E);
-      T Lhs = eval(B.lhs(), Coords);
-      T Rhs = eval(B.rhs(), Coords);
-      switch (B.op()) {
+      N.Op = B.op();
+      N.ChildA = compile(B.lhs());
+      N.ChildB = compile(B.rhs());
+      break;
+    }
+    case Expr::Kind::Negate:
+      N.ChildA = compile(exprCast<NegateExpr>(E).operand());
+      break;
+    }
+    auto It = IntroducedAt.find(&E);
+    if (It != IntroducedAt.end())
+      for (const std::string &Var : It->second)
+        N.ReduceSlots.push_back(Slots.at(Var));
+    if (N.Kind == Expr::Kind::Access) {
+      N.AccessOrdinal = static_cast<int>(AccessNodes.size());
+    } else if (N.Kind == Expr::Kind::Constant) {
+      N.ConstOrdinal = static_cast<int>(ConstNodes.size());
+    }
+    Nodes.push_back(std::move(N));
+    int Id = static_cast<int>(Nodes.size() - 1);
+    if (Nodes.back().Kind == Expr::Kind::Access)
+      AccessNodes.push_back(Id);
+    else if (Nodes.back().Kind == Expr::Kind::Constant)
+      ConstNodes.push_back(Id);
+    return Id;
+  }
+
+  const Program &P;
+  std::string StructureError;
+  std::map<std::string, int> Slots;
+  std::set<std::string> ReductionVars;
+  std::map<std::string, int> TotalUses;
+  std::map<const Expr *, std::map<std::string, int>> UsesAt;
+  std::map<const Expr *, std::vector<std::string>> IntroducedAt;
+  std::vector<Node> Nodes;
+  std::vector<int> AccessNodes;
+  std::vector<int> ConstNodes;
+  std::vector<int> OutSlots;
+  int Root = -1;
+};
+
+/// Binds operands against a shared EinsumProgram and evaluates. Rebinding
+/// reuses every internal buffer, so the per-(operand set) cost is a few
+/// flat-vector walks.
+template <typename T> class EinsumEvaluator {
+public:
+  /// Resolves an access name to its operand, or nullptr when unbound.
+  using Resolver = std::function<const Tensor<T> *(const std::string &)>;
+
+  explicit EinsumEvaluator(const EinsumProgram &S) : S(S) {}
+
+  const std::string &error() const {
+    return S.ok() ? Error : S.error();
+  }
+
+  /// Binds (or rebinds) the operands and output shape against the compiled
+  /// structure: checks ranks and extent consistency, resolves flat strides
+  /// and data pointers, and caches constant values. Error semantics and
+  /// first-reported diagnostics are identical to the original single-shot
+  /// evaluator's.
+  bool bind(const Resolver &Resolve, const std::vector<int64_t> &OutputShape) {
+    if (!S.ok())
+      return false;
+    Error.clear();
+    Bound = false;
+    const Program &P = S.program();
+    if (P.Lhs.order() != OutputShape.size()) {
+      Error = "output shape rank does not match LHS";
+      return false;
+    }
+    ExtentBySlot.assign(S.numSlots(), -1);
+    Coords.assign(S.numSlots(), 0);
+    const std::vector<int> &OutSlots = S.outSlots();
+    for (size_t I = 0; I < OutputShape.size(); ++I)
+      if (!bindExtent(OutSlots[I], P.Lhs.indices()[I], OutputShape[I]))
+        return false;
+
+    // Access nodes are listed in leaf (left-to-right) order, matching the
+    // recursive binder's conflict-discovery order.
+    const std::vector<EinsumProgram::Node> &Nodes = S.nodes();
+    AccessBinds.resize(S.accessNodes().size());
+    for (int NodeId : S.accessNodes()) {
+      const EinsumProgram::Node &N = Nodes[static_cast<size_t>(NodeId)];
+      const AccessExpr &A = *N.Access;
+      const Tensor<T> *Operand = Resolve(A.name());
+      if (!Operand) {
+        Error = "unbound tensor '" + A.name() + "'";
+        return false;
+      }
+      if (Operand->order() != A.order()) {
+        Error = "tensor '" + A.name() + "' accessed with wrong rank";
+        return false;
+      }
+      const std::vector<int64_t> &Shape = Operand->shape();
+      for (size_t I = 0; I < A.order(); ++I)
+        if (!bindExtent(N.Slots[I], A.indices()[I], Shape[I]))
+          return false;
+      // Row-major strides, innermost dimension last; repeated variables in
+      // one access contribute once per position, exactly like offsetOf().
+      AccessBind &AB = AccessBinds[static_cast<size_t>(N.AccessOrdinal)];
+      AB.Data = &Operand->flat();
+      AB.Strides.resize(Shape.size());
+      size_t Stride = 1;
+      for (size_t I = Shape.size(); I > 0; --I) {
+        AB.Strides[I - 1] = Stride;
+        Stride *= static_cast<size_t>(Shape[I - 1]);
+      }
+    }
+
+    ConstValues.resize(S.constNodes().size());
+    refreshConstants();
+
+    OutShape = OutputShape;
+    Bound = true;
+    return true;
+  }
+
+  /// bind() against a plain name->tensor map.
+  bool bindMap(const std::map<std::string, Tensor<T>> &Operands,
+               const std::vector<int64_t> &OutputShape) {
+    return bind(
+        [&Operands](const std::string &Name) -> const Tensor<T> * {
+          auto It = Operands.find(Name);
+          return It == Operands.end() ? nullptr : &It->second;
+        },
+        OutputShape);
+  }
+
+  /// Re-reads the value of every ConstantExpr. The validator's constant
+  /// odometer rewrites the same nodes in place; everything else about the
+  /// binding is value-independent.
+  void refreshConstants() {
+    const std::vector<EinsumProgram::Node> &Nodes = S.nodes();
+    for (int NodeId : S.constNodes()) {
+      const EinsumProgram::Node &N = Nodes[static_cast<size_t>(NodeId)];
+      assert(!N.Constant->isSymbolic() &&
+             "symbolic constants must be instantiated");
+      ConstValues[static_cast<size_t>(N.ConstOrdinal)] = T(N.Constant->value());
+    }
+  }
+
+  /// Evaluates every output cell into a fresh tensor. Requires bind().
+  EinsumResult<T> evaluate() {
+    assert(Bound && "evaluate() requires a successful bind()");
+    Tensor<T> Output(OutShape);
+    std::vector<T> &Flat = Output.flat();
+    // The output odometer enumerates coordinates in row-major order, which
+    // is exactly the flat storage order: a running linear index replaces
+    // the per-cell offset computation.
+    const std::vector<int> &OutSlots = S.outSlots();
+    std::vector<int64_t> OutCoord(OutSlots.size(), 0);
+    size_t Linear = 0;
+    do {
+      for (size_t I = 0; I < OutSlots.size(); ++I)
+        Coords[OutSlots[I]] = OutCoord[I];
+      Flat[Linear++] = evalNode(S.root());
+    } while (detail::advanceCounter(OutCoord, OutShape));
+    return EinsumResult<T>::success(std::move(Output));
+  }
+
+  /// Evaluates cell by cell against \p Want, stopping at the first cell for
+  /// which \p CellOk(got, want) is false. Verdicts equal those of
+  /// evaluate() followed by a full comparison: binding errors are all
+  /// raised in bind(), and cells are compared independently. Requires
+  /// bind().
+  template <typename CellOkFn>
+  EinsumCompare compare(const std::vector<T> &Want, CellOkFn &&CellOk) {
+    assert(Bound && "compare() requires a successful bind()");
+    size_t Total = 1;
+    for (int64_t D : OutShape)
+      Total *= static_cast<size_t>(D);
+    if (Want.size() != Total)
+      return EinsumCompare::Mismatch;
+
+    const std::vector<int> &OutSlots = S.outSlots();
+    std::vector<int64_t> OutCoord(OutSlots.size(), 0);
+    size_t Linear = 0;
+    do {
+      for (size_t I = 0; I < OutSlots.size(); ++I)
+        Coords[OutSlots[I]] = OutCoord[I];
+      if (!CellOk(evalNode(S.root()), Want[Linear++]))
+        return EinsumCompare::Mismatch;
+    } while (detail::advanceCounter(OutCoord, OutShape));
+    return EinsumCompare::Match;
+  }
+
+private:
+  struct AccessBind {
+    const std::vector<T> *Data = nullptr;
+    std::vector<size_t> Strides;
+  };
+
+  bool bindExtent(int Slot, const std::string &Var, int64_t Extent) {
+    int64_t &Cell = ExtentBySlot[static_cast<size_t>(Slot)];
+    if (Cell >= 0 && Cell != Extent) {
+      Error = "index '" + Var + "' has conflicting extents";
+      return false;
+    }
+    Cell = Extent;
+    return true;
+  }
+
+  T evalInner(const EinsumProgram::Node &N) {
+    switch (N.Kind) {
+    case Expr::Kind::Access: {
+      const AccessBind &AB = AccessBinds[static_cast<size_t>(N.AccessOrdinal)];
+      size_t Offset = 0;
+      for (size_t I = 0; I < N.Slots.size(); ++I)
+        Offset += static_cast<size_t>(Coords[N.Slots[I]]) * AB.Strides[I];
+      return (*AB.Data)[Offset];
+    }
+    case Expr::Kind::Constant:
+      return ConstValues[static_cast<size_t>(N.ConstOrdinal)];
+    case Expr::Kind::Binary: {
+      T Lhs = evalNode(N.ChildA);
+      T Rhs = evalNode(N.ChildB);
+      switch (N.Op) {
       case BinOpKind::Add:
         return Lhs + Rhs;
       case BinOpKind::Sub:
@@ -268,43 +520,50 @@ private:
       return T{};
     }
     case Expr::Kind::Negate:
-      return -eval(exprCast<NegateExpr>(E).operand(), Coords);
+      return -evalNode(N.ChildA);
     }
     return T{};
   }
 
-  T eval(const Expr &E, std::map<std::string, int64_t> &Coords) {
-    auto It = IntroducedAt.find(&E);
-    if (It == IntroducedAt.end() || It->second.empty())
-      return evalInner(E, Coords);
+  T evalNode(int Id) {
+    const EinsumProgram::Node &N = S.nodes()[static_cast<size_t>(Id)];
+    if (N.ReduceSlots.empty())
+      return evalInner(N);
 
-    const std::vector<std::string> &Vars = It->second;
-    std::vector<int64_t> VarExtents;
-    VarExtents.reserve(Vars.size());
-    for (const std::string &Var : Vars)
-      VarExtents.push_back(Extents.at(Var));
-
+    // Reduction loop over this node's introduced variables, innermost last;
+    // identical nesting and order to the direct evaluator, so the
+    // floating-point accumulation sequence is unchanged. The coordinate
+    // vector is a per-visit local because reduction nodes can nest.
     T Sum{};
-    std::vector<int64_t> Coord(Vars.size(), 0);
-    do {
-      for (size_t I = 0; I < Vars.size(); ++I)
-        Coords[Vars[I]] = Coord[I];
-      Sum += evalInner(E, Coords);
-    } while (advanceCounter(Coord, VarExtents));
+    std::vector<int64_t> Coord(N.ReduceSlots.size(), 0);
+    for (;;) {
+      for (size_t I = 0; I < N.ReduceSlots.size(); ++I)
+        Coords[N.ReduceSlots[I]] = Coord[I];
+      Sum += evalInner(N);
+      bool Advanced = false;
+      for (size_t I = Coord.size(); I > 0; --I) {
+        if (++Coord[I - 1] <
+            ExtentBySlot[static_cast<size_t>(N.ReduceSlots[I - 1])]) {
+          Advanced = true;
+          break;
+        }
+        Coord[I - 1] = 0;
+      }
+      if (!Advanced)
+        break;
+    }
     return Sum;
   }
 
-  const Program &P;
-  const std::map<std::string, Tensor<T>> &Operands;
-  std::map<std::string, int64_t> Extents;
-  std::set<std::string> ReductionVars;
-  std::map<std::string, int> TotalUses;
-  std::map<const Expr *, std::map<std::string, int>> UsesAt;
-  std::map<const Expr *, std::vector<std::string>> IntroducedAt;
+  const EinsumProgram &S;
   std::string Error;
+  std::vector<AccessBind> AccessBinds;
+  std::vector<T> ConstValues;
+  std::vector<int64_t> ExtentBySlot;
+  std::vector<int64_t> Coords;
+  std::vector<int64_t> OutShape;
+  bool Bound = false;
 };
-
-} // namespace detail
 
 /// Evaluates \p P over the named \p Operands, producing a tensor of shape
 /// \p OutputShape. Every tensor named in the program's RHS must be present
@@ -314,8 +573,28 @@ template <typename T>
 EinsumResult<T> evalEinsum(const Program &P,
                            const std::map<std::string, Tensor<T>> &Operands,
                            const std::vector<int64_t> &OutputShape) {
-  detail::EinsumEvaluator<T> Evaluator(P, Operands);
-  return Evaluator.run(OutputShape);
+  EinsumProgram Compiled(P);
+  EinsumEvaluator<T> Evaluator(Compiled);
+  if (!Compiled.ok() || !Evaluator.bindMap(Operands, OutputShape))
+    return EinsumResult<T>::failure(Evaluator.error());
+  return Evaluator.evaluate();
+}
+
+/// Compares the evaluation of \p P against the expected flat output \p Want
+/// cell by cell (row-major), short-circuiting on the first cell for which
+/// \p CellOk(got, want) is false. Equivalent to evalEinsum + a full
+/// comparison, but never materializes the output tensor and stops early on
+/// a mismatch — the validator's instantiation-check fast path.
+template <typename T, typename CellOkFn>
+EinsumCompare einsumCompare(const Program &P,
+                            const std::map<std::string, Tensor<T>> &Operands,
+                            const std::vector<int64_t> &OutputShape,
+                            const std::vector<T> &Want, CellOkFn &&CellOk) {
+  EinsumProgram Compiled(P);
+  EinsumEvaluator<T> Evaluator(Compiled);
+  if (!Compiled.ok() || !Evaluator.bindMap(Operands, OutputShape))
+    return EinsumCompare::Error;
+  return Evaluator.compare(Want, std::forward<CellOkFn>(CellOk));
 }
 
 } // namespace taco

@@ -65,10 +65,55 @@ Validator::Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
     this->Constants.push_back(1);
 }
 
-bool Validator::checkInstantiation(const Program &Concrete) const {
-  ++Tried;
-  return runsConsistently(B, Concrete, Examples);
+void Validator::ensureOperandCache() const {
+  if (OperandCacheReady)
+    return;
+  OperandCacheReady = true;
+  const bench::ArgSpec *OutArg = B.outputArg();
+  OperandCache.reserve(Examples.size());
+  for (const IoExample &Ex : Examples) {
+    ExampleEval Eval;
+    for (const bench::ArgSpec &Arg : B.Args) {
+      if (Arg.K == bench::ArgSpec::Kind::Array) {
+        auto It = Ex.Inputs.Arrays.find(Arg.Name);
+        if (It == Ex.Inputs.Arrays.end())
+          continue; // eval of a candidate reading it fails as "unbound"
+        Tensor<double> T(resolveShape(Arg, Ex.Sizes));
+        T.flat() = It->second;
+        Eval.Operands.emplace(Arg.Name, std::move(T));
+      } else if (Arg.K == bench::ArgSpec::Kind::SizeScalar) {
+        auto It = Ex.Sizes.find(Arg.Name);
+        if (It == Ex.Sizes.end())
+          continue;
+        Eval.Operands.emplace(
+            Arg.Name, Tensor<double>::scalar(static_cast<double>(It->second)));
+      } else {
+        auto It = Ex.Inputs.NumScalars.find(Arg.Name);
+        if (It == Ex.Inputs.NumScalars.end())
+          continue;
+        Eval.Operands.emplace(Arg.Name, Tensor<double>::scalar(It->second));
+      }
+    }
+    if (OutArg)
+      Eval.OutShape = resolveShape(*OutArg, Ex.Sizes);
+    OperandCache.push_back(std::move(Eval));
+  }
 }
+
+namespace {
+
+/// The per-cell acceptance shared by runsConsistently and the validator's
+/// fast path — the bit-identical contract between them depends on there
+/// being exactly one definition. Inputs are small integers, so everything
+/// except division is exact; division gets a relative tolerance.
+bool cellsMatch(double A, double E) {
+  if (!std::isfinite(A) || !std::isfinite(E))
+    return false;
+  double Tolerance = 1e-9 * std::max({1.0, std::fabs(A), std::fabs(E)});
+  return std::fabs(A - E) <= Tolerance;
+}
+
+} // namespace
 
 bool validate::runsConsistently(const bench::Benchmark &B,
                                 const Program &Concrete,
@@ -125,24 +170,115 @@ bool validate::runsConsistently(const bench::Benchmark &B,
     EinsumResult<double> R = evalEinsum<double>(Concrete, Operands, OutShape);
     if (!R.Ok)
       return false;
-    // Exact-ish comparison: inputs are small integers, so everything except
-    // division is exact; division gets a relative tolerance.
     const std::vector<double> &Got = R.Value.flat();
     const std::vector<double> &Want = Ex.Expected.flat();
     if (Got.size() != Want.size())
       return false;
-    for (size_t I = 0; I < Got.size(); ++I) {
-      double A = Got[I];
-      double E = Want[I];
-      if (!std::isfinite(A) || !std::isfinite(E))
+    for (size_t I = 0; I < Got.size(); ++I)
+      if (!cellsMatch(Got[I], Want[I]))
         return false;
-      double Tolerance = 1e-9 * std::max({1.0, std::fabs(A), std::fabs(E)});
-      if (std::fabs(A - E) > Tolerance)
-        return false;
-    }
   }
   return true;
 }
+
+namespace {
+
+/// One distinct RHS tensor symbol with every access spelled against it.
+struct SymbolAccesses {
+  std::string Name;
+  int Order = 0; ///< Rank of the first occurrence (the rank filter's key).
+  std::vector<const AccessExpr *> Leaves;
+};
+
+/// Collects the RHS access leaves grouped per symbol, in order of first
+/// appearance (the same order tensorInventory reports them).
+void collectSymbolAccesses(const Expr &E, std::vector<SymbolAccesses> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::Access: {
+    const auto &A = exprCast<AccessExpr>(E);
+    for (SymbolAccesses &S : Out) {
+      if (S.Name == A.name()) {
+        S.Leaves.push_back(&A);
+        return;
+      }
+    }
+    SymbolAccesses S;
+    S.Name = A.name();
+    S.Order = static_cast<int>(A.order());
+    S.Leaves.push_back(&A);
+    Out.push_back(std::move(S));
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    collectSymbolAccesses(B.lhs(), Out);
+    collectSymbolAccesses(B.rhs(), Out);
+    return;
+  }
+  case Expr::Kind::Negate:
+    collectSymbolAccesses(exprCast<NegateExpr>(E).operand(), Out);
+    return;
+  case Expr::Kind::Constant:
+    return;
+  }
+}
+
+/// The template with symbol names bound to argument names and every symbolic
+/// constant replaced by a mutable literal node, so the constant odometer can
+/// sweep assignments in place instead of re-cloning the template.
+struct BoundTemplate {
+  Program Concrete;
+  std::vector<ConstantExpr *> ConstNodes; ///< In leaf (substitution) order.
+};
+
+BoundTemplate bindSymbols(const Program &Template,
+                          const std::map<std::string, std::string> &Binding) {
+  BoundTemplate Bound;
+  std::function<ExprPtr(const Expr &)> Rewrite =
+      [&](const Expr &E) -> ExprPtr {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      auto It = Binding.find(A.name());
+      std::string Name = It != Binding.end() ? It->second : A.name();
+      return std::make_unique<AccessExpr>(Name, A.indices());
+    }
+    case Expr::Kind::Constant: {
+      const auto &C = exprCast<ConstantExpr>(E);
+      if (!C.isSymbolic())
+        return C.clone();
+      auto Node = std::make_unique<ConstantExpr>(0);
+      Bound.ConstNodes.push_back(Node.get());
+      return Node;
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      ExprPtr Lhs = Rewrite(B.lhs());
+      ExprPtr Rhs = Rewrite(B.rhs());
+      return std::make_unique<BinaryExpr>(B.op(), std::move(Lhs),
+                                          std::move(Rhs));
+    }
+    case Expr::Kind::Negate:
+      return std::make_unique<NegateExpr>(
+          Rewrite(exprCast<NegateExpr>(E).operand()));
+    }
+    return nullptr;
+  };
+
+  auto LhsIt = Binding.find(Template.Lhs.name());
+  AccessExpr Lhs(LhsIt != Binding.end() ? LhsIt->second : Template.Lhs.name(),
+                 Template.Lhs.indices());
+  Bound.Concrete = Program(std::move(Lhs),
+                           Template.Rhs ? Rewrite(*Template.Rhs) : nullptr);
+  return Bound;
+}
+
+/// Extent constraints one (symbol, candidate argument) pair imposes per
+/// example: variable id -> extent, for variables not already pinned by the
+/// output shape. Conflicting pairs were filtered out beforehand.
+using ConstraintList = std::vector<std::pair<int, int64_t>>;
+
+} // namespace
 
 std::vector<Instantiation>
 Validator::validate(const Program &Template, size_t MaxResults) const {
@@ -158,9 +294,12 @@ Validator::validate(const Program &Template, size_t MaxResults) const {
   if (static_cast<int>(Template.Lhs.order()) != OutArg->rank())
     return Valid;
 
-  // Distinct RHS tensor symbols with their ranks, and the constant count.
-  std::vector<TensorInfo> Inventory = tensorInventory(Template);
-  std::vector<TensorInfo> Symbols;
+  ensureOperandCache();
+  size_t NumExamples = Examples.size();
+
+  // Distinct RHS tensor symbols with every access, and the constant count.
+  std::vector<SymbolAccesses> AllSymbols;
+  collectSymbolAccesses(*Template.Rhs, AllSymbols);
   int ConstLeaves = 0;
   {
     // Count constant *leaves* (each is substituted independently).
@@ -185,63 +324,267 @@ Validator::validate(const Program &Template, size_t MaxResults) const {
     };
     Count(*Template.Rhs);
   }
-  for (const TensorInfo &Info : Inventory) {
-    if (Info.IsConstant || Info.Name == Template.Lhs.name())
-      continue;
-    Symbols.push_back(Info);
+
+  // Index-variable ids across the whole template.
+  std::map<std::string, int> VarIds;
+  auto IdOf = [&VarIds](const std::string &Var) {
+    auto [It, Inserted] = VarIds.emplace(Var, static_cast<int>(VarIds.size()));
+    (void)Inserted;
+    return It->second;
+  };
+  for (const std::string &Var : Template.Lhs.indices())
+    IdOf(Var);
+  for (const SymbolAccesses &S : AllSymbols)
+    for (const AccessExpr *Leaf : S.Leaves)
+      for (const std::string &Var : Leaf->indices())
+        IdOf(Var);
+  size_t NumVars = VarIds.size();
+
+  // Base extents per example: variables pinned by the output shape, both
+  // through the LHS and through RHS occurrences of the LHS symbol (which
+  // read the output argument). A conflict here dooms every binding — the
+  // einsum evaluator would reject each one on that example.
+  std::vector<std::vector<int64_t>> BaseExtents(
+      NumExamples, std::vector<int64_t>(NumVars, -1));
+  for (size_t E = 0; E < NumExamples; ++E) {
+    const std::vector<int64_t> &OutShape = OperandCache[E].OutShape;
+    auto Pin = [&](const std::vector<std::string> &Vars,
+                   const std::vector<int64_t> &Shape) {
+      if (Vars.size() != Shape.size())
+        return false;
+      for (size_t I = 0; I < Vars.size(); ++I) {
+        int64_t &Slot = BaseExtents[E][static_cast<size_t>(IdOf(Vars[I]))];
+        if (Slot >= 0 && Slot != Shape[I])
+          return false;
+        Slot = Shape[I];
+      }
+      return true;
+    };
+    if (!Pin(Template.Lhs.indices(), OutShape))
+      return Valid;
+    for (const SymbolAccesses &S : AllSymbols) {
+      if (S.Name != Template.Lhs.name())
+        continue;
+      for (const AccessExpr *Leaf : S.Leaves)
+        if (!Pin(Leaf->indices(), OutShape))
+          return Valid;
+    }
   }
+
+  // RHS symbols still needing a binding (everything but the LHS symbol).
+  std::vector<const SymbolAccesses *> Symbols;
+  for (const SymbolAccesses &S : AllSymbols)
+    if (S.Name != Template.Lhs.name())
+      Symbols.push_back(&S);
 
   // Candidate arguments per symbol, filtered by rank (Fig. 8's "discard
-  // substitutions that bind tensors to scalars and vice versa").
-  std::vector<std::vector<const bench::ArgSpec *>> Choices;
-  for (const TensorInfo &Symbol : Symbols) {
-    std::vector<const bench::ArgSpec *> Options;
-    for (const bench::ArgSpec &Arg : B.Args)
-      if (Arg.rank() == Symbol.Order)
-        Options.push_back(&Arg);
-    if (Options.empty())
+  // substitutions that bind tensors to scalars and vice versa") and by
+  // shape compatibility: an option whose extents conflict — internally,
+  // across the symbol's repeated accesses, or against the output-pinned
+  // variables — in any example can never produce a valid instantiation,
+  // because the einsum evaluator rejects exactly that conflict.
+  std::vector<std::vector<const bench::ArgSpec *>> Choices(Symbols.size());
+  // Constraints[S][Option][Example] lists the unpinned (var, extent) pairs
+  // that picking Option for symbol S imposes.
+  std::vector<std::vector<std::vector<ConstraintList>>> Constraints(
+      Symbols.size());
+  for (size_t SI = 0; SI < Symbols.size(); ++SI) {
+    const SymbolAccesses &Symbol = *Symbols[SI];
+    for (const bench::ArgSpec &Arg : B.Args) {
+      if (Arg.rank() != Symbol.Order)
+        continue;
+      bool Compatible = true;
+      std::vector<ConstraintList> PerExample(NumExamples);
+      for (size_t E = 0; E < NumExamples && Compatible; ++E) {
+        std::vector<int64_t> Local(NumVars, -1);
+        std::vector<int64_t> Shape = resolveShape(Arg, Examples[E].Sizes);
+        for (const AccessExpr *Leaf : Symbol.Leaves) {
+          if (Leaf->order() != Shape.size()) {
+            Compatible = false;
+            break;
+          }
+          for (size_t P = 0; P < Shape.size(); ++P) {
+            int Var = VarIds.at(Leaf->indices()[P]);
+            int64_t Pinned = BaseExtents[E][static_cast<size_t>(Var)];
+            if (Pinned >= 0) {
+              if (Pinned != Shape[P]) {
+                Compatible = false;
+                break;
+              }
+              continue;
+            }
+            int64_t &Slot = Local[static_cast<size_t>(Var)];
+            if (Slot >= 0) {
+              if (Slot != Shape[P]) {
+                Compatible = false;
+                break;
+              }
+              continue;
+            }
+            Slot = Shape[P];
+            PerExample[E].emplace_back(Var, Shape[P]);
+          }
+          if (!Compatible)
+            break;
+        }
+      }
+      if (!Compatible)
+        continue;
+      Choices[SI].push_back(&Arg);
+      Constraints[SI].push_back(std::move(PerExample));
+    }
+    if (Choices[SI].empty())
       return Valid;
-    Choices.push_back(std::move(Options));
   }
 
-  // Odometer over symbol bindings x constant assignments.
+  // Operand pointers per (symbol, option, example) and for the output
+  // argument, resolved once; the enumeration then never touches the
+  // operand maps.
+  std::vector<std::vector<std::vector<const Tensor<double> *>>> PtrTable(
+      Symbols.size());
+  for (size_t SI = 0; SI < Symbols.size(); ++SI) {
+    PtrTable[SI].resize(Choices[SI].size());
+    for (size_t O = 0; O < Choices[SI].size(); ++O) {
+      PtrTable[SI][O].resize(NumExamples, nullptr);
+      for (size_t E = 0; E < NumExamples; ++E) {
+        auto It = OperandCache[E].Operands.find(Choices[SI][O]->Name);
+        if (It != OperandCache[E].Operands.end())
+          PtrTable[SI][O][E] = &It->second;
+      }
+    }
+  }
+  std::vector<const Tensor<double> *> OutPtr(NumExamples, nullptr);
+  for (size_t E = 0; E < NumExamples; ++E) {
+    auto It = OperandCache[E].Operands.find(OutArg->Name);
+    if (It != OperandCache[E].Operands.end())
+      OutPtr[E] = &It->second;
+  }
+  std::map<std::string, size_t> SymIndex;
+  for (size_t SI = 0; SI < Symbols.size(); ++SI)
+    SymIndex.emplace(Symbols[SI]->Name, SI);
+
+  // The template is compiled *once* and evaluated directly under each
+  // symbol binding: instantiation only renames tensors and fills constant
+  // values, neither of which changes the compiled structure, reduction
+  // placement, or evaluation order — so verdicts are bit-identical to
+  // evaluating the instantiated program. When the template has symbolic
+  // constants they become mutable literal nodes (in a one-time clone) the
+  // constant odometer rewrites in place; otherwise the template itself is
+  // compiled, clone-free.
   std::vector<size_t> Pick(Symbols.size(), 0);
-  std::vector<size_t> ConstPick(static_cast<size_t>(ConstLeaves), 0);
-  for (;;) {
-    std::map<std::string, std::string> Binding;
-    Binding[Template.Lhs.name()] = OutArg->Name;
-    for (size_t I = 0; I < Symbols.size(); ++I)
-      Binding[Symbols[I].Name] = Choices[I][Pick[I]]->Name;
+  BoundTemplate EvalT;
+  if (ConstLeaves > 0)
+    EvalT = bindSymbols(Template, {});
+  const Program &EvalProgram = ConstLeaves > 0 ? EvalT.Concrete : Template;
+  taco::EinsumProgram Compiled(EvalProgram);
+  if (!Compiled.ok())
+    return Valid;
+  std::vector<taco::EinsumEvaluator<double>> Evaluators(
+      NumExamples, taco::EinsumEvaluator<double>(Compiled));
+  size_t CurExample = 0;
+  taco::EinsumEvaluator<double>::Resolver Resolve =
+      [&](const std::string &Name) -> const Tensor<double> * {
+    if (Name == Template.Lhs.name())
+      return OutPtr[CurExample];
+    size_t SI = SymIndex.find(Name)->second;
+    return PtrTable[SI][Pick[SI]][CurExample];
+  };
 
-    for (;;) {
-      std::vector<int64_t> ConstValues;
-      for (size_t I = 0; I < ConstPick.size(); ++I)
-        ConstValues.push_back(Constants[ConstPick[I]]);
+  // Examples are (re)bound lazily per binding, preserving the fail-fast
+  // behavior of the naive loop: a binding rejected on the first example
+  // never pays for the others.
+  uint64_t BindEpoch = 0;
+  std::vector<uint64_t> BoundEpoch(NumExamples, 0);
+  std::vector<bool> BindOk(NumExamples, false);
+  auto EnsureBound = [&](size_t E) -> bool {
+    if (BoundEpoch[E] == BindEpoch)
+      return BindOk[E];
+    BoundEpoch[E] = BindEpoch;
+    CurExample = E;
+    BindOk[E] = Evaluators[E].bind(Resolve, OperandCache[E].OutShape);
+    return BindOk[E];
+  };
 
-      Program Concrete = instantiateTemplate(Template, Binding, ConstValues);
-      if (checkInstantiation(Concrete)) {
-        Instantiation Inst;
-        Inst.Concrete = std::move(Concrete);
-        Inst.SymbolBinding = Binding;
-        Inst.ConstantValues = std::move(ConstValues);
-        Valid.push_back(std::move(Inst));
-        if (Valid.size() >= MaxResults)
-          return Valid;
-      }
-
-      // Advance the constant odometer.
-      size_t Axis = ConstPick.size();
-      bool Wrapped = true;
-      while (Axis > 0) {
-        --Axis;
-        if (++ConstPick[Axis] < Constants.size()) {
-          Wrapped = false;
-          break;
+  // Cross-symbol consistency scratch, generation-stamped so the joint check
+  // allocates nothing per binding.
+  std::vector<int64_t> JointExtent(NumVars, -1);
+  std::vector<uint64_t> JointStamp(NumVars, 0);
+  uint64_t Generation = 0;
+  auto BindingShapesConsistent = [&]() {
+    for (size_t E = 0; E < NumExamples; ++E) {
+      ++Generation;
+      for (size_t SI = 0; SI < Symbols.size(); ++SI) {
+        for (const auto &[Var, Extent] : Constraints[SI][Pick[SI]][E]) {
+          size_t V = static_cast<size_t>(Var);
+          if (JointStamp[V] == Generation) {
+            if (JointExtent[V] != Extent)
+              return false;
+            continue;
+          }
+          JointStamp[V] = Generation;
+          JointExtent[V] = Extent;
         }
-        ConstPick[Axis] = 0;
       }
-      if (ConstPick.empty() || Wrapped)
-        break;
+    }
+    return true;
+  };
+
+  // Odometer over symbol bindings x constant assignments, exactly the naive
+  // enumeration order; shape-incompatible bindings are skipped wholesale
+  // (their entire constant block would have failed evaluation).
+  std::vector<size_t> ConstPick(static_cast<size_t>(ConstLeaves), 0);
+  std::vector<int64_t> ConstValues(static_cast<size_t>(ConstLeaves), 0);
+  for (;;) {
+    if (BindingShapesConsistent()) {
+      ++BindEpoch;
+      for (bool More = true; More;) {
+        for (size_t I = 0; I < ConstPick.size(); ++I) {
+          ConstValues[I] = Constants[ConstPick[I]];
+          EvalT.ConstNodes[I]->setValue(ConstValues[I]);
+        }
+
+        ++Tried;
+        bool Consistent = true;
+        for (size_t E = 0; E < NumExamples; ++E) {
+          if (!EnsureBound(E)) {
+            Consistent = false;
+            break;
+          }
+          Evaluators[E].refreshConstants();
+          if (Evaluators[E].compare(Examples[E].Expected.flat(), cellsMatch) !=
+              taco::EinsumCompare::Match) {
+            Consistent = false;
+            break;
+          }
+        }
+
+        if (Consistent) {
+          Instantiation Inst;
+          Inst.SymbolBinding[Template.Lhs.name()] = OutArg->Name;
+          for (size_t I = 0; I < Symbols.size(); ++I)
+            Inst.SymbolBinding[Symbols[I]->Name] = Choices[I][Pick[I]]->Name;
+          Inst.Concrete =
+              instantiateTemplate(Template, Inst.SymbolBinding, ConstValues);
+          Inst.ConstantValues = ConstValues;
+          Valid.push_back(std::move(Inst));
+          if (Valid.size() >= MaxResults)
+            return Valid;
+        }
+
+        // Advance the constant odometer.
+        size_t Axis = ConstPick.size();
+        bool Wrapped = true;
+        while (Axis > 0) {
+          --Axis;
+          if (++ConstPick[Axis] < Constants.size()) {
+            Wrapped = false;
+            break;
+          }
+          ConstPick[Axis] = 0;
+        }
+        if (ConstPick.empty() || Wrapped)
+          More = false;
+      }
     }
 
     // Advance the symbol odometer.

@@ -46,6 +46,25 @@ struct Instantiation {
 };
 
 /// Validator state shared across all templates of one query.
+///
+/// The enumeration is heavily pruned relative to the naive cartesian
+/// product, without changing the returned instantiations or their order:
+///
+///  * per-symbol options are filtered by rank *and* by shape compatibility
+///    (an argument whose extents conflict with the output shape, or with
+///    the symbol's own repeated accesses, in any I/O example can never
+///    validate);
+///  * each symbol binding is checked for cross-symbol extent consistency
+///    before any instantiation is built or evaluated;
+///  * the per-example operand tensors are materialized once and shared by
+///    every instantiation (they depend only on the argument, not the
+///    candidate);
+///  * instantiation evaluation short-circuits on the first failing output
+///    cell of the first failing I/O example (taco::einsumCompare).
+///
+/// Every pruned candidate is one the einsum evaluator would have rejected,
+/// so the surviving set — and the enumeration order within it — is
+/// bit-identical to the naive enumerator's (tests/PerfEquivalenceTest.cpp).
 class Validator {
 public:
   /// \p Constants is the literal pool harvested from the source by the
@@ -59,17 +78,28 @@ public:
                                       size_t MaxResults = 8) const;
 
   /// Total instantiations evaluated so far (across calls); a cost metric.
+  /// Shape-pruned bindings never reach evaluation and are not counted.
   int64_t instantiationsTried() const { return Tried; }
 
   const std::vector<IoExample> &examples() const { return Examples; }
 
 private:
-  bool checkInstantiation(const taco::Program &Concrete) const;
+  /// Candidate-independent evaluation state for one I/O example: every
+  /// argument materialized as a tensor, plus the resolved output shape.
+  struct ExampleEval {
+    std::map<std::string, taco::Tensor<double>> Operands;
+    std::vector<int64_t> OutShape;
+  };
+
+  /// Builds OperandCache on first use (it needs no template).
+  void ensureOperandCache() const;
 
   const bench::Benchmark &B;
   std::vector<IoExample> Examples;
   std::vector<int64_t> Constants;
   mutable int64_t Tried = 0;
+  mutable std::vector<ExampleEval> OperandCache;
+  mutable bool OperandCacheReady = false;
 };
 
 /// Rewrites \p Template by applying \p SymbolBinding to tensor names and

@@ -11,6 +11,8 @@
 #include "validate/IoExamples.h"
 
 #include <functional>
+#include <set>
+#include <utility>
 
 using namespace stagg;
 using namespace stagg::verify;
@@ -47,13 +49,57 @@ std::vector<std::string> rhsTensorNames(const Program &P) {
   return Names;
 }
 
+using NamePair = std::pair<std::string, std::string>;
+
+NamePair normPair(const std::string &A, const std::string &B) {
+  return A <= B ? NamePair(A, B) : NamePair(B, A);
+}
+
+/// Collects every unordered pair of tensor names with a multiplicative
+/// interaction in \p E: names on opposite sides of a `*` or `/`, plus —
+/// because a divisor enters nonlinearly — every (divisor name, input
+/// array) pair. Returns the names occurring in the subtree.
+std::set<std::string>
+collectMultipliedPairs(const Expr &E, const std::vector<std::string> &Inputs,
+                       std::set<NamePair> &Pairs) {
+  switch (E.kind()) {
+  case Expr::Kind::Access:
+    return {exprCast<AccessExpr>(E).name()};
+  case Expr::Kind::Constant:
+    return {};
+  case Expr::Kind::Negate:
+    return collectMultipliedPairs(exprCast<NegateExpr>(E).operand(), Inputs,
+                                  Pairs);
+  case Expr::Kind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    std::set<std::string> L = collectMultipliedPairs(B.lhs(), Inputs, Pairs);
+    std::set<std::string> R = collectMultipliedPairs(B.rhs(), Inputs, Pairs);
+    if (B.op() == BinOpKind::Mul || B.op() == BinOpKind::Div)
+      for (const std::string &Ln : L)
+        for (const std::string &Rn : R)
+          Pairs.insert(normPair(Ln, Rn));
+    if (B.op() == BinOpKind::Div)
+      for (const std::string &Rn : R)
+        for (const std::string &In : Inputs)
+          Pairs.insert(normPair(Rn, In));
+    L.insert(R.begin(), R.end());
+    return L;
+  }
+  }
+  return {};
+}
+
 /// One bounded test harness for a fixed shape assignment.
 class ShapeChecker {
 public:
   ShapeChecker(const bench::Benchmark &B, const cfront::CFunction &Fn,
                const Program &Candidate,
-               const std::map<std::string, int64_t> &Sizes)
-      : B(B), Fn(Fn), Candidate(Candidate), Sizes(Sizes) {}
+               const taco::EinsumProgram &Compiled,
+               const std::vector<std::string> &RhsNames,
+               const std::map<std::string, int64_t> &Sizes,
+               ReferenceCache *Cache)
+      : B(B), Fn(Fn), Candidate(Candidate), Evaluator(Compiled),
+        RhsNames(RhsNames), Sizes(Sizes), Cache(Cache) {}
 
   /// Runs both programs on the numeric inputs currently in \p Env; returns
   /// true on agreement, otherwise fills \p Witness.
@@ -64,7 +110,7 @@ public:
 
     // TACO side first (it reads the pre-state).
     std::map<std::string, Tensor<Rational>> Operands;
-    for (const std::string &Name : rhsTensorNames(Candidate)) {
+    for (const std::string &Name : RhsNames) {
       const bench::ArgSpec *Arg = B.findArg(Name);
       if (!Arg) {
         Witness = "candidate reads unknown tensor '" + Name + "'";
@@ -83,13 +129,37 @@ public:
       }
     }
     std::vector<int64_t> OutShape = validate::resolveShape(*OutArg, Sizes);
-    EinsumResult<Rational> TacoOut =
-        evalEinsum<Rational>(Candidate, Operands, OutShape);
+    EinsumResult<Rational> TacoOut;
+    if (Evaluator.bind(
+            [&Operands](const std::string &Name) -> const Tensor<Rational> * {
+              auto It = Operands.find(Name);
+              return It == Operands.end() ? nullptr : &It->second;
+            },
+            OutShape)) {
+      TacoOut = Evaluator.evaluate();
+    } else {
+      TacoOut = EinsumResult<Rational>::failure(Evaluator.error());
+    }
 
-    // C side on a private copy.
-    cfront::ExecStatus Status = cfront::runCFunction(Fn, Env);
-    if (!Status.Ok) {
-      Witness = "legacy kernel failed: " + Status.Error;
+    // C side, memoized on (sizes, pre-state): the reference interpretation
+    // is candidate-independent, so across the validator-fallback loop only
+    // the first candidate pays for it.
+    ReferenceCache::Entry Local;
+    const ReferenceCache::Entry *Ref = nullptr;
+    if (Cache) {
+      std::string Key = envKey(Env);
+      Ref = Cache->find(Key);
+      if (!Ref) {
+        Local = runReference(std::move(Env), *OutArg);
+        Ref = &Cache->insert(std::move(Key), std::move(Local));
+      }
+    } else {
+      Local = runReference(std::move(Env), *OutArg);
+      Ref = &Local;
+    }
+
+    if (!Ref->Ok) {
+      Witness = "legacy kernel failed: " + Ref->Error;
       return false;
     }
     if (!TacoOut.Ok) {
@@ -97,7 +167,7 @@ public:
       return false;
     }
 
-    const std::vector<Rational> &CSide = Env.Arrays.at(OutArg->Name);
+    const std::vector<Rational> &CSide = Ref->Output;
     const std::vector<Rational> &TacoSide = TacoOut.Value.flat();
     if (CSide.size() != TacoSide.size()) {
       Witness = "output size mismatch";
@@ -139,10 +209,57 @@ public:
   }
 
 private:
+  /// Interprets the kernel on (a copy of) \p Env; the entry records the
+  /// status and the output argument's post-state.
+  ReferenceCache::Entry runReference(cfront::ExecEnv<Rational> Env,
+                                     const bench::ArgSpec &OutArg) const {
+    ReferenceCache::Entry E;
+    cfront::ExecStatus Status = cfront::runCFunction(Fn, Env);
+    E.Ok = Status.Ok;
+    if (!Status.Ok) {
+      E.Error = Status.Error;
+      return E;
+    }
+    E.Output = std::move(Env.Arrays.at(OutArg.Name));
+    return E;
+  }
+
+  /// Serializes the candidate-independent test input: sizes plus the full
+  /// numeric pre-state (std::map iteration gives a canonical field order).
+  std::string envKey(const cfront::ExecEnv<Rational> &Env) const {
+    std::string Key;
+    Key.reserve(128);
+    for (const auto &[Name, Value] : Sizes) {
+      Key += Name;
+      Key += '=';
+      Key += std::to_string(Value);
+      Key += ';';
+    }
+    for (const auto &[Name, Values] : Env.Arrays) {
+      Key += Name;
+      Key += ':';
+      for (const Rational &V : Values) {
+        Key += V.str();
+        Key += ',';
+      }
+      Key += ';';
+    }
+    for (const auto &[Name, Value] : Env.NumScalars) {
+      Key += Name;
+      Key += '~';
+      Key += Value.str();
+      Key += ';';
+    }
+    return Key;
+  }
+
   const bench::Benchmark &B;
   const cfront::CFunction &Fn;
   const Program &Candidate;
+  taco::EinsumEvaluator<Rational> Evaluator;
+  const std::vector<std::string> &RhsNames;
   const std::map<std::string, int64_t> &Sizes;
+  ReferenceCache *Cache;
 };
 
 } // namespace
@@ -150,7 +267,8 @@ private:
 VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
                                        const cfront::CFunction &Fn,
                                        const Program &Candidate,
-                                       const VerifyOptions &Options) {
+                                       const VerifyOptions &Options,
+                                       ReferenceCache *Cache) {
   VerifyResult Result;
   Rng R(Options.Seed);
 
@@ -164,6 +282,20 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
       InputArrays.push_back(&Arg);
   }
 
+  // Candidate structure, compiled once for all shapes and tests.
+  taco::EinsumProgram Compiled(Candidate);
+  std::vector<std::string> RhsNames = rhsTensorNames(Candidate);
+
+  // Pairs of operands the candidate multiplies together: only these need
+  // the quadratic joint one-hot sweep (see header).
+  std::set<NamePair> MulPairs;
+  if (Options.OneHotOnlyMultiplied && Candidate.Rhs) {
+    std::vector<std::string> InputNames;
+    for (const bench::ArgSpec *Arg : InputArrays)
+      InputNames.push_back(Arg->Name);
+    collectMultipliedPairs(*Candidate.Rhs, InputNames, MulPairs);
+  }
+
   // Enumerate all shape assignments up to the bound.
   std::vector<int64_t> SizePick(SizeParams.size(), 1);
   for (;;) {
@@ -171,7 +303,7 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
     for (size_t I = 0; I < SizeParams.size(); ++I)
       Sizes[SizeParams[I]] = SizePick[I];
 
-    ShapeChecker Checker(B, Fn, Candidate, Sizes);
+    ShapeChecker Checker(B, Fn, Candidate, Compiled, RhsNames, Sizes, Cache);
 
     auto FillRandom = [&](cfront::ExecEnv<Rational> &Env) {
       for (const bench::ArgSpec *Arg : InputArrays)
@@ -194,9 +326,18 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
     }
 
     // (2) Joint one-hot sweep over pairs of input arrays (all other inputs
-    // held at one). This exposes every bilinear coefficient.
+    // held at one). This exposes every bilinear coefficient. Pairs the
+    // candidate never multiplies together carry no bilinear terms, so
+    // their sweep shrinks to the diagonal (distinct pairs drop entirely —
+    // each operand's linear probes live on its own (A, A) diagonal).
     for (size_t A = 0; A < InputArrays.size(); ++A) {
       for (size_t C = A; C < InputArrays.size(); ++C) {
+        bool Multiplied =
+            !Options.OneHotOnlyMultiplied ||
+            MulPairs.count(
+                normPair(InputArrays[A]->Name, InputArrays[C]->Name)) > 0;
+        if (!Multiplied && A != C)
+          continue;
         cfront::ExecEnv<Rational> Base = Checker.baseEnv();
         for (const bench::ArgSpec *Arg : InputArrays)
           for (Rational &V : Base.Arrays[Arg->Name])
@@ -205,7 +346,10 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
         size_t LenC = Base.Arrays[InputArrays[C]->Name].size();
         int Budget = Options.MaxOneHot;
         for (size_t PA = 0; PA < LenA && Budget > 0; ++PA) {
-          for (size_t PC = 0; PC < LenC && Budget > 0; ++PC, --Budget) {
+          for (size_t PC = 0; PC < LenC && Budget > 0; ++PC) {
+            if (!Multiplied && PA != PC)
+              continue; // diagonal-only: the linear one-hot probes
+            --Budget;
             cfront::ExecEnv<Rational> Env = Base;
             for (Rational &V : Env.Arrays[InputArrays[A]->Name])
               V = Rational(0);
