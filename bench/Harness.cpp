@@ -127,10 +127,9 @@ SolverFn harness::llmOnly(const HarnessBudget &Budget) {
 }
 
 std::vector<const bench::Benchmark *> harness::suite77() {
-  std::vector<const bench::Benchmark *> Out;
-  for (const bench::Benchmark &B : bench::allBenchmarks())
-    Out.push_back(&B);
-  return Out;
+  // The paper's 77 queries only: the post-paper "pointer" suite must not
+  // leak into the figure/table reproductions.
+  return bench::paperBenchmarks();
 }
 
 std::vector<const bench::Benchmark *> harness::suite67() {

@@ -8,6 +8,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/KernelAnalysis.h"
+#include "analysis/KernelModel.h"
+#include "api/KernelIngest.h"
 #include "benchsuite/Benchmark.h"
 #include "cfront/Interp.h"
 #include "cfront/Parser.h"
@@ -75,6 +77,34 @@ static void BM_StaticAnalysis(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_StaticAnalysis);
+
+/// The symbolic executor's full KernelModel product (normalized stores,
+/// loop extents, guards) — micro/kernel_model in `stagg bench`.
+static void BM_KernelModel(benchmark::State &State) {
+  const stagg::bench::Benchmark *B = stagg::bench::findBenchmark("dsp_matmul_ptr");
+  auto Fn = cfront::parseCFunction(B->CSource);
+  for (auto _ : State) {
+    analysis::KernelModel M = analysis::buildKernelModel(*Fn.Function);
+    benchmark::DoNotOptimize(M.Stores.size());
+  }
+}
+BENCHMARK(BM_KernelModel);
+
+/// Model-based ingestion end to end, one per ingestion class — the serve
+/// admission path for inline kernels (micro/ingest_* in `stagg bench`).
+static void BM_IngestKernel(benchmark::State &State, const char *Name) {
+  std::string Source = stagg::bench::findBenchmark(Name)->CSource;
+  for (auto _ : State) {
+    api::IngestResult R = api::ingestKernel(Source, "b");
+    if (!R.ok())
+      std::abort();
+    benchmark::DoNotOptimize(R.Kernel.Args.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_IngestKernel, subscript, "blas_axpy");
+BENCHMARK_CAPTURE(BM_IngestKernel, pointer, "ptr_mv_rowwalk");
+BENCHMARK_CAPTURE(BM_IngestKernel, conditional, "relu_forward");
+BENCHMARK_CAPTURE(BM_IngestKernel, fused, "fused_scale_shift");
 
 static void BM_GrammarConstruction(benchmark::State &State) {
   std::vector<grammar::Templatized> T;

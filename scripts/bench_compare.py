@@ -16,8 +16,12 @@ also checked against the looser --abs-max-ratio.
 
 Only entries whose name starts with --prefix (default `micro/`) are gated:
 the end-to-end lift timings are reported for information but are too noisy
-for a CI threshold. Entries present on one side only are reported, never
-fatal (new benchmarks must not break the gate retroactively).
+for a CI threshold. A baseline entry missing from the current report fails
+the gate loudly — a renamed or dropped benchmark must force a deliberate
+baseline refresh, not silently shrink coverage (--allow-missing restores
+the old report-only behavior for one-off local comparisons). New
+current-side entries stay non-fatal, so adding benchmarks never breaks the
+gate retroactively.
 
 Exit codes: 0 ok, 1 regression found, 2 bad input.
 """
@@ -62,6 +66,10 @@ def main():
     parser.add_argument("--prefix", default="micro/",
                         help="gate only benchmarks with this name prefix "
                              "(default micro/)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline entry is missing "
+                             "from the current report (local comparisons "
+                             "across divergent branches)")
     args = parser.parse_args()
 
     base, base_fp = load(args.baseline)
@@ -111,17 +119,21 @@ def main():
               f"cur {cur[name] * 1e6:10.2f} us  raw {raw:5.2f}x  "
               f"norm {norm:5.2f}x  {verdict}")
 
-    # A gated benchmark vanishing from the current report must fail loudly:
-    # otherwise a renamed/dropped micro silently leaves the gate. New
-    # current-side entries stay non-fatal so adding benchmarks never breaks
-    # the gate retroactively.
+    # ANY baseline entry vanishing from the current report fails loudly
+    # (unless --allow-missing): a renamed/dropped benchmark must force a
+    # deliberate baseline refresh instead of silently leaving the gate or
+    # the report. New current-side entries stay non-fatal so adding
+    # benchmarks never breaks the gate retroactively.
     for name in only_base:
-        if name.startswith(args.prefix):
-            print(f"  {name}: MISSING from current report — gated benchmark "
-                  "dropped or renamed")
-            failures.append(name)
+        if args.allow_missing:
+            print(f"  {name}: only in baseline (removed?) — tolerated by "
+                  "--allow-missing")
         else:
-            print(f"  {name}: only in baseline (removed?)")
+            kind = "gated benchmark" if name.startswith(args.prefix) \
+                else "baseline entry"
+            print(f"  {name}: MISSING from current report — {kind} dropped "
+                  "or renamed; refresh bench/baseline.json if intentional")
+            failures.append(name)
     for name in only_cur:
         print(f"  {name}: only in current (new benchmark)")
 

@@ -1,7 +1,18 @@
 //===- analysis/KernelAnalysis.cpp - Static analysis of C kernels ---------===//
+//
+// The symbolic executor now produces two products in one run: the classic
+// KernelSummary (array recovery, delinearized ranks, constants — exactly the
+// results the original executor reported, in the same order) and the public
+// analysis::KernelModel IR (normalized stores with affine offsets and value
+// expressions, loop extents, guard conditions). The summary side is kept
+// bit-identical: model construction only *observes* the execution; it never
+// changes a symbolic value, a recorded access, or a fresh-symbol name.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/KernelAnalysis.h"
 
+#include "analysis/KernelModel.h"
 #include "support/StringUtils.h"
 
 #include <set>
@@ -32,10 +43,16 @@ struct PtrSym {
 };
 
 /// A symbolic runtime value: a known integer polynomial, a known pointer, or
-/// unknown (both optionals disengaged).
+/// unknown (both optionals disengaged). The model side rides along in Data:
+/// the value as a normalized expression (null = no value translation) plus
+/// the accumulation flag of the `s = 0; s += e` recognition. Data never
+/// participates in operator== — the summary-side havoc decisions are
+/// unchanged.
 struct SymVal {
   std::optional<Poly> IntVal;
   std::optional<PtrSym> PtrVal;
+  MExprPtr Data;
+  bool Accumulated = false;
 
   static SymVal unknown() { return {}; }
   static SymVal intPoly(Poly P) {
@@ -165,27 +182,34 @@ public:
   }
 };
 
-/// The symbolic executor implementing array recovery and loop
-/// summarization.
+/// The symbolic executor implementing array recovery, loop summarization,
+/// and (riding along) KernelModel construction.
 class SymExec {
 public:
   explicit SymExec(const CFunction &Fn) : Fn(Fn) {
     for (const CParam &P : Fn.Params) {
       if (P.Type.isPointer()) {
-        PointerParams.insert(P.Name);
+        Model.PointerParams.insert(P.Name);
         Vars[P.Name] = SymVal::ptr({P.Name, Poly::constant(0)});
       } else {
         Vars[P.Name] = SymVal::intPoly(Poly::symbol(P.Name));
+        Vars[P.Name].Data = MExpr::param(P.Name);
+        if (P.Type.isFloating())
+          Model.FloatParams.insert(P.Name);
+        else
+          Model.SizeParams.insert(P.Name);
       }
     }
   }
 
-  KernelSummary run() {
+  KernelModel run() {
     execStmt(*Fn.Body, Vars);
-    return std::move(Summary);
+    return std::move(Model);
   }
 
 private:
+  KernelSummary &summary() { return Model.Summary; }
+
   static bool isMarker(const std::string &Name) {
     return startsWith(Name, "@");
   }
@@ -194,20 +218,55 @@ private:
     return P.mentionsIf([](const std::string &S) { return isMarker(S); });
   }
 
+  bool isPointerParam(const std::string &Name) const {
+    return Model.PointerParams.count(Name) > 0;
+  }
+
+  void noteLimitation(const std::string &Why) {
+    // Pass A (delta detection) runs loop bodies over opaque markers, where
+    // even a translatable guard looks untranslatable; only the recording
+    // pass sees the closed forms, so only it reports limitations.
+    if (!Recording)
+      return;
+    if (Model.Limitation.empty()) {
+      Model.Limitation = Why;
+      Model.LimitationLoc = CurLoc;
+    }
+  }
+
+  /// Rewrites an iteration-space offset into the value space of the active
+  /// loops: a loop starting at the constant c contributes `sym := sym - c`,
+  /// so a subscript `x[i]` over `for (i = 1; ...)` reads as offset `i`
+  /// exactly like the syntactic view did.
+  Poly toValueSpace(Poly P) const {
+    for (const ActiveLoop &L : ActiveLoops)
+      if (L.Substitute)
+        P = P.substitute(L.Sym,
+                         Poly::symbol(L.Sym) - Poly::constant(L.StartConst));
+    return P;
+  }
+
   void record(const std::string &Base, std::optional<Poly> Offset,
               bool IsStore) {
     if (!Recording)
       return;
-    if (!PointerParams.count(Base))
+    if (!isPointerParam(Base))
       return; // Marker or non-parameter base: unusable for recovery.
     if (Offset && hasMarkerSymbols(*Offset))
       Offset.reset();
     AccessRecord R;
     R.Param = Base;
-    R.Offset = std::move(Offset);
+    R.Offset = Offset;
     R.LoopDepth = LoopDepth;
     R.IsStore = IsStore;
-    Summary.Accesses.push_back(std::move(R));
+    summary().Accesses.push_back(std::move(R));
+
+    ModelAccess MA;
+    MA.Param = Base;
+    if (Offset)
+      MA.Offset = toValueSpace(*Offset);
+    MA.IsStore = IsStore;
+    Model.Accesses.push_back(std::move(MA));
   }
 
   //===------------------------------------------------------------------===//
@@ -230,6 +289,11 @@ private:
     }
     if (const auto *U = cDynCast<CUnary>(&E)) {
       if (U->op() == CUnOp::Deref) {
+        // `*p` with p anything but a pointer parameter is pointer-walking
+        // iteration (the executor recovers it into closed forms).
+        const auto *OpVar = cDynCast<VarRef>(&U->operand());
+        if (!OpVar || !isPointerParam(OpVar->name()))
+          Model.PointerWalking = true;
         SymVal Ptr = evalExpr(U->operand(), S);
         if (Ptr.isPtr())
           P.Target = *Ptr.PtrVal;
@@ -240,6 +304,9 @@ private:
     if (const auto *Ix = cDynCast<CIndex>(&E)) {
       SymVal Base = evalExpr(Ix->base(), S);
       SymVal Index = evalExpr(Ix->index(), S);
+      const auto *BaseVar = cDynCast<VarRef>(&Ix->base());
+      if (Base.isPtr() && (!BaseVar || !isPointerParam(BaseVar->name())))
+        Model.PointerWalking = true;
       if (Base.isPtr()) {
         PtrSym T = *Base.PtrVal;
         if (Index.isInt())
@@ -264,8 +331,14 @@ private:
     if (P.Target) {
       std::optional<Poly> Off = P.Target->Off;
       record(P.Target->Base, Off, /*IsStore=*/false);
+      // Data loaded from memory is not tracked symbolically, but its value
+      // expression is a Load node when the place is recoverable.
+      SymVal V = SymVal::unknown();
+      if (isPointerParam(P.Target->Base) &&
+          !hasMarkerSymbols(P.Target->Off))
+        V.Data = MExpr::load(P.Target->Base, toValueSpace(P.Target->Off));
+      return V;
     }
-    // Data loaded from memory is not tracked symbolically.
     return SymVal::unknown();
   }
 
@@ -276,6 +349,29 @@ private:
     }
     if (P.Target)
       record(P.Target->Base, P.Target->Off, /*IsStore=*/true);
+  }
+
+  /// Appends a normalized store to the model (memory targets only).
+  void recordModelStore(const SymPlace &P, ModelStore::OpKind Op,
+                        MExprPtr Rhs, bool RhsIsZeroLiteral) {
+    if (!Recording)
+      return;
+    if (!P.Target || !isPointerParam(P.Target->Base)) {
+      noteLimitation("a store through an untracked pointer");
+      return;
+    }
+    ModelStore St;
+    St.Param = P.Target->Base;
+    if (!hasMarkerSymbols(P.Target->Off))
+      St.Offset = toValueSpace(P.Target->Off);
+    St.Op = Op;
+    St.Rhs = std::move(Rhs);
+    St.RhsIsZeroLiteral = RhsIsZeroLiteral;
+    St.Guards = GuardStack;
+    St.Loc = CurLoc;
+    for (const ActiveLoop &L : ActiveLoops)
+      St.Loops.push_back(L.Sym);
+    Model.Stores.push_back(std::move(St));
   }
 
   SymVal applyBinary(CBinOp Op, const SymVal &L, const SymVal &R) {
@@ -304,11 +400,32 @@ private:
     }
   }
 
+  /// Maps an arithmetic C operator to the model operator (nullopt for
+  /// comparisons, modulo, logicals — those have no value translation).
+  static std::optional<MOp> modelOp(CBinOp Op) {
+    switch (Op) {
+    case CBinOp::Add:
+      return MOp::Add;
+    case CBinOp::Sub:
+      return MOp::Sub;
+    case CBinOp::Mul:
+      return MOp::Mul;
+    case CBinOp::Div:
+      return MOp::Div;
+    default:
+      return std::nullopt;
+    }
+  }
+
   SymVal evalExpr(const CExpr &E, State &S) {
     switch (E.kind()) {
-    case CExpr::Kind::IntLit:
-      return SymVal::intPoly(Poly::constant(cCast<IntLit>(E).value()));
+    case CExpr::Kind::IntLit: {
+      SymVal V = SymVal::intPoly(Poly::constant(cCast<IntLit>(E).value()));
+      V.Data = MExpr::constant(cCast<IntLit>(E).value());
+      return V;
+    }
     case CExpr::Kind::FloatLit:
+      // The TACO subset has integer constants only: no value translation.
       return SymVal::unknown();
     case CExpr::Kind::VarRef: {
       auto It = S.find(cCast<VarRef>(E).name());
@@ -319,9 +436,11 @@ private:
       switch (U.op()) {
       case CUnOp::Neg: {
         SymVal V = evalExpr(U.operand(), S);
+        SymVal Out = SymVal::unknown();
         if (V.isInt())
-          return SymVal::intPoly(-*V.IntVal);
-        return SymVal::unknown();
+          Out = SymVal::intPoly(-*V.IntVal);
+        Out.Data = MExpr::neg(V.Data);
+        return Out;
       }
       case CUnOp::Deref: {
         SymPlace P = evalPlace(E, S);
@@ -343,32 +462,25 @@ private:
       const auto &B = cCast<CBinary>(E);
       SymVal L = evalExpr(B.lhs(), S);
       SymVal R = evalExpr(B.rhs(), S);
-      return applyBinary(B.op(), L, R);
+      SymVal V = applyBinary(B.op(), L, R);
+      if (std::optional<MOp> Op = modelOp(B.op()))
+        V.Data = MExpr::bin(*Op, L.Data, R.Data);
+      return V;
     }
-    case CExpr::Kind::Assign: {
-      const auto &A = cCast<CAssign>(E);
-      SymVal Rhs = evalExpr(A.rhs(), S);
-      SymPlace P = evalPlace(A.lhs(), S);
-      SymVal NewValue = Rhs;
-      if (A.op() != CAssignOp::Plain) {
-        SymVal Old = loadPlace(P, S);
-        CBinOp Op = A.op() == CAssignOp::Add   ? CBinOp::Add
-                    : A.op() == CAssignOp::Sub ? CBinOp::Sub
-                    : A.op() == CAssignOp::Mul ? CBinOp::Mul
-                                               : CBinOp::Div;
-        NewValue = applyBinary(Op, Old, Rhs);
-      }
-      storePlace(P, NewValue, S);
-      return NewValue;
-    }
+    case CExpr::Kind::Assign:
+      return evalAssign(cCast<CAssign>(E), S);
     case CExpr::Kind::IncDec: {
       const auto &I = cCast<CIncDec>(E);
       SymPlace P = evalPlace(I.target(), S);
       SymVal Old = loadPlace(P, S);
+      if (Old.isPtr())
+        Model.PointerWalking = true;
       SymVal Delta = SymVal::intPoly(Poly::constant(1));
       SymVal NewValue = applyBinary(
           I.isIncrement() ? CBinOp::Add : CBinOp::Sub, Old, Delta);
       storePlace(P, NewValue, S);
+      if (!P.IsVar)
+        recordModelStore(P, ModelStore::OpKind::Other, nullptr, false);
       return I.isPrefix() ? NewValue : Old;
     }
     case CExpr::Kind::Index: {
@@ -379,6 +491,85 @@ private:
     return SymVal::unknown();
   }
 
+  SymVal evalAssign(const CAssign &A, State &S) {
+    // Evaluate the RHS. The plain self-add patterns `s = s + e` and
+    // `s = e + s` are evaluated child-by-child (same order, same side
+    // effects) so the accumulated term's value expression is available.
+    SymVal Rhs;
+    MExprPtr TermData;
+    bool SelfAdd = false;
+    const auto *LhsVar = cDynCast<VarRef>(&A.lhs());
+    if (A.op() == CAssignOp::Plain && LhsVar) {
+      if (const auto *B = cDynCast<CBinary>(&A.rhs());
+          B && B->op() == CBinOp::Add) {
+        const auto *L = cDynCast<VarRef>(&B->lhs());
+        const auto *R = cDynCast<VarRef>(&B->rhs());
+        bool LeftSelf = L && L->name() == LhsVar->name();
+        bool RightSelf = R && R->name() == LhsVar->name();
+        if (LeftSelf || RightSelf) {
+          SymVal Lv = evalExpr(B->lhs(), S);
+          SymVal Rv = evalExpr(B->rhs(), S);
+          SelfAdd = true;
+          TermData = LeftSelf ? Rv.Data : Lv.Data;
+          Rhs = applyBinary(CBinOp::Add, Lv, Rv);
+          Rhs.Data = MExpr::bin(MOp::Add, Lv.Data, Rv.Data);
+        }
+      }
+    }
+    if (!SelfAdd)
+      Rhs = evalExpr(A.rhs(), S);
+
+    SymPlace P = evalPlace(A.lhs(), S);
+    SymVal NewValue = Rhs;
+    if (A.op() != CAssignOp::Plain) {
+      SymVal Old = loadPlace(P, S);
+      if (Old.isPtr())
+        Model.PointerWalking = true;
+      CBinOp Op = A.op() == CAssignOp::Add   ? CBinOp::Add
+                  : A.op() == CAssignOp::Sub ? CBinOp::Sub
+                  : A.op() == CAssignOp::Mul ? CBinOp::Mul
+                                             : CBinOp::Div;
+      NewValue = applyBinary(Op, Old, Rhs);
+    }
+
+    if (P.IsVar) {
+      // Value-expression bookkeeping for locals: the accumulation
+      // recognition of `s = 0; s += e` (and its `s = s + e` spelling);
+      // anything else follows the flow-sensitive data view.
+      auto It = S.find(P.Name);
+      const SymVal Cur = It != S.end() ? It->second : SymVal::unknown();
+      if (A.op() == CAssignOp::Add || SelfAdd) {
+        MExprPtr Term = SelfAdd ? TermData : Rhs.Data;
+        bool ZeroInit = Cur.Data && Cur.Data->isZeroLiteral();
+        if (ZeroInit && !Cur.Accumulated && Term) {
+          NewValue.Data = Term;
+          NewValue.Accumulated = true;
+        } else {
+          NewValue.Data = nullptr;
+          NewValue.Accumulated = Cur.Accumulated;
+        }
+      } else if (A.op() != CAssignOp::Plain) {
+        NewValue.Data = nullptr;
+        NewValue.Accumulated = Cur.Accumulated;
+      } else {
+        NewValue.Data = Rhs.Data;
+        NewValue.Accumulated = false;
+      }
+    }
+
+    storePlace(P, NewValue, S);
+    if (!P.IsVar) {
+      ModelStore::OpKind Op = A.op() == CAssignOp::Plain
+                                  ? ModelStore::OpKind::Set
+                                  : A.op() == CAssignOp::Add
+                                        ? ModelStore::OpKind::Add
+                                        : ModelStore::OpKind::Other;
+      const auto *Lit = cDynCast<IntLit>(&A.rhs());
+      recordModelStore(P, Op, Rhs.Data, Lit && Lit->value() == 0);
+    }
+    return NewValue;
+  }
+
   //===------------------------------------------------------------------===//
   // Statement execution
   //===------------------------------------------------------------------===//
@@ -386,8 +577,14 @@ private:
   void mergeStates(State &Into, const State &Other) {
     for (auto &[Name, Value] : Into) {
       auto It = Other.find(Name);
-      if (It == Other.end() || !(Value == It->second))
+      if (It == Other.end() || !(Value == It->second)) {
         Value = SymVal::unknown();
+        continue;
+      }
+      // Summary-side values agree; the data view merges independently.
+      if (!mexprEquals(Value.Data, It->second.Data))
+        Value.Data = nullptr;
+      Value.Accumulated = Value.Accumulated && It->second.Accumulated;
     }
     for (const auto &[Name, Value] : Other) {
       (void)Value;
@@ -397,6 +594,8 @@ private:
   }
 
   void execStmt(const CStmt &Stmt, State &S) {
+    if (Stmt.loc().valid())
+      CurLoc = Stmt.loc();
     switch (Stmt.kind()) {
     case CStmt::Kind::Empty:
       return;
@@ -408,6 +607,9 @@ private:
         S[D.name()] = SymVal::unknown();
       else
         S[D.name()] = SymVal::intPoly(Poly::constant(0));
+      if (!D.init())
+        S[D.name()].Data = nullptr;
+      S[D.name()].Accumulated = false;
       return;
     }
     case CStmt::Kind::ExprStmt:
@@ -417,16 +619,9 @@ private:
       for (const CStmtPtr &Sub : cCast<CBlock>(Stmt).statements())
         execStmt(*Sub, S);
       return;
-    case CStmt::Kind::If: {
-      const auto &I = cCast<CIf>(Stmt);
-      evalExpr(I.cond(), S);
-      State ElseState = S;
-      execStmt(I.thenStmt(), S);
-      if (I.elseStmt())
-        execStmt(*I.elseStmt(), ElseState);
-      mergeStates(S, ElseState);
+    case CStmt::Kind::If:
+      execIf(cCast<CIf>(Stmt), S);
       return;
-    }
     case CStmt::Kind::Return:
       if (const CExpr *E = cCast<CReturn>(Stmt).expr())
         evalExpr(*E, S);
@@ -434,6 +629,7 @@ private:
     case CStmt::Kind::While: {
       // Conservative: havoc everything the loop assigns, then scan the body
       // once for accesses at an increased loop depth.
+      noteLimitation("a while loop");
       const auto &W = cCast<CWhile>(Stmt);
       AssignedCollector Assigned;
       Assigned.visitStmt(W.body());
@@ -452,16 +648,82 @@ private:
     }
   }
 
-  /// Extracts `var < bound` / `var <= bound` and a unit step on `var`,
-  /// returning the symbolic trip count if the pattern matches.
-  std::optional<Poly> tripCount(const CFor &F, State &S,
-                                std::string &LoopVarOut) {
+  void execIf(const CIf &I, State &S) {
+    Model.Conditional = true;
+    cfront::SourceLoc Loc = I.loc();
+
+    // Translate the condition into a guard when it is a simple comparison
+    // whose sides have value expressions; evaluation order (lhs, then rhs)
+    // matches the plain expression walk, so recorded accesses are
+    // unchanged.
+    MGuard Guard;
+    Guard.Loc = Loc;
+    bool GuardOk = false;
+    const auto *Cmp = cDynCast<CBinary>(&I.cond());
+    auto CmpOf = [](CBinOp Op) -> std::optional<MCmp> {
+      switch (Op) {
+      case CBinOp::Lt:
+        return MCmp::Lt;
+      case CBinOp::Le:
+        return MCmp::Le;
+      case CBinOp::Gt:
+        return MCmp::Gt;
+      case CBinOp::Ge:
+        return MCmp::Ge;
+      default:
+        return std::nullopt;
+      }
+    };
+    if (Cmp) {
+      if (std::optional<MCmp> Op = CmpOf(Cmp->op())) {
+        SymVal L = evalExpr(Cmp->lhs(), S);
+        SymVal R = evalExpr(Cmp->rhs(), S);
+        Guard.Cmp = *Op;
+        Guard.L = L.Data;
+        Guard.R = R.Data;
+        GuardOk = Guard.translatable();
+      } else {
+        evalExpr(I.cond(), S);
+      }
+    } else {
+      evalExpr(I.cond(), S);
+    }
+    if (!GuardOk)
+      noteLimitation("a conditional");
+
+    State ElseState = S;
+    Guard.Negated = false;
+    GuardStack.push_back(Guard);
+    execStmt(I.thenStmt(), S);
+    GuardStack.pop_back();
+    if (I.elseStmt()) {
+      Guard.Negated = true;
+      GuardStack.push_back(Guard);
+      execStmt(*I.elseStmt(), ElseState);
+      GuardStack.pop_back();
+    }
+    mergeStates(S, ElseState);
+  }
+
+  /// The recognized shape of a `for` header: `(v = s; v < bound; v++)`.
+  struct LoopHeader {
+    bool HeaderOk = false;      ///< Shape and unit step recognized.
+    std::string Var;            ///< Loop variable (when HeaderOk).
+    std::optional<Poly> Start;  ///< Entry value of the variable.
+    std::optional<Poly> Extent; ///< bound (+1 for `<=`).
+    std::optional<Poly> Trip;   ///< Extent - Start.
+  };
+
+  /// Extracts the header; evaluation of the bound happens on a scratch
+  /// state exactly as the original trip-count extraction did.
+  LoopHeader analyzeHeader(const CFor &F, State &S) {
+    LoopHeader H;
     const auto *Cond = F.cond() ? cDynCast<CBinary>(F.cond()) : nullptr;
     if (!Cond || (Cond->op() != CBinOp::Lt && Cond->op() != CBinOp::Le))
-      return std::nullopt;
+      return H;
     const auto *Var = cDynCast<VarRef>(&Cond->lhs());
     if (!Var)
-      return std::nullopt;
+      return H;
 
     // The step must be var++/++var or var += 1.
     bool UnitStep = false;
@@ -477,26 +739,44 @@ private:
       }
     }
     if (!UnitStep)
-      return std::nullopt;
+      return H;
 
+    H.HeaderOk = true;
+    H.Var = Var->name();
     State Scratch = S;
     SymVal Bound = evalExpr(Cond->rhs(), Scratch);
     auto It = S.find(Var->name());
-    if (!Bound.isInt() || It == S.end() || !It->second.isInt())
-      return std::nullopt;
-    LoopVarOut = Var->name();
-    Poly Trip = *Bound.IntVal - *It->second.IntVal;
-    if (Cond->op() == CBinOp::Le)
-      Trip = Trip + Poly::constant(1);
-    return Trip;
+    if (It != S.end() && It->second.isInt())
+      H.Start = *It->second.IntVal;
+    if (Bound.isInt()) {
+      H.Extent = Cond->op() == CBinOp::Le ? *Bound.IntVal + Poly::constant(1)
+                                          : *Bound.IntVal;
+      if (H.Start)
+        H.Trip = *H.Extent - *H.Start;
+    }
+    return H;
   }
 
   void execFor(const CFor &F, State &S) {
+    cfront::SourceLoc Loc = F.loc();
     if (F.init())
       execStmt(*F.init(), S);
 
-    std::string LoopVar;
-    std::optional<Poly> Trip = tripCount(F, S, LoopVar);
+    LoopHeader Header = analyzeHeader(F, S);
+    std::optional<Poly> Trip = Header.Trip;
+    // The fresh symbol carries the source variable's name only when the
+    // full trip count resolved (the original naming rule).
+    std::string LoopVar = Trip ? Header.Var : "";
+
+    if (!Header.HeaderOk) {
+      noteLimitation(
+          "a loop without a recognizable `(v = s; v < bound; v++)` header");
+    } else if (!Header.Start || !Header.Start->isZero()) {
+      // Shape inference survives a non-zero start (the extent is the bound
+      // either way), but `for (i = 1; ...)` never touches index 0, which
+      // index notation cannot express.
+      noteLimitation("a loop starting at a non-zero index");
+    }
 
     AssignedCollector Assigned;
     Assigned.visitStmt(F.body());
@@ -546,7 +826,7 @@ private:
             !hasMarkerSymbols(After.PtrVal->Off)) {
           Class = VarClass::Induction;
           Stride = After.PtrVal->Off;
-        } else if (PointerParams.count(After.PtrVal->Base) &&
+        } else if (isPointerParam(After.PtrVal->Base) &&
                    !hasMarkerSymbols(After.PtrVal->Off)) {
           Class = VarClass::Reset;
         }
@@ -561,8 +841,29 @@ private:
     std::string LoopSym =
         "l" + std::to_string(FreshCounter++) +
         (LoopVar.empty() ? "" : "_" + LoopVar);
-    Summary.LoopSymbols.push_back(LoopSym);
+    summary().LoopSymbols.push_back(LoopSym);
     Poly SymPoly = Poly::symbol(LoopSym);
+
+    // Model loop record (recording passes only, so each loop appears once,
+    // outermost first).
+    int64_t StartConst = 0;
+    bool StartIsConst =
+        Header.Start.has_value() && Header.Start->asConstant(StartConst);
+    if (Recording) {
+      ModelLoop ML;
+      ML.Symbol = LoopSym;
+      ML.SourceVar = Header.HeaderOk ? Header.Var : "";
+      if (Header.Extent) {
+        ML.Extent = toValueSpace(*Header.Extent);
+        ML.ExtentKnown = true;
+      }
+      ML.HeaderOk = Header.HeaderOk;
+      ML.StartsAtZero = Header.Start && Header.Start->isZero();
+      ML.Loc = Loc;
+      Model.Loops.push_back(std::move(ML));
+    }
+    ActiveLoops.push_back(
+        {LoopSym, StartConst, StartIsConst && StartConst != 0});
 
     State Body = Entry;
     for (const std::string &Name : Assigned.Names) {
@@ -581,9 +882,19 @@ private:
         break;
       }
       case VarClass::Reset:
-      case VarClass::Opaque:
-        Body[Name] = SymVal::unknown();
+      case VarClass::Opaque: {
+        // The summary view havocs; the data view flows through so the
+        // accumulation recognition still sees the entry value (`acc = 0`
+        // before the loop).
+        auto It = Entry.find(Name);
+        SymVal V = SymVal::unknown();
+        if (It != Entry.end()) {
+          V.Data = It->second.Data;
+          V.Accumulated = It->second.Accumulated;
+        }
+        Body[Name] = std::move(V);
         break;
+      }
       }
     }
     ++LoopDepth;
@@ -591,6 +902,7 @@ private:
     if (F.step())
       evalExpr(*F.step(), Body);
     --LoopDepth;
+    ActiveLoops.pop_back();
 
     // Exit state.
     S = Entry;
@@ -623,14 +935,31 @@ private:
       case VarClass::Opaque:
         break;
       }
+      // The data view persists across the loop exit (accumulators keep
+      // their summed expression; induction variables already carry none).
+      Exit.Data = Body[Name].Data;
+      Exit.Accumulated = Body[Name].Accumulated;
+      if (Classes[Name] == VarClass::Induction) {
+        Exit.Data = nullptr;
+        Exit.Accumulated = false;
+      }
       S[Name] = Exit;
     }
   }
 
+  /// One active (pass B) loop, for value-space conversion of offsets.
+  struct ActiveLoop {
+    std::string Sym;
+    int64_t StartConst = 0;
+    bool Substitute = false;
+  };
+
   const CFunction &Fn;
-  KernelSummary Summary;
+  KernelModel Model;
   State Vars;
-  std::set<std::string> PointerParams;
+  std::vector<MGuard> GuardStack;
+  std::vector<ActiveLoop> ActiveLoops;
+  cfront::SourceLoc CurLoc;
   bool Recording = true;
   int LoopDepth = 0;
   int FreshCounter = 0;
@@ -715,9 +1044,10 @@ public:
 
 } // namespace
 
-KernelSummary analysis::analyzeKernel(const CFunction &Fn) {
+KernelModel analysis::buildKernelModel(const CFunction &Fn) {
   SymExec Exec(Fn);
-  KernelSummary Summary = Exec.run();
+  KernelModel Model = Exec.run();
+  KernelSummary &Summary = Model.Summary;
 
   // Identify the output parameter: the pointer parameter with stores.
   std::map<std::string, int> StoreCounts;
@@ -748,5 +1078,9 @@ KernelSummary analysis::analyzeKernel(const CFunction &Fn) {
   ConstantScanner Scanner;
   Scanner.visitStmt(*Fn.Body);
   Summary.Constants = std::move(Scanner.Constants);
-  return Summary;
+  return Model;
+}
+
+KernelSummary analysis::analyzeKernel(const CFunction &Fn) {
+  return std::move(buildKernelModel(Fn).Summary);
 }

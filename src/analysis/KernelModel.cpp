@@ -1,0 +1,321 @@
+//===- analysis/KernelModel.cpp - Normalized kernel IR --------------------===//
+//
+// Model-side machinery: value-expression construction and equality, the
+// stride-ordered delinearization that used to live in api/KernelIngest.cpp
+// (now over the executor's closed forms), and kernel classification.
+// buildKernelModel itself lives in KernelAnalysis.cpp next to the symbolic
+// executor that produces it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelModel.h"
+
+#include <algorithm>
+
+using namespace stagg;
+using namespace stagg::analysis;
+
+MExprPtr MExpr::load(std::string Param, Poly Off) {
+  auto E = std::make_shared<MExpr>();
+  E->K = Kind::Load;
+  E->Name = std::move(Param);
+  E->Offset = std::move(Off);
+  return E;
+}
+
+MExprPtr MExpr::param(std::string Name) {
+  auto E = std::make_shared<MExpr>();
+  E->K = Kind::Param;
+  E->Name = std::move(Name);
+  return E;
+}
+
+MExprPtr MExpr::constant(int64_t Value) {
+  auto E = std::make_shared<MExpr>();
+  E->K = Kind::ConstInt;
+  E->IntValue = Value;
+  return E;
+}
+
+MExprPtr MExpr::bin(MOp Op, MExprPtr A, MExprPtr B) {
+  if (!A || !B)
+    return nullptr;
+  auto E = std::make_shared<MExpr>();
+  E->K = Kind::Bin;
+  E->Op = Op;
+  E->A = std::move(A);
+  E->B = std::move(B);
+  return E;
+}
+
+MExprPtr MExpr::neg(MExprPtr A) {
+  if (!A)
+    return nullptr;
+  auto E = std::make_shared<MExpr>();
+  E->K = Kind::Neg;
+  E->A = std::move(A);
+  return E;
+}
+
+bool analysis::mexprEquals(const MExprPtr &A, const MExprPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->K != B->K)
+    return false;
+  switch (A->K) {
+  case MExpr::Kind::Load:
+    return A->Name == B->Name && A->Offset == B->Offset;
+  case MExpr::Kind::Param:
+    return A->Name == B->Name;
+  case MExpr::Kind::ConstInt:
+    return A->IntValue == B->IntValue;
+  case MExpr::Kind::Bin:
+    return A->Op == B->Op && mexprEquals(A->A, B->A) &&
+           mexprEquals(A->B, B->B);
+  case MExpr::Kind::Neg:
+    return mexprEquals(A->A, B->A);
+  }
+  return false;
+}
+
+const char *analysis::kernelClassName(KernelClass C) {
+  switch (C) {
+  case KernelClass::Subscript:
+    return "subscript";
+  case KernelClass::PointerWalking:
+    return "pointer-walking";
+  case KernelClass::Conditional:
+    return "conditional";
+  case KernelClass::MultiStatement:
+    return "multi-statement";
+  }
+  return "?";
+}
+
+std::string KernelModel::locatedLimitation() const {
+  if (Limitation.empty())
+    return Limitation;
+  std::string Loc = LimitationLoc.str();
+  return Loc.empty() ? Limitation : Limitation + " (" + Loc + ")";
+}
+
+const ModelLoop *KernelModel::loop(const std::string &Symbol) const {
+  for (const ModelLoop &L : Loops)
+    if (L.Symbol == Symbol)
+      return &L;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Delinearization (stride ordering; O'Boyle & Knijnenburg)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds Coeff * product(Symbols).
+Poly monomialPoly(const Monomial &Symbols, int64_t Coeff) {
+  Poly P = Poly::constant(Coeff);
+  for (const std::string &S : Symbols)
+    P = P * Poly::symbol(S);
+  return P;
+}
+
+/// Exact division \p A / \p B when \p B is a single term dividing every
+/// term of \p A; nullopt otherwise.
+std::optional<Poly> dividePoly(const Poly &A, const Poly &B) {
+  if (B.terms().size() != 1)
+    return std::nullopt;
+  const auto &[DivMono, DivCoeff] = *B.terms().begin();
+  if (DivCoeff == 0)
+    return std::nullopt;
+  Poly Quotient;
+  for (const auto &[Mono, Coeff] : A.terms()) {
+    if (Coeff % DivCoeff != 0)
+      return std::nullopt;
+    // DivMono must be a sub-multiset of Mono.
+    Monomial Rest = Mono;
+    for (const std::string &S : DivMono) {
+      auto It = std::find(Rest.begin(), Rest.end(), S);
+      if (It == Rest.end())
+        return std::nullopt;
+      Rest.erase(It);
+    }
+    Quotient = Quotient + monomialPoly(Rest, Coeff / DivCoeff);
+  }
+  return Quotient;
+}
+
+/// The coefficient polynomial of \p Var in \p P (nullopt when \p Var occurs
+/// nonlinearly).
+std::optional<Poly> strideOf(const Poly &P, const std::string &Var) {
+  Poly Stride;
+  for (const auto &[Mono, Coeff] : P.terms()) {
+    size_t Count =
+        static_cast<size_t>(std::count(Mono.begin(), Mono.end(), Var));
+    if (Count == 0)
+      continue;
+    if (Count > 1)
+      return std::nullopt;
+    Monomial Rest = Mono;
+    Rest.erase(std::find(Rest.begin(), Rest.end(), Var));
+    Stride = Stride + monomialPoly(Rest, Coeff);
+  }
+  return Stride;
+}
+
+/// Orders strides: +1 when A spans more elements than B, -1 for the
+/// converse, 0 when the order cannot be established.
+int compareStrides(const Poly &A, const Poly &B) {
+  int64_t CA = 0, CB = 0;
+  if (A.asConstant(CA) && B.asConstant(CB))
+    return CA > CB ? 1 : (CA < CB ? -1 : 0);
+  if (std::optional<Poly> Q = dividePoly(A, B)) {
+    int64_t C = 0;
+    if (!Q->asConstant(C))
+      return 1; // symbolic multiple, e.g. (M*K)/K = M
+    return C > 1 ? 1 : 0;
+  }
+  if (std::optional<Poly> Q = dividePoly(B, A)) {
+    int64_t C = 0;
+    if (!Q->asConstant(C))
+      return -1;
+    return C > 1 ? -1 : 0;
+  }
+  return 0;
+}
+
+} // namespace
+
+ModelShape KernelModel::delinearize(const Poly &Offset) const {
+  ModelShape Shape;
+
+  // The loops the offset mentions, in model (outer-first) order.
+  std::vector<const ModelLoop *> Mentioned;
+  for (const ModelLoop &L : Loops)
+    if (Offset.mentions(L.Symbol))
+      Mentioned.push_back(&L);
+
+  // Scalar access: a constant offset of zero is dimension-less (`out[0]`,
+  // `*out`); anything else is out of scope.
+  if (Mentioned.empty()) {
+    int64_t C = 0;
+    Shape.Ok = Offset.asConstant(C) && C == 0;
+    return Shape;
+  }
+
+  // Strides must be linear, must tile exactly (no residual terms), and
+  // must order totally.
+  Poly Residual = Offset;
+  std::vector<std::pair<const ModelLoop *, Poly>> Strides;
+  for (const ModelLoop *L : Mentioned) {
+    std::optional<Poly> S = strideOf(Offset, L->Symbol);
+    if (!S || S->isZero())
+      return Shape;
+    Residual = Residual - *S * Poly::symbol(L->Symbol);
+    Strides.emplace_back(L, *S);
+  }
+  if (!Residual.isZero())
+    return Shape;
+
+  // Order by stride, outermost dimension first. compareStrides is only a
+  // partial order, so select the strict maximum of the remainder each round
+  // and fail on any incomparable pair (ambiguous layout, e.g. the stencil
+  // i + j). Ranks are bounded by the loop depth, so O(n^2) is free.
+  for (size_t I = 0; I < Strides.size(); ++I) {
+    size_t Max = I;
+    for (size_t J = I + 1; J < Strides.size(); ++J) {
+      int Order = compareStrides(Strides[Max].second, Strides[J].second);
+      if (Order == 0)
+        return Shape;
+      if (Order < 0)
+        Max = J;
+    }
+    std::swap(Strides[I], Strides[Max]);
+  }
+  int64_t Inner = 0;
+  if (!Strides.back().second.asConstant(Inner) || Inner != 1)
+    return Shape; // non-unit innermost stride
+
+  // Extents: the leading dimension spans its loop's index space; every
+  // inner dimension is the ratio of adjacent strides.
+  for (size_t I = 0; I < Strides.size(); ++I) {
+    ModelDim Dim;
+    Dim.LoopSym = Strides[I].first->Symbol;
+    if (I == 0) {
+      Dim.Extent = Strides[0].first->Extent;
+      Dim.ExtentKnown = Strides[0].first->ExtentKnown;
+    } else {
+      std::optional<Poly> Ratio =
+          dividePoly(Strides[I - 1].second, Strides[I].second);
+      if (!Ratio)
+        return Shape;
+      Dim.Extent = *Ratio;
+      Dim.ExtentKnown = true;
+    }
+    Shape.Dims.push_back(std::move(Dim));
+  }
+  Shape.Ok = true;
+  return Shape;
+}
+
+std::optional<ModelShape>
+KernelModel::bestShape(const std::string &Param) const {
+  std::optional<ModelShape> Best;
+  bool Seen = false;
+  for (const ModelAccess &A : Accesses) {
+    if (A.Param != Param)
+      continue;
+    Seen = true;
+    if (!A.Offset)
+      continue;
+    ModelShape S = delinearize(*A.Offset);
+    if (!S.Ok)
+      continue;
+    if (!Best || !Best->Ok || S.Dims.size() > Best->Dims.size())
+      Best = std::move(S);
+  }
+  if (!Best && Seen)
+    Best = ModelShape(); // accessed, but never with a recoverable offset
+  return Best;
+}
+
+bool analysis::extentName(const ModelDim &Dim, std::string &Out) {
+  if (!Dim.ExtentKnown)
+    return false;
+  int64_t C = 0;
+  if (Dim.Extent.asConstant(C)) {
+    if (C < 1)
+      return false;
+    Out = std::to_string(C);
+    return true;
+  }
+  const auto &Terms = Dim.Extent.terms();
+  if (Terms.size() == 1 && Terms.begin()->first.size() == 1 &&
+      Terms.begin()->second == 1) {
+    Out = Terms.begin()->first.front();
+    return true;
+  }
+  return false;
+}
+
+KernelClass analysis::classifyKernel(const KernelModel &M) {
+  if (M.Conditional)
+    return KernelClass::Conditional;
+  for (const ModelStore &S : M.Stores)
+    if (!S.Guards.empty())
+      return KernelClass::Conditional;
+
+  // Semantic statements: stores that are not zero-initialization setup.
+  int Semantic = 0;
+  for (const ModelStore &S : M.Stores)
+    if (!(S.Op == ModelStore::OpKind::Set && S.RhsIsZeroLiteral))
+      ++Semantic;
+  if (Semantic > 1)
+    return KernelClass::MultiStatement;
+
+  if (M.PointerWalking)
+    return KernelClass::PointerWalking;
+  return KernelClass::Subscript;
+}

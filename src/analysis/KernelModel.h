@@ -1,0 +1,226 @@
+//===- analysis/KernelModel.h - Normalized kernel IR -----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalized kernel IR produced by the symbolic executor: the
+/// store/access model that used to be internal to analysis/KernelAnalysis.cpp,
+/// promoted to a public interface so every downstream consumer (shape
+/// inference, reference translation, ingestion-class labeling) reads one
+/// normal form instead of re-walking the syntax.
+///
+/// A KernelModel holds, for one C kernel:
+///
+///  * **Loops** — each loop of the nest with its fresh symbol, source
+///    variable, and closed-form extent (the `v < bound` bound, paper-style
+///    index space);
+///  * **Stores** — every store through a pointer parameter in execution
+///    order, with a closed-form affine offset over the loop symbols (pointer
+///    bumps like `*out++` are summarized to `loopvar * stride` by the
+///    executor's delta detection), the right-hand side as a normalized value
+///    expression (MExpr), and the guard conditions of enclosing `if`s;
+///  * **Accesses** — every load/store with its affine offset, for shape
+///    inference by stride-ordered delinearization.
+///
+/// The model is *value-normalized*: a subscripted access `x[i]`, a walked
+/// pointer `*p++` with `p = x`, and a linearized `x[i*N + j]` all appear as
+/// the same kind of Load node with an affine offset polynomial, which is
+/// what lets pointer-walking kernels lift over the wire without an
+/// oracle_hint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_ANALYSIS_KERNELMODEL_H
+#define STAGG_ANALYSIS_KERNELMODEL_H
+
+#include "analysis/KernelAnalysis.h"
+#include "cfront/Ast.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace analysis {
+
+/// Arithmetic operators of the normalized value expressions (kept
+/// taco-independent; the API layer maps them onto TACO operators).
+enum class MOp { Add, Sub, Mul, Div };
+
+/// Comparison operators a guard can carry.
+enum class MCmp { Lt, Le, Gt, Ge };
+
+struct MExpr;
+using MExprPtr = std::shared_ptr<const MExpr>;
+
+/// One normalized value expression node. Immutable and shared: symbolic
+/// states copy freely.
+struct MExpr {
+  enum class Kind {
+    Load,     ///< Memory read: base parameter + affine offset.
+    Param,    ///< Scalar parameter read (float data or size parameter).
+    ConstInt, ///< Integer literal.
+    Bin,      ///< A Op B.
+    Neg,      ///< -A.
+  };
+
+  Kind K = Kind::ConstInt;
+  std::string Name;     ///< Load: base pointer parameter; Param: its name.
+  Poly Offset;          ///< Load: flat affine offset over loop symbols.
+  int64_t IntValue = 0; ///< ConstInt.
+  MOp Op = MOp::Add;    ///< Bin.
+  MExprPtr A, B;        ///< Bin: both children; Neg: A.
+
+  static MExprPtr load(std::string Param, Poly Off);
+  static MExprPtr param(std::string Name);
+  static MExprPtr constant(int64_t Value);
+  /// Null-propagating: returns null when either child is null.
+  static MExprPtr bin(MOp Op, MExprPtr A, MExprPtr B);
+  static MExprPtr neg(MExprPtr A);
+
+  bool isZeroLiteral() const { return K == Kind::ConstInt && IntValue == 0; }
+};
+
+/// Structural equality of value expressions.
+bool mexprEquals(const MExprPtr &A, const MExprPtr &B);
+
+/// One guard from an enclosing `if`: the condition `L Cmp R`, negated for
+/// else branches. L/R are null when the condition had no value translation
+/// (the store under it then refuses translation with a located diagnostic).
+struct MGuard {
+  MCmp Cmp = MCmp::Gt;
+  MExprPtr L, R;
+  bool Negated = false;
+  cfront::SourceLoc Loc;
+
+  bool translatable() const { return L != nullptr && R != nullptr; }
+};
+
+/// One loop of the kernel, recorded outer-to-inner along each nest path.
+struct ModelLoop {
+  std::string Symbol;    ///< Fresh symbol the offsets mention ("l0_i").
+  std::string SourceVar; ///< Loop variable in the source; "" when the header
+                         ///< was not recognizable.
+  Poly Extent;           ///< Index-space size (the `v < bound` bound).
+  bool ExtentKnown = false;
+  bool HeaderOk = false;   ///< `(v = s; v < bound; v++)` shape recognized.
+  bool StartsAtZero = false;
+  cfront::SourceLoc Loc;
+};
+
+/// One store through a pointer parameter, in execution order.
+struct ModelStore {
+  enum class OpKind {
+    Set,   ///< `=`
+    Add,   ///< `+=` (a reduction when the offset misses inner loops)
+    Other, ///< any other compound store (refused by translation)
+  };
+
+  std::string Param;
+  std::optional<Poly> Offset; ///< Affine offset; nullopt when unrecoverable.
+  OpKind Op = OpKind::Set;
+  MExprPtr Rhs;               ///< Null when the RHS had no value translation.
+  bool RhsIsZeroLiteral = false;
+  std::vector<MGuard> Guards; ///< Enclosing guards, outermost first.
+  std::vector<std::string> Loops; ///< Enclosing loop symbols, outer first.
+  cfront::SourceLoc Loc;
+};
+
+/// One recorded access (load or store) for shape inference.
+struct ModelAccess {
+  std::string Param;
+  std::optional<Poly> Offset;
+  bool IsStore = false;
+};
+
+/// One delinearized array dimension: the loop symbol indexing it and its
+/// symbolic extent.
+struct ModelDim {
+  std::string LoopSym;
+  Poly Extent;
+  bool ExtentKnown = false;
+};
+
+/// A delinearized access shape (outer to inner); Ok when the offset tiled
+/// exactly into totally ordered strides with a unit innermost stride.
+struct ModelShape {
+  std::vector<ModelDim> Dims;
+  bool Ok = false;
+};
+
+/// Ingestion classes, for `stagg list` and the README support matrix.
+enum class KernelClass {
+  Subscript,      ///< Plain array-subscript loop nest.
+  PointerWalking, ///< Iterates by bumping pointers.
+  Conditional,    ///< Guarded stores (relu-family).
+  MultiStatement, ///< More than one semantic store statement.
+};
+
+const char *kernelClassName(KernelClass C);
+
+/// The complete normalized model of one kernel.
+struct KernelModel {
+  /// The classic analysis summary (output parameter, per-parameter ranks,
+  /// constant pool) — computed by the same executor run.
+  KernelSummary Summary;
+
+  std::vector<ModelLoop> Loops;
+  std::vector<ModelStore> Stores;
+  std::vector<ModelAccess> Accesses;
+
+  /// Parameter kinds in the source signature.
+  std::set<std::string> PointerParams;
+  std::set<std::string> SizeParams;
+  std::set<std::string> FloatParams;
+
+  /// True when iteration happens through pointer bumps / local pointers
+  /// rather than plain parameter subscripts.
+  bool PointerWalking = false;
+
+  /// True when the kernel contains any `if`.
+  bool Conditional = false;
+
+  /// First construct the executor could not normalize (while loops,
+  /// unrecognizable loop headers, untranslatable conditions, ...). A
+  /// non-empty limitation poisons the reference translation but not shape
+  /// inference.
+  std::string Limitation;
+  cfront::SourceLoc LimitationLoc;
+
+  /// The limitation with its source position appended, e.g.
+  /// "a while loop (line 3, column 5)".
+  std::string locatedLimitation() const;
+
+  const ModelLoop *loop(const std::string &Symbol) const;
+
+  /// Stride-ordered delinearization of a flat offset over this model's
+  /// loops (the O'Boyle–Knijnenburg scheme the syntactic walker used, now
+  /// over the executor's closed forms).
+  ModelShape delinearize(const Poly &Offset) const;
+
+  /// The best (highest-rank, successfully delinearized) access per pointer
+  /// parameter; absent when the parameter is never accessed.
+  std::optional<ModelShape> bestShape(const std::string &Param) const;
+};
+
+/// Runs the symbolic executor over \p Fn and returns the normalized model
+/// (including the KernelSummary that analyzeKernel reports).
+KernelModel buildKernelModel(const cfront::CFunction &Fn);
+
+/// Classifies a kernel for the registry listing; priority
+/// conditional > multi-statement > pointer-walking > subscript.
+KernelClass classifyKernel(const KernelModel &M);
+
+/// Renders a delinearized extent as a shape-entry name: a size-parameter
+/// symbol or a positive decimal literal. False when the extent is unknown
+/// or not expressible as a single name.
+bool extentName(const ModelDim &Dim, std::string &Out);
+
+} // namespace analysis
+} // namespace stagg
+
+#endif // STAGG_ANALYSIS_KERNELMODEL_H

@@ -1,12 +1,12 @@
 //===- api/KernelIngest.cpp - Arbitrary C kernels to benchmarks -----------===//
 //
-// The ingestion walker reads the kernel's loop nest *syntactically* (the
-// symbolic executor in analysis/ recovers ranks for pointer-walking code,
-// but deliberately forgets expression structure; this pass keeps it):
-// subscripts are evaluated into affine polynomials over loop variables and
-// size parameters, delinearized by stride ordering, and the store statements
-// are transliterated into TACO index notation. Both products — inferred
-// array shapes and the reference translation — fall out of one walk.
+// Model-based ingestion: both products — inferred array shapes and the
+// reference translation — are read off one analysis::KernelModel, the
+// symbolic executor's normalized store/access IR. The old syntactic
+// loop-nest walker is gone; pointer-walking kernels (whose structure only
+// the executor's closed forms recover), guarded stores (lowered to
+// max/select), and sequential multi-statement bodies (lowered to ordered
+// TACO statement lists, then composed) all emit through the same path.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,863 +14,456 @@
 
 #include "cfront/Parser.h"
 #include "support/Rng.h"
+#include "taco/Einsum.h"
 #include "taco/Parser.h"
 #include "taco/Printer.h"
 #include "taco/Semantics.h"
 #include "validate/IoExamples.h"
+#include "validate/Validator.h"
+#include "verify/BoundedVerifier.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
 using namespace stagg;
 using namespace stagg::api;
 using namespace stagg::cfront;
-using analysis::Poly;
+using analysis::KernelModel;
+using analysis::MExpr;
+using analysis::MExprPtr;
+using analysis::ModelShape;
+using analysis::ModelStore;
 
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Polynomial helpers
+// MExpr -> TACO emission (over raw loop symbols; humanized at the end)
 //===----------------------------------------------------------------------===//
 
-/// Builds Coeff * product(Symbols).
-Poly monomialPoly(const analysis::Monomial &Symbols, int64_t Coeff) {
-  Poly P = Poly::constant(Coeff);
-  for (const std::string &S : Symbols)
-    P = P * Poly::symbol(S);
-  return P;
+/// Renders a delinearized access as `param(l0,l1,...)` over the model's raw
+/// loop symbols (globally unique, so cross-statement renaming can never
+/// capture). Null when the offset does not delinearize.
+taco::ExprPtr accessExpr(const KernelModel &M, const std::string &Param,
+                         const analysis::Poly &Offset) {
+  ModelShape Shape = M.delinearize(Offset);
+  if (!Shape.Ok)
+    return nullptr;
+  std::vector<std::string> Indices;
+  for (const analysis::ModelDim &Dim : Shape.Dims)
+    Indices.push_back(Dim.LoopSym);
+  return std::make_unique<taco::AccessExpr>(Param, std::move(Indices));
 }
 
-/// Exact division \p A / \p B when \p B is a single term dividing every
-/// term of \p A; nullopt otherwise.
-std::optional<Poly> dividePoly(const Poly &A, const Poly &B) {
-  if (B.terms().size() != 1)
-    return std::nullopt;
-  const auto &[DivMono, DivCoeff] = *B.terms().begin();
-  if (DivCoeff == 0)
-    return std::nullopt;
-  Poly Quotient;
-  for (const auto &[Mono, Coeff] : A.terms()) {
-    if (Coeff % DivCoeff != 0)
-      return std::nullopt;
-    // DivMono must be a sub-multiset of Mono.
-    analysis::Monomial Rest = Mono;
-    for (const std::string &S : DivMono) {
-      auto It = std::find(Rest.begin(), Rest.end(), S);
-      if (It == Rest.end())
-        return std::nullopt;
-      Rest.erase(It);
+taco::ExprPtr valueToTaco(const KernelModel &M, const MExprPtr &E) {
+  if (!E)
+    return nullptr;
+  switch (E->K) {
+  case MExpr::Kind::Load:
+    return accessExpr(M, E->Name, E->Offset);
+  case MExpr::Kind::Param:
+    return std::make_unique<taco::AccessExpr>(E->Name,
+                                              std::vector<std::string>());
+  case MExpr::Kind::ConstInt:
+    return std::make_unique<taco::ConstantExpr>(E->IntValue);
+  case MExpr::Kind::Bin: {
+    taco::ExprPtr A = valueToTaco(M, E->A);
+    taco::ExprPtr B = valueToTaco(M, E->B);
+    if (!A || !B)
+      return nullptr;
+    taco::BinOpKind Op = taco::BinOpKind::Add;
+    switch (E->Op) {
+    case analysis::MOp::Add:
+      Op = taco::BinOpKind::Add;
+      break;
+    case analysis::MOp::Sub:
+      Op = taco::BinOpKind::Sub;
+      break;
+    case analysis::MOp::Mul:
+      Op = taco::BinOpKind::Mul;
+      break;
+    case analysis::MOp::Div:
+      Op = taco::BinOpKind::Div;
+      break;
     }
-    Quotient = Quotient + monomialPoly(Rest, Coeff / DivCoeff);
+    return std::make_unique<taco::BinaryExpr>(Op, std::move(A), std::move(B));
   }
-  return Quotient;
+  case MExpr::Kind::Neg: {
+    taco::ExprPtr A = valueToTaco(M, E->A);
+    return A ? std::make_unique<taco::NegateExpr>(std::move(A)) : nullptr;
+  }
+  }
+  return nullptr;
 }
 
-/// The coefficient polynomial of \p Var in \p P (nullopt when \p Var occurs
-/// nonlinearly).
-std::optional<Poly> strideOf(const Poly &P, const std::string &Var) {
-  Poly Stride;
-  for (const auto &[Mono, Coeff] : P.terms()) {
-    size_t Count = static_cast<size_t>(
-        std::count(Mono.begin(), Mono.end(), Var));
-    if (Count == 0)
-      continue;
-    if (Count > 1)
-      return std::nullopt;
-    analysis::Monomial Rest = Mono;
-    Rest.erase(std::find(Rest.begin(), Rest.end(), Var));
-    Stride = Stride + monomialPoly(Rest, Coeff);
+/// In-place index renaming over every access of \p E.
+void renameIndices(taco::Expr &E,
+                   const std::map<std::string, std::string> &Map) {
+  switch (E.kind()) {
+  case taco::Expr::Kind::Access: {
+    auto &A = static_cast<taco::AccessExpr &>(E);
+    std::vector<std::string> Indices = A.indices();
+    for (std::string &Var : Indices) {
+      auto It = Map.find(Var);
+      if (It != Map.end())
+        Var = It->second;
+    }
+    A.setIndices(std::move(Indices));
+    return;
   }
-  return Stride;
+  case taco::Expr::Kind::Constant:
+    return;
+  case taco::Expr::Kind::Binary: {
+    auto &B = static_cast<taco::BinaryExpr &>(E);
+    renameIndices(B.lhs(), Map);
+    renameIndices(B.rhs(), Map);
+    return;
+  }
+  case taco::Expr::Kind::Negate:
+    renameIndices(static_cast<taco::NegateExpr &>(E).operand(), Map);
+    return;
+  case taco::Expr::Kind::Max: {
+    auto &Mx = static_cast<taco::MaxExpr &>(E);
+    renameIndices(Mx.lhs(), Map);
+    renameIndices(Mx.rhs(), Map);
+    return;
+  }
+  }
 }
 
-/// Orders strides: +1 when A spans more elements than B, -1 for the
-/// converse, 0 when the order cannot be established.
-int compareStrides(const Poly &A, const Poly &B) {
-  int64_t CA = 0, CB = 0;
-  if (A.asConstant(CA) && B.asConstant(CB))
-    return CA > CB ? 1 : (CA < CB ? -1 : 0);
-  if (std::optional<Poly> Q = dividePoly(A, B)) {
-    int64_t C = 0;
-    if (!Q->asConstant(C))
-      return 1; // symbolic multiple, e.g. (M*K)/K = M
-    return C > 1 ? 1 : 0;
+void renameIndices(taco::Program &P,
+                   const std::map<std::string, std::string> &Map) {
+  std::vector<std::string> Indices = P.Lhs.indices();
+  for (std::string &Var : Indices) {
+    auto It = Map.find(Var);
+    if (It != Map.end())
+      Var = It->second;
   }
-  if (std::optional<Poly> Q = dividePoly(B, A)) {
-    int64_t C = 0;
-    if (!Q->asConstant(C))
-      return -1;
-    return C > 1 ? -1 : 0;
-  }
-  return 0;
+  P.Lhs.setIndices(std::move(Indices));
+  if (P.Rhs)
+    renameIndices(*P.Rhs, Map);
 }
 
-//===----------------------------------------------------------------------===//
-// The loop-nest walker
-//===----------------------------------------------------------------------===//
+/// Collects the distinct loop symbols mentioned by a program's accesses.
+void collectMentioned(const taco::Expr &E, std::set<std::string> &Out) {
+  for (const std::string &Var : taco::exprIndexVariables(E))
+    Out.insert(Var);
+}
 
-/// One delinearized array dimension: the loop variable indexing it and its
-/// symbolic extent.
-struct DimInfo {
-  std::string LoopVar;
-  Poly Extent;
-  bool ExtentKnown = false;
-};
+/// Replaces every read `out(idx...)` whose index tuple equals \p LhsIdx with
+/// a clone of \p Replacement.
+taco::ExprPtr replaceOutReads(const taco::Expr &E, const std::string &OutName,
+                              const std::vector<std::string> &LhsIdx,
+                              const taco::Expr &Replacement) {
+  switch (E.kind()) {
+  case taco::Expr::Kind::Access: {
+    const auto &A = static_cast<const taco::AccessExpr &>(E);
+    if (A.name() == OutName && A.indices() == LhsIdx)
+      return Replacement.clone();
+    return E.clone();
+  }
+  case taco::Expr::Kind::Constant:
+    return E.clone();
+  case taco::Expr::Kind::Binary: {
+    const auto &B = static_cast<const taco::BinaryExpr &>(E);
+    return std::make_unique<taco::BinaryExpr>(
+        B.op(), replaceOutReads(B.lhs(), OutName, LhsIdx, Replacement),
+        replaceOutReads(B.rhs(), OutName, LhsIdx, Replacement));
+  }
+  case taco::Expr::Kind::Negate:
+    return std::make_unique<taco::NegateExpr>(replaceOutReads(
+        static_cast<const taco::NegateExpr &>(E).operand(), OutName, LhsIdx,
+        Replacement));
+  case taco::Expr::Kind::Max: {
+    const auto &Mx = static_cast<const taco::MaxExpr &>(E);
+    return std::make_unique<taco::MaxExpr>(
+        replaceOutReads(Mx.lhs(), OutName, LhsIdx, Replacement),
+        replaceOutReads(Mx.rhs(), OutName, LhsIdx, Replacement));
+  }
+  }
+  return E.clone();
+}
 
-/// One recovered access in delinearized form.
-struct AccessInfo {
-  std::string Param;
-  std::vector<DimInfo> Dims; ///< Outer to inner.
-  bool Ok = false;           ///< Delinearization succeeded.
-};
+bool isZeroLiteralExpr(const taco::Expr &E) {
+  const auto *C = taco::exprDynCast<taco::ConstantExpr>(&E);
+  return C && !C->isSymbolic() && C->value() == 0;
+}
 
-/// One store through a pointer parameter, with its right-hand side already
-/// transliterated (null when untranslatable) — translation must happen at
-/// store time because local temporaries are tracked flow-sensitively.
-struct StoreInfo {
-  AccessInfo Access;
-  CAssignOp Op = CAssignOp::Plain;
+/// One store translated to TACO form (raw loop symbols).
+struct TStore {
+  std::vector<std::string> LhsIdx;
   taco::ExprPtr Rhs;
+  ModelStore::OpKind Op = ModelStore::OpKind::Set;
   bool RhsIsZeroLiteral = false;
+
+  // At most one guard survives translation checks.
+  bool Guarded = false;
+  analysis::MCmp Cmp = analysis::MCmp::Gt;
+  taco::ExprPtr GuardL, GuardR;
+  bool GuardNegated = false;
+  cfront::SourceLoc Loc;
 };
 
-class NestWalker {
-public:
-  explicit NestWalker(const CFunction &Fn) : Fn(Fn) {
-    for (const CParam &P : Fn.Params) {
-      if (P.Type.isPointer())
-        PointerParams.insert(P.Name);
-      else if (P.Type.isFloating())
-        FloatParams.insert(P.Name);
-      else
-        SizeParams.insert(P.Name);
-    }
-  }
+/// Lowers `if (L cmp R) then T else E` to max(L, R) when the branches
+/// select exactly the compared values; null otherwise (a min-shaped or
+/// unrelated select, which the TACO subset cannot carry).
+taco::ExprPtr lowerSelectToMax(analysis::MCmp Cmp, const taco::Expr &L,
+                               const taco::Expr &R, const taco::Expr &T,
+                               const taco::Expr &E) {
+  bool GreaterWins = Cmp == analysis::MCmp::Gt || Cmp == analysis::MCmp::Ge;
+  // Normalize to "then-branch taken when L is the larger side".
+  bool ThenIsL = taco::exprEquals(T, L) && taco::exprEquals(E, R);
+  bool ThenIsR = taco::exprEquals(T, R) && taco::exprEquals(E, L);
+  if (GreaterWins ? ThenIsL : ThenIsR)
+    return std::make_unique<taco::MaxExpr>(T.clone(), E.clone());
+  return nullptr;
+}
 
-  void run() { walkStmt(*Fn.Body); }
+std::string located(const std::string &Message, const cfront::SourceLoc &Loc) {
+  std::string Pos = Loc.str();
+  return Pos.empty() ? Message : Message + " (" + Pos + ")";
+}
 
-  /// Per-parameter representative access: highest Ok rank seen.
-  const std::map<std::string, AccessInfo> &bestAccesses() const {
-    return Best;
-  }
-  const std::vector<StoreInfo> &stores() const { return Stores; }
-
-  /// Non-empty when part of the kernel was beyond the walker (while loops,
-  /// conditionals, untracked pointers) — shapes may be partial and the
-  /// transliteration unavailable.
-  const std::string &limitation() const { return Limitation; }
-
-private:
-  //===------------------------------------------------------------------===//
-  // Integer / pointer symbolic evaluation
-  //===------------------------------------------------------------------===//
-
-  void limit(const std::string &Why) {
-    if (Limitation.empty())
-      Limitation = Why;
-  }
-
-  std::optional<Poly> evalInt(const CExpr &E) {
-    switch (E.kind()) {
-    case CExpr::Kind::IntLit:
-      return Poly::constant(cCast<IntLit>(E).value());
-    case CExpr::Kind::VarRef: {
-      const std::string &Name = cCast<VarRef>(E).name();
-      if (SizeParams.count(Name))
-        return Poly::symbol(Name);
-      auto It = IntVals.find(Name);
-      if (It != IntVals.end())
-        return It->second;
-      return std::nullopt;
-    }
-    case CExpr::Kind::Unary: {
-      const auto &U = cCast<CUnary>(E);
-      if (U.op() != CUnOp::Neg)
-        return std::nullopt;
-      std::optional<Poly> Sub = evalInt(U.operand());
-      if (!Sub)
-        return std::nullopt;
-      return -*Sub;
-    }
-    case CExpr::Kind::Binary: {
-      const auto &B = cCast<CBinary>(E);
-      std::optional<Poly> L = evalInt(B.lhs());
-      std::optional<Poly> R = evalInt(B.rhs());
-      if (!L || !R)
-        return std::nullopt;
-      switch (B.op()) {
-      case CBinOp::Add:
-        return *L + *R;
-      case CBinOp::Sub:
-        return *L - *R;
-      case CBinOp::Mul:
-        return *L * *R;
-      default:
-        return std::nullopt;
-      }
-    }
-    default:
-      return std::nullopt;
-    }
-  }
-
-  /// A pointer-typed expression resolved to (parameter, flat offset).
-  std::optional<std::pair<std::string, Poly>> evalPtr(const CExpr &E) {
-    if (const auto *V = cDynCast<VarRef>(&E)) {
-      if (PointerParams.count(V->name()))
-        return std::make_pair(V->name(), Poly::constant(0));
-      return std::nullopt; // local pointer: untracked
-    }
-    if (const auto *B = cDynCast<CBinary>(&E)) {
-      if (B->op() == CBinOp::Add || B->op() == CBinOp::Sub) {
-        if (auto Ptr = evalPtr(B->lhs())) {
-          std::optional<Poly> Off = evalInt(B->rhs());
-          if (!Off)
-            return std::nullopt;
-          return std::make_pair(Ptr->first, B->op() == CBinOp::Add
-                                                ? Ptr->second + *Off
-                                                : Ptr->second - *Off);
-        }
-        if (B->op() == CBinOp::Add) {
-          if (auto Ptr = evalPtr(B->rhs())) {
-            std::optional<Poly> Off = evalInt(B->lhs());
-            if (!Off)
-              return std::nullopt;
-            return std::make_pair(Ptr->first, Ptr->second + *Off);
-          }
-        }
-      }
-      return std::nullopt;
-    }
-    if (const auto *U = cDynCast<CUnary>(&E)) {
-      if (U->op() == CUnOp::AddrOf) {
-        if (const auto *Ix = cDynCast<CIndex>(&U->operand())) {
-          auto Ptr = evalPtr(Ix->base());
-          std::optional<Poly> Off = evalInt(Ix->index());
-          if (Ptr && Off)
-            return std::make_pair(Ptr->first, Ptr->second + *Off);
-        }
-      }
-      return std::nullopt;
-    }
-    return std::nullopt;
-  }
-
-  /// A memory place (`p[e]` or `*p`) resolved to (parameter, offset).
-  std::optional<std::pair<std::string, Poly>> evalPlace(const CExpr &E) {
-    if (const auto *Ix = cDynCast<CIndex>(&E)) {
-      auto Ptr = evalPtr(Ix->base());
-      std::optional<Poly> Off = evalInt(Ix->index());
-      if (Ptr && Off)
-        return std::make_pair(Ptr->first, Ptr->second + *Off);
-      return std::nullopt;
-    }
-    if (const auto *U = cDynCast<CUnary>(&E)) {
-      if (U->op() == CUnOp::Deref)
-        return evalPtr(U->operand());
-    }
-    return std::nullopt;
-  }
-
-  //===------------------------------------------------------------------===//
-  // Delinearization
-  //===------------------------------------------------------------------===//
-
-  AccessInfo delinearize(const std::string &Param, const Poly &Offset) {
-    AccessInfo Info;
-    Info.Param = Param;
-
-    // The loop variables of the enclosing nest that the offset mentions,
-    // outermost first.
-    std::vector<size_t> VarFrames;
-    for (size_t I = 0; I < LoopStack.size(); ++I)
-      if (Offset.mentions(LoopStack[I].Var))
-        VarFrames.push_back(I);
-
-    // Scalar access: a constant offset of zero is dimension-less (`out[0]`,
-    // `*out`); anything else is out of scope.
-    if (VarFrames.empty()) {
-      int64_t C = 0;
-      Info.Ok = Offset.asConstant(C) && C == 0;
-      return Info;
-    }
-
-    // Strides must be linear, must tile exactly (no residual terms), and
-    // must order totally.
-    Poly Residual = Offset;
-    std::vector<std::pair<size_t, Poly>> Strides;
-    for (size_t Frame : VarFrames) {
-      std::optional<Poly> S = strideOf(Offset, LoopStack[Frame].Var);
-      if (!S || S->isZero())
-        return Info;
-      Residual = Residual - *S * Poly::symbol(LoopStack[Frame].Var);
-      Strides.emplace_back(Frame, *S);
-    }
-    if (!Residual.isZero())
-      return Info;
-
-    // Order by stride, outermost dimension first. compareStrides is only a
-    // partial order (symbolically incomparable strides return 0), so
-    // std::sort would be undefined behavior on wire-supplied kernels;
-    // instead select the strict maximum of the remainder each round and
-    // fail on any incomparable pair (ambiguous layout, e.g. the stencil
-    // i + j). Ranks are bounded by the loop depth, so O(n^2) is free.
-    for (size_t I = 0; I < Strides.size(); ++I) {
-      size_t Max = I;
-      for (size_t J = I + 1; J < Strides.size(); ++J) {
-        int Order = compareStrides(Strides[Max].second, Strides[J].second);
-        if (Order == 0)
-          return Info;
-        if (Order < 0)
-          Max = J;
-      }
-      std::swap(Strides[I], Strides[Max]);
-    }
-    int64_t Inner = 0;
-    if (!Strides.back().second.asConstant(Inner) || Inner != 1)
-      return Info; // non-unit innermost stride
-
-    // Extents: the leading dimension spans its loop's index space; every
-    // inner dimension is the ratio of adjacent strides.
-    for (size_t I = 0; I < Strides.size(); ++I) {
-      DimInfo Dim;
-      Dim.LoopVar = LoopStack[Strides[I].first].Var;
-      if (I == 0) {
-        const LoopFrame &Frame = LoopStack[Strides[0].first];
-        Dim.Extent = Frame.Extent;
-        Dim.ExtentKnown = Frame.ExtentKnown;
-      } else {
-        std::optional<Poly> Ratio =
-            dividePoly(Strides[I - 1].second, Strides[I].second);
-        if (!Ratio)
-          return Info;
-        Dim.Extent = *Ratio;
-        Dim.ExtentKnown = true;
-      }
-      Info.Dims.push_back(std::move(Dim));
-    }
-    Info.Ok = true;
-    return Info;
-  }
-
-  void recordAccess(const std::string &Param, const Poly &Offset,
-                    bool IsStore, CAssignOp Op, const CExpr *RhsExpr) {
-    AccessInfo Info = delinearize(Param, Offset);
-    auto [It, Inserted] = Best.emplace(Param, Info);
-    if (!Inserted && Info.Ok &&
-        (!It->second.Ok || Info.Dims.size() > It->second.Dims.size()))
-      It->second = Info;
-
-    if (!IsStore)
-      return;
-    StoreInfo Store;
-    Store.Access = std::move(Info);
-    Store.Op = Op;
-    if (RhsExpr) {
-      Store.Rhs = translateExpr(*RhsExpr);
-      const auto *Lit = cDynCast<IntLit>(RhsExpr);
-      Store.RhsIsZeroLiteral = Lit && Lit->value() == 0;
-    }
-    Stores.push_back(std::move(Store));
-  }
-
-  /// Records every load from a pointer parameter inside \p E.
-  void collectLoads(const CExpr &E) {
-    switch (E.kind()) {
-    case CExpr::Kind::Index: {
-      const auto &Ix = cCast<CIndex>(E);
-      if (auto Place = evalPlace(E))
-        recordAccess(Place->first, Place->second, /*IsStore=*/false,
-                     CAssignOp::Plain, nullptr);
-      collectLoads(Ix.index());
-      return;
-    }
-    case CExpr::Kind::Unary: {
-      const auto &U = cCast<CUnary>(E);
-      if (U.op() == CUnOp::Deref) {
-        if (auto Place = evalPlace(E))
-          recordAccess(Place->first, Place->second, /*IsStore=*/false,
-                       CAssignOp::Plain, nullptr);
-        return;
-      }
-      collectLoads(U.operand());
-      return;
-    }
-    case CExpr::Kind::Binary: {
-      const auto &B = cCast<CBinary>(E);
-      collectLoads(B.lhs());
-      collectLoads(B.rhs());
-      return;
-    }
-    case CExpr::Kind::Assign: {
-      const auto &A = cCast<CAssign>(E);
-      collectLoads(A.lhs());
-      collectLoads(A.rhs());
-      return;
-    }
-    default:
-      return;
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // Transliteration into TACO index notation
-  //===------------------------------------------------------------------===//
-
-  bool isActiveLoopVar(const std::string &Name) const {
-    for (const LoopFrame &Frame : LoopStack)
-      if (Frame.Var == Name)
-        return true;
-    return false;
-  }
-
-  /// Renders a delinearized access as `param(i,j,...)`.
-  taco::ExprPtr accessExpr(const AccessInfo &Info) {
-    if (!Info.Ok)
-      return nullptr;
-    std::vector<std::string> Indices;
-    for (const DimInfo &Dim : Info.Dims)
-      Indices.push_back(Dim.LoopVar);
-    return std::make_unique<taco::AccessExpr>(Info.Param, std::move(Indices));
-  }
-
-  taco::ExprPtr translateExpr(const CExpr &E) {
-    switch (E.kind()) {
-    case CExpr::Kind::IntLit:
-      return std::make_unique<taco::ConstantExpr>(cCast<IntLit>(E).value());
-    case CExpr::Kind::FloatLit:
-      return nullptr; // the TACO subset has integer constants only
-    case CExpr::Kind::VarRef: {
-      const std::string &Name = cCast<VarRef>(E).name();
-      if (isActiveLoopVar(Name))
-        return nullptr; // index used as data
-      auto It = LocalExprs.find(Name);
-      if (It != LocalExprs.end())
-        return It->second ? It->second->clone() : nullptr;
-      if (FloatParams.count(Name) || SizeParams.count(Name))
-        return std::make_unique<taco::AccessExpr>(
-            Name, std::vector<std::string>());
-      return nullptr;
-    }
-    case CExpr::Kind::Unary: {
-      const auto &U = cCast<CUnary>(E);
-      if (U.op() == CUnOp::Neg) {
-        taco::ExprPtr Sub = translateExpr(U.operand());
-        return Sub ? std::make_unique<taco::NegateExpr>(std::move(Sub))
-                   : nullptr;
-      }
-      if (U.op() == CUnOp::Deref) {
-        auto Place = evalPlace(E);
-        return Place ? accessExpr(delinearize(Place->first, Place->second))
-                     : nullptr;
-      }
-      return nullptr;
-    }
-    case CExpr::Kind::Binary: {
-      const auto &B = cCast<CBinary>(E);
-      taco::BinOpKind Op;
-      switch (B.op()) {
-      case CBinOp::Add:
-        Op = taco::BinOpKind::Add;
-        break;
-      case CBinOp::Sub:
-        Op = taco::BinOpKind::Sub;
-        break;
-      case CBinOp::Mul:
-        Op = taco::BinOpKind::Mul;
-        break;
-      case CBinOp::Div:
-        Op = taco::BinOpKind::Div;
-        break;
-      default:
-        return nullptr;
-      }
-      taco::ExprPtr L = translateExpr(B.lhs());
-      taco::ExprPtr R = translateExpr(B.rhs());
-      if (!L || !R)
-        return nullptr;
-      return std::make_unique<taco::BinaryExpr>(Op, std::move(L),
-                                                std::move(R));
-    }
-    case CExpr::Kind::Index: {
-      auto Place = evalPlace(E);
-      return Place ? accessExpr(delinearize(Place->first, Place->second))
-                   : nullptr;
-    }
-    default:
-      return nullptr;
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // Statement walk
-  //===------------------------------------------------------------------===//
-
-  void handleAssign(const CAssign &A) {
-    collectLoads(A.rhs());
-
-    // Store through memory.
-    if (!cDynCast<VarRef>(&A.lhs())) {
-      if (auto Place = evalPlace(A.lhs())) {
-        recordAccess(Place->first, Place->second, /*IsStore=*/true, A.op(),
-                     &A.rhs());
-      } else {
-        limit("a store through an untracked pointer");
-      }
-      return;
-    }
-
-    // Assignment to a local scalar: keep both the affine (index) and the
-    // transliterated (data) views current.
-    const std::string &Name = cCast<VarRef>(A.lhs()).name();
-    std::optional<Poly> RhsPoly = evalInt(A.rhs());
-    if (A.op() == CAssignOp::Plain) {
-      IntVals[Name] = RhsPoly;
-    } else if (IntVals.count(Name) && IntVals[Name] && RhsPoly) {
-      Poly Old = *IntVals[Name];
-      switch (A.op()) {
-      case CAssignOp::Add:
-        IntVals[Name] = Old + *RhsPoly;
-        break;
-      case CAssignOp::Sub:
-        IntVals[Name] = Old - *RhsPoly;
-        break;
-      case CAssignOp::Mul:
-        IntVals[Name] = Old * *RhsPoly;
-        break;
-      default:
-        IntVals[Name] = std::nullopt;
-      }
-    } else {
-      IntVals[Name] = std::nullopt;
-    }
-
-    // Data view: recognize accumulation (`s += e`, `s = s + e`,
-    // `s = e + s`) into a local whose current value is the literal zero.
-    auto accumulate = [&](const CExpr &Term) {
-      auto It = LocalExprs.find(Name);
-      bool ZeroInit = false;
-      if (It != LocalExprs.end() && It->second)
-        if (const auto *C =
-                taco::exprDynCast<taco::ConstantExpr>(It->second.get()))
-          ZeroInit = !C->isSymbolic() && C->value() == 0;
-      if (ZeroInit && !Accumulated.count(Name)) {
-        LocalExprs[Name] = translateExpr(Term);
-        Accumulated.insert(Name);
-      } else {
-        LocalExprs[Name] = nullptr; // re-accumulation: out of scope
-      }
-    };
-
-    if (A.op() == CAssignOp::Add) {
-      accumulate(A.rhs());
-      return;
-    }
-    if (A.op() != CAssignOp::Plain) {
-      LocalExprs[Name] = nullptr;
-      return;
-    }
-    if (const auto *B = cDynCast<CBinary>(&A.rhs());
-        B && B->op() == CBinOp::Add) {
-      const auto *L = cDynCast<VarRef>(&B->lhs());
-      const auto *R = cDynCast<VarRef>(&B->rhs());
-      if (L && L->name() == Name) {
-        accumulate(B->rhs());
-        return;
-      }
-      if (R && R->name() == Name) {
-        accumulate(B->lhs());
-        return;
-      }
-    }
-    LocalExprs[Name] = translateExpr(A.rhs());
-    Accumulated.erase(Name);
-  }
-
-  void walkExpr(const CExpr &E) {
-    if (const auto *A = cDynCast<CAssign>(&E)) {
-      handleAssign(*A);
-      return;
-    }
-    if (const auto *I = cDynCast<CIncDec>(&E)) {
-      if (const auto *V = cDynCast<VarRef>(&I->target())) {
-        auto It = IntVals.find(V->name());
-        if (It != IntVals.end() && It->second)
-          It->second = *It->second + Poly::constant(I->isIncrement() ? 1 : -1);
-        else if (It != IntVals.end())
-          It->second = std::nullopt;
-        else
-          limit("an increment of an untracked variable");
-        return;
-      }
-      limit("an increment through memory");
-      return;
-    }
-    collectLoads(E);
-  }
-
-  /// Extracts `(var = start; var < bound; var++)`; Extent is the index-space
-  /// size `bound` (or bound+1 for <=).
-  struct LoopFrame {
-    std::string Var;
-    Poly Extent;
-    bool ExtentKnown = false;
-  };
-
-  bool parseHeader(const CFor &F, LoopFrame &Frame,
-                   std::optional<Poly> &Start) {
-    // Init: `int v = e` or `v = e` (or absent, with v named by the
-    // condition and its current value as start).
-    std::string InitVar;
-    if (const CStmt *Init = F.init()) {
-      if (const auto *D = cDynCast<CDeclStmt>(Init)) {
-        InitVar = D->name();
-        Start = D->init() ? evalInt(*D->init()) : std::nullopt;
-      } else if (const auto *E = cDynCast<CExprStmt>(Init)) {
-        if (const auto *A = cDynCast<CAssign>(&E->expr());
-            A && A->op() == CAssignOp::Plain) {
-          if (const auto *V = cDynCast<VarRef>(&A->lhs())) {
-            InitVar = V->name();
-            Start = evalInt(A->rhs());
-          }
-        }
-      }
-    }
-
-    const auto *Cond = F.cond() ? cDynCast<CBinary>(F.cond()) : nullptr;
-    if (!Cond || (Cond->op() != CBinOp::Lt && Cond->op() != CBinOp::Le))
-      return false;
-    const auto *CondVar = cDynCast<VarRef>(&Cond->lhs());
-    if (!CondVar)
-      return false;
-    if (!InitVar.empty() && CondVar->name() != InitVar)
-      return false;
-    Frame.Var = CondVar->name();
-    if (InitVar.empty()) {
-      auto It = IntVals.find(Frame.Var);
-      Start = It != IntVals.end() ? It->second : std::nullopt;
-    }
-
-    // Step: v++ / ++v / v += 1.
-    bool UnitStep = false;
-    if (const CExpr *Step = F.step()) {
-      if (const auto *I = cDynCast<CIncDec>(Step)) {
-        const auto *T = cDynCast<VarRef>(&I->target());
-        UnitStep = I->isIncrement() && T && T->name() == Frame.Var;
-      } else if (const auto *A = cDynCast<CAssign>(Step)) {
-        const auto *T = cDynCast<VarRef>(&A->lhs());
-        const auto *One = cDynCast<IntLit>(&A->rhs());
-        UnitStep = A->op() == CAssignOp::Add && T &&
-                   T->name() == Frame.Var && One && One->value() == 1;
-      }
-    }
-    if (!UnitStep)
-      return false;
-
-    std::optional<Poly> Bound = evalInt(Cond->rhs());
-    if (Bound) {
-      Frame.Extent = Cond->op() == CBinOp::Le ? *Bound + Poly::constant(1)
-                                              : *Bound;
-      Frame.ExtentKnown = true;
-    }
-    return true;
-  }
-
-  void walkFor(const CFor &F) {
-    LoopFrame Frame;
-    std::optional<Poly> Start;
-    if (!parseHeader(F, Frame, Start)) {
-      limit("a loop without a recognizable `(v = s; v < bound; v++)` header");
-      return;
-    }
-    // A non-zero (or unknown) start is fine for shape inference — the
-    // extent is the bound either way — but poisons the transliteration:
-    // `for (i = 1; ...)` never touches index 0, which index notation
-    // cannot express.
-    if (!Start || !Start->isZero())
-      limit("a loop starting at a non-zero index");
-
-    IntVals[Frame.Var] = Poly::symbol(Frame.Var);
-    LoopStack.push_back(Frame);
-    walkStmt(F.body());
-    LoopStack.pop_back();
-    // After the loop the variable's closed form is gone; treat as unknown.
-    IntVals[Frame.Var] = std::nullopt;
-  }
-
-  void walkStmt(const CStmt &S) {
-    switch (S.kind()) {
-    case CStmt::Kind::Decl: {
-      const auto &D = cCast<CDeclStmt>(S);
-      if (D.type().isPointer()) {
-        // Local pointers stay untracked; kernels iterating through them
-        // keep their analysis-derived ranks but lose shape names and the
-        // transliteration.
-        limit("a local pointer variable");
-        IntVals[D.name()] = std::nullopt;
-        LocalExprs[D.name()] = nullptr;
-        return;
-      }
-      if (D.init()) {
-        collectLoads(*D.init());
-        IntVals[D.name()] = evalInt(*D.init());
-        LocalExprs[D.name()] = translateExpr(*D.init());
-      } else {
-        IntVals[D.name()] = std::nullopt;
-        LocalExprs[D.name()] = nullptr;
-      }
-      Accumulated.erase(D.name());
-      return;
-    }
-    case CStmt::Kind::ExprStmt:
-      walkExpr(cCast<CExprStmt>(S).expr());
-      return;
-    case CStmt::Kind::Block:
-      for (const CStmtPtr &Sub : cCast<CBlock>(S).statements())
-        walkStmt(*Sub);
-      return;
-    case CStmt::Kind::For:
-      walkFor(cCast<CFor>(S));
-      return;
-    case CStmt::Kind::While:
-      limit("a while loop");
-      return;
-    case CStmt::Kind::If:
-      limit("a conditional");
-      return;
-    case CStmt::Kind::Return:
-    case CStmt::Kind::Empty:
-      return;
-    }
-  }
-
-  const CFunction &Fn;
-  std::set<std::string> PointerParams;
-  std::set<std::string> SizeParams;
-  std::set<std::string> FloatParams;
-
-  /// Affine values of locals and active loop variables; disengaged = not
-  /// representable.
-  std::map<std::string, std::optional<Poly>> IntVals;
-
-  /// Transliterated data values of locals; null = not representable.
-  std::map<std::string, taco::ExprPtr> LocalExprs;
-  std::set<std::string> Accumulated;
-
-  std::vector<LoopFrame> LoopStack;
-
-  std::map<std::string, AccessInfo> Best;
-  std::vector<StoreInfo> Stores;
-  std::string Limitation;
-};
-
-//===----------------------------------------------------------------------===//
-// Reference translation
-//===----------------------------------------------------------------------===//
-
-TranslationResult translateFromWalk(const NestWalker &Walker,
-                                    const analysis::KernelSummary &Summary) {
+TranslationResult translateModel(const KernelModel &Model) {
   TranslationResult Result;
+  const std::string &Out = Model.Summary.OutputParam;
 
-  // Any statement the walker could not model may change the kernel's
-  // semantics (a conditional store, a while loop, pointer aliasing) — a
-  // transliteration of just the statements it *did* model would be a
-  // confidently wrong oracle reference. Refuse instead; the caller's
+  // Any construct the executor could not normalize may change the kernel's
+  // semantics (a while loop, an untranslatable condition, a store through
+  // an untracked pointer) — a translation of just the modeled part would be
+  // a confidently wrong oracle reference. Refuse instead; the caller's
   // oracle_hint covers these kernels honestly.
-  if (!Walker.limitation().empty()) {
-    Result.Error = "kernel contains " + Walker.limitation();
+  if (!Model.Limitation.empty()) {
+    Result.Error = "kernel contains " + Model.locatedLimitation();
     return Result;
   }
 
-  // Every store must be modeled before any is trusted: a `-=`/`*=` store,
-  // an untranslatable right-hand side, a non-affine subscript, or a write
-  // to a second array all carry semantics the transliteration would
-  // silently drop, turning "refuse and ask for a hint" into a confidently
-  // wrong reference.
-  for (const StoreInfo &Store : Walker.stores()) {
-    if (Store.Access.Param != Summary.OutputParam) {
-      Result.Error = "a store to '" + Store.Access.Param +
-                     "' besides the output parameter";
+  // Translate every store up front: one untranslatable store poisons the
+  // whole reference (its semantics would be silently dropped).
+  std::vector<TStore> Stores;
+  for (const ModelStore &St : Model.Stores) {
+    if (St.Param != Out) {
+      Result.Error = located(
+          "a store to '" + St.Param + "' besides the output parameter",
+          St.Loc);
       return Result;
     }
-    if (!Store.Access.Ok) {
-      Result.Error = "a store with a non-affine or ambiguous subscript";
+    if (St.Op == ModelStore::OpKind::Other) {
+      Result.Error = located("a compound store other than +=", St.Loc);
       return Result;
     }
-    if (Store.Op != CAssignOp::Plain && Store.Op != CAssignOp::Add) {
-      Result.Error = "a compound store other than +=";
-      return Result;
-    }
-    if (!Store.Rhs) {
+    if (!St.Offset) {
       Result.Error =
-          "a store whose right-hand side has no index-notation form";
+          located("a store with a non-affine or ambiguous subscript", St.Loc);
       return Result;
     }
+    ModelShape Shape = Model.delinearize(*St.Offset);
+    if (!Shape.Ok) {
+      Result.Error =
+          located("a store with a non-affine or ambiguous subscript", St.Loc);
+      return Result;
+    }
+    TStore T;
+    for (const analysis::ModelDim &Dim : Shape.Dims)
+      T.LhsIdx.push_back(Dim.LoopSym);
+    T.Rhs = valueToTaco(Model, St.Rhs);
+    if (!T.Rhs) {
+      Result.Error = located(
+          "a store whose right-hand side has no index-notation form", St.Loc);
+      return Result;
+    }
+    T.Op = St.Op;
+    T.RhsIsZeroLiteral = St.RhsIsZeroLiteral;
+    T.Loc = St.Loc;
+    if (!St.Guards.empty()) {
+      if (St.Guards.size() > 1) {
+        Result.Error = located("a nested conditional store", St.Loc);
+        return Result;
+      }
+      const analysis::MGuard &G = St.Guards.front();
+      T.Guarded = true;
+      T.Cmp = G.Cmp;
+      T.GuardL = valueToTaco(Model, G.L);
+      T.GuardR = valueToTaco(Model, G.R);
+      T.GuardNegated = G.Negated;
+      if (!T.GuardL || !T.GuardR) {
+        Result.Error = located(
+            "a conditional whose guard has no index-notation form", G.Loc);
+        return Result;
+      }
+      if (T.Op != ModelStore::OpKind::Set) {
+        Result.Error = located("a guarded compound store", St.Loc);
+        return Result;
+      }
+    }
+    Stores.push_back(std::move(T));
   }
-
-  // The main store: the last reduction (compound +=) into the output wins
-  // over plain stores — zero-initializations (`out[i] = 0`) are setup, not
-  // semantics. Otherwise the last plain store is the kernel.
-  const StoreInfo *Main = nullptr;
-  for (const StoreInfo &Store : Walker.stores()) {
-    if (Store.Op == CAssignOp::Add) {
-      Main = &Store;
-    } else if ((!Main || Main->Op != CAssignOp::Add) &&
-               !(Store.RhsIsZeroLiteral && Main))
-      Main = &Store;
-  }
-  if (!Main) {
+  if (Stores.empty()) {
     Result.Error = "no transliterable store to the output parameter";
     return Result;
   }
 
-  std::vector<std::string> LhsIndices;
-  for (const DimInfo &Dim : Main->Access.Dims)
-    LhsIndices.push_back(Dim.LoopVar);
-  taco::Program Program(
-      taco::AccessExpr(Summary.OutputParam, std::move(LhsIndices)),
-      Main->Rhs->clone());
+  // Canonicalize every store's LHS index tuple onto the first store's (the
+  // loop symbols are globally unique, so this renaming can never capture).
+  const std::vector<std::string> Canon = Stores.front().LhsIdx;
+  for (TStore &T : Stores) {
+    if (T.LhsIdx == Canon)
+      continue;
+    if (T.LhsIdx.size() != Canon.size()) {
+      Result.Error = located("stores with mismatched output rank", T.Loc);
+      return Result;
+    }
+    std::map<std::string, std::string> Map;
+    for (size_t I = 0; I < Canon.size(); ++I)
+      Map.emplace(T.LhsIdx[I], Canon[I]);
+    if (T.Rhs)
+      renameIndices(*T.Rhs, Map);
+    if (T.GuardL)
+      renameIndices(*T.GuardL, Map);
+    if (T.GuardR)
+      renameIndices(*T.GuardR, Map);
+    T.LhsIdx = Canon;
+  }
 
-  std::string Malformed = taco::checkWellFormed(Program);
+  // Compose the ordered stores into a single value per output cell, and in
+  // parallel build the statement-list form the sequence evaluator (and the
+  // verifier) execute as one program.
+  taco::ExprPtr Composed; // null = untouched output (zero pre-state)
+  std::vector<taco::Program> Statements;
+  auto SubstitutedRhs = [&](const taco::Expr &Rhs) -> taco::ExprPtr {
+    if (Composed)
+      return replaceOutReads(Rhs, Out, Canon, *Composed);
+    taco::ConstantExpr Zero(0);
+    return replaceOutReads(Rhs, Out, Canon, Zero);
+  };
+  for (size_t I = 0; I < Stores.size(); ++I) {
+    TStore &T = Stores[I];
+    if (T.Guarded) {
+      // Pair a then-store with the matching else-store (same condition,
+      // opposite polarity, same cell) into one select; otherwise the
+      // "else" value is whatever the output held before this store.
+      taco::ExprPtr ThenV, ElseV;
+      bool Paired = false;
+      if (I + 1 < Stores.size()) {
+        TStore &N = Stores[I + 1];
+        if (N.Guarded && N.Cmp == T.Cmp &&
+            N.GuardNegated != T.GuardNegated &&
+            taco::exprEquals(*N.GuardL, *T.GuardL) &&
+            taco::exprEquals(*N.GuardR, *T.GuardR)) {
+          ThenV = SubstitutedRhs(T.GuardNegated ? *N.Rhs : *T.Rhs);
+          ElseV = SubstitutedRhs(T.GuardNegated ? *T.Rhs : *N.Rhs);
+          Paired = true;
+        }
+      }
+      if (!Paired) {
+        taco::ExprPtr Prev =
+            Composed ? Composed->clone()
+                     : taco::ExprPtr(std::make_unique<taco::ConstantExpr>(0));
+        taco::ExprPtr Self = SubstitutedRhs(*T.Rhs);
+        if (T.GuardNegated) {
+          ThenV = std::move(Prev);
+          ElseV = std::move(Self);
+        } else {
+          ThenV = std::move(Self);
+          ElseV = std::move(Prev);
+        }
+      }
+      taco::ExprPtr Lowered =
+          lowerSelectToMax(T.Cmp, *T.GuardL, *T.GuardR, *ThenV, *ElseV);
+      if (!Lowered) {
+        Result.Error = located(
+            "a conditional store with no max/select lowering", T.Loc);
+        return Result;
+      }
+      Composed = std::move(Lowered);
+      // The guard folded every prior value into one expression; the
+      // statement list collapses accordingly.
+      Statements.clear();
+      Statements.emplace_back(taco::AccessExpr(Out, Canon), Composed->clone());
+      if (Paired)
+        ++I;
+      continue;
+    }
+
+    if (T.Op == ModelStore::OpKind::Set) {
+      Composed = SubstitutedRhs(*T.Rhs);
+      Statements.emplace_back(taco::AccessExpr(Out, Canon), T.Rhs->clone());
+      continue;
+    }
+
+    // `+=`: a reduction over the loops the cell's offset misses. A zero
+    // (or absent) prior value folds away — zero-initialization is setup,
+    // not semantics — matching the registry ground-truth convention.
+    bool PrevZero = !Composed || isZeroLiteralExpr(*Composed);
+    if (PrevZero) {
+      if (!Statements.empty()) {
+        const taco::Program &Last = Statements.back();
+        if (Last.Lhs.name() == Out && Last.Lhs.indices() == Canon &&
+            Last.Rhs && isZeroLiteralExpr(*Last.Rhs))
+          Statements.pop_back();
+      }
+      Composed = T.Rhs->clone();
+      Statements.emplace_back(taco::AccessExpr(Out, Canon), T.Rhs->clone());
+    } else {
+      Composed = std::make_unique<taco::BinaryExpr>(
+          taco::BinOpKind::Add, std::move(Composed), T.Rhs->clone());
+      Statements.emplace_back(
+          taco::AccessExpr(Out, Canon),
+          std::make_unique<taco::BinaryExpr>(
+              taco::BinOpKind::Add,
+              std::make_unique<taco::AccessExpr>(Out, Canon),
+              T.Rhs->clone()));
+    }
+  }
+
+  // Humanize the loop symbols: rename each mentioned symbol to its source
+  // loop variable, unless two mentioned symbols share one (two sibling
+  // loops both named `i`) — those keep their unambiguous raw names.
+  std::set<std::string> Mentioned(Canon.begin(), Canon.end());
+  for (const taco::Program &P : Statements)
+    if (P.Rhs)
+      collectMentioned(*P.Rhs, Mentioned);
+  if (Composed)
+    collectMentioned(*Composed, Mentioned);
+  std::map<std::string, int> SourceUses;
+  for (const std::string &Sym : Mentioned)
+    if (const analysis::ModelLoop *L = Model.loop(Sym))
+      if (!L->SourceVar.empty())
+        ++SourceUses[L->SourceVar];
+  std::map<std::string, std::string> Humanize;
+  for (const std::string &Sym : Mentioned)
+    if (const analysis::ModelLoop *L = Model.loop(Sym))
+      if (!L->SourceVar.empty() && SourceUses[L->SourceVar] == 1)
+        Humanize.emplace(Sym, L->SourceVar);
+
+  taco::Program Final(taco::AccessExpr(Out, Canon), std::move(Composed));
+  renameIndices(Final, Humanize);
+  for (taco::Program &P : Statements)
+    renameIndices(P, Humanize);
+
+  std::string Malformed = taco::checkWellFormed(Final);
   if (!Malformed.empty()) {
-    Result.Error = "transliteration is not a well-formed TACO program: " +
+    Result.Error = "translation is not a well-formed TACO program: " +
                    Malformed;
     return Result;
   }
-  Result.Program = std::move(Program);
+  Result.Program = std::move(Final);
+  Result.Statements = std::move(Statements);
   return Result;
-}
-
-/// Renders a symbolic extent as an ArgSpec shape entry: a size-parameter
-/// name, or a decimal literal for constant-shaped dimensions.
-bool extentName(const DimInfo &Dim, std::string &Out) {
-  if (!Dim.ExtentKnown)
-    return false;
-  int64_t C = 0;
-  if (Dim.Extent.asConstant(C)) {
-    if (C < 1)
-      return false;
-    Out = std::to_string(C);
-    return true;
-  }
-  const auto &Terms = Dim.Extent.terms();
-  if (Terms.size() == 1 && Terms.begin()->first.size() == 1 &&
-      Terms.begin()->second == 1) {
-    Out = Terms.begin()->first.front();
-    return true;
-  }
-  return false;
 }
 
 } // namespace
 
+TranslationResult api::referenceTranslation(const KernelModel &Model) {
+  return translateModel(Model);
+}
+
 TranslationResult
 api::referenceTranslation(const CFunction &Fn,
                           const analysis::KernelSummary &Summary) {
-  NestWalker Walker(Fn);
-  Walker.run();
-  return translateFromWalk(Walker, Summary);
+  (void)Summary;
+  return translateModel(analysis::buildKernelModel(Fn));
 }
 
 IngestResult api::ingestKernel(const std::string &CSource,
@@ -888,14 +481,24 @@ IngestResult api::ingestKernel(const std::string &CSource,
     return fail(IngestStatus::ParseError, "C parse error: " + Parsed.Error);
   const CFunction &Fn = *Parsed.Function;
 
-  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+  // Parameter names become TACO tensor names verbatim; the reserved surface
+  // identifiers would produce a ground truth that cannot re-parse (`max` is
+  // call syntax, `Const` the symbolic template constant) and must be
+  // refused up front — a serve process cannot crash on one hostile request.
+  for (const CParam &P : Fn.Params)
+    if (P.Name == "max" || P.Name == "Const")
+      return fail(IngestStatus::AnalysisError,
+                  "parameter name '" + P.Name +
+                      "' collides with reserved TACO syntax; rename the "
+                      "parameter");
+
+  KernelModel Model = analysis::buildKernelModel(Fn);
+  const analysis::KernelSummary &Summary = Model.Summary;
   if (Summary.OutputParam.empty())
     return fail(IngestStatus::AnalysisError,
                 "kernel never stores through a pointer parameter, so no "
                 "output tensor can be identified");
-
-  NestWalker Walker(Fn);
-  Walker.run();
+  Result.Class = analysis::classifyKernel(Model);
 
   // Synthesize the argument specification in declaration order.
   bench::Benchmark B;
@@ -917,12 +520,12 @@ IngestResult api::ingestKernel(const std::string &CSource,
 
     std::vector<std::string> Shape;
     bool ShapeOk = false;
-    auto It = Walker.bestAccesses().find(P.Name);
-    if (It != Walker.bestAccesses().end() && It->second.Ok) {
+    std::optional<ModelShape> Best = Model.bestShape(P.Name);
+    if (Best && Best->Ok) {
       ShapeOk = true;
-      for (const DimInfo &Dim : It->second.Dims) {
+      for (const analysis::ModelDim &Dim : Best->Dims) {
         std::string DimName;
-        if (!extentName(Dim, DimName)) {
+        if (!analysis::extentName(Dim, DimName)) {
           ShapeOk = false;
           break;
         }
@@ -930,9 +533,9 @@ IngestResult api::ingestKernel(const std::string &CSource,
       }
     }
     if (!ShapeOk) {
-      // The syntactic walk could not name the dimensions (pointer walking,
-      // conditionals); fall back to the symbolic executor's rank and — when
-      // the kernel has exactly one size parameter — size every dimension by
+      // The model could not name the dimensions (unknown bounds, ambiguous
+      // strides); fall back to the symbolic executor's rank and — when the
+      // kernel has exactly one size parameter — size every dimension by
       // it, the convention of every such kernel in the wild.
       auto RankIt = Summary.ParamDims.find(P.Name);
       if (RankIt == Summary.ParamDims.end())
@@ -943,9 +546,9 @@ IngestResult api::ingestKernel(const std::string &CSource,
         return fail(IngestStatus::AnalysisError,
                     "cannot infer the shape of '" + P.Name +
                         "' from the loop nest (" +
-                        (Walker.limitation().empty()
+                        (Model.Limitation.empty()
                              ? std::string("irregular subscripts")
-                             : Walker.limitation()) +
+                             : Model.locatedLimitation()) +
                         "), and the kernel does not have exactly one size "
                         "parameter to fall back on");
       Shape.assign(static_cast<size_t>(RankIt->second),
@@ -956,8 +559,11 @@ IngestResult api::ingestKernel(const std::string &CSource,
   }
 
   // The reference translation for the candidate oracle: an explicit hint
-  // wins (the caller knows their kernel), transliteration covers the
-  // indexed-form majority, and anything else must say why it failed.
+  // wins (the caller knows their kernel), the model-based emission covers
+  // the subscript / pointer-walking / conditional / multi-statement
+  // classes, and anything else must say why it failed — with the
+  // construct's position in the request text.
+  TranslationResult Translation;
   if (!OracleHint.empty()) {
     taco::ParseResult Hint = taco::parseTacoProgram(OracleHint);
     if (!Hint.ok())
@@ -969,7 +575,7 @@ IngestResult api::ingestKernel(const std::string &CSource,
                   "oracle_hint is not well-formed: " + Malformed);
     B.GroundTruth = taco::printProgram(*Hint.Prog);
   } else {
-    TranslationResult Translation = translateFromWalk(Walker, Summary);
+    Translation = translateModel(Model);
     if (!Translation.ok())
       return fail(IngestStatus::AnalysisError,
                   "cannot derive a reference translation for the candidate "
@@ -978,6 +584,12 @@ IngestResult api::ingestKernel(const std::string &CSource,
                       "); supply \"oracle_hint\" with a TACO sketch of the "
                       "kernel");
     B.GroundTruth = taco::printProgram(*Translation.Program);
+    // Defense in depth: the printed form must re-parse (a printer/parser
+    // drift here would crash consumers that trust GroundTruth).
+    if (!taco::parseTacoProgram(B.GroundTruth).ok())
+      return fail(IngestStatus::AnalysisError,
+                  "derived reference translation does not round-trip "
+                  "through the TACO parser (" + B.GroundTruth + ")");
   }
 
   // Bound what a wire-supplied kernel can make this process allocate:
@@ -1006,11 +618,77 @@ IngestResult api::ingestKernel(const std::string &CSource,
   // or an interpreter-hostile construct should fail ingestion with a clear
   // message, not surface later as a bogus pipeline result.
   Rng Probe(0xA11CE);
-  if (validate::generateExamples(B, Fn, 1, Probe).empty())
+  std::vector<validate::IoExample> Examples =
+      validate::generateExamples(B, Fn, 1, Probe);
+  if (Examples.empty())
     return fail(IngestStatus::AnalysisError,
                 "the kernel does not execute under the inferred argument "
                 "shapes (inferred " +
                     B.GroundTruth + ")");
+
+  // A derived translation must actually agree with the kernel on the smoke
+  // example — both the composed program and its statement-list form. This
+  // turns any emission bug into an up-front refusal instead of a silently
+  // wrong oracle reference.
+  if (Translation.ok()) {
+    if (!validate::runsConsistently(B, *Translation.Program, Examples))
+      return fail(IngestStatus::AnalysisError,
+                  "the derived reference translation disagrees with the "
+                  "kernel on a generated example (derived " +
+                      B.GroundTruth + ")");
+    const validate::IoExample &Ex = Examples.front();
+    std::map<std::string, taco::Tensor<double>> Operands;
+    for (const bench::ArgSpec &Arg : B.Args) {
+      if (Arg.K == bench::ArgSpec::Kind::Array) {
+        taco::Tensor<double> T(validate::resolveShape(Arg, Ex.Sizes));
+        T.flat() = Ex.Inputs.Arrays.at(Arg.Name);
+        Operands.emplace(Arg.Name, std::move(T));
+      } else if (Arg.K == bench::ArgSpec::Kind::SizeScalar) {
+        Operands.emplace(Arg.Name,
+                         taco::Tensor<double>::scalar(static_cast<double>(
+                             Ex.Sizes.at(Arg.Name))));
+      } else {
+        Operands.emplace(Arg.Name, taco::Tensor<double>::scalar(
+                                       Ex.Inputs.NumScalars.at(Arg.Name)));
+      }
+    }
+    taco::EinsumResult<double> Seq = taco::evalEinsumSequence<double>(
+        Translation.Statements, std::move(Operands), Summary.OutputParam);
+    if (!Seq.Ok)
+      return fail(IngestStatus::AnalysisError,
+                  "the derived statement list does not execute: " + Seq.Error);
+    const std::vector<double> &Got = Seq.Value.flat();
+    const std::vector<double> &Want = Ex.Expected.flat();
+    if (Got.size() != Want.size())
+      return fail(IngestStatus::AnalysisError,
+                  "the derived statement list disagrees with the kernel");
+    for (size_t I = 0; I < Got.size(); ++I) {
+      double Tolerance =
+          1e-9 * std::max({1.0, std::fabs(Got[I]), std::fabs(Want[I])});
+      if (!(std::fabs(Got[I] - Want[I]) <= Tolerance))
+        return fail(IngestStatus::AnalysisError,
+                    "the derived statement list disagrees with the kernel");
+    }
+
+    // Multi-statement kernels additionally get a (cheap) bounded
+    // equivalence check of the ordered statement list against the C kernel
+    // — the verifier executing the list as one program. Composition bugs
+    // (wrong store order, a dropped setup statement) hide exactly here,
+    // and the structured input family catches what one random example
+    // cannot.
+    if (Translation.Statements.size() > 1) {
+      verify::VerifyOptions Light;
+      Light.RandomTrials = 2;
+      Light.MaxOneHot = 64;
+      verify::VerifyResult VR = verify::verifyEquivalence(
+          B, Fn, Translation.Statements, Light);
+      if (!VR.Equivalent)
+        return fail(IngestStatus::AnalysisError,
+                    "the derived statement list is not equivalent to the "
+                    "kernel: " + VR.Counterexample);
+    }
+    Result.ReferenceStatements = std::move(Translation.Statements);
+  }
 
   Result.Kernel = std::move(B);
   return Result;

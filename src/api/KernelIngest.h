@@ -7,25 +7,25 @@
 /// \file
 /// Turns arbitrary C kernel text into a self-contained, owned
 /// bench::Benchmark that the pipeline can lift exactly like a registry
-/// entry:
+/// entry. Everything is derived from one normalized analysis::KernelModel —
+/// the symbolic executor's public store/access IR — so the subscript,
+/// pointer-walking, guarded (relu-family), and multi-statement forms of a
+/// kernel all ingest through the same path:
 ///
-///  * the source is parsed with cfront and analyzed with
-///    analysis::analyzeKernel (output parameter, per-parameter ranks,
-///    constant pool);
+///  * argument specifications are synthesized from the model's delinearized
+///    accesses (stride ordering, stride-ratio extents, loop-bound leading
+///    extents), falling back to the executor's ranks when a shape has no
+///    closed form;
 ///
-///  * argument specifications are synthesized — int scalars become size
-///    parameters, floating scalars numeric data, pointers arrays — with
-///    array shapes inferred from the loop nest: subscript polynomials are
-///    delinearized by stride, inner extents fall out of stride ratios, the
-///    leading extent out of the governing loop bound;
-///
-///  * a *reference translation* (direct syntactic transliteration of the
-///    loop nest into TACO index notation) is derived when the kernel is in
-///    indexed form. It seeds the simulated candidate oracle, which models
-///    an LLM's error distribution *around* a reference — the role GPT-4's
-///    reading of the prompt plays in the paper. Pointer-walking or
-///    control-flow-heavy kernels have no syntactic transliteration; callers
-///    can supply an oracle hint instead (real LLM backends need neither).
+///  * a *reference translation* is emitted from the model's normalized
+///    stores: guarded stores lower to `max(...)` (select) nodes, sequential
+///    stores lower to an ordered TACO statement list plus a composed
+///    single-program form that seeds the simulated candidate oracle — the
+///    role GPT-4's reading of the prompt plays in the paper. Kernels beyond
+///    the model (while loops, untranslatable conditions, non-affine
+///    subscripts) are refused with a diagnostic that carries the construct's
+///    line/column; callers can supply an oracle hint instead (real LLM
+///    backends need neither).
 ///
 /// The resulting benchmark is a value: it shares no storage with the input
 /// text, so requests built from it survive any caller buffer lifetime.
@@ -36,12 +36,14 @@
 #define STAGG_API_KERNELINGEST_H
 
 #include "analysis/KernelAnalysis.h"
+#include "analysis/KernelModel.h"
 #include "benchsuite/Benchmark.h"
 #include "cfront/Ast.h"
 #include "taco/Ast.h"
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace stagg {
 namespace api {
@@ -61,28 +63,49 @@ struct IngestResult {
   /// The synthesized benchmark (valid when ok()). Category is "inline".
   bench::Benchmark Kernel;
 
+  /// The ordered statement-list form of the derived reference translation
+  /// (empty when the caller supplied an oracle_hint instead). The einsum
+  /// sequence evaluator and the verifier execute it as one program;
+  /// Kernel.GroundTruth holds the composed single-program form.
+  std::vector<taco::Program> ReferenceStatements;
+
+  /// Ingestion class of the kernel (subscript / pointer-walking /
+  /// conditional / multi-statement).
+  analysis::KernelClass Class = analysis::KernelClass::Subscript;
+
   bool ok() const { return Status == IngestStatus::Ok; }
 };
 
 /// Ingests \p CSource. \p Name labels the benchmark (defaults to the C
 /// function's name); \p OracleHint optionally supplies the reference
-/// translation when transliteration is impossible (and overrides it when
-/// both exist — the caller knows their kernel best).
+/// translation when the model has none (and overrides it when both exist —
+/// the caller knows their kernel best).
 IngestResult ingestKernel(const std::string &CSource,
                           const std::string &Name = "",
                           const std::string &OracleHint = "");
 
-/// Outcome of a transliteration attempt.
+/// Outcome of a translation attempt.
 struct TranslationResult {
+  /// The composed single-program form (sequential stores folded, guards
+  /// lowered to max/select).
   std::optional<taco::Program> Program;
+
+  /// The ordered statement list the composition came from; executable as
+  /// one program by taco::evalEinsumSequence / the verifier.
+  std::vector<taco::Program> Statements;
+
   std::string Error;
 
   bool ok() const { return Program.has_value(); }
 };
 
-/// Best-effort direct transliteration of \p Fn's loop nest into TACO index
-/// notation, using \p Summary for the output parameter. Exposed for tests
-/// and as a (deliberately naive) "direct translation" baseline.
+/// Model-based reference translation of \p Model's normalized stores into
+/// TACO index notation.
+TranslationResult referenceTranslation(const analysis::KernelModel &Model);
+
+/// Convenience overload: builds the model for \p Fn first. \p Summary is
+/// accepted for API compatibility with the old syntactic transliterator and
+/// is no longer consulted (the model carries its own summary).
 TranslationResult referenceTranslation(const cfront::CFunction &Fn,
                                        const analysis::KernelSummary &Summary);
 

@@ -57,6 +57,13 @@ double Benchmark::computedDifficulty() const {
           Scan(B->rhs(), Tight);
         } else if (const auto *N = taco::exprDynCast<taco::NegateExpr>(&E)) {
           Scan(N->operand(), UnderTight);
+        } else if (const auto *M = taco::exprDynCast<taco::MaxExpr>(&E)) {
+          // A guarded-store kernel is structurally grouped like a
+          // parenthesized one: the call boundary is not expressible as a
+          // flat chain.
+          HasParenShape = true;
+          Scan(M->lhs(), false);
+          Scan(M->rhs(), false);
         } else if (const auto *A = taco::exprDynCast<taco::AccessExpr>(&E)) {
           int LastPosition = -1;
           for (const std::string &Var : A->indices()) {
@@ -110,15 +117,24 @@ const std::vector<Benchmark> &bench::allBenchmarks() {
     appendDsp(All);
     appendMisc(All);
     appendLlama(All);
+    appendPointer(All);
     return All;
   }();
   return Suite;
 }
 
+std::vector<const Benchmark *> bench::paperBenchmarks() {
+  std::vector<const Benchmark *> Paper;
+  for (const Benchmark &B : allBenchmarks())
+    if (B.Category != "pointer")
+      Paper.push_back(&B);
+  return Paper;
+}
+
 std::vector<const Benchmark *> bench::realWorldBenchmarks() {
   std::vector<const Benchmark *> Real;
   for (const Benchmark &B : allBenchmarks())
-    if (B.isRealWorld())
+    if (B.isRealWorld() && B.Category != "pointer")
       Real.push_back(&B);
   return Real;
 }

@@ -25,6 +25,7 @@ void appendDarknet(std::vector<Benchmark> &Out);    ///< 15 queries.
 void appendDsp(std::vector<Benchmark> &Out);        ///< 12 queries.
 void appendMisc(std::vector<Benchmark> &Out);       ///< 22 queries.
 void appendLlama(std::vector<Benchmark> &Out);      ///< 6 queries.
+void appendPointer(std::vector<Benchmark> &Out);    ///< 10 queries (post-paper).
 
 /// Shared terse builder.
 inline Benchmark makeBenchmark(std::string Name, std::string Category,

@@ -223,6 +223,21 @@ template <typename T> const T &cCast(const CExpr &E) {
 // Statements
 //===----------------------------------------------------------------------===//
 
+/// Source position of a construct's first token (1-based; 0 = unknown).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool valid() const { return Line > 0; }
+
+  /// Renders as "line L, column C" (empty when unknown).
+  std::string str() const {
+    if (!valid())
+      return "";
+    return "line " + std::to_string(Line) + ", column " + std::to_string(Col);
+  }
+};
+
 class CStmt {
 public:
   enum class Kind { Decl, ExprStmt, Block, For, While, If, Return, Empty };
@@ -230,11 +245,17 @@ public:
   virtual ~CStmt() = default;
   Kind kind() const { return NodeKind; }
 
+  /// Position of the statement's first token; set by the parser so
+  /// diagnostics can cite where in the request text a construct sits.
+  const SourceLoc &loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
 protected:
   explicit CStmt(Kind K) : NodeKind(K) {}
 
 private:
   Kind NodeKind;
+  SourceLoc Loc;
 };
 
 using CStmtPtr = std::unique_ptr<CStmt>;

@@ -22,6 +22,7 @@ std::vector<CToken> cfront::lexC(const std::string &Source) {
   size_t I = 0;
   const size_t N = Source.size();
   int Line = 1;
+  size_t LineStart = 0;
 
   auto Peek = [&](size_t Ahead) -> char {
     return I + Ahead < N ? Source[I + Ahead] : '\0';
@@ -32,6 +33,7 @@ std::vector<CToken> cfront::lexC(const std::string &Source) {
     if (C == '\n') {
       ++Line;
       ++I;
+      LineStart = I;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -46,8 +48,10 @@ std::vector<CToken> cfront::lexC(const std::string &Source) {
     if (C == '/' && Peek(1) == '*') {
       I += 2;
       while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
-        if (Source[I] == '\n')
+        if (Source[I] == '\n') {
           ++Line;
+          LineStart = I + 1;
+        }
         ++I;
       }
       I = I + 2 <= N ? I + 2 : N;
@@ -56,6 +60,7 @@ std::vector<CToken> cfront::lexC(const std::string &Source) {
 
     CToken Tok;
     Tok.Line = Line;
+    Tok.Col = static_cast<int>(I - LineStart) + 1;
 
     if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
       size_t Start = I;

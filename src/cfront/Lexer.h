@@ -37,6 +37,7 @@ struct CToken {
   int64_t FloatMantissa = 0;
   int FloatScale = 0;
   int Line = 1;
+  int Col = 1; ///< 1-based column of the token's first character.
 };
 
 /// Tokenizes \p Source; the result ends with an End token.

@@ -288,6 +288,7 @@ public:
   /// Parses `type name [= init] ("," name [= init])* ";"` into a block of
   /// single-declarator statements (or a single CDeclStmt when alone).
   CStmtPtr parseDecl() {
+    SourceLoc Loc{peek().Line, peek().Col};
     CType Type = parseType();
     if (hadError())
       return nullptr;
@@ -310,6 +311,7 @@ public:
       }
       Decls.push_back(
           std::make_unique<CDeclStmt>(DeclType, std::move(Name), std::move(Init)));
+      Decls.back()->setLoc(Loc);
     } while (matchPunct(","));
     if (!matchPunct(";")) {
       fail("expected ';' after declaration");
@@ -317,10 +319,20 @@ public:
     }
     if (Decls.size() == 1)
       return std::move(Decls.front());
-    return std::make_unique<CBlock>(std::move(Decls));
+    CStmtPtr Block = std::make_unique<CBlock>(std::move(Decls));
+    Block->setLoc(Loc);
+    return Block;
   }
 
   CStmtPtr parseStmt() {
+    SourceLoc Loc{peek().Line, peek().Col};
+    CStmtPtr S = parseStmtInner();
+    if (S && !S->loc().valid())
+      S->setLoc(Loc);
+    return S;
+  }
+
+  CStmtPtr parseStmtInner() {
     if (matchPunct(";"))
       return std::make_unique<CEmpty>();
     if (checkPunct("{"))

@@ -3,6 +3,8 @@
 #include "driver/BenchCommand.h"
 
 #include "analysis/KernelAnalysis.h"
+#include "analysis/KernelModel.h"
+#include "api/KernelIngest.h"
 #include "cfront/Interp.h"
 #include "cfront/Parser.h"
 #include "driver/SuiteRunner.h"
@@ -152,6 +154,31 @@ std::vector<Micro> buildMicros(const MicroFixtures &F) {
                         if (S.LhsDim < 0)
                           std::abort();
                       }});
+    Micros.push_back({"micro/kernel_model", [Fn] {
+                        analysis::KernelModel M =
+                            analysis::buildKernelModel(*Fn->Function);
+                        if (M.Loops.empty())
+                          std::abort();
+                      }});
+  }
+
+  // Model-based ingestion end to end (parse + model + shapes + reference
+  // translation + smoke example): the serve admission path for inline
+  // kernels, one entry per ingestion class.
+  {
+    auto AddIngest = [&Micros](const char *Name, const char *Registry) {
+      auto Src = std::make_shared<std::string>(
+          bench::findBenchmark(Registry)->CSource);
+      Micros.push_back({Name, [Src] {
+                          api::IngestResult R = api::ingestKernel(*Src, "b");
+                          if (!R.ok())
+                            std::abort();
+                        }});
+    };
+    AddIngest("micro/ingest_subscript", "blas_axpy");
+    AddIngest("micro/ingest_pointer", "ptr_mv_rowwalk");
+    AddIngest("micro/ingest_conditional", "relu_forward");
+    AddIngest("micro/ingest_fused", "fused_scale_shift");
   }
 
   {

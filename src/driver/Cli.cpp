@@ -2,13 +2,18 @@
 
 #include "driver/Cli.h"
 
+#include "analysis/KernelModel.h"
+#include "cfront/Parser.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <iomanip>
+#include <iostream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 using namespace stagg;
@@ -119,7 +124,8 @@ bool dropPenalty(search::SearchConfig &Search, const std::string &Which) {
 
 const std::vector<std::string> &driver::knownSuites() {
   static const std::vector<std::string> Suites = {
-      "all", "real", "artificial", "blas", "darknet", "dsp", "misc", "llama"};
+      "all",  "real", "paper", "artificial", "blas",
+      "darknet", "dsp", "misc", "llama", "pointer"};
   return Suites;
 }
 
@@ -133,7 +139,10 @@ driver::selectSuite(const std::string &Suite, int Limit, std::string &Error) {
   }
 
   for (const bench::Benchmark &B : bench::allBenchmarks()) {
-    bool Take = Suite == "all" || (Suite == "real" && B.isRealWorld()) ||
+    bool Take = Suite == "all" ||
+                (Suite == "real" && B.isRealWorld() &&
+                 B.Category != "pointer") ||
+                (Suite == "paper" && B.Category != "pointer") ||
                 B.Category == Suite;
     if (Take)
       Selected.push_back(&B);
@@ -184,8 +193,13 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         SawCommand = true;
         continue;
       }
+      if (!SawCommand && Args[I] == "list") {
+        O.Mode = DriverMode::List;
+        SawCommand = true;
+        continue;
+      }
       Parse.Error = "unknown command '" + Args[I] + "'";
-      std::string Hint = suggestFor(Args[I], {"serve", "bench"});
+      std::string Hint = suggestFor(Args[I], {"serve", "bench", "list"});
       if (!Hint.empty())
         Parse.Error += " — did you mean '" + Hint + "'?";
       Parse.Error += " (see --help)";
@@ -397,6 +411,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
     else if (O.Mode == DriverMode::Bench && !RunOnly.empty())
       Parse.Error =
           RunOnly + " does not apply to `stagg bench` (see --help)";
+    else if (O.Mode == DriverMode::List && !RunOnly.empty())
+      Parse.Error = RunOnly + " does not apply to `stagg list` (see --help)";
   }
 
   return Parse;
@@ -440,10 +456,21 @@ std::string driver::usage() {
      << "                               2 unknown name, 3 bad JSON,\n"
      << "                               4 kernel ingestion failure\n"
      << "\n"
+     << "Commands:\n"
+     << "  stagg [flags]       batch suite run (default)\n"
+     << "  stagg serve         persistent request-serving loop\n"
+     << "  stagg bench         micro + end-to-end performance report\n"
+     << "  stagg list          print registry kernels with suite tags and\n"
+     << "                      ingestion-class labels (subscript |\n"
+     << "                      pointer-walking | conditional |\n"
+     << "                      multi-statement)\n"
+     << "\n"
      << "Suite selection:\n"
-     << "  --suite NAME        all | real | artificial | blas | darknet | "
-        "dsp |\n"
-     << "                      misc | llama (default: real)\n"
+     << "  --suite NAME        all | real | paper | artificial | blas | "
+        "darknet |\n"
+     << "                      dsp | misc | llama | pointer (default: real;\n"
+     << "                      paper = the original 77, pointer = the\n"
+     << "                      post-paper pointer/conditional/fused suite)\n"
      << "  --limit N           run only the first N selected benchmarks\n"
      << "  --list              print the selection and exit\n"
      << "\n"
@@ -496,6 +523,61 @@ std::string driver::usage() {
      << "  stagg --suite real --search bu --threads 8 --csv results.csv\n"
      << "  stagg --suite all --drop-penalty a --equal-probability\n"
      << "  stagg serve --threads 4 --batch 4 --cache-stats < requests.txt\n"
-     << "  stagg bench --suite real --threads 1 --json bench.json\n";
+     << "  stagg bench --suite real --threads 1 --json bench.json\n"
+     << "  stagg list --suite pointer\n";
   return Os.str();
+}
+
+int driver::runListCommand(const CliOptions &Options) {
+  std::string Error;
+  std::vector<const bench::Benchmark *> Suite =
+      selectSuite(Options.Suite, Options.Limit, Error);
+  if (!Error.empty()) {
+    std::cerr << "stagg: " << Error << "\n";
+    return 2;
+  }
+
+  struct Row {
+    const bench::Benchmark *B;
+    std::string Class;
+  };
+  std::vector<Row> Rows;
+  std::map<std::string, int> PerClass;
+  for (const bench::Benchmark *B : Suite) {
+    cfront::CParseResult Parsed = cfront::parseCFunction(B->CSource);
+    std::string Label = "unparseable";
+    if (Parsed.ok()) {
+      analysis::KernelModel Model = analysis::buildKernelModel(*Parsed.Function);
+      Label = analysis::kernelClassName(analysis::classifyKernel(Model));
+    }
+    ++PerClass[Label];
+    Rows.push_back({B, std::move(Label)});
+  }
+
+  size_t NameW = 9, CatW = 5, ClassW = 5;
+  for (const Row &R : Rows) {
+    NameW = std::max(NameW, R.B->Name.size());
+    CatW = std::max(CatW, R.B->Category.size());
+    ClassW = std::max(ClassW, R.Class.size());
+  }
+  std::cout << std::left << std::setw(static_cast<int>(NameW) + 2)
+            << "benchmark" << std::setw(static_cast<int>(CatW) + 2) << "suite"
+            << std::setw(static_cast<int>(ClassW) + 2) << "class"
+            << "ground truth\n";
+  for (const Row &R : Rows)
+    std::cout << std::left << std::setw(static_cast<int>(NameW) + 2)
+              << R.B->Name << std::setw(static_cast<int>(CatW) + 2)
+              << R.B->Category << std::setw(static_cast<int>(ClassW) + 2)
+              << R.Class << R.B->GroundTruth << "\n";
+
+  std::cout << Rows.size() << " benchmarks (";
+  bool First = true;
+  for (const auto &[Label, Count] : PerClass) {
+    if (!First)
+      std::cout << ", ";
+    First = false;
+    std::cout << Count << " " << Label;
+  }
+  std::cout << ")\n";
+  return 0;
 }

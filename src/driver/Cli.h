@@ -31,9 +31,10 @@ namespace driver {
 enum class OutputFormat { Table, Csv, Tsv };
 
 /// What this invocation does: a batch suite run (default), the persistent
-/// request-serving loop (`stagg serve`), or the performance-report run
-/// (`stagg bench`).
-enum class DriverMode { Run, Serve, Bench };
+/// request-serving loop (`stagg serve`), the performance-report run
+/// (`stagg bench`), or the registry listing with per-kernel
+/// ingestion-class labels (`stagg list`).
+enum class DriverMode { Run, Serve, Bench, List };
 
 /// Everything the driver needs for one invocation.
 struct CliOptions {
@@ -58,8 +59,9 @@ struct CliOptions {
   /// Print cache and batching counters to stderr after the run.
   bool ShowCacheStats = false;
 
-  /// Suite selector: "all" (77), "real" (67), or one category
-  /// ("artificial", "blas", "darknet", "dsp", "misc", "llama").
+  /// Suite selector: "all" (full registry), "paper" (the original 77),
+  /// "real" (the paper's 67), or one category ("artificial", "blas",
+  /// "darknet", "dsp", "misc", "llama", "pointer").
   std::string Suite = "real";
 
   /// Run only the first N benchmarks of the selection; < 0 means all.
@@ -106,6 +108,12 @@ std::string usage();
 /// \p Limit. Returns an empty vector and sets \p Error for unknown names.
 std::vector<const bench::Benchmark *>
 selectSuite(const std::string &Suite, int Limit, std::string &Error);
+
+/// `stagg list`: prints the selected registry kernels with their suite tag
+/// and ingestion-class label (subscript / pointer-walking / conditional /
+/// multi-statement, from the kernel's analysis::KernelModel). Returns the
+/// process exit code.
+int runListCommand(const CliOptions &Options);
 
 /// Valid --suite values, for diagnostics and --help.
 const std::vector<std::string> &knownSuites();

@@ -39,6 +39,9 @@ int main(int argc, char **argv) {
   if (Options.Mode == driver::DriverMode::Bench)
     return driver::runBenchCommand(Options);
 
+  if (Options.Mode == driver::DriverMode::List)
+    return driver::runListCommand(Options);
+
   std::string SuiteError;
   std::vector<const bench::Benchmark *> Suite =
       driver::selectSuite(Options.Suite, Options.Limit, SuiteError);

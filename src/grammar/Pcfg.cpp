@@ -61,12 +61,16 @@ void TemplateGrammar::normalize(bool Uniform) {
   double E1 = Uniform ? 1.0 : Smooth(WExprTensor);
   double E2 = Uniform ? 1.0 : Smooth(WExprConst);
   double E3 = Uniform ? 1.0 : Smooth(WExprBin);
+  double E4 = Uniform ? 1.0 : Smooth(WExprMax);
   if (!HasConstRule)
     E2 = 0;
-  double ETotal = E1 + E2 + E3;
+  if (!HasMaxRule)
+    E4 = 0;
+  double ETotal = E1 + E2 + E3 + E4;
   PExprTensor = E1 / ETotal;
   PExprConst = E2 / ETotal;
   PExprBin = E3 / ETotal;
+  PExprMax = E4 / ETotal;
 
   // OP rules are *not* smoothed: as in the paper's Fig. 3 (where "-" and
   // "/" carry probability 0), an operator never seen in a candidate is
@@ -84,7 +88,10 @@ std::string TemplateGrammar::dump() const {
   Out += "PROGRAM ::= \"" + printAccess(Lhs) + "\" \"=\" EXPR\n";
   Out += "EXPR ::= TENSOR (" + std::to_string(PExprTensor) + ") | CONSTANT (" +
          std::to_string(PExprConst) + ") | EXPR OP EXPR (" +
-         std::to_string(PExprBin) + ")\n";
+         std::to_string(PExprBin) + ")";
+  if (HasMaxRule)
+    Out += " | max(EXPR, EXPR) (" + std::to_string(PExprMax) + ")";
+  Out += "\n";
   Out += "OP ::=";
   static const BinOpKind Ops[] = {BinOpKind::Add, BinOpKind::Sub,
                                   BinOpKind::Mul, BinOpKind::Div};
@@ -127,6 +134,12 @@ bool candidatesUseRepeatedIndices(const std::vector<Templatized> &Templates) {
     case Expr::Kind::Negate:
       Visit(exprCast<NegateExpr>(E).operand());
       return;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      Visit(M.lhs());
+      Visit(M.rhs());
+      return;
+    }
     case Expr::Kind::Constant:
       return;
     }
@@ -214,6 +227,13 @@ void countDerivation(const Expr &E, TemplateGrammar &G) {
     // leaf evidence is not lost.
     countDerivation(exprCast<NegateExpr>(E).operand(), G);
     return;
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    G.WExprMax += 1;
+    countDerivation(M.lhs(), G);
+    countDerivation(M.rhs(), G);
+    return;
+  }
   }
 }
 
@@ -291,6 +311,11 @@ grammar::buildTemplateGrammar(const std::vector<Templatized> &Templates,
   for (const Templatized &T : Templates)
     if (T.Template.Rhs)
       countDerivation(*T.Template.Rhs, G);
+
+  // The max production exists only on candidate evidence (like operators,
+  // which carry zero probability when unseen): max-free queries keep the
+  // exact pre-max grammar, searches, and enumeration order.
+  G.HasMaxRule = G.WExprMax > 0;
 
   // "Operations defined in the grammar" (penalties a5/b2): operators with
   // real evidence. A single occurrence among ten guesses is mistranslation

@@ -73,9 +73,12 @@ struct TemplateGrammar {
   /// All TENSOR productions (shared nonterminal, Fig. 6 style).
   std::vector<TensorRule> TensorRules;
 
-  /// EXPR production weights/probabilities.
-  double WExprTensor = 0, WExprConst = 0, WExprBin = 0;
-  double PExprTensor = 0, PExprConst = 0, PExprBin = 0;
+  /// EXPR production weights/probabilities. The max production only exists
+  /// when some candidate used `max(...)` (HasMaxRule); otherwise its weight
+  /// and probability stay exactly zero, so grammars learned from max-free
+  /// candidate sets are bit-identical to the pre-max implementation.
+  double WExprTensor = 0, WExprConst = 0, WExprBin = 0, WExprMax = 0;
+  double PExprTensor = 0, PExprConst = 0, PExprBin = 0, PExprMax = 0;
 
   /// OP production weights/probabilities, indexed by taco::BinOpKind.
   double WOp[4] = {0, 0, 0, 0};
@@ -88,6 +91,11 @@ struct TemplateGrammar {
   /// True if the grammar offers a constant production (a dimension-list
   /// entry of 0 or a candidate containing a constant).
   bool HasConstRule = false;
+
+  /// True if the grammar offers the `max(EXPR, EXPR)` production: some
+  /// candidate used max, the evidence rule that keeps max-free queries
+  /// bit-identical to the pre-max grammar.
+  bool HasMaxRule = false;
 
   /// True when tensor symbols are minted per dimension-list position (the
   /// refined grammar), so symbols are only interchangeable *within* a

@@ -80,6 +80,12 @@ public:
     case Expr::Kind::Negate:
       return std::make_unique<NegateExpr>(
           rewrite(exprCast<NegateExpr>(E).operand()));
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      ExprPtr Lhs = rewrite(M.lhs());
+      ExprPtr Rhs = rewrite(M.rhs());
+      return std::make_unique<MaxExpr>(std::move(Lhs), std::move(Rhs));
+    }
     }
     return nullptr;
   }

@@ -42,11 +42,24 @@ void collectAccesses(Expr &E, std::vector<AccessExpr *> &Out) {
   case Expr::Kind::Negate:
     collectAccesses(static_cast<NegateExpr &>(E).operand(), Out);
     return;
+  case Expr::Kind::Max: {
+    auto &M = static_cast<MaxExpr &>(E);
+    collectAccesses(M.lhs(), Out);
+    collectAccesses(M.rhs(), Out);
+    return;
+  }
   }
 }
 
-/// Collects mutable pointers to binary nodes.
+/// Collects mutable pointers to binary nodes (descending through max calls,
+/// whose own node carries no swappable operator).
 void collectBinaries(Expr &E, std::vector<BinaryExpr *> &Out) {
+  if (E.kind() == Expr::Kind::Max) {
+    auto &M = static_cast<MaxExpr &>(E);
+    collectBinaries(M.lhs(), Out);
+    collectBinaries(M.rhs(), Out);
+    return;
+  }
   if (E.kind() != Expr::Kind::Binary)
     return;
   auto &B = static_cast<BinaryExpr &>(E);

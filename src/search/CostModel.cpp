@@ -19,6 +19,7 @@ CostModel::CostModel(const grammar::TemplateGrammar &G) : G(G) {
   CExprTensor = negLog2(G.PExprTensor);
   CExprConst = negLog2(G.PExprConst);
   CExprBin = negLog2(G.PExprBin);
+  CExprMax = negLog2(G.PExprMax);
   for (int I = 0; I < 4; ++I)
     COp[I] = negLog2(G.POp[I]);
 
@@ -40,7 +41,8 @@ CostModel::CostModel(const grammar::TemplateGrammar &G) : G(G) {
     double Next =
         std::max(std::max(G.PExprTensor * HTensor,
                           G.HasConstRule ? G.PExprConst : 0.0),
-                 G.PExprBin * HExpr * HOp * HExpr);
+                 std::max(G.PExprBin * HExpr * HOp * HExpr,
+                          G.PExprMax * HExpr * HExpr));
     if (std::abs(Next - HExpr) < 1e-12)
       break;
     HExpr = Next;

@@ -30,6 +30,7 @@ public:
   double costExprTensor() const { return CExprTensor; }
   double costExprConst() const { return CExprConst; }
   double costExprBin() const { return CExprBin; }
+  double costExprMax() const { return CExprMax; }
 
   /// Cost of OP -> op.
   double costOp(taco::BinOpKind Op) const {
@@ -48,7 +49,7 @@ public:
 
 private:
   const grammar::TemplateGrammar &G;
-  double CExprTensor, CExprConst, CExprBin;
+  double CExprTensor, CExprConst, CExprBin, CExprMax;
   double COp[4];
   double HoleCharge, OpHoleCharge;
 };

@@ -42,6 +42,12 @@ Frontier search::leftmostNonterminal(TNode &Root) {
     }
     return leftmostNonterminal(*Root.Rhs);
   }
+  case TNode::Kind::Max: {
+    Frontier F = leftmostNonterminal(*Root.Lhs);
+    if (F.K != Frontier::Kind::None)
+      return F;
+    return leftmostNonterminal(*Root.Rhs);
+  }
   }
   return {};
 }
@@ -86,6 +92,14 @@ void collectMetrics(const TNode &Node, StateMetrics &M, int Depth) {
     collectMetrics(*Node.Rhs, M, Depth + 1);
     return;
   }
+  case TNode::Kind::Max:
+    // max(x, x) is as degenerate as x - x: it enumerates a plain copy.
+    if (Node.Lhs->K == TNode::Kind::Leaf && Node.Rhs->K == TNode::Kind::Leaf &&
+        Node.Lhs->Rule == Node.Rhs->Rule && !Node.Lhs->Rule->IsConst)
+      M.DegenerateOp = true;
+    collectMetrics(*Node.Lhs, M, Depth + 1);
+    collectMetrics(*Node.Rhs, M, Depth + 1);
+    return;
   }
 }
 
@@ -112,6 +126,9 @@ ExprPtr search::treeToExpr(const TNode &Root) {
     return std::make_unique<BinaryExpr>(Root.Op, treeToExpr(*Root.Lhs),
                                         treeToExpr(*Root.Rhs));
   }
+  case TNode::Kind::Max:
+    return std::make_unique<MaxExpr>(treeToExpr(*Root.Lhs),
+                                     treeToExpr(*Root.Rhs));
   }
   return nullptr;
 }

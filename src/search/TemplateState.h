@@ -32,6 +32,7 @@ struct TNode {
     Hole, ///< Unexpanded EXPR nonterminal.
     Leaf, ///< TENSOR or CONSTANT production applied (Rule set).
     Bin,  ///< EXPR OP EXPR; OpKnown says whether OP was expanded.
+    Max,  ///< max(EXPR, EXPR); only reachable when the grammar has the rule.
   };
 
   Kind K = Kind::Hole;

@@ -136,6 +136,17 @@ SearchResult search::runTopDown(const grammar::TemplateGrammar &G,
       CF.Node->Rhs = TNode::hole();
       Push(Current.C + Costs.costExprBin(), std::move(Child));
     }
+    // EXPR -> max(EXPR, EXPR), only when candidates supplied the evidence —
+    // max-free grammars expand exactly the pre-max state space in the same
+    // order.
+    if (G.HasMaxRule) {
+      std::unique_ptr<TNode> Child = Current.Root->clone();
+      Frontier CF = leftmostNonterminal(*Child);
+      CF.Node->K = TNode::Kind::Max;
+      CF.Node->Lhs = TNode::hole();
+      CF.Node->Rhs = TNode::hole();
+      Push(Current.C + Costs.costExprMax(), std::move(Child));
+    }
   }
 
   if (!Result.Solved && Result.FailReason.empty())

@@ -75,6 +75,11 @@ bool taco::exprEquals(const Expr &A, const Expr &B) {
   case Expr::Kind::Negate:
     return exprEquals(exprCast<NegateExpr>(A).operand(),
                       exprCast<NegateExpr>(B).operand());
+  case Expr::Kind::Max: {
+    const auto &AM = exprCast<MaxExpr>(A);
+    const auto &BM = exprCast<MaxExpr>(B);
+    return exprEquals(AM.lhs(), BM.lhs()) && exprEquals(AM.rhs(), BM.rhs());
+  }
   }
   return false;
 }
@@ -97,6 +102,10 @@ int taco::exprDepth(const Expr &E) {
   }
   case Expr::Kind::Negate:
     return 1 + exprDepth(exprCast<NegateExpr>(E).operand());
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    return 1 + std::max(exprDepth(M.lhs()), exprDepth(M.rhs()));
+  }
   }
   return 1;
 }
@@ -112,6 +121,10 @@ int taco::countLeaves(const Expr &E) {
   }
   case Expr::Kind::Negate:
     return countLeaves(exprCast<NegateExpr>(E).operand());
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    return countLeaves(M.lhs()) + countLeaves(M.rhs());
+  }
   }
   return 0;
 }
@@ -132,6 +145,12 @@ static void collectOps(const Expr &E, std::vector<BinOpKind> &Ops) {
   case Expr::Kind::Negate:
     collectOps(exprCast<NegateExpr>(E).operand(), Ops);
     return;
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    collectOps(M.lhs(), Ops);
+    collectOps(M.rhs(), Ops);
+    return;
+  }
   }
 }
 

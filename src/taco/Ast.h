@@ -39,7 +39,7 @@ const char *binOpSpelling(BinOpKind Op);
 /// Base class of all expression nodes, with LLVM-style kind dispatch.
 class Expr {
 public:
-  enum class Kind { Access, Constant, Binary, Negate };
+  enum class Kind { Access, Constant, Binary, Negate, Max };
 
   virtual ~Expr() = default;
 
@@ -184,6 +184,33 @@ template <typename T> const T &exprCast(const Expr &E) {
   assert(T::classof(&E) && "bad expression cast");
   return static_cast<const T &>(E);
 }
+
+/// Elementwise maximum `max(e1, e2)` — the select node guarded stores lower
+/// to (relu-family kernels become `max(x, 0)`). Function-call syntax in the
+/// surface grammar; the identifier `max` is reserved and cannot name a
+/// tensor.
+class MaxExpr : public Expr {
+public:
+  MaxExpr(ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Max), LhsExpr(std::move(Lhs)), RhsExpr(std::move(Rhs)) {
+    assert(LhsExpr && RhsExpr && "max needs both operands");
+  }
+
+  const Expr &lhs() const { return *LhsExpr; }
+  const Expr &rhs() const { return *RhsExpr; }
+  Expr &lhs() { return *LhsExpr; }
+  Expr &rhs() { return *RhsExpr; }
+
+  std::unique_ptr<Expr> clone() const override {
+    return std::make_unique<MaxExpr>(LhsExpr->clone(), RhsExpr->clone());
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Max; }
+
+private:
+  ExprPtr LhsExpr;
+  ExprPtr RhsExpr;
+};
 
 /// A complete TACO statement `lhs(...) = rhs`.
 struct Program {

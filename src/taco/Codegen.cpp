@@ -88,6 +88,9 @@ private:
         Visit(B->rhs());
       } else if (const auto *N = exprDynCast<NegateExpr>(&E)) {
         Visit(N->operand());
+      } else if (const auto *M = exprDynCast<MaxExpr>(&E)) {
+        Visit(M->lhs());
+        Visit(M->rhs());
       }
     };
     Visit(*P.Rhs);
@@ -197,6 +200,18 @@ private:
     }
     case Expr::Kind::Negate:
       return "(-" + emitExpr(exprCast<NegateExpr>(E).operand()) + ")";
+    case Expr::Kind::Max: {
+      // Mini-C has neither calls nor ternaries, so max lowers to a hoisted
+      // temporary conditionally overwritten — still inside the subset the
+      // round-trip tests re-parse and interpret.
+      const auto &M = exprCast<MaxExpr>(E);
+      std::string Lhs = emitExpr(M.lhs());
+      std::string Rhs = emitExpr(M.rhs());
+      std::string Tmp = "mx" + std::to_string(MaxCounter++);
+      line(Spec.ElementType + " " + Tmp + " = " + Lhs + ";");
+      line("if (" + Rhs + " > " + Tmp + ") " + Tmp + " = " + Rhs + ";");
+      return Tmp;
+    }
     }
     return "0";
   }
@@ -208,6 +223,7 @@ private:
   std::string Out;
   int Indent = 0;
   int AccCounter = 0;
+  int MaxCounter = 0;
 };
 
 } // namespace

@@ -191,6 +191,12 @@ private:
     case Expr::Kind::Negate:
       collectVars(exprCast<NegateExpr>(E).operand());
       return;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      collectVars(M.lhs());
+      collectVars(M.rhs());
+      return;
+    }
     }
   }
 
@@ -221,6 +227,14 @@ private:
       for (const auto &[Var, N] : countUses(exprCast<NegateExpr>(E).operand()))
         Here[Var] += N;
       break;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      for (const auto &[Var, N] : countUses(M.lhs()))
+        Here[Var] += N;
+      for (const auto &[Var, N] : countUses(M.rhs()))
+        Here[Var] += N;
+      break;
+    }
     }
     UsesAt[&E] = std::move(Here);
     return UsesAt[&E];
@@ -252,6 +266,12 @@ private:
         InOneChild =
             ChildHasAll(exprCast<NegateExpr>(E).operand(), Var, Total);
         break;
+      case Expr::Kind::Max: {
+        const auto &M = exprCast<MaxExpr>(E);
+        InOneChild = ChildHasAll(M.lhs(), Var, Total) ||
+                     ChildHasAll(M.rhs(), Var, Total);
+        break;
+      }
       default:
         break;
       }
@@ -268,6 +288,12 @@ private:
     case Expr::Kind::Negate:
       placeReductions(exprCast<NegateExpr>(E).operand());
       return;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      placeReductions(M.lhs());
+      placeReductions(M.rhs());
+      return;
+    }
     default:
       return;
     }
@@ -299,6 +325,12 @@ private:
     case Expr::Kind::Negate:
       N.ChildA = compile(exprCast<NegateExpr>(E).operand());
       break;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      N.ChildA = compile(M.lhs());
+      N.ChildB = compile(M.rhs());
+      break;
+    }
     }
     auto It = IntroducedAt.find(&E);
     if (It != IntroducedAt.end())
@@ -521,6 +553,11 @@ private:
     }
     case Expr::Kind::Negate:
       return -evalNode(N.ChildA);
+    case Expr::Kind::Max: {
+      T Lhs = evalNode(N.ChildA);
+      T Rhs = evalNode(N.ChildB);
+      return Lhs < Rhs ? Rhs : Lhs;
+    }
     }
     return T{};
   }
@@ -578,6 +615,90 @@ EinsumResult<T> evalEinsum(const Program &P,
   if (!Compiled.ok() || !Evaluator.bindMap(Operands, OutputShape))
     return EinsumResult<T>::failure(Evaluator.error());
   return Evaluator.evaluate();
+}
+
+/// Infers the output shape of \p P's LHS from the extents its RHS operands
+/// pin, falling back to an operand already bound under the LHS name (a
+/// pre-state buffer or an earlier statement's result). Returns false when
+/// some LHS index has no derivable extent.
+template <typename T>
+bool inferLhsShape(const Program &P,
+                   const std::map<std::string, Tensor<T>> &Operands,
+                   std::vector<int64_t> &Out, std::string &Error) {
+  auto It = Operands.find(P.Lhs.name());
+  if (It != Operands.end() &&
+      It->second.order() == P.Lhs.order()) {
+    Out = It->second.shape();
+    return true;
+  }
+  std::map<std::string, int64_t> Extents;
+  std::function<bool(const Expr &)> Bind = [&](const Expr &E) -> bool {
+    switch (E.kind()) {
+    case Expr::Kind::Access: {
+      const auto &A = exprCast<AccessExpr>(E);
+      auto OpIt = Operands.find(A.name());
+      if (OpIt == Operands.end() || OpIt->second.order() != A.order())
+        return true; // unbound/mismatched operands are bind()'s problem
+      for (size_t I = 0; I < A.order(); ++I)
+        Extents.emplace(A.indices()[I], OpIt->second.shape()[I]);
+      return true;
+    }
+    case Expr::Kind::Constant:
+      return true;
+    case Expr::Kind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      return Bind(B.lhs()) && Bind(B.rhs());
+    }
+    case Expr::Kind::Negate:
+      return Bind(exprCast<NegateExpr>(E).operand());
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      return Bind(M.lhs()) && Bind(M.rhs());
+    }
+    }
+    return true;
+  };
+  if (P.Rhs)
+    Bind(*P.Rhs);
+  Out.clear();
+  for (const std::string &Var : P.Lhs.indices()) {
+    auto ExtIt = Extents.find(Var);
+    if (ExtIt == Extents.end()) {
+      Error = "no extent derivable for output index '" + Var + "'";
+      return false;
+    }
+    Out.push_back(ExtIt->second);
+  }
+  return true;
+}
+
+/// Evaluates an ordered statement list as one program: each statement's
+/// result is bound under its LHS name before the next statement runs, so
+/// later statements read earlier results (including read-modify-write of a
+/// buffer whose pre-state is in \p Operands). The value of \p OutputName
+/// after the last statement is the program's result.
+template <typename T>
+EinsumResult<T>
+evalEinsumSequence(const std::vector<Program> &Statements,
+                   std::map<std::string, Tensor<T>> Operands,
+                   const std::string &OutputName) {
+  if (Statements.empty())
+    return EinsumResult<T>::failure("empty statement list");
+  for (const Program &P : Statements) {
+    std::vector<int64_t> Shape;
+    std::string Error;
+    if (!inferLhsShape(P, Operands, Shape, Error))
+      return EinsumResult<T>::failure(Error);
+    EinsumResult<T> R = evalEinsum<T>(P, Operands, Shape);
+    if (!R.Ok)
+      return R;
+    Operands.insert_or_assign(P.Lhs.name(), std::move(R.Value));
+  }
+  auto It = Operands.find(OutputName);
+  if (It == Operands.end())
+    return EinsumResult<T>::failure("statement list never defines '" +
+                                    OutputName + "'");
+  return EinsumResult<T>::success(std::move(It->second));
 }
 
 /// Compares the evaluation of \p P against the expected flat output \p Want

@@ -87,6 +87,30 @@ public:
       advance();
       return ConstantExpr::symbolic();
     }
+    // `max(e1, e2)` is a reserved call form, not a tensor access: its
+    // arguments are full expressions, which an index list cannot carry.
+    if (check(TokKind::Identifier) && peek().Spelling == "max") {
+      advance();
+      if (!match(TokKind::LParen)) {
+        fail("expected '(' after max");
+        return nullptr;
+      }
+      ExprPtr Lhs = parseExpr();
+      if (!Lhs)
+        return nullptr;
+      if (!match(TokKind::Comma)) {
+        fail("expected ',' in max");
+        return nullptr;
+      }
+      ExprPtr Rhs = parseExpr();
+      if (!Rhs)
+        return nullptr;
+      if (!match(TokKind::RParen)) {
+        fail("expected ')' after max");
+        return nullptr;
+      }
+      return std::make_unique<MaxExpr>(std::move(Lhs), std::move(Rhs));
+    }
     std::optional<AccessExpr> Access = parseAccess();
     if (!Access)
       return nullptr;
@@ -155,6 +179,35 @@ ParseResult taco::parseTacoProgram(const std::string &Source) {
     return Result;
   }
   Result.Prog = Program(std::move(*Lhs), std::move(Rhs));
+  return Result;
+}
+
+ParseStatementsResult taco::parseTacoStatements(const std::string &Source) {
+  ParseStatementsResult Result;
+  size_t Start = 0;
+  while (Start <= Source.size()) {
+    size_t Semi = Source.find(';', Start);
+    std::string Piece = Source.substr(
+        Start, Semi == std::string::npos ? std::string::npos : Semi - Start);
+    bool Blank =
+        Piece.find_first_not_of(" \t\r\n") == std::string::npos;
+    if (!Blank) {
+      ParseResult One = parseTacoProgram(Piece);
+      if (!One.ok()) {
+        Result.Error = "statement " +
+                       std::to_string(Result.Programs.size() + 1) + ": " +
+                       One.Error;
+        Result.Programs.clear();
+        return Result;
+      }
+      Result.Programs.push_back(std::move(*One.Prog));
+    }
+    if (Semi == std::string::npos)
+      break;
+    Start = Semi + 1;
+  }
+  if (Result.Programs.empty())
+    Result.Error = "no statements";
   return Result;
 }
 

@@ -44,6 +44,19 @@ struct ParseExprResult {
 };
 ParseExprResult parseTacoExpr(const std::string &Source);
 
+/// Outcome of parsing an ordered statement list.
+struct ParseStatementsResult {
+  std::vector<Program> Programs;
+  std::string Error;
+
+  bool ok() const { return Error.empty() && !Programs.empty(); }
+};
+
+/// Parses a `;`-separated ordered list of TACO statements (trailing `;`
+/// allowed). Multi-statement kernels lower to such lists; the einsum
+/// sequence evaluator and the verifier execute them as one program.
+ParseStatementsResult parseTacoStatements(const std::string &Source);
+
 } // namespace taco
 } // namespace stagg
 

@@ -12,6 +12,7 @@ static int precedenceOf(const Expr &E) {
   switch (E.kind()) {
   case Expr::Kind::Access:
   case Expr::Kind::Constant:
+  case Expr::Kind::Max: // call syntax self-delimits
     return 3;
   case Expr::Kind::Negate:
     return 2;
@@ -68,6 +69,15 @@ static void printInto(const Expr &E, std::string &Out) {
     const auto &N = exprCast<NegateExpr>(E);
     Out += "-";
     printChild(N.operand(), /*Parent=*/nullptr, /*IsRightOperand=*/false, Out);
+    return;
+  }
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    Out += "max(";
+    printInto(M.lhs(), Out);
+    Out += ", ";
+    printInto(M.rhs(), Out);
+    Out += ")";
     return;
   }
   }

@@ -28,6 +28,12 @@ template <typename Fn> void forEachLeaf(const Expr &E, Fn Callback) {
   case Expr::Kind::Negate:
     forEachLeaf(exprCast<NegateExpr>(E).operand(), Callback);
     return;
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    forEachLeaf(M.lhs(), Callback);
+    forEachLeaf(M.rhs(), Callback);
+    return;
+  }
   }
 }
 
@@ -146,6 +152,14 @@ taco::ReductionPlacement taco::analyzeReductions(const Program &P) {
       for (const auto &[Var, N] : Count(exprCast<NegateExpr>(E).operand()))
         Here[Var] += N;
       break;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      for (const auto &[Var, N] : Count(M.lhs()))
+        Here[Var] += N;
+      for (const auto &[Var, N] : Count(M.rhs()))
+        Here[Var] += N;
+      break;
+    }
     }
     UsesAt[&E] = std::move(Here);
     return UsesAt[&E];
@@ -169,6 +183,9 @@ taco::ReductionPlacement taco::analyzeReductions(const Program &P) {
                      ChildHasAll(B->rhs(), Var, Total);
       else if (const auto *N = exprDynCast<NegateExpr>(&E))
         InOneChild = ChildHasAll(N->operand(), Var, Total);
+      else if (const auto *M = exprDynCast<MaxExpr>(&E))
+        InOneChild = ChildHasAll(M->lhs(), Var, Total) ||
+                     ChildHasAll(M->rhs(), Var, Total);
       if (!InOneChild)
         Out.IntroducedAt[&E].push_back(Var);
     }
@@ -177,6 +194,9 @@ taco::ReductionPlacement taco::analyzeReductions(const Program &P) {
       Place(B->rhs());
     } else if (const auto *N = exprDynCast<NegateExpr>(&E)) {
       Place(N->operand());
+    } else if (const auto *M = exprDynCast<MaxExpr>(&E)) {
+      Place(M->lhs());
+      Place(M->rhs());
     }
   };
   Place(*P.Rhs);

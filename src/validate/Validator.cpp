@@ -43,6 +43,12 @@ taco::Program validate::instantiateTemplate(
     case Expr::Kind::Negate:
       return std::make_unique<NegateExpr>(
           Rewrite(exprCast<NegateExpr>(E).operand()));
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      ExprPtr Lhs = Rewrite(M.lhs());
+      ExprPtr Rhs = Rewrite(M.rhs());
+      return std::make_unique<MaxExpr>(std::move(Lhs), std::move(Rhs));
+    }
     }
     return nullptr;
   };
@@ -141,6 +147,12 @@ bool validate::runsConsistently(const bench::Benchmark &B,
     case Expr::Kind::Negate:
       Collect(exprCast<NegateExpr>(E).operand());
       return;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      Collect(M.lhs());
+      Collect(M.rhs());
+      return;
+    }
     case Expr::Kind::Constant:
       return;
     }
@@ -218,6 +230,12 @@ void collectSymbolAccesses(const Expr &E, std::vector<SymbolAccesses> &Out) {
   case Expr::Kind::Negate:
     collectSymbolAccesses(exprCast<NegateExpr>(E).operand(), Out);
     return;
+  case Expr::Kind::Max: {
+    const auto &M = exprCast<MaxExpr>(E);
+    collectSymbolAccesses(M.lhs(), Out);
+    collectSymbolAccesses(M.rhs(), Out);
+    return;
+  }
   case Expr::Kind::Constant:
     return;
   }
@@ -261,6 +279,12 @@ BoundTemplate bindSymbols(const Program &Template,
     case Expr::Kind::Negate:
       return std::make_unique<NegateExpr>(
           Rewrite(exprCast<NegateExpr>(E).operand()));
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      ExprPtr Lhs = Rewrite(M.lhs());
+      ExprPtr Rhs = Rewrite(M.rhs());
+      return std::make_unique<MaxExpr>(std::move(Lhs), std::move(Rhs));
+    }
     }
     return nullptr;
   };
@@ -318,6 +342,12 @@ Validator::validate(const Program &Template, size_t MaxResults) const {
       case Expr::Kind::Negate:
         Count(exprCast<NegateExpr>(E).operand());
         return;
+      case Expr::Kind::Max: {
+        const auto &M = exprCast<MaxExpr>(E);
+        Count(M.lhs());
+        Count(M.rhs());
+        return;
+      }
       case Expr::Kind::Access:
         return;
       }

@@ -11,6 +11,7 @@
 #include "validate/IoExamples.h"
 
 #include <functional>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -40,6 +41,12 @@ std::vector<std::string> rhsTensorNames(const Program &P) {
     case Expr::Kind::Negate:
       Visit(exprCast<NegateExpr>(E).operand());
       return;
+    case Expr::Kind::Max: {
+      const auto &M = exprCast<MaxExpr>(E);
+      Visit(M.lhs());
+      Visit(M.rhs());
+      return;
+    }
     case Expr::Kind::Constant:
       return;
     }
@@ -85,21 +92,42 @@ collectMultipliedPairs(const Expr &E, const std::vector<std::string> &Inputs,
     L.insert(R.begin(), R.end());
     return L;
   }
+  case Expr::Kind::Max: {
+    // max is piecewise: which argument wins depends on both operands, so
+    // every cross pair needs the joint sweep, exactly like multiplication.
+    const auto &M = exprCast<MaxExpr>(E);
+    std::set<std::string> L = collectMultipliedPairs(M.lhs(), Inputs, Pairs);
+    std::set<std::string> R = collectMultipliedPairs(M.rhs(), Inputs, Pairs);
+    for (const std::string &Ln : L)
+      for (const std::string &Rn : R)
+        Pairs.insert(normPair(Ln, Rn));
+    L.insert(R.begin(), R.end());
+    return L;
+  }
   }
   return {};
 }
+
+/// What is being verified: one concrete program (compiled once), or an
+/// ordered statement list executed as one program.
+struct CandidateSpec {
+  const Program *Single = nullptr;
+  const taco::EinsumProgram *Compiled = nullptr;         // when Single
+  const std::vector<std::string> *RhsNames = nullptr;    // when Single
+  const std::vector<Program> *Sequence = nullptr;
+};
 
 /// One bounded test harness for a fixed shape assignment.
 class ShapeChecker {
 public:
   ShapeChecker(const bench::Benchmark &B, const cfront::CFunction &Fn,
-               const Program &Candidate,
-               const taco::EinsumProgram &Compiled,
-               const std::vector<std::string> &RhsNames,
+               const CandidateSpec &Spec,
                const std::map<std::string, int64_t> &Sizes,
                ReferenceCache *Cache)
-      : B(B), Fn(Fn), Candidate(Candidate), Evaluator(Compiled),
-        RhsNames(RhsNames), Sizes(Sizes), Cache(Cache) {}
+      : B(B), Fn(Fn), Spec(Spec), Sizes(Sizes), Cache(Cache) {
+    if (Spec.Compiled)
+      Evaluator.emplace(*Spec.Compiled);
+  }
 
   /// Runs both programs on the numeric inputs currently in \p Env; returns
   /// true on agreement, otherwise fills \p Witness.
@@ -109,36 +137,58 @@ public:
     const bench::ArgSpec *OutArg = B.outputArg();
 
     // TACO side first (it reads the pre-state).
-    std::map<std::string, Tensor<Rational>> Operands;
-    for (const std::string &Name : RhsNames) {
-      const bench::ArgSpec *Arg = B.findArg(Name);
-      if (!Arg) {
-        Witness = "candidate reads unknown tensor '" + Name + "'";
-        return false;
-      }
-      if (Arg->K == bench::ArgSpec::Kind::Array) {
-        Tensor<Rational> T(validate::resolveShape(*Arg, Sizes));
-        T.flat() = Env.Arrays.at(Arg->Name);
-        Operands.emplace(Arg->Name, std::move(T));
-      } else if (Arg->K == bench::ArgSpec::Kind::SizeScalar) {
-        Operands.emplace(Arg->Name,
-                         Tensor<Rational>::scalar(Rational(Sizes.at(Name))));
-      } else {
-        Operands.emplace(Arg->Name,
-                         Tensor<Rational>::scalar(Env.NumScalars.at(Name)));
-      }
-    }
-    std::vector<int64_t> OutShape = validate::resolveShape(*OutArg, Sizes);
     EinsumResult<Rational> TacoOut;
-    if (Evaluator.bind(
-            [&Operands](const std::string &Name) -> const Tensor<Rational> * {
-              auto It = Operands.find(Name);
-              return It == Operands.end() ? nullptr : &It->second;
-            },
-            OutShape)) {
-      TacoOut = Evaluator.evaluate();
+    if (Spec.Sequence) {
+      // Statement lists execute over every argument (including the output
+      // buffer's pre-state, which the C side also sees).
+      std::map<std::string, Tensor<Rational>> Operands;
+      for (const bench::ArgSpec &Arg : B.Args) {
+        if (Arg.K == bench::ArgSpec::Kind::Array) {
+          Tensor<Rational> T(validate::resolveShape(Arg, Sizes));
+          T.flat() = Env.Arrays.at(Arg.Name);
+          Operands.emplace(Arg.Name, std::move(T));
+        } else if (Arg.K == bench::ArgSpec::Kind::SizeScalar) {
+          Operands.emplace(
+              Arg.Name, Tensor<Rational>::scalar(Rational(Sizes.at(Arg.Name))));
+        } else {
+          Operands.emplace(Arg.Name, Tensor<Rational>::scalar(
+                                         Env.NumScalars.at(Arg.Name)));
+        }
+      }
+      TacoOut = evalEinsumSequence<Rational>(*Spec.Sequence,
+                                             std::move(Operands),
+                                             OutArg->Name);
     } else {
-      TacoOut = EinsumResult<Rational>::failure(Evaluator.error());
+      std::map<std::string, Tensor<Rational>> Operands;
+      for (const std::string &Name : *Spec.RhsNames) {
+        const bench::ArgSpec *Arg = B.findArg(Name);
+        if (!Arg) {
+          Witness = "candidate reads unknown tensor '" + Name + "'";
+          return false;
+        }
+        if (Arg->K == bench::ArgSpec::Kind::Array) {
+          Tensor<Rational> T(validate::resolveShape(*Arg, Sizes));
+          T.flat() = Env.Arrays.at(Arg->Name);
+          Operands.emplace(Arg->Name, std::move(T));
+        } else if (Arg->K == bench::ArgSpec::Kind::SizeScalar) {
+          Operands.emplace(Arg->Name,
+                           Tensor<Rational>::scalar(Rational(Sizes.at(Name))));
+        } else {
+          Operands.emplace(Arg->Name,
+                           Tensor<Rational>::scalar(Env.NumScalars.at(Name)));
+        }
+      }
+      std::vector<int64_t> OutShape = validate::resolveShape(*OutArg, Sizes);
+      if (Evaluator->bind(
+              [&Operands](const std::string &Name) -> const Tensor<Rational> * {
+                auto It = Operands.find(Name);
+                return It == Operands.end() ? nullptr : &It->second;
+              },
+              OutShape)) {
+        TacoOut = Evaluator->evaluate();
+      } else {
+        TacoOut = EinsumResult<Rational>::failure(Evaluator->error());
+      }
     }
 
     // C side, memoized on (sizes, pre-state): the reference interpretation
@@ -178,10 +228,23 @@ public:
         continue;
       Witness = "output[" + std::to_string(I) + "]: C=" + CSide[I].str() +
                 " vs TACO=" + TacoSide[I].str() + " for candidate " +
-                printProgram(Candidate);
+                candidateText();
       return false;
     }
     return true;
+  }
+
+  /// Renders the candidate for witnesses (statement lists join with "; ").
+  std::string candidateText() const {
+    if (Spec.Single)
+      return printProgram(*Spec.Single);
+    std::string Out;
+    for (const Program &P : *Spec.Sequence) {
+      if (!Out.empty())
+        Out += "; ";
+      Out += printProgram(P);
+    }
+    return Out;
   }
 
   /// Builds the base environment with all data zeroed.
@@ -255,20 +318,20 @@ private:
 
   const bench::Benchmark &B;
   const cfront::CFunction &Fn;
-  const Program &Candidate;
-  taco::EinsumEvaluator<Rational> Evaluator;
-  const std::vector<std::string> &RhsNames;
+  const CandidateSpec &Spec;
+  std::optional<taco::EinsumEvaluator<Rational>> Evaluator;
   const std::map<std::string, int64_t> &Sizes;
   ReferenceCache *Cache;
 };
 
-} // namespace
-
-VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
-                                       const cfront::CFunction &Fn,
-                                       const Program &Candidate,
-                                       const VerifyOptions &Options,
-                                       ReferenceCache *Cache) {
+/// The bounded sweep shared by the single-program and statement-list entry
+/// points. \p UseMulPairs enables the one-hot pruning against \p MulPairs.
+VerifyResult runBoundedSweep(const bench::Benchmark &B,
+                             const cfront::CFunction &Fn,
+                             const CandidateSpec &Spec,
+                             const VerifyOptions &Options,
+                             ReferenceCache *Cache, bool UseMulPairs,
+                             const std::set<NamePair> &MulPairs) {
   VerifyResult Result;
   Rng R(Options.Seed);
 
@@ -282,20 +345,6 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
       InputArrays.push_back(&Arg);
   }
 
-  // Candidate structure, compiled once for all shapes and tests.
-  taco::EinsumProgram Compiled(Candidate);
-  std::vector<std::string> RhsNames = rhsTensorNames(Candidate);
-
-  // Pairs of operands the candidate multiplies together: only these need
-  // the quadratic joint one-hot sweep (see header).
-  std::set<NamePair> MulPairs;
-  if (Options.OneHotOnlyMultiplied && Candidate.Rhs) {
-    std::vector<std::string> InputNames;
-    for (const bench::ArgSpec *Arg : InputArrays)
-      InputNames.push_back(Arg->Name);
-    collectMultipliedPairs(*Candidate.Rhs, InputNames, MulPairs);
-  }
-
   // Enumerate all shape assignments up to the bound.
   std::vector<int64_t> SizePick(SizeParams.size(), 1);
   for (;;) {
@@ -303,7 +352,7 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
     for (size_t I = 0; I < SizeParams.size(); ++I)
       Sizes[SizeParams[I]] = SizePick[I];
 
-    ShapeChecker Checker(B, Fn, Candidate, Compiled, RhsNames, Sizes, Cache);
+    ShapeChecker Checker(B, Fn, Spec, Sizes, Cache);
 
     auto FillRandom = [&](cfront::ExecEnv<Rational> &Env) {
       for (const bench::ArgSpec *Arg : InputArrays)
@@ -333,7 +382,7 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
     for (size_t A = 0; A < InputArrays.size(); ++A) {
       for (size_t C = A; C < InputArrays.size(); ++C) {
         bool Multiplied =
-            !Options.OneHotOnlyMultiplied ||
+            !UseMulPairs ||
             MulPairs.count(
                 normPair(InputArrays[A]->Name, InputArrays[C]->Name)) > 0;
         if (!Multiplied && A != C)
@@ -394,4 +443,48 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
 
   Result.Equivalent = true;
   return Result;
+}
+
+} // namespace
+
+VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
+                                       const cfront::CFunction &Fn,
+                                       const Program &Candidate,
+                                       const VerifyOptions &Options,
+                                       ReferenceCache *Cache) {
+  // Candidate structure, compiled once for all shapes and tests.
+  taco::EinsumProgram Compiled(Candidate);
+  std::vector<std::string> RhsNames = rhsTensorNames(Candidate);
+
+  // Pairs of operands the candidate multiplies together: only these need
+  // the quadratic joint one-hot sweep (see header).
+  std::set<NamePair> MulPairs;
+  if (Options.OneHotOnlyMultiplied && Candidate.Rhs) {
+    std::vector<std::string> InputNames;
+    for (const bench::ArgSpec &Arg : B.Args)
+      if (Arg.K == bench::ArgSpec::Kind::Array && !Arg.IsOutput)
+        InputNames.push_back(Arg.Name);
+    collectMultipliedPairs(*Candidate.Rhs, InputNames, MulPairs);
+  }
+
+  CandidateSpec Spec;
+  Spec.Single = &Candidate;
+  Spec.Compiled = &Compiled;
+  Spec.RhsNames = &RhsNames;
+  return runBoundedSweep(B, Fn, Spec, Options, Cache,
+                         Options.OneHotOnlyMultiplied, MulPairs);
+}
+
+VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
+                                       const cfront::CFunction &Fn,
+                                       const std::vector<Program> &Candidate,
+                                       const VerifyOptions &Options,
+                                       ReferenceCache *Cache) {
+  CandidateSpec Spec;
+  Spec.Sequence = &Candidate;
+  // Cross-statement data flow defeats the per-expression multiplied-pair
+  // analysis; statement lists always get the exhaustive joint sweep.
+  std::set<NamePair> None;
+  return runBoundedSweep(B, Fn, Spec, Options, Cache, /*UseMulPairs=*/false,
+                         None);
 }

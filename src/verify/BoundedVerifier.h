@@ -134,6 +134,20 @@ VerifyResult verifyEquivalence(const bench::Benchmark &B,
                                const VerifyOptions &Options = VerifyOptions(),
                                ReferenceCache *Cache = nullptr);
 
+/// Statement-list form: executes the ordered \p Candidate statements as one
+/// program (each statement's result is visible to the statements after it,
+/// and the output buffer's zero pre-state to the first) and checks the
+/// final output against the C kernel on the same bounded input family.
+/// Multi-statement kernels lower to exactly such lists. The one-hot pruning
+/// optimization is not applied (the cross-statement data flow defeats the
+/// per-expression multiplied-pair analysis), so every pair gets the full
+/// joint sweep.
+VerifyResult verifyEquivalence(const bench::Benchmark &B,
+                               const cfront::CFunction &Fn,
+                               const std::vector<taco::Program> &Candidate,
+                               const VerifyOptions &Options = VerifyOptions(),
+                               ReferenceCache *Cache = nullptr);
+
 } // namespace verify
 } // namespace stagg
 

@@ -1,6 +1,7 @@
 //===- tests/AnalysisTest.cpp - Static kernel analysis --------------------===//
 
 #include "analysis/KernelAnalysis.h"
+#include "analysis/KernelModel.h"
 
 #include "cfront/Parser.h"
 
@@ -160,4 +161,120 @@ TEST(Analysis, AccessRecordFallbackUsesLoopDepth) {
   R.Param = "x";
   R.LoopDepth = 2;
   EXPECT_EQ(R.subscriptArity({"l0", "l1"}), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// KernelModel (the executor's public store/access IR)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+KernelModel model(const std::string &Source) {
+  cfront::CParseResult R = cfront::parseCFunction(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return buildKernelModel(*R.Function);
+}
+
+} // namespace
+
+TEST(KernelModel, RecoversPointerWalksIntoAffineStores) {
+  KernelModel M = model(
+      "void f(int N, float* x, float* out) {"
+      "  float* p = x;"
+      "  for (int i = 0; i < N; i++)"
+      "    *out++ = 2 * *p++;"
+      "}");
+  EXPECT_TRUE(M.PointerWalking);
+  EXPECT_TRUE(M.Limitation.empty()) << M.Limitation;
+  ASSERT_EQ(M.Loops.size(), 1u);
+  EXPECT_EQ(M.Loops[0].SourceVar, "i");
+  EXPECT_TRUE(M.Loops[0].ExtentKnown);
+  ASSERT_EQ(M.Stores.size(), 1u);
+  const ModelStore &St = M.Stores[0];
+  EXPECT_EQ(St.Param, "out");
+  ASSERT_TRUE(St.Offset.has_value());
+  // The bumped pointer's offset is the loop symbol itself: stride 1.
+  EXPECT_EQ(*St.Offset, Poly::symbol(M.Loops[0].Symbol));
+  ASSERT_TRUE(St.Rhs != nullptr);
+  EXPECT_EQ(St.Rhs->K, MExpr::Kind::Bin);
+  EXPECT_EQ(classifyKernel(M), KernelClass::PointerWalking);
+}
+
+TEST(KernelModel, GuardedStoresCarryTheirConditions) {
+  KernelModel M = model(
+      "void f(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    if (x[i] > 0) out[i] = x[i];"
+      "    else out[i] = 0;"
+      "  }"
+      "}");
+  EXPECT_TRUE(M.Conditional);
+  EXPECT_TRUE(M.Limitation.empty()) << M.Limitation;
+  ASSERT_EQ(M.Stores.size(), 2u);
+  ASSERT_EQ(M.Stores[0].Guards.size(), 1u);
+  ASSERT_EQ(M.Stores[1].Guards.size(), 1u);
+  EXPECT_FALSE(M.Stores[0].Guards[0].Negated);
+  EXPECT_TRUE(M.Stores[1].Guards[0].Negated);
+  EXPECT_EQ(M.Stores[0].Guards[0].Cmp, MCmp::Gt);
+  ASSERT_TRUE(M.Stores[0].Guards[0].translatable());
+  EXPECT_EQ(M.Stores[0].Guards[0].L->K, MExpr::Kind::Load);
+  EXPECT_EQ(classifyKernel(M), KernelClass::Conditional);
+}
+
+TEST(KernelModel, LimitationsCarrySourcePositions) {
+  KernelModel M = model(
+      "void f(int N, float* x, float* out) {\n"
+      "  for (int i = 0; i < N; i++)\n"
+      "    out[i] = x[i];\n"
+      "  while (N) { N = N - 1; }\n"
+      "}");
+  EXPECT_EQ(M.Limitation, "a while loop");
+  EXPECT_EQ(M.LimitationLoc.Line, 4);
+  EXPECT_EQ(M.LimitationLoc.Col, 3);
+  EXPECT_NE(M.locatedLimitation().find("line 4, column 3"),
+            std::string::npos);
+}
+
+TEST(KernelModel, DelinearizesModelOffsets) {
+  KernelModel M = model(
+      "void f(int N, int K, float* A, float* out) {"
+      "  for (int i = 0; i < N; i++)"
+      "    for (int k = 0; k < K; k++)"
+      "      out[i] = out[i] + A[i * K + k];"
+      "}");
+  ASSERT_EQ(M.Loops.size(), 2u);
+  std::optional<ModelShape> Shape = M.bestShape("A");
+  ASSERT_TRUE(Shape.has_value());
+  ASSERT_TRUE(Shape->Ok);
+  ASSERT_EQ(Shape->Dims.size(), 2u);
+  EXPECT_EQ(Shape->Dims[0].LoopSym, M.Loops[0].Symbol);
+  EXPECT_EQ(Shape->Dims[1].LoopSym, M.Loops[1].Symbol);
+  std::string Name;
+  ASSERT_TRUE(extentName(Shape->Dims[0], Name));
+  EXPECT_EQ(Name, "N");
+  ASSERT_TRUE(extentName(Shape->Dims[1], Name));
+  EXPECT_EQ(Name, "K");
+}
+
+TEST(KernelModel, ClassifiesMultiStatementBodies) {
+  KernelModel M = model(
+      "void f(int N, float* x, float* y, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    out[i] = x[i] * x[i];"
+      "    out[i] = out[i] + y[i];"
+      "  }"
+      "}");
+  EXPECT_EQ(M.Stores.size(), 2u);
+  EXPECT_EQ(classifyKernel(M), KernelClass::MultiStatement);
+
+  // A zero-init before a reduction is setup, not a second statement.
+  KernelModel R = model(
+      "void f(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    out[i] = 0;"
+      "    for (int j = 0; j < N; j++)"
+      "      out[i] += x[j];"
+      "  }"
+      "}");
+  EXPECT_EQ(classifyKernel(R), KernelClass::Subscript);
 }

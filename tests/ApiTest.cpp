@@ -209,7 +209,9 @@ TEST(IngestKernel, ConstantExtentDimensions) {
   EXPECT_EQ(shapeOf(B, "w"), std::vector<std::string>{"4"});
 }
 
-TEST(IngestKernel, PointerWalkingNeedsAHint) {
+TEST(IngestKernel, PointerWalkingIngestsWithoutAHint) {
+  // The symbolic executor's closed forms recover pointer-bumped iteration,
+  // so the model-based emission needs no oracle_hint for these kernels.
   const char *Source =
       "void kernel(int N, float* x, float* out) {"
       "  float* p = x;"
@@ -217,17 +219,119 @@ TEST(IngestKernel, PointerWalkingNeedsAHint) {
       "  for (int i = 0; i < N; i++)"
       "    *q++ = 3 * *p++;"
       "}";
-  // Without a hint there is no reference translation for the simulated
-  // oracle — ingestion must say so rather than fail downstream.
   api::IngestResult Bare = api::ingestKernel(Source);
-  EXPECT_FALSE(Bare.ok());
-  EXPECT_EQ(Bare.Status, api::IngestStatus::AnalysisError);
-  EXPECT_NE(Bare.Error.find("oracle_hint"), std::string::npos) << Bare.Error;
+  ASSERT_TRUE(Bare.ok()) << Bare.Error;
+  EXPECT_EQ(Bare.Class, analysis::KernelClass::PointerWalking);
+  EXPECT_EQ(shapeOf(Bare.Kernel, "x"), std::vector<std::string>{"N"});
+  EXPECT_EQ(shapeOf(Bare.Kernel, "out"), std::vector<std::string>{"N"});
+  EXPECT_EQ(Bare.Kernel.GroundTruth, "out(i) = 3 * x(i)");
+  ASSERT_EQ(Bare.ReferenceStatements.size(), 1u);
+  EXPECT_EQ(taco::printProgram(Bare.ReferenceStatements[0]),
+            "out(i) = 3 * x(i)");
 
-  // With one, shapes still come from the symbolic executor's ranks.
+  // Bumping the output parameter itself works too (`*out++ = ...`).
+  api::IngestResult Bumped = api::ingestKernel(
+      "void kernel(int N, float x, float* a, float* b, float* out) {"
+      "  for (int i = 0; i < N; i++)"
+      "    *out++ = a[i] * x + b[i];"
+      "}");
+  ASSERT_TRUE(Bumped.ok()) << Bumped.Error;
+  EXPECT_EQ(Bumped.Kernel.GroundTruth, "out(i) = a(i) * x + b(i)");
+
+  // An explicit hint still wins when the caller supplies one.
   bench::Benchmark B = ingested(Source, "out(i) = 3 * x(i)");
   EXPECT_EQ(shapeOf(B, "x"), std::vector<std::string>{"N"});
   EXPECT_EQ(B.GroundTruth, "out(i) = 3 * x(i)");
+}
+
+TEST(IngestKernel, ReluFamilyConditionalsLowerToMax) {
+  // if/else over a comparison of the stored values lowers to max(...).
+  api::IngestResult IfElse = api::ingestKernel(
+      "void kernel(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    if (x[i] > 0) out[i] = x[i];"
+      "    else out[i] = 0;"
+      "  }"
+      "}");
+  ASSERT_TRUE(IfElse.ok()) << IfElse.Error;
+  EXPECT_EQ(IfElse.Class, analysis::KernelClass::Conditional);
+  EXPECT_EQ(IfElse.Kernel.GroundTruth, "out(i) = max(x(i), 0)");
+
+  // Zero-init followed by a guarded overwrite folds the same way.
+  api::IngestResult Folded = api::ingestKernel(
+      "void kernel(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    out[i] = 0;"
+      "    if (x[i] > 0) out[i] = x[i];"
+      "  }"
+      "}");
+  ASSERT_TRUE(Folded.ok()) << Folded.Error;
+  EXPECT_EQ(Folded.Kernel.GroundTruth, "out(i) = max(x(i), 0)");
+
+  // A `<` guard selecting the larger side is still a max.
+  api::IngestResult Clamp = api::ingestKernel(
+      "void kernel(int N, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    out[i] = x[i];"
+      "    if (x[i] < 0) out[i] = 0;"
+      "  }"
+      "}");
+  ASSERT_TRUE(Clamp.ok()) << Clamp.Error;
+  EXPECT_EQ(Clamp.Kernel.GroundTruth, "out(i) = max(0, x(i))");
+
+  // Elementwise max of two arrays.
+  api::IngestResult Two = api::ingestKernel(
+      "void kernel(int N, float* a, float* b, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    if (a[i] > b[i]) out[i] = a[i];"
+      "    else out[i] = b[i];"
+      "  }"
+      "}");
+  ASSERT_TRUE(Two.ok()) << Two.Error;
+  EXPECT_EQ(Two.Kernel.GroundTruth, "out(i) = max(a(i), b(i))");
+
+  // A min-shaped select has no TACO form; the refusal cites the position.
+  api::IngestResult Min = api::ingestKernel(
+      "void kernel(int N, float* a, float* b, float* out) {\n"
+      "  for (int i = 0; i < N; i++) {\n"
+      "    if (a[i] < b[i]) out[i] = a[i];\n"
+      "    else out[i] = b[i];\n"
+      "  }\n"
+      "}");
+  EXPECT_FALSE(Min.ok());
+  EXPECT_NE(Min.Error.find("max/select"), std::string::npos) << Min.Error;
+  EXPECT_NE(Min.Error.find("line 3"), std::string::npos) << Min.Error;
+}
+
+TEST(IngestKernel, MultiStatementBodiesComposeInOrder) {
+  // Fused body: two stores in one loop compose by store forwarding.
+  api::IngestResult Fused = api::ingestKernel(
+      "void kernel(int N, float* x, float* y, float* out) {"
+      "  for (int i = 0; i < N; i++) {"
+      "    out[i] = x[i] * x[i];"
+      "    out[i] = out[i] + y[i];"
+      "  }"
+      "}");
+  ASSERT_TRUE(Fused.ok()) << Fused.Error;
+  EXPECT_EQ(Fused.Class, analysis::KernelClass::MultiStatement);
+  EXPECT_EQ(Fused.Kernel.GroundTruth, "out(i) = x(i) * x(i) + y(i)");
+  ASSERT_EQ(Fused.ReferenceStatements.size(), 2u);
+  EXPECT_EQ(taco::printProgram(Fused.ReferenceStatements[0]),
+            "out(i) = x(i) * x(i)");
+  EXPECT_EQ(taco::printProgram(Fused.ReferenceStatements[1]),
+            "out(i) = out(i) + y(i)");
+
+  // Sequential loops with different loop variables align on the output's
+  // index tuple.
+  api::IngestResult TwoLoops = api::ingestKernel(
+      "void kernel(int N, float a, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++)"
+      "    out[i] = a * x[i];"
+      "  for (int j = 0; j < N; j++)"
+      "    out[j] = out[j] + 1;"
+      "}");
+  ASSERT_TRUE(TwoLoops.ok()) << TwoLoops.Error;
+  EXPECT_EQ(TwoLoops.Kernel.GroundTruth, "out(i) = a * x(i) + 1");
 }
 
 TEST(IngestKernel, UnmodeledStatementsPoisonTheReference) {
@@ -283,6 +387,23 @@ TEST(IngestKernel, RejectsUnusableKernels) {
   EXPECT_EQ(SubStore.Status, api::IngestStatus::AnalysisError);
   EXPECT_NE(SubStore.Error.find("compound store"), std::string::npos)
       << SubStore.Error;
+
+  // Parameter names colliding with reserved TACO syntax would emit a
+  // ground truth that cannot re-parse; a serve process must refuse, not
+  // crash (regression test for the `max`-named-parameter segfault).
+  api::IngestResult Reserved = api::ingestKernel(
+      "void kernel(int N, float* max, float* out) {"
+      "  for (int i = 0; i < N; i++) out[i] = max[i];"
+      "}");
+  EXPECT_EQ(Reserved.Status, api::IngestStatus::AnalysisError);
+  EXPECT_NE(Reserved.Error.find("reserved"), std::string::npos)
+      << Reserved.Error;
+  api::IngestResult ReservedConst = api::ingestKernel(
+      "void kernel(int N, float Const, float* x, float* out) {"
+      "  for (int i = 0; i < N; i++) out[i] = Const * x[i];"
+      "}");
+  EXPECT_EQ(ReservedConst.Status, api::IngestStatus::AnalysisError);
+  EXPECT_NE(ReservedConst.Error.find("reserved"), std::string::npos);
 
   api::IngestResult BadHint = api::ingestKernel(
       "void kernel(int N, float* x, float* out) { for (int i = 0; i < N; "

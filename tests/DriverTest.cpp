@@ -238,9 +238,11 @@ TEST(DriverCli, HelpAndUsage) {
 
 TEST(DriverSuite, SelectionSizes) {
   std::string Error;
-  EXPECT_EQ(selectSuite("all", -1, Error).size(), 77u) << Error;
+  EXPECT_EQ(selectSuite("all", -1, Error).size(), 87u) << Error;
+  EXPECT_EQ(selectSuite("paper", -1, Error).size(), 77u) << Error;
   EXPECT_EQ(selectSuite("real", -1, Error).size(), 67u) << Error;
   EXPECT_EQ(selectSuite("artificial", -1, Error).size(), 10u) << Error;
+  EXPECT_GE(selectSuite("pointer", -1, Error).size(), 8u) << Error;
   EXPECT_TRUE(Error.empty()) << Error;
 
   size_t Categorized = 0;

@@ -203,3 +203,56 @@ TEST(Einsum, Order4Contraction) {
   // Entry (1,1,1) = 14*1 + 15*2 = 44.
   EXPECT_EQ(R.Value.at({1, 1, 1}), 44);
 }
+
+TEST(Einsum, MaxEvaluatesElementwise) {
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("x", vec({-2, 0, 3}));
+  EinsumResult<double> R =
+      evalEinsum<double>(parse("out(i) = max(x(i), 0)"), Ops, {3});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{0, 0, 3}));
+
+  Ops.emplace("y", vec({1, -1, 5}));
+  R = evalEinsum<double>(parse("out(i) = max(x(i), y(i))"), Ops, {3});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{1, 0, 5}));
+}
+
+TEST(Einsum, MaxOfReductionsPlacesSumsInsideTheCall) {
+  // Each argument's reduction index is private to that argument, so the
+  // sums happen inside the max, not around it.
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("A", mat(2, 2, {1, 2, -5, 1}));
+  Ops.emplace("B", mat(2, 2, {0, 1, 2, 2}));
+  EinsumResult<double> R =
+      evalEinsum<double>(parse("out(i) = max(A(i,j), B(i,k))"), Ops, {2});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Row sums: A = {3, -4}, B = {1, 4} -> max = {3, 4}.
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{3, 4}));
+}
+
+TEST(Einsum, SequenceExecutesStatementsInOrder) {
+  ParseStatementsResult Seq = parseTacoStatements(
+      "out(i) = x(i) * x(i); out(i) = out(i) + y(i)");
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  std::map<std::string, Tensor<double>> Ops;
+  Ops.emplace("x", vec({1, 2, 3}));
+  Ops.emplace("y", vec({10, 20, 30}));
+  Ops.emplace("out", vec({0, 0, 0}));
+  EinsumResult<double> R =
+      evalEinsumSequence<double>(Seq.Programs, Ops, "out");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{11, 24, 39}));
+
+  // A later statement may reduce over an earlier statement's result, and
+  // intermediate names infer their shapes from the operands they read.
+  Seq = parseTacoStatements("t(i) = x(i) * y(i); out = t(i)");
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  R = evalEinsumSequence<double>(Seq.Programs, Ops, "out");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.flat(), (std::vector<double>{140}));
+
+  // The output name must be defined somewhere.
+  R = evalEinsumSequence<double>(Seq.Programs, Ops, "nope");
+  EXPECT_FALSE(R.Ok);
+}

@@ -200,3 +200,27 @@ TEST(Pcfg, DumpMentionsEveryPiece) {
   EXPECT_NE(Dump.find("Const"), std::string::npos);
   EXPECT_NE(Dump.find("DimList"), std::string::npos);
 }
+
+TEST(Pcfg, MaxProductionIsEvidenceGated) {
+  // Without any max(...) in the candidates, the grammar must be exactly the
+  // pre-max grammar: no production, zero probability.
+  std::vector<grammar::Templatized> Plain;
+  Plain.push_back(grammar::templatize(
+      *taco::parseTacoProgram("r(i) = m(i,j) * v(j)").Prog));
+  grammar::TemplateGrammar G = grammar::buildTemplateGrammar(
+      Plain, grammar::predictDimensionList(Plain, 1), 1,
+      grammar::GrammarOptions());
+  EXPECT_FALSE(G.HasMaxRule);
+  EXPECT_EQ(G.PExprMax, 0.0);
+
+  // One candidate using max turns the production on and weights it.
+  std::vector<grammar::Templatized> WithMax = Plain;
+  WithMax.push_back(grammar::templatize(
+      *taco::parseTacoProgram("r(i) = max(x(i), 0)").Prog));
+  grammar::TemplateGrammar GM = grammar::buildTemplateGrammar(
+      WithMax, grammar::predictDimensionList(WithMax, 1), 1,
+      grammar::GrammarOptions());
+  EXPECT_TRUE(GM.HasMaxRule);
+  EXPECT_GT(GM.PExprMax, 0.0);
+  EXPECT_NE(GM.dump().find("max(EXPR, EXPR)"), std::string::npos);
+}

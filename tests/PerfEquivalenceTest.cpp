@@ -69,6 +69,12 @@ naiveValidate(const bench::Benchmark &B, const std::vector<IoExample> &Examples,
         case taco::Expr::Kind::Negate:
           Count(taco::exprCast<taco::NegateExpr>(E).operand());
           return;
+        case taco::Expr::Kind::Max: {
+          const auto &M = taco::exprCast<taco::MaxExpr>(E);
+          Count(M.lhs());
+          Count(M.rhs());
+          return;
+        }
         case taco::Expr::Kind::Access:
           return;
         }

@@ -60,6 +60,21 @@ TEST(Pipeline, TopDownHandlesParenthesizedKernels) {
   expectSound("art_paren", R);
 }
 
+TEST(Pipeline, LiftsPointerConditionalAndFusedKernels) {
+  // The post-paper ingestion classes, end to end: pointer-walking nests,
+  // relu-family guarded stores (found through the max production the
+  // grammar learns from the candidates), and fused multi-statement bodies.
+  for (const char *Name : {"ptr_saxpy_walk", "ptr_mv_rowwalk",
+                           "relu_forward", "relu_pair_max", "fused_sq_add"}) {
+    LiftResult R = lift(Name);
+    expectSound(Name, R);
+  }
+  LiftResult Relu = lift("relu_forward");
+  ASSERT_TRUE(Relu.Solved);
+  EXPECT_NE(taco::printProgram(Relu.Concrete).find("max("),
+            std::string::npos);
+}
+
 TEST(Pipeline, BottomUpLiftsChainKernels) {
   StaggConfig Config;
   Config.Kind = SearchKind::BottomUp;

@@ -26,7 +26,8 @@ using namespace stagg::bench;
 
 TEST(Suite, HasPaperCounts) {
   const std::vector<Benchmark> &All = allBenchmarks();
-  EXPECT_EQ(All.size(), 77u);
+  EXPECT_EQ(All.size(), 87u);
+  EXPECT_EQ(paperBenchmarks().size(), 77u);
   EXPECT_EQ(realWorldBenchmarks().size(), 67u);
   std::map<std::string, int> PerCategory;
   for (const Benchmark &B : All)
@@ -36,6 +37,13 @@ TEST(Suite, HasPaperCounts) {
   EXPECT_EQ(PerCategory["blas"] + PerCategory["darknet"] + PerCategory["dsp"] +
                 PerCategory["misc"],
             61);
+  // The post-paper ingestion-breadth suite (pointer-walking, conditional,
+  // multi-statement kernels).
+  EXPECT_GE(PerCategory["pointer"], 8);
+  // The paper subset is a prefix: the original 77 keep their positions (and
+  // therefore their oracle streams and enumeration order).
+  for (size_t I = 0; I < 77; ++I)
+    EXPECT_NE(All[I].Category, "pointer") << All[I].Name;
 }
 
 TEST(Suite, NamesAreUnique) {

@@ -112,3 +112,36 @@ TEST(TacoParser, ExprEntryPoint) {
   EXPECT_EQ(printExpr(*R.E), "b(i) * c(j)");
   EXPECT_FALSE(parseTacoExpr("b(i) *").ok());
 }
+
+TEST(TacoParser, ParsesMaxCalls) {
+  ParseResult R = parseTacoProgram("out(i) = max(x(i), 0)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(printProgram(*R.Prog), "out(i) = max(x(i), 0)");
+
+  // Arguments are full expressions, and max nests freely.
+  R = parseTacoProgram("out(i) = 2 * max(a(i) - b(i), max(c(i), 1))");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(printProgram(*R.Prog),
+            "out(i) = 2 * max(a(i) - b(i), max(c(i), 1))");
+
+  // `max` is reserved call syntax, not a tensor name.
+  EXPECT_FALSE(parseTacoProgram("out(i) = max(i)").ok());
+  EXPECT_FALSE(parseTacoProgram("out(i) = max(a(i))").ok());
+  EXPECT_FALSE(parseTacoProgram("out(i) = max(a(i), b(i)").ok());
+}
+
+TEST(TacoParser, ParsesStatementLists) {
+  ParseStatementsResult R =
+      parseTacoStatements("out(i) = x(i) * x(i); out(i) = out(i) + y(i);");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Programs.size(), 2u);
+  EXPECT_EQ(printProgram(R.Programs[0]), "out(i) = x(i) * x(i)");
+  EXPECT_EQ(printProgram(R.Programs[1]), "out(i) = out(i) + y(i)");
+
+  // A single statement needs no semicolon; bad statements name their index.
+  EXPECT_TRUE(parseTacoStatements("out(i) = x(i)").ok());
+  ParseStatementsResult Bad = parseTacoStatements("out(i) = x(i); out(i) =");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.Error.find("statement 2"), std::string::npos) << Bad.Error;
+  EXPECT_FALSE(parseTacoStatements("  ;  ").ok());
+}

@@ -106,3 +106,30 @@ TEST(Verifier, HandlesScalarOutputs) {
   EXPECT_TRUE(F.verify("out = x(i) * y(i)").Equivalent);
   EXPECT_FALSE(F.verify("out = x(i) + y(i)").Equivalent);
 }
+
+TEST(Verifier, MaxCandidatesVerifyAgainstGuardedKernels) {
+  Fixture F("relu_forward");
+  EXPECT_TRUE(F.verify("out(i) = max(x(i), 0)").Equivalent);
+  EXPECT_TRUE(F.verify("out(i) = max(0, x(i))").Equivalent);
+  // A plain copy disagrees on negative inputs.
+  EXPECT_FALSE(F.verify("out(i) = x(i)").Equivalent);
+}
+
+TEST(Verifier, StatementListsExecuteAsOneProgram) {
+  Fixture F("fused_sq_add");
+  taco::ParseStatementsResult Seq = taco::parseTacoStatements(
+      "out(i) = x(i) * x(i); out(i) = out(i) + y(i)");
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  VerifyResult R = verifyEquivalence(*F.B, *F.Fn, Seq.Programs);
+  EXPECT_TRUE(R.Equivalent) << R.Counterexample;
+
+  // Statement order matters: reversing the list reads y into the square.
+  taco::ParseStatementsResult Wrong = taco::parseTacoStatements(
+      "out(i) = out(i) + y(i); out(i) = x(i) * x(i)");
+  ASSERT_TRUE(Wrong.ok());
+  VerifyResult W = verifyEquivalence(*F.B, *F.Fn, Wrong.Programs);
+  EXPECT_FALSE(W.Equivalent);
+  EXPECT_NE(W.Counterexample.find("; "), std::string::npos)
+      << "statement-list witnesses print the whole list: "
+      << W.Counterexample;
+}
