@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Checker.h"
 #include "analysis/KernelAnalysis.h"
 #include "analysis/KernelModel.h"
 #include "api/KernelIngest.h"
@@ -89,6 +90,33 @@ static void BM_KernelModel(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_KernelModel);
+
+/// The static safety pass alone over a prebuilt model (bounds proofs,
+/// dependence and aliasing analysis under declared shapes) — the cost the
+/// ingestion gate and `stagg check` add on top of the model;
+/// micro/checker in `stagg bench`.
+static void BM_Checker(benchmark::State &State) {
+  const stagg::bench::Benchmark *B =
+      stagg::bench::findBenchmark("dsp_matmul_ptr");
+  auto Fn = cfront::parseCFunction(B->CSource);
+  analysis::KernelModel Model = analysis::buildKernelModel(*Fn.Function);
+  analysis::CheckOptions Opts;
+  for (const stagg::bench::ArgSpec &Arg : B->Args) {
+    if (Arg.K != stagg::bench::ArgSpec::Kind::Array)
+      continue;
+    std::vector<analysis::Poly> Extents;
+    for (const std::string &Dim : Arg.Shape)
+      Extents.push_back(analysis::shapeExtentPoly(Dim));
+    Opts.Shapes.emplace(Arg.Name, std::move(Extents));
+    if (Arg.IsOutput)
+      Opts.OutputParams.insert(Arg.Name);
+  }
+  for (auto _ : State) {
+    analysis::CheckReport R = analysis::checkKernel(Model, Opts);
+    benchmark::DoNotOptimize(R.BoundsProvenSafe);
+  }
+}
+BENCHMARK(BM_Checker);
 
 /// Model-based ingestion end to end, one per ingestion class — the serve
 /// admission path for inline kernels (micro/ingest_* in `stagg bench`).

@@ -6,20 +6,29 @@
 # -Wall -Wextra diagnostic fails the build. This is the single entry point
 # shared by local runs and every CI job (.github/workflows/ci.yml).
 #
-# Usage: scripts/check.sh [--sanitize | --bench]
+# Usage: scripts/check.sh [--sanitize[=address|thread] | --bench | --tidy]
 #
-#   --sanitize       instrument with ASan + UBSan (-DSTAGG_SANITIZE=ON) and
-#                    run the tests under the sanitizers
+#   --sanitize       instrument with ASan + UBSan (-DSTAGG_SANITIZE=address)
+#                    and run the tests under the sanitizers
+#   --sanitize=thread
+#                    instrument with TSan (-DSTAGG_SANITIZE=thread) instead;
+#                    the CI tsan job runs the concurrency-heavy serve suites
+#                    this way (CTEST_ARGS="-R Serve")
 #   --bench          performance mode: locate google-benchmark (the
 #                    bench/micro_primitives target builds only when found),
 #                    build Release, run the micro_primitives binary when
 #                    present, and run `stagg bench --json` into
 #                    $BUILD_DIR/bench.json — the entry point both the CI
 #                    perf job and local perf runs share
+#   --tidy           static lint: export compile_commands.json and run
+#                    clang-tidy (.clang-tidy: bugprone-*, performance-*,
+#                    concurrency-*) over src/; exits nonzero on findings
+#                    (the CI job is non-blocking)
 #
 # Environment overrides:
 #   BUILD_DIR=dir    build tree (default: build-check; build-sanitize when
-#                    --sanitize is given; build-bench when --bench is given)
+#                    --sanitize is given; build-bench when --bench is given;
+#                    build-tidy when --tidy is given)
 #   CMAKE_ARGS=...   extra configure arguments, e.g. a compiler selection:
 #                    CMAKE_ARGS="-DCMAKE_CXX_COMPILER=clang++"
 #   CTEST_ARGS=...   extra ctest arguments
@@ -33,26 +42,59 @@ cd "$(dirname "$0")/.."
 
 SANITIZE=OFF
 BENCH=OFF
+TIDY=OFF
 for arg in "$@"; do
   case "$arg" in
-    --sanitize) SANITIZE=ON ;;
+    --sanitize) SANITIZE=address ;;
+    --sanitize=address) SANITIZE=address ;;
+    --sanitize=thread) SANITIZE=thread ;;
+    --sanitize=*)
+      echo "check.sh: --sanitize expects address or thread" >&2; exit 2 ;;
     --bench) BENCH=ON ;;
+    --tidy) TIDY=ON ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
-if [ "$SANITIZE" = ON ] && [ "$BENCH" = ON ]; then
-  echo "check.sh: --sanitize and --bench are mutually exclusive" >&2
+MODES=0
+[ "$SANITIZE" != OFF ] && MODES=$((MODES + 1))
+[ "$BENCH" = ON ] && MODES=$((MODES + 1))
+[ "$TIDY" = ON ] && MODES=$((MODES + 1))
+if [ "$MODES" -gt 1 ]; then
+  echo "check.sh: --sanitize, --bench and --tidy are mutually exclusive" >&2
   exit 2
 fi
 
-if [ "$SANITIZE" = ON ]; then
+if [ "$SANITIZE" != OFF ]; then
   BUILD_DIR="${BUILD_DIR:-build-sanitize}"
 elif [ "$BENCH" = ON ]; then
   BUILD_DIR="${BUILD_DIR:-build-bench}"
+elif [ "$TIDY" = ON ]; then
+  BUILD_DIR="${BUILD_DIR:-build-tidy}"
 else
   BUILD_DIR="${BUILD_DIR:-build-check}"
 fi
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [ "$TIDY" = ON ]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh: clang-tidy not found (apt: clang-tidy)" >&2
+    exit 2
+  fi
+  # shellcheck disable=SC2086
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DSTAGG_BUILD_BENCH=OFF -DSTAGG_BUILD_EXAMPLES=OFF \
+    ${CMAKE_ARGS:-}
+  # run-clang-tidy parallelizes when available; fall back to a plain loop.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "^$(pwd)/src/"
+  else
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$BUILD_DIR" --quiet
+  fi
+  echo "check.sh: clang-tidy clean over src/"
+  exit 0
+fi
 
 EXTRA_ARGS=()
 if [ "$BENCH" = ON ]; then
@@ -93,11 +135,14 @@ fi
 # suppressions hooks are no-ops until a finding ever needs one.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 # shellcheck disable=SC2086
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS" ${CTEST_ARGS:-})
 
-if [ "$SANITIZE" = ON ]; then
+if [ "$SANITIZE" = thread ]; then
+  echo "check.sh: build and all tests green under TSan"
+elif [ "$SANITIZE" != OFF ]; then
   echo "check.sh: build and all tests green under ASan/UBSan"
 else
   echo "check.sh: build and all tests green with -Wall -Wextra -Werror"

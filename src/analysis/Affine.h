@@ -50,6 +50,18 @@ public:
     return P;
   }
 
+  /// A single-term polynomial `Coeff * M`; \p M must be sorted (it is
+  /// canonicalized here). Cheaper than chaining constant()/symbol()
+  /// multiplications when the monomial is already at hand.
+  static Poly term(Monomial M, int64_t Coeff) {
+    Poly P;
+    if (Coeff != 0) {
+      std::sort(M.begin(), M.end());
+      P.Terms.emplace(std::move(M), Coeff);
+    }
+    return P;
+  }
+
   const std::map<Monomial, int64_t> &terms() const { return Terms; }
 
   bool isZero() const { return Terms.empty(); }

@@ -1,0 +1,127 @@
+//===- analysis/Checker.h - Static safety analysis over KernelModel -------===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static safety and liftability analysis over the normalized KernelModel:
+/// the pipeline executes client-supplied C kernels (reference interpretation,
+/// verifier sweeps), so the trust boundary needs a *static* argument that
+/// accesses stay in bounds and that the loop nest respects the einsum-lift
+/// soundness assumptions, before anything runs. Guided Tensor Lifting's
+/// premise — affine access polynomials make kernels analyzable — gives the
+/// machinery for free: every access carries a closed-form offset polynomial
+/// over loop symbols, so bounds are polynomial inequalities over size
+/// parameters (analysis/Interval.h) and dependences are structural offset
+/// comparisons.
+///
+/// Per kernel the checker runs three passes:
+///
+///  1. **Bounds** — for every recorded load/store, prove the offset range
+///     [Min, Max] (over loop extents) lies inside the buffer's flattened
+///     size: provable out-of-bounds is a hard finding (SK001), unprovable
+///     either way is a may-out-of-bounds warning (SK002). Shifted-index
+///     polynomials (`A[i+k]` under extent `N-k`) and diagonal strides
+///     (`A[i*N+i]` against a declared `N x N` shape) are in scope.
+///  2. **Dependences** — a store whose RHS reads the *same* buffer at a
+///     *different* iteration offset is a loop-carried dependence the einsum
+///     translation cannot represent (SK003, hard); writes into read-only
+///     input parameters are in/out aliasing (SK004, hard).
+///  3. **Initialization** — a reduction (`+=`) into a buffer that is neither
+///     the kernel's output (whose zero pre-state the pipeline guarantees)
+///     nor explicitly initialized first reads uninitialized memory (SK005,
+///     hard).
+///
+/// Findings carry stable `SKnnn` diagnostic codes plus the construct's
+/// cfront line/column; `api::ingestKernel` refuses kernels with hard
+/// findings at the wire trust boundary, `stagg check` surfaces the same
+/// report as a linter, and `core::liftBenchmark` uses the bounds-proven
+/// verdict to skip redundant dynamic bounds probing in the verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_ANALYSIS_CHECKER_H
+#define STAGG_ANALYSIS_CHECKER_H
+
+#include "analysis/Affine.h"
+#include "analysis/KernelModel.h"
+#include "cfront/Ast.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace analysis {
+
+/// Severity of one finding. Hard findings refuse wire ingestion; warnings
+/// annotate the response and the `stagg check` report.
+enum class CheckSeverity { Hard, Warning };
+
+/// "error" / "warning".
+const char *checkSeverityName(CheckSeverity S);
+
+/// One diagnostic produced by the checker.
+struct CheckFinding {
+  std::string Code;     ///< Stable catalog code ("SK001").
+  CheckSeverity Severity = CheckSeverity::Warning;
+  std::string Message;  ///< Human-readable, without code or position.
+  cfront::SourceLoc Loc;
+  std::string Param;    ///< Buffer the finding is about ("" when none).
+
+  /// "SK001: <message> (line 3, column 7)".
+  std::string str() const;
+};
+
+/// Caller-side context for a check run.
+struct CheckOptions {
+  /// Declared shapes per pointer parameter (outer to inner extents, as
+  /// polynomials over size-parameter names). Parameters absent here fall
+  /// back to the model's own delinearized best shape; when neither exists
+  /// the access's shape is unknown (SK006).
+  std::map<std::string, std::vector<Poly>> Shapes;
+
+  /// Parameters the kernel is allowed to write (the benchmark's outputs).
+  /// Empty means "derive from the model's summary".
+  std::set<std::string> OutputParams;
+};
+
+/// The complete report for one kernel.
+struct CheckReport {
+  std::vector<CheckFinding> Findings;
+
+  /// True when *every* recorded access had a recoverable offset and a known
+  /// shape and was proven in bounds — the static license for skipping the
+  /// interpreter's dynamic bounds probes during verification.
+  bool BoundsProvenSafe = false;
+
+  int hardCount() const;
+  int warningCount() const;
+  bool clean() const { return hardCount() == 0; }
+};
+
+/// Runs the three checker passes over \p M.
+CheckReport checkKernel(const KernelModel &M,
+                        const CheckOptions &Options = CheckOptions());
+
+/// One catalog row, for the README table and `stagg check --catalog`.
+struct CheckCodeInfo {
+  const char *Code;
+  CheckSeverity Severity;
+  const char *Summary;
+};
+
+/// The full, ordered diagnostic catalog.
+const std::vector<CheckCodeInfo> &checkCatalog();
+
+/// Parses a benchsuite shape entry (a size-parameter name or a positive
+/// decimal literal) into a Poly extent, for building CheckOptions::Shapes
+/// from declared ArgSpecs.
+Poly shapeExtentPoly(const std::string &Entry);
+
+} // namespace analysis
+} // namespace stagg
+
+#endif // STAGG_ANALYSIS_CHECKER_H

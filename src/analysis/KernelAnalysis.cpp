@@ -266,6 +266,7 @@ private:
     if (Offset)
       MA.Offset = toValueSpace(*Offset);
     MA.IsStore = IsStore;
+    MA.Loc = CurLoc;
     Model.Accesses.push_back(std::move(MA));
   }
 

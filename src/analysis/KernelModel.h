@@ -130,11 +130,13 @@ struct ModelStore {
   cfront::SourceLoc Loc;
 };
 
-/// One recorded access (load or store) for shape inference.
+/// One recorded access (load or store) for shape inference and the static
+/// checker (which reports bounds findings at the access's source position).
 struct ModelAccess {
   std::string Param;
   std::optional<Poly> Offset;
   bool IsStore = false;
+  cfront::SourceLoc Loc;
 };
 
 /// One delinearized array dimension: the loop symbol indexing it and its

@@ -27,11 +27,13 @@
 #ifndef STAGG_API_API_H
 #define STAGG_API_API_H
 
+#include "analysis/Checker.h"
 #include "core/Stagg.h"
 #include "support/Json.h"
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace stagg {
 namespace api {
@@ -105,6 +107,7 @@ enum class Status {
   UnknownBenchmark, ///< Registry mode named an absent benchmark.
   KernelParseError, ///< Inline kernel failed to parse as C.
   IngestError,      ///< Parsed, but analysis/ingestion could not proceed.
+  UnsafeKernel,     ///< The static checker refused the inline kernel.
 };
 
 /// The canonical spelling of \p S on the wire ("ok", "bad_request", ...).
@@ -130,6 +133,11 @@ struct LiftResponse {
   /// The overrides that applied to this request (echo of the request's
   /// patch).
   ConfigPatch Applied;
+
+  /// Static-checker findings for an inline kernel: the hard findings behind
+  /// an UnsafeKernel refusal (rendered as the wire "diagnostics" array), or
+  /// the surviving warnings on success (the wire "warnings" array).
+  std::vector<analysis::CheckFinding> Diagnostics;
 
   bool ok() const { return St == Status::Ok; }
 };

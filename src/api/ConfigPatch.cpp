@@ -21,6 +21,8 @@ const char *api::statusName(Status S) {
     return "c_parse_error";
   case Status::IngestError:
     return "ingest_error";
+  case Status::UnsafeKernel:
+    return "unsafe_kernel";
   }
   return "unknown";
 }

@@ -36,6 +36,7 @@ LiftResponse PendingLift::get() {
   Response.Result = std::move(Raw.Result);
   Response.CacheHit = Raw.CacheHit;
   Response.Applied = std::move(Resolved.Applied);
+  Response.Diagnostics = std::move(Resolved.Diagnostics);
   return Response;
 }
 
@@ -86,15 +87,23 @@ PendingLift Endpoint::submit(const LiftRequest &Request) {
   core::StaggConfig Effective = Request.Patch.apply(Base);
 
   bench::Benchmark Query;
+  std::vector<analysis::CheckFinding> Warnings;
   if (Request.isInline()) {
     IngestResult Ingested = ingestCached(Request);
-    if (!Ingested.ok())
-      return immediateError(Ingested.Status == IngestStatus::ParseError
-                                ? Status::KernelParseError
-                                : Status::IngestError,
-                            Request.Name.empty() ? "inline" : Request.Name,
-                            Ingested.Error, Request.Patch);
+    if (!Ingested.ok()) {
+      Status St = Status::IngestError;
+      if (Ingested.Status == IngestStatus::ParseError)
+        St = Status::KernelParseError;
+      else if (Ingested.Status == IngestStatus::UnsafeKernel)
+        St = Status::UnsafeKernel;
+      PendingLift Pending = immediateError(
+          St, Request.Name.empty() ? "inline" : Request.Name, Ingested.Error,
+          Request.Patch);
+      Pending.Resolved.Diagnostics = std::move(Ingested.Findings);
+      return Pending;
+    }
     Query = std::move(Ingested.Kernel);
+    Warnings = std::move(Ingested.Findings); // only warnings survive clean()
   } else {
     const bench::Benchmark *Found = bench::findBenchmark(Request.RegistryName);
     if (!Found) {
@@ -111,6 +120,7 @@ PendingLift Endpoint::submit(const LiftRequest &Request) {
 
   PendingLift Pending;
   Pending.Resolved.Applied = Request.Patch;
+  Pending.Resolved.Diagnostics = std::move(Warnings);
   Pending.Raw = Service.submit(std::move(Query), Effective);
   return Pending;
 }

@@ -558,6 +558,35 @@ IngestResult api::ingestKernel(const std::string &CSource,
                                            P.Name == Summary.OutputParam));
   }
 
+  // The static safety gate: hard checker findings (provable out-of-bounds,
+  // loop-carried dependences, writes into inputs, uninitialized reductions)
+  // refuse the kernel before anything executes it — the synthesized shapes
+  // are exactly what the harness will allocate, so they are authoritative
+  // bounds. Warnings ride along on the result for the wire response.
+  {
+    analysis::CheckOptions CheckOpts;
+    for (const bench::ArgSpec &Arg : B.Args) {
+      if (Arg.K != bench::ArgSpec::Kind::Array)
+        continue;
+      std::vector<analysis::Poly> Extents;
+      for (const std::string &Dim : Arg.Shape)
+        Extents.push_back(analysis::shapeExtentPoly(Dim));
+      CheckOpts.Shapes.emplace(Arg.Name, std::move(Extents));
+      if (Arg.IsOutput)
+        CheckOpts.OutputParams.insert(Arg.Name);
+    }
+    analysis::CheckReport Check = analysis::checkKernel(Model, CheckOpts);
+    Result.Findings = Check.Findings;
+    Result.BoundsProvenSafe = Check.BoundsProvenSafe;
+    if (!Check.clean()) {
+      std::string Message = "static checker refused the kernel:";
+      for (const analysis::CheckFinding &F : Check.Findings)
+        if (F.Severity == analysis::CheckSeverity::Hard)
+          Message += " [" + F.str() + "]";
+      return fail(IngestStatus::UnsafeKernel, Message);
+    }
+  }
+
   // The reference translation for the candidate oracle: an explicit hint
   // wins (the caller knows their kernel), the model-based emission covers
   // the subscript / pointer-walking / conditional / multi-statement
@@ -576,13 +605,31 @@ IngestResult api::ingestKernel(const std::string &CSource,
     B.GroundTruth = taco::printProgram(*Hint.Prog);
   } else {
     Translation = translateModel(Model);
-    if (!Translation.ok())
+    if (!Translation.ok()) {
+      // When the failure traces back to an access whose offset does not
+      // delinearize (a diagonal `A[i*N+i]`, a stencil `x[i+j]`), name the
+      // offending access with its catalog code and position instead of the
+      // store that happened to contain it: re-check without the synthesized
+      // shapes so shape inference itself is what gets diagnosed.
+      if (Model.Limitation.empty())
+        for (const analysis::CheckFinding &F :
+             analysis::checkKernel(Model).Findings)
+          if (F.Code == "SK006") {
+            Result.Findings.push_back(F);
+            return fail(IngestStatus::AnalysisError,
+                        "cannot derive a reference translation for the "
+                        "candidate oracle (" +
+                            F.str() +
+                            "); supply \"oracle_hint\" with a TACO sketch "
+                            "of the kernel");
+          }
       return fail(IngestStatus::AnalysisError,
                   "cannot derive a reference translation for the candidate "
                   "oracle (" +
                       Translation.Error +
                       "); supply \"oracle_hint\" with a TACO sketch of the "
                       "kernel");
+    }
     B.GroundTruth = taco::printProgram(*Translation.Program);
     // Defense in depth: the printed form must re-parse (a printer/parser
     // drift here would crash consumers that trust GroundTruth).

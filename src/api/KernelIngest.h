@@ -35,6 +35,7 @@
 #ifndef STAGG_API_KERNELINGEST_H
 #define STAGG_API_KERNELINGEST_H
 
+#include "analysis/Checker.h"
 #include "analysis/KernelAnalysis.h"
 #include "analysis/KernelModel.h"
 #include "benchsuite/Benchmark.h"
@@ -53,12 +54,22 @@ enum class IngestStatus {
   Ok,
   ParseError,    ///< The text is not a parseable C kernel.
   AnalysisError, ///< Parsed, but no usable benchmark could be derived.
+  UnsafeKernel,  ///< The static checker found hard safety findings.
 };
 
 /// Outcome of ingestKernel.
 struct IngestResult {
   IngestStatus Status = IngestStatus::Ok;
   std::string Error;
+
+  /// The static checker's findings under the synthesized shapes. Hard
+  /// findings refuse ingestion (Status == UnsafeKernel) and are rendered as
+  /// structured wire diagnostics; warnings ride along on success.
+  std::vector<analysis::CheckFinding> Findings;
+
+  /// True when every access was statically proven in bounds — the license
+  /// for the verifier to skip dynamic bounds probing downstream.
+  bool BoundsProvenSafe = false;
 
   /// The synthesized benchmark (valid when ok()). Category is "inline".
   bench::Benchmark Kernel;

@@ -90,6 +90,25 @@ ParsedRequest api::parseRequestLine(const std::string &Line) {
   return Parsed;
 }
 
+namespace {
+
+/// Structured checker findings: [{"code","severity","message","line","col"}].
+Json renderFindings(const std::vector<analysis::CheckFinding> &Findings) {
+  Json Arr = Json::array();
+  for (const analysis::CheckFinding &F : Findings) {
+    Json D = Json::object();
+    D.set("code", Json::str(F.Code));
+    D.set("severity", Json::str(analysis::checkSeverityName(F.Severity)));
+    D.set("message", Json::str(F.Message));
+    D.set("line", Json::integer(F.Loc.Line));
+    D.set("col", Json::integer(F.Loc.Col));
+    Arr.push(std::move(D));
+  }
+  return Arr;
+}
+
+} // namespace
+
 std::string api::renderResponse(const LiftResponse &Response) {
   Json Out = Json::object();
   Out.set("v", Json::integer(ProtocolVersion));
@@ -98,6 +117,8 @@ std::string api::renderResponse(const LiftResponse &Response) {
 
   if (!Response.ok()) {
     Out.set("error", Json::str(Response.Error));
+    if (!Response.Diagnostics.empty())
+      Out.set("diagnostics", renderFindings(Response.Diagnostics));
     return Out.dump();
   }
 
@@ -123,6 +144,8 @@ std::string api::renderResponse(const LiftResponse &Response) {
   Timings.set("search_s", Json::number(R.SearchSeconds));
   Out.set("timings", std::move(Timings));
 
+  if (!Response.Diagnostics.empty())
+    Out.set("warnings", renderFindings(Response.Diagnostics));
   if (!Response.Applied.empty())
     Out.set("config", Response.Applied.toJson());
   return Out.dump();

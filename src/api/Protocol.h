@@ -28,6 +28,17 @@
 ///   {"v":1,"status":"unknown_benchmark","name":"blas_axpi",
 ///    "error":"unknown benchmark 'blas_axpi' — did you mean 'blas_axpy'?"}
 ///
+/// Inline kernels pass through the static checker (analysis/Checker.h)
+/// before anything executes them. Hard findings refuse the request with
+/// status "unsafe_kernel" and a structured "diagnostics" array; warnings
+/// survive on success as a "warnings" array of the same shape:
+///
+///   {"v":1,"status":"unsafe_kernel","name":"bad",
+///    "error":"static checker refused the kernel: [SK001: ...]",
+///    "diagnostics":[{"code":"SK001","severity":"error",
+///                    "message":"load of 'x[1 + l0_i]' ... is out of bounds",
+///                    "line":3,"col":5}]}
+///
 /// Auto-detection: an input line whose first non-blank byte is '{' is a v1
 /// request; anything else is the legacy bare-registry-name protocol, whose
 /// one-line text responses are unchanged for existing clients.

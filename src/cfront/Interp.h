@@ -98,8 +98,9 @@ template <typename T> struct CValue {
 /// Interpreter state for one call.
 template <typename T> class Machine {
 public:
-  Machine(const CFunction &Fn, ExecEnv<T> &Env, int64_t StepBudget)
-      : Fn(Fn), Env(Env), StepsLeft(StepBudget) {}
+  Machine(const CFunction &Fn, ExecEnv<T> &Env, int64_t StepBudget,
+          bool TrustBounds = false)
+      : Fn(Fn), Env(Env), StepsLeft(StepBudget), TrustBounds(TrustBounds) {}
 
   ExecStatus run() {
     // Bind parameters.
@@ -179,7 +180,8 @@ private:
     if (!validBuffer(P.Buf))
       return {};
     std::vector<T> &Data = buffer(P.Buf);
-    if (P.Off < 0 || P.Off >= static_cast<int64_t>(Data.size())) {
+    if (!TrustBounds &&
+        (P.Off < 0 || P.Off >= static_cast<int64_t>(Data.size()))) {
       fail("out-of-bounds read at offset " + std::to_string(P.Off));
       return {};
     }
@@ -198,7 +200,8 @@ private:
     if (!validBuffer(P.Buf))
       return;
     std::vector<T> &Data = buffer(P.Buf);
-    if (P.Off < 0 || P.Off >= static_cast<int64_t>(Data.size())) {
+    if (!TrustBounds &&
+        (P.Off < 0 || P.Off >= static_cast<int64_t>(Data.size()))) {
       fail("out-of-bounds write at offset " + std::to_string(P.Off));
       return;
     }
@@ -594,6 +597,11 @@ private:
   const CFunction &Fn;
   ExecEnv<T> &Env;
   int64_t StepsLeft;
+  /// When set, the per-access range checks in readPlace/writePlace are
+  /// elided. Callers must hold a static in-bounds proof for this kernel
+  /// under these buffer sizes (analysis::Checker's BoundsProvenSafe);
+  /// without one the elided check becomes genuine undefined behaviour.
+  bool TrustBounds = false;
   std::map<std::string, CValue<T>> Locals;
   std::vector<std::string> BufferNames;
   bool Returned = false;
@@ -603,11 +611,14 @@ private:
 } // namespace detail
 
 /// Executes \p Fn over \p Env (arrays are mutated in place). \p StepBudget
-/// bounds the number of interpreter steps.
+/// bounds the number of interpreter steps. Pass \p TrustBounds = true only
+/// when a static proof (analysis::Checker) guarantees every access is in
+/// bounds for these array sizes: the per-access range checks are elided.
 template <typename T>
 ExecStatus runCFunction(const CFunction &Fn, ExecEnv<T> &Env,
-                        int64_t StepBudget = 10'000'000) {
-  detail::Machine<T> M(Fn, Env, StepBudget);
+                        int64_t StepBudget = 10'000'000,
+                        bool TrustBounds = false) {
+  detail::Machine<T> M(Fn, Env, StepBudget, TrustBounds);
   return M.run();
 }
 

@@ -2,7 +2,9 @@
 
 #include "core/Stagg.h"
 
+#include "analysis/Checker.h"
 #include "analysis/KernelAnalysis.h"
+#include "analysis/KernelModel.h"
 #include "cfront/Parser.h"
 #include "grammar/DimensionList.h"
 #include "grammar/Template.h"
@@ -33,8 +35,26 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   }
   const cfront::CFunction &Fn = *Parsed.Function;
 
-  // 2. Static analysis: LHS dimensionality and the constant pool.
-  analysis::KernelSummary Summary = analysis::analyzeKernel(Fn);
+  // 2. Static analysis: LHS dimensionality, the constant pool, and the
+  // safety checker's verdict over the normalized model. A full bounds proof
+  // against the declared argument shapes licenses the verifier to drop its
+  // per-access dynamic probes below.
+  analysis::KernelModel Model = analysis::buildKernelModel(Fn);
+  const analysis::KernelSummary &Summary = Model.Summary;
+  analysis::CheckOptions CheckOpts;
+  for (const bench::ArgSpec &Arg : B.Args) {
+    if (Arg.K != bench::ArgSpec::Kind::Array)
+      continue;
+    std::vector<analysis::Poly> Extents;
+    for (const std::string &Dim : Arg.Shape)
+      Extents.push_back(analysis::shapeExtentPoly(Dim));
+    CheckOpts.Shapes.emplace(Arg.Name, std::move(Extents));
+    if (Arg.IsOutput)
+      CheckOpts.OutputParams.insert(Arg.Name);
+  }
+  analysis::CheckReport Check = analysis::checkKernel(Model, CheckOpts);
+  Result.CheckerSafe = Check.BoundsProvenSafe;
+  Result.CheckerFindings = static_cast<int>(Check.Findings.size());
   Result.ParseSeconds = Clock.seconds();
 
   // 3. Ask the oracle for candidate translations.
@@ -95,12 +115,17 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   // (shape, input) across that loop — they are candidate-independent, so
   // re-verifying fallback candidates only re-evaluates the TACO side.
   verify::ReferenceCache VerifyCache;
+  // Kernel-derived, not a config knob: the static bounds proof (when it
+  // exists) lets every reference run skip its dynamic range checks. See
+  // the configFingerprint note below.
+  verify::VerifyOptions Verify = Config.Verify;
+  Verify.TrustStaticBounds = Check.BoundsProvenSafe;
   search::TemplateProbe Probe = [&](const taco::Program &Template) {
     std::vector<validate::Instantiation> Valid = V.validate(Template);
     for (validate::Instantiation &Inst : Valid) {
       if (!Config.SkipVerification) {
         verify::VerifyResult VR = verify::verifyEquivalence(
-            B, Fn, Inst.Concrete, Config.Verify, &VerifyCache);
+            B, Fn, Inst.Concrete, Verify, &VerifyCache);
         if (!VR.Equivalent)
           continue;
       }
@@ -183,5 +208,8 @@ std::string core::configFingerprint(const StaggConfig &Config) {
   Add(std::to_string(V.MaxOneHot));
   Add(V.OneHotOnlyMultiplied ? "ohm" : "ohx");
   Add(std::to_string(V.Seed));
+  // V.TrustStaticBounds is deliberately absent: liftBenchmark derives it
+  // from the kernel itself (the checker's bounds proof), so for a given
+  // (kernel, config) cache key it is a constant, not a knob.
   return F;
 }

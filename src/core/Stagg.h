@@ -119,6 +119,13 @@ struct LiftResult {
   int CandidatesParsed = 0;
   int CandidatesDiscarded = 0;
   std::vector<int> DimList;
+
+  /// Static-checker verdict over the kernel (analysis/Checker.h), recorded
+  /// during step 2. When the checker proves every access in bounds for the
+  /// declared argument shapes, the bounded verifier runs with its dynamic
+  /// bounds probes elided (VerifyOptions::TrustStaticBounds).
+  bool CheckerSafe = false;
+  int CheckerFindings = 0;
 };
 
 /// Lifts \p B using \p Oracle under \p Config.

@@ -2,6 +2,7 @@
 
 #include "driver/BenchCommand.h"
 
+#include "analysis/Checker.h"
 #include "analysis/KernelAnalysis.h"
 #include "analysis/KernelModel.h"
 #include "api/KernelIngest.h"
@@ -158,6 +159,28 @@ std::vector<Micro> buildMicros(const MicroFixtures &F) {
                         analysis::KernelModel M =
                             analysis::buildKernelModel(*Fn->Function);
                         if (M.Loops.empty())
+                          std::abort();
+                      }});
+    // The safety pass alone (no model rebuild): bounds proofs, dependence
+    // and aliasing analysis, under the declared shapes — what the
+    // ingestion gate and `stagg check` add on top of the model.
+    auto Model = std::make_shared<analysis::KernelModel>(
+        analysis::buildKernelModel(*Fn->Function));
+    auto Opts = std::make_shared<analysis::CheckOptions>();
+    for (const bench::ArgSpec &Arg : B->Args) {
+      if (Arg.K != bench::ArgSpec::Kind::Array)
+        continue;
+      std::vector<analysis::Poly> Extents;
+      for (const std::string &Dim : Arg.Shape)
+        Extents.push_back(analysis::shapeExtentPoly(Dim));
+      Opts->Shapes.emplace(Arg.Name, std::move(Extents));
+      if (Arg.IsOutput)
+        Opts->OutputParams.insert(Arg.Name);
+    }
+    Micros.push_back({"micro/checker", [Model, Opts] {
+                        analysis::CheckReport R =
+                            analysis::checkKernel(*Model, *Opts);
+                        if (R.hardCount() != 0)
                           std::abort();
                       }});
   }

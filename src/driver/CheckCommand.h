@@ -1,0 +1,51 @@
+//===- driver/CheckCommand.h - stagg check lint -----------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `stagg check` subcommand: runs the static safety & liftability
+/// checker (analysis/Checker.h) over registry kernels and/or C source
+/// files without lifting anything. Registry kernels are checked against
+/// their declared argument shapes; files go through api::ingestKernel, so
+/// the verdict matches exactly what the serving layer's ingestion gate
+/// would decide for the same source.
+///
+/// Output is a human table (default) or one JSON report object
+/// (--format json):
+///
+///   {"v":1,"checked":3,"hard":1,"warnings":0,
+///    "kernels":[{"name":"blas_gemv","bounds_proven":true,"findings":[]},
+///               {"name":"bad","bounds_proven":false,
+///                "findings":[{"code":"SK001","severity":"error",...}]}]}
+///
+/// Exit codes: 0 every target is clean (warnings allowed unless --Werror),
+/// 1 some target has hard findings (or warnings under --Werror, or could
+/// not be parsed), 2 a target or suite name was unusable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_DRIVER_CHECKCOMMAND_H
+#define STAGG_DRIVER_CHECKCOMMAND_H
+
+#include "driver/Cli.h"
+
+namespace stagg {
+namespace driver {
+
+/// Exit codes of `stagg check`, from the contract above.
+enum CheckExitCode {
+  CheckExitClean = 0,
+  CheckExitFindings = 1,
+  CheckExitBadTarget = 2,
+};
+
+/// Entry point used by Main. Prints the report to stdout and diagnostics
+/// to stderr; returns the exit code per the contract above.
+int runCheckCommand(const CliOptions &Options);
+
+} // namespace driver
+} // namespace stagg
+
+#endif // STAGG_DRIVER_CHECKCOMMAND_H

@@ -77,7 +77,7 @@ const std::vector<std::string> &knownFlags() {
       "--batch",         "--batch-wait-us",
       "--cache-capacity", "--cache-shards",
       "--timeout",        "--json",
-      "--min-time"};
+      "--min-time",       "--Werror"};
   return Flags;
 }
 
@@ -180,6 +180,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
   std::string RunOnly;
   std::string SuiteFlag;
   std::string BenchOnly;
+  std::string FormatFlag;
+  std::string CheckOnly;
   for (; I < Args.size(); ++I) {
     // Positional arguments are subcommands: `serve` or `bench`.
     if (!Args[I].empty() && Args[I][0] != '-') {
@@ -198,8 +200,19 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         SawCommand = true;
         continue;
       }
+      if (!SawCommand && Args[I] == "check") {
+        O.Mode = DriverMode::Check;
+        SawCommand = true;
+        continue;
+      }
+      if (O.Mode == DriverMode::Check) {
+        // `stagg check` targets: registry names and/or C source paths.
+        O.CheckTargets.push_back(Args[I]);
+        continue;
+      }
       Parse.Error = "unknown command '" + Args[I] + "'";
-      std::string Hint = suggestFor(Args[I], {"serve", "bench", "list"});
+      std::string Hint =
+          suggestFor(Args[I], {"serve", "bench", "list", "check"});
       if (!Hint.empty())
         Parse.Error += " — did you mean '" + Hint + "'?";
       Parse.Error += " (see --help)";
@@ -214,7 +227,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
                      F.Name == "-v" || F.Name == "--no-verify" ||
                      F.Name == "--full-grammar" ||
                      F.Name == "--equal-probability" ||
-                     F.Name == "--cache-stats";
+                     F.Name == "--cache-stats" || F.Name == "--Werror";
     if (IsBoolean && F.HasInline) {
       Parse.Error = F.Name + " does not take a value";
       break;
@@ -235,6 +248,9 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       O.Config.Grammar.EqualProbability = true;
     } else if (F.Name == "--cache-stats") {
       O.ShowCacheStats = true;
+    } else if (F.Name == "--Werror") {
+      O.CheckWerror = true;
+      CheckOnly = F.Name;
     } else if (F.Name == "--input") {
       if (!takeValue(F, O.InputPath))
         break;
@@ -272,7 +288,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
     } else if (F.Name == "--format") {
-      RunOnly = F.Name;
+      FormatFlag = F.Name;
       if (!takeValue(F, Value))
         break;
       if (Value == "table") {
@@ -281,8 +297,12 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         O.Format = OutputFormat::Csv;
       } else if (Value == "tsv") {
         O.Format = OutputFormat::Tsv;
+      } else if (Value == "json") {
+        O.Format = OutputFormat::Json;
       } else {
-        Parse.Error = "--format expects table|csv|tsv, got '" + Value + "'";
+        Parse.Error =
+            "--format expects table|csv|tsv (or json for `stagg check`), "
+            "got '" + Value + "'";
         break;
       }
     } else if (F.Name == "--csv") {
@@ -396,23 +416,37 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
   // thing: --input without `serve` runs the whole default suite; --csv
   // with `serve` writes nothing the user asked for.
   if (Parse.ok() && !O.ShowHelp) {
+    // --format is mode-checked separately from the other RunOnly flags
+    // because `stagg check` shares it (table|json).
+    std::string TableOnly = !RunOnly.empty() ? RunOnly : FormatFlag;
     if (O.Mode != DriverMode::Serve && !O.InputPath.empty())
       Parse.Error = "--input only applies to `stagg serve`";
-    else if (O.Mode == DriverMode::Serve && !RunOnly.empty())
-      Parse.Error = RunOnly + " only applies to batch mode, not `stagg "
-                              "serve` (requests come from the input "
-                              "stream)";
+    else if (O.Mode == DriverMode::Serve && !TableOnly.empty())
+      Parse.Error = TableOnly + " only applies to batch mode, not `stagg "
+                                "serve` (requests come from the input "
+                                "stream)";
     else if (O.Mode == DriverMode::Serve && !SuiteFlag.empty())
       Parse.Error = SuiteFlag + " only applies to batch mode, not `stagg "
                                 "serve` (requests come from the input "
                                 "stream)";
     else if (O.Mode != DriverMode::Bench && !BenchOnly.empty())
       Parse.Error = BenchOnly + " only applies to `stagg bench`";
-    else if (O.Mode == DriverMode::Bench && !RunOnly.empty())
+    else if (O.Mode == DriverMode::Bench && !TableOnly.empty())
       Parse.Error =
-          RunOnly + " does not apply to `stagg bench` (see --help)";
-    else if (O.Mode == DriverMode::List && !RunOnly.empty())
-      Parse.Error = RunOnly + " does not apply to `stagg list` (see --help)";
+          TableOnly + " does not apply to `stagg bench` (see --help)";
+    else if (O.Mode == DriverMode::List && !TableOnly.empty())
+      Parse.Error =
+          TableOnly + " does not apply to `stagg list` (see --help)";
+    else if (O.Mode != DriverMode::Check && !CheckOnly.empty())
+      Parse.Error = CheckOnly + " only applies to `stagg check`";
+    else if (O.Mode != DriverMode::Check && O.Format == OutputFormat::Json)
+      Parse.Error = "--format json only applies to `stagg check`";
+    else if (O.Mode == DriverMode::Check && !RunOnly.empty())
+      Parse.Error =
+          RunOnly + " does not apply to `stagg check` (see --help)";
+    else if (O.Mode == DriverMode::Check && (O.Format == OutputFormat::Csv ||
+                                             O.Format == OutputFormat::Tsv))
+      Parse.Error = "`stagg check` renders table or json, not csv/tsv";
   }
 
   return Parse;
@@ -454,7 +488,19 @@ std::string driver::usage() {
      << "                               protocol v1\"), or a legacy bare\n"
      << "                               benchmark name. Exit codes: 0 ok,\n"
      << "                               2 unknown name, 3 bad JSON,\n"
-     << "                               4 kernel ingestion failure\n"
+     << "                               4 kernel ingestion failure,\n"
+     << "                               5 static checker refused a kernel\n"
+     << "       stagg check [targets]   static safety & liftability lint:\n"
+     << "                               runs analysis::Checker (bounds\n"
+     << "                               proofs, loop-carried dependences,\n"
+     << "                               aliasing, uninitialized\n"
+     << "                               accumulators; SK001..SK007) over\n"
+     << "                               registry names and/or C source\n"
+     << "                               files, or the --suite selection\n"
+     << "                               when no targets are given. Exit\n"
+     << "                               codes: 0 clean, 1 hard findings\n"
+     << "                               (or warnings with --Werror),\n"
+     << "                               2 bad target\n"
      << "\n"
      << "Commands:\n"
      << "  stagg [flags]       batch suite run (default)\n"
@@ -464,6 +510,8 @@ std::string driver::usage() {
      << "                      ingestion-class labels (subscript |\n"
      << "                      pointer-walking | conditional |\n"
      << "                      multi-statement)\n"
+     << "  stagg check         static safety lint over kernels (see the\n"
+     << "                      README's diagnostics catalog)\n"
      << "\n"
      << "Suite selection:\n"
      << "  --suite NAME        all | real | paper | artificial | blas | "
@@ -511,6 +559,12 @@ std::string driver::usage() {
      << "  --min-time SECONDS  minimum measured time per micro benchmark\n"
      << "                      (default 0.1)\n"
      << "\n"
+     << "Linting (stagg check):\n"
+     << "  [targets]           registry names and/or C files; default is\n"
+     << "                      the --suite selection\n"
+     << "  --format table|json human table (default) or one JSON report\n"
+     << "  --Werror            warnings also fail the lint (exit 1)\n"
+     << "\n"
      << "Execution and output:\n"
      << "  --threads N         worker pool width (default: hardware)\n"
      << "  --format F          table (default) | csv | tsv on stdout\n"
@@ -524,7 +578,9 @@ std::string driver::usage() {
      << "  stagg --suite all --drop-penalty a --equal-probability\n"
      << "  stagg serve --threads 4 --batch 4 --cache-stats < requests.txt\n"
      << "  stagg bench --suite real --threads 1 --json bench.json\n"
-     << "  stagg list --suite pointer\n";
+     << "  stagg list --suite pointer\n"
+     << "  stagg check --suite all\n"
+     << "  stagg check blas_gemv mykernel.c --Werror --format json\n";
   return Os.str();
 }
 

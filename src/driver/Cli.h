@@ -27,14 +27,15 @@
 namespace stagg {
 namespace driver {
 
-/// Output renderings of the results table.
-enum class OutputFormat { Table, Csv, Tsv };
+/// Output renderings of the results table. Json applies to `stagg check`
+/// only (one machine-readable report object).
+enum class OutputFormat { Table, Csv, Tsv, Json };
 
 /// What this invocation does: a batch suite run (default), the persistent
 /// request-serving loop (`stagg serve`), the performance-report run
-/// (`stagg bench`), or the registry listing with per-kernel
-/// ingestion-class labels (`stagg list`).
-enum class DriverMode { Run, Serve, Bench, List };
+/// (`stagg bench`), the registry listing with per-kernel ingestion-class
+/// labels (`stagg list`), or the static safety lint (`stagg check`).
+enum class DriverMode { Run, Serve, Bench, List, Check };
 
 /// Everything the driver needs for one invocation.
 struct CliOptions {
@@ -83,6 +84,14 @@ struct CliOptions {
 
   /// Print one line per finished benchmark while running.
   bool Verbose = false;
+
+  /// `stagg check`: positional targets — registry kernel names and/or
+  /// paths to C source files (anything with a '/' or a ".c"/".h" suffix is
+  /// read as a file). Empty means "lint the --suite selection".
+  std::vector<std::string> CheckTargets;
+
+  /// `stagg check --Werror`: warnings also fail the lint (exit 1).
+  bool CheckWerror = false;
 
   bool ShowHelp = false;
 };

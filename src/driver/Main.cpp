@@ -6,11 +6,14 @@
 // that is a result, not an error), 1 an output file could not be written,
 // 2 bad command line. `stagg serve` additionally distinguishes its request
 // failures: 2 unknown registry name, 3 malformed JSON / protocol violation,
-// 4 inline-kernel parse or ingestion failure (driver/ServeCommand.h).
+// 4 inline-kernel parse or ingestion failure, 5 static-checker refusal
+// (driver/ServeCommand.h). `stagg check` returns 0 clean, 1 findings,
+// 2 bad target (driver/CheckCommand.h).
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/BenchCommand.h"
+#include "driver/CheckCommand.h"
 #include "driver/Cli.h"
 #include "driver/ServeCommand.h"
 #include "driver/SuiteRunner.h"
@@ -42,6 +45,9 @@ int main(int argc, char **argv) {
   if (Options.Mode == driver::DriverMode::List)
     return driver::runListCommand(Options);
 
+  if (Options.Mode == driver::DriverMode::Check)
+    return driver::runCheckCommand(Options);
+
   std::string SuiteError;
   std::vector<const bench::Benchmark *> Suite =
       driver::selectSuite(Options.Suite, Options.Limit, SuiteError);
@@ -69,6 +75,9 @@ int main(int argc, char **argv) {
     break;
   case driver::OutputFormat::Tsv:
     driver::printDelimited(std::cout, Report, '\t');
+    break;
+  case driver::OutputFormat::Json:
+    // Unreachable: parseArgs rejects --format json outside `stagg check`.
     break;
   }
 

@@ -47,6 +47,9 @@ public:
     case api::Status::IngestError:
       raise(ServeExitIngestFailure);
       break;
+    case api::Status::UnsafeKernel:
+      raise(ServeExitUnsafeKernel);
+      break;
     }
     Err << "stagg serve: " << api::statusName(Response.St) << ": "
         << Response.Error << "\n";

@@ -24,8 +24,10 @@
 /// Exit codes (documented in --help and README): 0 all requests served (a
 /// FAILed lift is a result, not an error); 2 some request named an unknown
 /// benchmark; 3 some line was malformed JSON or violated the protocol;
-/// 4 some inline kernel failed C parsing or ingestion. Higher-numbered
-/// conditions win when several occur; each also gets a stderr diagnostic.
+/// 4 some inline kernel failed C parsing or ingestion; 5 the static checker
+/// refused some inline kernel with hard safety findings (the response
+/// carries a structured "diagnostics" array). Higher-numbered conditions
+/// win when several occur; each also gets a stderr diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +49,7 @@ enum ServeExitCode {
   ServeExitUnknownName = 2,
   ServeExitBadRequest = 3,
   ServeExitIngestFailure = 4,
+  ServeExitUnsafeKernel = 5,
 };
 
 /// Renders the --cache-stats report: the cache counter line, plus the

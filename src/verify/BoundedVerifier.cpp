@@ -123,8 +123,9 @@ public:
   ShapeChecker(const bench::Benchmark &B, const cfront::CFunction &Fn,
                const CandidateSpec &Spec,
                const std::map<std::string, int64_t> &Sizes,
-               ReferenceCache *Cache)
-      : B(B), Fn(Fn), Spec(Spec), Sizes(Sizes), Cache(Cache) {
+               ReferenceCache *Cache, bool TrustBounds)
+      : B(B), Fn(Fn), Spec(Spec), Sizes(Sizes), Cache(Cache),
+        TrustBounds(TrustBounds) {
     if (Spec.Compiled)
       Evaluator.emplace(*Spec.Compiled);
   }
@@ -277,7 +278,8 @@ private:
   ReferenceCache::Entry runReference(cfront::ExecEnv<Rational> Env,
                                      const bench::ArgSpec &OutArg) const {
     ReferenceCache::Entry E;
-    cfront::ExecStatus Status = cfront::runCFunction(Fn, Env);
+    cfront::ExecStatus Status =
+        cfront::runCFunction(Fn, Env, 10'000'000, TrustBounds);
     E.Ok = Status.Ok;
     if (!Status.Ok) {
       E.Error = Status.Error;
@@ -322,6 +324,7 @@ private:
   std::optional<taco::EinsumEvaluator<Rational>> Evaluator;
   const std::map<std::string, int64_t> &Sizes;
   ReferenceCache *Cache;
+  bool TrustBounds; ///< VerifyOptions::TrustStaticBounds for this sweep.
 };
 
 /// The bounded sweep shared by the single-program and statement-list entry
@@ -352,7 +355,8 @@ VerifyResult runBoundedSweep(const bench::Benchmark &B,
     for (size_t I = 0; I < SizeParams.size(); ++I)
       Sizes[SizeParams[I]] = SizePick[I];
 
-    ShapeChecker Checker(B, Fn, Spec, Sizes, Cache);
+    ShapeChecker Checker(B, Fn, Spec, Sizes, Cache,
+                         Options.TrustStaticBounds);
 
     auto FillRandom = [&](cfront::ExecEnv<Rational> &Env) {
       for (const bench::ArgSpec *Arg : InputArrays)

@@ -75,6 +75,13 @@ struct VerifyOptions {
   bool OneHotOnlyMultiplied = true;
 
   uint64_t Seed = 0x57466; // "STAGG"-ish; any fixed value keeps runs stable.
+
+  /// Skip the reference interpreter's per-access bounds checks. Only set
+  /// when analysis::Checker proved every access in bounds for all sizes
+  /// (CheckReport::BoundsProvenSafe) — the static proof licenses dropping
+  /// the dynamic probe, shaving interpreter time off every reference run.
+  /// Kernel-derived, so excluded from config fingerprints.
+  bool TrustStaticBounds = false;
 };
 
 /// Outcome of a verification run.

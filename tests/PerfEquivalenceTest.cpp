@@ -13,7 +13,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Checker.h"
 #include "analysis/KernelAnalysis.h"
+#include "analysis/KernelModel.h"
+#include "api/KernelIngest.h"
 #include "benchsuite/Benchmark.h"
 #include "cfront/Parser.h"
 #include "grammar/Template.h"
@@ -25,6 +28,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
 
 using namespace stagg;
@@ -343,4 +348,99 @@ TEST(PerfEquivalence, GroundTruthsVerifyOnRegistrySample) {
     EXPECT_EQ(R.TestsRun, R2.TestsRun) << Name;
     EXPECT_GT(Cache.hits(), 0) << Name;
   }
+}
+
+TEST(PerfEquivalence, TrustStaticBoundsPreservesVerdicts) {
+  // The checker's bounds proof licenses the verifier to elide its dynamic
+  // range checks (VerifyOptions::TrustStaticBounds) — an optimization, so
+  // it must change nothing observable: same verdicts, same test counts,
+  // wrong candidates still rejected.
+  for (const char *Name :
+       {"art_add", "art_matmul", "blas_gemv_ptr", "dk_avg_pair", "blas_dot"}) {
+    Fixture F(Name);
+    ASSERT_TRUE(F.Ok) << Name;
+
+    // Establish the license first: trust without a proof would be unsound.
+    analysis::KernelModel Model = analysis::buildKernelModel(*F.Fn);
+    analysis::CheckOptions Opts;
+    for (const bench::ArgSpec &Arg : F.B->Args) {
+      if (Arg.K != bench::ArgSpec::Kind::Array)
+        continue;
+      std::vector<analysis::Poly> Extents;
+      for (const std::string &Dim : Arg.Shape)
+        Extents.push_back(analysis::shapeExtentPoly(Dim));
+      Opts.Shapes.emplace(Arg.Name, std::move(Extents));
+      if (Arg.IsOutput)
+        Opts.OutputParams.insert(Arg.Name);
+    }
+    ASSERT_TRUE(analysis::checkKernel(Model, Opts).BoundsProvenSafe) << Name;
+
+    for (const std::string &Source : verifierCandidates(Name)) {
+      taco::Program Candidate = parse(Source);
+      verify::VerifyOptions Checked;
+      verify::VerifyOptions Trusted;
+      Trusted.TrustStaticBounds = true;
+      verify::VerifyResult C =
+          verify::verifyEquivalence(*F.B, *F.Fn, Candidate, Checked);
+      verify::VerifyResult T =
+          verify::verifyEquivalence(*F.B, *F.Fn, Candidate, Trusted);
+      EXPECT_EQ(C.Equivalent, T.Equivalent) << Name << ": " << Source;
+      EXPECT_EQ(C.TestsRun, T.TestsRun) << Name << ": " << Source;
+      EXPECT_EQ(C.Counterexample, T.Counterexample) << Name << ": " << Source;
+    }
+  }
+}
+
+TEST(PerfEquivalence, CheckerKeepsIngestOverheadWithinBudget) {
+  // The safety gate rides on every api::ingestKernel call, and the contract
+  // is that it stays in the noise: the checker pass alone, re-run on the
+  // model ingestion already built, must cost at most 5% of the full ingest
+  // path (C parse + kernel model + shape inference + reference derivation +
+  // the gate itself). One kernel per ingestion class — the same set as the
+  // micro/ingest_* benchmarks. Interleaved repetitions and medians keep
+  // scheduler noise from landing on one side of the comparison.
+  double IngestTotal = 0.0, CheckTotal = 0.0;
+  for (const char *Name : {"blas_axpy", "ptr_mv_rowwalk", "relu_forward",
+                           "fused_scale_shift"}) {
+    const bench::Benchmark *B = bench::findBenchmark(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    auto Fn = cfront::parseCFunction(B->CSource);
+    ASSERT_TRUE(Fn.ok()) << Name;
+    analysis::KernelModel Model = analysis::buildKernelModel(*Fn.Function);
+    analysis::CheckOptions Opts;
+    for (const bench::ArgSpec &Arg : B->Args) {
+      if (Arg.K != bench::ArgSpec::Kind::Array)
+        continue;
+      std::vector<analysis::Poly> Extents;
+      for (const std::string &Dim : Arg.Shape)
+        Extents.push_back(analysis::shapeExtentPoly(Dim));
+      Opts.Shapes.emplace(Arg.Name, std::move(Extents));
+      if (Arg.IsOutput)
+        Opts.OutputParams.insert(Arg.Name);
+    }
+
+    constexpr int Reps = 25;
+    std::vector<double> IngestNs, CheckNs;
+    for (int I = 0; I < Reps; ++I) {
+      auto T0 = std::chrono::steady_clock::now();
+      api::IngestResult R = api::ingestKernel(B->CSource, Name);
+      auto T1 = std::chrono::steady_clock::now();
+      analysis::CheckReport Report = analysis::checkKernel(Model, Opts);
+      auto T2 = std::chrono::steady_clock::now();
+      ASSERT_TRUE(R.ok()) << Name << ": " << R.Error;
+      ASSERT_EQ(Report.hardCount(), 0) << Name;
+      IngestNs.push_back(
+          std::chrono::duration<double, std::nano>(T1 - T0).count());
+      CheckNs.push_back(
+          std::chrono::duration<double, std::nano>(T2 - T1).count());
+    }
+    std::sort(IngestNs.begin(), IngestNs.end());
+    std::sort(CheckNs.begin(), CheckNs.end());
+    IngestTotal += IngestNs[Reps / 2];
+    CheckTotal += CheckNs[Reps / 2];
+  }
+  EXPECT_LE(CheckTotal, 0.05 * IngestTotal)
+      << "checker pass costs " << CheckTotal / 1e3 << "us vs " << "ingest "
+      << IngestTotal / 1e3 << "us ("
+      << (100.0 * CheckTotal / IngestTotal) << "%)";
 }
