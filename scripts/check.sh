@@ -32,6 +32,8 @@
 #   CMAKE_ARGS=...   extra configure arguments, e.g. a compiler selection:
 #                    CMAKE_ARGS="-DCMAKE_CXX_COMPILER=clang++"
 #   CTEST_ARGS=...   extra ctest arguments
+#   CTEST_PARALLEL_LEVEL=n
+#                    ctest job count (default: nproc); build -j is unaffected
 #   BENCH_ARGS=...   extra `stagg bench` arguments (default suite/threads
 #                    are "--suite real --threads 1")
 #
@@ -137,8 +139,12 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
+# CTEST_PARALLEL_LEVEL lets callers bound test parallelism separately from
+# build parallelism (networked suites each bind their own kernel-assigned
+# port, but a loaded runner can still want fewer concurrent servers).
 # shellcheck disable=SC2086
-(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS" ${CTEST_ARGS:-})
+(cd "$BUILD_DIR" &&
+   ctest --output-on-failure -j"${CTEST_PARALLEL_LEVEL:-$JOBS}" ${CTEST_ARGS:-})
 
 if [ "$SANITIZE" = thread ]; then
   echo "check.sh: build and all tests green under TSan"

@@ -108,6 +108,7 @@ enum class Status {
   KernelParseError, ///< Inline kernel failed to parse as C.
   IngestError,      ///< Parsed, but analysis/ingestion could not proceed.
   UnsafeKernel,     ///< The static checker refused the inline kernel.
+  ShuttingDown,     ///< The service is draining and admits nothing new.
 };
 
 /// The canonical spelling of \p S on the wire ("ok", "bad_request", ...).

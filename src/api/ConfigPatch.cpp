@@ -23,6 +23,8 @@ const char *api::statusName(Status S) {
     return "ingest_error";
   case Status::UnsafeKernel:
     return "unsafe_kernel";
+  case Status::ShuttingDown:
+    return "shutting_down";
   }
   return "unknown";
 }

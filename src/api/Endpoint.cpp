@@ -67,27 +67,33 @@ PendingLift Endpoint::immediateError(Status St, std::string Name,
   return Pending;
 }
 
-PendingLift Endpoint::submit(const LiftRequest &Request) {
+Endpoint::Admission Endpoint::admit(const LiftRequest &Request) {
+  Admission Out;
+  auto Fail = [&](PendingLift Pending) {
+    Out.Immediate = true;
+    Out.Pending = std::move(Pending);
+    return std::move(Out);
+  };
+
   if (!Request.RegistryName.empty() && Request.isInline())
-    return immediateError(Status::BadRequest, Request.Name,
-                          "a request carries either a registry name or an "
-                          "inline kernel, not both",
-                          Request.Patch);
+    return Fail(immediateError(Status::BadRequest, Request.Name,
+                               "a request carries either a registry name "
+                               "or an inline kernel, not both",
+                               Request.Patch));
   if (Request.RegistryName.empty() && !Request.isInline())
-    return immediateError(Status::BadRequest, Request.Name,
-                          "a request needs a registry \"name\" or an inline "
-                          "\"kernel\"",
-                          Request.Patch);
+    return Fail(immediateError(Status::BadRequest, Request.Name,
+                               "a request needs a registry \"name\" or an "
+                               "inline \"kernel\"",
+                               Request.Patch));
   if (!Request.isInline() && !Request.OracleHint.empty())
-    return immediateError(Status::BadRequest, Request.RegistryName,
-                          "an oracle hint only applies to an inline kernel "
-                          "(registry benchmarks carry their own reference)",
-                          Request.Patch);
+    return Fail(immediateError(Status::BadRequest, Request.RegistryName,
+                               "an oracle hint only applies to an inline "
+                               "kernel (registry benchmarks carry their own "
+                               "reference)",
+                               Request.Patch));
 
-  core::StaggConfig Effective = Request.Patch.apply(Base);
+  Out.Effective = Request.Patch.apply(Base);
 
-  bench::Benchmark Query;
-  std::vector<analysis::CheckFinding> Warnings;
   if (Request.isInline()) {
     IngestResult Ingested = ingestCached(Request);
     if (!Ingested.ok()) {
@@ -100,10 +106,10 @@ PendingLift Endpoint::submit(const LiftRequest &Request) {
           St, Request.Name.empty() ? "inline" : Request.Name, Ingested.Error,
           Request.Patch);
       Pending.Resolved.Diagnostics = std::move(Ingested.Findings);
-      return Pending;
+      return Fail(std::move(Pending));
     }
-    Query = std::move(Ingested.Kernel);
-    Warnings = std::move(Ingested.Findings); // only warnings survive clean()
+    Out.Query = std::move(Ingested.Kernel);
+    Out.Warnings = std::move(Ingested.Findings); // warnings survive clean()
   } else {
     const bench::Benchmark *Found = bench::findBenchmark(Request.RegistryName);
     if (!Found) {
@@ -112,17 +118,46 @@ PendingLift Endpoint::submit(const LiftRequest &Request) {
       std::string Hint = nearestBenchmark(Request.RegistryName);
       if (!Hint.empty())
         Error += " — did you mean '" + Hint + "'?";
-      return immediateError(Status::UnknownBenchmark, Request.RegistryName,
-                            Error, Request.Patch);
+      return Fail(immediateError(Status::UnknownBenchmark,
+                                 Request.RegistryName, Error, Request.Patch));
     }
-    Query = *Found;
+    Out.Query = *Found;
   }
+  return Out;
+}
+
+PendingLift Endpoint::submit(const LiftRequest &Request) {
+  Admission Admitted = admit(Request);
+  if (Admitted.Immediate)
+    return std::move(Admitted.Pending);
 
   PendingLift Pending;
   Pending.Resolved.Applied = Request.Patch;
-  Pending.Resolved.Diagnostics = std::move(Warnings);
-  Pending.Raw = Service.submit(std::move(Query), Effective);
+  Pending.Resolved.Diagnostics = std::move(Admitted.Warnings);
+  Pending.Raw =
+      Service.submit(std::move(Admitted.Query), Admitted.Effective);
   return Pending;
+}
+
+bool Endpoint::trySubmit(const LiftRequest &Request,
+                         serve::SubmitHooks Hooks, PendingLift &Out) {
+  Admission Admitted = admit(Request);
+  if (Admitted.Immediate) {
+    Out = std::move(Admitted.Pending);
+    return true;
+  }
+
+  std::future<serve::LiftResponse> Raw;
+  if (!Service.trySubmit(std::move(Admitted.Query), Admitted.Effective,
+                         std::move(Hooks), Raw))
+    return false; // queue full; the ingest memo keeps the retry cheap
+
+  PendingLift Pending;
+  Pending.Resolved.Applied = Request.Patch;
+  Pending.Resolved.Diagnostics = std::move(Admitted.Warnings);
+  Pending.Raw = std::move(Raw);
+  Out = std::move(Pending);
+  return true;
 }
 
 IngestResult Endpoint::ingestCached(const LiftRequest &Request) {

@@ -59,8 +59,22 @@ public:
   /// requests; admission errors resolve immediately).
   PendingLift submit(const LiftRequest &Request);
 
+  /// Non-blocking admission for event-loop callers (the socket transport):
+  /// false when the service queue is full — nothing happened, retry after
+  /// a completion frees a slot. True means \p Out is live: either an
+  /// immediately-resolved admission error or an in-flight lift observing
+  /// \p Hooks. Ingestion of an inline kernel still runs synchronously
+  /// (memoized), but never blocks on backpressure.
+  bool trySubmit(const LiftRequest &Request, serve::SubmitHooks Hooks,
+                 PendingLift &Out);
+
   /// Blocking convenience: submit and wait.
   LiftResponse lift(const LiftRequest &Request);
+
+  /// Stops admission, drains in-flight requests, joins the worker pool.
+  /// Callers whose completion hooks reference external state (the socket
+  /// loop) call this before that state goes away.
+  void shutdown() { Service.shutdown(); }
 
   serve::CacheStats cacheStats() const { return Service.cacheStats(); }
   serve::BatchingStats batchingStats() const {
@@ -68,6 +82,7 @@ public:
   }
   int threads() const { return Service.threads(); }
   int queueDepth() const { return Service.queueDepth(); }
+  size_t queueLength() const { return Service.queueLength(); }
 
   /// The service-wide configuration patches apply on top of.
   const core::StaggConfig &baseConfig() const { return Base; }
@@ -77,6 +92,20 @@ private:
   static PendingLift immediateError(Status St, std::string Name,
                                     std::string Error,
                                     const ConfigPatch &Applied);
+
+  /// The shared front half of submit/trySubmit: validation, registry
+  /// lookup or (memoized) inline ingestion, and patch application. When
+  /// Immediate is true, Pending already carries the resolved admission
+  /// error; otherwise Query/Effective/Warnings describe the lift to
+  /// enqueue.
+  struct Admission {
+    bool Immediate = false;
+    PendingLift Pending;
+    bench::Benchmark Query;
+    core::StaggConfig Effective;
+    std::vector<analysis::CheckFinding> Warnings;
+  };
+  Admission admit(const LiftRequest &Request);
 
   /// ingestKernel with memoization: ingestion (parse, analysis, smoke
   /// execution) runs synchronously on the admission thread, so a client

@@ -9,6 +9,57 @@ using namespace stagg;
 using namespace stagg::api;
 using support::Json;
 
+namespace {
+
+/// Parses the request fields of \p Root (everything but "v", which the
+/// caller has already checked) into \p Out. Shared by v1 lines and v2
+/// batch items, so both speak exactly the same request dialect. Returns an
+/// error message, or "" on success.
+std::string parseRequestObject(const support::Json &Root, LiftRequest &Out) {
+  for (const auto &[Key, Value] : Root.members()) {
+    std::string Error;
+    if (Key == "v") {
+      // Checked by the caller.
+    } else if (Key == "name") {
+      if (!Value.isString())
+        Error = "\"name\" must be a string";
+      else
+        Out.Name = Value.asString();
+    } else if (Key == "kernel") {
+      if (!Value.isString())
+        Error = "\"kernel\" must be a string of C source";
+      else
+        Out.KernelSource = Value.asString();
+    } else if (Key == "oracle_hint") {
+      if (!Value.isString())
+        Error = "\"oracle_hint\" must be a TACO expression string";
+      else
+        Out.OracleHint = Value.asString();
+    } else if (Key == "config") {
+      Error = ConfigPatch::fromJson(Value, Out.Patch);
+    } else {
+      Error = "unknown field \"" + Key + "\"";
+    }
+    if (!Error.empty())
+      return Error;
+  }
+
+  if (Out.KernelSource.empty()) {
+    if (Out.Name.empty())
+      return "a request needs a registry \"name\" or an inline \"kernel\"";
+    if (!Out.OracleHint.empty())
+      // Registry kernels carry their own reference; accepting-and-ignoring
+      // the hint would silently run something other than what the client
+      // asked for.
+      return "\"oracle_hint\" only applies to an inline \"kernel\"";
+    Out.RegistryName = Out.Name;
+    Out.Name.clear();
+  }
+  return "";
+}
+
+} // namespace
+
 ParsedRequest api::parseRequestLine(const std::string &Line) {
   ParsedRequest Parsed;
   std::string Trimmed = trim(Line);
@@ -41,52 +92,7 @@ ParsedRequest api::parseRequestLine(const std::string &Line) {
     return Parsed;
   }
 
-  for (const auto &[Key, Value] : Root.members()) {
-    std::string Error;
-    if (Key == "v") {
-      // Handled above.
-    } else if (Key == "name") {
-      if (!Value.isString())
-        Error = "\"name\" must be a string";
-      else
-        Parsed.Request.Name = Value.asString();
-    } else if (Key == "kernel") {
-      if (!Value.isString())
-        Error = "\"kernel\" must be a string of C source";
-      else
-        Parsed.Request.KernelSource = Value.asString();
-    } else if (Key == "oracle_hint") {
-      if (!Value.isString())
-        Error = "\"oracle_hint\" must be a TACO expression string";
-      else
-        Parsed.Request.OracleHint = Value.asString();
-    } else if (Key == "config") {
-      Error = ConfigPatch::fromJson(Value, Parsed.Request.Patch);
-    } else {
-      Error = "unknown field \"" + Key + "\"";
-    }
-    if (!Error.empty()) {
-      Parsed.Error = Error;
-      return Parsed;
-    }
-  }
-
-  if (Parsed.Request.KernelSource.empty()) {
-    if (Parsed.Request.Name.empty()) {
-      Parsed.Error = "a request needs a registry \"name\" or an inline "
-                     "\"kernel\"";
-      return Parsed;
-    }
-    if (!Parsed.Request.OracleHint.empty()) {
-      // Registry kernels carry their own reference; accepting-and-ignoring
-      // the hint would silently run something other than what the client
-      // asked for.
-      Parsed.Error = "\"oracle_hint\" only applies to an inline \"kernel\"";
-      return Parsed;
-    }
-    Parsed.Request.RegistryName = Parsed.Request.Name;
-    Parsed.Request.Name.clear();
-  }
+  Parsed.Error = parseRequestObject(Root, Parsed.Request);
   return Parsed;
 }
 
@@ -152,9 +158,159 @@ std::string api::renderResponse(const LiftResponse &Response) {
 }
 
 std::string api::renderProtocolError(const std::string &Message) {
+  return renderStatusError(Status::BadRequest, Message);
+}
+
+std::string api::renderStatusError(Status St, const std::string &Message) {
   Json Out = Json::object();
   Out.set("v", Json::integer(ProtocolVersion));
-  Out.set("status", Json::str(statusName(Status::BadRequest)));
+  Out.set("status", Json::str(statusName(St)));
   Out.set("error", Json::str(Message));
   return Out.dump();
+}
+
+SocketFrame api::parseSocketFrame(const std::string &Line) {
+  SocketFrame Frame;
+  std::string Trimmed = trim(Line);
+
+  // Legacy names and v1 objects flow through the v1 parser; only a frame
+  // that *announces* v2 takes the batch path.
+  bool LooksJson = !Trimmed.empty() && Trimmed[0] == '{';
+  support::JsonParseResult Json;
+  if (LooksJson)
+    Json = support::parseJson(Trimmed);
+  bool IsV2 = false;
+  if (LooksJson && Json.ok() && Json.Value.isObject()) {
+    const support::Json *Version = Json.Value.find("v");
+    IsV2 = Version && Version->isInteger() &&
+           Version->asInteger() == ProtocolVersionV2;
+  }
+  if (!IsV2) {
+    Frame.K = SocketFrame::Kind::V1;
+    Frame.V1 = parseRequestLine(Trimmed);
+    return Frame;
+  }
+
+  const support::Json &Root = Json.Value;
+  bool Stats = false;
+  bool SawRequests = false;
+  for (const auto &[Key, Value] : Root.members()) {
+    std::string Error;
+    if (Key == "v") {
+      // Checked above.
+    } else if (Key == "id") {
+      if (Value.isObject() || Value.isArray())
+        Error = "\"id\" must be a JSON scalar";
+      else
+        Frame.IdJson = Value.dump();
+    } else if (Key == "stats") {
+      if (!Value.isBool())
+        Error = "\"stats\" must be a boolean";
+      else
+        Stats = Value.asBool();
+    } else if (Key == "progress") {
+      if (!Value.isBool())
+        Error = "\"progress\" must be a boolean";
+      else
+        Frame.Progress = Value.asBool();
+    } else if (Key == "requests") {
+      if (!Value.isArray()) {
+        Error = "\"requests\" must be an array of request objects";
+      } else {
+        SawRequests = true;
+        for (const support::Json &Item : Value.items()) {
+          ParsedRequest Parsed;
+          Parsed.Format = RequestFormat::JsonV1;
+          if (!Item.isObject())
+            Parsed.Error = "a batch item must be a JSON object";
+          else
+            Parsed.Error = parseRequestObject(Item, Parsed.Request);
+          Frame.Items.push_back(std::move(Parsed));
+        }
+      }
+    } else {
+      Error = "unknown field \"" + Key + "\"";
+    }
+    if (!Error.empty()) {
+      Frame.K = SocketFrame::Kind::Invalid;
+      Frame.Error = Error;
+      return Frame;
+    }
+  }
+
+  if (Stats) {
+    if (SawRequests || Frame.Progress) {
+      Frame.Error = "a stats frame carries only \"v\", \"id\", \"stats\"";
+      return Frame;
+    }
+    Frame.K = SocketFrame::Kind::Stats;
+    return Frame;
+  }
+  if (!SawRequests) {
+    Frame.Error = "a v2 frame needs \"requests\" (or \"stats\":true)";
+    return Frame;
+  }
+  Frame.K = SocketFrame::Kind::Batch;
+  return Frame;
+}
+
+namespace {
+
+/// `{"v":2,"event":"<event>"[,"id":<id>][,"seq":<seq>]` — the shared head
+/// of every v2 event line, spliced as text so embedded ids and responses
+/// stay byte-exact.
+std::string eventHead(const char *Event, const std::string &IdJson,
+                      int Seq) {
+  std::string Out = "{\"v\":2,\"event\":\"";
+  Out += Event;
+  Out += '"';
+  if (!IdJson.empty()) {
+    Out += ",\"id\":";
+    Out += IdJson;
+  }
+  if (Seq >= 0) {
+    Out += ",\"seq\":";
+    Out += std::to_string(Seq);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string api::renderProgressEvent(const std::string &IdJson, int Seq,
+                                     const std::string &Name,
+                                     const char *Phase) {
+  std::string Out = eventHead("progress", IdJson, Seq);
+  Out += ",\"name\":";
+  Out += Json::str(Name).dump();
+  Out += ",\"phase\":\"";
+  Out += Phase;
+  Out += "\"}";
+  return Out;
+}
+
+std::string api::renderResponseEvent(const std::string &IdJson, int Seq,
+                                     const LiftResponse &Response) {
+  std::string Out = eventHead("response", IdJson, Seq);
+  Out += ",\"response\":";
+  Out += renderResponse(Response);
+  Out += '}';
+  return Out;
+}
+
+std::string api::renderDoneEvent(const std::string &IdJson, int Completed) {
+  std::string Out = eventHead("done", IdJson, -1);
+  Out += ",\"completed\":";
+  Out += std::to_string(Completed);
+  Out += '}';
+  return Out;
+}
+
+std::string api::renderErrorEvent(const std::string &IdJson,
+                                  const std::string &Message) {
+  std::string Out = eventHead("error", IdJson, -1);
+  Out += ",\"error\":";
+  Out += Json::str(Message).dump();
+  Out += '}';
+  return Out;
 }

@@ -43,6 +43,36 @@
 /// request; anything else is the legacy bare-registry-name protocol, whose
 /// one-line text responses are unchanged for existing clients.
 ///
+/// --- Protocol v2 (socket transport only) ---------------------------------
+///
+/// Over `stagg serve --listen`, frames with "v":2 batch requests and stream
+/// events. One frame, one JSON object, newline-terminated:
+///
+///   {"v":2,"id":7,"progress":true,"requests":[
+///     {"name":"blas_axpy"},
+///     {"kernel":"void kernel(...){...}","name":"my_kernel"}]}
+///   {"v":2,"stats":true}
+///
+/// "id" (any JSON scalar) is echoed verbatim on every event the frame
+/// produces; "progress" opts into phase events. The server answers with one
+/// event object per line, interleaved across a connection's frames:
+///
+///   {"v":2,"event":"progress","id":7,"seq":0,"name":"blas_axpy",
+///    "phase":"queued"}            // then "ingested","searching","verified"
+///   {"v":2,"event":"response","id":7,"seq":0,"response":{<a complete v1
+///    response object, byte-identical to the stdin path>}}
+///   {"v":2,"event":"done","id":7,"completed":2}
+///   {"v":2,"event":"stats","server":{...},"service":{...},"cache":{...}}
+///   {"v":2,"event":"error","error":"..."}
+///
+/// Per-item parse errors become per-item "response" events carrying a v1
+/// bad_request object; only a structurally broken frame produces an
+/// "error" event. Response events of one frame arrive in request order;
+/// progress events arrive as phases happen. v1 frames (and legacy names)
+/// work over the socket unchanged, answered in admission order per
+/// connection. During a graceful drain every new frame is answered with a
+/// status "shutting_down" line.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STAGG_API_PROTOCOL_H
@@ -55,8 +85,10 @@
 namespace stagg {
 namespace api {
 
-/// The protocol version this build speaks.
+/// The protocol versions this build speaks: v1 everywhere, v2 over the
+/// socket transport.
 constexpr int ProtocolVersion = 1;
+constexpr int ProtocolVersionV2 = 2;
 
 /// Which encoding a request line used (responses mirror it).
 enum class RequestFormat {
@@ -85,6 +117,55 @@ std::string renderResponse(const LiftResponse &Response);
 
 /// Renders a protocol-level failure (a line that never became a request).
 std::string renderProtocolError(const std::string &Message);
+
+/// Renders a one-line status + error object (`{"v":1,"status":...,
+/// "error":...}`) — the generalized form of renderProtocolError, used for
+/// transport-level refusals like shutting_down.
+std::string renderStatusError(Status St, const std::string &Message);
+
+/// One socket frame, classified. v1 lines (JSON or legacy names) pass
+/// through as ParsedRequest; v2 frames carry a batch or a stats probe.
+struct SocketFrame {
+  enum class Kind {
+    V1,      ///< A v1 request line (V1 field).
+    Batch,   ///< A v2 batch (Items; possibly empty).
+    Stats,   ///< A v2 stats probe.
+    Invalid, ///< Structurally broken (Error).
+  };
+
+  Kind K = Kind::Invalid;
+  ParsedRequest V1;
+
+  /// The frame's "id" rendered back to JSON, echoed on every event this
+  /// frame produces; empty when absent.
+  std::string IdJson;
+
+  /// True when the batch asked for progress events.
+  bool Progress = false;
+
+  /// The batch's requests in order. An item with a non-empty Error still
+  /// occupies its slot and is answered with a bad_request response event.
+  std::vector<ParsedRequest> Items;
+
+  std::string Error;
+
+  bool ok() const { return K != Kind::Invalid; }
+};
+
+/// Parses one newline-delimited socket frame (newline already stripped).
+SocketFrame parseSocketFrame(const std::string &Line);
+
+/// v2 event lines (no trailing newline). The response event embeds the v1
+/// rendering of \p Response verbatim, so socket results are byte-identical
+/// to the stdin path. \p IdJson is a SocketFrame::IdJson echo ("" omits
+/// the field); \p Seq < 0 omits "seq".
+std::string renderProgressEvent(const std::string &IdJson, int Seq,
+                                const std::string &Name, const char *Phase);
+std::string renderResponseEvent(const std::string &IdJson, int Seq,
+                                const LiftResponse &Response);
+std::string renderDoneEvent(const std::string &IdJson, int Completed);
+std::string renderErrorEvent(const std::string &IdJson,
+                             const std::string &Message);
 
 } // namespace api
 } // namespace stagg

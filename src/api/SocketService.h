@@ -1,0 +1,128 @@
+//===- api/SocketService.h - Protocol sessions over the socket --*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The protocol half of `stagg serve --listen`: SocketService implements
+/// serve::SocketProtocol on top of api::Endpoint, turning frames into lift
+/// admissions and completions into response lines. It owns all
+/// per-connection session state — parsed-but-unadmitted backlogs (the
+/// service queue was full), in-flight lifts, the in-order response window,
+/// and open v2 batches — and runs entirely on the socket loop thread:
+/// worker-side completion and progress hooks marshal back through
+/// SocketServer::post before touching anything here.
+///
+/// Ordering contract, per connection: response lines emit in admission
+/// order (the same window discipline as the stdin loop, so v1 sessions
+/// behave identically over TCP); progress, stats, and frame-error events
+/// emit the moment they happen, interleaved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_API_SOCKETSERVICE_H
+#define STAGG_API_SOCKETSERVICE_H
+
+#include "api/Endpoint.h"
+#include "api/Protocol.h"
+#include "serve/SocketServer.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace stagg {
+namespace api {
+
+/// Frames in, response lines out. One instance serves every connection of
+/// one SocketServer.
+class SocketService : public serve::SocketProtocol {
+public:
+  explicit SocketService(Endpoint &Lifter) : Lifter(Lifter) {}
+
+  /// Wires the transport whose loop this service runs on. Must be called
+  /// before the server runs (the server needs the protocol at
+  /// construction, so the cycle closes here).
+  void attach(serve::SocketServer &Server) { this->Server = &Server; }
+
+  // serve::SocketProtocol:
+  void onFrame(serve::SocketClient &Client,
+               const std::string &Line) override;
+  void onDisconnect(serve::SocketClient &Client) override;
+  std::string rejectLine(serve::TransportReject Kind) override;
+
+private:
+  /// One request occupying an ordering/fairness slot.
+  struct Item {
+    uint64_t Slot = 0;
+    int Seq = -1;           ///< Index within its v2 batch; -1 for v1.
+    uint64_t BatchKey = 0;  ///< 0 when not part of a batch.
+    bool V2 = false;
+    bool Progress = false;  ///< The batch asked for progress events.
+    RequestFormat Format = RequestFormat::LegacyName;
+    std::string IdJson;     ///< The batch's id echo.
+    std::string Name;       ///< Display name for progress events.
+    LiftRequest Request;
+  };
+
+  /// An admitted lift awaiting completion.
+  struct InFlightItem {
+    PendingLift Pending;
+    Item Meta; ///< Request cleared (the service owns its copy).
+  };
+
+  /// An open v2 batch: "done" fires once every member's response line has
+  /// flushed.
+  struct Batch {
+    std::string IdJson;
+    uint64_t BeyondSlot = 0; ///< First slot after the batch's members.
+    int Remaining = 0;       ///< Members without a Ready line yet.
+    int Total = 0;
+  };
+
+  /// Per-connection state, keyed by SocketClient::id().
+  struct Session {
+    uint64_t NextSlotToAssign = 0;
+    uint64_t NextSlotToEmit = 0;
+    std::deque<Item> Waiting;                ///< Parsed, not yet admitted.
+    std::map<uint64_t, InFlightItem> InFlight;
+    std::map<uint64_t, std::string> Ready;   ///< Awaiting in-order flush.
+    std::map<uint64_t, Batch> Batches;
+  };
+
+  /// Admits as much of the session's backlog as the service queue takes.
+  void pump(uint64_t ClientId);
+
+  /// Completion handler (loop thread, via post).
+  void onSettled(uint64_t ClientId, uint64_t Slot);
+
+  /// Worker progress handler (loop thread, via post).
+  void onProgress(uint64_t ClientId, uint64_t Slot,
+                  const std::string &Phase);
+
+  /// Emits every leading Ready line, then any batch whose members have all
+  /// flushed.
+  void flush(uint64_t ClientId);
+
+  /// Renders one settled response in the item's dialect.
+  static std::string renderLine(const Item &Meta,
+                                const LiftResponse &Response);
+
+  /// Marks \p Slot ready and settles its batch accounting.
+  void markReady(Session &S, const Item &Meta, std::string Line);
+
+  /// The v2 stats event (transport + service + cache counters).
+  std::string statsEvent() const;
+
+  Endpoint &Lifter;
+  serve::SocketServer *Server = nullptr;
+  std::map<uint64_t, Session> Sessions;
+  uint64_t NextBatchKey = 1;
+};
+
+} // namespace api
+} // namespace stagg
+
+#endif // STAGG_API_SOCKETSERVICE_H

@@ -58,6 +58,19 @@ struct ServeOptions {
 
   /// Number of independently locked cache shards (rounded up to one).
   int CacheShards = 8;
+
+  /// Socket transport: "<addr>:<port>" to listen on (port 0 picks a free
+  /// one); empty keeps `stagg serve` on stdin.
+  std::string ListenAddr;
+
+  /// Transport limits (see serve::SocketServerOptions).
+  int MaxConns = 64;
+  int MaxInFlight = 8;
+  double IdleTimeoutSeconds = 300;
+
+  /// Persistent result-cache journal; empty keeps the cache in-memory
+  /// only. Loaded at service startup, written through on every insert.
+  std::string CachePath;
 };
 
 /// Pipeline configuration.

@@ -13,6 +13,8 @@
 #include "grammar/Pcfg.h"
 #include "grammar/Template.h"
 #include "search/TopDown.h"
+#include "serve/ResultCache.h"
+#include "serve/SocketServer.h"
 #include "support/Json.h"
 #include "support/Timer.h"
 #include "taco/Einsum.h"
@@ -27,6 +29,11 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace stagg;
 using namespace stagg::driver;
@@ -281,6 +288,93 @@ std::vector<Micro> buildMicros(const MicroFixtures &F) {
                           if (!VR.Equivalent)
                             std::abort();
                         }
+                      }});
+  }
+
+  // Socket transport round trip: one frame through the live epoll loop and
+  // back over loopback TCP — the per-request floor of `stagg serve --listen`
+  // before any lifting happens.
+  {
+    /// A self-contained echo server: loop thread plus one blocking client.
+    struct EchoRig : serve::SocketProtocol {
+      serve::SocketServer Server;
+      std::thread Loop;
+      int Fd = -1;
+
+      EchoRig()
+          : Server(*this, [] {
+              serve::SocketServerOptions O;
+              O.Host = "127.0.0.1";
+              O.Port = 0;
+              return O;
+            }()) {}
+
+      void onFrame(serve::SocketClient &Client,
+                   const std::string &Line) override {
+        Client.send("ok:" + Line);
+      }
+      void onDisconnect(serve::SocketClient &) override {}
+      std::string rejectLine(serve::TransportReject) override {
+        return "reject";
+      }
+
+      bool up() {
+        std::string Error;
+        if (!Server.start(Error))
+          return false;
+        Loop = std::thread([this] { Server.run(); });
+        Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in Addr = {};
+        Addr.sin_family = AF_INET;
+        Addr.sin_port = htons(static_cast<uint16_t>(Server.port()));
+        Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr)) == 0;
+      }
+
+      void roundTrip() {
+        const char Ping[] = "ping\n";
+        if (::send(Fd, Ping, sizeof(Ping) - 1, 0) < 0)
+          std::abort();
+        char Buf[64];
+        size_t Got = 0;
+        while (Got == 0 || Buf[Got - 1] != '\n') {
+          ssize_t N = ::recv(Fd, Buf + Got, sizeof(Buf) - Got, 0);
+          if (N <= 0)
+            std::abort();
+          Got += static_cast<size_t>(N);
+        }
+      }
+
+      ~EchoRig() override {
+        if (Fd >= 0)
+          ::close(Fd);
+        Server.requestShutdown();
+        if (Loop.joinable())
+          Loop.join();
+      }
+    };
+    auto Rig = std::make_shared<EchoRig>();
+    if (Rig->up())
+      Micros.push_back({"micro/socket_echo", [Rig] { Rig->roundTrip(); }});
+  }
+
+  // Persistent-cache record encode/decode: what every write-through insert
+  // pays on the way out and every journal record pays at warm start.
+  {
+    auto Result = std::make_shared<core::LiftResult>();
+    Result->Solved = true;
+    Result->Verified = true;
+    Result->Template = F.GemvTemplate;
+    Result->Concrete = F.GemvTruth;
+    Result->Attempts = 12;
+    Result->Expansions = 3456;
+    Micros.push_back({"micro/cache_persist", [Result] {
+                        core::LiftResult Back;
+                        if (!serve::liftResultFromJson(
+                                serve::liftResultToJson(*Result), Back) ||
+                            !Back.Solved)
+                          std::abort();
                       }});
   }
 

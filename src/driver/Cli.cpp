@@ -77,7 +77,10 @@ const std::vector<std::string> &knownFlags() {
       "--batch",         "--batch-wait-us",
       "--cache-capacity", "--cache-shards",
       "--timeout",        "--json",
-      "--min-time",       "--Werror"};
+      "--min-time",       "--Werror",
+      "--listen",         "--max-conns",
+      "--max-inflight",   "--idle-timeout",
+      "--cache-file"};
   return Flags;
 }
 
@@ -182,6 +185,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
   std::string BenchOnly;
   std::string FormatFlag;
   std::string CheckOnly;
+  std::string ServeOnly;
   for (; I < Args.size(); ++I) {
     // Positional arguments are subcommands: `serve` or `bench`.
     if (!Args[I].empty() && Args[I][0] != '-') {
@@ -377,6 +381,54 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         O.Config.Serve.CacheCapacity = static_cast<size_t>(N);
       else // --cache-shards
         O.Config.Serve.CacheShards = static_cast<int>(N);
+    } else if (F.Name == "--listen") {
+      ServeOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      // Validate the shape here so a typo fails at startup, not at bind
+      // time: "<addr>:<port>" with a numeric port (0 picks a free one).
+      std::string::size_type Colon = Value.rfind(':');
+      long long Port = 0;
+      if (Colon == std::string::npos || Colon == 0 ||
+          !parseInt(Value.substr(Colon + 1), Port) || Port < 0 ||
+          Port > 65535) {
+        Parse.Error = "--listen expects <addr>:<port> (port 0 picks a free "
+                      "one), got '" + Value + "'";
+        break;
+      }
+      O.Config.Serve.ListenAddr = Value;
+    } else if (F.Name == "--max-conns" || F.Name == "--max-inflight") {
+      ServeOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      long long N = 0;
+      if (!parseInt(Value, N) || N <= 0 ||
+          N > std::numeric_limits<int>::max()) {
+        Parse.Error =
+            F.Name + " expects a positive value, got '" + Value + "'";
+        break;
+      }
+      if (F.Name == "--max-conns")
+        O.Config.Serve.MaxConns = static_cast<int>(N);
+      else
+        O.Config.Serve.MaxInFlight = static_cast<int>(N);
+    } else if (F.Name == "--idle-timeout") {
+      ServeOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      double Seconds = 0;
+      if (!parseDouble(Value, Seconds) || !std::isfinite(Seconds) ||
+          Seconds < 0) {
+        Parse.Error =
+            "--idle-timeout expects seconds >= 0 (0 disables), got '" +
+            Value + "'";
+        break;
+      }
+      O.Config.Serve.IdleTimeoutSeconds = Seconds;
+    } else if (F.Name == "--cache-file") {
+      ServeOnly = F.Name;
+      if (!takeValue(F, O.Config.Serve.CachePath))
+        break;
     } else if (F.Name == "--timeout") {
       if (!takeValue(F, Value))
         break;
@@ -437,6 +489,11 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
     else if (O.Mode == DriverMode::List && !TableOnly.empty())
       Parse.Error =
           TableOnly + " does not apply to `stagg list` (see --help)";
+    else if (O.Mode != DriverMode::Serve && !ServeOnly.empty())
+      Parse.Error = ServeOnly + " only applies to `stagg serve`";
+    else if (!O.Config.Serve.ListenAddr.empty() && !O.InputPath.empty())
+      Parse.Error = "--listen and --input are mutually exclusive (requests "
+                    "arrive over the socket)";
     else if (O.Mode != DriverMode::Check && !CheckOnly.empty())
       Parse.Error = CheckOnly + " only applies to `stagg check`";
     else if (O.Mode != DriverMode::Check && O.Format == OutputFormat::Json)
@@ -554,6 +611,23 @@ std::string driver::usage() {
      << "  --cache-stats       print cache/batching counters to stderr\n"
      << "  --input PATH        serve: read requests from PATH, not stdin\n"
      << "\n"
+     << "Socket transport (stagg serve --listen):\n"
+     << "  --listen ADDR:PORT  serve over TCP instead of stdin: newline-\n"
+     << "                      delimited v1 requests or v2 batch frames\n"
+     << "                      (see README, \"Running as a network "
+        "service\").\n"
+     << "                      Port 0 picks a free port; the bound address\n"
+     << "                      is printed as `listening on HOST:PORT`\n"
+     << "  --max-conns N       concurrent connection cap; extra clients are\n"
+     << "                      refused with an error event (default 64)\n"
+     << "  --max-inflight N    per-connection fairness cap: reads pause\n"
+     << "                      while a client has this many requests\n"
+     << "                      admitted or queued (default 8)\n"
+     << "  --idle-timeout S    close connections quiet for S seconds;\n"
+     << "                      0 disables (default 300)\n"
+     << "  --cache-file PATH   persist the result cache to an append-only\n"
+     << "                      journal at PATH, reloaded on restart\n"
+     << "\n"
      << "Benchmarking (stagg bench):\n"
      << "  --json PATH         write the versioned JSON report to PATH\n"
      << "  --min-time SECONDS  minimum measured time per micro benchmark\n"
@@ -577,6 +651,7 @@ std::string driver::usage() {
      << "  stagg --suite real --search bu --threads 8 --csv results.csv\n"
      << "  stagg --suite all --drop-penalty a --equal-probability\n"
      << "  stagg serve --threads 4 --batch 4 --cache-stats < requests.txt\n"
+     << "  stagg serve --listen 127.0.0.1:0 --cache-file lift-cache.jsonl\n"
      << "  stagg bench --suite real --threads 1 --json bench.json\n"
      << "  stagg list --suite pointer\n"
      << "  stagg check --suite all\n"

@@ -4,8 +4,12 @@
 
 #include "api/Endpoint.h"
 #include "api/Protocol.h"
+#include "api/SocketService.h"
+#include "serve/SocketServer.h"
 #include "support/StringUtils.h"
 
+#include <csignal>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -50,6 +54,10 @@ public:
     case api::Status::UnsafeKernel:
       raise(ServeExitUnsafeKernel);
       break;
+    case api::Status::ShuttingDown:
+      // A drain refusal is a service condition, not a client mistake; it
+      // leaves the exit code alone (and cannot occur on the stdin path).
+      break;
     }
     Err << "stagg serve: " << api::statusName(Response.St) << ": "
         << Response.Error << "\n";
@@ -89,6 +97,65 @@ void printEntry(std::ostream &Out, InFlight &Entry, ExitTracker &Tracker) {
   Out << core::describeResult(Response.Name, Response.Result)
       << (Response.CacheHit ? " [cached]" : "") << "\n"
       << std::flush;
+}
+
+/// The `--listen` session: the same Endpoint behind the epoll transport
+/// instead of stdin. SIGTERM and SIGINT begin a graceful drain, and a clean
+/// drain exits 0 — request-level failures travel in response lines to the
+/// clients that caused them, never into the server's exit code.
+int runServeListen(const CliOptions &Options) {
+  const core::ServeOptions &Serve = Options.Config.Serve;
+  std::string::size_type Colon = Serve.ListenAddr.rfind(':');
+  serve::SocketServerOptions Sock;
+  Sock.Host = Serve.ListenAddr.substr(0, Colon);
+  Sock.Port = std::atoi(Serve.ListenAddr.c_str() + Colon + 1);
+  Sock.MaxConns = Serve.MaxConns;
+  Sock.MaxInFlight = Serve.MaxInFlight;
+  Sock.IdleTimeoutSeconds = Serve.IdleTimeoutSeconds;
+  Sock.Verbose = Options.Verbose;
+
+  serve::ServiceConfig Service;
+  Service.Config = Options.Config;
+  Service.Threads = Options.Threads;
+  Service.OracleSeed = Options.OracleSeed;
+  api::Endpoint Lifter(Service);
+  api::SocketService Proto(Lifter);
+  serve::SocketServer Server(Proto, Sock);
+  Proto.attach(Server);
+
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::cerr << "stagg serve: " << Error << "\n";
+    return 2;
+  }
+
+  std::signal(SIGTERM, [](int) { serve::SocketServer::signalShutdown(); });
+  std::signal(SIGINT, [](int) { serve::SocketServer::signalShutdown(); });
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The port-0 convention: tests and the soak harness bind port 0 and
+  // learn the kernel's pick from this line, so parallel jobs never race
+  // for a port. It must be on stdout and flushed before the loop blocks.
+  std::cout << "stagg serve: listening on " << Sock.Host << ":"
+            << Server.port() << "\n"
+            << std::flush;
+
+  int Rc = Server.run();
+
+  // Join the workers while the transport and protocol still exist: a
+  // completion hook fired after ~SocketServer would post into a dead loop.
+  Lifter.shutdown();
+
+  if (Options.Verbose) {
+    serve::SocketServerStats Stats = Server.stats();
+    std::cerr << "stagg serve: drained; " << Stats.Accepted
+              << " connections, " << Stats.FramesIn << " frames in, "
+              << Stats.LinesOut << " lines out\n";
+  }
+  if (Options.ShowCacheStats)
+    printServeStats(std::cerr, Lifter.cacheStats(), Lifter.batchingStats(),
+                    Options.Config.Serve.BatchSize);
+  return Rc == 0 ? ServeExitOk : 2;
 }
 
 /// Prints every leading in-flight entry whose reply is already available.
@@ -174,6 +241,8 @@ int driver::runServeLoop(const CliOptions &Options, std::istream &In,
 }
 
 int driver::runServeCommand(const CliOptions &Options) {
+  if (!Options.Config.Serve.ListenAddr.empty())
+    return runServeListen(Options);
   if (!Options.InputPath.empty()) {
     std::ifstream File(Options.InputPath);
     if (!File) {

@@ -66,7 +66,11 @@ int runServeLoop(const CliOptions &Options, std::istream &In,
                  std::ostream &Out, std::ostream &Err);
 
 /// Entry point used by Main: opens Options.InputPath (or stdin) and calls
-/// runServeLoop on the standard streams.
+/// runServeLoop on the standard streams — or, with --listen, runs the
+/// socket transport (serve::SocketServer + api::SocketService) until a
+/// SIGTERM/SIGINT drain completes. The socket session prints
+/// `stagg serve: listening on HOST:PORT` to stdout once bound (the port-0
+/// convention networked tests rely on) and exits 0 after a clean drain.
 int runServeCommand(const CliOptions &Options);
 
 } // namespace driver

@@ -31,7 +31,8 @@ LiftService::LiftService(ServiceConfig Config, OracleFactory Factory)
       Factory(Factory ? std::move(Factory) : defaultFactory()),
       Queue(this->Config.Config.Serve.QueueDepth),
       Cache(this->Config.Config.Serve.CacheCapacity,
-            this->Config.Config.Serve.CacheShards) {
+            this->Config.Config.Serve.CacheShards,
+            this->Config.Config.Serve.CachePath) {
   const core::ServeOptions &Serve = this->Config.Config.Serve;
   if (Serve.BatchSize > 1) {
     SharedInner = this->Factory(this->Config.OracleSeed);
@@ -81,10 +82,18 @@ std::future<LiftResponse> LiftService::submit(
 
 bool LiftService::trySubmit(const bench::Benchmark &B,
                             std::future<LiftResponse> &Out) {
+  return trySubmit(B, Config.Config, SubmitHooks(), Out);
+}
+
+bool LiftService::trySubmit(bench::Benchmark B,
+                            const core::StaggConfig &Override,
+                            SubmitHooks Hooks,
+                            std::future<LiftResponse> &Out) {
   LiftRequest Request;
-  Request.Query = B;
-  Request.Config = Config.Config;
+  Request.Query = std::move(B);
+  Request.Config = Override;
   Request.Ticket = NextTicket.fetch_add(1);
+  Request.Hooks = std::move(Hooks);
   std::future<LiftResponse> Reply = Request.Reply.get_future();
   if (!Queue.tryPush(std::move(Request)))
     return false;
@@ -132,10 +141,16 @@ void LiftService::execute(LiftRequest &Request, llm::CandidateOracle &Oracle) {
   if (Cache.lookup(Key, Response.Result)) {
     Response.CacheHit = true;
     Request.Reply.set_value(std::move(Response));
+    if (Request.Hooks.OnSettled)
+      Request.Hooks.OnSettled();
     return;
   }
 
+  if (Request.Hooks.Progress)
+    Request.Hooks.Progress("searching");
   Response.Result = core::liftBenchmark(B, Oracle, Request.Config);
+  if (Request.Hooks.Progress)
+    Request.Hooks.Progress("verified");
   // Deterministic failures (parse errors, exhausted search spaces, spent
   // expansion budgets) are cached too — re-lifting identical text can only
   // reproduce them. Wall-clock timeouts are NOT: they depend on machine
@@ -144,6 +159,8 @@ void LiftService::execute(LiftRequest &Request, llm::CandidateOracle &Oracle) {
   if (Response.Result.Solved || Response.Result.FailReason != "timeout")
     Cache.insert(Key, Response.Result);
   Request.Reply.set_value(std::move(Response));
+  if (Request.Hooks.OnSettled)
+    Request.Hooks.OnSettled();
 }
 
 BatchingStats LiftService::batchingStats() const {

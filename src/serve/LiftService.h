@@ -81,6 +81,13 @@ public:
   /// Non-blocking variant: false (and no future) when the queue is full.
   bool trySubmit(const bench::Benchmark &B, std::future<LiftResponse> &Out);
 
+  /// Non-blocking variant with a per-request override and observation
+  /// hooks — the socket transport's admission path, which must never block
+  /// its event loop on queue backpressure. False (nothing moved, no
+  /// future) when the queue is full or closed.
+  bool trySubmit(bench::Benchmark B, const core::StaggConfig &Override,
+                 SubmitHooks Hooks, std::future<LiftResponse> &Out);
+
   /// Blocking convenience: submit and wait.
   LiftResponse lift(const bench::Benchmark &B);
 
@@ -95,6 +102,10 @@ public:
 
   int threads() const { return static_cast<int>(Pool.size()); }
   int queueDepth() const { return Queue.depth(); }
+
+  /// Requests currently waiting in the admission queue (a point-in-time
+  /// observability reading, racy by nature).
+  size_t queueLength() const { return Queue.size(); }
 
 private:
   void workerLoop();

@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 
@@ -40,6 +41,21 @@ struct LiftResponse {
 
   /// Admission ticket of the originating request.
   uint64_t Ticket = 0;
+};
+
+/// Optional per-request observation hooks, for callers that stream
+/// progress (the socket transport's protocol v2). Both run on the worker
+/// thread that executes the request — implementations must marshal to
+/// their own thread (SocketServer::post) and never touch the request.
+struct SubmitHooks {
+  /// Called as the request changes phase ("searching" when a worker picks
+  /// it up, "verified" when the pipeline finished). Cache hits skip
+  /// straight to the result and fire neither.
+  std::function<void(const char *Phase)> Progress;
+
+  /// Called after the reply promise is fulfilled — the future is ready by
+  /// the time this runs.
+  std::function<void()> OnSettled;
 };
 
 /// One lift request as it travels through the service.
@@ -62,6 +78,9 @@ struct LiftRequest {
 
   /// Fulfilled by the worker that executes (or cache-serves) the request.
   std::promise<LiftResponse> Reply;
+
+  /// Progress/settlement observation (may be empty).
+  SubmitHooks Hooks;
 };
 
 /// Bounded blocking MPMC queue. All methods are thread-safe.

@@ -13,14 +13,25 @@
 /// the shard picked by key hash so concurrent workers rarely contend on one
 /// mutex. Hit/miss/eviction counters feed `stagg --cache-stats`.
 ///
+/// Optional persistence: given a journal path, every first insertion is
+/// written through to an append-only file of JSON-lines records, loaded
+/// back at construction so a restarted replica answers its previous
+/// workload from warm cache. A record that fails to parse truncates the
+/// journal from that point (torn final writes and corruption recover to
+/// the longest valid prefix instead of crashing), and the journal is
+/// compacted — live entries rewritten, dead history dropped — once it
+/// grows past twice the live set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STAGG_SERVE_RESULTCACHE_H
 #define STAGG_SERVE_RESULTCACHE_H
 
 #include "core/Stagg.h"
+#include "support/Json.h"
 
 #include <cstdint>
+#include <fstream>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,6 +52,11 @@ struct CacheStats {
   size_t Capacity = 0;
   int Shards = 0;
 
+  /// Persistence counters (zero for in-memory caches): entries loaded from
+  /// the journal at construction, and journal compactions since.
+  uint64_t Loaded = 0;
+  uint64_t Compactions = 0;
+
   double hitRate() const {
     uint64_t Lookups = Hits + Misses;
     return Lookups ? static_cast<double>(Hits) / Lookups : 0;
@@ -51,8 +67,10 @@ struct CacheStats {
 class ResultCache {
 public:
   /// \p Capacity total entries split across \p Shards locks. Capacity 0
-  /// disables the cache (lookups miss, inserts drop).
-  ResultCache(size_t Capacity, int Shards);
+  /// disables the cache (lookups miss, inserts drop). A non-empty
+  /// \p JournalPath makes the cache persistent: existing records load now
+  /// (corrupt tails truncate), new insertions write through.
+  ResultCache(size_t Capacity, int Shards, std::string JournalPath = "");
 
   /// Canonical key of a kernel source (normalizeKernelText).
   static std::string keyFor(const std::string &KernelSource);
@@ -90,9 +108,38 @@ private:
 
   Shard &shardFor(const std::string &Key);
 
+  /// Replays the journal into the shards; truncates at the first record
+  /// that fails to parse.
+  void loadJournal();
+
+  /// One write-through record, plus compaction when the journal's record
+  /// count has outgrown the live set. Caller holds no shard lock.
+  void journalInsert(const std::string &Key, const core::LiftResult &Result);
+
+  /// Rewrites the journal to exactly the live entries (tmp file + rename).
+  void compactLocked();
+
   size_t TotalCapacity;
   std::vector<std::unique_ptr<Shard>> ShardStore;
+
+  /// Persistence state, all guarded by JournalMutex (shard locks are never
+  /// held while it is taken).
+  std::string JournalPath;
+  std::ofstream Journal;
+  mutable std::mutex JournalMutex;
+  uint64_t JournalRecords = 0; ///< Records in the file, live or dead.
+  uint64_t LoadedCount = 0;
+  uint64_t CompactionCount = 0;
 };
+
+/// The journal encoding of one result, shared with the cache_persist
+/// micro-benchmark: every result-affecting LiftResult field round-trips
+/// (programs travel as printed TACO text).
+support::Json liftResultToJson(const core::LiftResult &Result);
+
+/// Rebuilds \p Out from liftResultToJson output; false when \p Value is
+/// structurally wrong or a program fails to re-parse (corrupt record).
+bool liftResultFromJson(const support::Json &Value, core::LiftResult &Out);
 
 /// Renders "hits H misses M ... (rate R%)" for --cache-stats output.
 std::string formatCacheStats(const CacheStats &Stats);

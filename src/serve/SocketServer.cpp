@@ -1,0 +1,556 @@
+//===- serve/SocketServer.cpp - Epoll socket transport --------------------===//
+
+#include "serve/SocketServer.h"
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#endif
+
+using namespace stagg;
+using namespace stagg::serve;
+
+std::atomic<int> SocketServer::SignalWakeFd{-1};
+
+namespace {
+
+/// Set by signalShutdown(); a lock-free atomic store is async-signal-safe.
+std::atomic<bool> GSignalShutdown{false};
+
+/// Reserved epoll identities (client ids start at 16).
+constexpr uint64_t ListenId = 0;
+constexpr uint64_t WakeId = 1;
+
+} // namespace
+
+void SocketClient::send(std::string Line) {
+  Line += '\n';
+  Server->LinesOut.fetch_add(1, std::memory_order_relaxed);
+  WriteBuf.append(Line);
+  // Opportunistic flush: most responses fit the socket buffer, so the
+  // common case never waits for an EPOLLOUT round trip. A fatal error here
+  // only marks the connection; destruction happens in the server's sweep,
+  // never under a protocol callback's feet.
+  if (!Server->writeSome(*this)) {
+    WriteBuf.clear();
+    CloseAfterFlush = true;
+  }
+  Server->updateInterest(*this);
+}
+
+void SocketClient::beginRequest() {
+  ++InFlight;
+  Server->InFlightTotal.fetch_add(1, std::memory_order_relaxed);
+  Server->updateInterest(*this);
+}
+
+void SocketClient::endRequest() {
+  --InFlight;
+  Server->InFlightTotal.fetch_sub(1, std::memory_order_relaxed);
+  Server->updateInterest(*this);
+}
+
+SocketServer::SocketServer(SocketProtocol &Protocol,
+                           SocketServerOptions Options)
+    : Protocol(Protocol), Options(std::move(Options)) {
+  this->Options.MaxConns = std::max(this->Options.MaxConns, 1);
+  this->Options.MaxInFlight = std::max(this->Options.MaxInFlight, 1);
+  this->Options.WriteLowWater =
+      std::min(this->Options.WriteLowWater, this->Options.WriteHighWater);
+}
+
+SocketServer::~SocketServer() = default;
+
+void SocketServer::requestShutdown() {
+  ShutdownRequested.store(true, std::memory_order_relaxed);
+  post([] {}); // any wakeup makes the loop re-check the flag
+}
+
+void SocketServer::signalShutdown() {
+  GSignalShutdown.store(true, std::memory_order_relaxed);
+  int Fd = SignalWakeFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    uint64_t One = 1;
+    // A failed wake is harmless: the loop re-checks on its next timeout.
+    [[maybe_unused]] ssize_t Ignored = ::write(Fd, &One, sizeof(One));
+  }
+}
+
+#ifdef __linux__
+
+bool SocketServer::start(std::string &Error) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Options.Port));
+  if (::inet_pton(AF_INET, Options.Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "cannot parse listen address '" + Options.Host + "'";
+    return false;
+  }
+
+  support::UniqueFd Fd(
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!Fd) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int On = 1;
+  ::setsockopt(Fd.get(), SOL_SOCKET, SO_REUSEADDR, &On, sizeof(On));
+  if (::bind(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = "bind " + Options.Host + ":" + std::to_string(Options.Port) +
+            ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(Fd.get(), 128) != 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), &Len) !=
+      0) {
+    Error = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  ListenFd = std::move(Fd);
+  return true;
+}
+
+int SocketServer::run() {
+  if (!ListenFd)
+    return 1;
+  EpollFd.reset(::epoll_create1(EPOLL_CLOEXEC));
+  WakeFd.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!EpollFd || !WakeFd)
+    return 1;
+
+  epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = ListenId;
+  if (::epoll_ctl(EpollFd.get(), EPOLL_CTL_ADD, ListenFd.get(), &Ev) != 0)
+    return 1;
+  Ev.data.u64 = WakeId;
+  if (::epoll_ctl(EpollFd.get(), EPOLL_CTL_ADD, WakeFd.get(), &Ev) != 0)
+    return 1;
+
+  SignalWakeFd.store(WakeFd.get(), std::memory_order_relaxed);
+  Running.store(true, std::memory_order_relaxed);
+
+  epoll_event Events[64];
+  while (true) {
+    if (GSignalShutdown.load(std::memory_order_relaxed))
+      ShutdownRequested.store(true, std::memory_order_relaxed);
+    if (ShutdownRequested.load(std::memory_order_relaxed) && !draining()) {
+      beginDrain();
+      // Clients already settled (all responses flushed before the signal
+      // landed) will never produce another epoll event: close them now or
+      // the wait below blocks forever with no timer armed.
+      sweep();
+    }
+    if (draining() && Clients.empty())
+      break;
+
+    int N = ::epoll_wait(EpollFd.get(), Events, 64, nextTimeoutMs());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I < N; ++I) {
+      uint64_t Id = Events[I].data.u64;
+      if (Id == ListenId) {
+        acceptReady();
+        continue;
+      }
+      if (Id == WakeId) {
+        uint64_t Count = 0;
+        while (::read(WakeFd.get(), &Count, sizeof(Count)) > 0) {
+        }
+        continue;
+      }
+      SocketClient *C = client(Id);
+      if (!C)
+        continue; // destroyed by an earlier event this round
+      if (Events[I].events & (EPOLLERR | EPOLLHUP)) {
+        Disconnects.fetch_add(1, std::memory_order_relaxed);
+        destroyClient(Id);
+        continue;
+      }
+      if (Events[I].events & EPOLLOUT) {
+        writable(*C);
+        C = client(Id);
+        if (!C)
+          continue;
+      }
+      if (Events[I].events & (EPOLLIN | EPOLLRDHUP))
+        readable(*C);
+    }
+
+    runPosted();
+
+    // Deadline enforcement: idle keepalives and stalled partial frames.
+    Clock::time_point Now = Clock::now();
+    std::vector<uint64_t> Expired;
+    std::vector<bool> Stalled;
+    for (const auto &[Id, C] : Clients) {
+      if (Options.FrameTimeoutSeconds > 0 && C->HasPartial &&
+          std::chrono::duration<double>(Now - C->PartialSince).count() >=
+              Options.FrameTimeoutSeconds) {
+        Expired.push_back(Id);
+        Stalled.push_back(true);
+        continue;
+      }
+      bool Quiet = C->InFlight == 0 && C->Pending == 0 &&
+                   C->WriteBuf.empty() && !C->HasPartial;
+      if (Options.IdleTimeoutSeconds > 0 && Quiet &&
+          std::chrono::duration<double>(Now - C->LastActivity).count() >=
+              Options.IdleTimeoutSeconds) {
+        Expired.push_back(Id);
+        Stalled.push_back(false);
+      }
+    }
+    for (size_t I = 0; I < Expired.size(); ++I) {
+      (Stalled[I] ? FrameTimeouts : IdleClosed)
+          .fetch_add(1, std::memory_order_relaxed);
+      log(Stalled[I] ? "closing stalled connection" : "closing idle "
+                                                      "connection");
+      destroyClient(Expired[I]);
+    }
+
+    sweep();
+  }
+
+  Running.store(false, std::memory_order_relaxed);
+  SignalWakeFd.store(-1, std::memory_order_relaxed);
+  while (!Clients.empty())
+    destroyClient(Clients.begin()->first);
+  EpollFd.reset();
+  WakeFd.reset();
+  ListenFd.reset();
+  return 0;
+}
+
+void SocketServer::acceptReady() {
+  while (true) {
+    int Raw = ::accept4(ListenFd.get(), nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Raw < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // EAGAIN or transient accept failure: epoll re-arms us
+    }
+    support::UniqueFd Fd(Raw);
+    if (static_cast<int>(Clients.size()) >= Options.MaxConns) {
+      Refused.fetch_add(1, std::memory_order_relaxed);
+      std::string Line = Protocol.rejectLine(
+          TransportReject::TooManyConnections);
+      Line += '\n';
+      // Best effort: the refused peer deserves a reason, but not a slot.
+      [[maybe_unused]] ssize_t Ignored =
+          ::send(Fd.get(), Line.data(), Line.size(), MSG_NOSIGNAL);
+      log("refused connection (limit " +
+          std::to_string(Options.MaxConns) + ")");
+      continue;
+    }
+
+    int On = 1;
+    ::setsockopt(Fd.get(), IPPROTO_TCP, TCP_NODELAY, &On, sizeof(On));
+
+    auto C = std::make_unique<SocketClient>();
+    C->Server = this;
+    C->Fd = std::move(Fd);
+    C->Id = NextId++;
+    C->LastActivity = Clock::now();
+
+    epoll_event Ev;
+    std::memset(&Ev, 0, sizeof(Ev));
+    Ev.events = EPOLLIN | EPOLLRDHUP;
+    Ev.data.u64 = C->Id;
+    if (::epoll_ctl(EpollFd.get(), EPOLL_CTL_ADD, C->Fd.get(), &Ev) != 0)
+      continue; // drops the connection; nothing registered to undo
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+    OpenConns.fetch_add(1, std::memory_order_relaxed);
+    log("accepted connection #" + std::to_string(C->Id) + " (" +
+        std::to_string(Clients.size() + 1) + " open)");
+    Clients.emplace(C->Id, std::move(C));
+  }
+}
+
+void SocketServer::readable(SocketClient &Client) {
+  // One chunk per event: level-triggered epoll re-fires while bytes
+  // remain, and the bounded read keeps a firehose client from starving the
+  // rest of the loop — its overflow waits in its own socket buffer.
+  char Chunk[65536];
+  ssize_t N;
+  do {
+    N = ::recv(Client.Fd.get(), Chunk, sizeof(Chunk), 0);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    Disconnects.fetch_add(1, std::memory_order_relaxed);
+    destroyClient(Client.Id);
+    return;
+  }
+  if (N == 0) {
+    // Peer closed — possibly mid-request. The connection dies now; any
+    // in-flight lifts complete in the worker pool and their completions
+    // find no client to answer.
+    Disconnects.fetch_add(1, std::memory_order_relaxed);
+    log("connection #" + std::to_string(Client.Id) + " closed by peer");
+    destroyClient(Client.Id);
+    return;
+  }
+
+  BytesIn.fetch_add(static_cast<uint64_t>(N), std::memory_order_relaxed);
+  Client.LastActivity = Clock::now();
+  Client.ReadBuf.append(Chunk, static_cast<size_t>(N));
+  dispatchFrames(Client);
+  if (!client(Client.Id))
+    return; // a frame handler closed it
+  if (Client.ReadBuf.empty()) {
+    Client.HasPartial = false;
+  } else {
+    if (!Client.HasPartial) {
+      Client.HasPartial = true;
+      Client.PartialSince = Client.LastActivity;
+    }
+    if (Client.ReadBuf.size() >= Options.MaxFrameBytes &&
+        !Client.CloseAfterFlush) {
+      // No frame boundary inside the limit: there is no way to resync.
+      Client.send(Protocol.rejectLine(TransportReject::FrameTooLarge));
+      Client.ReadBuf.clear();
+      Client.HasPartial = false;
+      Client.requestClose();
+    }
+  }
+  updateInterest(Client);
+}
+
+void SocketServer::dispatchFrames(SocketClient &Client) {
+  while (!Client.CloseAfterFlush) {
+    const char *Data = Client.ReadBuf.data();
+    const char *Nl = static_cast<const char *>(
+        std::memchr(Data, '\n', Client.ReadBuf.size()));
+    if (!Nl)
+      return;
+    size_t Len = static_cast<size_t>(Nl - Data);
+    std::string Line(Data, Len);
+    Client.ReadBuf.consume(Len + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    FramesIn.fetch_add(1, std::memory_order_relaxed);
+    if (draining()) {
+      Client.send(Protocol.rejectLine(TransportReject::ShuttingDown));
+      continue;
+    }
+    Protocol.onFrame(Client, Line);
+    if (!client(Client.Id))
+      return; // the handler closed it synchronously
+  }
+}
+
+void SocketServer::writable(SocketClient &Client) {
+  if (!writeSome(Client)) {
+    Disconnects.fetch_add(1, std::memory_order_relaxed);
+    destroyClient(Client.Id);
+    return;
+  }
+  if (Client.WriteBuf.empty() && Client.CloseAfterFlush) {
+    destroyClient(Client.Id);
+    return;
+  }
+  updateInterest(Client);
+}
+
+bool SocketServer::writeSome(SocketClient &Client) {
+  while (!Client.WriteBuf.empty()) {
+    ssize_t N = ::send(Client.Fd.get(), Client.WriteBuf.data(),
+                       Client.WriteBuf.size(), MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return true;
+      return false;
+    }
+    BytesOut.fetch_add(static_cast<uint64_t>(N), std::memory_order_relaxed);
+    Client.WriteBuf.consume(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+void SocketServer::updateInterest(SocketClient &Client) {
+  // Write-pressure hysteresis: reading stops at the high-water mark and
+  // resumes only below the low-water mark, so a client hovering at the
+  // boundary does not flap the interest set every frame.
+  if (!Client.ReadPaused &&
+      Client.WriteBuf.size() >= Options.WriteHighWater)
+    Client.ReadPaused = true;
+  else if (Client.ReadPaused &&
+           Client.WriteBuf.size() < Options.WriteLowWater)
+    Client.ReadPaused = false;
+
+  bool FairnessOk =
+      Client.InFlight + Client.Pending < Options.MaxInFlight;
+  bool WantRead =
+      !Client.ReadPaused && FairnessOk && !Client.CloseAfterFlush;
+  bool WantWrite = !Client.WriteBuf.empty();
+  Client.WriteArmed = WantWrite;
+
+  epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = (WantRead ? (EPOLLIN | EPOLLRDHUP) : 0u) |
+              (WantWrite ? EPOLLOUT : 0u);
+  if (!WantRead && !WantWrite)
+    Ev.events = EPOLLRDHUP; // still notice the peer going away
+  Ev.data.u64 = Client.Id;
+  ::epoll_ctl(EpollFd.get(), EPOLL_CTL_MOD, Client.Fd.get(), &Ev);
+}
+
+void SocketServer::destroyClient(uint64_t Id) {
+  auto It = Clients.find(Id);
+  if (It == Clients.end())
+    return;
+  SocketClient &C = *It->second;
+  Protocol.onDisconnect(C);
+  if (EpollFd)
+    ::epoll_ctl(EpollFd.get(), EPOLL_CTL_DEL, C.Fd.get(), nullptr);
+  OpenConns.fetch_sub(1, std::memory_order_relaxed);
+  InFlightTotal.fetch_sub(C.InFlight, std::memory_order_relaxed);
+  Clients.erase(It);
+}
+
+void SocketServer::beginDrain() {
+  Draining.store(true, std::memory_order_relaxed);
+  log("draining: " + std::to_string(Clients.size()) + " connections, " +
+      std::to_string(InFlightTotal.load(std::memory_order_relaxed)) +
+      " requests in flight");
+  if (ListenFd) {
+    if (EpollFd)
+      ::epoll_ctl(EpollFd.get(), EPOLL_CTL_DEL, ListenFd.get(), nullptr);
+    ListenFd.reset();
+  }
+}
+
+void SocketServer::sweep() {
+  std::vector<uint64_t> Done;
+  for (const auto &[Id, C] : Clients) {
+    bool Settled = C->InFlight == 0 && C->Pending == 0;
+    if (C->CloseAfterFlush && C->WriteBuf.empty())
+      Done.push_back(Id);
+    else if (draining() && Settled && C->WriteBuf.empty())
+      Done.push_back(Id);
+  }
+  for (uint64_t Id : Done)
+    destroyClient(Id);
+}
+
+int SocketServer::nextTimeoutMs() const {
+  double Nearest = -1;
+  Clock::time_point Now = Clock::now();
+  auto Consider = [&](Clock::time_point Since, double Budget) {
+    double Left =
+        Budget - std::chrono::duration<double>(Now - Since).count();
+    if (Left < 0)
+      Left = 0;
+    if (Nearest < 0 || Left < Nearest)
+      Nearest = Left;
+  };
+  for (const auto &[Id, C] : Clients) {
+    (void)Id;
+    if (Options.FrameTimeoutSeconds > 0 && C->HasPartial)
+      Consider(C->PartialSince, Options.FrameTimeoutSeconds);
+    bool Quiet = C->InFlight == 0 && C->Pending == 0 &&
+                 C->WriteBuf.empty() && !C->HasPartial;
+    if (Options.IdleTimeoutSeconds > 0 && Quiet)
+      Consider(C->LastActivity, Options.IdleTimeoutSeconds);
+  }
+  if (Nearest < 0)
+    return -1;
+  return static_cast<int>(Nearest * 1000) + 1;
+}
+
+#else // !__linux__
+
+bool SocketServer::start(std::string &Error) {
+  Error = "the socket transport requires Linux (epoll)";
+  return false;
+}
+
+int SocketServer::run() { return 1; }
+void SocketServer::acceptReady() {}
+void SocketServer::readable(SocketClient &) {}
+void SocketServer::writable(SocketClient &) {}
+bool SocketServer::writeSome(SocketClient &) { return false; }
+void SocketServer::dispatchFrames(SocketClient &) {}
+void SocketServer::updateInterest(SocketClient &) {}
+void SocketServer::destroyClient(uint64_t) {}
+void SocketServer::beginDrain() {}
+void SocketServer::sweep() {}
+int SocketServer::nextTimeoutMs() const { return -1; }
+
+#endif // __linux__
+
+void SocketServer::post(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(PostMutex);
+    Posted.push_back(std::move(Task));
+  }
+  int Fd = SignalWakeFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    uint64_t One = 1;
+    [[maybe_unused]] ssize_t Ignored = ::write(Fd, &One, sizeof(One));
+  }
+}
+
+void SocketServer::runPosted() {
+  std::deque<std::function<void()>> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(PostMutex);
+    Batch.swap(Posted);
+  }
+  for (std::function<void()> &Task : Batch)
+    Task();
+}
+
+SocketClient *SocketServer::client(uint64_t Id) {
+  auto It = Clients.find(Id);
+  return It == Clients.end() ? nullptr : It->second.get();
+}
+
+SocketServerStats SocketServer::stats() const {
+  SocketServerStats S;
+  S.Accepted = Accepted.load(std::memory_order_relaxed);
+  S.Refused = Refused.load(std::memory_order_relaxed);
+  S.FramesIn = FramesIn.load(std::memory_order_relaxed);
+  S.LinesOut = LinesOut.load(std::memory_order_relaxed);
+  S.BytesIn = BytesIn.load(std::memory_order_relaxed);
+  S.BytesOut = BytesOut.load(std::memory_order_relaxed);
+  S.IdleClosed = IdleClosed.load(std::memory_order_relaxed);
+  S.FrameTimeouts = FrameTimeouts.load(std::memory_order_relaxed);
+  S.Disconnects = Disconnects.load(std::memory_order_relaxed);
+  S.OpenConns = OpenConns.load(std::memory_order_relaxed);
+  S.InFlight = InFlightTotal.load(std::memory_order_relaxed);
+  S.Draining = draining();
+  return S;
+}
+
+void SocketServer::log(const std::string &Message) {
+  if (Options.Verbose)
+    std::cerr << "stagg serve: " << Message << "\n" << std::flush;
+}

@@ -1,0 +1,67 @@
+//===- support/Fd.h - File-descriptor RAII ----------------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// UniqueFd: exclusive ownership of one POSIX file descriptor. The socket
+/// transport (serve/SocketServer) juggles a listening socket, dozens of
+/// connection sockets, an epoll instance, and an eventfd; every one of them
+/// leaks on any early-return path unless closing is tied to scope. This is
+/// the one place descriptor lifetime lives — nothing in the transport calls
+/// ::close() directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_SUPPORT_FD_H
+#define STAGG_SUPPORT_FD_H
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace stagg {
+namespace support {
+
+/// Move-only owner of a file descriptor; closes it on destruction.
+class UniqueFd {
+public:
+  UniqueFd() = default;
+  explicit UniqueFd(int Fd) : Fd(Fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd &) = delete;
+  UniqueFd &operator=(const UniqueFd &) = delete;
+
+  UniqueFd(UniqueFd &&Other) noexcept : Fd(Other.release()) {}
+  UniqueFd &operator=(UniqueFd &&Other) noexcept {
+    if (this != &Other)
+      reset(Other.release());
+    return *this;
+  }
+
+  /// The owned descriptor, or -1.
+  int get() const { return Fd; }
+
+  bool valid() const { return Fd >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Gives up ownership without closing.
+  int release() { return std::exchange(Fd, -1); }
+
+  /// Closes the current descriptor (if any) and adopts \p NewFd.
+  void reset(int NewFd = -1) {
+    if (Fd >= 0 && Fd != NewFd)
+      ::close(Fd);
+    Fd = NewFd;
+  }
+
+private:
+  int Fd = -1;
+};
+
+} // namespace support
+} // namespace stagg
+
+#endif // STAGG_SUPPORT_FD_H

@@ -15,12 +15,15 @@
 
 #include "llm/SimulatedLlm.h"
 #include "support/StringUtils.h"
+#include "taco/Parser.h"
 #include "taco/Printer.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 using namespace stagg;
@@ -190,6 +193,199 @@ TEST(ResultCache, ShardsNeverExceedCapacity) {
   for (int I = 0; I < 64; ++I)
     Cache.insert("key" + std::to_string(I), resultTagged(I));
   EXPECT_LE(Cache.stats().Entries, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache persistence
+//===----------------------------------------------------------------------===//
+
+/// A fresh journal path under the test temp dir; any leftover from a
+/// previous run is removed so every test starts cold.
+std::string freshJournal(const std::string &Name) {
+  std::filesystem::path P =
+      std::filesystem::temp_directory_path() / ("stagg-" + Name + ".jsonl");
+  std::filesystem::remove(P);
+  return P.string();
+}
+
+/// A solved result whose programs genuinely re-parse: journal records for
+/// solved lifts carry printed TACO text, and an unparseable program would
+/// read back as corruption (truncating the journal on load).
+core::LiftResult solvedResult(int Attempts) {
+  core::LiftResult R;
+  R.Solved = true;
+  R.Verified = true;
+  taco::ParseResult T = taco::parseTacoProgram("a(i) = b(i,j) * c(j)");
+  taco::ParseResult C = taco::parseTacoProgram("a(i) = b(i,j) * c(j)");
+  R.Template = std::move(*T.Prog);
+  R.Concrete = std::move(*C.Prog);
+  R.Attempts = Attempts;
+  R.Expansions = 17;
+  R.Seconds = 0.25;
+  R.SearchSeconds = 0.125;
+  R.CheckerSafe = true;
+  R.DimList = {8, 8};
+  return R;
+}
+
+core::LiftResult failedResult(const std::string &Reason) {
+  core::LiftResult R;
+  R.Solved = false;
+  R.FailReason = Reason;
+  R.Attempts = 3;
+  return R;
+}
+
+TEST(ResultCachePersist, LiftResultJsonRoundTrip) {
+  core::LiftResult In = solvedResult(9);
+  support::Json Encoded = liftResultToJson(In);
+  core::LiftResult Out;
+  ASSERT_TRUE(liftResultFromJson(Encoded, Out));
+  EXPECT_TRUE(Out.Solved);
+  EXPECT_TRUE(Out.Verified);
+  EXPECT_EQ(taco::printProgram(Out.Template), taco::printProgram(In.Template));
+  EXPECT_EQ(taco::printProgram(Out.Concrete), taco::printProgram(In.Concrete));
+  EXPECT_EQ(Out.Attempts, 9);
+  EXPECT_EQ(Out.Expansions, 17);
+  EXPECT_DOUBLE_EQ(Out.Seconds, 0.25);
+  EXPECT_DOUBLE_EQ(Out.SearchSeconds, 0.125);
+  EXPECT_TRUE(Out.CheckerSafe);
+  ASSERT_EQ(Out.DimList.size(), 2u);
+  EXPECT_EQ(Out.DimList[0], 8);
+
+  // Failed results round-trip too (no programs on the wire).
+  core::LiftResult Fail = failedResult("timeout");
+  core::LiftResult FailOut;
+  ASSERT_TRUE(liftResultFromJson(liftResultToJson(Fail), FailOut));
+  EXPECT_FALSE(FailOut.Solved);
+  EXPECT_EQ(FailOut.FailReason, "timeout");
+  EXPECT_EQ(FailOut.Attempts, 3);
+
+  // Structurally wrong records are rejected, not misread.
+  EXPECT_FALSE(liftResultFromJson(support::Json::str("nope"), Out));
+  support::Json Solved = support::Json::object();
+  Solved.set("solved", support::Json::boolean(true));
+  EXPECT_FALSE(liftResultFromJson(Solved, Out)); // solved but no programs
+}
+
+TEST(ResultCachePersist, JournalWarmStartServesPreviousWorkload) {
+  std::string Path = freshJournal("warm-start");
+  {
+    ResultCache Cache(8, 2, Path);
+    EXPECT_EQ(Cache.stats().Loaded, 0u); // cold start: nothing persisted yet
+    Cache.insert("solved-kernel", solvedResult(5));
+    Cache.insert("failed-kernel", failedResult("no candidate"));
+  } // destructor closes the journal
+
+  ResultCache Warm(8, 2, Path);
+  CacheStats Stats = Warm.stats();
+  EXPECT_EQ(Stats.Loaded, 2u);
+  EXPECT_EQ(Stats.Entries, 2u);
+  // Replayed history is not runtime insertion traffic.
+  EXPECT_EQ(Stats.Insertions, 0u);
+
+  core::LiftResult Out;
+  ASSERT_TRUE(Warm.lookup("solved-kernel", Out));
+  EXPECT_TRUE(Out.Solved);
+  EXPECT_EQ(Out.Attempts, 5);
+  EXPECT_EQ(taco::printProgram(Out.Concrete),
+            taco::printProgram(solvedResult(5).Concrete));
+  ASSERT_TRUE(Warm.lookup("failed-kernel", Out));
+  EXPECT_FALSE(Out.Solved);
+  EXPECT_EQ(Out.FailReason, "no candidate");
+
+  std::string StatsLine = formatCacheStats(Warm.stats());
+  EXPECT_NE(StatsLine.find("loaded 2"), std::string::npos);
+  std::filesystem::remove(Path);
+}
+
+TEST(ResultCachePersist, CorruptJournalTailTruncatesToValidPrefix) {
+  std::string Path = freshJournal("corrupt-tail");
+  {
+    ResultCache Cache(8, 1, Path);
+    Cache.insert("good-one", failedResult("a"));
+    Cache.insert("good-two", failedResult("b"));
+  }
+  uintmax_t ValidBytes = std::filesystem::file_size(Path);
+  {
+    // Simulate a torn write plus trailing garbage after the valid prefix.
+    std::ofstream Append(Path, std::ios::app | std::ios::binary);
+    Append << "{\"key\":\"half\",\"result\":{\"solved\":tru";
+  }
+  ASSERT_GT(std::filesystem::file_size(Path), ValidBytes);
+
+  ResultCache Recovered(8, 1, Path);
+  EXPECT_EQ(Recovered.stats().Loaded, 2u);
+  core::LiftResult Out;
+  EXPECT_TRUE(Recovered.lookup("good-one", Out));
+  EXPECT_TRUE(Recovered.lookup("good-two", Out));
+  EXPECT_FALSE(Recovered.lookup("half", Out));
+  // The corrupt tail is gone from disk: the journal is its valid prefix.
+  EXPECT_EQ(std::filesystem::file_size(Path), ValidBytes);
+
+  // And the recovered cache keeps accepting write-through inserts.
+  Recovered.insert("post-recovery", failedResult("c"));
+  ResultCache Again(8, 1, Path);
+  EXPECT_EQ(Again.stats().Loaded, 3u);
+  std::filesystem::remove(Path);
+}
+
+TEST(ResultCachePersist, CompactionDropsDeadHistory) {
+  std::string Path = freshJournal("compaction");
+  {
+    // Tiny cache, many distinct keys: most journal records are dead
+    // (evicted) history, so the 2x-live compaction threshold trips.
+    ResultCache Cache(4, 1, Path);
+    for (int I = 0; I < 80; ++I)
+      Cache.insert("key" + std::to_string(I), failedResult("r"));
+    EXPECT_GE(Cache.stats().Compactions, 1u);
+  }
+
+  // Compaction cut the journal to the live set (4) at the trigger point;
+  // only post-compaction appends follow it. 80 records went in, far fewer
+  // survive, and replaying them rebuilds exactly the final LRU state.
+  ResultCache Warm(4, 1, Path);
+  EXPECT_LE(Warm.stats().Loaded, 20u);
+  EXPECT_EQ(Warm.stats().Entries, 4u);
+  core::LiftResult Out;
+  EXPECT_TRUE(Warm.lookup("key79", Out)); // the most recent entry survived
+  EXPECT_FALSE(Warm.lookup("key0", Out)); // dead history stayed dead
+  std::filesystem::remove(Path);
+}
+
+TEST(ResultCachePersist, RefreshDoesNotRejournal) {
+  std::string Path = freshJournal("refresh");
+  {
+    ResultCache Cache(8, 1, Path);
+    Cache.insert("dup", failedResult("first"));
+    Cache.insert("dup", failedResult("second")); // refresh, not insert
+    Cache.insert("dup", failedResult("third"));
+  }
+  std::ifstream In(Path);
+  std::string Line;
+  int Records = 0;
+  while (std::getline(In, Line))
+    ++Records;
+  EXPECT_EQ(Records, 1);
+
+  // The journaled (first) result is what a restart serves: refreshes do not
+  // write through, by design — the first result is authoritative because
+  // identical kernel text always lifts identically.
+  ResultCache Warm(8, 1, Path);
+  core::LiftResult Out;
+  ASSERT_TRUE(Warm.lookup("dup", Out));
+  EXPECT_EQ(Out.FailReason, "first");
+  std::filesystem::remove(Path);
+}
+
+TEST(ResultCachePersist, EmptyJournalPathStaysInMemory) {
+  ResultCache Cache(8, 2); // no path: the default in-memory configuration
+  Cache.insert("k", failedResult("x"));
+  CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Loaded, 0u);
+  EXPECT_EQ(Stats.Compactions, 0u);
+  // The stats line omits persistence counters entirely for memory caches.
+  EXPECT_EQ(formatCacheStats(Stats).find("loaded"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
