@@ -96,7 +96,7 @@ def main():
           f"current {cur_cal * 1e6:9.2f} us  "
           f"(machine-speed ratio {cur_cal / base_cal:.2f}x)")
 
-    failures = []
+    failures = []  # (name, one-line detail) pairs, echoed in the verdict
     for name in shared:
         raw = cur[name] / base[name]
         norm = (cur[name] / cur_cal) / (base[name] / base_cal)
@@ -109,11 +109,19 @@ def main():
         if gate and not is_cal and norm > args.max_ratio:
             verdict = f"REGRESSION (normalized {norm:.2f}x > "\
                       f"{args.max_ratio:.2f}x)"
-            failures.append(name)
+            failures.append((name,
+                             f"normalized {norm:.2f}x (limit "
+                             f"{args.max_ratio:.2f}x), "
+                             f"{base[name] * 1e6:.2f} -> "
+                             f"{cur[name] * 1e6:.2f} us"))
         elif gate and raw > args.abs_max_ratio:
             verdict = f"REGRESSION (absolute {raw:.2f}x > "\
                       f"{args.abs_max_ratio:.2f}x)"
-            failures.append(name)
+            failures.append((name,
+                             f"absolute {raw:.2f}x (limit "
+                             f"{args.abs_max_ratio:.2f}x), "
+                             f"{base[name] * 1e6:.2f} -> "
+                             f"{cur[name] * 1e6:.2f} us"))
         flag = "*" if gate else " "
         print(f" {flag}{name:40s} base {base[name] * 1e6:10.2f} us  "
               f"cur {cur[name] * 1e6:10.2f} us  raw {raw:5.2f}x  "
@@ -133,13 +141,16 @@ def main():
                 else "baseline entry"
             print(f"  {name}: MISSING from current report — {kind} dropped "
                   "or renamed; refresh bench/baseline.json if intentional")
-            failures.append(name)
+            failures.append((name, f"{kind} missing from current report"))
     for name in only_cur:
         print(f"  {name}: only in current (new benchmark)")
 
     if failures:
-        print(f"bench_compare: FAILED — {len(failures)} regression(s): "
-              + ", ".join(failures))
+        # Name every offender with its measured ratio so the CI log's last
+        # lines say exactly what regressed and by how much.
+        print(f"bench_compare: FAILED — {len(failures)} regression(s):")
+        for name, detail in failures:
+            print(f"  {name}: {detail}")
         return 1
     print("bench_compare: OK — no gated benchmark regressed past "
           f"{args.max_ratio:.2f}x (normalized)")

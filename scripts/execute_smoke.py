@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Smoke test for the v2 "execute" endpoint (scripts/execute_smoke.py).
+
+Starts a real `stagg serve --listen` process and drives the execute frame
+end to end over TCP:
+
+  * a registry kernel is lifted and then executed on posted concrete
+    inputs, and the streamed output tensor is checked cell for cell;
+  * a scalar-output reduction round-trips (shape [], one cell);
+  * re-executing the same kernel on new inputs answers from the result
+    cache (cached:true) with the new data — the compiled program rebinds,
+    nothing re-lifts;
+  * bad inputs (wrong array length) and unknown kernels come back as
+    status "error" result events, not disconnects;
+  * SIGTERM still drains to exit 0.
+
+Usage: execute_smoke.py --stagg build/stagg [--workdir dir]
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+
+
+def fail(message):
+    print("execute_smoke: FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    """One blocking line-oriented connection to the server."""
+
+    def __init__(self, port, timeout=60.0):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self.buf = b""
+
+    def send_line(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def start_server(args, log_path):
+    cmd = [args.stagg, "serve", "--listen", "127.0.0.1:0", "-v"]
+    log = open(log_path, "ab")
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, stderr=log)
+    line = proc.stdout.readline().decode()
+    match = re.search(r"listening on [^:]+:(\d+)", line)
+    if not match:
+        proc.kill()
+        fail("no listening line from the server (got %r)" % line)
+    return proc, int(match.group(1))
+
+
+def execute(client, frame_id, body):
+    client.send_line(json.dumps({"v": 2, "id": frame_id, "execute": body}))
+    event = json.loads(client.read_line())
+    if event.get("event") != "result":
+        fail("execute answered a %r event: %s" % (event.get("event"), event))
+    if event.get("id") != frame_id:
+        fail("result echoed id %r, sent %r" % (event.get("id"), frame_id))
+    return event
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stagg", required=True, help="path to the stagg binary")
+    parser.add_argument("--workdir", default="execute-smoke")
+    args = parser.parse_args()
+    os.makedirs(args.workdir, exist_ok=True)
+
+    proc, port = start_server(args, os.path.join(args.workdir, "server.log"))
+    print("execute_smoke: server up on port %d" % port)
+    try:
+        client = Client(port)
+
+        # Elementwise add: lift + execute in one frame.
+        result = execute(client, 1, {
+            "name": "art_add", "sizes": {"N": 4},
+            "inputs": {"a": [1, 2, 3, 4], "b": [10, 20, 30, 40]}})
+        if result.get("status") != "ok":
+            fail("art_add execute errored: %s" % result)
+        if result["shape"] != [4] or result["data"] != [11, 22, 33, 44]:
+            fail("art_add computed %s / %s" % (result["shape"], result["data"]))
+        if "expr" not in result:
+            fail("result event carries no expr: %s" % result)
+        print("execute_smoke: art_add -> %s" % result["data"])
+
+        # Scalar-output reduction: shape [] with one cell.
+        result = execute(client, 2, {
+            "name": "art_dot", "sizes": {"N": 3},
+            "inputs": {"a": [1, 2, 3], "b": [4, 5, 6]}})
+        if result.get("status") != "ok":
+            fail("art_dot execute errored: %s" % result)
+        if result["shape"] != [] or result["data"] != [32]:
+            fail("art_dot computed %s / %s" % (result["shape"], result["data"]))
+        print("execute_smoke: art_dot -> %s" % result["data"])
+
+        # Same kernel, new inputs: the lift is a cache hit, the data is new.
+        result = execute(client, 3, {
+            "name": "art_add", "sizes": {"N": 2},
+            "inputs": {"a": [5, 6], "b": [1, 1]}})
+        if result.get("status") != "ok" or not result.get("cached"):
+            fail("re-execute was not a cache hit: %s" % result)
+        if result["data"] != [6, 7]:
+            fail("re-execute computed %s" % result["data"])
+        print("execute_smoke: cached re-execute -> %s" % result["data"])
+
+        # Wrong array length: a result error event, connection survives.
+        result = execute(client, 4, {
+            "name": "art_add", "sizes": {"N": 4},
+            "inputs": {"a": [1, 2], "b": [10, 20, 30, 40]}})
+        if result.get("status") != "error" or "expected" not in result.get("error", ""):
+            fail("bad-length execute answered %s" % result)
+
+        # Unknown kernel: same contract.
+        result = execute(client, 5, {"name": "definitely_not_a_benchmark"})
+        if result.get("status") != "error":
+            fail("unknown-kernel execute answered %s" % result)
+        print("execute_smoke: error paths answered as result events")
+
+        # The connection still serves ordinary frames afterwards.
+        client.send_line('{"v": 1, "name": "art_copy"}')
+        response = json.loads(client.read_line())
+        if response.get("status") != "ok":
+            fail("v1 frame after executes answered %s" % response)
+        client.close()
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            fail("server exited %d after SIGTERM" % rc)
+        proc = None
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+
+    print("execute_smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

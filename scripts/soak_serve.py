@@ -5,7 +5,8 @@ Drives a real `stagg serve --listen` process the way a fleet of clients
 would, and asserts the transport's contracts end to end:
 
   * N concurrent connections mixing protocol v1 lines, v2 batches (with
-    progress events), legacy bare names, and malformed frames;
+    progress events), v2 execute frames (lift + run on posted inputs),
+    legacy bare names, and malformed frames;
   * every networked result is bit-identical to the stdin v1 dialect on the
     deterministic fields (status/solved/expr/attempts/...; `cached` and
     wall-clock timings legitimately vary);
@@ -130,7 +131,7 @@ def check_response(response, baseline, context):
 
 
 def client_workload(port, worker, baseline, errors):
-    """One soak client: v1 + legacy + malformed + a v2 progress batch."""
+    """One soak client: v1 + legacy + malformed + execute + a v2 batch."""
     try:
         client = Client(port)
 
@@ -161,6 +162,35 @@ def client_workload(port, worker, baseline, errors):
         line = client.read_line()
         if "ERROR unknown benchmark" not in line:
             fail("worker %d: garbage line answered %r" % (worker, line))
+
+        # An execute frame on the same connection: the lift settles (from
+        # cache, after the v1 round above), then the compiled program runs
+        # on this worker's own inputs. Per-worker values prove the answer
+        # came from this frame, not a neighbour's.
+        left = [worker + i for i in range(4)]
+        right = [10 * (i + 1) for i in range(4)]
+        client.send_line(json.dumps(
+            {"v": 2, "id": 2000 + worker,
+             "execute": {"name": "art_add", "sizes": {"N": 4},
+                         "inputs": {"a": left, "b": right}}}))
+        event = json.loads(client.read_line())
+        if event.get("event") != "result" or event.get("status") != "ok":
+            fail("worker %d: execute answered %s" % (worker, event))
+        if event.get("id") != 2000 + worker:
+            fail("worker %d: execute echoed id %s" % (worker, event.get("id")))
+        want = [x + y for x, y in zip(left, right)]
+        if event.get("data") != want:
+            fail("worker %d: execute computed %s, want %s"
+                 % (worker, event.get("data"), want))
+
+        # A bad execute (operand length mismatch) is a result error event
+        # on the same connection, never a disconnect.
+        client.send_line(json.dumps(
+            {"v": 2, "execute": {"name": "art_add", "sizes": {"N": 4},
+                                 "inputs": {"a": [1.0]}}}))
+        event = json.loads(client.read_line())
+        if event.get("event") != "result" or event.get("status") != "error":
+            fail("worker %d: bad execute answered %s" % (worker, event))
 
         # A v2 batch with progress: events stream, responses arrive in seq
         # order, and the embedded result objects match the stdin dialect.

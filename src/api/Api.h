@@ -31,6 +31,8 @@
 #include "core/Stagg.h"
 #include "support/Json.h"
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +58,7 @@ struct ConfigPatch {
   std::optional<int64_t> VerifyMaxSize;        ///< "verify_max_size"
   std::optional<bool> FullGrammar;             ///< "full_grammar"
   std::optional<bool> EqualProbability;        ///< "equal_probability"
+  std::optional<bool> UseVm;                   ///< "use_vm"
 
   bool empty() const;
 
@@ -70,6 +73,28 @@ struct ConfigPatch {
   /// Renders only the set fields, mirroring the request spelling — echoed
   /// in responses so clients can see which overrides actually applied.
   support::Json toJson() const;
+};
+
+/// Concrete inputs posted with a v2 "execute" frame: size-parameter
+/// bindings plus flat array / scalar values keyed by argument name. Arrays
+/// not posted are zero-filled (the usual state of the output buffer);
+/// missing size parameters default to 1, mirroring validate::resolveShape.
+struct ExecuteIo {
+  std::map<std::string, int64_t> Sizes;              ///< "sizes"
+  std::map<std::string, std::vector<double>> Arrays; ///< array "inputs"
+  std::map<std::string, double> Scalars;             ///< scalar "inputs"
+};
+
+/// Outcome of executing a lifted kernel on posted inputs, rendered as a v2
+/// "result" event.
+struct ExecuteOutcome {
+  bool Ok = false;
+  std::string Error; ///< When !Ok: lift failure, bad inputs, bind failure.
+
+  bool Cached = false; ///< The lift itself was a result-cache hit.
+  std::string Expr;    ///< The concrete lifted program that was executed.
+  std::vector<int64_t> Shape; ///< Output tensor shape.
+  std::vector<double> Data;   ///< Output cells, row-major.
 };
 
 /// One lift request. Exactly one of RegistryName / KernelSource is set;

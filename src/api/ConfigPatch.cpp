@@ -33,7 +33,7 @@ bool ConfigPatch::empty() const {
   return !Kind && !NumCandidates && !NumIoExamples && !ExampleSeed &&
          !SkipVerification && !TimeoutSeconds && !MaxDepth &&
          !MaxExpansions && !MaxAttempts && !VerifyMaxSize && !FullGrammar &&
-         !EqualProbability;
+         !EqualProbability && !UseVm;
 }
 
 core::StaggConfig ConfigPatch::apply(const core::StaggConfig &Base) const {
@@ -62,6 +62,8 @@ core::StaggConfig ConfigPatch::apply(const core::StaggConfig &Base) const {
     Out.Grammar.FullGrammar = *FullGrammar;
   if (EqualProbability)
     Out.Grammar.EqualProbability = *EqualProbability;
+  if (UseVm)
+    Out.UseVm = *UseVm;
   return Out;
 }
 
@@ -137,6 +139,8 @@ std::string ConfigPatch::fromJson(const Json &Object, ConfigPatch &Out) {
       Error = expectBool(Value, "full_grammar", Out.FullGrammar);
     } else if (Key == "equal_probability") {
       Error = expectBool(Value, "equal_probability", Out.EqualProbability);
+    } else if (Key == "use_vm") {
+      Error = expectBool(Value, "use_vm", Out.UseVm);
     } else {
       Error = "unknown config key \"" + Key + "\"";
     }
@@ -173,5 +177,7 @@ Json ConfigPatch::toJson() const {
     Out.set("full_grammar", Json::boolean(*FullGrammar));
   if (EqualProbability)
     Out.set("equal_probability", Json::boolean(*EqualProbability));
+  if (UseVm)
+    Out.set("use_vm", Json::boolean(*UseVm));
   return Out;
 }

@@ -4,6 +4,10 @@
 
 #include "api/KernelIngest.h"
 #include "support/StringUtils.h"
+#include "taco/Printer.h"
+#include "validate/IoExamples.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
 
 #include <chrono>
 
@@ -182,4 +186,120 @@ IngestResult Endpoint::ingestCached(const LiftRequest &Request) {
 
 LiftResponse Endpoint::lift(const LiftRequest &Request) {
   return submit(Request).get();
+}
+
+std::shared_ptr<const Endpoint::CompiledKernel>
+Endpoint::compiledFor(const taco::Program &Concrete) {
+  std::string Key = taco::printProgram(Concrete);
+  {
+    std::lock_guard<std::mutex> Lock(VmCacheMutex);
+    auto It = VmCache.find(Key);
+    if (It != VmCache.end())
+      return It->second;
+  }
+  auto K = std::make_shared<CompiledKernel>();
+  K->Program = Concrete; // deep clone; Code points into *this* copy
+  K->Code = vm::compileProgram(K->Program);
+  std::lock_guard<std::mutex> Lock(VmCacheMutex);
+  if (VmCache.size() >= 256)
+    VmCache.clear(); // same wholesale policy as the ingest memo
+  return VmCache.emplace(std::move(Key), std::move(K)).first->second;
+}
+
+ExecuteOutcome Endpoint::executeLifted(const LiftRequest &Request,
+                                       const ExecuteIo &Io,
+                                       const LiftResponse &Response) {
+  ExecuteOutcome Out;
+  Out.Cached = Response.CacheHit;
+  if (!Response.ok()) {
+    Out.Error = Response.Error;
+    return Out;
+  }
+  const core::LiftResult &R = Response.Result;
+  if (!R.Solved) {
+    Out.Error = "kernel was not lifted: " +
+                (R.FailReason.empty() ? std::string("search failed")
+                                      : R.FailReason);
+    return Out;
+  }
+  Out.Expr = taco::printProgram(R.Concrete);
+
+  // The argument specs that shape the posted inputs, resolved the same way
+  // admission resolved them (inline kernels hit the ingest memo).
+  bench::Benchmark Query;
+  if (Request.isInline()) {
+    IngestResult Ingested = ingestCached(Request);
+    if (!Ingested.ok()) {
+      Out.Error = Ingested.Error;
+      return Out;
+    }
+    Query = std::move(Ingested.Kernel);
+  } else {
+    const bench::Benchmark *Found = bench::findBenchmark(Request.RegistryName);
+    if (!Found) {
+      Out.Error = "unknown benchmark '" + Request.RegistryName + "'";
+      return Out;
+    }
+    Query = *Found;
+  }
+  const bench::ArgSpec *OutArg = Query.outputArg();
+  if (!OutArg) {
+    Out.Error = "kernel has no output argument";
+    return Out;
+  }
+
+  // Materialize every argument; arrays not posted stay zero (the output
+  // buffer's usual pre-state), absent size parameters default to 1.
+  std::map<std::string, taco::Tensor<double>> Operands;
+  for (const bench::ArgSpec &Arg : Query.Args) {
+    if (Arg.K == bench::ArgSpec::Kind::Array) {
+      std::vector<int64_t> Shape = validate::resolveShape(Arg, Io.Sizes);
+      taco::Tensor<double> T(Shape);
+      auto It = Io.Arrays.find(Arg.Name);
+      if (It != Io.Arrays.end()) {
+        if (It->second.size() != T.flat().size()) {
+          Out.Error = "input '" + Arg.Name + "' carries " +
+                      std::to_string(It->second.size()) +
+                      " values, expected " +
+                      std::to_string(T.flat().size());
+          return Out;
+        }
+        T.flat() = It->second;
+      }
+      Operands.emplace(Arg.Name, std::move(T));
+    } else if (Arg.K == bench::ArgSpec::Kind::SizeScalar) {
+      auto It = Io.Sizes.find(Arg.Name);
+      Operands.emplace(Arg.Name,
+                       taco::Tensor<double>::scalar(
+                           It != Io.Sizes.end()
+                               ? static_cast<double>(It->second)
+                               : 1.0));
+    } else {
+      auto It = Io.Scalars.find(Arg.Name);
+      if (It != Io.Scalars.end())
+        Operands.emplace(Arg.Name, taco::Tensor<double>::scalar(It->second));
+      // Absent scalars the program reads fail bind() as "unbound tensor".
+    }
+  }
+
+  std::shared_ptr<const CompiledKernel> K = compiledFor(R.Concrete);
+  if (!K->Code.ok()) {
+    Out.Error = "lifted program does not lower to VM code: " +
+                K->Code.error();
+    return Out;
+  }
+  vm::Interpreter<double> Interp(K->Code);
+  if (!Interp.bindMap(Operands, validate::resolveShape(*OutArg, Io.Sizes))) {
+    Out.Error = "failed to bind inputs: " + Interp.error();
+    return Out;
+  }
+  taco::EinsumResult<double> Result = Interp.evaluate();
+  if (!Result.Ok) {
+    Out.Error = "execution failed: " + Result.Error;
+    return Out;
+  }
+  Out.Shape = Result.Value.shape();
+  Out.Data = Result.Value.flat();
+  Out.Ok = true;
+  return Out;
 }

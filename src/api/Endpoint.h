@@ -20,7 +20,9 @@
 #include "api/Api.h"
 #include "api/KernelIngest.h"
 #include "serve/LiftService.h"
+#include "vm/Code.h"
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -71,6 +73,17 @@ public:
   /// Blocking convenience: submit and wait.
   LiftResponse lift(const LiftRequest &Request);
 
+  /// Runs the lifted program of \p Response on the concrete inputs in
+  /// \p Io (the v2 "execute" request). \p Request is the original lift
+  /// request, re-resolved (registry lookup or the ingest memo — both
+  /// cheap) for the argument specs that shape the posted inputs. The
+  /// program is compiled to VM bytecode once per distinct lifted
+  /// expression and cached alongside the result cache, so repeated
+  /// executions only pay for binding and cell evaluation.
+  ExecuteOutcome executeLifted(const LiftRequest &Request,
+                               const ExecuteIo &Io,
+                               const LiftResponse &Response);
+
   /// Stops admission, drains in-flight requests, joins the worker pool.
   /// Callers whose completion hooks reference external state (the socket
   /// loop) call this before that state goes away.
@@ -115,11 +128,28 @@ private:
   /// long-tailed).
   IngestResult ingestCached(const LiftRequest &Request);
 
+  /// One lifted program compiled to VM bytecode. The Program member owns
+  /// the expression trees the Code points into, so an entry is immutable
+  /// and safely shared by any number of concurrent executions.
+  struct CompiledKernel {
+    taco::Program Program;
+    vm::Code Code;
+  };
+
+  /// The bytecode cache lookup (keyed on the printed program text, the
+  /// same spelling the result cache stores). Compiles on miss.
+  std::shared_ptr<const CompiledKernel>
+  compiledFor(const taco::Program &Concrete);
+
   core::StaggConfig Base;
   serve::LiftService Service;
 
   std::mutex IngestMutex;
   std::unordered_map<std::string, IngestResult> IngestMemo;
+
+  std::mutex VmCacheMutex;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledKernel>>
+      VmCache;
 };
 
 } // namespace api

@@ -11,39 +11,38 @@ using support::Json;
 
 namespace {
 
-/// Parses the request fields of \p Root (everything but "v", which the
-/// caller has already checked) into \p Out. Shared by v1 lines and v2
-/// batch items, so both speak exactly the same request dialect. Returns an
+/// Handles one lift-request field, shared by v1 lines, v2 batch items, and
+/// the v2 execute object (so all three speak exactly the same request
+/// dialect). Sets \p Handled false for keys it does not know and leaves the
+/// error to the caller (each context has its own extra fields). Returns an
 /// error message, or "" on success.
-std::string parseRequestObject(const support::Json &Root, LiftRequest &Out) {
-  for (const auto &[Key, Value] : Root.members()) {
-    std::string Error;
-    if (Key == "v") {
-      // Checked by the caller.
-    } else if (Key == "name") {
-      if (!Value.isString())
-        Error = "\"name\" must be a string";
-      else
-        Out.Name = Value.asString();
-    } else if (Key == "kernel") {
-      if (!Value.isString())
-        Error = "\"kernel\" must be a string of C source";
-      else
-        Out.KernelSource = Value.asString();
-    } else if (Key == "oracle_hint") {
-      if (!Value.isString())
-        Error = "\"oracle_hint\" must be a TACO expression string";
-      else
-        Out.OracleHint = Value.asString();
-    } else if (Key == "config") {
-      Error = ConfigPatch::fromJson(Value, Out.Patch);
-    } else {
-      Error = "unknown field \"" + Key + "\"";
-    }
-    if (!Error.empty())
-      return Error;
+std::string parseRequestField(const std::string &Key,
+                              const support::Json &Value, LiftRequest &Out,
+                              bool &Handled) {
+  Handled = true;
+  if (Key == "name") {
+    if (!Value.isString())
+      return "\"name\" must be a string";
+    Out.Name = Value.asString();
+  } else if (Key == "kernel") {
+    if (!Value.isString())
+      return "\"kernel\" must be a string of C source";
+    Out.KernelSource = Value.asString();
+  } else if (Key == "oracle_hint") {
+    if (!Value.isString())
+      return "\"oracle_hint\" must be a TACO expression string";
+    Out.OracleHint = Value.asString();
+  } else if (Key == "config") {
+    return ConfigPatch::fromJson(Value, Out.Patch);
+  } else {
+    Handled = false;
   }
+  return "";
+}
 
+/// The shared request tail checks: name-or-kernel presence and the
+/// hint-only-with-kernel rule.
+std::string finishRequest(LiftRequest &Out) {
   if (Out.KernelSource.empty()) {
     if (Out.Name.empty())
       return "a request needs a registry \"name\" or an inline \"kernel\"";
@@ -56,6 +55,71 @@ std::string parseRequestObject(const support::Json &Root, LiftRequest &Out) {
     Out.Name.clear();
   }
   return "";
+}
+
+/// Parses the request fields of \p Root (everything but "v", which the
+/// caller has already checked) into \p Out.
+std::string parseRequestObject(const support::Json &Root, LiftRequest &Out) {
+  for (const auto &[Key, Value] : Root.members()) {
+    if (Key == "v")
+      continue; // checked by the caller
+    bool Handled = false;
+    std::string Error = parseRequestField(Key, Value, Out, Handled);
+    if (Error.empty() && !Handled)
+      Error = "unknown field \"" + Key + "\"";
+    if (!Error.empty())
+      return Error;
+  }
+  return finishRequest(Out);
+}
+
+/// Parses a v2 "execute" object: the lift-request fields plus "sizes" (an
+/// object of positive integers) and "inputs" (an object of numbers and/or
+/// arrays of numbers).
+std::string parseExecuteObject(const support::Json &Root, LiftRequest &Req,
+                               ExecuteIo &Io) {
+  if (!Root.isObject())
+    return "\"execute\" must be an object";
+  for (const auto &[Key, Value] : Root.members()) {
+    bool Handled = false;
+    std::string Error = parseRequestField(Key, Value, Req, Handled);
+    if (!Error.empty())
+      return Error;
+    if (Handled)
+      continue;
+    if (Key == "sizes") {
+      if (!Value.isObject())
+        return "\"sizes\" must be an object of positive integers";
+      for (const auto &[Name, Size] : Value.members()) {
+        if (!Size.isInteger() || Size.asInteger() <= 0)
+          return "size \"" + Name + "\" must be a positive integer";
+        Io.Sizes[Name] = Size.asInteger();
+      }
+    } else if (Key == "inputs") {
+      if (!Value.isObject())
+        return "\"inputs\" must be an object of numbers or number arrays";
+      for (const auto &[Name, Input] : Value.members()) {
+        if (Input.isNumber()) {
+          Io.Scalars[Name] = Input.asNumber();
+          continue;
+        }
+        if (!Input.isArray())
+          return "input \"" + Name +
+                 "\" must be a number or an array of numbers";
+        std::vector<double> Flat;
+        for (const support::Json &Cell : Input.items()) {
+          if (!Cell.isNumber())
+            return "input \"" + Name +
+                   "\" must be a number or an array of numbers";
+          Flat.push_back(Cell.asNumber());
+        }
+        Io.Arrays[Name] = std::move(Flat);
+      }
+    } else {
+      return "unknown field \"" + Key + "\"";
+    }
+  }
+  return finishRequest(Req);
 }
 
 } // namespace
@@ -194,6 +258,7 @@ SocketFrame api::parseSocketFrame(const std::string &Line) {
   const support::Json &Root = Json.Value;
   bool Stats = false;
   bool SawRequests = false;
+  bool SawExecute = false;
   for (const auto &[Key, Value] : Root.members()) {
     std::string Error;
     if (Key == "v") {
@@ -228,6 +293,9 @@ SocketFrame api::parseSocketFrame(const std::string &Line) {
           Frame.Items.push_back(std::move(Parsed));
         }
       }
+    } else if (Key == "execute") {
+      SawExecute = true;
+      Error = parseExecuteObject(Value, Frame.Exec, Frame.Io);
     } else {
       Error = "unknown field \"" + Key + "\"";
     }
@@ -239,15 +307,24 @@ SocketFrame api::parseSocketFrame(const std::string &Line) {
   }
 
   if (Stats) {
-    if (SawRequests || Frame.Progress) {
+    if (SawRequests || SawExecute || Frame.Progress) {
       Frame.Error = "a stats frame carries only \"v\", \"id\", \"stats\"";
       return Frame;
     }
     Frame.K = SocketFrame::Kind::Stats;
     return Frame;
   }
+  if (SawExecute) {
+    if (SawRequests || Frame.Progress) {
+      Frame.Error = "an execute frame carries only \"v\", \"id\", \"execute\"";
+      return Frame;
+    }
+    Frame.K = SocketFrame::Kind::Execute;
+    return Frame;
+  }
   if (!SawRequests) {
-    Frame.Error = "a v2 frame needs \"requests\" (or \"stats\":true)";
+    Frame.Error =
+        "a v2 frame needs \"requests\" (or \"stats\":true, or \"execute\")";
     return Frame;
   }
   Frame.K = SocketFrame::Kind::Batch;
@@ -311,6 +388,36 @@ std::string api::renderErrorEvent(const std::string &IdJson,
   std::string Out = eventHead("error", IdJson, -1);
   Out += ",\"error\":";
   Out += Json::str(Message).dump();
+  Out += '}';
+  return Out;
+}
+
+std::string api::renderResultEvent(const std::string &IdJson,
+                                   const std::string &Name,
+                                   const ExecuteOutcome &Outcome) {
+  std::string Out = eventHead("result", IdJson, -1);
+  Out += ",\"name\":";
+  Out += Json::str(Name).dump();
+  if (!Outcome.Ok) {
+    Out += ",\"status\":\"error\",\"error\":";
+    Out += Json::str(Outcome.Error).dump();
+    Out += '}';
+    return Out;
+  }
+  Out += ",\"status\":\"ok\",\"cached\":";
+  Out += Outcome.Cached ? "true" : "false";
+  Out += ",\"expr\":";
+  Out += Json::str(Outcome.Expr).dump();
+  Json Shape = Json::array();
+  for (int64_t D : Outcome.Shape)
+    Shape.push(Json::integer(D));
+  Json Data = Json::array();
+  for (double V : Outcome.Data)
+    Data.push(Json::number(V));
+  Out += ",\"shape\":";
+  Out += Shape.dump();
+  Out += ",\"data\":";
+  Out += Data.dump();
   Out += '}';
   return Out;
 }

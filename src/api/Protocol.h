@@ -52,6 +52,21 @@
 ///     {"name":"blas_axpy"},
 ///     {"kernel":"void kernel(...){...}","name":"my_kernel"}]}
 ///   {"v":2,"stats":true}
+///   {"v":2,"id":9,"execute":{"name":"blas_gemv",
+///     "sizes":{"M":2,"N":2},
+///     "inputs":{"A":[1,2,3,4],"x":[1,1],"alpha":2}}}
+///
+/// An "execute" frame lifts the kernel (registry "name" or inline "kernel",
+/// with the usual "oracle_hint"/"config" fields; previously-lifted kernels
+/// answer from the result cache) and then runs the lifted program on the
+/// posted concrete inputs through the bytecode VM, streaming back the
+/// output tensor as one "result" event:
+///
+///   {"v":2,"event":"result","id":9,"name":"blas_gemv","status":"ok",
+///    "cached":true,"expr":"out(i) = A(i,j) * x(j)",
+///    "shape":[2],"data":[3.0,7.0]}
+///   {"v":2,"event":"result","id":9,"name":"bad","status":"error",
+///    "error":"kernel was not lifted: ..."}
 ///
 /// "id" (any JSON scalar) is echoed verbatim on every event the frame
 /// produces; "progress" opts into phase events. The server answers with one
@@ -130,6 +145,7 @@ struct SocketFrame {
     V1,      ///< A v1 request line (V1 field).
     Batch,   ///< A v2 batch (Items; possibly empty).
     Stats,   ///< A v2 stats probe.
+    Execute, ///< A v2 execute request (Exec + Io).
     Invalid, ///< Structurally broken (Error).
   };
 
@@ -146,6 +162,11 @@ struct SocketFrame {
   /// The batch's requests in order. An item with a non-empty Error still
   /// occupies its slot and is answered with a bad_request response event.
   std::vector<ParsedRequest> Items;
+
+  /// Execute frames: which kernel to lift, and the concrete inputs to run
+  /// the lifted program on.
+  LiftRequest Exec;
+  ExecuteIo Io;
 
   std::string Error;
 
@@ -166,6 +187,12 @@ std::string renderResponseEvent(const std::string &IdJson, int Seq,
 std::string renderDoneEvent(const std::string &IdJson, int Completed);
 std::string renderErrorEvent(const std::string &IdJson,
                              const std::string &Message);
+
+/// The v2 "result" event answering an execute frame: the output tensor on
+/// success, a status "error" object otherwise.
+std::string renderResultEvent(const std::string &IdJson,
+                              const std::string &Name,
+                              const ExecuteOutcome &Outcome);
 
 } // namespace api
 } // namespace stagg

@@ -44,6 +44,23 @@ void SocketService::onFrame(serve::SocketClient &Client,
     return;
   }
 
+  case SocketFrame::Kind::Execute: {
+    Item Meta;
+    Meta.Slot = S.NextSlotToAssign++;
+    Meta.V2 = true;
+    Meta.Format = RequestFormat::JsonV1;
+    Meta.IdJson = Frame.IdJson;
+    Meta.Name = Frame.Exec.RegistryName.empty() ? Frame.Exec.Name
+                                                : Frame.Exec.RegistryName;
+    Meta.Request = std::move(Frame.Exec);
+    Meta.Execute = true;
+    Meta.Io = std::move(Frame.Io);
+    S.Waiting.push_back(std::move(Meta));
+    Client.notePending(+1);
+    pump(Client.id());
+    return;
+  }
+
   case SocketFrame::Kind::Batch:
     break;
   }
@@ -128,7 +145,8 @@ void SocketService::pump(uint64_t ClientId) {
     Item Meta = std::move(Front);
     S.Waiting.pop_front();
     Client->notePending(-1);
-    Meta.Request = LiftRequest(); // the service owns its copy now
+    if (!Meta.Execute)
+      Meta.Request = LiftRequest(); // the service owns its copy now
 
     if (Pending.ready()) {
       // Admission error (bad request, unknown name, ingest refusal):
@@ -235,6 +253,10 @@ void SocketService::flush(uint64_t ClientId) {
 
 std::string SocketService::renderLine(const Item &Meta,
                                       const LiftResponse &Response) {
+  if (Meta.Execute)
+    return renderResultEvent(
+        Meta.IdJson, Meta.Name,
+        Lifter.executeLifted(Meta.Request, Meta.Io, Response));
   if (Meta.V2)
     return renderResponseEvent(Meta.IdJson, Meta.Seq, Response);
   if (Meta.Format == RequestFormat::JsonV1)

@@ -65,6 +65,12 @@ private:
     std::string IdJson;     ///< The batch's id echo.
     std::string Name;       ///< Display name for progress events.
     LiftRequest Request;
+
+    /// Execute items run the lifted program on Io after the lift settles;
+    /// their Request survives admission (executeLifted re-resolves the
+    /// argument specs from it).
+    bool Execute = false;
+    ExecuteIo Io;
   };
 
   /// An admitted lift awaiting completion.
@@ -106,9 +112,10 @@ private:
   /// flushed.
   void flush(uint64_t ClientId);
 
-  /// Renders one settled response in the item's dialect.
-  static std::string renderLine(const Item &Meta,
-                                const LiftResponse &Response);
+  /// Renders one settled response in the item's dialect. Execute items run
+  /// the lifted program here (on the loop thread, at settle time) and
+  /// render a "result" event instead of a response.
+  std::string renderLine(const Item &Meta, const LiftResponse &Response);
 
   /// Marks \p Slot ready and settles its batch accounting.
   void markReady(Session &S, const Item &Meta, std::string Line);

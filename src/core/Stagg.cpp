@@ -105,7 +105,8 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
         Result.Seconds - Result.ParseSeconds - Result.OracleSeconds;
     return Result;
   }
-  validate::Validator V(B, std::move(Examples), Summary.Constants);
+  validate::Validator V(B, std::move(Examples), Summary.Constants,
+                        Config.UseVm);
   Result.GrammarSeconds =
       Clock.seconds() - Result.ParseSeconds - Result.OracleSeconds;
 
@@ -120,6 +121,9 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   // the configFingerprint note below.
   verify::VerifyOptions Verify = Config.Verify;
   Verify.TrustStaticBounds = Check.BoundsProvenSafe;
+  // The engine choice is a pipeline-level knob so the validator and the
+  // verifier always agree; Config.Verify.UseVm is overwritten here.
+  Verify.UseVm = Config.UseVm;
   search::TemplateProbe Probe = [&](const taco::Program &Template) {
     std::vector<validate::Instantiation> Valid = V.validate(Template);
     for (validate::Instantiation &Inst : Valid) {
@@ -187,6 +191,9 @@ std::string core::configFingerprint(const StaggConfig &Config) {
   Add(std::to_string(Config.NumIoExamples));
   Add(std::to_string(Config.ExampleSeed));
   Add(Config.SkipVerification ? "noverify" : "verify");
+  // Fingerprinted even though VM and tree-walk verdicts are bit-identical:
+  // a cached result should record exactly which engine produced it.
+  Add(Config.UseVm ? "vm" : "novm");
   const grammar::GrammarOptions &G = Config.Grammar;
   Add(std::string(G.FullGrammar ? "fg" : "-") +
       (G.EqualProbability ? "ep" : "-"));

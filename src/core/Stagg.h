@@ -92,6 +92,12 @@ struct StaggConfig {
   /// Skip bounded verification (I/O-only acceptance, like C2TACO).
   bool SkipVerification = false;
 
+  /// Evaluate candidates through the bytecode VM (src/vm) in the validator
+  /// and the bounded verifier. Results are bit-identical with the tree-walk
+  /// (`--no-vm` flips this off for A/B runs); it is fingerprinted anyway so
+  /// cached serve results always record which engine produced them.
+  bool UseVm = true;
+
   /// Serving-layer knobs (queue depth, batching, result cache).
   ServeOptions Serve;
 };

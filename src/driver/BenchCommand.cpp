@@ -21,6 +21,8 @@
 #include "taco/Parser.h"
 #include "validate/Validator.h"
 #include "verify/BoundedVerifier.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
 
 #include <algorithm>
 #include <fstream>
@@ -288,6 +290,43 @@ std::vector<Micro> buildMicros(const MicroFixtures &F) {
                           if (!VR.Equivalent)
                             std::abort();
                         }
+                      }});
+  }
+
+  // Bytecode VM: the compile cost a candidate pays once per validator /
+  // verifier entry, and the pure execute cost after binding — the same
+  // 16x16 matmul as micro/einsum_matmul16 for a direct tree-walk
+  // comparison.
+  {
+    auto P = std::make_shared<taco::Program>(F.GemvTruth);
+    Micros.push_back({"micro/vm_compile", [P] {
+                        vm::Code Code = vm::compileProgram(*P);
+                        if (!Code.ok())
+                          std::abort();
+                      }});
+  }
+  {
+    auto P = std::make_shared<taco::Program>(
+        *taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)").Prog);
+    auto Code = std::make_shared<vm::Code>(vm::compileProgram(*P));
+    auto Ops =
+        std::make_shared<std::map<std::string, taco::Tensor<double>>>();
+    taco::Tensor<double> Bm({16, 16}), Cm({16, 16});
+    for (size_t I = 0; I < Bm.flat().size(); ++I) {
+      Bm.flat()[I] = static_cast<double>(I % 7);
+      Cm.flat()[I] = static_cast<double>(I % 5);
+    }
+    Ops->emplace("b", std::move(Bm));
+    Ops->emplace("c", std::move(Cm));
+    auto Interp = std::make_shared<vm::Interpreter<double>>(*Code);
+    if (!Interp->bindMap(*Ops, {16, 16}))
+      std::abort();
+    auto Out = std::make_shared<taco::Tensor<double>>(
+        std::vector<int64_t>{16, 16});
+    Micros.push_back({"micro/vm_execute", [Interp, Out, Code, Ops] {
+                        Interp->evaluateInto(*Out);
+                        if (Out->flat().empty())
+                          std::abort();
                       }});
   }
 

@@ -5,6 +5,8 @@
 #include "analysis/KernelModel.h"
 #include "cfront/Parser.h"
 #include "support/StringUtils.h"
+#include "taco/Parser.h"
+#include "vm/Compiler.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -65,6 +67,7 @@ const std::vector<std::string> &knownFlags() {
       "--help",          "-h",
       "--list",          "--verbose",
       "-v",              "--no-verify",
+      "--no-vm",
       "--full-grammar",  "--equal-probability",
       "--cache-stats",   "--suite",
       "--search",        "--drop-penalty",
@@ -229,7 +232,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
     bool IsBoolean = F.Name == "--help" || F.Name == "-h" ||
                      F.Name == "--list" || F.Name == "--verbose" ||
                      F.Name == "-v" || F.Name == "--no-verify" ||
-                     F.Name == "--full-grammar" ||
+                     F.Name == "--no-vm" || F.Name == "--full-grammar" ||
                      F.Name == "--equal-probability" ||
                      F.Name == "--cache-stats" || F.Name == "--Werror";
     if (IsBoolean && F.HasInline) {
@@ -246,6 +249,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       O.Verbose = true;
     } else if (F.Name == "--no-verify") {
       O.Config.SkipVerification = true;
+    } else if (F.Name == "--no-vm") {
+      O.Config.UseVm = false;
     } else if (F.Name == "--full-grammar") {
       O.Config.Grammar.FullGrammar = true;
     } else if (F.Name == "--equal-probability") {
@@ -591,6 +596,9 @@ std::string driver::usage() {
      << "\n"
      << "Ablations (paper Tables 2/3):\n"
      << "  --no-verify         accept on I/O validation only (C2TACO-style)\n"
+     << "  --no-vm             evaluate candidates with the tree-walking\n"
+     << "                      evaluator instead of the bytecode VM (A/B;\n"
+     << "                      results are bit-identical, just slower)\n"
      << "  --full-grammar      FullGrammar: skip dimension refinement\n"
      << "  --equal-probability EqualProbability: uniform rule weights\n"
      << "  --drop-penalty P    disable penalty a1..a5|b1|b2, or a|b|all;\n"
@@ -671,6 +679,7 @@ int driver::runListCommand(const CliOptions &Options) {
   struct Row {
     const bench::Benchmark *B;
     std::string Class;
+    std::string Vm;
   };
   std::vector<Row> Rows;
   std::map<std::string, int> PerClass;
@@ -681,8 +690,16 @@ int driver::runListCommand(const CliOptions &Options) {
       analysis::KernelModel Model = analysis::buildKernelModel(*Parsed.Function);
       Label = analysis::kernelClassName(analysis::classifyKernel(Model));
     }
+    // Does the ground-truth lifted program lower to vm::Code? "-" marks
+    // programs the VM cannot take (the pipeline falls back to the
+    // tree-walk for them, so this is informational, not an error).
+    std::string Vm = "-";
+    taco::ParseStatementsResult GT = taco::parseTacoStatements(B->GroundTruth);
+    if (GT.ok() && !GT.Programs.empty() &&
+        vm::compileStatements(GT.Programs).ok())
+      Vm = "yes";
     ++PerClass[Label];
-    Rows.push_back({B, std::move(Label)});
+    Rows.push_back({B, std::move(Label), std::move(Vm)});
   }
 
   size_t NameW = 9, CatW = 5, ClassW = 5;
@@ -694,12 +711,13 @@ int driver::runListCommand(const CliOptions &Options) {
   std::cout << std::left << std::setw(static_cast<int>(NameW) + 2)
             << "benchmark" << std::setw(static_cast<int>(CatW) + 2) << "suite"
             << std::setw(static_cast<int>(ClassW) + 2) << "class"
+            << std::setw(5) << "vm"
             << "ground truth\n";
   for (const Row &R : Rows)
     std::cout << std::left << std::setw(static_cast<int>(NameW) + 2)
               << R.B->Name << std::setw(static_cast<int>(CatW) + 2)
               << R.B->Category << std::setw(static_cast<int>(ClassW) + 2)
-              << R.Class << R.B->GroundTruth << "\n";
+              << R.Class << std::setw(5) << R.Vm << R.B->GroundTruth << "\n";
 
   std::cout << Rows.size() << " benchmarks (";
   bool First = true;

@@ -4,9 +4,12 @@
 
 #include "taco/Einsum.h"
 #include "taco/Semantics.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
 
 #include <cmath>
 #include <functional>
+#include <optional>
 
 using namespace stagg;
 using namespace stagg::validate;
@@ -62,8 +65,9 @@ taco::Program validate::instantiateTemplate(
 }
 
 Validator::Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
-                     std::vector<int64_t> Constants)
-    : B(B), Examples(std::move(Examples)), Constants(std::move(Constants)) {
+                     std::vector<int64_t> Constants, bool UseVm)
+    : B(B), Examples(std::move(Examples)), Constants(std::move(Constants)),
+      UseVm(UseVm) {
   // An empty pool would make constant templates uninstantiable even though
   // the grammar can propose them; keep the degenerate default of the source
   // having no literals.
@@ -506,33 +510,28 @@ Validator::validate(const Program &Template, size_t MaxResults) const {
   if (ConstLeaves > 0)
     EvalT = bindSymbols(Template, {});
   const Program &EvalProgram = ConstLeaves > 0 ? EvalT.Concrete : Template;
-  taco::EinsumProgram Compiled(EvalProgram);
-  if (!Compiled.ok())
-    return Valid;
-  std::vector<taco::EinsumEvaluator<double>> Evaluators(
-      NumExamples, taco::EinsumEvaluator<double>(Compiled));
+  // The VM lowering delegates slot assignment and reduction placement to
+  // the same structure compiler, so when it succeeds the compiled bytecode
+  // evaluates cell-for-cell in the tree-walk's order and the verdicts stay
+  // bit-identical. Any lowering failure falls back to the tree-walk, whose
+  // EinsumProgram is only built on that path (a candidate is validated
+  // once, so the compile is paid per call and must not be paid twice).
+  vm::Code VmProgram;
+  if (UseVm)
+    VmProgram = vm::compileProgram(EvalProgram);
+  const bool ViaVm = UseVm && VmProgram.ok();
+  std::optional<taco::EinsumProgram> Compiled;
+  if (!ViaVm) {
+    Compiled.emplace(EvalProgram);
+    if (!Compiled->ok())
+      return Valid;
+  }
   size_t CurExample = 0;
-  taco::EinsumEvaluator<double>::Resolver Resolve =
-      [&](const std::string &Name) -> const Tensor<double> * {
+  auto Resolve = [&](const std::string &Name) -> const Tensor<double> * {
     if (Name == Template.Lhs.name())
       return OutPtr[CurExample];
     size_t SI = SymIndex.find(Name)->second;
     return PtrTable[SI][Pick[SI]][CurExample];
-  };
-
-  // Examples are (re)bound lazily per binding, preserving the fail-fast
-  // behavior of the naive loop: a binding rejected on the first example
-  // never pays for the others.
-  uint64_t BindEpoch = 0;
-  std::vector<uint64_t> BoundEpoch(NumExamples, 0);
-  std::vector<bool> BindOk(NumExamples, false);
-  auto EnsureBound = [&](size_t E) -> bool {
-    if (BoundEpoch[E] == BindEpoch)
-      return BindOk[E];
-    BoundEpoch[E] = BindEpoch;
-    CurExample = E;
-    BindOk[E] = Evaluators[E].bind(Resolve, OperandCache[E].OutShape);
-    return BindOk[E];
   };
 
   // Cross-symbol consistency scratch, generation-stamped so the joint check
@@ -561,75 +560,105 @@ Validator::validate(const Program &Template, size_t MaxResults) const {
 
   // Odometer over symbol bindings x constant assignments, exactly the naive
   // enumeration order; shape-incompatible bindings are skipped wholesale
-  // (their entire constant block would have failed evaluation).
+  // (their entire constant block would have failed evaluation). The loop is
+  // generic over the evaluator vector so the VM and the tree-walk share one
+  // definition of the enumeration (and thus one enumeration order).
   std::vector<size_t> ConstPick(static_cast<size_t>(ConstLeaves), 0);
   std::vector<int64_t> ConstValues(static_cast<size_t>(ConstLeaves), 0);
-  for (;;) {
-    if (BindingShapesConsistent()) {
-      ++BindEpoch;
-      for (bool More = true; More;) {
-        for (size_t I = 0; I < ConstPick.size(); ++I) {
-          ConstValues[I] = Constants[ConstPick[I]];
-          EvalT.ConstNodes[I]->setValue(ConstValues[I]);
-        }
+  auto RunEnum = [&](auto &Evaluators) {
+    // Examples are (re)bound lazily per binding, preserving the fail-fast
+    // behavior of the naive loop: a binding rejected on the first example
+    // never pays for the others.
+    uint64_t BindEpoch = 0;
+    std::vector<uint64_t> BoundEpoch(NumExamples, 0);
+    std::vector<bool> BindOk(NumExamples, false);
+    auto EnsureBound = [&](size_t E) -> bool {
+      if (BoundEpoch[E] == BindEpoch)
+        return BindOk[E];
+      BoundEpoch[E] = BindEpoch;
+      CurExample = E;
+      BindOk[E] = Evaluators[E].bind(Resolve, OperandCache[E].OutShape);
+      return BindOk[E];
+    };
 
-        ++Tried;
-        bool Consistent = true;
-        for (size_t E = 0; E < NumExamples; ++E) {
-          if (!EnsureBound(E)) {
-            Consistent = false;
-            break;
+    for (;;) {
+      if (BindingShapesConsistent()) {
+        ++BindEpoch;
+        for (bool More = true; More;) {
+          for (size_t I = 0; I < ConstPick.size(); ++I) {
+            ConstValues[I] = Constants[ConstPick[I]];
+            EvalT.ConstNodes[I]->setValue(ConstValues[I]);
           }
-          Evaluators[E].refreshConstants();
-          if (Evaluators[E].compare(Examples[E].Expected.flat(), cellsMatch) !=
-              taco::EinsumCompare::Match) {
-            Consistent = false;
-            break;
-          }
-        }
 
-        if (Consistent) {
-          Instantiation Inst;
-          Inst.SymbolBinding[Template.Lhs.name()] = OutArg->Name;
-          for (size_t I = 0; I < Symbols.size(); ++I)
-            Inst.SymbolBinding[Symbols[I]->Name] = Choices[I][Pick[I]]->Name;
-          Inst.Concrete =
-              instantiateTemplate(Template, Inst.SymbolBinding, ConstValues);
-          Inst.ConstantValues = ConstValues;
-          Valid.push_back(std::move(Inst));
-          if (Valid.size() >= MaxResults)
-            return Valid;
-        }
-
-        // Advance the constant odometer.
-        size_t Axis = ConstPick.size();
-        bool Wrapped = true;
-        while (Axis > 0) {
-          --Axis;
-          if (++ConstPick[Axis] < Constants.size()) {
-            Wrapped = false;
-            break;
+          ++Tried;
+          bool Consistent = true;
+          for (size_t E = 0; E < NumExamples; ++E) {
+            if (!EnsureBound(E)) {
+              Consistent = false;
+              break;
+            }
+            Evaluators[E].refreshConstants();
+            if (Evaluators[E].compare(Examples[E].Expected.flat(),
+                                      cellsMatch) !=
+                taco::EinsumCompare::Match) {
+              Consistent = false;
+              break;
+            }
           }
-          ConstPick[Axis] = 0;
+
+          if (Consistent) {
+            Instantiation Inst;
+            Inst.SymbolBinding[Template.Lhs.name()] = OutArg->Name;
+            for (size_t I = 0; I < Symbols.size(); ++I)
+              Inst.SymbolBinding[Symbols[I]->Name] = Choices[I][Pick[I]]->Name;
+            Inst.Concrete =
+                instantiateTemplate(Template, Inst.SymbolBinding, ConstValues);
+            Inst.ConstantValues = ConstValues;
+            Valid.push_back(std::move(Inst));
+            if (Valid.size() >= MaxResults)
+              return;
+          }
+
+          // Advance the constant odometer.
+          size_t Axis = ConstPick.size();
+          bool Wrapped = true;
+          while (Axis > 0) {
+            --Axis;
+            if (++ConstPick[Axis] < Constants.size()) {
+              Wrapped = false;
+              break;
+            }
+            ConstPick[Axis] = 0;
+          }
+          if (ConstPick.empty() || Wrapped)
+            More = false;
         }
-        if (ConstPick.empty() || Wrapped)
-          More = false;
       }
-    }
 
-    // Advance the symbol odometer.
-    size_t Axis = Pick.size();
-    bool Wrapped = true;
-    while (Axis > 0) {
-      --Axis;
-      if (++Pick[Axis] < Choices[Axis].size()) {
-        Wrapped = false;
-        break;
+      // Advance the symbol odometer.
+      size_t Axis = Pick.size();
+      bool Wrapped = true;
+      while (Axis > 0) {
+        --Axis;
+        if (++Pick[Axis] < Choices[Axis].size()) {
+          Wrapped = false;
+          break;
+        }
+        Pick[Axis] = 0;
       }
-      Pick[Axis] = 0;
+      if (Pick.empty() || Wrapped)
+        return;
     }
-    if (Pick.empty() || Wrapped)
-      break;
+  };
+
+  if (ViaVm) {
+    std::vector<vm::Interpreter<double>> Evaluators(
+        NumExamples, vm::Interpreter<double>(VmProgram));
+    RunEnum(Evaluators);
+  } else {
+    std::vector<taco::EinsumEvaluator<double>> Evaluators(
+        NumExamples, taco::EinsumEvaluator<double>(*Compiled));
+    RunEnum(Evaluators);
   }
   return Valid;
 }

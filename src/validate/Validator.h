@@ -68,9 +68,11 @@ struct Instantiation {
 class Validator {
 public:
   /// \p Constants is the literal pool harvested from the source by the
-  /// static analysis.
+  /// static analysis. \p UseVm selects the bytecode VM for instantiation
+  /// evaluation (bit-identical verdicts and order; the tree-walk remains
+  /// available behind `--no-vm` for A/B comparison).
   Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
-            std::vector<int64_t> Constants);
+            std::vector<int64_t> Constants, bool UseVm = true);
 
   /// Enumerates substitutions for \p Template and returns every
   /// instantiation that satisfies all I/O examples, up to \p MaxResults.
@@ -97,6 +99,7 @@ private:
   const bench::Benchmark &B;
   std::vector<IoExample> Examples;
   std::vector<int64_t> Constants;
+  bool UseVm = true;
   mutable int64_t Tried = 0;
   mutable std::vector<ExampleEval> OperandCache;
   mutable bool OperandCacheReady = false;

@@ -9,6 +9,8 @@
 #include "taco/Printer.h"
 #include "taco/Semantics.h"
 #include "validate/IoExamples.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
 
 #include <functional>
 #include <optional>
@@ -115,6 +117,7 @@ struct CandidateSpec {
   const taco::EinsumProgram *Compiled = nullptr;         // when Single
   const std::vector<std::string> *RhsNames = nullptr;    // when Single
   const std::vector<Program> *Sequence = nullptr;
+  const vm::Code *Vm = nullptr; ///< Bytecode form, when compiled and enabled.
 };
 
 /// One bounded test harness for a fixed shape assignment.
@@ -126,7 +129,9 @@ public:
                ReferenceCache *Cache, bool TrustBounds)
       : B(B), Fn(Fn), Spec(Spec), Sizes(Sizes), Cache(Cache),
         TrustBounds(TrustBounds) {
-    if (Spec.Compiled)
+    if (Spec.Vm)
+      VmEval.emplace(*Spec.Vm);
+    else if (Spec.Compiled)
       Evaluator.emplace(*Spec.Compiled);
   }
 
@@ -156,9 +161,26 @@ public:
                                          Env.NumScalars.at(Arg.Name)));
         }
       }
-      TacoOut = evalEinsumSequence<Rational>(*Spec.Sequence,
-                                             std::move(Operands),
-                                             OutArg->Name);
+      if (VmEval) {
+        // Same evolving-environment semantics, but through the compiled
+        // statement list: scratch results forward to later statements and
+        // no per-test structure compilation happens.
+        Tensor<Rational> Out;
+        if (VmEval->run(
+                [&Operands](
+                    const std::string &Name) -> const Tensor<Rational> * {
+                  auto It = Operands.find(Name);
+                  return It == Operands.end() ? nullptr : &It->second;
+                },
+                OutArg->Name, Out))
+          TacoOut = EinsumResult<Rational>::success(std::move(Out));
+        else
+          TacoOut = EinsumResult<Rational>::failure(VmEval->error());
+      } else {
+        TacoOut = evalEinsumSequence<Rational>(*Spec.Sequence,
+                                               std::move(Operands),
+                                               OutArg->Name);
+      }
     } else {
       std::map<std::string, Tensor<Rational>> Operands;
       for (const std::string &Name : *Spec.RhsNames) {
@@ -180,12 +202,17 @@ public:
         }
       }
       std::vector<int64_t> OutShape = validate::resolveShape(*OutArg, Sizes);
-      if (Evaluator->bind(
-              [&Operands](const std::string &Name) -> const Tensor<Rational> * {
-                auto It = Operands.find(Name);
-                return It == Operands.end() ? nullptr : &It->second;
-              },
-              OutShape)) {
+      auto Lookup =
+          [&Operands](const std::string &Name) -> const Tensor<Rational> * {
+        auto It = Operands.find(Name);
+        return It == Operands.end() ? nullptr : &It->second;
+      };
+      if (VmEval) {
+        if (VmEval->bind(Lookup, OutShape))
+          TacoOut = VmEval->evaluate();
+        else
+          TacoOut = EinsumResult<Rational>::failure(VmEval->error());
+      } else if (Evaluator->bind(Lookup, OutShape)) {
         TacoOut = Evaluator->evaluate();
       } else {
         TacoOut = EinsumResult<Rational>::failure(Evaluator->error());
@@ -322,6 +349,7 @@ private:
   const cfront::CFunction &Fn;
   const CandidateSpec &Spec;
   std::optional<taco::EinsumEvaluator<Rational>> Evaluator;
+  std::optional<vm::Interpreter<Rational>> VmEval;
   const std::map<std::string, int64_t> &Sizes;
   ReferenceCache *Cache;
   bool TrustBounds; ///< VerifyOptions::TrustStaticBounds for this sweep.
@@ -456,8 +484,10 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
                                        const Program &Candidate,
                                        const VerifyOptions &Options,
                                        ReferenceCache *Cache) {
-  // Candidate structure, compiled once for all shapes and tests.
-  taco::EinsumProgram Compiled(Candidate);
+  // Candidate structure, compiled once for all shapes and tests. The
+  // tree-walk program is only built when the bytecode path is off or the
+  // candidate does not lower — the VM artifact subsumes it otherwise.
+  std::optional<taco::EinsumProgram> Compiled;
   std::vector<std::string> RhsNames = rhsTensorNames(Candidate);
 
   // Pairs of operands the candidate multiplies together: only these need
@@ -473,8 +503,19 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
 
   CandidateSpec Spec;
   Spec.Single = &Candidate;
-  Spec.Compiled = &Compiled;
   Spec.RhsNames = &RhsNames;
+  // One bytecode artifact for the whole sweep; the tree-walk stays the
+  // fallback when lowering fails (or the VM is disabled for A/B).
+  vm::Code VmCode;
+  if (Options.UseVm) {
+    VmCode = vm::compileProgram(Candidate);
+    if (VmCode.ok())
+      Spec.Vm = &VmCode;
+  }
+  if (!Spec.Vm) {
+    Compiled.emplace(Candidate);
+    Spec.Compiled = &*Compiled;
+  }
   return runBoundedSweep(B, Fn, Spec, Options, Cache,
                          Options.OneHotOnlyMultiplied, MulPairs);
 }
@@ -486,6 +527,12 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
                                        ReferenceCache *Cache) {
   CandidateSpec Spec;
   Spec.Sequence = &Candidate;
+  vm::Code VmCode;
+  if (Options.UseVm) {
+    VmCode = vm::compileStatements(Candidate);
+    if (VmCode.ok())
+      Spec.Vm = &VmCode;
+  }
   // Cross-statement data flow defeats the per-expression multiplied-pair
   // analysis; statement lists always get the exhaustive joint sweep.
   std::set<NamePair> None;

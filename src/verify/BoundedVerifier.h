@@ -76,6 +76,13 @@ struct VerifyOptions {
 
   uint64_t Seed = 0x57466; // "STAGG"-ish; any fixed value keeps runs stable.
 
+  /// Evaluate the candidate through the bytecode VM (vm::Interpreter over a
+  /// once-compiled vm::Code) instead of the tree-walking evaluator. Verdicts,
+  /// TestsRun, and counterexamples are bit-identical either way; the VM just
+  /// removes the per-test tree interpretation (and, for statement lists, the
+  /// per-test structure re-compilation). `--no-vm` disables it for A/B runs.
+  bool UseVm = true;
+
   /// Skip the reference interpreter's per-access bounds checks. Only set
   /// when analysis::Checker proved every access in bounds for all sizes
   /// (CheckReport::BoundsProvenSafe) — the static proof licenses dropping

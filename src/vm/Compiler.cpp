@@ -1,0 +1,187 @@
+//===- vm/Compiler.cpp - Lower TACO programs to vm::Code ------------------===//
+
+#include "vm/Compiler.h"
+
+#include "taco/Einsum.h"
+
+using namespace stagg;
+using namespace stagg::vm;
+
+namespace {
+
+/// Linearizes one EinsumProgram node tree into a StmtCode. The recursion
+/// mirrors EinsumEvaluator::evalNode/evalInner one-to-one so the instruction
+/// stream performs the identical sequence of loads, operations, and
+/// accumulations.
+class Lowering {
+public:
+  Lowering(const taco::EinsumProgram &S, StmtCode &Out) : S(S), Out(Out) {}
+
+  void run() {
+    const taco::Program &P = S.program();
+    Out.LhsName = P.Lhs.name();
+    Out.LhsIndices = P.Lhs.indices();
+    Out.NumSlots = static_cast<int>(S.numSlots());
+    Out.OutSlots = S.outSlots();
+
+    // Accesses and constants in ordinal (leaf) order — the binder walks
+    // them in this order, matching the tree-walk's conflict discovery.
+    for (int NodeId : S.accessNodes()) {
+      const taco::EinsumProgram::Node &N = node(NodeId);
+      AccessInfo Info;
+      Info.Name = N.Access->name();
+      Info.Indices = N.Access->indices();
+      Info.Slots = N.Slots;
+      Out.Accesses.push_back(std::move(Info));
+    }
+    for (int NodeId : S.constNodes()) {
+      Out.Consts.push_back(node(NodeId).Constant);
+      Out.ConstRegs.push_back(newReg());
+    }
+
+    Out.Root = lowerNode(S.root());
+    Out.NumRegs = NextReg;
+  }
+
+private:
+  const taco::EinsumProgram::Node &node(int Id) const {
+    return S.nodes()[static_cast<size_t>(Id)];
+  }
+
+  int newReg() { return NextReg++; }
+
+  void emit(Op K, int32_t Dst, int32_t A = -1, int32_t B = -1) {
+    Out.Instrs.push_back(Inst{K, Dst, A, B});
+  }
+
+  /// evalNode: wraps the node's own evaluation in its reduction loops.
+  int lowerNode(int Id) {
+    const taco::EinsumProgram::Node &N = node(Id);
+    if (N.ReduceSlots.empty())
+      return lowerInner(Id);
+
+    // ResetAcc, then one loop per introduced variable (innermost last, the
+    // mixed-radix order of the tree-walk), accumulating the body per
+    // iteration. LoopBegin falls through, so the body runs at least once —
+    // the tree-walk's do-while.
+    int Acc = newReg();
+    emit(Op::ResetAcc, Acc);
+    std::vector<int32_t> BodyStarts;
+    for (int Slot : N.ReduceSlots) {
+      emit(Op::LoopBegin, Slot);
+      BodyStarts.push_back(static_cast<int32_t>(Out.Instrs.size()));
+    }
+
+    // The body is evalInner; `Sum += Lhs * Rhs` fuses into MulAcc (the
+    // product is still rounded before the add, as in the tree-walk).
+    if (N.Kind == taco::Expr::Kind::Binary &&
+        N.Op == taco::BinOpKind::Mul) {
+      int A = lowerNode(N.ChildA);
+      int B = lowerNode(N.ChildB);
+      emit(Op::MulAcc, Acc, A, B);
+    } else {
+      emit(Op::AccAdd, Acc, lowerInner(Id));
+    }
+
+    for (size_t I = N.ReduceSlots.size(); I > 0; --I)
+      emit(Op::LoopEnd, N.ReduceSlots[I - 1], BodyStarts[I - 1]);
+    return Acc;
+  }
+
+  /// evalInner: the node's own operation, children via lowerNode (which
+  /// replays their reduction loops inside this body).
+  int lowerInner(int Id) {
+    const taco::EinsumProgram::Node &N = node(Id);
+    switch (N.Kind) {
+    case taco::Expr::Kind::Access: {
+      int R = newReg();
+      emit(Op::Load, R, N.AccessOrdinal);
+      return R;
+    }
+    case taco::Expr::Kind::Constant:
+      return Out.ConstRegs[static_cast<size_t>(N.ConstOrdinal)];
+    case taco::Expr::Kind::Binary: {
+      int A = lowerNode(N.ChildA);
+      int B = lowerNode(N.ChildB);
+      int R = newReg();
+      switch (N.Op) {
+      case taco::BinOpKind::Add:
+        emit(Op::Add, R, A, B);
+        break;
+      case taco::BinOpKind::Sub:
+        emit(Op::Sub, R, A, B);
+        break;
+      case taco::BinOpKind::Mul:
+        emit(Op::Mul, R, A, B);
+        break;
+      case taco::BinOpKind::Div:
+        emit(Op::Div, R, A, B);
+        break;
+      }
+      return R;
+    }
+    case taco::Expr::Kind::Negate: {
+      int A = lowerNode(N.ChildA);
+      int R = newReg();
+      emit(Op::Neg, R, A);
+      return R;
+    }
+    case taco::Expr::Kind::Max: {
+      int A = lowerNode(N.ChildA);
+      int B = lowerNode(N.ChildB);
+      int R = newReg();
+      emit(Op::Max, R, A, B);
+      return R;
+    }
+    }
+    return -1;
+  }
+
+  const taco::EinsumProgram &S;
+  StmtCode &Out;
+  int NextReg = 0;
+};
+
+} // namespace
+
+namespace {
+
+/// Compiles one statement into \p C; false (with C.Error set) on failure.
+/// The compiled StmtCode keeps ConstantExpr pointers into \p P's RHS tree,
+/// so \p P must be the caller's own program, never a temporary.
+bool compileInto(const taco::Program &P, Code &C, std::string &Error) {
+  taco::EinsumProgram S(P);
+  if (!S.ok()) {
+    Error = S.error();
+    return false;
+  }
+  StmtCode Stmt;
+  Lowering(S, Stmt).run();
+  C.mutableStatements().push_back(std::move(Stmt));
+  return true;
+}
+
+} // namespace
+
+Code Compiler::compile(const taco::Program &P) const {
+  Code C;
+  std::string Error;
+  if (!compileInto(P, C, Error))
+    C.setError(std::move(Error));
+  return C;
+}
+
+Code Compiler::compile(const std::vector<taco::Program> &Statements) const {
+  Code C;
+  if (Statements.empty()) {
+    C.setError("empty statement list");
+    return C;
+  }
+  std::string Error;
+  for (const taco::Program &P : Statements)
+    if (!compileInto(P, C, Error)) {
+      C.setError(std::move(Error));
+      return C;
+    }
+  return C;
+}

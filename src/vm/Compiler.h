@@ -1,0 +1,54 @@
+//===- vm/Compiler.h - Lower TACO programs to vm::Code ----------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vm::Compiler lowers a taco::Program (or an ordered statement list) to a
+/// vm::Code instruction stream. Slot assignment and reduction placement are
+/// delegated to taco::EinsumProgram — the structure compiler both the
+/// tree-walking evaluator and the VM agree on — so the lowering is a pure
+/// linearization: every expression node becomes a register, reduction nodes
+/// become ResetAcc + LoopBegin/LoopEnd nests, and `acc += a * b` bodies fuse
+/// into MulAcc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_VM_COMPILER_H
+#define STAGG_VM_COMPILER_H
+
+#include "vm/Code.h"
+
+#include "taco/Ast.h"
+
+#include <vector>
+
+namespace stagg {
+namespace vm {
+
+/// Compiles TACO programs to vm::Code. Stateless; the free functions below
+/// are the usual entry points.
+class Compiler {
+public:
+  /// Compiles a single statement. On structural failure (no RHS), the
+  /// returned Code is !ok() and carries the diagnostic.
+  Code compile(const taco::Program &P) const;
+
+  /// Compiles an ordered statement list; statements execute in order with
+  /// each result bound under its LHS name (evalEinsumSequence semantics).
+  Code compile(const std::vector<taco::Program> &Statements) const;
+};
+
+/// Convenience wrappers around a stateless Compiler.
+inline Code compileProgram(const taco::Program &P) {
+  return Compiler().compile(P);
+}
+inline Code compileStatements(const std::vector<taco::Program> &Statements) {
+  return Compiler().compile(Statements);
+}
+
+} // namespace vm
+} // namespace stagg
+
+#endif // STAGG_VM_COMPILER_H

@@ -1,0 +1,437 @@
+//===- vm/Interpreter.h - Execute vm::Code ----------------------*- C++ -*-===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vm::Interpreter executes a shared, immutable vm::Code against concrete
+/// operands. It is reentrant in the sense that any number of Interpreter
+/// instances (each with its own InterpreterState) can run the same Code
+/// concurrently; a single instance rebinds across operand sets with zero
+/// allocation once its buffers have grown to size (tracked by
+/// allocEvents(), which the rebind-reuse test pins).
+///
+/// The public surface mirrors taco::EinsumEvaluator bit-for-bit — bind order,
+/// error strings, accumulation order, and comparison verdicts are identical —
+/// so the validator and verifier can switch between the two behind one seam
+/// (`--no-vm`). Statement lists run through run(), which replicates
+/// taco::evalEinsumSequence (shape inference, per-statement binding, store
+/// forwarding of earlier results) without re-compiling anything per call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STAGG_VM_INTERPRETER_H
+#define STAGG_VM_INTERPRETER_H
+
+#include "vm/Code.h"
+
+#include "taco/Einsum.h"
+#include "taco/Tensor.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace stagg {
+namespace vm {
+
+/// Executes one vm::Code. Template parameter T is the cell type (double for
+/// validation/execution, Rational for the bounded verifier).
+template <typename T> class Interpreter {
+public:
+  /// Resolves an access name to its operand, or nullptr when unbound.
+  using Resolver = std::function<const taco::Tensor<T> *(const std::string &)>;
+
+  explicit Interpreter(const Code &C) : C(C) {
+    States.resize(C.statements().size());
+    Scratch.resize(C.statements().size());
+  }
+
+  const std::string &error() const { return C.ok() ? Error : C.error(); }
+
+  /// Number of buffer growths since construction. Stable across rebinds of
+  /// equal-or-smaller shapes: the zero-allocation re-execution contract.
+  int64_t allocEvents() const { return AllocEvents; }
+
+  //===--------------------------------------------------------------------===
+  // Single-statement surface (EinsumEvaluator-compatible; requires
+  // C.single()).
+  //===--------------------------------------------------------------------===
+
+  /// Binds (or rebinds) operands and output shape against the first
+  /// statement. Check order, error strings, and stride layout are those of
+  /// EinsumEvaluator::bind. \p Resolve is any callable with the Resolver
+  /// signature (a plain lambda avoids the std::function indirection).
+  template <typename ResolveFn>
+  bool bind(const ResolveFn &Resolve, const std::vector<int64_t> &OutputShape) {
+    if (!C.ok())
+      return false;
+    Error.clear();
+    return bindStmt(0, Resolve, OutputShape);
+  }
+
+  /// bind() against a plain name->tensor map.
+  bool bindMap(const std::map<std::string, taco::Tensor<T>> &Operands,
+               const std::vector<int64_t> &OutputShape) {
+    return bind(
+        [&Operands](const std::string &Name) -> const taco::Tensor<T> * {
+          auto It = Operands.find(Name);
+          return It == Operands.end() ? nullptr : &It->second;
+        },
+        OutputShape);
+  }
+
+  /// Re-reads every ConstantExpr the code references (the validator's
+  /// constant odometer rewrites them in place).
+  void refreshConstants() {
+    for (size_t K = 0; K < C.statements().size(); ++K)
+      refreshStmtConstants(K);
+  }
+
+  /// Evaluates every output cell into a fresh tensor. Requires bind().
+  taco::EinsumResult<T> evaluate() {
+    StmtState &St = States[0];
+    assert(St.Bound && "evaluate() requires a successful bind()");
+    taco::Tensor<T> Output(St.OutShape);
+    evalStmtInto(0, Output.flat());
+    return taco::EinsumResult<T>::success(std::move(Output));
+  }
+
+  /// Evaluates into \p Out, reusing its storage — the zero-allocation
+  /// execute path. Requires bind().
+  void evaluateInto(taco::Tensor<T> &Out) {
+    StmtState &St = States[0];
+    assert(St.Bound && "evaluateInto() requires a successful bind()");
+    reshape(Out, St.OutShape);
+    evalStmtInto(0, Out.flat());
+  }
+
+  /// Evaluates cell by cell against \p Want, stopping at the first cell for
+  /// which \p CellOk(got, want) is false. Verdict-identical to
+  /// EinsumEvaluator::compare. Requires bind().
+  template <typename CellOkFn>
+  taco::EinsumCompare compare(const std::vector<T> &Want, CellOkFn &&CellOk) {
+    StmtState &St = States[0];
+    assert(St.Bound && "compare() requires a successful bind()");
+    size_t Total = 1;
+    for (int64_t D : St.OutShape)
+      Total *= static_cast<size_t>(D);
+    if (Want.size() != Total)
+      return taco::EinsumCompare::Mismatch;
+
+    const StmtCode &SC = C.statements()[0];
+    assign(St.OutCoord, SC.OutSlots.size(), int64_t(0));
+    size_t Linear = 0;
+    do {
+      for (size_t I = 0; I < SC.OutSlots.size(); ++I)
+        St.Coords[static_cast<size_t>(SC.OutSlots[I])] = St.OutCoord[I];
+      if (!CellOk(execCell(SC, St), Want[Linear++]))
+        return taco::EinsumCompare::Mismatch;
+    } while (taco::detail::advanceCounter(St.OutCoord, St.OutShape));
+    return taco::EinsumCompare::Match;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statement-list surface (evalEinsumSequence-compatible).
+  //===--------------------------------------------------------------------===
+
+  /// Runs every statement in order against \p Resolve, binding each result
+  /// under its LHS name for later statements (store forwarding through
+  /// per-statement scratch tensors, reused across calls), then copies the
+  /// final value of \p OutputName into \p Out. Error strings are those of
+  /// evalEinsumSequence. Returns false with error() set on failure.
+  template <typename ResolveFn>
+  bool run(const ResolveFn &Resolve, const std::string &OutputName,
+           taco::Tensor<T> &Out) {
+    if (!C.ok())
+      return false;
+    Error.clear();
+    const std::vector<StmtCode> &Stmts = C.statements();
+
+    // Name resolution chains through the scratch results of statements
+    // executed so far this run (latest definition wins), then the caller's
+    // operands — exactly the evolving Operands map of evalEinsumSequence.
+    size_t Done = 0;
+    auto Chain = [&](const std::string &Name) -> const taco::Tensor<T> * {
+      for (size_t K = Done; K > 0; --K)
+        if (Stmts[K - 1].LhsName == Name)
+          return &Scratch[K - 1];
+      return Resolve(Name);
+    };
+
+    for (size_t K = 0; K < Stmts.size(); ++K) {
+      const StmtCode &SC = Stmts[K];
+      StmtState &St = States[K];
+      if (!inferShape(SC, St, Chain))
+        return false;
+      if (!bindStmt(K, Chain, St.InferredShape))
+        return false;
+      reshape(Scratch[K], St.OutShape);
+      evalStmtInto(K, Scratch[K].flat());
+      Done = K + 1;
+    }
+
+    const taco::Tensor<T> *Result = Chain(OutputName);
+    if (!Result) {
+      Error = "statement list never defines '" + OutputName + "'";
+      return false;
+    }
+    Out = *Result;
+    return true;
+  }
+
+private:
+  struct AccessBind {
+    const std::vector<T> *Data = nullptr;
+    /// Pre-resolved (coordinate slot, row-major stride) per index position.
+    std::vector<std::pair<int, size_t>> SlotStride;
+  };
+
+  /// Per-statement binding and execution state.
+  struct StmtState {
+    std::vector<int64_t> ExtentBySlot;
+    std::vector<int64_t> Coords;
+    std::vector<AccessBind> Binds;
+    std::vector<T> Regs;
+    std::vector<int64_t> OutShape;
+    std::vector<int64_t> OutCoord;
+    std::vector<int64_t> InferredShape;
+    std::vector<int64_t> InferExtent; ///< Per-slot extents seen by inferShape.
+    bool Bound = false;
+  };
+
+  /// resize()/assign() with allocation tracking: a capacity change counts
+  /// as one alloc event.
+  template <typename V> void grow(V &Vec, size_t N) {
+    size_t Cap = Vec.capacity();
+    Vec.resize(N);
+    if (Vec.capacity() != Cap)
+      ++AllocEvents;
+  }
+  template <typename V, typename E> void assign(V &Vec, size_t N, E Value) {
+    size_t Cap = Vec.capacity();
+    Vec.assign(N, Value);
+    if (Vec.capacity() != Cap)
+      ++AllocEvents;
+  }
+
+  /// Resizes \p Out to \p Shape, reusing its flat storage.
+  void reshape(taco::Tensor<T> &Out, const std::vector<int64_t> &Shape) {
+    if (Out.shape() == Shape)
+      return;
+    size_t Cap = Out.flat().capacity();
+    Out = taco::Tensor<T>(Shape);
+    if (Out.flat().capacity() > Cap)
+      ++AllocEvents;
+  }
+
+  bool bindExtent(StmtState &St, int Slot, const std::string &Var,
+                  int64_t Extent) {
+    int64_t &Cell = St.ExtentBySlot[static_cast<size_t>(Slot)];
+    if (Cell >= 0 && Cell != Extent) {
+      Error = "index '" + Var + "' has conflicting extents";
+      return false;
+    }
+    Cell = Extent;
+    return true;
+  }
+
+  /// EinsumEvaluator::bind for statement \p K: same check order, same
+  /// diagnostics, strides row-major with the innermost dimension last.
+  template <typename ResolveFn>
+  bool bindStmt(size_t K, const ResolveFn &Resolve,
+                const std::vector<int64_t> &OutputShape) {
+    const StmtCode &SC = C.statements()[K];
+    StmtState &St = States[K];
+    St.Bound = false;
+    if (SC.LhsIndices.size() != OutputShape.size()) {
+      Error = "output shape rank does not match LHS";
+      return false;
+    }
+    assign(St.ExtentBySlot, static_cast<size_t>(SC.NumSlots), int64_t(-1));
+    assign(St.Coords, static_cast<size_t>(SC.NumSlots), int64_t(0));
+    for (size_t I = 0; I < OutputShape.size(); ++I)
+      if (!bindExtent(St, SC.OutSlots[I], SC.LhsIndices[I], OutputShape[I]))
+        return false;
+
+    grow(St.Binds, SC.Accesses.size());
+    for (size_t Ord = 0; Ord < SC.Accesses.size(); ++Ord) {
+      const AccessInfo &A = SC.Accesses[Ord];
+      const taco::Tensor<T> *Operand = Resolve(A.Name);
+      if (!Operand) {
+        Error = "unbound tensor '" + A.Name + "'";
+        return false;
+      }
+      if (Operand->order() != A.Indices.size()) {
+        Error = "tensor '" + A.Name + "' accessed with wrong rank";
+        return false;
+      }
+      const std::vector<int64_t> &Shape = Operand->shape();
+      for (size_t I = 0; I < A.Indices.size(); ++I)
+        if (!bindExtent(St, A.Slots[I], A.Indices[I], Shape[I]))
+          return false;
+      AccessBind &AB = St.Binds[Ord];
+      AB.Data = &Operand->flat();
+      grow(AB.SlotStride, Shape.size());
+      size_t Stride = 1;
+      for (size_t I = Shape.size(); I > 0; --I) {
+        AB.SlotStride[I - 1] = {A.Slots[I - 1], Stride};
+        Stride *= static_cast<size_t>(Shape[I - 1]);
+      }
+    }
+
+    grow(St.Regs, static_cast<size_t>(SC.NumRegs));
+    refreshStmtConstants(K);
+
+    size_t Cap = St.OutShape.capacity();
+    St.OutShape = OutputShape;
+    if (St.OutShape.capacity() != Cap)
+      ++AllocEvents;
+    St.Bound = true;
+    return true;
+  }
+
+  void refreshStmtConstants(size_t K) {
+    const StmtCode &SC = C.statements()[K];
+    StmtState &St = States[K];
+    if (St.Regs.size() < static_cast<size_t>(SC.NumRegs))
+      grow(St.Regs, static_cast<size_t>(SC.NumRegs));
+    for (size_t I = 0; I < SC.Consts.size(); ++I) {
+      assert(!SC.Consts[I]->isSymbolic() &&
+             "symbolic constants must be instantiated");
+      St.Regs[static_cast<size_t>(SC.ConstRegs[I])] =
+          T(SC.Consts[I]->value());
+    }
+  }
+
+  /// taco::inferLhsShape for statement \p K: prefer an operand already bound
+  /// under the LHS name with matching order, else derive extents from the
+  /// RHS accesses in leaf order (first binding of a variable wins).
+  template <typename ResolveFn>
+  bool inferShape(const StmtCode &SC, StmtState &St,
+                  const ResolveFn &Resolve) {
+    const taco::Tensor<T> *Existing = Resolve(SC.LhsName);
+    if (Existing && Existing->order() == SC.LhsIndices.size()) {
+      size_t Cap = St.InferredShape.capacity();
+      St.InferredShape = Existing->shape();
+      if (St.InferredShape.capacity() != Cap)
+        ++AllocEvents;
+      return true;
+    }
+    assign(St.InferExtent, static_cast<size_t>(SC.NumSlots), int64_t(-1));
+    for (const AccessInfo &A : SC.Accesses) {
+      const taco::Tensor<T> *Operand = Resolve(A.Name);
+      if (!Operand || Operand->order() != A.Indices.size())
+        continue; // unbound/mismatched operands are bind()'s problem
+      for (size_t I = 0; I < A.Slots.size(); ++I) {
+        int64_t &Cell = St.InferExtent[static_cast<size_t>(A.Slots[I])];
+        if (Cell < 0)
+          Cell = Operand->shape()[I];
+      }
+    }
+    assign(St.InferredShape, size_t(0), int64_t(0));
+    for (size_t I = 0; I < SC.OutSlots.size(); ++I) {
+      int64_t Extent = St.InferExtent[static_cast<size_t>(SC.OutSlots[I])];
+      if (Extent < 0) {
+        Error = "no extent derivable for output index '" + SC.LhsIndices[I] +
+                "'";
+        return false;
+      }
+      size_t Cap = St.InferredShape.capacity();
+      St.InferredShape.push_back(Extent);
+      if (St.InferredShape.capacity() != Cap)
+        ++AllocEvents;
+    }
+    return true;
+  }
+
+  /// Runs the instruction stream once for the current coordinates; the cell
+  /// value lands in the root register.
+  T execCell(const StmtCode &SC, StmtState &St) {
+    const Inst *Base = SC.Instrs.data();
+    const Inst *I = Base;
+    const Inst *End = Base + SC.Instrs.size();
+    T *R = St.Regs.data();
+    int64_t *Coords = St.Coords.data();
+    const int64_t *Ext = St.ExtentBySlot.data();
+    while (I != End) {
+      switch (I->K) {
+      case Op::Load: {
+        const AccessBind &AB = St.Binds[static_cast<size_t>(I->A)];
+        size_t Offset = 0;
+        for (const std::pair<int, size_t> &P : AB.SlotStride)
+          Offset += static_cast<size_t>(Coords[P.first]) * P.second;
+        R[I->Dst] = (*AB.Data)[Offset];
+        break;
+      }
+      case Op::Add:
+        R[I->Dst] = R[I->A] + R[I->B];
+        break;
+      case Op::Sub:
+        R[I->Dst] = R[I->A] - R[I->B];
+        break;
+      case Op::Mul:
+        R[I->Dst] = R[I->A] * R[I->B];
+        break;
+      case Op::Div:
+        R[I->Dst] = R[I->A] / R[I->B];
+        break;
+      case Op::Neg:
+        R[I->Dst] = -R[I->A];
+        break;
+      case Op::Max:
+        R[I->Dst] = R[I->A] < R[I->B] ? R[I->B] : R[I->A];
+        break;
+      case Op::ResetAcc:
+        R[I->Dst] = T{};
+        break;
+      case Op::AccAdd:
+        R[I->Dst] += R[I->A];
+        break;
+      case Op::MulAcc: {
+        T Product = R[I->A] * R[I->B];
+        R[I->Dst] += Product;
+        break;
+      }
+      case Op::LoopBegin:
+        Coords[I->Dst] = 0;
+        break;
+      case Op::LoopEnd:
+        if (++Coords[I->Dst] < Ext[I->Dst]) {
+          I = Base + I->A;
+          continue;
+        }
+        break;
+      }
+      ++I;
+    }
+    return R[SC.Root];
+  }
+
+  /// The row-major output odometer of EinsumEvaluator::evaluate.
+  void evalStmtInto(size_t K, std::vector<T> &Flat) {
+    const StmtCode &SC = C.statements()[K];
+    StmtState &St = States[K];
+    assign(St.OutCoord, SC.OutSlots.size(), int64_t(0));
+    size_t Linear = 0;
+    do {
+      for (size_t I = 0; I < SC.OutSlots.size(); ++I)
+        St.Coords[static_cast<size_t>(SC.OutSlots[I])] = St.OutCoord[I];
+      Flat[Linear++] = execCell(SC, St);
+    } while (taco::detail::advanceCounter(St.OutCoord, St.OutShape));
+  }
+
+  const Code &C;
+  std::string Error;
+  std::vector<StmtState> States;
+  std::vector<taco::Tensor<T>> Scratch;
+  int64_t AllocEvents = 0;
+};
+
+} // namespace vm
+} // namespace stagg
+
+#endif // STAGG_VM_INTERPRETER_H

@@ -471,7 +471,7 @@ TEST(ConfigPatch, FingerprintCoversResultAffectingKnobs) {
   core::StaggConfig Base;
   std::string Baseline = core::configFingerprint(Base);
 
-  std::vector<api::ConfigPatch> Patches(12);
+  std::vector<api::ConfigPatch> Patches(13);
   Patches[0].Kind = core::SearchKind::BottomUp;
   Patches[1].NumCandidates = 11;
   Patches[2].NumIoExamples = 4;
@@ -484,6 +484,7 @@ TEST(ConfigPatch, FingerprintCoversResultAffectingKnobs) {
   Patches[9].VerifyMaxSize = 3;
   Patches[10].FullGrammar = true;
   Patches[11].EqualProbability = true;
+  Patches[12].UseVm = false;
 
   for (size_t I = 0; I < Patches.size(); ++I)
     EXPECT_NE(core::configFingerprint(Patches[I].apply(Base)), Baseline)

@@ -674,6 +674,73 @@ TEST(SocketService, MalformedV2FrameIsAnErrorEventNotADisconnect) {
   EXPECT_NE(C.readLine().find("\"status\":\"ok\""), std::string::npos);
 }
 
+TEST(SocketService, ExecuteFrameRunsTheLiftedProgramOnPostedInputs) {
+  StackFixture Stack;
+  TestClient C(Stack.port());
+  ASSERT_TRUE(C.connected());
+
+  // Lift + execute in one frame: the output tensor streams back.
+  C.sendLine("{\"v\":2,\"id\":9,\"execute\":{\"name\":\"art_add\","
+             "\"sizes\":{\"N\":3},"
+             "\"inputs\":{\"a\":[1,2,3],\"b\":[10,20,30]}}}");
+  support::Json Result = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Result), "result");
+  ASSERT_NE(Result.find("id"), nullptr);
+  EXPECT_EQ(Result.find("id")->asInteger(), 9);
+  ASSERT_NE(Result.find("status"), nullptr);
+  ASSERT_EQ(Result.find("status")->asString(), "ok");
+  const support::Json *Data = Result.find("data");
+  ASSERT_NE(Data, nullptr);
+  ASSERT_EQ(Data->items().size(), 3u);
+  EXPECT_EQ(Data->items()[0].asNumber(), 11.0);
+  EXPECT_EQ(Data->items()[1].asNumber(), 22.0);
+  EXPECT_EQ(Data->items()[2].asNumber(), 33.0);
+  const support::Json *Shape = Result.find("shape");
+  ASSERT_NE(Shape, nullptr);
+  ASSERT_EQ(Shape->items().size(), 1u);
+  EXPECT_EQ(Shape->items()[0].asInteger(), 3);
+  EXPECT_NE(Result.find("expr"), nullptr);
+
+  // Re-executing answers from the result cache with the new inputs.
+  C.sendLine("{\"v\":2,\"execute\":{\"name\":\"art_add\","
+             "\"sizes\":{\"N\":2},"
+             "\"inputs\":{\"a\":[5,6],\"b\":[1,1]}}}");
+  support::Json Again = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Again), "result");
+  EXPECT_EQ(Again.find("id"), nullptr); // no id posted, none echoed
+  ASSERT_NE(Again.find("cached"), nullptr);
+  EXPECT_TRUE(Again.find("cached")->asBool());
+  ASSERT_NE(Again.find("data"), nullptr);
+  ASSERT_EQ(Again.find("data")->items().size(), 2u);
+  EXPECT_EQ(Again.find("data")->items()[0].asNumber(), 6.0);
+  EXPECT_EQ(Again.find("data")->items()[1].asNumber(), 7.0);
+
+  // Bad inputs answer as a result error event on a surviving session.
+  C.sendLine("{\"v\":2,\"id\":10,\"execute\":{\"name\":\"art_add\","
+             "\"sizes\":{\"N\":3},\"inputs\":{\"a\":[1]}}}");
+  support::Json Bad = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Bad), "result");
+  ASSERT_NE(Bad.find("status"), nullptr);
+  EXPECT_EQ(Bad.find("status")->asString(), "error");
+  ASSERT_NE(Bad.find("error"), nullptr);
+  EXPECT_NE(Bad.find("error")->asString().find("expected"),
+            std::string::npos);
+
+  // An execute frame may not also carry a batch.
+  C.sendLine("{\"v\":2,\"requests\":[],"
+             "\"execute\":{\"name\":\"art_add\"}}");
+  support::Json Err = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Err), "error");
+
+  // Malformed inputs are frame errors too (negative size).
+  C.sendLine("{\"v\":2,\"execute\":{\"name\":\"art_add\","
+             "\"sizes\":{\"N\":-1}}}");
+  EXPECT_EQ(eventKind(parsedEvent(C.readLine())), "error");
+
+  C.sendLine("{\"v\":1,\"name\":\"art_copy\"}");
+  EXPECT_NE(C.readLine().find("\"status\":\"ok\""), std::string::npos);
+}
+
 TEST(SocketService, StatsEventReportsAllThreeLayers) {
   StackFixture Stack;
   TestClient C(Stack.port());
