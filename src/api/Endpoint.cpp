@@ -49,6 +49,18 @@ Endpoint::Endpoint(serve::ServiceConfig Config, serve::OracleFactory Factory)
 
 namespace {
 
+/// Overflow-checked cell count of \p Shape. False on a non-positive extent
+/// or a product that does not fit int64_t — sizes are client-controlled on
+/// the execute path, and a wrapped product would under-allocate the buffer
+/// the interpreter then writes a full shape-odometer of cells into.
+bool checkedCellCount(const std::vector<int64_t> &Shape, int64_t &Cells) {
+  Cells = 1;
+  for (int64_t D : Shape)
+    if (D <= 0 || __builtin_mul_overflow(Cells, D, &Cells))
+      return false;
+  return true;
+}
+
 /// "did you mean" over the registry, for mistyped names.
 std::string nearestBenchmark(const std::string &Name) {
   std::vector<std::string> Names;
@@ -249,23 +261,42 @@ ExecuteOutcome Endpoint::executeLifted(const LiftRequest &Request,
   }
 
   // Materialize every argument; arrays not posted stay zero (the output
-  // buffer's usual pre-state), absent size parameters default to 1.
+  // buffer's usual pre-state), absent size parameters default to 1. Every
+  // cell count is overflow-checked and budgeted *before* its buffer is
+  // allocated: sizes come off the wire, and the request must fail as a
+  // result error, never as a wrapped allocation or an OOM kill.
+  const int64_t MaxCells = Base.Serve.MaxExecuteCells;
+  int64_t TotalCells = 0;
   std::map<std::string, taco::Tensor<double>> Operands;
   for (const bench::ArgSpec &Arg : Query.Args) {
     if (Arg.K == bench::ArgSpec::Kind::Array) {
       std::vector<int64_t> Shape = validate::resolveShape(Arg, Io.Sizes);
-      taco::Tensor<double> T(Shape);
-      auto It = Io.Arrays.find(Arg.Name);
-      if (It != Io.Arrays.end()) {
-        if (It->second.size() != T.flat().size()) {
-          Out.Error = "input '" + Arg.Name + "' carries " +
-                      std::to_string(It->second.size()) +
-                      " values, expected " +
-                      std::to_string(T.flat().size());
-          return Out;
-        }
-        T.flat() = It->second;
+      int64_t Cells = 0;
+      if (!checkedCellCount(Shape, Cells) ||
+          __builtin_add_overflow(TotalCells, Cells, &TotalCells)) {
+        Out.Error = "argument '" + Arg.Name +
+                    "' has an invalid or overflowing cell count for the "
+                    "posted sizes";
+        return Out;
       }
+      if (MaxCells > 0 && TotalCells > MaxCells) {
+        Out.Error = "request materializes more than " +
+                    std::to_string(MaxCells) +
+                    " tensor cells (--max-execute-cells); argument '" +
+                    Arg.Name + "' pushed it over the limit";
+        return Out;
+      }
+      auto It = Io.Arrays.find(Arg.Name);
+      if (It != Io.Arrays.end() &&
+          It->second.size() != static_cast<size_t>(Cells)) {
+        Out.Error = "input '" + Arg.Name + "' carries " +
+                    std::to_string(It->second.size()) +
+                    " values, expected " + std::to_string(Cells);
+        return Out;
+      }
+      taco::Tensor<double> T(Shape);
+      if (It != Io.Arrays.end())
+        T.flat() = It->second;
       Operands.emplace(Arg.Name, std::move(T));
     } else if (Arg.K == bench::ArgSpec::Kind::SizeScalar) {
       auto It = Io.Sizes.find(Arg.Name);

@@ -150,8 +150,16 @@ void SocketService::pump(uint64_t ClientId) {
 
     if (Pending.ready()) {
       // Admission error (bad request, unknown name, ingest refusal):
-      // resolved without ever reaching the queue.
-      markReady(S, Meta, renderLine(Meta, Pending.get()));
+      // resolved without ever reaching the queue. Execute items still owe
+      // their evaluation — that runs on the execute worker, with the slot
+      // held in the client's in-flight window until the result flushes.
+      LiftResponse Response = Pending.get();
+      if (Meta.Execute) {
+        Client->beginRequest();
+        dispatchExecute(ClientId, std::move(Meta), std::move(Response));
+      } else {
+        markReady(S, Meta, renderLine(Meta, Response));
+      }
       continue;
     }
 
@@ -186,11 +194,17 @@ void SocketService::onSettled(uint64_t ClientId, uint64_t Slot) {
       Item Meta = std::move(It->second.Meta);
       S.InFlight.erase(It);
 
-      if (serve::SocketClient *Client = Server->client(ClientId))
-        Client->endRequest();
-
-      markReady(S, Meta, renderLine(Meta, Response));
-      flush(ClientId);
+      if (Meta.Execute) {
+        // Evaluation runs on the execute worker, not here on the loop
+        // thread; the beginRequest from pump stays held until the worker's
+        // result flushes (finishExecute), so drain waits for it.
+        dispatchExecute(ClientId, std::move(Meta), std::move(Response));
+      } else {
+        if (serve::SocketClient *Client = Server->client(ClientId))
+          Client->endRequest();
+        markReady(S, Meta, renderLine(Meta, Response));
+        flush(ClientId);
+      }
     }
   }
 
@@ -253,10 +267,6 @@ void SocketService::flush(uint64_t ClientId) {
 
 std::string SocketService::renderLine(const Item &Meta,
                                       const LiftResponse &Response) {
-  if (Meta.Execute)
-    return renderResultEvent(
-        Meta.IdJson, Meta.Name,
-        Lifter.executeLifted(Meta.Request, Meta.Io, Response));
   if (Meta.V2)
     return renderResponseEvent(Meta.IdJson, Meta.Seq, Response);
   if (Meta.Format == RequestFormat::JsonV1)
@@ -266,6 +276,68 @@ std::string SocketService::renderLine(const Item &Meta,
     return Response.Name + ": ERROR unknown benchmark (try `stagg --list`)";
   return core::describeResult(Response.Name, Response.Result) +
          (Response.CacheHit ? " [cached]" : "");
+}
+
+void SocketService::dispatchExecute(uint64_t ClientId, Item Meta,
+                                    LiftResponse Response) {
+  std::lock_guard<std::mutex> Lock(ExecMutex);
+  if (!ExecWorker.joinable())
+    ExecWorker = std::thread([this] { executeLoop(); });
+  ExecQueue.push_back(
+      ExecJob{ClientId, std::move(Meta), std::move(Response)});
+  ExecWake.notify_one();
+}
+
+void SocketService::executeLoop() {
+  for (;;) {
+    ExecJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(ExecMutex);
+      ExecWake.wait(Lock,
+                    [this] { return ExecStop || !ExecQueue.empty(); });
+      if (ExecStop)
+        return; // teardown: the loop is gone, nobody can read a result
+      Job = std::move(ExecQueue.front());
+      ExecQueue.pop_front();
+    }
+    // The expensive part — operand materialization, tensor evaluation, and
+    // JSON-rendering of every output cell — runs here, off the loop
+    // thread. Only the finished line travels back.
+    std::string Line = renderResultEvent(
+        Job.Meta.IdJson, Job.Meta.Name,
+        Lifter.executeLifted(Job.Meta.Request, Job.Meta.Io, Job.Response));
+    uint64_t ClientId = Job.ClientId;
+    uint64_t Slot = Job.Meta.Slot;
+    SocketService *Self = this;
+    Server->post([Self, ClientId, Slot, Line = std::move(Line)]() mutable {
+      Self->finishExecute(ClientId, Slot, std::move(Line));
+    });
+  }
+}
+
+void SocketService::finishExecute(uint64_t ClientId, uint64_t Slot,
+                                  std::string Line) {
+  auto SessionIt = Sessions.find(ClientId);
+  if (SessionIt == Sessions.end())
+    return; // the client disconnected while the worker was evaluating
+  if (serve::SocketClient *Client = Server->client(ClientId))
+    Client->endRequest();
+  Item Meta;
+  Meta.Slot = Slot; // execute frames are never batch members (BatchKey 0)
+  markReady(SessionIt->second, Meta, std::move(Line));
+  flush(ClientId);
+}
+
+void SocketService::shutdown() {
+  std::thread Worker;
+  {
+    std::lock_guard<std::mutex> Lock(ExecMutex);
+    ExecStop = true;
+    Worker = std::move(ExecWorker);
+  }
+  ExecWake.notify_one();
+  if (Worker.joinable())
+    Worker.join();
 }
 
 void SocketService::onDisconnect(serve::SocketClient &Client) {

@@ -28,10 +28,13 @@
 #include "api/Protocol.h"
 #include "serve/SocketServer.h"
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
 namespace stagg {
 namespace api {
@@ -42,10 +45,21 @@ class SocketService : public serve::SocketProtocol {
 public:
   explicit SocketService(Endpoint &Lifter) : Lifter(Lifter) {}
 
+  /// Joins the execute worker (fallback; call shutdown() explicitly while
+  /// the attached server still exists).
+  ~SocketService() { shutdown(); }
+
   /// Wires the transport whose loop this service runs on. Must be called
   /// before the server runs (the server needs the protocol at
   /// construction, so the cycle closes here).
   void attach(serve::SocketServer &Server) { this->Server = &Server; }
+
+  /// Stops and joins the execute worker. The worker posts completions into
+  /// the attached SocketServer, so this must run after the server's loop
+  /// has exited and before the server object is destroyed (SocketServer is
+  /// declared after SocketService everywhere, so destruction order alone
+  /// would tear the server down first). Idempotent.
+  void shutdown();
 
   // serve::SocketProtocol:
   void onFrame(serve::SocketClient &Client,
@@ -112,10 +126,25 @@ private:
   /// flushed.
   void flush(uint64_t ClientId);
 
-  /// Renders one settled response in the item's dialect. Execute items run
-  /// the lifted program here (on the loop thread, at settle time) and
-  /// render a "result" event instead of a response.
+  /// Renders one settled response in the item's dialect. Execute items
+  /// never pass through here — their evaluation runs on the execute worker
+  /// (dispatchExecute) so the loop thread only renders and flushes.
   std::string renderLine(const Item &Meta, const LiftResponse &Response);
+
+  /// Hands a settled execute item to the execute worker (loop thread).
+  /// Operand materialization, tensor evaluation, and result rendering all
+  /// happen off the loop; finishExecute posts back when the line is ready.
+  /// The caller has already counted the item against the client's in-flight
+  /// window, so drain and idle eviction wait for the result to flush.
+  void dispatchExecute(uint64_t ClientId, Item Meta, LiftResponse Response);
+
+  /// Lands one finished execute line back on the session (loop thread, via
+  /// post). The session may be gone — the client disconnected while the
+  /// worker was evaluating — in which case the line is dropped.
+  void finishExecute(uint64_t ClientId, uint64_t Slot, std::string Line);
+
+  /// The execute worker's queue drain.
+  void executeLoop();
 
   /// Marks \p Slot ready and settles its batch accounting.
   void markReady(Session &S, const Item &Meta, std::string Line);
@@ -127,6 +156,22 @@ private:
   serve::SocketServer *Server = nullptr;
   std::map<uint64_t, Session> Sessions;
   uint64_t NextBatchKey = 1;
+
+  /// One settled execute item awaiting evaluation off the loop thread.
+  struct ExecJob {
+    uint64_t ClientId = 0;
+    Item Meta;
+    LiftResponse Response;
+  };
+
+  /// The execute worker: started lazily on the first execute frame, fed on
+  /// the loop thread, joined by shutdown(). Evaluation cost lands here so
+  /// one expensive execute cannot stall every other connection's frames.
+  std::mutex ExecMutex;
+  std::condition_variable ExecWake;
+  std::deque<ExecJob> ExecQueue;
+  std::thread ExecWorker;
+  bool ExecStop = false;
 };
 
 } // namespace api

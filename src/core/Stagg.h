@@ -28,6 +28,7 @@
 #include "taco/Ast.h"
 #include "verify/BoundedVerifier.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,14 @@ struct ServeOptions {
   int MaxConns = 64;
   int MaxInFlight = 8;
   double IdleTimeoutSeconds = 300;
+
+  /// Cap on the total number of tensor cells one v2 "execute" request may
+  /// materialize (inputs + output together). Sizes are client-controlled,
+  /// so without a cap a single frame could demand a multi-GB zero-fill (or
+  /// overflow the cell count entirely); requests over the cap answer with
+  /// a result error instead of allocating. 0 disables the cap — overflow
+  /// of the cell count itself is always rejected.
+  int64_t MaxExecuteCells = int64_t(1) << 22;
 
   /// Persistent result-cache journal; empty keeps the cache in-memory
   /// only. Loaded at service startup, written through on every insert.

@@ -83,7 +83,7 @@ const std::vector<std::string> &knownFlags() {
       "--min-time",       "--Werror",
       "--listen",         "--max-conns",
       "--max-inflight",   "--idle-timeout",
-      "--cache-file"};
+      "--cache-file",     "--max-execute-cells"};
   return Flags;
 }
 
@@ -434,6 +434,17 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       ServeOnly = F.Name;
       if (!takeValue(F, O.Config.Serve.CachePath))
         break;
+    } else if (F.Name == "--max-execute-cells") {
+      ServeOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      long long N = 0;
+      if (!parseInt(Value, N) || N < 0) {
+        Parse.Error = "--max-execute-cells expects a value >= 0 (0 "
+                      "disables the cap), got '" + Value + "'";
+        break;
+      }
+      O.Config.Serve.MaxExecuteCells = static_cast<int64_t>(N);
     } else if (F.Name == "--timeout") {
       if (!takeValue(F, Value))
         break;
@@ -635,6 +646,10 @@ std::string driver::usage() {
      << "                      0 disables (default 300)\n"
      << "  --cache-file PATH   persist the result cache to an append-only\n"
      << "                      journal at PATH, reloaded on restart\n"
+     << "  --max-execute-cells N  total tensor cells one v2 execute frame\n"
+     << "                      may materialize (inputs + output); larger\n"
+     << "                      requests answer a result error instead of\n"
+     << "                      allocating. 0 disables (default 4194304)\n"
      << "\n"
      << "Benchmarking (stagg bench):\n"
      << "  --json PATH         write the versioned JSON report to PATH\n"

@@ -144,6 +144,8 @@ int runServeListen(const CliOptions &Options) {
 
   // Join the workers while the transport and protocol still exist: a
   // completion hook fired after ~SocketServer would post into a dead loop.
+  // Same for the protocol's execute worker, which posts result lines.
+  Proto.shutdown();
   Lifter.shutdown();
 
   if (Options.Verbose) {

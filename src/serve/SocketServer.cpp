@@ -77,7 +77,7 @@ void SocketServer::requestShutdown() {
 
 void SocketServer::signalShutdown() {
   GSignalShutdown.store(true, std::memory_order_relaxed);
-  int Fd = SignalWakeFd.load(std::memory_order_relaxed);
+  int Fd = SignalWakeFd.load(std::memory_order_acquire);
   if (Fd >= 0) {
     uint64_t One = 1;
     // A failed wake is harmless: the loop re-checks on its next timeout.
@@ -145,7 +145,9 @@ int SocketServer::run() {
   if (::epoll_ctl(EpollFd.get(), EPOLL_CTL_ADD, WakeFd.get(), &Ev) != 0)
     return 1;
 
-  SignalWakeFd.store(WakeFd.get(), std::memory_order_relaxed);
+  // Release pairs with the acquire loads in post() and signalShutdown():
+  // a thread that observes the published fd also observes its creation.
+  SignalWakeFd.store(WakeFd.get(), std::memory_order_release);
   Running.store(true, std::memory_order_relaxed);
 
   epoll_event Events[64];
@@ -233,11 +235,17 @@ int SocketServer::run() {
   }
 
   Running.store(false, std::memory_order_relaxed);
-  SignalWakeFd.store(-1, std::memory_order_relaxed);
   while (!Clients.empty())
     destroyClient(Clients.begin()->first);
   EpollFd.reset();
-  WakeFd.reset();
+  {
+    // post() writes the wake fd under PostMutex; retiring and closing it
+    // under the same lock keeps a late post from writing a dead (or
+    // recycled) descriptor.
+    std::lock_guard<std::mutex> Lock(PostMutex);
+    SignalWakeFd.store(-1, std::memory_order_relaxed);
+    WakeFd.reset();
+  }
   ListenFd.reset();
   return 0;
 }
@@ -507,11 +515,13 @@ int SocketServer::nextTimeoutMs() const { return -1; }
 #endif // __linux__
 
 void SocketServer::post(std::function<void()> Task) {
-  {
-    std::lock_guard<std::mutex> Lock(PostMutex);
-    Posted.push_back(std::move(Task));
-  }
-  int Fd = SignalWakeFd.load(std::memory_order_relaxed);
+  // The wake write stays under the lock so run()'s exit path, which closes
+  // the eventfd under the same lock, cannot close it mid-write. The write
+  // itself never blocks: the fd is non-blocking and a full counter just
+  // returns EAGAIN, which is fine — the loop is already awake.
+  std::lock_guard<std::mutex> Lock(PostMutex);
+  Posted.push_back(std::move(Task));
+  int Fd = SignalWakeFd.load(std::memory_order_acquire);
   if (Fd >= 0) {
     uint64_t One = 1;
     [[maybe_unused]] ssize_t Ignored = ::write(Fd, &One, sizeof(One));

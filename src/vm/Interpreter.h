@@ -230,6 +230,16 @@ private:
 
   bool bindExtent(StmtState &St, int Slot, const std::string &Var,
                   int64_t Extent) {
+    // LoopBegin/LoopEnd is a do-while — the reduction body runs at least
+    // once — and Op::Load does not bounds-check, so a zero extent would
+    // read out of bounds. Every current caller guarantees extents >= 1
+    // (the protocol rejects non-positive sizes, Tensor asserts positive
+    // dims), but the assert is debug-only; fail the bind so release builds
+    // are safe against a future caller too.
+    if (Extent <= 0) {
+      Error = "index '" + Var + "' has non-positive extent";
+      return false;
+    }
     int64_t &Cell = St.ExtentBySlot[static_cast<size_t>(Slot)];
     if (Cell >= 0 && Cell != Extent) {
       Error = "index '" + Var + "' has conflicting extents";

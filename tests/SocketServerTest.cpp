@@ -523,6 +523,9 @@ public:
 
   ~StackFixture() {
     Srv->stop();
+    // Join the execute worker while the transport still exists — it posts
+    // result lines into Srv's loop.
+    Proto.shutdown();
     Lifter.shutdown();
   }
 
@@ -739,6 +742,48 @@ TEST(SocketService, ExecuteFrameRunsTheLiftedProgramOnPostedInputs) {
 
   C.sendLine("{\"v\":1,\"name\":\"art_copy\"}");
   EXPECT_NE(C.readLine().find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(SocketService, ExecuteSizeBombsAnswerAsResultErrorsWithoutAllocating) {
+  StackFixture Stack;
+  TestClient C(Stack.port());
+  ASSERT_TRUE(C.connected());
+
+  // Merely-large sizes (over the cells cap, far under any overflow): the
+  // request must answer with a result error instead of a multi-GB
+  // zero-fill that would bad_alloc the server.
+  C.sendLine("{\"v\":2,\"id\":1,\"execute\":{\"name\":\"art_add\","
+             "\"sizes\":{\"N\":100000000000}}}");
+  support::Json Large = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Large), "result");
+  ASSERT_NE(Large.find("status"), nullptr);
+  EXPECT_EQ(Large.find("status")->asString(), "error");
+  ASSERT_NE(Large.find("error"), nullptr);
+  EXPECT_NE(Large.find("error")->asString().find("max-execute-cells"),
+            std::string::npos)
+      << Large.find("error")->asString();
+
+  // Overflowing sizes on a 2-D argument: 2^32 * 2^32 wraps an unchecked
+  // int64 product to 0 — an empty buffer the interpreter would then write
+  // a full shape-odometer of cells into. The checked product refuses it.
+  C.sendLine("{\"v\":2,\"id\":2,\"execute\":{\"name\":\"art_transpose\","
+             "\"sizes\":{\"N\":4294967296,\"M\":4294967296}}}");
+  support::Json Wrap = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Wrap), "result");
+  ASSERT_NE(Wrap.find("status"), nullptr);
+  EXPECT_EQ(Wrap.find("status")->asString(), "error");
+  ASSERT_NE(Wrap.find("error"), nullptr);
+  EXPECT_NE(Wrap.find("error")->asString().find("overflowing"),
+            std::string::npos)
+      << Wrap.find("error")->asString();
+
+  // The session survives both refusals and still executes normally.
+  C.sendLine("{\"v\":2,\"id\":3,\"execute\":{\"name\":\"art_add\","
+             "\"sizes\":{\"N\":2},\"inputs\":{\"a\":[1,2],\"b\":[3,4]}}}");
+  support::Json Ok = parsedEvent(C.readLine());
+  EXPECT_EQ(eventKind(Ok), "result");
+  ASSERT_NE(Ok.find("status"), nullptr);
+  EXPECT_EQ(Ok.find("status")->asString(), "ok");
 }
 
 TEST(SocketService, StatsEventReportsAllThreeLayers) {

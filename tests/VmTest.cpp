@@ -124,6 +124,27 @@ TEST(VmTest, BindErrorStringsMatchTreeWalk) {
   EXPECT_EQ(Interp.error(), "index 'i' has conflicting extents");
 }
 
+TEST(VmTest, ZeroExtentBindFailsInsteadOfReadingOutOfBounds) {
+  // The reduction loop is a do-while: its body executes at least once, and
+  // Op::Load has no bounds check, so a zero-extent binding must be refused
+  // at bind time (release builds have no Tensor dimension assert to rely
+  // on). The output shape is the one seam where a caller can present a
+  // zero extent without first constructing a zero-dim tensor.
+  vm::Code Code = vm::compileProgram(parse("a(i) = b(i)"));
+  ASSERT_TRUE(Code.ok());
+  vm::Interpreter<double> Interp(Code);
+  std::map<std::string, taco::Tensor<double>> Ops;
+  Ops.emplace("b", filled({4}, 1));
+
+  EXPECT_FALSE(Interp.bindMap(Ops, {0}));
+  EXPECT_EQ(Interp.error(), "index 'i' has non-positive extent");
+  EXPECT_FALSE(Interp.bindMap(Ops, {-2}));
+  EXPECT_EQ(Interp.error(), "index 'i' has non-positive extent");
+
+  // A well-formed rebind afterwards still succeeds.
+  EXPECT_TRUE(Interp.bindMap(Ops, {4})) << Interp.error();
+}
+
 //===----------------------------------------------------------------------===
 // Statement lists (store forwarding).
 //===----------------------------------------------------------------------===
