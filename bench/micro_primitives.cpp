@@ -20,8 +20,11 @@
 #include "search/TopDown.h"
 #include "taco/Einsum.h"
 #include "taco/Parser.h"
+#include "taco/Printer.h"
 #include "validate/Validator.h"
 #include "verify/BoundedVerifier.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
 
 #include <benchmark/benchmark.h>
 
@@ -165,6 +168,59 @@ static void BM_TopDownEnumeration(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TopDownEnumeration)->Arg(10)->Arg(100);
+
+/// The parallel frontier (search/Frontier.h) under a VM-weight probe: one
+/// 32x32 bytecode matmul per candidate over a 32-attempt budget. Arg is
+/// the worker count — Arg(1) is the serial twin of micro/search_topdown_ser
+/// in `stagg bench`, Arg(4) mirrors micro/search_topdown_par, and the
+/// skewed variant below mirrors micro/search_steal.
+static void BM_ParallelSearch(benchmark::State &State, bool Skewed) {
+  std::vector<grammar::Templatized> T;
+  for (const char *S : {"r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(j)",
+                        "r(i) = m(i,j) + v(i)", "r(i) = m(i,j) * v(i)"})
+    T.push_back(grammar::templatize(*taco::parseTacoProgram(S).Prog));
+  T = grammar::dedupTemplates(T);
+  grammar::TemplateGrammar G = grammar::buildTemplateGrammar(
+      T, grammar::predictDimensionList(T, 1), 1, grammar::GrammarOptions());
+  auto P = taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)");
+  vm::Code Code = vm::compileProgram(*P.Prog);
+  std::map<std::string, taco::Tensor<double>> Ops;
+  taco::Tensor<double> Bm({32, 32}), Cm({32, 32});
+  for (size_t I = 0; I < Bm.flat().size(); ++I) {
+    Bm.flat()[I] = static_cast<double>(I % 7);
+    Cm.flat()[I] = static_cast<double>(I % 5);
+  }
+  Ops.emplace("b", std::move(Bm));
+  Ops.emplace("c", std::move(Cm));
+  for (auto _ : State) {
+    search::SearchConfig Config;
+    Config.MaxAttempts = 32;
+    Config.Threads = static_cast<int>(State.range(0));
+    search::SearchResult R = search::runTopDown(
+        G, Config, search::TemplateProbeFactory([&](int) {
+          auto Interp = std::make_shared<vm::Interpreter<double>>(Code);
+          if (!Interp->bindMap(Ops, {32, 32}))
+            std::abort();
+          auto Out = std::make_shared<taco::Tensor<double>>(
+              std::vector<int64_t>{32, 32});
+          return search::TemplateProbe(
+              [Interp, Out, Skewed](const taco::Program &Cand) {
+                int Reps = 1;
+                if (Skewed)
+                  Reps += static_cast<int>(
+                      std::hash<std::string>()(taco::printProgram(Cand)) % 4);
+                for (int I = 0; I < Reps; ++I)
+                  Interp->evaluateInto(*Out);
+                return false;
+              });
+        }));
+    if (R.Attempts != 32)
+      std::abort();
+    benchmark::DoNotOptimize(R.ProbesExecuted);
+  }
+}
+BENCHMARK_CAPTURE(BM_ParallelSearch, uniform, false)->Arg(1)->Arg(4);
+BENCHMARK_CAPTURE(BM_ParallelSearch, skewed, true)->Arg(4);
 
 /// Validator substitution enumeration (§6) over a ground-truth template —
 /// the pipeline's per-probe hot path. `stagg bench` measures the same

@@ -6,14 +6,15 @@
 # -Wall -Wextra diagnostic fails the build. This is the single entry point
 # shared by local runs and every CI job (.github/workflows/ci.yml).
 #
-# Usage: scripts/check.sh [--sanitize[=address|thread] | --bench | --tidy]
+# Usage: scripts/check.sh [--sanitize[=address|thread] | --bench | --tidy
+#                          | --tidy-search]
 #
 #   --sanitize       instrument with ASan + UBSan (-DSTAGG_SANITIZE=address)
 #                    and run the tests under the sanitizers
 #   --sanitize=thread
 #                    instrument with TSan (-DSTAGG_SANITIZE=thread) instead;
-#                    the CI tsan job runs the concurrency-heavy serve suites
-#                    this way (CTEST_ARGS="-R Serve")
+#                    the CI tsan job runs the concurrency-heavy suites this
+#                    way (CTEST_ARGS="-R 'Serve|Socket|Vm|Search|Parallel'")
 #   --bench          performance mode: locate google-benchmark (the
 #                    bench/micro_primitives target builds only when found),
 #                    build Release, run the micro_primitives binary when
@@ -24,11 +25,18 @@
 #                    clang-tidy (.clang-tidy: bugprone-*, performance-*,
 #                    concurrency-*) over src/; exits nonzero on findings
 #                    (the CI job is non-blocking)
+#   --tidy-search    like --tidy but restricted to src/search — the
+#                    work-stealing frontier — with every finding promoted
+#                    to an error; the CI tidy-search job is BLOCKING, so
+#                    concurrency-* findings in the parallel search cannot
+#                    land
 #
 # Environment overrides:
-#   BUILD_DIR=dir    build tree (default: build-check; build-sanitize when
-#                    --sanitize is given; build-bench when --bench is given;
-#                    build-tidy when --tidy is given)
+#   BUILD_DIR=dir    build tree (default: build-check; build-sanitize for
+#                    --sanitize=address but build-tsan for --sanitize=thread
+#                    so the two instrumentations never share stale objects;
+#                    build-bench when --bench is given; build-tidy when
+#                    --tidy or --tidy-search is given)
 #   CMAKE_ARGS=...   extra configure arguments, e.g. a compiler selection:
 #                    CMAKE_ARGS="-DCMAKE_CXX_COMPILER=clang++"
 #   CTEST_ARGS=...   extra ctest arguments
@@ -45,6 +53,7 @@ cd "$(dirname "$0")/.."
 SANITIZE=OFF
 BENCH=OFF
 TIDY=OFF
+TIDY_SEARCH=OFF
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=address ;;
@@ -54,6 +63,7 @@ for arg in "$@"; do
       echo "check.sh: --sanitize expects address or thread" >&2; exit 2 ;;
     --bench) BENCH=ON ;;
     --tidy) TIDY=ON ;;
+    --tidy-search) TIDY=ON; TIDY_SEARCH=ON ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -66,7 +76,12 @@ if [ "$MODES" -gt 1 ]; then
   exit 2
 fi
 
-if [ "$SANITIZE" != OFF ]; then
+# The two sanitizer flavors get separate default trees: sharing one
+# directory means switching flavors reuses the other flavor's objects and
+# ccache entries, and a TSan lane can silently test ASan-instrumented code.
+if [ "$SANITIZE" = thread ]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+elif [ "$SANITIZE" != OFF ]; then
   BUILD_DIR="${BUILD_DIR:-build-sanitize}"
 elif [ "$BENCH" = ON ]; then
   BUILD_DIR="${BUILD_DIR:-build-bench}"
@@ -87,14 +102,24 @@ if [ "$TIDY" = ON ]; then
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
     -DSTAGG_BUILD_BENCH=OFF -DSTAGG_BUILD_EXAMPLES=OFF \
     ${CMAKE_ARGS:-}
+  TIDY_SCOPE=src
+  TIDY_FLAGS=()
+  if [ "$TIDY_SEARCH" = ON ]; then
+    # The frontier's concurrency is exactly what clang-tidy's
+    # concurrency-* checks exist for; findings there block the merge.
+    TIDY_SCOPE=src/search
+    TIDY_FLAGS+=(--warnings-as-errors='*')
+  fi
   # run-clang-tidy parallelizes when available; fall back to a plain loop.
   if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p "$BUILD_DIR" -quiet "^$(pwd)/src/"
+    run-clang-tidy -p "$BUILD_DIR" -quiet "${TIDY_FLAGS[@]}" \
+      "^$(pwd)/$TIDY_SCOPE/"
   else
-    find src -name '*.cpp' -print0 |
-      xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$BUILD_DIR" --quiet
+    find "$TIDY_SCOPE" -name '*.cpp' -print0 |
+      xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$BUILD_DIR" --quiet \
+        "${TIDY_FLAGS[@]}"
   fi
-  echo "check.sh: clang-tidy clean over src/"
+  echo "check.sh: clang-tidy clean over $TIDY_SCOPE/"
   exit 0
 fi
 

@@ -59,6 +59,7 @@ struct ConfigPatch {
   std::optional<bool> FullGrammar;             ///< "full_grammar"
   std::optional<bool> EqualProbability;        ///< "equal_probability"
   std::optional<bool> UseVm;                   ///< "use_vm"
+  std::optional<int> SearchThreads;            ///< "search_threads"
 
   bool empty() const;
 

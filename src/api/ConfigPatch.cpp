@@ -33,7 +33,7 @@ bool ConfigPatch::empty() const {
   return !Kind && !NumCandidates && !NumIoExamples && !ExampleSeed &&
          !SkipVerification && !TimeoutSeconds && !MaxDepth &&
          !MaxExpansions && !MaxAttempts && !VerifyMaxSize && !FullGrammar &&
-         !EqualProbability && !UseVm;
+         !EqualProbability && !UseVm && !SearchThreads;
 }
 
 core::StaggConfig ConfigPatch::apply(const core::StaggConfig &Base) const {
@@ -64,6 +64,8 @@ core::StaggConfig ConfigPatch::apply(const core::StaggConfig &Base) const {
     Out.Grammar.EqualProbability = *EqualProbability;
   if (UseVm)
     Out.UseVm = *UseVm;
+  if (SearchThreads)
+    Out.Search.Threads = *SearchThreads;
   return Out;
 }
 
@@ -141,6 +143,9 @@ std::string ConfigPatch::fromJson(const Json &Object, ConfigPatch &Out) {
       Error = expectBool(Value, "equal_probability", Out.EqualProbability);
     } else if (Key == "use_vm") {
       Error = expectBool(Value, "use_vm", Out.UseVm);
+    } else if (Key == "search_threads") {
+      Error = expectPositiveInt(Value, "search_threads", Out.SearchThreads,
+                                std::numeric_limits<int>::max());
     } else {
       Error = "unknown config key \"" + Key + "\"";
     }
@@ -179,5 +184,7 @@ Json ConfigPatch::toJson() const {
     Out.set("equal_probability", Json::boolean(*EqualProbability));
   if (UseVm)
     Out.set("use_vm", Json::boolean(*UseVm));
+  if (SearchThreads)
+    Out.set("search_threads", Json::integer(*SearchThreads));
   return Out;
 }

@@ -12,6 +12,7 @@
 #include "llm/ResponseParser.h"
 #include "search/BottomUp.h"
 #include "search/TopDown.h"
+#include "search/WorkerPool.h"
 #include "support/Timer.h"
 #include "taco/Printer.h"
 #include "taco/Semantics.h"
@@ -105,8 +106,6 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
         Result.Seconds - Result.ParseSeconds - Result.OracleSeconds;
     return Result;
   }
-  validate::Validator V(B, std::move(Examples), Summary.Constants,
-                        Config.UseVm);
   Result.GrammarSeconds =
       Clock.seconds() - Result.ParseSeconds - Result.OracleSeconds;
 
@@ -115,7 +114,7 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   // enumeration). The reference cache memoizes the C kernel's outputs per
   // (shape, input) across that loop — they are candidate-independent, so
   // re-verifying fallback candidates only re-evaluates the TACO side.
-  verify::ReferenceCache VerifyCache;
+  //
   // Kernel-derived, not a config knob: the static bounds proof (when it
   // exists) lets every reference run skip its dynamic range checks. See
   // the configFingerprint note below.
@@ -124,29 +123,55 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   // The engine choice is a pipeline-level knob so the validator and the
   // verifier always agree; Config.Verify.UseVm is overwritten here.
   Verify.UseVm = Config.UseVm;
-  search::TemplateProbe Probe = [&](const taco::Program &Template) {
-    std::vector<validate::Instantiation> Valid = V.validate(Template);
-    for (validate::Instantiation &Inst : Valid) {
-      if (!Config.SkipVerification) {
-        verify::VerifyResult VR = verify::verifyEquivalence(
-            B, Fn, Inst.Concrete, Verify, &VerifyCache);
-        if (!VR.Equivalent)
-          continue;
-      }
-      Result.Concrete = std::move(Inst.Concrete);
-      return true;
-    }
-    return false;
+
+  // The probe's working state — validator, reference cache, and the slot
+  // holding the instantiation that made it return true — is mutable, so
+  // each search worker (search/Frontier.h) builds its own from identical
+  // inputs. Probe verdicts are pure in the template; worker identity only
+  // decides who computes a result, never what it is. Per-worker successes
+  // strictly decrease in enumeration ticket (a worker only keeps probing
+  // below the best success so far), so when the frontier accepts, the
+  // winning worker's slot holds exactly the accepted instantiation.
+  struct ProbeState {
+    std::unique_ptr<validate::Validator> V;
+    verify::ReferenceCache VerifyCache;
+    taco::Program Concrete;
+  };
+  std::vector<ProbeState> States(
+      static_cast<size_t>(search::resolveThreads(Config.Search.Threads)));
+  search::TemplateProbeFactory Factory = [&](int Worker) {
+    ProbeState *State = &States[static_cast<size_t>(Worker)];
+    State->V = std::make_unique<validate::Validator>(
+        B, Examples, Summary.Constants, Config.UseVm);
+    return search::TemplateProbe(
+        [State, &B, &Fn, &Verify, &Config](const taco::Program &Template) {
+          std::vector<validate::Instantiation> Valid =
+              State->V->validate(Template);
+          for (validate::Instantiation &Inst : Valid) {
+            if (!Config.SkipVerification) {
+              verify::VerifyResult VR = verify::verifyEquivalence(
+                  B, Fn, Inst.Concrete, Verify, &State->VerifyCache);
+              if (!VR.Equivalent)
+                continue;
+            }
+            State->Concrete = std::move(Inst.Concrete);
+            return true;
+          }
+          return false;
+        });
   };
 
   search::SearchResult SR =
       Config.Kind == SearchKind::TopDown
-          ? search::runTopDown(Grammar, Config.Search, Probe)
-          : search::runBottomUp(Grammar, Config.Search, Probe);
+          ? search::runTopDown(Grammar, Config.Search, Factory)
+          : search::runBottomUp(Grammar, Config.Search, Factory);
 
   Result.Solved = SR.Solved;
   Result.Verified = SR.Solved && !Config.SkipVerification;
   Result.Template = std::move(SR.SolvedTemplate);
+  if (SR.Solved)
+    Result.Concrete =
+        std::move(States[static_cast<size_t>(SR.WinnerWorker)].Concrete);
   Result.Attempts = SR.Attempts;
   Result.Expansions = SR.Expansions;
   Result.FailReason = SR.Solved ? "" : SR.FailReason;
@@ -209,6 +234,10 @@ std::string core::configFingerprint(const StaggConfig &Config) {
   Add(std::to_string(S.TimeoutSeconds));
   Add(std::to_string(S.MaxExpansions));
   Add(std::to_string(S.MaxAttempts));
+  // Fingerprinted even though results are bit-identical across thread
+  // counts (same rationale as UseVm): a cached result should record how it
+  // was produced, and the serve layer clamps this knob per deployment.
+  Add("t" + std::to_string(S.Threads));
   const verify::VerifyOptions &V = Config.Verify;
   Add(std::to_string(V.MaxSize));
   Add(std::to_string(V.RandomTrials));

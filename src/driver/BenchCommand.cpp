@@ -19,6 +19,7 @@
 #include "support/Timer.h"
 #include "taco/Einsum.h"
 #include "taco/Parser.h"
+#include "taco/Printer.h"
 #include "validate/Validator.h"
 #include "verify/BoundedVerifier.h"
 #include "vm/Compiler.h"
@@ -246,6 +247,70 @@ std::vector<Micro> buildMicros(const MicroFixtures &F) {
                         if (R.Attempts <= 0)
                           std::abort();
                       }});
+  }
+
+  // The parallel frontier (search/Frontier.h): identical probe workloads —
+  // one 32x32 VM matmul per candidate, heavy enough to amortize worker
+  // spawn — driven serially and at four workers. The perf gate
+  // (scripts/bench_compare.py --min-speedup) holds search_topdown_par to a
+  // 2x win over its _ser twin within the same report, so the pair is the
+  // scaling regression test. search_steal skews per-candidate work by a
+  // factor of four, forcing idle workers onto the steal path.
+  {
+    auto T = std::make_shared<std::vector<grammar::Templatized>>();
+    for (const char *S : {"r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(j)",
+                          "r(i) = m(i,j) + v(i)", "r(i) = m(i,j) * v(i)"})
+      T->push_back(grammar::templatize(*taco::parseTacoProgram(S).Prog));
+    *T = grammar::dedupTemplates(*T);
+    auto G = std::make_shared<grammar::TemplateGrammar>(
+        grammar::buildTemplateGrammar(*T, grammar::predictDimensionList(*T, 1),
+                                      1, grammar::GrammarOptions()));
+    auto P = std::make_shared<taco::Program>(
+        *taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)").Prog);
+    auto Code = std::make_shared<vm::Code>(vm::compileProgram(*P));
+    auto Ops = std::make_shared<std::map<std::string, taco::Tensor<double>>>();
+    taco::Tensor<double> Bm({32, 32}), Cm({32, 32});
+    for (size_t I = 0; I < Bm.flat().size(); ++I) {
+      Bm.flat()[I] = static_cast<double>(I % 7);
+      Cm.flat()[I] = static_cast<double>(I % 5);
+    }
+    Ops->emplace("b", std::move(Bm));
+    Ops->emplace("c", std::move(Cm));
+
+    auto RunSearch = [G, Code, Ops](int Threads, bool Skewed) {
+      search::SearchConfig Config;
+      Config.MaxAttempts = 32;
+      Config.Threads = Threads;
+      search::SearchResult R = search::runTopDown(
+          *G, Config, search::TemplateProbeFactory([&](int) {
+            // Per-worker interpreter and scratch output: one shared
+            // vm::Code, concurrent execution.
+            auto Interp = std::make_shared<vm::Interpreter<double>>(*Code);
+            if (!Interp->bindMap(*Ops, {32, 32}))
+              std::abort();
+            auto Out = std::make_shared<taco::Tensor<double>>(
+                std::vector<int64_t>{32, 32});
+            return search::TemplateProbe(
+                [Interp, Out, Skewed](const taco::Program &Cand) {
+                  int Reps = 1;
+                  if (Skewed)
+                    Reps += static_cast<int>(std::hash<std::string>()(
+                                taco::printProgram(Cand)) %
+                            4);
+                  for (int I = 0; I < Reps; ++I)
+                    Interp->evaluateInto(*Out);
+                  return false;
+                });
+          }));
+      if (R.Attempts != 32)
+        std::abort();
+    };
+    Micros.push_back(
+        {"micro/search_topdown_ser", [RunSearch] { RunSearch(1, false); }});
+    Micros.push_back(
+        {"micro/search_topdown_par", [RunSearch] { RunSearch(4, false); }});
+    Micros.push_back(
+        {"micro/search_steal", [RunSearch] { RunSearch(4, true); }});
   }
 
   // Validator substitution enumeration (the §6 hot path).

@@ -73,7 +73,8 @@ const std::vector<std::string> &knownFlags() {
       "--search",        "--drop-penalty",
       "--format",        "--csv",
       "--input",         "--limit",
-      "--threads",       "--candidates",
+      "--threads",       "--search-threads",
+      "--candidates",
       "--io-examples",   "--max-depth",
       "--max-size",      "--seed",
       "--example-seed",  "--queue-depth",
@@ -319,6 +320,7 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       if (!takeValue(F, O.CsvPath))
         break;
     } else if (F.Name == "--limit" || F.Name == "--threads" ||
+               F.Name == "--search-threads" ||
                F.Name == "--candidates" || F.Name == "--io-examples" ||
                F.Name == "--max-depth" || F.Name == "--max-size" ||
                F.Name == "--seed" || F.Name == "--example-seed") {
@@ -343,6 +345,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       }
       else if (F.Name == "--threads")
         O.Threads = static_cast<int>(N);
+      else if (F.Name == "--search-threads")
+        O.Config.Search.Threads = static_cast<int>(N);
       else if (F.Name == "--candidates")
         O.Config.NumCandidates = static_cast<int>(N);
       else if (F.Name == "--io-examples")
@@ -604,6 +608,10 @@ std::string driver::usage() {
      << "  --max-size N        bounded-verifier size bound (default 2)\n"
      << "  --seed N            simulated-LLM oracle seed\n"
      << "  --example-seed N    I/O example generator seed\n"
+     << "  --search-threads N  parallel candidate-probing workers per lift\n"
+     << "                      (default 1 = serial; results are bit-identical\n"
+     << "                      for every N, and the serving layer caps N so\n"
+     << "                      pool width x N never oversubscribes the host)\n"
      << "\n"
      << "Ablations (paper Tables 2/3):\n"
      << "  --no-verify         accept on I/O validation only (C2TACO-style)\n"

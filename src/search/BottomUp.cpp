@@ -3,12 +3,14 @@
 #include "search/BottomUp.h"
 
 #include "search/CostModel.h"
+#include "search/Frontier.h"
 #include "search/Penalty.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <utility>
 
 using namespace stagg;
 using namespace stagg::search;
@@ -66,36 +68,103 @@ std::vector<BinOpKind> chainDistinctOps(const ChainState &S) {
   return Ops;
 }
 
-} // namespace
+/// Algorithm 2 as a resumable generator — same mechanics as the top-down
+/// TopDownEnumerator: probe call sites become yield points, and since probe
+/// outcomes never fed back into the queue, the pop order and counters are
+/// the serial loop's for any consumer.
+class BottomUpEnumerator : public CandidateStream {
+public:
+  BottomUpEnumerator(const grammar::TemplateGrammar &G,
+                     const SearchConfig &Config)
+      : G(G), Config(Config), Costs(G),
+        RhsSlots(static_cast<int>(G.DimList.size()) - 1) {
+    if (G.DimList.empty() || G.TensorRules.empty()) {
+      Done = true;
+      Reason = "empty grammar (no usable LLM candidates)";
+      return;
+    }
 
-SearchResult search::runBottomUp(const grammar::TemplateGrammar &G,
-                                 const SearchConfig &Config,
-                                 const TemplateProbe &Probe) {
-  SearchResult Result;
-  Timer Clock;
+    // Suffix sums of m(L[pos]) for the heuristic g(x) = sum of the cheapest
+    // still-missing tensors.
+    SuffixCost.assign(static_cast<size_t>(RhsSlots) + 1, 0);
+    for (int Slot = RhsSlots - 1; Slot >= 0; --Slot) {
+      double M = Costs.minTensorCost(G.DimList[static_cast<size_t>(Slot) + 1]);
+      if (std::isinf(M))
+        M = 60; // Unfillable slot: large but finite so the search still runs.
+      SuffixCost[static_cast<size_t>(Slot)] =
+          SuffixCost[static_cast<size_t>(Slot) + 1] + M;
+    }
 
-  if (G.DimList.empty() || G.TensorRules.empty()) {
-    Result.FailReason = "empty grammar (no usable LLM candidates)";
-    return Result;
+    push(ChainState());
   }
 
-  CostModel Costs(G);
-  const int RhsSlots = static_cast<int>(G.DimList.size()) - 1;
+  bool next(Candidate &Out) override {
+    if (Done)
+      return false;
+    static const BinOpKind AllOps[] = {BinOpKind::Add, BinOpKind::Sub,
+                                       BinOpKind::Mul, BinOpKind::Div};
+    while (!Queue.empty()) {
+      if (Clock.seconds() > Config.TimeoutSeconds)
+        return fail("timeout");
+      if (Expansions >= Config.MaxExpansions ||
+          Attempts >= Config.MaxAttempts)
+        return fail("budget exhausted");
 
-  // Suffix sums of m(L[pos]) for the heuristic g(x) = sum of the cheapest
-  // still-missing tensors.
-  std::vector<double> SuffixCost(static_cast<size_t>(RhsSlots) + 1, 0);
-  for (int Slot = RhsSlots - 1; Slot >= 0; --Slot) {
-    double M = Costs.minTensorCost(G.DimList[static_cast<size_t>(Slot) + 1]);
-    if (std::isinf(M))
-      M = 60; // Unfillable slot: large but finite so the search still runs.
-    SuffixCost[Slot] = SuffixCost[Slot + 1] + M;
+      ChainState Current = Queue.top();
+      Queue.pop();
+      ++Expansions;
+
+      // Algorithm 2, line 5: once the chain holds as many tensors as the
+      // dimension list predicts, strip the tail nonterminal and yield for
+      // probing. No expansion follows a complete chain, so resuming at the
+      // loop top is exactly the serial continue.
+      if (static_cast<int>(Current.Leaves.size()) == RhsSlots) {
+        Out.Ticket = NextTicket++;
+        Out.Program = taco::Program(G.Lhs, chainToExpr(Current));
+        Out.AttemptsAtYield = ++Attempts;
+        Out.ExpansionsAtYield = Expansions;
+        return true;
+      }
+
+      // Re-append the tail and expand: the grammar only allows growth while
+      // fewer tensors than the dimension list predicts are present.
+      if (static_cast<int>(Current.Leaves.size()) >= RhsSlots)
+        continue;
+      int NextPosition = static_cast<int>(Current.Leaves.size()) + 2;
+      std::vector<const grammar::TensorRule *> Rules =
+          G.rulesForPosition(NextPosition);
+      if (Current.Leaves.empty()) {
+        for (const grammar::TensorRule *Rule : Rules) {
+          ChainState Child = Current;
+          Child.Leaves.push_back(Rule);
+          Child.C += Rule->Cost;
+          push(std::move(Child));
+        }
+        continue;
+      }
+      for (BinOpKind Op : AllOps) {
+        double OpCost = Costs.costOp(Op);
+        if (std::isinf(OpCost))
+          continue;
+        for (const grammar::TensorRule *Rule : Rules) {
+          ChainState Child = Current;
+          Child.Ops.push_back(Op);
+          Child.Leaves.push_back(Rule);
+          Child.C += OpCost + Rule->Cost;
+          push(std::move(Child));
+        }
+      }
+    }
+    return fail("search space exhausted");
   }
 
-  std::priority_queue<ChainState, std::vector<ChainState>, ChainGreater> Queue;
-  uint64_t NextSeq = 0;
+  const std::string &failReason() const override { return Reason; }
+  int attempts() const override { return Attempts; }
+  int64_t expansions() const override { return Expansions; }
+  double seconds() const override { return Clock.seconds(); }
 
-  auto Push = [&](ChainState S) {
+private:
+  void push(ChainState S) {
     double Penalty = bottomUpPenalty(chainSymbols(S), chainDistinctOps(S),
                                      static_cast<int>(S.Leaves.size()), G,
                                      Config);
@@ -107,72 +176,47 @@ SearchResult search::runBottomUp(const grammar::TemplateGrammar &G,
     S.F = S.C + Remaining + Penalty;
     S.Seq = NextSeq++;
     Queue.push(std::move(S));
-  };
-
-  Push(ChainState());
-
-  static const BinOpKind AllOps[] = {BinOpKind::Add, BinOpKind::Sub,
-                                     BinOpKind::Mul, BinOpKind::Div};
-
-  while (!Queue.empty()) {
-    if (Clock.seconds() > Config.TimeoutSeconds) {
-      Result.FailReason = "timeout";
-      break;
-    }
-    if (Result.Expansions >= Config.MaxExpansions ||
-        Result.Attempts >= Config.MaxAttempts) {
-      Result.FailReason = "budget exhausted";
-      break;
-    }
-
-    ChainState Current = Queue.top();
-    Queue.pop();
-    ++Result.Expansions;
-
-    // Algorithm 2, line 5: once the chain holds as many tensors as the
-    // dimension list predicts, strip the tail nonterminal and probe.
-    if (static_cast<int>(Current.Leaves.size()) == RhsSlots) {
-      taco::Program Candidate(G.Lhs, chainToExpr(Current));
-      ++Result.Attempts;
-      if (Probe(Candidate)) {
-        Result.Solved = true;
-        Result.SolvedTemplate = std::move(Candidate);
-        break;
-      }
-    }
-
-    // Re-append the tail and expand: the grammar only allows growth while
-    // fewer tensors than the dimension list predicts are present.
-    if (static_cast<int>(Current.Leaves.size()) >= RhsSlots)
-      continue;
-    int NextPosition = static_cast<int>(Current.Leaves.size()) + 2;
-    std::vector<const grammar::TensorRule *> Rules =
-        G.rulesForPosition(NextPosition);
-    if (Current.Leaves.empty()) {
-      for (const grammar::TensorRule *Rule : Rules) {
-        ChainState Child = Current;
-        Child.Leaves.push_back(Rule);
-        Child.C += Rule->Cost;
-        Push(std::move(Child));
-      }
-      continue;
-    }
-    for (BinOpKind Op : AllOps) {
-      double OpCost = Costs.costOp(Op);
-      if (std::isinf(OpCost))
-        continue;
-      for (const grammar::TensorRule *Rule : Rules) {
-        ChainState Child = Current;
-        Child.Ops.push_back(Op);
-        Child.Leaves.push_back(Rule);
-        Child.C += OpCost + Rule->Cost;
-        Push(std::move(Child));
-      }
-    }
   }
 
-  if (!Result.Solved && Result.FailReason.empty())
-    Result.FailReason = "search space exhausted";
-  Result.Seconds = Clock.seconds();
-  return Result;
+  bool fail(const char *Why) {
+    Done = true;
+    Reason = Why;
+    return false;
+  }
+
+  const grammar::TemplateGrammar &G;
+  const SearchConfig &Config;
+  Timer Clock;
+  CostModel Costs;
+  const int RhsSlots;
+  std::vector<double> SuffixCost;
+  std::priority_queue<ChainState, std::vector<ChainState>, ChainGreater> Queue;
+  uint64_t NextSeq = 0;
+  uint64_t NextTicket = 0;
+  int Attempts = 0;
+  int64_t Expansions = 0;
+  bool Done = false;
+  std::string Reason;
+};
+
+} // namespace
+
+std::unique_ptr<CandidateStream>
+search::makeBottomUpStream(const grammar::TemplateGrammar &G,
+                           const SearchConfig &Config) {
+  return std::make_unique<BottomUpEnumerator>(G, Config);
+}
+
+SearchResult search::runBottomUp(const grammar::TemplateGrammar &G,
+                                 const SearchConfig &Config,
+                                 const TemplateProbeFactory &Factory) {
+  BottomUpEnumerator Stream(G, Config);
+  return runFrontier(Stream, Config, Factory);
+}
+
+SearchResult search::runBottomUp(const grammar::TemplateGrammar &G,
+                                 const SearchConfig &Config,
+                                 const TemplateProbe &Probe) {
+  return runBottomUp(G, Config,
+                     TemplateProbeFactory([&Probe](int) { return Probe; }));
 }

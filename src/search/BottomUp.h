@@ -21,14 +21,31 @@
 #include "grammar/Pcfg.h"
 #include "search/SearchTypes.h"
 
+#include <memory>
+
 namespace stagg {
 namespace search {
 
+class CandidateStream;
+
 /// Runs the bottom-up enumeration. \p Probe is invoked on each dequeued
-/// (tail-stripped) chain; returning true ends the search successfully.
+/// (tail-stripped) chain; returning true ends the search successfully. The
+/// single probe is shared across workers, so with Config.Threads != 1 it
+/// must be thread-safe; stateful probes should use the factory overload.
 SearchResult runBottomUp(const grammar::TemplateGrammar &G,
                          const SearchConfig &Config,
                          const TemplateProbe &Probe);
+
+/// Same search with one probe per worker (see TemplateProbeFactory).
+SearchResult runBottomUp(const grammar::TemplateGrammar &G,
+                         const SearchConfig &Config,
+                         const TemplateProbeFactory &Factory);
+
+/// The bare enumeration as a stream of complete candidates in serial probe
+/// order, for callers that drive the frontier themselves.
+std::unique_ptr<CandidateStream>
+makeBottomUpStream(const grammar::TemplateGrammar &G,
+                   const SearchConfig &Config);
 
 } // namespace search
 } // namespace stagg

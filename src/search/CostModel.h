@@ -22,6 +22,11 @@ namespace stagg {
 namespace search {
 
 /// Precomputed additive costs for one grammar.
+///
+/// Thread-safety: all state is computed in the constructor; the accessors
+/// (including minTensorCost, which scans the referenced grammar) are pure
+/// reads, so one CostModel may be shared across the parallel frontier's
+/// workers as long as the grammar it references outlives the search.
 class CostModel {
 public:
   explicit CostModel(const grammar::TemplateGrammar &G);

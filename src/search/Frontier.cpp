@@ -1,0 +1,340 @@
+//===- search/Frontier.cpp - Deterministic parallel frontier --------------===//
+//
+// Part of the STAGG reproduction of "Guided Tensor Lifting" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+//
+// Executor layout: worker 0 is the sequencer — it owns the CandidateStream,
+// replays the serial enumeration, and deals tickets round-robin into
+// per-worker deques (a bounded lookahead window past the oldest unresolved
+// ticket caps how far probing may overshoot the serial accept point). Every
+// worker, sequencer included, then probes: pop the front of your own deque
+// (oldest first, so the resolved prefix keeps advancing), steal from the
+// back of a victim's when yours is empty. A success at ticket T only becomes
+// the answer once tickets 0..T-1 have all resolved as failures — which is
+// precisely the candidate the serial loop would accept, with the serial
+// counters stamped on the ticket at enumeration time.
+//
+// Wall-clock timeouts are inherently schedule-dependent; the frontier
+// handles them conservatively: once a solution has been found it is never
+// discarded (the bounded set of earlier tickets is drained to decide), but a
+// timeout with no solution in hand stops immediately, like the serial loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Frontier.h"
+
+#include "search/WorkerPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace stagg {
+namespace search {
+
+CandidateStream::~CandidateStream() = default;
+
+namespace {
+
+constexpr uint64_t NoTicket = std::numeric_limits<uint64_t>::max();
+
+struct Task {
+  uint64_t Ticket = 0;
+  taco::Program Program;
+  int AttemptsAtYield = 0;
+  int64_t ExpansionsAtYield = 0;
+};
+
+/// Cache-line-separated per-worker deque. The owner pops the front; thieves
+/// take the back, so contention between an owner and its thieves only
+/// meets at a single-element queue.
+struct alignas(64) WorkerDeque {
+  std::mutex Mu;
+  std::deque<Task> Q;
+};
+
+class Frontier {
+public:
+  Frontier(CandidateStream &Stream, const SearchConfig &Config,
+           const TemplateProbeFactory &Factory, int Workers)
+      : Stream(Stream), Config(Config), Factory(Factory), Workers(Workers),
+        Window(Workers * 8 < 16 ? 16 : Workers * 8), Deques(Workers) {}
+
+  SearchResult run() {
+    WorkerPool Pool;
+    Pool.run(Workers, [this](int W) { workerBody(W); });
+    if (Error)
+      std::rethrow_exception(Error);
+
+    SearchResult R;
+    R.Seconds = Stream.seconds();
+    R.ProbesExecuted = Probes.load();
+    R.Steals = Steals.load();
+    if (Accepted) {
+      R.Solved = true;
+      R.SolvedTemplate = std::move(Best.Program);
+      R.Attempts = Best.AttemptsAtYield;
+      R.Expansions = Best.ExpansionsAtYield;
+      R.WinnerWorker = BestWorker;
+    } else {
+      R.FailReason = TerminalReason;
+      R.Attempts = TerminalAttempts;
+      R.Expansions = TerminalExpansions;
+    }
+    return R;
+  }
+
+private:
+  void workerBody(int W) {
+    TemplateProbe Probe = Factory(W);
+    for (;;) {
+      if (W == 0)
+        sequence();
+      Task T;
+      if (takeTask(W, T)) {
+        bool Probing;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (Stop)
+            break;
+          // Tickets above the best success can no longer win; resolve them
+          // without probing.
+          Probing = T.Ticket < BestTicket;
+          if (!Probing) {
+            resolveLocked(T.Ticket);
+            Cv.notify_all();
+          }
+        }
+        if (!Probing)
+          continue;
+        uint64_t Ticket = T.Ticket;
+        bool Ok;
+        try {
+          Ok = Probe(T.Program);
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (!Error)
+            Error = std::current_exception();
+          Stop = true;
+          Cv.notify_all();
+          break;
+        }
+        Probes.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (Stop)
+            break;
+          if (Ok && Ticket < BestTicket) {
+            BestTicket = Ticket;
+            Best = std::move(T);
+            BestWorker = W;
+          }
+          resolveLocked(Ticket);
+          Cv.notify_all();
+        }
+        continue;
+      }
+
+      std::unique_lock<std::mutex> Lock(Mu);
+      if (Stop || (Terminal && ResolvedPrefix >= Issued))
+        break;
+      if (Pending > 0)
+        continue; // a task landed between our scan and this lock
+      if (W == 0) {
+        // The sequencer may have window space again (a resolution freed
+        // it) or a pending timeout check; poll rather than park.
+        if (!Terminal && Issued - ResolvedPrefix < Window)
+          continue;
+        Cv.wait_for(Lock, std::chrono::milliseconds(10));
+      } else {
+        Cv.wait(Lock);
+      }
+    }
+  }
+
+  /// Worker 0 only: checks the wall clock and refills the lookahead window
+  /// from the stream. The stream is single-owner, so no lock is held while
+  /// it runs; bookkeeping transitions happen under Mu.
+  void sequence() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Stop || Terminal)
+        return;
+    }
+    if (Stream.seconds() > Config.TimeoutSeconds) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!Terminal) {
+        Terminal = true;
+        TerminalReason = "timeout";
+        TerminalAttempts = Stream.attempts();
+        TerminalExpansions = Stream.expansions();
+        // No solution in hand: stop like the serial loop would. (With a
+        // solution in hand the frontier drains the earlier tickets
+        // instead — a found candidate is never thrown away.)
+        if (BestTicket == NoTicket)
+          Stop = true;
+        Cv.notify_all();
+      }
+      return;
+    }
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (Stop || Terminal || Issued - ResolvedPrefix >= Window)
+          return;
+      }
+      Candidate C;
+      if (!Stream.next(C)) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Terminal = true;
+        TerminalReason = Stream.failReason();
+        TerminalAttempts = Stream.attempts();
+        TerminalExpansions = Stream.expansions();
+        if (TerminalReason == "timeout" && BestTicket == NoTicket)
+          Stop = true;
+        Cv.notify_all();
+        return;
+      }
+      Task T;
+      T.Ticket = C.Ticket;
+      T.Program = std::move(C.Program);
+      T.AttemptsAtYield = C.AttemptsAtYield;
+      T.ExpansionsAtYield = C.ExpansionsAtYield;
+      size_t Dst = static_cast<size_t>(T.Ticket % Workers);
+      {
+        std::lock_guard<std::mutex> DequeLock(Deques[Dst].Mu);
+        Deques[Dst].Q.push_back(std::move(T));
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ++Issued;
+        ++Pending;
+        Cv.notify_all();
+      }
+    }
+  }
+
+  bool takeTask(int W, Task &Out) {
+    bool Taken = false;
+    {
+      std::lock_guard<std::mutex> Lock(Deques[W].Mu);
+      if (!Deques[W].Q.empty()) {
+        Out = std::move(Deques[W].Q.front());
+        Deques[W].Q.pop_front();
+        Taken = true;
+      }
+    }
+    for (int I = 1; !Taken && I < Workers; ++I) {
+      WorkerDeque &Victim = Deques[(W + I) % Workers];
+      std::lock_guard<std::mutex> Lock(Victim.Mu);
+      if (!Victim.Q.empty()) {
+        Out = std::move(Victim.Q.back());
+        Victim.Q.pop_back();
+        Steals.fetch_add(1, std::memory_order_relaxed);
+        Taken = true;
+      }
+    }
+    if (Taken) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Pending;
+    }
+    return Taken;
+  }
+
+  /// Marks \p Ticket resolved and advances the resolved prefix. Accepts the
+  /// best success once every earlier ticket has resolved (necessarily as a
+  /// failure — a success below BestTicket would have replaced it first).
+  /// Caller holds Mu.
+  void resolveLocked(uint64_t Ticket) {
+    if (Ticket == ResolvedPrefix) {
+      ++ResolvedPrefix;
+      auto It = ResolvedAbove.begin();
+      while (It != ResolvedAbove.end() && *It == ResolvedPrefix) {
+        ++ResolvedPrefix;
+        It = ResolvedAbove.erase(It);
+      }
+    } else {
+      ResolvedAbove.insert(Ticket);
+    }
+    if (BestTicket != NoTicket && ResolvedPrefix > BestTicket) {
+      Accepted = true;
+      Stop = true;
+    }
+  }
+
+  CandidateStream &Stream;
+  const SearchConfig &Config;
+  const TemplateProbeFactory &Factory;
+  const int Workers;
+  const uint64_t Window;
+
+  std::vector<WorkerDeque> Deques;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  uint64_t Issued = 0;
+  uint64_t Pending = 0; ///< Tasks pushed but not yet taken from a deque.
+  uint64_t ResolvedPrefix = 0;
+  std::set<uint64_t> ResolvedAbove;
+  bool Terminal = false;
+  std::string TerminalReason;
+  int TerminalAttempts = 0;
+  int64_t TerminalExpansions = 0;
+  uint64_t BestTicket = NoTicket;
+  Task Best;
+  int BestWorker = -1;
+  bool Accepted = false;
+  bool Stop = false;
+  std::exception_ptr Error;
+
+  std::atomic<int64_t> Probes{0};
+  std::atomic<int64_t> Steals{0};
+};
+
+SearchResult driveSerial(CandidateStream &Stream,
+                         const TemplateProbeFactory &Factory) {
+  SearchResult R;
+  TemplateProbe Probe = Factory(0);
+  Candidate C;
+  while (Stream.next(C)) {
+    ++R.ProbesExecuted;
+    if (Probe(C.Program)) {
+      R.Solved = true;
+      R.SolvedTemplate = std::move(C.Program);
+      R.Attempts = C.AttemptsAtYield;
+      R.Expansions = C.ExpansionsAtYield;
+      R.WinnerWorker = 0;
+      break;
+    }
+  }
+  if (!R.Solved) {
+    R.FailReason = Stream.failReason();
+    R.Attempts = Stream.attempts();
+    R.Expansions = Stream.expansions();
+  }
+  R.Seconds = Stream.seconds();
+  return R;
+}
+
+} // namespace
+
+SearchResult runFrontier(CandidateStream &Stream, const SearchConfig &Config,
+                         const TemplateProbeFactory &Factory) {
+  int Workers = resolveThreads(Config.Threads);
+  if (Workers == 1)
+    return driveSerial(Stream, Factory);
+  Frontier F(Stream, Config, Factory, Workers);
+  return F.run();
+}
+
+} // namespace search
+} // namespace stagg

@@ -3,12 +3,14 @@
 #include "search/TopDown.h"
 
 #include "search/CostModel.h"
+#include "search/Frontier.h"
 #include "search/Penalty.h"
 #include "search/TemplateState.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 using namespace stagg;
@@ -33,25 +35,107 @@ struct ItemGreater {
   }
 };
 
-} // namespace
-
-SearchResult search::runTopDown(const grammar::TemplateGrammar &G,
-                                const SearchConfig &Config,
-                                const TemplateProbe &Probe) {
-  SearchResult Result;
-  Timer Clock;
-
-  if (G.DimList.empty() || G.TensorRules.empty()) {
-    Result.FailReason = "empty grammar (no usable LLM candidates)";
-    return Result;
+/// Algorithm 1 as a resumable generator: the probe call sites of the old
+/// serial loop become yield points. Probe outcomes never touched the heap,
+/// so the pop/expand order — and with it every counter — is exactly the
+/// serial loop's regardless of who consumes the stream.
+class TopDownEnumerator : public CandidateStream {
+public:
+  TopDownEnumerator(const grammar::TemplateGrammar &G,
+                    const SearchConfig &Config)
+      : G(G), Config(Config), Costs(G) {
+    if (G.DimList.empty() || G.TensorRules.empty()) {
+      Done = true;
+      Reason = "empty grammar (no usable LLM candidates)";
+      return;
+    }
+    push(0, TNode::hole());
   }
 
-  CostModel Costs(G);
-  std::vector<Item> Heap;
-  ItemGreater Cmp;
-  uint64_t NextSeq = 0;
+  bool next(Candidate &Out) override {
+    if (Done)
+      return false;
+    while (!Heap.empty()) {
+      if (Clock.seconds() > Config.TimeoutSeconds)
+        return fail("timeout");
+      if (Expansions >= Config.MaxExpansions ||
+          Attempts >= Config.MaxAttempts)
+        return fail("budget exhausted");
 
-  auto Push = [&](double C, std::unique_ptr<TNode> Root) {
+      std::pop_heap(Heap.begin(), Heap.end(), Cmp);
+      Item Current = std::move(Heap.back());
+      Heap.pop_back();
+      ++Expansions;
+
+      StateMetrics M = computeMetrics(*Current.Root);
+      if (M.Depth > Config.MaxDepth)
+        continue; // Algorithm 1, line 5.
+
+      Frontier F = leftmostNonterminal(*Current.Root);
+      if (F.K == Frontier::Kind::None) {
+        // Complete template: yield it for validation + verification.
+        Out.Ticket = NextTicket++;
+        Out.Program = taco::Program(G.Lhs, treeToExpr(*Current.Root));
+        Out.AttemptsAtYield = ++Attempts;
+        Out.ExpansionsAtYield = Expansions;
+        return true;
+      }
+
+      if (F.K == Frontier::Kind::OpHole) {
+        static const taco::BinOpKind Ops[] = {
+            taco::BinOpKind::Add, taco::BinOpKind::Sub, taco::BinOpKind::Mul,
+            taco::BinOpKind::Div};
+        for (taco::BinOpKind Op : Ops) {
+          std::unique_ptr<TNode> Child = Current.Root->clone();
+          Frontier CF = leftmostNonterminal(*Child);
+          CF.Node->Op = Op;
+          CF.Node->OpKnown = true;
+          push(Current.C + Costs.costOp(Op), std::move(Child));
+        }
+        continue;
+      }
+
+      // EXPR hole: TENSOR / CONSTANT / EXPR OP EXPR.
+      for (const grammar::TensorRule &Rule : G.TensorRules) {
+        std::unique_ptr<TNode> Child = Current.Root->clone();
+        Frontier CF = leftmostNonterminal(*Child);
+        CF.Node->K = TNode::Kind::Leaf;
+        CF.Node->Rule = &Rule;
+        double RuleCost = Rule.IsConst ? Costs.costExprConst()
+                                       : Costs.costExprTensor() + Rule.Cost;
+        push(Current.C + RuleCost, std::move(Child));
+      }
+      {
+        std::unique_ptr<TNode> Child = Current.Root->clone();
+        Frontier CF = leftmostNonterminal(*Child);
+        CF.Node->K = TNode::Kind::Bin;
+        CF.Node->OpKnown = false;
+        CF.Node->Lhs = TNode::hole();
+        CF.Node->Rhs = TNode::hole();
+        push(Current.C + Costs.costExprBin(), std::move(Child));
+      }
+      // EXPR -> max(EXPR, EXPR), only when candidates supplied the
+      // evidence — max-free grammars expand exactly the pre-max state space
+      // in the same order.
+      if (G.HasMaxRule) {
+        std::unique_ptr<TNode> Child = Current.Root->clone();
+        Frontier CF = leftmostNonterminal(*Child);
+        CF.Node->K = TNode::Kind::Max;
+        CF.Node->Lhs = TNode::hole();
+        CF.Node->Rhs = TNode::hole();
+        push(Current.C + Costs.costExprMax(), std::move(Child));
+      }
+    }
+    return fail("search space exhausted");
+  }
+
+  const std::string &failReason() const override { return Reason; }
+  int attempts() const override { return Attempts; }
+  int64_t expansions() const override { return Expansions; }
+  double seconds() const override { return Clock.seconds(); }
+
+private:
+  void push(double C, std::unique_ptr<TNode> Root) {
     StateMetrics M = computeMetrics(*Root);
     double Penalty = topDownPenalty(M, G, Config);
     if (std::isinf(Penalty))
@@ -66,91 +150,46 @@ SearchResult search::runTopDown(const grammar::TemplateGrammar &G,
       return;
     Heap.push_back(std::move(It));
     std::push_heap(Heap.begin(), Heap.end(), Cmp);
-  };
-
-  Push(0, TNode::hole());
-
-  while (!Heap.empty()) {
-    if (Clock.seconds() > Config.TimeoutSeconds) {
-      Result.FailReason = "timeout";
-      break;
-    }
-    if (Result.Expansions >= Config.MaxExpansions ||
-        Result.Attempts >= Config.MaxAttempts) {
-      Result.FailReason = "budget exhausted";
-      break;
-    }
-
-    std::pop_heap(Heap.begin(), Heap.end(), Cmp);
-    Item Current = std::move(Heap.back());
-    Heap.pop_back();
-    ++Result.Expansions;
-
-    StateMetrics M = computeMetrics(*Current.Root);
-    if (M.Depth > Config.MaxDepth)
-      continue; // Algorithm 1, line 5.
-
-    Frontier F = leftmostNonterminal(*Current.Root);
-    if (F.K == Frontier::Kind::None) {
-      // Complete template: submit to validation + verification.
-      taco::Program Candidate(G.Lhs, treeToExpr(*Current.Root));
-      ++Result.Attempts;
-      if (Probe(Candidate)) {
-        Result.Solved = true;
-        Result.SolvedTemplate = std::move(Candidate);
-        break;
-      }
-      continue;
-    }
-
-    if (F.K == Frontier::Kind::OpHole) {
-      static const taco::BinOpKind Ops[] = {
-          taco::BinOpKind::Add, taco::BinOpKind::Sub, taco::BinOpKind::Mul,
-          taco::BinOpKind::Div};
-      for (taco::BinOpKind Op : Ops) {
-        std::unique_ptr<TNode> Child = Current.Root->clone();
-        Frontier CF = leftmostNonterminal(*Child);
-        CF.Node->Op = Op;
-        CF.Node->OpKnown = true;
-        Push(Current.C + Costs.costOp(Op), std::move(Child));
-      }
-      continue;
-    }
-
-    // EXPR hole: TENSOR / CONSTANT / EXPR OP EXPR.
-    for (const grammar::TensorRule &Rule : G.TensorRules) {
-      std::unique_ptr<TNode> Child = Current.Root->clone();
-      Frontier CF = leftmostNonterminal(*Child);
-      CF.Node->K = TNode::Kind::Leaf;
-      CF.Node->Rule = &Rule;
-      double RuleCost = Rule.IsConst ? Costs.costExprConst()
-                                     : Costs.costExprTensor() + Rule.Cost;
-      Push(Current.C + RuleCost, std::move(Child));
-    }
-    {
-      std::unique_ptr<TNode> Child = Current.Root->clone();
-      Frontier CF = leftmostNonterminal(*Child);
-      CF.Node->K = TNode::Kind::Bin;
-      CF.Node->OpKnown = false;
-      CF.Node->Lhs = TNode::hole();
-      CF.Node->Rhs = TNode::hole();
-      Push(Current.C + Costs.costExprBin(), std::move(Child));
-    }
-    // EXPR -> max(EXPR, EXPR), only when candidates supplied the evidence —
-    // max-free grammars expand exactly the pre-max state space in the same
-    // order.
-    if (G.HasMaxRule) {
-      std::unique_ptr<TNode> Child = Current.Root->clone();
-      Frontier CF = leftmostNonterminal(*Child);
-      CF.Node->K = TNode::Kind::Max;
-      CF.Node->Lhs = TNode::hole();
-      CF.Node->Rhs = TNode::hole();
-      Push(Current.C + Costs.costExprMax(), std::move(Child));
-    }
   }
 
-  if (!Result.Solved && Result.FailReason.empty())
-    Result.FailReason = "search space exhausted";
-  Result.Seconds = Clock.seconds();
-  return Result;
+  bool fail(const char *Why) {
+    Done = true;
+    Reason = Why;
+    return false;
+  }
+
+  const grammar::TemplateGrammar &G;
+  const SearchConfig &Config;
+  Timer Clock;
+  CostModel Costs;
+  std::vector<Item> Heap;
+  ItemGreater Cmp;
+  uint64_t NextSeq = 0;
+  uint64_t NextTicket = 0;
+  int Attempts = 0;
+  int64_t Expansions = 0;
+  bool Done = false;
+  std::string Reason;
+};
+
+} // namespace
+
+std::unique_ptr<CandidateStream>
+search::makeTopDownStream(const grammar::TemplateGrammar &G,
+                          const SearchConfig &Config) {
+  return std::make_unique<TopDownEnumerator>(G, Config);
+}
+
+SearchResult search::runTopDown(const grammar::TemplateGrammar &G,
+                                const SearchConfig &Config,
+                                const TemplateProbeFactory &Factory) {
+  TopDownEnumerator Stream(G, Config);
+  return runFrontier(Stream, Config, Factory);
+}
+
+SearchResult search::runTopDown(const grammar::TemplateGrammar &G,
+                                const SearchConfig &Config,
+                                const TemplateProbe &Probe) {
+  return runTopDown(G, Config,
+                    TemplateProbeFactory([&Probe](int) { return Probe; }));
 }

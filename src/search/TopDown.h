@@ -7,7 +7,9 @@
 /// \file
 /// Algorithm 1 of the paper: weighted A\* over the template grammar,
 /// expanding the leftmost nonterminal of partial templates, ordered by
-/// f(x) = c(x) + g(x) + X(x), with a depth limit of 6.
+/// f(x) = c(x) + g(x) + X(x), with a depth limit of 6. Probing runs on the
+/// parallel frontier (search/Frontier.h) when Config.Threads != 1; results
+/// are bit-identical for every thread count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,13 +19,29 @@
 #include "grammar/Pcfg.h"
 #include "search/SearchTypes.h"
 
+#include <memory>
+
 namespace stagg {
 namespace search {
 
+class CandidateStream;
+
 /// Runs the top-down enumeration. \p Probe is invoked on every complete
-/// template; returning true ends the search successfully.
+/// template; returning true ends the search successfully. The single probe
+/// is shared across workers, so with Config.Threads != 1 it must be
+/// thread-safe; stateful probes should use the factory overload instead.
 SearchResult runTopDown(const grammar::TemplateGrammar &G,
                         const SearchConfig &Config, const TemplateProbe &Probe);
+
+/// Same search with one probe per worker (see TemplateProbeFactory).
+SearchResult runTopDown(const grammar::TemplateGrammar &G,
+                        const SearchConfig &Config,
+                        const TemplateProbeFactory &Factory);
+
+/// The bare enumeration as a stream of complete candidates in serial probe
+/// order, for callers that drive the frontier themselves.
+std::unique_ptr<CandidateStream>
+makeTopDownStream(const grammar::TemplateGrammar &G, const SearchConfig &Config);
 
 } // namespace search
 } // namespace stagg

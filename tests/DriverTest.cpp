@@ -121,6 +121,23 @@ TEST(DriverCli, ExecutionAndOutputFlags) {
   EXPECT_TRUE(P.Options.Verbose);
 }
 
+TEST(DriverCli, SearchThreadsFlag) {
+  // Defaults to serial: parallel search is opt-in, bit-identical when on.
+  EXPECT_EQ(parse({}).Options.Config.Search.Threads, 1);
+
+  CliParse P = parse({"--search-threads", "8"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Config.Search.Threads, 8);
+  EXPECT_EQ(parse({"--search-threads=4"}).Options.Config.Search.Threads, 4);
+
+  // Worker count must be explicit and positive; 0 (auto-detect) is a
+  // config-file/API default, not a CLI spelling.
+  EXPECT_FALSE(parse({"--search-threads", "0"}).ok());
+  EXPECT_FALSE(parse({"--search-threads", "-1"}).ok());
+  EXPECT_FALSE(parse({"--search-threads", "many"}).ok());
+  EXPECT_FALSE(parse({"--search-threads"}).ok()); // missing value
+}
+
 TEST(DriverCli, ServeModeAndServingKnobs) {
   CliParse P = parse({"serve", "--queue-depth", "16", "--batch=4",
                       "--batch-wait-us", "500", "--cache-capacity", "32",
