@@ -18,6 +18,7 @@
 #include "grammar/Pcfg.h"
 #include "grammar/Template.h"
 #include "search/TopDown.h"
+#include "search/WorkerPool.h"
 #include "taco/Einsum.h"
 #include "taco/Parser.h"
 #include "taco/Printer.h"
@@ -25,6 +26,7 @@
 #include "verify/BoundedVerifier.h"
 #include "vm/Compiler.h"
 #include "vm/Interpreter.h"
+#include "vm/Optimizer.h"
 
 #include <benchmark/benchmark.h>
 
@@ -257,6 +259,73 @@ static void BM_VerifierSweep(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_VerifierSweep);
+
+/// Bytecode VM execute of a bound 16x16 matmul, raw compiler output vs
+/// through vm::optimize (a DotSpan superinstruction replaces the
+/// interpreted k-loop) — micro/vm_execute and micro/vm_execute_fused in
+/// `stagg bench`, where CI holds fused to a 1.5x win over raw.
+static void BM_VmExecute(benchmark::State &State, bool Optimized) {
+  auto P = taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)");
+  vm::Code Code = vm::compileProgram(*P.Prog);
+  if (Optimized) {
+    vm::OptimizeOptions OO;
+    OO.FreezeConstants = true;
+    Code = vm::optimize(Code, OO);
+  }
+  std::map<std::string, taco::Tensor<double>> Ops;
+  taco::Tensor<double> Bm({16, 16}), Cm({16, 16});
+  for (size_t I = 0; I < Bm.flat().size(); ++I) {
+    Bm.flat()[I] = static_cast<double>(I % 7);
+    Cm.flat()[I] = static_cast<double>(I % 5);
+  }
+  Ops.emplace("b", std::move(Bm));
+  Ops.emplace("c", std::move(Cm));
+  vm::Interpreter<double> Interp(Code);
+  if (!Interp.bindMap(Ops, {16, 16}))
+    std::abort();
+  taco::Tensor<double> Out(std::vector<int64_t>{16, 16});
+  for (auto _ : State) {
+    Interp.evaluateInto(Out);
+    benchmark::DoNotOptimize(Out.flat().data());
+  }
+}
+BENCHMARK_CAPTURE(BM_VmExecute, raw, false);
+BENCHMARK_CAPTURE(BM_VmExecute, fused, true);
+
+/// The serve execute path above the tiling threshold: a 128x128 optimized
+/// matmul partitioned over the output's outer dimension on a worker pool
+/// via evaluateRows, including the per-request pool spawn and per-tile
+/// bind the endpoint pays. Arg is the tile count; Arg(1) is the serial
+/// baseline — micro/vm_execute_tiled in `stagg bench`.
+static void BM_VmExecuteTiled(benchmark::State &State) {
+  auto P = taco::parseTacoProgram("a(i,j) = b(i,k) * c(k,j)");
+  vm::OptimizeOptions OO;
+  OO.FreezeConstants = true;
+  vm::Code Code = vm::optimize(vm::compileProgram(*P.Prog), OO);
+  std::map<std::string, taco::Tensor<double>> Ops;
+  taco::Tensor<double> Bm({128, 128}), Cm({128, 128});
+  for (size_t I = 0; I < Bm.flat().size(); ++I) {
+    Bm.flat()[I] = static_cast<double>(I % 7);
+    Cm.flat()[I] = static_cast<double>(I % 5);
+  }
+  Ops.emplace("b", std::move(Bm));
+  Ops.emplace("c", std::move(Cm));
+  const int Tiles = static_cast<int>(State.range(0));
+  taco::Tensor<double> Out(std::vector<int64_t>{128, 128});
+  for (auto _ : State) {
+    std::vector<double> &Flat = Out.flat();
+    search::WorkerPool Pool;
+    Pool.run(Tiles, [&](int Worker) {
+      vm::Interpreter<double> Tile(Code);
+      if (!Tile.bindMap(Ops, {128, 128}))
+        std::abort();
+      Tile.evaluateRows(Flat, 128 * Worker / Tiles,
+                        128 * (Worker + 1) / Tiles);
+    });
+    benchmark::DoNotOptimize(Flat.data());
+  }
+}
+BENCHMARK(BM_VmExecuteTiled)->Arg(1)->Arg(4);
 
 /// The Fig. 1 validator-fallback loop: eight candidates verified against
 /// one kernel with a shared reference cache, so only the first pays for

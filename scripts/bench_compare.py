@@ -14,13 +14,15 @@ backstop against global regressions that scale all entries together (a
 build-type misconfiguration, say), the *absolute* per-iteration ratio is
 also checked against the looser --abs-max-ratio.
 
---min-speedup KEY:RATIO adds a *within-report* scaling gate: KEY must name
-a parallel benchmark ending in `_par`, whose serial twin is the same name
-with `_ser`. Both must be present in the CURRENT report; the gate fails
-unless current[KEY_ser] / current[KEY_par] >= RATIO. Because both sides
-come from the same run on the same machine, no normalization is needed —
-this is how CI proves the parallel frontier actually scales instead of
-merely not regressing.
+--min-speedup KEY:RATIO adds a *within-report* speedup gate: KEY names the
+fast side of a twin pair, resolved by suffix — `KEY_par` pairs with
+`KEY_ser` (parallel vs serial), and `KEY_fused` / `KEY_tiled` pair with
+the bare `KEY` (optimized vs raw). Both twins must be present in the
+CURRENT report; the gate fails unless current[slow] / current[fast]
+>= RATIO. Because both sides come from the same run on the same machine,
+no normalization is needed — this is how CI proves the parallel frontier
+scales and the VM optimizer actually pays, instead of merely not
+regressing.
 
 Only entries whose name starts with --prefix (default `micro/`) are gated:
 the end-to-end lift timings are reported for information but are too noisy
@@ -77,8 +79,9 @@ def main():
     parser.add_argument("--min-speedup", action="append", default=[],
                         metavar="KEY:RATIO",
                         help="fail unless the current report shows "
-                             "cur[KEY with _par->_ser] / cur[KEY] >= RATIO; "
-                             "KEY must end in _par (repeatable)")
+                             "cur[twin of KEY] / cur[KEY] >= RATIO; the twin "
+                             "is KEY with _par->_ser, or KEY without its "
+                             "_fused/_tiled suffix (repeatable)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline entry is missing "
                              "from the current report (local comparisons "
@@ -158,20 +161,28 @@ def main():
     for name in only_cur:
         print(f"  {name}: only in current (new benchmark)")
 
-    # Scaling gates: parallel benchmark vs its serial twin, both measured
-    # in the *current* run so machine speed cancels exactly. A malformed
-    # spec or a missing side is a hard failure — a scaling gate that
-    # silently stops measuring is worse than none.
+    # Speedup gates: the fast benchmark vs its slow twin, both measured in
+    # the *current* run so machine speed cancels exactly. A malformed spec
+    # or a missing side is a hard failure — a speedup gate that silently
+    # stops measuring is worse than none.
     for spec in args.min_speedup:
         key, sep, ratio_text = spec.rpartition(":")
-        if not sep or not key or not key.endswith("_par"):
+        if key.endswith("_par"):
+            twin = key[:-len("_par")] + "_ser"
+        elif key.endswith("_fused"):
+            twin = key[:-len("_fused")]
+        elif key.endswith("_tiled"):
+            twin = key[:-len("_tiled")]
+        else:
+            twin = ""
+        if not sep or not key or not twin:
             sys.exit(f"bench_compare: bad --min-speedup spec '{spec}' "
-                     "(expected KEY_par:RATIO)")
+                     "(expected KEY:RATIO with KEY ending in _par, _fused "
+                     "or _tiled)")
         try:
             min_ratio = float(ratio_text)
         except ValueError:
             sys.exit(f"bench_compare: bad --min-speedup ratio in '{spec}'")
-        twin = key[:-len("_par")] + "_ser"
         missing = [n for n in (key, twin) if n not in cur]
         if missing:
             for name in missing:
@@ -183,12 +194,12 @@ def main():
         speedup = cur[twin] / cur[key]
         verdict = "ok" if speedup >= min_ratio else \
             f"TOO SLOW (< {min_ratio:.2f}x)"
-        print(f" *{key:40s} serial {cur[twin] * 1e6:10.2f} us  "
-              f"parallel {cur[key] * 1e6:10.2f} us  "
+        print(f" *{key:40s} slow {cur[twin] * 1e6:10.2f} us  "
+              f"fast {cur[key] * 1e6:10.2f} us  "
               f"speedup {speedup:5.2f}x  {verdict}")
         if speedup < min_ratio:
             failures.append((key,
-                             f"parallel speedup {speedup:.2f}x below the "
+                             f"speedup {speedup:.2f}x below the "
                              f"{min_ratio:.2f}x floor ({twin} "
                              f"{cur[twin] * 1e6:.2f} us vs {key} "
                              f"{cur[key] * 1e6:.2f} us)"))

@@ -44,7 +44,8 @@ namespace api {
 /// replace the corresponding service-wide value for one request (patch
 /// precedence is total — a set field always wins), unset fields inherit.
 /// Serving-layer knobs (queue depth, batching, cache shape) are fixed per
-/// service and deliberately not patchable.
+/// service and deliberately not patchable — except "execute_threads", which
+/// tiles one request's execute pass and is bit-identical at any value.
 struct ConfigPatch {
   std::optional<core::SearchKind> Kind;        ///< "search": "td" | "bu"
   std::optional<int> NumCandidates;            ///< "candidates"
@@ -59,7 +60,9 @@ struct ConfigPatch {
   std::optional<bool> FullGrammar;             ///< "full_grammar"
   std::optional<bool> EqualProbability;        ///< "equal_probability"
   std::optional<bool> UseVm;                   ///< "use_vm"
+  std::optional<bool> UseVmOpt;                ///< "use_vm_opt"
   std::optional<int> SearchThreads;            ///< "search_threads"
+  std::optional<int> ExecuteThreads;           ///< "execute_threads"
 
   bool empty() const;
 

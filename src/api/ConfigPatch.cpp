@@ -33,7 +33,8 @@ bool ConfigPatch::empty() const {
   return !Kind && !NumCandidates && !NumIoExamples && !ExampleSeed &&
          !SkipVerification && !TimeoutSeconds && !MaxDepth &&
          !MaxExpansions && !MaxAttempts && !VerifyMaxSize && !FullGrammar &&
-         !EqualProbability && !UseVm && !SearchThreads;
+         !EqualProbability && !UseVm && !UseVmOpt && !SearchThreads &&
+         !ExecuteThreads;
 }
 
 core::StaggConfig ConfigPatch::apply(const core::StaggConfig &Base) const {
@@ -64,8 +65,12 @@ core::StaggConfig ConfigPatch::apply(const core::StaggConfig &Base) const {
     Out.Grammar.EqualProbability = *EqualProbability;
   if (UseVm)
     Out.UseVm = *UseVm;
+  if (UseVmOpt)
+    Out.UseVmOpt = *UseVmOpt;
   if (SearchThreads)
     Out.Search.Threads = *SearchThreads;
+  if (ExecuteThreads)
+    Out.Serve.ExecuteThreads = *ExecuteThreads;
   return Out;
 }
 
@@ -143,8 +148,13 @@ std::string ConfigPatch::fromJson(const Json &Object, ConfigPatch &Out) {
       Error = expectBool(Value, "equal_probability", Out.EqualProbability);
     } else if (Key == "use_vm") {
       Error = expectBool(Value, "use_vm", Out.UseVm);
+    } else if (Key == "use_vm_opt") {
+      Error = expectBool(Value, "use_vm_opt", Out.UseVmOpt);
     } else if (Key == "search_threads") {
       Error = expectPositiveInt(Value, "search_threads", Out.SearchThreads,
+                                std::numeric_limits<int>::max());
+    } else if (Key == "execute_threads") {
+      Error = expectPositiveInt(Value, "execute_threads", Out.ExecuteThreads,
                                 std::numeric_limits<int>::max());
     } else {
       Error = "unknown config key \"" + Key + "\"";
@@ -184,7 +194,11 @@ Json ConfigPatch::toJson() const {
     Out.set("equal_probability", Json::boolean(*EqualProbability));
   if (UseVm)
     Out.set("use_vm", Json::boolean(*UseVm));
+  if (UseVmOpt)
+    Out.set("use_vm_opt", Json::boolean(*UseVmOpt));
   if (SearchThreads)
     Out.set("search_threads", Json::integer(*SearchThreads));
+  if (ExecuteThreads)
+    Out.set("execute_threads", Json::integer(*ExecuteThreads));
   return Out;
 }

@@ -90,6 +90,18 @@ public:
   void shutdown() { Service.shutdown(); }
 
   serve::CacheStats cacheStats() const { return Service.cacheStats(); }
+
+  /// Counters of the execute-path compiled-program cache (the 256-entry
+  /// memo behind executeLifted). Evictions count wholesale clears.
+  struct VmCacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    size_t Entries = 0;
+    size_t Capacity = 0;
+  };
+  VmCacheStats vmCacheStats() const;
+
   serve::BatchingStats batchingStats() const {
     return Service.batchingStats();
   }
@@ -128,12 +140,15 @@ private:
   /// long-tailed).
   IngestResult ingestCached(const LiftRequest &Request);
 
-  /// One lifted program compiled to VM bytecode. The Program member owns
-  /// the expression trees the Code points into, so an entry is immutable
-  /// and safely shared by any number of concurrent executions.
+  /// One lifted program compiled to VM bytecode, in both the raw and the
+  /// vm::optimize'd form (the per-request "use_vm_opt" patch picks one at
+  /// execution time). The Program member owns the expression trees both
+  /// Codes point into, so an entry is immutable and safely shared by any
+  /// number of concurrent executions.
   struct CompiledKernel {
     taco::Program Program;
-    vm::Code Code;
+    vm::Code Code; ///< Raw compiler output.
+    vm::Code Opt;  ///< vm::optimize(Code) with constants frozen.
   };
 
   /// The bytecode cache lookup (keyed on the printed program text, the
@@ -147,9 +162,10 @@ private:
   std::mutex IngestMutex;
   std::unordered_map<std::string, IngestResult> IngestMemo;
 
-  std::mutex VmCacheMutex;
+  mutable std::mutex VmCacheMutex;
   std::unordered_map<std::string, std::shared_ptr<const CompiledKernel>>
       VmCache;
+  VmCacheStats VmStats;
 };
 
 } // namespace api

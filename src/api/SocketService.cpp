@@ -400,12 +400,26 @@ std::string SocketService::statsEvent() const {
   Cache.set("loaded", Json::integer(static_cast<int64_t>(C.Loaded)));
   Cache.set("hit_rate", Json::number(C.hitRate()));
 
+  // The execute-path compiled-program cache (api::Endpoint::compiledFor):
+  // one bytecode artifact per distinct lifted expression, so a client can
+  // see whether repeated execute requests are re-paying compilation.
+  api::Endpoint::VmCacheStats VC = Lifter.vmCacheStats();
+  Json VmCache = Json::object();
+  VmCache.set("hits", Json::integer(static_cast<int64_t>(VC.Hits)));
+  VmCache.set("misses", Json::integer(static_cast<int64_t>(VC.Misses)));
+  VmCache.set("evictions",
+              Json::integer(static_cast<int64_t>(VC.Evictions)));
+  VmCache.set("entries", Json::integer(static_cast<int64_t>(VC.Entries)));
+  VmCache.set("capacity", Json::integer(static_cast<int64_t>(VC.Capacity)));
+
   std::string Out = "{\"v\":2,\"event\":\"stats\",\"server\":";
   Out += Srv.dump();
   Out += ",\"service\":";
   Out += Svc.dump();
   Out += ",\"cache\":";
   Out += Cache.dump();
+  Out += ",\"vm_cache\":";
+  Out += VmCache.dump();
   Out += '}';
   return Out;
 }

@@ -121,8 +121,10 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   verify::VerifyOptions Verify = Config.Verify;
   Verify.TrustStaticBounds = Check.BoundsProvenSafe;
   // The engine choice is a pipeline-level knob so the validator and the
-  // verifier always agree; Config.Verify.UseVm is overwritten here.
+  // verifier always agree; Config.Verify.UseVm/UseVmOpt are overwritten
+  // here.
   Verify.UseVm = Config.UseVm;
+  Verify.UseVmOpt = Config.UseVmOpt;
 
   // The probe's working state — validator, reference cache, and the slot
   // holding the instantiation that made it return true — is mutable, so
@@ -142,7 +144,7 @@ LiftResult core::liftBenchmark(const bench::Benchmark &B,
   search::TemplateProbeFactory Factory = [&](int Worker) {
     ProbeState *State = &States[static_cast<size_t>(Worker)];
     State->V = std::make_unique<validate::Validator>(
-        B, Examples, Summary.Constants, Config.UseVm);
+        B, Examples, Summary.Constants, Config.UseVm, Config.UseVmOpt);
     return search::TemplateProbe(
         [State, &B, &Fn, &Verify, &Config](const taco::Program &Template) {
           std::vector<validate::Instantiation> Valid =
@@ -202,7 +204,9 @@ std::string core::describeResult(const std::string &Name,
 std::string core::configFingerprint(const StaggConfig &Config) {
   // Every field read anywhere in liftBenchmark (or below it) appears here;
   // the serving knobs in Config.Serve deliberately do not — queue depth,
-  // batching, and cache shape never change a result. Adding a pipeline knob
+  // batching, and cache shape never change a result — with one exception:
+  // Serve.ExecuteThreads is patchable from the wire and fingerprinted
+  // below. Adding a pipeline knob
   // without extending this list is a cache-correctness bug, which
   // ApiTest.FingerprintCoversResultAffectingKnobs guards against for the
   // knobs reachable from the wire protocol.
@@ -219,6 +223,8 @@ std::string core::configFingerprint(const StaggConfig &Config) {
   // Fingerprinted even though VM and tree-walk verdicts are bit-identical:
   // a cached result should record exactly which engine produced it.
   Add(Config.UseVm ? "vm" : "novm");
+  // Same record-keeping rationale for the VM optimizer passes.
+  Add(Config.UseVmOpt ? "vmopt" : "novmopt");
   const grammar::GrammarOptions &G = Config.Grammar;
   Add(std::string(G.FullGrammar ? "fg" : "-") +
       (G.EqualProbability ? "ep" : "-"));
@@ -238,6 +244,11 @@ std::string core::configFingerprint(const StaggConfig &Config) {
   // counts (same rationale as UseVm): a cached result should record how it
   // was produced, and the serve layer clamps this knob per deployment.
   Add("t" + std::to_string(S.Threads));
+  // The one Serve knob that IS fingerprinted: execute-path tiling is
+  // patchable per request ("execute_threads") and, like S.Threads, a
+  // cached result should record how it was produced even though tiles are
+  // bit-identical to the serial pass.
+  Add("x" + std::to_string(Config.Serve.ExecuteThreads));
   const verify::VerifyOptions &V = Config.Verify;
   Add(std::to_string(V.MaxSize));
   Add(std::to_string(V.RandomTrials));

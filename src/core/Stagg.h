@@ -80,6 +80,20 @@ struct ServeOptions {
   /// Persistent result-cache journal; empty keeps the cache in-memory
   /// only. Loaded at service startup, written through on every insert.
   std::string CachePath;
+
+  /// Worker threads for v2 "execute" requests whose output crosses the
+  /// tiling cell threshold: the outermost output dimension is partitioned
+  /// into disjoint row tiles, each evaluated by its own interpreter over
+  /// the shared compiled program — bit-identical to the serial pass by
+  /// construction. 1 (the default) keeps execution serial; 0 means
+  /// hardware concurrency; patchable per request as "execute_threads".
+  int ExecuteThreads = 1;
+
+  /// Minimum output cell count before an execute request is tiled at all:
+  /// below this, spawn cost dominates and the request runs serially even
+  /// when ExecuteThreads allows more. Not patchable (a deployment-shape
+  /// knob, and bit-identical either way).
+  int64_t ExecuteTileMinCells = 4096;
 };
 
 /// Pipeline configuration.
@@ -106,6 +120,14 @@ struct StaggConfig {
   /// (`--no-vm` flips this off for A/B runs); it is fingerprinted anyway so
   /// cached serve results always record which engine produced them.
   bool UseVm = true;
+
+  /// Run vm::optimize over every compiled program (load hoisting, fused
+  /// span superinstructions, dead-register elimination) before execution.
+  /// Results are bit-identical with the raw stream — the passes preserve
+  /// accumulation order exactly (`--no-vm-opt` flips this off for A/B
+  /// runs); fingerprinted for the same record-keeping reason as UseVm.
+  /// Ignored when UseVm is false.
+  bool UseVmOpt = true;
 
   /// Serving-layer knobs (queue depth, batching, result cache).
   ServeOptions Serve;

@@ -210,7 +210,7 @@ void printJson(std::ostream &Out, const std::vector<Row> &Rows) {
 int driver::runCheckCommand(const CliOptions &Options) {
   std::vector<Row> Rows;
 
-  if (Options.CheckTargets.empty()) {
+  if (Options.Targets.empty()) {
     std::string Error;
     std::vector<const bench::Benchmark *> Suite =
         selectSuite(Options.Suite, Options.Limit, Error);
@@ -221,7 +221,7 @@ int driver::runCheckCommand(const CliOptions &Options) {
     for (const bench::Benchmark *B : Suite)
       Rows.push_back(checkRegistryKernel(*B));
   } else {
-    for (const std::string &Target : Options.CheckTargets) {
+    for (const std::string &Target : Options.Targets) {
       if (looksLikeFile(Target)) {
         Rows.push_back(checkFile(Target));
         if (!Rows.back().Error.empty() &&

@@ -7,6 +7,7 @@
 #include "support/StringUtils.h"
 #include "taco/Parser.h"
 #include "vm/Compiler.h"
+#include "vm/Optimizer.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -67,9 +68,10 @@ const std::vector<std::string> &knownFlags() {
       "--help",          "-h",
       "--list",          "--verbose",
       "-v",              "--no-verify",
-      "--no-vm",
+      "--no-vm",         "--no-vm-opt",
       "--full-grammar",  "--equal-probability",
       "--cache-stats",   "--suite",
+      "--repeat",        "--execute-threads",
       "--search",        "--drop-penalty",
       "--format",        "--csv",
       "--input",         "--limit",
@@ -213,14 +215,20 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         SawCommand = true;
         continue;
       }
-      if (O.Mode == DriverMode::Check) {
-        // `stagg check` targets: registry names and/or C source paths.
-        O.CheckTargets.push_back(Args[I]);
+      if (!SawCommand && Args[I] == "disasm") {
+        O.Mode = DriverMode::Disasm;
+        SawCommand = true;
+        continue;
+      }
+      if (O.Mode == DriverMode::Check || O.Mode == DriverMode::Disasm) {
+        // `stagg check` / `stagg disasm` targets: registry names (check
+        // also accepts C source paths).
+        O.Targets.push_back(Args[I]);
         continue;
       }
       Parse.Error = "unknown command '" + Args[I] + "'";
       std::string Hint =
-          suggestFor(Args[I], {"serve", "bench", "list", "check"});
+          suggestFor(Args[I], {"serve", "bench", "list", "check", "disasm"});
       if (!Hint.empty())
         Parse.Error += " — did you mean '" + Hint + "'?";
       Parse.Error += " (see --help)";
@@ -233,7 +241,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
     bool IsBoolean = F.Name == "--help" || F.Name == "-h" ||
                      F.Name == "--list" || F.Name == "--verbose" ||
                      F.Name == "-v" || F.Name == "--no-verify" ||
-                     F.Name == "--no-vm" || F.Name == "--full-grammar" ||
+                     F.Name == "--no-vm" || F.Name == "--no-vm-opt" ||
+                     F.Name == "--full-grammar" ||
                      F.Name == "--equal-probability" ||
                      F.Name == "--cache-stats" || F.Name == "--Werror";
     if (IsBoolean && F.HasInline) {
@@ -252,6 +261,8 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
       O.Config.SkipVerification = true;
     } else if (F.Name == "--no-vm") {
       O.Config.UseVm = false;
+    } else if (F.Name == "--no-vm-opt") {
+      O.Config.UseVmOpt = false;
     } else if (F.Name == "--full-grammar") {
       O.Config.Grammar.FullGrammar = true;
     } else if (F.Name == "--equal-probability") {
@@ -449,6 +460,18 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
       O.Config.Serve.MaxExecuteCells = static_cast<int64_t>(N);
+    } else if (F.Name == "--execute-threads") {
+      ServeOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      long long N = 0;
+      if (!parseInt(Value, N) || N < 0 ||
+          N > std::numeric_limits<int>::max()) {
+        Parse.Error = "--execute-threads expects a value >= 0 (0 means "
+                      "hardware concurrency), got '" + Value + "'";
+        break;
+      }
+      O.Config.Serve.ExecuteThreads = static_cast<int>(N);
     } else if (F.Name == "--timeout") {
       if (!takeValue(F, Value))
         break;
@@ -474,6 +497,18 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
         break;
       }
       O.BenchMinTime = Seconds;
+    } else if (F.Name == "--repeat") {
+      BenchOnly = F.Name;
+      if (!takeValue(F, Value))
+        break;
+      long long N = 0;
+      if (!parseInt(Value, N) || N <= 0 || N > 1000) {
+        Parse.Error =
+            "--repeat expects a repetition count in 1..1000, got '" + Value +
+            "'";
+        break;
+      }
+      O.BenchRepeat = static_cast<int>(N);
     } else {
       Parse.Error = "unknown flag '" + Args[I] + "'";
       std::string Hint = suggestFor(F.Name, knownFlags());
@@ -509,6 +544,9 @@ CliParse driver::parseArgs(const std::vector<std::string> &Args) {
     else if (O.Mode == DriverMode::List && !TableOnly.empty())
       Parse.Error =
           TableOnly + " does not apply to `stagg list` (see --help)";
+    else if (O.Mode == DriverMode::Disasm && !TableOnly.empty())
+      Parse.Error =
+          TableOnly + " does not apply to `stagg disasm` (see --help)";
     else if (O.Mode != DriverMode::Serve && !ServeOnly.empty())
       Parse.Error = ServeOnly + " only applies to `stagg serve`";
     else if (!O.Config.Serve.ListenAddr.empty() && !O.InputPath.empty())
@@ -589,6 +627,11 @@ std::string driver::usage() {
      << "                      multi-statement)\n"
      << "  stagg check         static safety lint over kernels (see the\n"
      << "                      README's diagnostics catalog)\n"
+     << "  stagg disasm        print the VM instruction stream of each\n"
+     << "                      target's ground-truth lifted program —\n"
+     << "                      optimized by default, raw with --no-vm-opt\n"
+     << "                      (targets: registry names, or the --suite\n"
+     << "                      selection when none are given)\n"
      << "\n"
      << "Suite selection:\n"
      << "  --suite NAME        all | real | paper | artificial | blas | "
@@ -618,6 +661,10 @@ std::string driver::usage() {
      << "  --no-vm             evaluate candidates with the tree-walking\n"
      << "                      evaluator instead of the bytecode VM (A/B;\n"
      << "                      results are bit-identical, just slower)\n"
+     << "  --no-vm-opt         run the raw VM instruction stream, skipping\n"
+     << "                      vm::optimize (load hoisting, fused spans,\n"
+     << "                      dead-register elimination; A/B — results are\n"
+     << "                      bit-identical, just slower)\n"
      << "  --full-grammar      FullGrammar: skip dimension refinement\n"
      << "  --equal-probability EqualProbability: uniform rule weights\n"
      << "  --drop-penalty P    disable penalty a1..a5|b1|b2, or a|b|all;\n"
@@ -658,11 +705,20 @@ std::string driver::usage() {
      << "                      may materialize (inputs + output); larger\n"
      << "                      requests answer a result error instead of\n"
      << "                      allocating. 0 disables (default 4194304)\n"
+     << "  --execute-threads N worker threads for one v2 execute request:\n"
+     << "                      outputs above a cell threshold are split\n"
+     << "                      into disjoint row tiles, bit-identical to\n"
+     << "                      the serial pass. 0 = hardware concurrency\n"
+     << "                      (default 1 = serial); patchable per request\n"
+     << "                      as \"execute_threads\"\n"
      << "\n"
      << "Benchmarking (stagg bench):\n"
      << "  --json PATH         write the versioned JSON report to PATH\n"
      << "  --min-time SECONDS  minimum measured time per micro benchmark\n"
      << "                      (default 0.1)\n"
+     << "  --repeat N          measure each micro N times and report the\n"
+     << "                      median, stabilizing the --min-speedup perf\n"
+     << "                      gates (default 1)\n"
      << "\n"
      << "Linting (stagg check):\n"
      << "  [targets]           registry names and/or C files; default is\n"
@@ -686,8 +742,63 @@ std::string driver::usage() {
      << "  stagg bench --suite real --threads 1 --json bench.json\n"
      << "  stagg list --suite pointer\n"
      << "  stagg check --suite all\n"
-     << "  stagg check blas_gemv mykernel.c --Werror --format json\n";
+     << "  stagg check blas_gemv mykernel.c --Werror --format json\n"
+     << "  stagg disasm blas_dot misc_sum2d\n"
+     << "  stagg disasm --suite blas --no-vm-opt\n";
   return Os.str();
+}
+
+int driver::runDisasmCommand(const CliOptions &Options) {
+  // Resolve the targets: explicit registry names, else the --suite
+  // selection (only kernels whose ground truth lowers to VM code).
+  std::vector<const bench::Benchmark *> Targets;
+  if (Options.Targets.empty()) {
+    std::string Error;
+    Targets = selectSuite(Options.Suite, Options.Limit, Error);
+    if (!Error.empty()) {
+      std::cerr << "stagg: " << Error << "\n";
+      return 2;
+    }
+  } else {
+    for (const std::string &Name : Options.Targets) {
+      const bench::Benchmark *B = bench::findBenchmark(Name);
+      if (!B) {
+        std::vector<std::string> Names;
+        for (const bench::Benchmark &Known : bench::allBenchmarks())
+          Names.push_back(Known.Name);
+        std::cerr << "stagg: unknown benchmark '" << Name << "'";
+        std::string Hint = closestMatch(Name, Names);
+        if (!Hint.empty())
+          std::cerr << " — did you mean '" << Hint << "'?";
+        std::cerr << "\n";
+        return 2;
+      }
+      Targets.push_back(B);
+    }
+  }
+
+  // --no-vm-opt prints the raw compiler output; the default prints the
+  // stream every consumer of a concrete program actually runs (optimized,
+  // constants frozen).
+  vm::OptimizeOptions OptOpts;
+  OptOpts.FreezeConstants = true;
+  for (const bench::Benchmark *B : Targets) {
+    taco::ParseStatementsResult GT = taco::parseTacoStatements(B->GroundTruth);
+    std::cout << "== " << B->Name << ": " << B->GroundTruth << "\n";
+    if (!GT.ok() || GT.Programs.empty()) {
+      std::cout << "  <ground truth does not parse: " << GT.Error << ">\n";
+      continue;
+    }
+    vm::Code Code = vm::compileStatements(GT.Programs);
+    if (!Code.ok()) {
+      std::cout << "  <does not lower to VM code: " << Code.error() << ">\n";
+      continue;
+    }
+    if (Options.Config.UseVmOpt)
+      Code = vm::optimize(Code, OptOpts);
+    std::cout << vm::disassemble(Code);
+  }
+  return 0;
 }
 
 int driver::runListCommand(const CliOptions &Options) {

@@ -34,8 +34,9 @@ enum class OutputFormat { Table, Csv, Tsv, Json };
 /// What this invocation does: a batch suite run (default), the persistent
 /// request-serving loop (`stagg serve`), the performance-report run
 /// (`stagg bench`), the registry listing with per-kernel ingestion-class
-/// labels (`stagg list`), or the static safety lint (`stagg check`).
-enum class DriverMode { Run, Serve, Bench, List, Check };
+/// labels (`stagg list`), the static safety lint (`stagg check`), or the
+/// VM bytecode listing (`stagg disasm`).
+enum class DriverMode { Run, Serve, Bench, List, Check, Disasm };
 
 /// Everything the driver needs for one invocation.
 struct CliOptions {
@@ -56,6 +57,11 @@ struct CliOptions {
 
   /// `stagg bench`: minimum measured wall time per micro benchmark.
   double BenchMinTime = 0.1;
+
+  /// `stagg bench --repeat N`: independent measurement repetitions per
+  /// micro benchmark; the reported time is the median of N, so the perf
+  /// gates do not ride on a single timing sample. Default 1.
+  int BenchRepeat = 1;
 
   /// Print cache and batching counters to stderr after the run.
   bool ShowCacheStats = false;
@@ -85,10 +91,11 @@ struct CliOptions {
   /// Print one line per finished benchmark while running.
   bool Verbose = false;
 
-  /// `stagg check`: positional targets — registry kernel names and/or
-  /// paths to C source files (anything with a '/' or a ".c"/".h" suffix is
-  /// read as a file). Empty means "lint the --suite selection".
-  std::vector<std::string> CheckTargets;
+  /// `stagg check` / `stagg disasm`: positional targets — registry kernel
+  /// names and/or (for check) paths to C source files (anything with a '/'
+  /// or a ".c"/".h" suffix is read as a file). Empty means "the --suite
+  /// selection".
+  std::vector<std::string> Targets;
 
   /// `stagg check --Werror`: warnings also fail the lint (exit 1).
   bool CheckWerror = false;
@@ -123,6 +130,11 @@ selectSuite(const std::string &Suite, int Limit, std::string &Error);
 /// multi-statement, from the kernel's analysis::KernelModel). Returns the
 /// process exit code.
 int runListCommand(const CliOptions &Options);
+
+/// `stagg disasm`: prints the optimized (default) or raw (--no-vm-opt) VM
+/// instruction stream of each target's ground-truth lifted program, via
+/// vm::disassemble. Returns the process exit code (0 ok, 2 bad target).
+int runDisasmCommand(const CliOptions &Options);
 
 /// Valid --suite values, for diagnostics and --help.
 const std::vector<std::string> &knownSuites();

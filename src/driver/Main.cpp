@@ -48,6 +48,9 @@ int main(int argc, char **argv) {
   if (Options.Mode == driver::DriverMode::Check)
     return driver::runCheckCommand(Options);
 
+  if (Options.Mode == driver::DriverMode::Disasm)
+    return driver::runDisasmCommand(Options);
+
   std::string SuiteError;
   std::vector<const bench::Benchmark *> Suite =
       driver::selectSuite(Options.Suite, Options.Limit, SuiteError);

@@ -154,9 +154,11 @@ int runServeListen(const CliOptions &Options) {
               << " connections, " << Stats.FramesIn << " frames in, "
               << Stats.LinesOut << " lines out\n";
   }
-  if (Options.ShowCacheStats)
+  if (Options.ShowCacheStats) {
+    api::Endpoint::VmCacheStats Vm = Lifter.vmCacheStats();
     printServeStats(std::cerr, Lifter.cacheStats(), Lifter.batchingStats(),
-                    Options.Config.Serve.BatchSize);
+                    Options.Config.Serve.BatchSize, &Vm);
+  }
   return Rc == 0 ? ServeExitOk : 2;
 }
 
@@ -175,12 +177,17 @@ void flushReady(std::deque<InFlight> &Window, std::ostream &Out,
 void driver::printServeStats(std::ostream &Err,
                              const serve::CacheStats &Cache,
                              const serve::BatchingStats &Batching,
-                             int BatchSize) {
+                             int BatchSize,
+                             const api::Endpoint::VmCacheStats *Vm) {
   Err << serve::formatCacheStats(Cache) << "\n";
   if (BatchSize > 1)
     Err << "batching: " << Batching.ProposeCalls << " oracle calls in "
         << Batching.Rounds << " rounds (max batch " << Batching.MaxBatch
         << ")\n";
+  if (Vm)
+    Err << "vm cache: " << Vm->Hits << " hits, " << Vm->Misses
+        << " misses, " << Vm->Evictions << " evictions, " << Vm->Entries
+        << "/" << Vm->Capacity << " entries\n";
 }
 
 int driver::runServeLoop(const CliOptions &Options, std::istream &In,
@@ -236,9 +243,11 @@ int driver::runServeLoop(const CliOptions &Options, std::istream &In,
     Window.pop_front();
   }
 
-  if (Options.ShowCacheStats)
+  if (Options.ShowCacheStats) {
+    api::Endpoint::VmCacheStats Vm = Lifter.vmCacheStats();
     printServeStats(Err, Lifter.cacheStats(), Lifter.batchingStats(),
-                    Options.Config.Serve.BatchSize);
+                    Options.Config.Serve.BatchSize, &Vm);
+  }
   return Tracker.exitCode();
 }
 

@@ -34,6 +34,7 @@
 #ifndef STAGG_DRIVER_SERVECOMMAND_H
 #define STAGG_DRIVER_SERVECOMMAND_H
 
+#include "api/Endpoint.h"
 #include "driver/Cli.h"
 #include "serve/BatchingOracle.h"
 #include "serve/ResultCache.h"
@@ -53,10 +54,13 @@ enum ServeExitCode {
 };
 
 /// Renders the --cache-stats report: the cache counter line, plus the
-/// batching counter line when batching is enabled. Shared by batch mode
-/// (Main) and the serve loop so the two reports can never drift apart.
+/// batching counter line when batching is enabled, plus (serve sessions
+/// only) the execute-path compiled-program cache counters when \p Vm is
+/// non-null. Shared by batch mode (Main) and the serve loop so the two
+/// reports can never drift apart.
 void printServeStats(std::ostream &Err, const serve::CacheStats &Cache,
-                     const serve::BatchingStats &Batching, int BatchSize);
+                     const serve::BatchingStats &Batching, int BatchSize,
+                     const api::Endpoint::VmCacheStats *Vm = nullptr);
 
 /// Runs the serving loop over \p In, streaming result lines to \p Out and
 /// diagnostics (and --cache-stats counters) to \p Err. Returns the exit

@@ -5,6 +5,7 @@
 #include "taco/Einsum.h"
 #include "taco/Semantics.h"
 #include "vm/Compiler.h"
+#include "vm/Optimizer.h"
 #include "vm/Interpreter.h"
 
 #include <cmath>
@@ -65,9 +66,9 @@ taco::Program validate::instantiateTemplate(
 }
 
 Validator::Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
-                     std::vector<int64_t> Constants, bool UseVm)
+                     std::vector<int64_t> Constants, bool UseVm, bool UseVmOpt)
     : B(B), Examples(std::move(Examples)), Constants(std::move(Constants)),
-      UseVm(UseVm) {
+      UseVm(UseVm), UseVmOpt(UseVmOpt) {
   // An empty pool would make constant templates uninstantiable even though
   // the grammar can propose them; keep the degenerate default of the source
   // having no literals.
@@ -517,8 +518,19 @@ Validator::validate(const Program &Template, size_t MaxResults) const {
   // EinsumProgram is only built on that path (a candidate is validated
   // once, so the compile is paid per call and must not be paid twice).
   vm::Code VmProgram;
-  if (UseVm)
+  if (UseVm) {
     VmProgram = vm::compileProgram(EvalProgram);
+    if (UseVmOpt && VmProgram.ok()) {
+      // Constants must NOT be frozen here: the odometer below rewrites the
+      // template's ConstantExpr leaves in place between refreshConstants()
+      // calls, so value-based constant dedup would be unsound. The
+      // optimizer still hoists invariant loads, fuses spans, and prunes
+      // dead registers — all bit-identity preserving.
+      vm::OptimizeOptions OO;
+      OO.FreezeConstants = false;
+      VmProgram = vm::optimize(VmProgram, OO);
+    }
+  }
   const bool ViaVm = UseVm && VmProgram.ok();
   std::optional<taco::EinsumProgram> Compiled;
   if (!ViaVm) {

@@ -70,9 +70,14 @@ public:
   /// \p Constants is the literal pool harvested from the source by the
   /// static analysis. \p UseVm selects the bytecode VM for instantiation
   /// evaluation (bit-identical verdicts and order; the tree-walk remains
-  /// available behind `--no-vm` for A/B comparison).
+  /// available behind `--no-vm` for A/B comparison). \p UseVmOpt
+  /// additionally runs vm::optimize over the compiled template — with
+  /// constants *not* frozen, because the validator's constant odometer
+  /// rewrites the template's ConstantExpr leaves between evaluations
+  /// (`--no-vm-opt` disables for A/B comparison).
   Validator(const bench::Benchmark &B, std::vector<IoExample> Examples,
-            std::vector<int64_t> Constants, bool UseVm = true);
+            std::vector<int64_t> Constants, bool UseVm = true,
+            bool UseVmOpt = true);
 
   /// Enumerates substitutions for \p Template and returns every
   /// instantiation that satisfies all I/O examples, up to \p MaxResults.
@@ -100,6 +105,7 @@ private:
   std::vector<IoExample> Examples;
   std::vector<int64_t> Constants;
   bool UseVm = true;
+  bool UseVmOpt = true;
   mutable int64_t Tried = 0;
   mutable std::vector<ExampleEval> OperandCache;
   mutable bool OperandCacheReady = false;

@@ -10,6 +10,7 @@
 #include "taco/Semantics.h"
 #include "validate/IoExamples.h"
 #include "vm/Compiler.h"
+#include "vm/Optimizer.h"
 #include "vm/Interpreter.h"
 
 #include <functional>
@@ -509,6 +510,13 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
   vm::Code VmCode;
   if (Options.UseVm) {
     VmCode = vm::compileProgram(Candidate);
+    if (VmCode.ok() && Options.UseVmOpt) {
+      // The candidate is concrete and its constants are never rewritten
+      // during a sweep, so the optimizer may freeze (and dedup) them.
+      vm::OptimizeOptions OO;
+      OO.FreezeConstants = true;
+      VmCode = vm::optimize(VmCode, OO);
+    }
     if (VmCode.ok())
       Spec.Vm = &VmCode;
   }
@@ -530,6 +538,11 @@ VerifyResult verify::verifyEquivalence(const bench::Benchmark &B,
   vm::Code VmCode;
   if (Options.UseVm) {
     VmCode = vm::compileStatements(Candidate);
+    if (VmCode.ok() && Options.UseVmOpt) {
+      vm::OptimizeOptions OO;
+      OO.FreezeConstants = true; // concrete statement list; see above
+      VmCode = vm::optimize(VmCode, OO);
+    }
     if (VmCode.ok())
       Spec.Vm = &VmCode;
   }

@@ -83,6 +83,12 @@ struct VerifyOptions {
   /// per-test structure re-compilation). `--no-vm` disables it for A/B runs.
   bool UseVm = true;
 
+  /// Run vm::optimize over the compiled candidate (with constants frozen —
+  /// a concrete candidate's literals never change during a sweep). Verdicts
+  /// stay bit-identical; `--no-vm-opt` disables it for A/B runs. Ignored
+  /// when UseVm is false.
+  bool UseVmOpt = true;
+
   /// Skip the reference interpreter's per-access bounds checks. Only set
   /// when analysis::Checker proved every access in bounds for all sizes
   /// (CheckReport::BoundsProvenSafe) — the static proof licenses dropping

@@ -65,16 +65,47 @@ enum class Op : uint8_t {
              ///< tree-walk's `Sum += Lhs * Rhs`)
   LoopBegin, ///< Coords[Dst] = 0; fall through (body runs at least once)
   LoopEnd,   ///< if (++Coords[Dst] < Extent[Dst]) jump to instruction A
+
+  // Fused span superinstructions, emitted only by vm::optimize. Each
+  // replaces a whole LoopBegin/body/LoopEnd triple (or, for MapSpan, the
+  // whole stream) with one tight pointer loop over a span slot. The loop
+  // body performs exactly the scalar sequence — load, (load,) op,
+  // accumulate — in the same order, so results are bit-identical; there is
+  // no reassociation and no fast-math, the win is dispatch removal (and
+  // compiler auto-vectorization of the stride-1 cases).
+  DotSpan, ///< for k in 0..Extent[C): R[Dst] += a_A[k] * a_B[k] — the fused
+           ///< form of {Load, Load, MulAcc} over loop slot C, where A/B are
+           ///< access ordinals.
+  SumSpan, ///< for k in 0..Extent[C): R[Dst] += a_A[k] — the fused form of
+           ///< {Load, AccAdd} over loop slot C; A is an access ordinal.
+  MapSpan, ///< Whole-statement elementwise map over the innermost free
+           ///< dimension (slot C): out[k] = op(a_A[k][, a_B[k]]) with the
+           ///< sub-operation in Dst (see MapOp). Executed at the output
+           ///< odometer level, one contiguous row at a time.
+};
+
+/// MapSpan sub-operations, carried in Inst::Dst.
+enum class MapOp : int32_t {
+  Copy = 0, ///< out = a
+  Neg = 1,  ///< out = -a
+  Add = 2,  ///< out = a + b
+  Sub = 3,  ///< out = a - b
+  Mul = 4,  ///< out = a * b
+  Div = 5,  ///< out = a / b
+  Max = 6,  ///< out = a < b ? b : a
 };
 
 /// One instruction. Operand meaning depends on the opcode: Dst is a register
-/// (or an index slot for LoopBegin/LoopEnd), A/B are source registers, an
-/// access ordinal (Load), or a jump target (LoopEnd).
+/// (or an index slot for LoopBegin/LoopEnd, or a MapOp for MapSpan), A/B are
+/// source registers, an access ordinal (Load and the spans), or a jump
+/// target (LoopEnd). C is the span slot of the fused superinstructions and
+/// unused (-1) elsewhere.
 struct Inst {
   Op K;
   int32_t Dst = -1;
   int32_t A = -1;
   int32_t B = -1;
+  int32_t C = -1;
 };
 
 /// One tensor access of a compiled statement, in leaf (left-to-right) order —

@@ -191,6 +191,59 @@ TEST(DriverCli, ServeModeAndServingKnobs) {
   EXPECT_TRUE(parse({"serve", "--help"}).ok());
 }
 
+TEST(DriverCli, VmOptimizerAndExecuteKnobs) {
+  // Defaults: optimizer on, serial execute, single bench measurement.
+  CliParse P = parse({});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_TRUE(P.Options.Config.UseVmOpt);
+  EXPECT_EQ(P.Options.Config.Serve.ExecuteThreads, 1);
+  EXPECT_EQ(P.Options.BenchRepeat, 1);
+
+  EXPECT_FALSE(parse({"--no-vm-opt"}).Options.Config.UseVmOpt);
+  EXPECT_FALSE(parse({"--no-vm-opt=1"}).ok()); // boolean, takes no value
+
+  P = parse({"serve", "--execute-threads", "4"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Config.Serve.ExecuteThreads, 4);
+  // 0 is a valid spelling here: hardware concurrency.
+  P = parse({"serve", "--execute-threads=0"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Config.Serve.ExecuteThreads, 0);
+  EXPECT_FALSE(parse({"serve", "--execute-threads", "-1"}).ok());
+  EXPECT_FALSE(parse({"serve", "--execute-threads", "many"}).ok());
+  EXPECT_FALSE(parse({"serve", "--execute-threads"}).ok());
+  // Serve-only: batch mode never answers execute requests.
+  P = parse({"--execute-threads", "4"});
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.Error.find("serve"), std::string::npos) << P.Error;
+
+  P = parse({"bench", "--repeat", "5"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.BenchRepeat, 5);
+  EXPECT_FALSE(parse({"bench", "--repeat", "0"}).ok());
+  EXPECT_FALSE(parse({"bench", "--repeat", "1001"}).ok());
+  EXPECT_FALSE(parse({"bench", "--repeat", "median"}).ok());
+  // Bench-only: a repeat count is meaningless for a suite run.
+  EXPECT_FALSE(parse({"--repeat", "3"}).ok());
+}
+
+TEST(DriverCli, DisasmSubcommand) {
+  CliParse P = parse({"disasm", "blas_dot", "misc_sum2d"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Mode, DriverMode::Disasm);
+  ASSERT_EQ(P.Options.Targets.size(), 2u);
+  EXPECT_EQ(P.Options.Targets[0], "blas_dot");
+  EXPECT_EQ(P.Options.Targets[1], "misc_sum2d");
+
+  // Suite selection and the raw-stream toggle stay valid...
+  P = parse({"disasm", "--suite", "blas", "--no-vm-opt"});
+  ASSERT_TRUE(P.ok()) << P.Error;
+  EXPECT_EQ(P.Options.Suite, "blas");
+  EXPECT_FALSE(P.Options.Config.UseVmOpt);
+  // ...batch-table output flags do not.
+  EXPECT_FALSE(parse({"disasm", "--csv", "/tmp/out.csv"}).ok());
+}
+
 TEST(DriverCli, UnknownFlagSuggestsNearestSpelling) {
   // A typo close to a real flag gets a "did you mean" hint...
   CliParse P = parse({"--thread", "2"});

@@ -794,6 +794,16 @@ TEST(SocketService, StatsEventReportsAllThreeLayers) {
   C.sendLine("{\"v\":1,\"name\":\"art_copy\"}");
   ASSERT_FALSE(C.readLine().empty());
 
+  // Two identical executes: the first compiles the lifted program into
+  // the VM cache (a miss), the second is served from it (a hit).
+  for (int I = 0; I < 2; ++I) {
+    C.sendLine("{\"v\":2,\"id\":70,\"execute\":{\"name\":\"art_add\","
+               "\"sizes\":{\"N\":2},\"inputs\":{\"a\":[1,2],"
+               "\"b\":[10,20]}}}");
+    support::Json Result = parsedEvent(C.readLine());
+    ASSERT_EQ(eventKind(Result), "result") << Result.dump();
+  }
+
   C.sendLine("{\"v\":2,\"stats\":true}");
   support::Json Stats = parsedEvent(C.readLine());
   EXPECT_EQ(eventKind(Stats), "stats");
@@ -813,6 +823,15 @@ TEST(SocketService, StatsEventReportsAllThreeLayers) {
   ASSERT_NE(Cache, nullptr);
   EXPECT_GE(Cache->find("misses")->asInteger(), 1);
   EXPECT_NE(Cache->find("hit_rate"), nullptr);
+
+  // The fourth layer: the execute path's compiled-program cache.
+  const support::Json *VmCache = Stats.find("vm_cache");
+  ASSERT_NE(VmCache, nullptr);
+  EXPECT_EQ(VmCache->find("misses")->asInteger(), 1);
+  EXPECT_EQ(VmCache->find("hits")->asInteger(), 1);
+  EXPECT_EQ(VmCache->find("evictions")->asInteger(), 0);
+  EXPECT_EQ(VmCache->find("entries")->asInteger(), 1);
+  EXPECT_EQ(VmCache->find("capacity")->asInteger(), 256);
 }
 
 TEST(SocketService, DisconnectMidRequestDropsTheSessionCleanly) {
